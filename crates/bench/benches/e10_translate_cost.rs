@@ -1,0 +1,24 @@
+//! E10 — query translation (compile) overhead per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlgen::AUCTION_QUERIES;
+use xmlrel_bench::loaded_stores;
+
+fn bench(c: &mut Criterion) {
+    let stores = loaded_stores(0.1);
+    let mut g = c.benchmark_group("e10_translate_cost");
+    for store in &stores {
+        let name = store.scheme().name();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for q in AUCTION_QUERIES {
+                    let _ = std::hint::black_box(store.translate(q.text));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E11 — the engine's interval (structural) join vs plain nested loops on
+//! a descendant query (ablation of the physical operator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shredder::IntervalScheme;
+use xmlgen::deep::{generate, DeepConfig};
+use xmlrel_core::{Scheme, XmlStore};
+
+fn bench(c: &mut Criterion) {
+    // The deep corpus makes the containment product large (hundreds of
+    // sections × hundreds of paras), which is where the structural join's
+    // sort + binary-search wins over quadratic nested loops.
+    let doc = generate(&DeepConfig { depth: 8, fanout: 3, paras: 2, seed: 1 });
+    let q = "//section//para";
+    let mut g = c.benchmark_group("e11_structural_join");
+    g.sample_size(10);
+    for use_ij in [true, false] {
+        let mut store =
+            XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        store.db.physical.use_interval_join = use_ij;
+        // Nested loops need the index-NL path off too, to expose the raw
+        // O(n^2) containment cost the published comparison shows.
+        if !use_ij {
+            store.db.physical.use_index_nl_join = false;
+        }
+        store.load_document("deep", &doc).expect("shred");
+        let name = if use_ij { "structural" } else { "nested_loops" };
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(store.query_count(q).expect("query")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

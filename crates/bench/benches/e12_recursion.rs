@@ -1,0 +1,34 @@
+//! E12 — recursive DTD handling on the deep corpus: descendant queries per
+//! scheme (inlining's DTD-expansion weakness vs interval's range scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlgen::deep::{generate, DeepConfig, DEEP_DTD};
+use xmlgen::DEEP_QUERIES;
+use xmlrel_core::XmlStore;
+
+fn bench(c: &mut Criterion) {
+    let doc = generate(&DeepConfig { depth: 7, fanout: 3, paras: 2, seed: 1 });
+    let mut stores: Vec<XmlStore> = xmlrel::all_schemes(DEEP_DTD)
+        .expect("schemes")
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).expect("install");
+            store.load_document("deep", &doc).expect("shred");
+            store
+        })
+        .collect();
+    let mut g = c.benchmark_group("e12_recursion");
+    g.sample_size(10);
+    for q in DEEP_QUERIES {
+        for store in stores.iter_mut() {
+            let id = format!("{}/{}", q.id, store.scheme().name());
+            g.bench_function(&id, |b| {
+                b.iter(|| std::hint::black_box(store.query_count(q.text).expect("query")))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

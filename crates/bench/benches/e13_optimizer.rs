@@ -1,0 +1,33 @@
+//! E13 — engine-optimizer ablation on a predicate-heavy query: predicate
+//! pushdown, join reordering, and index nested-loop joins each disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shredder::IntervalScheme;
+use xmlrel_bench::corpus;
+use xmlrel_core::{Scheme, XmlStore};
+
+fn bench(c: &mut Criterion) {
+    let doc = corpus(0.3);
+    let q = "/site/people/person[profile/age > 40]/name";
+    let mut g = c.benchmark_group("e13_optimizer");
+    g.sample_size(20);
+    type Tweak = Box<dyn Fn(&mut XmlStore)>;
+    let configs: Vec<(&str, Tweak)> = vec![
+        ("full", Box::new(|_| {})),
+        ("no_reorder", Box::new(|s| s.db.optimizer.join_reorder = false)),
+        ("no_inl_join", Box::new(|s| s.db.physical.use_index_nl_join = false)),
+    ];
+    for (name, tweak) in configs {
+        let mut store =
+            XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        tweak(&mut store);
+        store.load_document("auction", &doc).expect("shred");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(store.query_count(q).expect("query")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E1 — storage size by mapping scheme (F&K99 Tab. 2 shape).
+//!
+//! Times the storage-accounting pass and prints the byte totals each
+//! scheme needs for the same corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlrel_bench::{loaded_stores, BENCH_SCALE};
+
+fn bench(c: &mut Criterion) {
+    let stores = loaded_stores(BENCH_SCALE);
+    eprintln!("\nE1 storage (auction scale {BENCH_SCALE}):");
+    for store in &stores {
+        let st = store.storage_stats();
+        eprintln!(
+            "  {:<10} tables={:<3} rows={:<6} heap={:<8} index={:<8} total={}",
+            store.scheme().name(),
+            st.tables,
+            st.rows,
+            st.heap_bytes,
+            st.index_bytes,
+            st.total_bytes()
+        );
+    }
+    let mut g = c.benchmark_group("e1_storage_size");
+    for store in &stores {
+        g.bench_function(store.scheme().name(), |b| {
+            b.iter(|| std::hint::black_box(store.storage_stats().total_bytes()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 — shredding (bulk load) throughput per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xmlrel_bench::{corpus, schemes, BENCH_SCALE};
+use xmlrel_core::XmlStore;
+
+fn bench(c: &mut Criterion) {
+    let doc = corpus(BENCH_SCALE);
+    let xml = xmlpar::serialize::to_string(&doc);
+    let mut g = c.benchmark_group("e2_shred_throughput");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.sample_size(10);
+    for scheme in schemes() {
+        let name = scheme.name();
+        g.bench_function(name, |b| {
+            b.iter_with_large_drop(|| {
+                let mut store = XmlStore::new(scheme.clone()).expect("install");
+                store.load_document("auction", &doc).expect("shred");
+                store
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

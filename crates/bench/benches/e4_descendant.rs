@@ -1,0 +1,23 @@
+//! E4 — descendant-axis query latency per scheme (Q4/Q5/Q6): interval's
+//! native range scan vs path expansion in edge/binary/universal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlgen::AUCTION_QUERIES;
+use xmlrel_bench::{loaded_stores, BENCH_SCALE};
+
+fn bench(c: &mut Criterion) {
+    let mut stores = loaded_stores(BENCH_SCALE);
+    let mut g = c.benchmark_group("e4_descendant");
+    for q in AUCTION_QUERIES.iter().filter(|q| matches!(q.id, "Q4" | "Q5" | "Q6")) {
+        for store in stores.iter_mut() {
+            let id = format!("{}/{}", q.id, store.scheme().name());
+            g.bench_function(&id, |b| {
+                b.iter(|| std::hint::black_box(store.query_count(q.text).expect("query")))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — selective value predicates with/without a secondary value index
+//! (interval scheme). Only sargable (string-equality) predicates can use
+//! the index; numeric predicates go through num() and cannot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shredder::IntervalScheme;
+use xmlrel_bench::corpus;
+use xmlrel_core::{Scheme, XmlStore};
+
+fn bench(c: &mut Criterion) {
+    let doc = corpus(0.5);
+    let point = "/site/people/person[@id = 'person7']/name/text()";
+    let range = "/site/regions/region/item[price > 95]/name/text()";
+    let mut g = c.benchmark_group("e5_value_index");
+    for with_index in [false, true] {
+        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme {
+            with_value_index: with_index,
+        }))
+        .expect("install");
+        store.load_document("auction", &doc).expect("shred");
+        let tag = if with_index { "indexed" } else { "noindex" };
+        g.bench_function(format!("point/{tag}"), |b| {
+            b.iter(|| std::hint::black_box(store.query_count(point).expect("query")))
+        });
+        g.bench_function(format!("range/{tag}"), |b| {
+            b.iter(|| std::hint::black_box(store.query_count(range).expect("query")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

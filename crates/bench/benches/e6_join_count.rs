@@ -1,0 +1,47 @@
+//! E6 — joins in translated SQL per scheme on the DBLP corpus
+//! (Shanmugasundaram-style table). Prints the join matrix and times the
+//! plan analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlgen::dblp::{generate, DblpConfig, DBLP_DTD};
+use xmlgen::DBLP_QUERIES;
+use xmlrel_core::XmlStore;
+
+fn bench(c: &mut Criterion) {
+    let doc = generate(&DblpConfig { articles: 80, inproceedings: 50, seed: 11 });
+    let stores: Vec<XmlStore> = xmlrel::all_schemes(DBLP_DTD)
+        .expect("schemes")
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).expect("install");
+            store.load_document("dblp", &doc).expect("shred");
+            store
+        })
+        .collect();
+    eprintln!("\nE6 join counts (dblp):");
+    for q in DBLP_QUERIES {
+        let row: Vec<String> = stores
+            .iter()
+            .map(|s| match s.join_count(q.text) {
+                Ok(n) => format!("{}={n}", s.scheme().name()),
+                Err(_) => format!("{}=-", s.scheme().name()),
+            })
+            .collect();
+        eprintln!("  {:<4} {}", q.id, row.join(" "));
+    }
+    let mut g = c.benchmark_group("e6_join_count");
+    for store in &stores {
+        let name = store.scheme().name();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for q in DBLP_QUERIES {
+                    let _ = std::hint::black_box(store.join_count(q.text));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E7 — full-document reconstruction (publishing) time per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlrel_bench::{loaded_stores, BENCH_SCALE};
+
+fn bench(c: &mut Criterion) {
+    let stores = loaded_stores(BENCH_SCALE);
+    let mut g = c.benchmark_group("e7_reconstruct");
+    g.sample_size(20);
+    for store in &stores {
+        g.bench_function(store.scheme().name(), |b| {
+            b.iter(|| std::hint::black_box(store.reconstruct("auction").expect("rebuild")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E8 — subtree-insert cost: interval renumbering vs Dewey locality
+//! (Tatarinov et al. Fig. 8 shape). The inserted fragment is constant;
+//! the interval scheme's cost grows with the content following the
+//! insertion point while Dewey's does not.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shredder::{DeweyScheme, IntervalScheme};
+use xmlpar::Document;
+use xmlrel_bench::corpus;
+use xmlrel_core::update::{dewey_insert_child, interval_insert_child};
+use xmlrel_core::{Scheme, XmlStore};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_updates");
+    g.sample_size(10);
+    let frag = Document::parse("<person id=\"pX\"><name>N</name><emailaddress>e</emailaddress></person>")
+        .expect("fragment");
+    for scale in [0.1, 0.3] {
+        let doc = corpus(scale);
+        g.bench_function(format!("interval/scale{scale}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut store =
+                        XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+                    let (id, _) = store.load_document("a", &doc).expect("shred");
+                    let t = store.translate("/site/people").expect("translate");
+                    let rows = store.run_rows(&t).expect("rows");
+                    let pre = rows[0][1].as_int().expect("pre");
+                    (store, id, pre)
+                },
+                |(mut store, id, pre)| {
+                    interval_insert_child(&mut store.db, id, pre, &frag).expect("insert")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("dewey/scale{scale}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut store =
+                        XmlStore::new(Scheme::Dewey(DeweyScheme::new())).expect("install");
+                    let (id, _) = store.load_document("a", &doc).expect("shred");
+                    let t = store.translate("/site/people").expect("translate");
+                    let rows = store.run_rows(&t).expect("rows");
+                    let key = rows[0][1].as_text().expect("key").to_string();
+                    (store, id, key)
+                },
+                |(mut store, id, key)| {
+                    dewey_insert_child(&mut store.db, id, &key, &frag).expect("insert")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E9 — query latency vs corpus scale (scale-up figure), Q1 per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlrel_bench::loaded_stores;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_scaleup");
+    g.sample_size(20);
+    for scale in [0.1, 0.3, 0.6] {
+        let mut stores = loaded_stores(scale);
+        for store in stores.iter_mut() {
+            let id = format!("{}/scale{scale}", store.scheme().name());
+            g.bench_function(&id, |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        store
+                            .query_count("/site/regions/region/item/name")
+                            .expect("query"),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared setup for the experiment benchmarks.
+//!
+//! Each bench target regenerates one experiment from DESIGN.md §5. The
+//! printed tables come from `examples/experiments.rs`; these Criterion
+//! targets measure the same code paths with statistical rigor.
+
+#![warn(missing_docs)]
+
+use xmlgen::auction::{generate, AuctionConfig, AUCTION_DTD};
+use xmlrel_core::{Scheme, XmlStore};
+
+/// Default corpus scale for timing benches (small enough for Criterion's
+/// iteration counts).
+pub const BENCH_SCALE: f64 = 0.15;
+
+/// All six schemes over the auction DTD.
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Edge(shredder::EdgeScheme::new()),
+        Scheme::Binary(shredder::BinaryScheme::new()),
+        Scheme::Universal(shredder::UniversalScheme::new()),
+        Scheme::Interval(shredder::IntervalScheme::new()),
+        Scheme::Dewey(shredder::DeweyScheme::new()),
+        Scheme::Inline(
+            shredder::InlineScheme::from_dtd_text(AUCTION_DTD).expect("auction DTD maps"),
+        ),
+    ]
+}
+
+/// A store per scheme, loaded with the auction corpus at `scale`.
+pub fn loaded_stores(scale: f64) -> Vec<XmlStore> {
+    let doc = generate(&AuctionConfig::at_scale(scale));
+    schemes()
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).expect("install");
+            store.load_document("auction", &doc).expect("shred");
+            store
+        })
+        .collect()
+}
+
+/// The auction corpus document at `scale`.
+pub fn corpus(scale: f64) -> xmlpar::Document {
+    generate(&AuctionConfig::at_scale(scale))
+}

@@ -1,0 +1,151 @@
+//! Step compilation for the binary (label-partitioned) scheme: each step
+//! joins its label's own table; unknown labels provably select nothing.
+
+use reldb::{Database, Value};
+use shredder::BinaryScheme;
+use xqir::ast::NodeTest;
+
+use crate::compile::edge::add_join;
+use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{JoinMode, SqlBuilder};
+
+/// Binary-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct BinaryCompiler {
+    /// The scheme (carries the label registry and path summary).
+    pub scheme: BinaryScheme,
+}
+
+impl BinaryCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: BinaryScheme) -> BinaryCompiler {
+        BinaryCompiler { scheme }
+    }
+
+    fn element_table(&self, db: &Database, test: &NodeTest) -> Result<String> {
+        match test {
+            NodeTest::Name(n) => self
+                .scheme
+                .element_table(db, n)?
+                .ok_or(CoreError::EmptyResult),
+            NodeTest::Wildcard => Err(CoreError::Translate(
+                "wildcard steps must be path-expanded in the binary scheme".into(),
+            )),
+            NodeTest::Text => {
+                Err(CoreError::Translate("text() is not an element test".into()))
+            }
+        }
+    }
+}
+
+impl StepCompiler for BinaryCompiler {
+    fn scheme(&self) -> &'static str {
+        "binary"
+    }
+
+    fn native_recursive(&self) -> bool {
+        false
+    }
+
+    fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {
+        Ok(self.scheme.path_summary().paths(db, doc)?)
+    }
+
+    fn root_with_test(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let table = self.element_table(db, test)?;
+        let alias = b.add_table(&table);
+        b.cond(format!("{alias}.source IS NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        let label = match test {
+            NodeTest::Name(n) => n.clone(),
+            _ => String::new(),
+        };
+        Ok(NodeRef { alias, meta: NodeMeta::Labeled { label } })
+    }
+
+    fn child(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let table = self.element_table(db, test)?;
+        let alias = b.add_table(&table);
+        b.cond(format!("{alias}.source = {}.pre", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        let label = match test {
+            NodeTest::Name(n) => n.clone(),
+            _ => String::new(),
+        };
+        Ok(NodeRef { alias, meta: NodeMeta::Labeled { label } })
+    }
+
+    fn attr_value(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let Some(table) = self.scheme.attribute_table(db, name)? else {
+            // The attribute never occurs anywhere: its value is NULL.
+            return Ok("NULL".to_string());
+        };
+        let on = vec![
+            format!("__A.source = {}.pre", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+        ];
+        let alias = add_join(b, &table, mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn text_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let on = vec![
+            format!("__A.source = {}.pre", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+        ];
+        let alias = add_join(b, "bin_text", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.pre", ctx.alias)])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        Ok(format!("{}.pre", ctx.alias))
+    }
+
+    fn key_width(&self) -> usize {
+        2
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        decode_pre_key(vals)
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        Some(format!("{}.pre", ctx.alias))
+    }
+
+    fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
+        Some((format!("{}.source", ctx.alias), format!("{}.ordinal", ctx.alias)))
+    }
+}

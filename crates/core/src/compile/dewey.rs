@@ -1,0 +1,178 @@
+//! Step compilation for the Dewey scheme: child axis via the parent key,
+//! descendant axis via key-prefix `LIKE`, document order via lexicographic
+//! key order.
+
+use reldb::{Database, Value};
+use shredder::DeweyScheme;
+use xqir::ast::NodeTest;
+
+use crate::compile::edge::add_join;
+use crate::compile::{NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+
+/// Dewey-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct DeweyCompiler {
+    /// The scheme.
+    pub scheme: DeweyScheme,
+}
+
+impl DeweyCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: DeweyScheme) -> DeweyCompiler {
+        DeweyCompiler { scheme }
+    }
+
+    fn name_cond(alias: &str, test: &NodeTest) -> Result<Option<String>> {
+        Ok(match test {
+            NodeTest::Name(n) => Some(format!("{alias}.name = {}", sql_str(n))),
+            NodeTest::Wildcard => None,
+            NodeTest::Text => {
+                return Err(CoreError::Translate("text() is not an element test".into()))
+            }
+        })
+    }
+}
+
+impl StepCompiler for DeweyCompiler {
+    fn scheme(&self) -> &'static str {
+        "dewey"
+    }
+
+    fn native_recursive(&self) -> bool {
+        true
+    }
+
+    fn root_with_test(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("dnode");
+        b.cond(format!("{alias}.kind = 'elem'"));
+        b.cond(format!("{alias}.parent IS NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn child(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("dnode");
+        b.cond(format!("{alias}.parent = {}.dewey", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn descendant(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("dnode");
+        b.cond(format!("{alias}.dewey LIKE {}.dewey || '.%'", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn any_element(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("dnode");
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn attr_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let on = vec![
+            format!("__A.parent = {}.dewey", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'attr'".to_string(),
+            format!("__A.name = {}", sql_str(name)),
+        ];
+        let alias = add_join(b, "dnode", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn text_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let on = vec![
+            format!("__A.parent = {}.dewey", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'text'".to_string(),
+        ];
+        let alias = add_join(b, "dnode", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.dewey", ctx.alias)])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        Ok(format!("{}.dewey", ctx.alias))
+    }
+
+    fn key_width(&self) -> usize {
+        2
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        match (vals.first().and_then(Value::as_int), vals.get(1).and_then(Value::as_text)) {
+            (Some(doc), Some(key)) => Ok(NodeKey::Dewey { doc, key: key.to_string() }),
+            _ => Err(CoreError::Translate(format!("bad dewey key {vals:?}"))),
+        }
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        Some(format!("{}.dewey", ctx.alias))
+    }
+
+    fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
+        Some((format!("{}.parent", ctx.alias), format!("{}.dewey", ctx.alias)))
+    }
+}

@@ -1,0 +1,174 @@
+//! Step compilation for the edge scheme: one self-join per step.
+
+use reldb::{Database, Value};
+use shredder::EdgeScheme;
+use xqir::ast::NodeTest;
+
+use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+
+/// Edge-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct EdgeCompiler {
+    /// The scheme (carries table names and the path summary).
+    pub scheme: EdgeScheme,
+}
+
+impl EdgeCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: EdgeScheme) -> EdgeCompiler {
+        EdgeCompiler { scheme }
+    }
+
+    fn name_cond(alias: &str, test: &NodeTest) -> Result<Option<String>> {
+        Ok(match test {
+            NodeTest::Name(n) => Some(format!("{alias}.label = {}", sql_str(n))),
+            NodeTest::Wildcard => None,
+            NodeTest::Text => {
+                return Err(CoreError::Translate("text() is not an element test".into()))
+            }
+        })
+    }
+}
+
+impl StepCompiler for EdgeCompiler {
+    fn scheme(&self) -> &'static str {
+        "edge"
+    }
+
+    fn native_recursive(&self) -> bool {
+        false
+    }
+
+    fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {
+        Ok(self.scheme.path_summary().paths(db, doc)?)
+    }
+
+    fn root_with_test(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let _ = db;
+        let alias = b.add_table("edge");
+        b.cond(format!("{alias}.kind = 'elem'"));
+        b.cond(format!("{alias}.source IS NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn child(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let _ = db;
+        let alias = b.add_table("edge");
+        b.cond(format!("{alias}.source = {}.target", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn attr_value(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let _ = db;
+        let on = vec![
+            format!("__A.source = {}.target", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'attr'".to_string(),
+            format!("__A.label = {}", sql_str(name)),
+        ];
+        let alias = add_join(b, "edge", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn text_value(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let _ = db;
+        let on = vec![
+            format!("__A.source = {}.target", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'text'".to_string(),
+        ];
+        let alias = add_join(b, "edge", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.target", ctx.alias)])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        Ok(format!("{}.target", ctx.alias))
+    }
+
+    fn key_width(&self) -> usize {
+        2
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        decode_pre_key(vals)
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        Some(format!("{}.target", ctx.alias))
+    }
+
+    fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
+        Some((format!("{}.source", ctx.alias), format!("{}.ordinal", ctx.alias)))
+    }
+}
+
+/// Add a joined table whose ON conditions were written against the
+/// placeholder alias `__A`; the placeholder is rewritten to the fresh
+/// alias. Inner mode routes conditions to WHERE.
+pub(crate) fn add_join(
+    b: &mut SqlBuilder,
+    table: &str,
+    mode: JoinMode,
+    on: Vec<String>,
+) -> String {
+    match mode {
+        JoinMode::Inner => {
+            let alias = b.add_table(table);
+            for c in on {
+                b.cond(c.replace("__A", &alias));
+            }
+            alias
+        }
+        JoinMode::Left => {
+            // Resolve the alias first so ON conditions can reference it.
+            let alias_preview = format!("t{}", b.table_count());
+            let on: Vec<String> =
+                on.into_iter().map(|c| c.replace("__A", &alias_preview)).collect();
+            let alias = b.add_table_with(table, JoinMode::Left, on);
+            debug_assert_eq!(alias, alias_preview);
+            alias
+        }
+    }
+}

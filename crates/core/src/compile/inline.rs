@@ -1,0 +1,274 @@
+//! Step compilation for the DTD-inlining scheme: child steps into inlined
+//! elements stay on the *same* table row (no join — the scheme's whole
+//! point); steps into tabled elements join via `parent_id`/`parent_tbl`/
+//! `parent_path`. `//` and `*` are answered by enumerating the DTD graph
+//! (bounded for recursive DTDs), exactly as the original proposal does.
+
+use reldb::{Database, Value};
+use shredder::inline::{ColKind, InlineScheme};
+use xmlpar::dtd::Card;
+use xqir::ast::NodeTest;
+
+use crate::compile::edge::add_join;
+use crate::compile::{NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+
+/// Depth bound when enumerating recursive DTD paths. Documents nested
+/// deeper than this are not fully covered by `//` translation (the
+/// published approach shares this limitation absent recursive SQL).
+pub const DTD_PATH_DEPTH: usize = 16;
+
+/// Cap on enumerated DTD paths.
+pub const DTD_PATH_CAP: usize = 4096;
+
+/// Inline-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct InlineCompiler {
+    /// The scheme (owns the mapping).
+    pub scheme: InlineScheme,
+}
+
+impl InlineCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: InlineScheme) -> InlineCompiler {
+        InlineCompiler { scheme }
+    }
+
+    fn ctx_label<'a>(&self, ctx: &'a NodeRef) -> Result<&'a str> {
+        match &ctx.meta {
+            NodeMeta::Inline { anchor, path } => {
+                Ok(path.last().map(String::as_str).unwrap_or(anchor.as_str()))
+            }
+            _ => Err(CoreError::Translate("inline compiler got a foreign node".into())),
+        }
+    }
+}
+
+impl StepCompiler for InlineCompiler {
+    fn scheme(&self) -> &'static str {
+        "inline"
+    }
+
+    fn native_recursive(&self) -> bool {
+        false
+    }
+
+    fn concrete_paths(&self, _db: &Database, _doc: Option<i64>) -> Result<Vec<String>> {
+        // Enumerate label paths from the DTD graph (not the data): every
+        // path that a conforming document can contain, bounded for cycles.
+        let mapping = &self.scheme.mapping;
+        let mut out = Vec::new();
+        let mut stack = vec![(mapping.root.clone(), format!("/{}", mapping.root))];
+        while let Some((el, path)) = stack.pop() {
+            if out.len() >= DTD_PATH_CAP {
+                return Err(CoreError::Translate(format!(
+                    "DTD path enumeration exceeds {DTD_PATH_CAP} paths"
+                )));
+            }
+            let depth = path.matches('/').count();
+            out.push(path.clone());
+            if depth >= DTD_PATH_DEPTH {
+                continue;
+            }
+            if let Some(model) = mapping.models.get(&el) {
+                for (child, _) in &model.children {
+                    stack.push((child.clone(), format!("{path}/{child}")));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn root_with_test(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let NodeTest::Name(n) = test else {
+            return Err(CoreError::Translate(
+                "the inline scheme needs a named root step".into(),
+            ));
+        };
+        let Some(def) = self.scheme.mapping.tables.get(n) else {
+            return Err(CoreError::EmptyResult);
+        };
+        let alias = b.add_table(&def.table);
+        b.cond(format!("{alias}.parent_id IS NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Inline { anchor: n.clone(), path: Vec::new() } })
+    }
+
+    fn child(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let NodeTest::Name(m) = test else {
+            return Err(CoreError::Translate(
+                "wildcard steps must be DTD-expanded in the inline scheme".into(),
+            ));
+        };
+        let NodeMeta::Inline { anchor, path } = &ctx.meta else {
+            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+        };
+        let cur_label = self.ctx_label(ctx)?;
+        let model = self
+            .scheme
+            .mapping
+            .models
+            .get(cur_label)
+            .ok_or(CoreError::EmptyResult)?;
+        let Some((_, card)) = model.children.iter().find(|(c, _)| c == m) else {
+            return Err(CoreError::EmptyResult);
+        };
+        if self.scheme.mapping.is_tabled(m) {
+            let child_def = &self.scheme.mapping.tables[m];
+            let anchor_def = &self.scheme.mapping.tables[anchor.as_str()];
+            let alias = b.add_table(&child_def.table);
+            b.cond(format!("{alias}.parent_id = {}.id", ctx.alias));
+            b.cond(format!("{alias}.parent_tbl = {}", sql_str(&anchor_def.table)));
+            b.cond(format!("{alias}.parent_path = {}", sql_str(&path.join("/"))));
+            b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+            Ok(NodeRef {
+                alias,
+                meta: NodeMeta::Inline { anchor: m.clone(), path: Vec::new() },
+            })
+        } else {
+            // Inlined: stay on the same row.
+            let mut new_path = path.clone();
+            new_path.push(m.clone());
+            let def = &self.scheme.mapping.tables[anchor.as_str()];
+            if *card == Card::Opt {
+                if let Some(col) = def.find_col(&new_path, &ColKind::Present) {
+                    b.cond(format!("{}.{} IS NOT NULL", ctx.alias, col.column));
+                }
+            }
+            Ok(NodeRef {
+                alias: ctx.alias.clone(),
+                meta: NodeMeta::Inline { anchor: anchor.clone(), path: new_path },
+            })
+        }
+    }
+
+    fn attr_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        _mode: JoinMode,
+    ) -> Result<String> {
+        let _ = b;
+        let NodeMeta::Inline { anchor, path } = &ctx.meta else {
+            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+        };
+        let def = &self.scheme.mapping.tables[anchor.as_str()];
+        match def.find_col(path, &ColKind::Attr(name.to_string())) {
+            Some(col) => Ok(format!("{}.{}", ctx.alias, col.column)),
+            None => Ok("NULL".to_string()),
+        }
+    }
+
+    fn text_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let NodeMeta::Inline { anchor, path } = &ctx.meta else {
+            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+        };
+        let def = &self.scheme.mapping.tables[anchor.as_str()];
+        if path.is_empty() && def.mixed {
+            let on = vec![
+                format!("__A.tbl = {}", sql_str(&def.table)),
+                format!("__A.parent_id = {}.id", ctx.alias),
+                format!("__A.doc = {}.doc", ctx.alias),
+            ];
+            let alias = add_join(b, "inl_text", mode, on);
+            return Ok(format!("{alias}.value"));
+        }
+        match def.find_col(path, &ColKind::Pcdata) {
+            Some(col) => Ok(format!("{}.{}", ctx.alias, col.column)),
+            None => Ok("NULL".to_string()),
+        }
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        let NodeMeta::Inline { anchor, path } = &ctx.meta else {
+            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+        };
+        Ok(vec![
+            format!("{}.doc", ctx.alias),
+            sql_str(anchor),
+            format!("{}.id", ctx.alias),
+            sql_str(&path.join("/")),
+        ])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        let NodeMeta::Inline { anchor, path } = &ctx.meta else {
+            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+        };
+        if path.is_empty() {
+            return Ok(format!("{}.id", ctx.alias));
+        }
+        let def = &self.scheme.mapping.tables[anchor.as_str()];
+        if let Some(col) = def.find_col(path, &ColKind::Present) {
+            return Ok(format!("{}.{}", ctx.alias, col.column));
+        }
+        if let Some(col) = def.find_col(path, &ColKind::Pcdata) {
+            return Ok(format!("{}.{}", ctx.alias, col.column));
+        }
+        // Mandatory inlined element: exists whenever the row does.
+        Ok(format!("{}.id", ctx.alias))
+    }
+
+    fn key_width(&self) -> usize {
+        4
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        match (
+            vals.first().and_then(Value::as_int),
+            vals.get(1).and_then(Value::as_text),
+            vals.get(2).and_then(Value::as_int),
+            vals.get(3).and_then(Value::as_text),
+        ) {
+            (Some(doc), Some(anchor), Some(id), Some(path)) => Ok(NodeKey::Inline {
+                doc,
+                anchor: anchor.to_string(),
+                id,
+                path: if path.is_empty() {
+                    Vec::new()
+                } else {
+                    path.split('/').map(str::to_string).collect()
+                },
+            }),
+            _ => Err(CoreError::Translate(format!("bad inline key {vals:?}"))),
+        }
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        // Surrogate ids are assigned in document order during shredding, so
+        // they give a coarse (anchor-level) document order.
+        match &ctx.meta {
+            NodeMeta::Inline { .. } => Some(format!("{}.id", ctx.alias)),
+            _ => None,
+        }
+    }
+
+    fn positional_exprs(&self, _ctx: &NodeRef) -> Option<(String, String)> {
+        None
+    }
+}

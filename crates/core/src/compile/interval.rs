@@ -1,0 +1,178 @@
+//! Step compilation for the interval (pre/size/level) scheme: the
+//! descendant axis is a range predicate, executed by the engine's
+//! interval (structural) join.
+
+use reldb::{Database, Value};
+use shredder::IntervalScheme;
+use xqir::ast::NodeTest;
+
+use crate::compile::edge::add_join;
+use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+
+/// Interval-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct IntervalCompiler {
+    /// The scheme.
+    pub scheme: IntervalScheme,
+}
+
+impl IntervalCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: IntervalScheme) -> IntervalCompiler {
+        IntervalCompiler { scheme }
+    }
+
+    fn name_cond(alias: &str, test: &NodeTest) -> Result<Option<String>> {
+        Ok(match test {
+            NodeTest::Name(n) => Some(format!("{alias}.name = {}", sql_str(n))),
+            NodeTest::Wildcard => None,
+            NodeTest::Text => {
+                return Err(CoreError::Translate("text() is not an element test".into()))
+            }
+        })
+    }
+}
+
+impl StepCompiler for IntervalCompiler {
+    fn scheme(&self) -> &'static str {
+        "interval"
+    }
+
+    fn native_recursive(&self) -> bool {
+        true
+    }
+
+    fn root_with_test(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("inode");
+        b.cond(format!("{alias}.kind = 'elem'"));
+        b.cond(format!("{alias}.parent IS NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn child(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("inode");
+        b.cond(format!("{alias}.parent = {}.pre", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn descendant(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("inode");
+        // The interval containment condition — picked up by the engine's
+        // IntervalJoin operator.
+        b.cond(format!("{alias}.pre > {}.pre", ctx.alias));
+        b.cond(format!("{alias}.pre <= {0}.pre + {0}.size", ctx.alias));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn any_element(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let alias = b.add_table("inode");
+        b.cond(format!("{alias}.kind = 'elem'"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        if let Some(c) = Self::name_cond(&alias, test)? {
+            b.cond(c);
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+    }
+
+    fn attr_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let on = vec![
+            format!("__A.parent = {}.pre", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'attr'".to_string(),
+            format!("__A.name = {}", sql_str(name)),
+        ];
+        let alias = add_join(b, "inode", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn text_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let on = vec![
+            format!("__A.parent = {}.pre", ctx.alias),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.kind = 'text'".to_string(),
+        ];
+        let alias = add_join(b, "inode", mode, on);
+        Ok(format!("{alias}.value"))
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.pre", ctx.alias)])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        Ok(format!("{}.pre", ctx.alias))
+    }
+
+    fn key_width(&self) -> usize {
+        2
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        decode_pre_key(vals)
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        Some(format!("{}.pre", ctx.alias))
+    }
+
+    fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
+        Some((format!("{}.parent", ctx.alias), format!("{}.pre", ctx.alias)))
+    }
+}

@@ -1,0 +1,178 @@
+//! Step compilation for the universal-relation scheme: one `univ` row per
+//! (source, k); a node is the `t_<stem>` column of a row, so the child
+//! axis joins the next row group on `src`.
+
+use std::collections::BTreeMap;
+
+use reldb::{Database, Value};
+use shredder::UniversalScheme;
+use xqir::ast::NodeTest;
+
+use crate::compile::edge::add_join;
+use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::error::{CoreError, Result};
+use crate::sqlgen::{JoinMode, SqlBuilder};
+
+/// Universal-scheme compiler.
+#[derive(Debug, Clone)]
+pub struct UniversalCompiler {
+    /// The scheme.
+    pub scheme: UniversalScheme,
+}
+
+impl UniversalCompiler {
+    /// Wrap a scheme.
+    pub fn new(scheme: UniversalScheme) -> UniversalCompiler {
+        UniversalCompiler { scheme }
+    }
+
+    fn stems(&self, db: &Database) -> Result<BTreeMap<(String, String), String>> {
+        Ok(self
+            .scheme
+            .label_columns(db)?
+            .into_iter()
+            .map(|c| ((c.label, c.kind), c.stem))
+            .collect())
+    }
+
+    fn elem_stem(&self, db: &Database, test: &NodeTest) -> Result<String> {
+        match test {
+            NodeTest::Name(n) => self
+                .stems(db)?
+                .get(&(n.clone(), "elem".to_string()))
+                .cloned()
+                .ok_or(CoreError::EmptyResult),
+            NodeTest::Wildcard => Err(CoreError::Translate(
+                "wildcard steps must be path-expanded in the universal scheme".into(),
+            )),
+            NodeTest::Text => {
+                Err(CoreError::Translate("text() is not an element test".into()))
+            }
+        }
+    }
+
+    fn node_expr(ctx: &NodeRef) -> Result<String> {
+        match &ctx.meta {
+            NodeMeta::Universal { stem } => Ok(format!("{}.t_{stem}", ctx.alias)),
+            _ => Err(CoreError::Translate("universal compiler got a foreign node".into())),
+        }
+    }
+}
+
+impl StepCompiler for UniversalCompiler {
+    fn scheme(&self) -> &'static str {
+        "universal"
+    }
+
+    fn native_recursive(&self) -> bool {
+        false
+    }
+
+    fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {
+        Ok(self.scheme.path_summary().paths(db, doc)?)
+    }
+
+    fn root_with_test(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        doc: Option<i64>,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        if !db.catalog.has_table("univ") {
+            return Err(CoreError::EmptyResult);
+        }
+        let stem = self.elem_stem(db, test)?;
+        let alias = b.add_table("univ");
+        b.cond(format!("{alias}.src IS NULL"));
+        b.cond(format!("{alias}.t_{stem} IS NOT NULL"));
+        if let Some(d) = doc {
+            b.cond(format!("{alias}.doc = {d}"));
+        }
+        Ok(NodeRef { alias, meta: NodeMeta::Universal { stem } })
+    }
+
+    fn child(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        test: &NodeTest,
+    ) -> Result<NodeRef> {
+        let stem = self.elem_stem(db, test)?;
+        let parent = Self::node_expr(ctx)?;
+        let alias = b.add_table("univ");
+        b.cond(format!("{alias}.src = {parent}"));
+        b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
+        b.cond(format!("{alias}.t_{stem} IS NOT NULL"));
+        Ok(NodeRef { alias, meta: NodeMeta::Universal { stem } })
+    }
+
+    fn attr_value(
+        &self,
+        db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        name: &str,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let Some(stem) = self
+            .stems(db)?
+            .get(&(name.to_string(), "attr".to_string()))
+            .cloned()
+        else {
+            return Ok("NULL".to_string());
+        };
+        let node = Self::node_expr(ctx)?;
+        let on = vec![
+            format!("__A.src = {node}"),
+            format!("__A.doc = {}.doc", ctx.alias),
+            format!("__A.a_{stem} IS NOT NULL"),
+        ];
+        let alias = add_join(b, "univ", mode, on);
+        Ok(format!("{alias}.a_{stem}"))
+    }
+
+    fn text_value(
+        &self,
+        _db: &Database,
+        b: &mut SqlBuilder,
+        ctx: &NodeRef,
+        mode: JoinMode,
+    ) -> Result<String> {
+        let node = Self::node_expr(ctx)?;
+        let on = vec![
+            format!("__A.src = {node}"),
+            format!("__A.doc = {}.doc", ctx.alias),
+            "__A.t_text IS NOT NULL".to_string(),
+        ];
+        let alias = add_join(b, "univ", mode, on);
+        Ok(format!("{alias}.v_text"))
+    }
+
+    fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
+        Ok(vec![format!("{}.doc", ctx.alias), Self::node_expr(ctx)?])
+    }
+
+    fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
+        Self::node_expr(ctx)
+    }
+
+    fn key_width(&self) -> usize {
+        2
+    }
+
+    fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
+        decode_pre_key(vals)
+    }
+
+    fn order_expr(&self, ctx: &NodeRef) -> Option<String> {
+        Self::node_expr(ctx).ok()
+    }
+
+    fn positional_exprs(&self, _ctx: &NodeRef) -> Option<(String, String)> {
+        // Positional predicates would need per-label ordinal columns in the
+        // predicate position; unsupported (as in the original proposal).
+        None
+    }
+}

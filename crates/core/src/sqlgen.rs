@@ -1,0 +1,156 @@
+//! SQL text assembly for translated queries.
+
+/// How a table participates in the generated FROM clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Regular join (conditions go to WHERE; the engine's optimizer folds
+    /// them into join conditions).
+    Inner,
+    /// LEFT OUTER JOIN (used for predicate branches under `or`, where an
+    /// absent value must not eliminate the candidate node).
+    Left,
+}
+
+/// Accumulates FROM items and WHERE conjuncts while a path is compiled,
+/// and renders the final SELECT.
+#[derive(Debug, Default, Clone)]
+pub struct SqlBuilder {
+    tables: Vec<(String, String, JoinMode, Vec<String>)>,
+    wheres: Vec<String>,
+    next_alias: usize,
+}
+
+impl SqlBuilder {
+    /// Fresh builder.
+    pub fn new() -> SqlBuilder {
+        SqlBuilder::default()
+    }
+
+    /// Reserve a new table alias.
+    pub fn fresh_alias(&mut self) -> String {
+        let a = format!("t{}", self.next_alias);
+        self.next_alias += 1;
+        a
+    }
+
+    /// Add a table with a regular join; returns its alias.
+    pub fn add_table(&mut self, table: &str) -> String {
+        let alias = self.fresh_alias();
+        self.tables.push((table.to_string(), alias.clone(), JoinMode::Inner, Vec::new()));
+        alias
+    }
+
+    /// Add a table with an explicit mode and ON conditions.
+    pub fn add_table_with(
+        &mut self,
+        table: &str,
+        mode: JoinMode,
+        on: Vec<String>,
+    ) -> String {
+        let alias = self.fresh_alias();
+        self.tables.push((table.to_string(), alias, mode, on));
+        self.tables.last().expect("just pushed").1.clone()
+    }
+
+    /// Add a WHERE conjunct.
+    pub fn cond(&mut self, c: impl Into<String>) {
+        self.wheres.push(c.into());
+    }
+
+    /// Number of tables so far.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Render `SELECT {select} FROM ... WHERE ...` (no ORDER BY/DISTINCT —
+    /// the caller wraps as needed).
+    pub fn render(&self, select: &str, distinct: bool) -> String {
+        let mut sql = String::from("SELECT ");
+        if distinct {
+            sql.push_str("DISTINCT ");
+        }
+        sql.push_str(select);
+        if self.tables.is_empty() {
+            return sql;
+        }
+        sql.push_str(" FROM ");
+        for (i, (table, alias, mode, on)) in self.tables.iter().enumerate() {
+            if i == 0 {
+                sql.push_str(&format!("{table} {alias}"));
+                continue;
+            }
+            match mode {
+                JoinMode::Inner => {
+                    // Rendered as comma joins + WHERE; the optimizer turns
+                    // them into proper joins with pushed-down conditions.
+                    sql.push_str(&format!(", {table} {alias}"));
+                }
+                JoinMode::Left => {
+                    let cond = if on.is_empty() { "1 = 1".to_string() } else { on.join(" AND ") };
+                    sql.push_str(&format!(" LEFT JOIN {table} {alias} ON {cond}"));
+                }
+            }
+        }
+        // Inner-mode ON conditions live in WHERE.
+        let mut wheres: Vec<String> = Vec::new();
+        for (_, _, mode, on) in &self.tables {
+            if *mode == JoinMode::Inner {
+                wheres.extend(on.iter().cloned());
+            }
+        }
+        wheres.extend(self.wheres.iter().cloned());
+        if !wheres.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&wheres.join(" AND "));
+        }
+        sql
+    }
+}
+
+/// Quote a string as a SQL literal.
+pub fn sql_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_comma_joins_and_where() {
+        let mut b = SqlBuilder::new();
+        let a0 = b.add_table("edge");
+        let a1 = b.add_table_with("edge", JoinMode::Inner, vec![format!("{a1}.source = {a0}.target", a1 = "t1")]);
+        b.cond(format!("{a0}.doc = 1"));
+        let sql = b.render(&format!("{a1}.target"), true);
+        assert_eq!(
+            sql,
+            "SELECT DISTINCT t1.target FROM edge t0, edge t1 \
+             WHERE t1.source = t0.target AND t0.doc = 1"
+        );
+    }
+
+    #[test]
+    fn renders_left_joins_with_on() {
+        let mut b = SqlBuilder::new();
+        let a0 = b.add_table("inode");
+        let a1 = b.add_table_with(
+            "inode",
+            JoinMode::Left,
+            vec![format!("t1.parent = {a0}.pre")],
+        );
+        let sql = b.render(&format!("{a0}.pre, {a1}.value"), false);
+        assert!(sql.contains("LEFT JOIN inode t1 ON t1.parent = t0.pre"), "{sql}");
+    }
+
+    #[test]
+    fn sql_str_escapes() {
+        assert_eq!(sql_str("O'Brien"), "'O''Brien'");
+    }
+
+    #[test]
+    fn no_tables_scalar_select() {
+        let b = SqlBuilder::new();
+        assert_eq!(b.render("1", false), "SELECT 1");
+    }
+}

@@ -1,0 +1,359 @@
+//! `XmlStore`: the user-facing API — store XML in the relational engine,
+//! retrieve it with XPath/XQuery.
+
+use std::collections::HashMap;
+
+use reldb::{Database, Value};
+use shredder::{
+    docstore, BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme,
+    MappingScheme, ShredStats, StorageStats, UniversalScheme,
+};
+use xmlpar::Document;
+use xqir::parse_query;
+
+use crate::compile::driver::{compile_query, OutKind, Slot, Template, Translated};
+use crate::compile::{
+    binary::BinaryCompiler, dewey::DeweyCompiler, edge::EdgeCompiler, inline::InlineCompiler,
+    interval::IntervalCompiler, universal::UniversalCompiler, NodeKey, StepCompiler,
+};
+use crate::error::{CoreError, Result};
+use crate::publish;
+
+/// Which mapping scheme a store uses.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// Edge table.
+    Edge(EdgeScheme),
+    /// Binary (label-partitioned).
+    Binary(BinaryScheme),
+    /// Universal relation.
+    Universal(UniversalScheme),
+    /// Interval (pre/size/level).
+    Interval(IntervalScheme),
+    /// Dewey order keys.
+    Dewey(DeweyScheme),
+    /// DTD shared inlining.
+    Inline(InlineScheme),
+}
+
+impl Scheme {
+    /// The scheme's name.
+    pub fn name(&self) -> &'static str {
+        self.ops().name()
+    }
+
+    /// Borrow as the shredder trait object.
+    pub fn ops(&self) -> &dyn MappingScheme {
+        match self {
+            Scheme::Edge(s) => s,
+            Scheme::Binary(s) => s,
+            Scheme::Universal(s) => s,
+            Scheme::Interval(s) => s,
+            Scheme::Dewey(s) => s,
+            Scheme::Inline(s) => s,
+        }
+    }
+
+    fn compiler(&self) -> Box<dyn StepCompiler + '_> {
+        match self {
+            Scheme::Edge(s) => Box::new(EdgeCompiler::new(s.clone())),
+            Scheme::Binary(s) => Box::new(BinaryCompiler::new(s.clone())),
+            Scheme::Universal(s) => Box::new(UniversalCompiler::new(s.clone())),
+            Scheme::Interval(s) => Box::new(IntervalCompiler::new(s.clone())),
+            Scheme::Dewey(s) => Box::new(DeweyCompiler::new(s.clone())),
+            Scheme::Inline(s) => Box::new(InlineCompiler::new(s.clone())),
+        }
+    }
+
+    fn publish_key(&self, db: &Database, key: &NodeKey) -> Result<String> {
+        match (self, key) {
+            (Scheme::Edge(s), NodeKey::Pre { doc, pre }) => {
+                publish::publish_edge(db, s, *doc, *pre)
+            }
+            (Scheme::Binary(s), NodeKey::Pre { doc, pre }) => {
+                publish::publish_binary(db, s, *doc, *pre)
+            }
+            (Scheme::Universal(s), NodeKey::Pre { doc, pre }) => {
+                publish::publish_universal(db, s, *doc, *pre)
+            }
+            (Scheme::Interval(s), NodeKey::Pre { doc, pre }) => {
+                publish::publish_interval(db, s, *doc, *pre)
+            }
+            (Scheme::Dewey(s), NodeKey::Dewey { doc, key }) => {
+                publish::publish_dewey(db, s, *doc, key)
+            }
+            (Scheme::Inline(s), NodeKey::Inline { doc, anchor, id, path }) => {
+                publish::publish_inline(db, s, *doc, anchor, *id, path)
+            }
+            _ => Err(CoreError::Translate("node key does not match the scheme".into())),
+        }
+    }
+}
+
+/// A query result: serialized fragments or string values, in document
+/// order where the scheme guarantees one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// One entry per result item.
+    pub items: Vec<String>,
+}
+
+impl QueryOutput {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items matched.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// An XML store: one relational database + one mapping scheme.
+pub struct XmlStore {
+    /// The underlying relational database (exposed for EXPLAIN, storage
+    /// accounting, and the benchmark harness).
+    pub db: Database,
+    scheme: Scheme,
+}
+
+impl XmlStore {
+    /// Create a store: installs the scheme's tables.
+    pub fn new(scheme: Scheme) -> Result<XmlStore> {
+        let mut db = Database::new();
+        docstore::install(&mut db)?;
+        scheme.ops().install(&mut db)?;
+        Ok(XmlStore { db, scheme })
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Parse and store a document under `name`; returns (doc id, stats).
+    pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(i64, ShredStats)> {
+        let doc = Document::parse(xml)?;
+        self.load_document(name, &doc)
+    }
+
+    /// Store an already-parsed document.
+    pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(i64, ShredStats)> {
+        if docstore::lookup(&self.db, name)?.is_some() {
+            return Err(CoreError::Translate(format!("document {name:?} already loaded")));
+        }
+        let id = docstore::register(&mut self.db, name)?;
+        let stats = self.scheme.ops().shred(&mut self.db, id, doc)?;
+        Ok((id, stats))
+    }
+
+    /// Document id by name.
+    pub fn doc_id(&self, name: &str) -> Result<i64> {
+        docstore::lookup(&self.db, name)?
+            .ok_or_else(|| CoreError::NoSuchDocument(name.to_string()))
+    }
+
+    /// Remove a document.
+    pub fn remove(&mut self, name: &str) -> Result<usize> {
+        let id = self.doc_id(name)?;
+        let n = self.scheme.ops().delete_document(&mut self.db, id)?;
+        docstore::unregister(&mut self.db, id)?;
+        Ok(n)
+    }
+
+    /// Reconstruct a whole document as XML text.
+    pub fn reconstruct(&self, name: &str) -> Result<String> {
+        let id = self.doc_id(name)?;
+        let doc = self.scheme.ops().reconstruct(&self.db, id)?;
+        Ok(xmlpar::serialize::to_string(&doc))
+    }
+
+    /// Translate a query to SQL without running it.
+    pub fn translate(&self, query_text: &str) -> Result<Translated> {
+        let query = parse_query(query_text)?;
+        let compiler = self.scheme.compiler();
+        match compile_query(compiler.as_ref(), &self.db, &query, None) {
+            Err(CoreError::EmptyResult) => Ok(Translated {
+                sql: "SELECT NULL LIMIT 0".into(),
+                out: OutKind::Values { col: 0 },
+                key_width: compiler.key_width(),
+                positional: None,
+            }),
+            other => other,
+        }
+    }
+
+    /// Translate a query scoped to one document.
+    pub fn translate_for(&self, query_text: &str, doc: &str) -> Result<Translated> {
+        let id = self.doc_id(doc)?;
+        let query = parse_query(query_text)?;
+        let compiler = self.scheme.compiler();
+        match compile_query(compiler.as_ref(), &self.db, &query, Some(id)) {
+            Err(CoreError::EmptyResult) => Ok(Translated {
+                sql: "SELECT NULL LIMIT 0".into(),
+                out: OutKind::Values { col: 0 },
+                key_width: compiler.key_width(),
+                positional: None,
+            }),
+            other => other,
+        }
+    }
+
+    /// Run a query across all loaded documents.
+    pub fn query(&mut self, query_text: &str) -> Result<QueryOutput> {
+        let t = self.translate(query_text)?;
+        self.run_translated(&t)
+    }
+
+    /// Run a query against one document.
+    pub fn query_doc(&mut self, name: &str, query_text: &str) -> Result<QueryOutput> {
+        let t = self.translate_for(query_text, name)?;
+        self.run_translated(&t)
+    }
+
+    /// Number of matches without publishing. Consistent with
+    /// [`XmlStore::query`]: for value results, NULLs (absent attributes /
+    /// empty text) do not count.
+    pub fn query_count(&mut self, query_text: &str) -> Result<usize> {
+        let t = self.translate(query_text)?;
+        let rows = self.run_rows(&t)?;
+        Ok(match &t.out {
+            OutKind::Values { col } => {
+                rows.iter().filter(|r| !r[*col].is_null()).count()
+            }
+            _ => rows.len(),
+        })
+    }
+
+    /// Execute a translated query and publish its results.
+    pub fn run_translated(&mut self, t: &Translated) -> Result<QueryOutput> {
+        let rows = self.run_rows(t)?;
+        let compiler = self.scheme.compiler();
+        let mut items = Vec::with_capacity(rows.len());
+        match &t.out {
+            OutKind::Values { col } => {
+                for row in &rows {
+                    match &row[*col] {
+                        Value::Null => {}
+                        v => items.push(v.to_string()),
+                    }
+                }
+            }
+            OutKind::Nodes => {
+                for row in &rows {
+                    let key = compiler.decode_key(&row[..t.key_width])?;
+                    items.push(self.scheme.publish_key(&self.db, &key)?);
+                }
+            }
+            OutKind::Constructed(template) => {
+                for row in &rows {
+                    let mut s = String::new();
+                    self.render_template(template, row, compiler.as_ref(), &mut s)?;
+                    items.push(s);
+                }
+            }
+        }
+        Ok(QueryOutput { items })
+    }
+
+    /// Execute a translated query, returning the raw rows after positional
+    /// post-processing.
+    pub fn run_rows(&mut self, t: &Translated) -> Result<Vec<Vec<Value>>> {
+        let result = self.db.query(&t.sql)?;
+        let mut rows = result.rows;
+        if let Some(p) = t.positional {
+            // Per parent: rank the DISTINCT sibling-order values and keep
+            // every row whose anchor node is the n-th sibling. (The anchor
+            // step may be an interior step, so several result rows can
+            // share one anchor node.)
+            let mut groups: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+            let mut order: Vec<String> = Vec::new();
+            for row in rows {
+                let parent = row[p.parent_col].to_string();
+                if !groups.contains_key(&parent) {
+                    order.push(parent.clone());
+                }
+                groups.entry(parent).or_default().push(row);
+            }
+            let mut kept = Vec::new();
+            for parent in order {
+                let g = groups.remove(&parent).expect("group exists");
+                let mut distinct: Vec<&Value> = g.iter().map(|r| &r[p.order_col]).collect();
+                distinct.sort();
+                distinct.dedup();
+                let idx = (p.n as usize).saturating_sub(1);
+                let Some(target) = distinct.get(idx) else { continue };
+                let target = (*target).clone();
+                for row in g {
+                    if row[p.order_col] == target {
+                        kept.push(row);
+                    }
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+
+    fn render_template(
+        &self,
+        template: &Template,
+        row: &[Value],
+        compiler: &dyn StepCompiler,
+        out: &mut String,
+    ) -> Result<()> {
+        out.push('<');
+        out.push_str(&template.name);
+        for (k, v) in &template.attrs {
+            out.push_str(&format!(" {k}=\"{}\"", xmlpar::escape::escape_attr(v)));
+        }
+        if template.children.is_empty() {
+            out.push_str("/>");
+            return Ok(());
+        }
+        out.push('>');
+        for child in &template.children {
+            match child {
+                Slot::Text(t) => out.push_str(&xmlpar::escape::escape_text(t)),
+                Slot::Value(col) => {
+                    if let Some(v) = row.get(*col) {
+                        if !v.is_null() {
+                            out.push_str(&xmlpar::escape::escape_text(&v.to_string()));
+                        }
+                    }
+                }
+                Slot::Node(start) => {
+                    let key = compiler.decode_key(&row[*start..*start + compiler.key_width()])?;
+                    out.push_str(&self.scheme.publish_key(&self.db, &key)?);
+                }
+                Slot::Nested(t) => self.render_template(t, row, compiler, out)?,
+            }
+        }
+        out.push_str("</");
+        out.push_str(&template.name);
+        out.push('>');
+        Ok(())
+    }
+
+    /// Storage accounting for the scheme's tables.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.scheme.ops().storage_stats(&self.db)
+    }
+
+    /// Number of joins in the translated SQL's logical plan (experiment
+    /// E6's metric).
+    pub fn join_count(&self, query_text: &str) -> Result<usize> {
+        let t = self.translate(query_text)?;
+        let (logical, _) = self.db.plan_select(&t.sql)?;
+        Ok(logical.join_count())
+    }
+
+    /// List loaded documents.
+    pub fn documents(&self) -> Result<Vec<(i64, String)>> {
+        Ok(docstore::list(&self.db)?
+            .into_iter()
+            .map(|d| (d.id, d.name))
+            .collect())
+    }
+}

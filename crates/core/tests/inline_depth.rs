@@ -1,0 +1,112 @@
+//! Deep inlining behavior: chains of single-occurrence elements collapse
+//! into one table, so paths through them translate with (almost) no joins
+//! — the scheme's defining property, checked structurally.
+
+use shredder::{EdgeScheme, InlineScheme};
+use xmlrel_core::{Scheme, XmlStore};
+
+/// a → b → c → d all single-occurrence: everything inlines into `r`'s
+/// table except `r` itself.
+const CHAIN_DTD: &str = r#"
+<!ELEMENT r (a)>
+<!ELEMENT a (b, z?)>
+<!ELEMENT b (c)>
+<!ELEMENT c (#PCDATA)>
+<!ATTLIST c kind CDATA #IMPLIED>
+<!ELEMENT z (#PCDATA)>
+"#;
+
+const CHAIN_XML: &str =
+    r#"<r><a><b><c kind="leaf">deep value</c></b><z>zed</z></a></r>"#;
+
+fn stores() -> (XmlStore, XmlStore) {
+    let mut inline = XmlStore::new(Scheme::Inline(
+        InlineScheme::from_dtd_text(CHAIN_DTD).unwrap(),
+    ))
+    .unwrap();
+    inline.load_str("d", CHAIN_XML).unwrap();
+    let mut edge = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    edge.load_str("d", CHAIN_XML).unwrap();
+    (inline, edge)
+}
+
+#[test]
+fn whole_chain_lives_in_one_table() {
+    let (inline, _) = stores();
+    let Scheme::Inline(s) = inline.scheme() else { unreachable!() };
+    // Only r is tabled; a, b, c, z are columns of inl_r.
+    assert!(s.mapping.is_tabled("r"));
+    for el in ["a", "b", "c", "z"] {
+        assert!(!s.mapping.is_tabled(el), "{el} should be inlined");
+    }
+    assert_eq!(s.mapping.table_count(), 2); // inl_r + inl_text
+}
+
+#[test]
+fn four_step_path_needs_zero_joins_on_inline() {
+    let (inline, edge) = stores();
+    let q = "/r/a/b/c/text()";
+    assert_eq!(inline.join_count(q).unwrap(), 0);
+    // Edge needs one self-join per step plus the text join.
+    assert_eq!(edge.join_count(q).unwrap(), 4);
+}
+
+#[test]
+fn deep_values_and_attributes_answered_correctly() {
+    let (mut inline, mut edge) = stores();
+    for store in [&mut inline, &mut edge] {
+        let name = store.scheme().name();
+        assert_eq!(
+            store.query("/r/a/b/c/text()").unwrap().items,
+            vec!["deep value"],
+            "{name}"
+        );
+        assert_eq!(
+            store.query("/r/a/b/c/@kind").unwrap().items,
+            vec!["leaf"],
+            "{name}"
+        );
+        assert_eq!(store.query("/r/a/z/text()").unwrap().items, vec!["zed"], "{name}");
+        // Predicate deep inside the inlined chain.
+        assert_eq!(
+            store
+                .query("/r/a[b/c = 'deep value']/z/text()")
+                .unwrap()
+                .items,
+            vec!["zed"],
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn publishing_inlined_interior_nodes() {
+    let (mut inline, _) = stores();
+    // Selecting an INLINED element publishes its subtree from columns.
+    let got = inline.query("/r/a/b").unwrap();
+    assert_eq!(got.items, vec![r#"<b><c kind="leaf">deep value</c></b>"#]);
+    let got = inline.query("/r/a").unwrap();
+    assert_eq!(
+        got.items,
+        vec![r#"<a><b><c kind="leaf">deep value</c></b><z>zed</z></a>"#]
+    );
+}
+
+#[test]
+fn optional_tail_absent_vs_present() {
+    let mut inline = XmlStore::new(Scheme::Inline(
+        InlineScheme::from_dtd_text(CHAIN_DTD).unwrap(),
+    ))
+    .unwrap();
+    inline
+        .load_str("noz", "<r><a><b><c>v</c></b></a></r>")
+        .unwrap();
+    // z is absent: existence predicate must filter out.
+    assert!(inline.query("/r/a[z]/b/c/text()").unwrap().is_empty());
+    assert_eq!(inline.query("/r/a/b/c/text()").unwrap().items, vec!["v"]);
+    // The reconstructed doc has no <z/>.
+    assert_eq!(
+        inline.reconstruct("noz").unwrap(),
+        "<r><a><b><c>v</c></b></a></r>"
+    );
+}

@@ -1,0 +1,180 @@
+//! The translator's documented limits: unsupported constructs must fail
+//! with clear `Translate` errors (never wrong answers), and the supported
+//! edge of each feature must keep working.
+
+use shredder::{DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, UniversalScheme};
+use xmlrel_core::{CoreError, Scheme, XmlStore};
+
+const DTD: &str = r#"
+<!ELEMENT r (a*, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST a x CDATA #IMPLIED>
+<!ELEMENT b (#PCDATA)>
+"#;
+
+const XML: &str = r#"<r><a x="1">one</a><a x="2">two</a><b>bee</b></r>"#;
+
+fn interval_store() -> XmlStore {
+    let mut s = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    s.load_str("d", XML).unwrap();
+    s
+}
+
+#[test]
+fn not_predicate_rejected_cleanly() {
+    let mut s = interval_store();
+    let err = s.query("/r/a[not(@x = '1')]").unwrap_err();
+    assert!(matches!(err, CoreError::Translate(m) if m.contains("not(")));
+}
+
+#[test]
+fn descendant_inside_predicate_rejected_on_expansion_schemes() {
+    let mut s = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    s.load_str("d", XML).unwrap();
+    let err = s.query("/r[//a = 'one']/b").unwrap_err();
+    assert!(matches!(err, CoreError::Translate(_)));
+    // The same predicate works on a native scheme.
+    let mut s = interval_store();
+    assert_eq!(s.query("/r[//a = 'one']/b/text()").unwrap().items, vec!["bee"]);
+}
+
+#[test]
+fn positional_on_inline_and_universal_rejected() {
+    for scheme in [
+        Scheme::Inline(InlineScheme::from_dtd_text(DTD).unwrap()),
+        Scheme::Universal(UniversalScheme),
+    ] {
+        let mut s = XmlStore::new(scheme).unwrap();
+        s.load_str("d", XML).unwrap();
+        let err = s.query("/r/a[2]").unwrap_err();
+        assert!(matches!(err, CoreError::Translate(_)), "{}", s.scheme().name());
+    }
+}
+
+#[test]
+fn two_positionals_rejected() {
+    let mut s = interval_store();
+    let err = s.query("/r/a[1]/b[2]").unwrap_err();
+    assert!(matches!(err, CoreError::Translate(m) if m.contains("one positional")));
+}
+
+#[test]
+fn or_predicates_work() {
+    let mut s = interval_store();
+    let got = s.query("/r/a[@x = '1' or @x = '2']/text()").unwrap();
+    assert_eq!(got.items, vec!["one", "two"]);
+    // An `or` branch over a missing attribute must not drop candidates.
+    let got = s.query("/r/a[@x = '1' or @missing = 'z']/text()").unwrap();
+    assert_eq!(got.items, vec!["one"]);
+}
+
+#[test]
+fn mixed_or_and_parenthesization() {
+    let mut s = interval_store();
+    let got = s
+        .query("/r/a[(@x = '1' or @x = '2') and contains(., 'o')]/text()")
+        .unwrap();
+    assert_eq!(got.items, vec!["one", "two"]);
+}
+
+#[test]
+fn self_step_in_predicate_means_own_text() {
+    let mut s = interval_store();
+    let got = s.query("/r/a[. = 'two']/@x").unwrap();
+    assert_eq!(got.items, vec!["2"]);
+}
+
+#[test]
+fn unknown_variable_in_flwor() {
+    let mut s = interval_store();
+    let err = s
+        .query("for $v in /r/a where $w/@x = '1' return $v")
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Translate(m) if m.contains("unbound")));
+}
+
+#[test]
+fn parent_axis_rejected_when_not_normalized_away() {
+    let mut s = interval_store();
+    // /r/a/.. normalizes to /r (supported); //a/.. cannot be normalized.
+    assert!(s.query("/r/a/../b/text()").is_ok());
+    let err = s.query("//a/../b").unwrap_err();
+    assert!(matches!(err, CoreError::Translate(_)));
+}
+
+#[test]
+fn empty_results_are_empty_not_errors() {
+    for scheme in [
+        Scheme::Edge(EdgeScheme::new()),
+        Scheme::Interval(IntervalScheme::new()),
+        Scheme::Dewey(DeweyScheme::new()),
+        Scheme::Inline(InlineScheme::from_dtd_text(DTD).unwrap()),
+    ] {
+        let mut s = XmlStore::new(scheme).unwrap();
+        s.load_str("d", XML).unwrap();
+        assert!(s.query("/r/zzz").unwrap().is_empty(), "{}", s.scheme().name());
+        assert!(s.query("/zzz/a").unwrap().is_empty(), "{}", s.scheme().name());
+        assert!(
+            s.query("/r/a[@x = 'nope']").unwrap().is_empty(),
+            "{}",
+            s.scheme().name()
+        );
+    }
+}
+
+#[test]
+fn query_against_missing_document() {
+    let mut s = interval_store();
+    let err = s.query_doc("missing", "/r/a").unwrap_err();
+    assert!(matches!(err, CoreError::NoSuchDocument(_)));
+}
+
+#[test]
+fn malformed_query_is_query_error() {
+    let mut s = interval_store();
+    assert!(matches!(s.query("/r/[2]"), Err(CoreError::Query(_))));
+    assert!(matches!(s.query("for $x"), Err(CoreError::Query(_))));
+}
+
+#[test]
+fn malformed_document_is_xml_error() {
+    let mut s = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    assert!(matches!(s.load_str("bad", "<a><b></a>"), Err(CoreError::Xml(_))));
+}
+
+#[test]
+fn expansion_cap_is_enforced() {
+    // A corpus with hundreds of distinct label paths under //: the driver
+    // must refuse (not hang) past MAX_EXPANSION branches.
+    let mut xml = String::from("<root>");
+    for i in 0..200 {
+        xml.push_str(&format!("<g{i}><leaf/></g{i}>"));
+    }
+    xml.push_str("</root>");
+    let mut s = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    s.load_str("wide", &xml).unwrap();
+    let err = s.query("//leaf").unwrap_err();
+    assert!(matches!(err, CoreError::Translate(m) if m.contains("expansion")));
+    // Concrete paths still work.
+    assert_eq!(s.query_count("/root/g7/leaf").unwrap(), 1);
+}
+
+#[test]
+fn flwor_let_binds_single_values() {
+    let mut s = interval_store();
+    let got = s
+        .query("let $b := /r/b return <out>{$b/text()}</out>")
+        .unwrap();
+    assert_eq!(got.items, vec!["<out>bee</out>"]);
+}
+
+#[test]
+fn translated_sql_round_trips_through_engine_explain() {
+    let s = interval_store();
+    let t = s.translate("/r/a[@x = '1']/text()").unwrap();
+    // The generated SQL must be plannable and EXPLAINable.
+    let (logical, physical) = s.db.plan_select(&t.sql).unwrap();
+    assert!(logical.join_count() >= 1);
+    let text = reldb::plan::physical::explain_physical(&physical);
+    assert!(!text.is_empty());
+}

@@ -1,0 +1,317 @@
+//! End-to-end translation tests: the same XPath/FLWOR queries against all
+//! six mapping schemes must return the same answers.
+
+use shredder::{
+    BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, UniversalScheme,
+};
+use xmlrel_core::{Scheme, XmlStore};
+
+const BIB_DTD: &str = r#"
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, price?)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"#;
+
+const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><lastname>Stevens</lastname></author><price>65</price></book><book year="2000"><title>Data on the Web</title><author><firstname>Serge</firstname><lastname>Abiteboul</lastname></author><author><lastname>Buneman</lastname></author><price>39</price></book><book year="1999"><title>Economics</title><author><lastname>Keynes</lastname></author></book></bib>"#;
+
+fn stores() -> Vec<XmlStore> {
+    let schemes = vec![
+        Scheme::Edge(EdgeScheme::new()),
+        Scheme::Binary(BinaryScheme::new()),
+        Scheme::Universal(UniversalScheme::new()),
+        Scheme::Interval(IntervalScheme::new()),
+        Scheme::Dewey(DeweyScheme::new()),
+        Scheme::Inline(InlineScheme::from_dtd_text(BIB_DTD).unwrap()),
+    ];
+    schemes
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).unwrap();
+            store.load_str("bib", BIB).unwrap();
+            store
+        })
+        .collect()
+}
+
+/// Run a query on every scheme; all answers (sorted) must agree with
+/// `expected` (also sorted).
+fn assert_all_schemes(query: &str, expected: &[&str]) {
+    let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let got = store
+            .query(query)
+            .unwrap_or_else(|e| panic!("{name}: {query}: {e}"));
+        let mut items = got.items;
+        items.sort();
+        assert_eq!(items, want, "scheme {name} disagrees on {query}");
+    }
+}
+
+#[test]
+fn child_chain_text() {
+    assert_all_schemes(
+        "/bib/book/title/text()",
+        &["TCP/IP Illustrated", "Data on the Web", "Economics"],
+    );
+}
+
+#[test]
+fn attribute_values() {
+    assert_all_schemes("/bib/book/@year", &["1994", "2000", "1999"]);
+}
+
+#[test]
+fn element_results_publish_subtrees() {
+    assert_all_schemes(
+        "/bib/book/author",
+        &[
+            "<author><lastname>Stevens</lastname></author>",
+            "<author><firstname>Serge</firstname><lastname>Abiteboul</lastname></author>",
+            "<author><lastname>Buneman</lastname></author>",
+            "<author><lastname>Keynes</lastname></author>",
+        ],
+    );
+}
+
+#[test]
+fn attribute_predicate() {
+    assert_all_schemes("/bib/book[@year = '2000']/title/text()", &["Data on the Web"]);
+}
+
+#[test]
+fn numeric_attribute_predicate() {
+    assert_all_schemes(
+        "/bib/book[@year > 1995]/title/text()",
+        &["Data on the Web", "Economics"],
+    );
+}
+
+#[test]
+fn text_value_predicate() {
+    assert_all_schemes("/bib/book[price > 50]/title/text()", &["TCP/IP Illustrated"]);
+}
+
+#[test]
+fn nested_path_predicate() {
+    assert_all_schemes(
+        "/bib/book[author/lastname = 'Stevens']/@year",
+        &["1994"],
+    );
+}
+
+#[test]
+fn existence_predicate() {
+    assert_all_schemes(
+        "/bib/book[price]/@year",
+        &["1994", "2000"],
+    );
+}
+
+#[test]
+fn and_predicate() {
+    assert_all_schemes(
+        "/bib/book[price > 30 and @year > 1995]/title/text()",
+        &["Data on the Web"],
+    );
+}
+
+#[test]
+fn contains_predicate() {
+    assert_all_schemes(
+        "/bib/book[contains(title, 'Web')]/title/text()",
+        &["Data on the Web"],
+    );
+}
+
+#[test]
+fn descendant_axis() {
+    assert_all_schemes(
+        "//lastname/text()",
+        &["Stevens", "Abiteboul", "Buneman", "Keynes"],
+    );
+}
+
+#[test]
+fn descendant_then_child() {
+    assert_all_schemes("//author/lastname/text()", &["Stevens", "Abiteboul", "Buneman", "Keynes"]);
+}
+
+#[test]
+fn double_descendant() {
+    assert_all_schemes("//book//firstname/text()", &["Serge"]);
+}
+
+#[test]
+fn trailing_descendant() {
+    assert_all_schemes("/bib/book//firstname/text()", &["Serge"]);
+}
+
+#[test]
+fn wildcard_step() {
+    assert_all_schemes(
+        "/bib/book/*/lastname/text()",
+        &["Stevens", "Abiteboul", "Buneman", "Keynes"],
+    );
+}
+
+#[test]
+fn nonexistent_label_is_empty() {
+    assert_all_schemes("/bib/magazine/title/text()", &[]);
+    assert_all_schemes("//magazine", &[]);
+}
+
+#[test]
+fn flwor_filter_and_order() {
+    // Value ordering check: translated ORDER BY must sort by year.
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let got = store
+            .query(
+                "for $b in /bib/book where $b/price > 30 \
+                 order by $b/@year return $b/title/text()",
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            got.items,
+            vec!["TCP/IP Illustrated", "Data on the Web"],
+            "scheme {name}"
+        );
+    }
+}
+
+#[test]
+fn flwor_constructor() {
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let got = store
+            .query(
+                "for $b in /bib/book where $b/@year = 1994 \
+                 return <hit><y>{$b/@year}</y>{$b/title/text()}</hit>",
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            got.items,
+            vec!["<hit><y>1994</y>TCP/IP Illustrated</hit>"],
+            "scheme {name}"
+        );
+    }
+}
+
+#[test]
+fn flwor_returning_nodes() {
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let got = store
+            .query("for $b in /bib/book where $b/@year = 1994 return $b/author")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            got.items,
+            vec!["<author><lastname>Stevens</lastname></author>"],
+            "scheme {name}"
+        );
+    }
+}
+
+#[test]
+fn positional_predicate_where_supported() {
+    // Positional predicates are supported by the four node-id schemes.
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let r = store.query("/bib/book[2]/title/text()");
+        match name {
+            "inline" | "universal" => assert!(r.is_err(), "{name} should reject [n]"),
+            _ => {
+                let got = r.unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(got.items, vec!["Data on the Web"], "scheme {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn document_order_preserved_by_ordered_schemes() {
+    // Edge/binary/interval/dewey keep document order for child chains.
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        if matches!(name, "inline" | "universal") {
+            continue;
+        }
+        let got = store.query("/bib/book/title/text()").unwrap();
+        assert_eq!(
+            got.items,
+            vec!["TCP/IP Illustrated", "Data on the Web", "Economics"],
+            "scheme {name}"
+        );
+    }
+}
+
+#[test]
+fn reconstruction_round_trip_all_schemes() {
+    for store in &stores() {
+        let name = store.scheme().name();
+        let xml = store.reconstruct("bib").unwrap();
+        assert_eq!(xml, BIB, "scheme {name}");
+    }
+}
+
+#[test]
+fn join_counts_differ_by_scheme() {
+    // /bib/book/title: inline answers from one table; edge needs a 3-way
+    // self-join chain.
+    let mut inline_joins = None;
+    let mut edge_joins = None;
+    for store in &stores() {
+        let n = store.join_count("/bib/book/title").unwrap();
+        match store.scheme().name() {
+            "inline" => inline_joins = Some(n),
+            "edge" => edge_joins = Some(n),
+            _ => {}
+        }
+    }
+    let (i, e) = (inline_joins.unwrap(), edge_joins.unwrap());
+    assert!(i < e, "inline joins {i} must be < edge joins {e}");
+    assert_eq!(e, 2, "edge: one join per extra step");
+}
+
+#[test]
+fn translated_sql_is_visible() {
+    let store = stores().remove(3); // interval
+    let t = store.translate("//book//lastname").unwrap();
+    assert!(t.sql.contains("inode"), "{}", t.sql);
+    assert!(t.sql.to_lowercase().contains("pre"), "{}", t.sql);
+}
+
+#[test]
+fn query_scoped_to_one_document() {
+    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    store.load_str("a", "<bib><book><title>A</title></book></bib>").unwrap();
+    store.load_str("b", "<bib><book><title>B</title></book></bib>").unwrap();
+    let all = store.query("/bib/book/title/text()").unwrap();
+    assert_eq!(all.len(), 2);
+    let only_a = store.query_doc("a", "/bib/book/title/text()").unwrap();
+    assert_eq!(only_a.items, vec!["A"]);
+}
+
+#[test]
+fn duplicate_document_names_rejected() {
+    let mut store = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    store.load_str("x", "<a/>").unwrap();
+    assert!(store.load_str("x", "<b/>").is_err());
+    assert_eq!(store.documents().unwrap().len(), 1);
+}
+
+#[test]
+fn remove_document() {
+    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    store.load_str("x", "<a><b/></a>").unwrap();
+    assert!(store.remove("x").unwrap() > 0);
+    assert!(store.reconstruct("x").is_err());
+    assert!(store.query("/a/b").unwrap().is_empty());
+}

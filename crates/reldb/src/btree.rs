@@ -1,0 +1,662 @@
+//! A from-scratch B+-tree.
+//!
+//! Used for every index in the engine (primary keys and secondary value
+//! indexes). Design notes:
+//!
+//! - Arena-allocated nodes (`Vec<Node<K>>` + free list) instead of boxed
+//!   recursion: cache-friendlier and avoids unsafe parent pointers.
+//! - Duplicate keys are stored once with a postings list of row ids, which
+//!   is what a secondary index over shredded XML needs (many nodes share a
+//!   tag label or string value).
+//! - Deletion removes entries eagerly but deallocates a node only when it
+//!   becomes empty (the strategy PostgreSQL's nbtree uses): underfull pages
+//!   are allowed, so no borrow/merge rebalancing is needed, and all search
+//!   invariants still hold. Space is reclaimed when churn empties a page.
+//! - Leaves form a doubly-linked chain for ordered range scans.
+
+use std::ops::Bound;
+
+/// Row identifier stored in index postings.
+pub type RowId = usize;
+
+const MAX_KEYS: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node<K> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        postings: Vec<Vec<RowId>>,
+        prev: Option<usize>,
+        next: Option<usize>,
+    },
+    /// Free-list slot.
+    Free(Option<usize>),
+}
+
+/// A B+-tree mapping keys to postings lists of [`RowId`]s.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K> {
+    nodes: Vec<Node<K>>,
+    root: usize,
+    free: Option<usize>,
+    distinct: usize,
+    entries: usize,
+}
+
+impl<K: Ord + Clone> Default for BPlusTree<K> {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+impl<K: Ord + Clone> BPlusTree<K> {
+    /// An empty tree.
+    pub fn new() -> BPlusTree<K> {
+        BPlusTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), postings: Vec::new(), prev: None, next: None }],
+            root: 0,
+            free: None,
+            distinct: 0,
+            entries: 0,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total number of (key, row) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    fn alloc(&mut self, node: Node<K>) -> usize {
+        if let Some(idx) = self.free {
+            let next = match self.nodes[idx] {
+                Node::Free(n) => n,
+                _ => unreachable!("free list points at live node"),
+            };
+            self.free = next;
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.nodes[idx] = Node::Free(self.free);
+        self.free = Some(idx);
+    }
+
+    /// Insert `row` under `key`.
+    pub fn insert(&mut self, key: K, row: RowId) {
+        self.entries += 1;
+        if let Some((sep, right)) = self.insert_into(self.root, key, row) {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Returns `Some((separator, new_right_idx))` when `idx` split.
+    fn insert_into(&mut self, idx: usize, key: K, row: RowId) -> Option<(K, usize)> {
+        // Find descent child without holding a borrow across recursion.
+        let child = match &self.nodes[idx] {
+            Node::Internal { keys, children } => {
+                let pos = keys.partition_point(|k| *k <= key);
+                Some((children[pos], pos))
+            }
+            Node::Leaf { .. } => None,
+            Node::Free(_) => unreachable!("descended into freed node"),
+        };
+        match child {
+            Some((child_idx, pos)) => {
+                let split = self.insert_into(child_idx, key, row)?;
+                let (sep, right) = split;
+                let Node::Internal { keys, children } = &mut self.nodes[idx] else {
+                    unreachable!()
+                };
+                keys.insert(pos, sep);
+                children.insert(pos + 1, right);
+                if keys.len() > MAX_KEYS {
+                    return Some(self.split_internal(idx));
+                }
+                None
+            }
+            None => {
+                let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
+                    unreachable!()
+                };
+                match keys.binary_search(&key) {
+                    Ok(p) => {
+                        postings[p].push(row);
+                        None
+                    }
+                    Err(p) => {
+                        keys.insert(p, key);
+                        postings.insert(p, vec![row]);
+                        self.distinct += 1;
+                        if keys.len() > MAX_KEYS {
+                            Some(self.split_leaf(idx))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, idx: usize) -> (K, usize) {
+        let (r_keys, r_postings, old_next) = {
+            let Node::Leaf { keys, postings, next, .. } = &mut self.nodes[idx] else {
+                unreachable!()
+            };
+            let mid = keys.len() / 2;
+            (keys.split_off(mid), postings.split_off(mid), *next)
+        };
+        let sep = r_keys[0].clone();
+        let right = self.alloc(Node::Leaf {
+            keys: r_keys,
+            postings: r_postings,
+            prev: Some(idx),
+            next: old_next,
+        });
+        if let Some(n) = old_next {
+            if let Node::Leaf { prev, .. } = &mut self.nodes[n] {
+                *prev = Some(right);
+            }
+        }
+        if let Node::Leaf { next, .. } = &mut self.nodes[idx] {
+            *next = Some(right);
+        }
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, idx: usize) -> (K, usize) {
+        let (sep, r_keys, r_children) = {
+            let Node::Internal { keys, children } = &mut self.nodes[idx] else {
+                unreachable!()
+            };
+            let mid = keys.len() / 2;
+            let mut r_keys = keys.split_off(mid);
+            let sep = r_keys.remove(0);
+            let r_children = children.split_off(mid + 1);
+            (sep, r_keys, r_children)
+        };
+        let right = self.alloc(Node::Internal { keys: r_keys, children: r_children });
+        (sep, right)
+    }
+
+    /// Remove one occurrence of `row` under `key`; returns true if removed.
+    pub fn remove(&mut self, key: &K, row: RowId) -> bool {
+        let removed = self.remove_from(self.root, key, row);
+        if removed {
+            self.entries -= 1;
+            // Collapse a root that lost all keys down to its single child.
+            while let Node::Internal { keys, children } = &self.nodes[self.root] {
+                if keys.is_empty() && children.len() == 1 {
+                    let only = children[0];
+                    self.release(self.root);
+                    self.root = only;
+                } else {
+                    break;
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_from(&mut self, idx: usize, key: &K, row: RowId) -> bool {
+        let child = match &self.nodes[idx] {
+            Node::Internal { keys, children } => {
+                let pos = keys.partition_point(|k| k <= key);
+                Some((children[pos], pos))
+            }
+            Node::Leaf { .. } => None,
+            Node::Free(_) => unreachable!(),
+        };
+        match child {
+            Some((child_idx, pos)) => {
+                let removed = self.remove_from(child_idx, key, row);
+                if removed && self.node_is_empty(child_idx) {
+                    self.unlink_leaf_if_leaf(child_idx);
+                    self.release(child_idx);
+                    let Node::Internal { keys, children } = &mut self.nodes[idx] else {
+                        unreachable!()
+                    };
+                    children.remove(pos);
+                    // Remove the separator adjacent to the deleted child.
+                    if pos > 0 {
+                        keys.remove(pos - 1);
+                    } else if !keys.is_empty() {
+                        keys.remove(0);
+                    }
+                }
+                removed
+            }
+            None => {
+                let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
+                    unreachable!()
+                };
+                match keys.binary_search(key) {
+                    Ok(p) => {
+                        let list = &mut postings[p];
+                        match list.iter().position(|&r| r == row) {
+                            Some(i) => {
+                                list.swap_remove(i);
+                                if list.is_empty() {
+                                    keys.remove(p);
+                                    postings.remove(p);
+                                    self.distinct -= 1;
+                                }
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn node_is_empty(&self, idx: usize) -> bool {
+        match &self.nodes[idx] {
+            Node::Leaf { keys, .. } => keys.is_empty(),
+            Node::Internal { children, .. } => children.is_empty(),
+            Node::Free(_) => true,
+        }
+    }
+
+    fn unlink_leaf_if_leaf(&mut self, idx: usize) {
+        if let Node::Leaf { prev, next, .. } = self.nodes[idx].clone_links() {
+            if let Some(p) = prev {
+                if let Node::Leaf { next: pn, .. } = &mut self.nodes[p] {
+                    *pn = next;
+                }
+            }
+            if let Some(n) = next {
+                if let Node::Leaf { prev: np, .. } = &mut self.nodes[n] {
+                    *np = prev;
+                }
+            }
+        }
+    }
+
+    /// Postings for an exact key (empty slice when absent).
+    pub fn get(&self, key: &K) -> &[RowId] {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Internal { keys, children } => {
+                    idx = children[keys.partition_point(|k| k <= key)];
+                }
+                Node::Leaf { keys, postings, .. } => {
+                    return match keys.binary_search(key) {
+                        Ok(p) => &postings[p],
+                        Err(_) => &[],
+                    };
+                }
+                Node::Free(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// True if any entry exists for `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// Iterate `(key, postings)` pairs within bounds, in key order.
+    pub fn range<'a>(
+        &'a self,
+        lower: Bound<&'a K>,
+        upper: Bound<&'a K>,
+    ) -> RangeIter<'a, K> {
+        // Locate the starting leaf by descending on the lower bound.
+        let (leaf, pos) = match lower {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let mut idx = self.root;
+                loop {
+                    match &self.nodes[idx] {
+                        Node::Internal { keys, children } => {
+                            idx = children[keys.partition_point(|s| s <= k)];
+                        }
+                        Node::Leaf { keys, .. } => {
+                            let p = match lower {
+                                Bound::Included(k) => keys.partition_point(|x| x < k),
+                                Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                                Bound::Unbounded => 0,
+                            };
+                            break (idx, p);
+                        }
+                        Node::Free(_) => unreachable!(),
+                    }
+                }
+            }
+        };
+        RangeIter { tree: self, leaf: Some(leaf), pos, upper }
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Internal { children, .. } => idx = children[0],
+                Node::Leaf { .. } => return idx,
+                Node::Free(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// Iterate everything in key order.
+    pub fn iter(&self) -> RangeIter<'_, K> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Depth of the tree (leaf-only tree has depth 1).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut idx = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[idx] {
+            d += 1;
+            idx = children[0];
+        }
+        d
+    }
+
+    /// Verify structural invariants; panics with a description on violation.
+    /// Used by tests and `debug_assert!` call sites.
+    pub fn check_invariants(&self) {
+        let mut total = 0;
+        let mut distinct = 0;
+        self.check_node(self.root, None, None, &mut total, &mut distinct);
+        assert_eq!(total, self.entries, "entry count drifted");
+        assert_eq!(distinct, self.distinct, "distinct count drifted");
+        // Leaf chain must enumerate the same keys in sorted order.
+        let mut prev_key: Option<&K> = None;
+        for (k, _) in self.iter() {
+            if let Some(p) = prev_key {
+                assert!(p < k, "leaf chain out of order");
+            }
+            prev_key = Some(k);
+        }
+    }
+
+    fn check_node(
+        &self,
+        idx: usize,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        total: &mut usize,
+        distinct: &mut usize,
+    ) {
+        match &self.nodes[idx] {
+            Node::Leaf { keys, postings, .. } => {
+                assert_eq!(keys.len(), postings.len());
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "leaf keys unsorted");
+                }
+                for k in keys {
+                    if let Some(lo) = lo {
+                        assert!(k >= lo, "key below subtree lower bound");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(k < hi, "key above subtree upper bound");
+                    }
+                }
+                for p in postings {
+                    assert!(!p.is_empty(), "empty postings retained");
+                    *total += p.len();
+                }
+                *distinct += keys.len();
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "fanout mismatch");
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "separator keys unsorted");
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(c, child_lo, child_hi, total, distinct);
+                }
+            }
+            Node::Free(_) => panic!("free node reachable"),
+        }
+    }
+}
+
+impl<K> Node<K> {
+    /// Copy of the node with only link fields populated (used to read a
+    /// leaf's chain pointers without borrowing the arena mutably).
+    fn clone_links(&self) -> Node<K> {
+        match self {
+            Node::Leaf { prev, next, .. } => Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+                prev: *prev,
+                next: *next,
+            },
+            Node::Internal { .. } => Node::Internal { keys: Vec::new(), children: Vec::new() },
+            Node::Free(n) => Node::Free(*n),
+        }
+    }
+}
+
+/// Ordered iterator over `(key, postings)` pairs.
+pub struct RangeIter<'a, K> {
+    tree: &'a BPlusTree<K>,
+    leaf: Option<usize>,
+    pos: usize,
+    upper: Bound<&'a K>,
+}
+
+impl<'a, K: Ord + Clone> Iterator for RangeIter<'a, K> {
+    type Item = (&'a K, &'a [RowId]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { keys, postings, next, .. } = &self.tree.nodes[leaf] else {
+                return None;
+            };
+            if self.pos >= keys.len() {
+                self.leaf = *next;
+                self.pos = 0;
+                continue;
+            }
+            let k = &keys[self.pos];
+            let within = match self.upper {
+                Bound::Unbounded => true,
+                Bound::Included(u) => k <= u,
+                Bound::Excluded(u) => k < u,
+            };
+            if !within {
+                self.leaf = None;
+                return None;
+            }
+            let p = &postings[self.pos];
+            self.pos += 1;
+            return Some((k, p.as_slice()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn collect_keys<K: Ord + Clone + std::fmt::Debug>(t: &BPlusTree<K>) -> Vec<K> {
+        t.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BPlusTree::new();
+        t.insert(5i64, 50);
+        t.insert(3, 30);
+        t.insert(5, 51);
+        assert_eq!(t.get(&5), &[50, 51]);
+        assert_eq!(t.get(&3), &[30]);
+        assert_eq!(t.get(&4), &[] as &[RowId]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_keys(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut t = BPlusTree::new();
+        // Insert in a scrambled deterministic order.
+        let n = 5000i64;
+        let mut k: i64 = 1;
+        for _ in 0..n {
+            t.insert(k, k as usize);
+            k = (k.wrapping_mul(48271)) % 100003;
+        }
+        assert!(t.depth() > 1);
+        t.check_invariants();
+        let keys = collect_keys(&t);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), t.distinct_keys());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 0..100i64 {
+            t.insert(i, i as usize);
+        }
+        let got: Vec<i64> = t
+            .range(Bound::Included(&10), Bound::Excluded(&15))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+        let got: Vec<i64> = t
+            .range(Bound::Excluded(&95), Bound::Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![96, 97, 98, 99]);
+        let got: Vec<i64> = t
+            .range(Bound::Unbounded, Bound::Included(&2))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remove_entries_and_keys() {
+        let mut t = BPlusTree::new();
+        t.insert("a".to_string(), 1);
+        t.insert("a".to_string(), 2);
+        t.insert("b".to_string(), 3);
+        assert!(t.remove(&"a".to_string(), 1));
+        assert_eq!(t.get(&"a".to_string()), &[2]);
+        assert!(!t.remove(&"a".to_string(), 99));
+        assert!(t.remove(&"a".to_string(), 2));
+        assert!(!t.contains_key(&"a".to_string()));
+        assert_eq!(t.distinct_keys(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn drain_everything_then_reuse() {
+        let mut t = BPlusTree::new();
+        for i in 0..2000i64 {
+            t.insert(i, i as usize);
+        }
+        for i in 0..2000i64 {
+            assert!(t.remove(&i, i as usize), "remove {i}");
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        for i in 0..100i64 {
+            t.insert(i, i as usize);
+        }
+        t.check_invariants();
+        assert_eq!(collect_keys(&t).len(), 100);
+    }
+
+    #[test]
+    fn interleaved_against_btreemap_model() {
+        let mut t: BPlusTree<i64> = BPlusTree::new();
+        let mut model: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
+        let mut x: i64 = 7;
+        for step in 0..20_000 {
+            x = (x.wrapping_mul(1103515245).wrapping_add(12345)).rem_euclid(1000);
+            let key = x;
+            if step % 3 == 2 {
+                let row = (step % 17) as usize;
+                let removed_model = model
+                    .get_mut(&key)
+                    .and_then(|v| v.iter().position(|&r| r == row).map(|i| {
+                        v.swap_remove(i);
+                    }))
+                    .is_some();
+                if model.get(&key).map(Vec::is_empty).unwrap_or(false) {
+                    model.remove(&key);
+                }
+                assert_eq!(t.remove(&key, row), removed_model, "step {step}");
+            } else {
+                let row = (step % 17) as usize;
+                t.insert(key, row);
+                model.entry(key).or_default().push(row);
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.distinct_keys(), model.len());
+        for (k, v) in &model {
+            let mut got = t.get(k).to_vec();
+            let mut want = v.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "postings for {k}");
+        }
+        // Order agreement.
+        let keys: Vec<i64> = collect_keys(&t);
+        let want: Vec<i64> = model.keys().copied().collect();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn composite_value_keys() {
+        use crate::value::Value;
+        let mut t: BPlusTree<Vec<Value>> = BPlusTree::new();
+        t.insert(vec![Value::text("book"), Value::Int(2)], 1);
+        t.insert(vec![Value::text("book"), Value::Int(1)], 2);
+        t.insert(vec![Value::text("author"), Value::Int(9)], 3);
+        let keys: Vec<_> = t.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys[0][0], Value::text("author"));
+        assert_eq!(keys[1][1], Value::Int(1));
+        // Prefix range scan: all "book" entries.
+        let lo = vec![Value::text("book")];
+        let hi = vec![Value::text("book"), Value::Text("\u{10FFFF}".into())];
+        let got: Vec<_> = t
+            .range(Bound::Included(&lo), Bound::Included(&hi))
+            .map(|(k, _)| k[1].clone())
+            .collect();
+        assert_eq!(got, vec![Value::Int(1), Value::Int(2)]);
+    }
+}

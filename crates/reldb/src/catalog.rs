@@ -1,0 +1,106 @@
+//! System catalog: tables by name.
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// The catalog of all tables in a database.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("table {key:?} already exists")));
+        }
+        self.tables.insert(key.clone(), Table::new(key, schema));
+        Ok(())
+    }
+
+    /// Drop a table; errors if missing (unless `if_exists`).
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.remove(&key).is_none() && !if_exists {
+            return Err(DbError::Catalog(format!("no such table {key:?}")));
+        }
+        Ok(())
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Binding(format!("no such table {name:?}")))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Binding(format!("no such table {name:?}")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Iterate all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total bytes across all heaps and indexes.
+    pub fn total_bytes(&self) -> (usize, usize) {
+        let heap = self.tables.values().map(Table::heap_bytes).sum();
+        let index = self.tables.values().map(Table::index_bytes).sum();
+        (heap, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        c.create_table("T1", schema()).unwrap();
+        assert!(c.has_table("t1"));
+        assert!(c.table("T1").is_ok());
+        assert!(c.create_table("t1", schema()).is_err());
+        c.drop_table("t1", false).unwrap();
+        assert!(c.drop_table("t1", false).is_err());
+        c.drop_table("t1", true).unwrap();
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table("b", schema()).unwrap();
+        c.create_table("a", schema()).unwrap();
+        assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

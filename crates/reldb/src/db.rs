@@ -1,0 +1,597 @@
+//! The `Database` façade: parse → bind → optimize → plan → execute.
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, Result};
+use crate::exec::{build_executor, run_to_vec};
+use crate::plan::expr::value_to_bool;
+use crate::plan::logical::{bind_expr, bind_select, LogicalPlan, OutputCol, Scope};
+use crate::plan::optimizer::{optimize, OptimizerOptions};
+use crate::plan::physical::{explain_physical, plan_physical, PhysicalOptions, PhysicalPlan};
+use crate::schema::{Column, Schema};
+use crate::sql::ast::{ColumnDef, Expr, Statement};
+use crate::sql::parser::{parse_script, parse_statement};
+use crate::value::{Row, Value};
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// Rows from a SELECT (or EXPLAIN).
+    Rows(QueryResult),
+    /// Row count from DDL/DML.
+    Affected(usize),
+}
+
+impl ExecResult {
+    /// Unwrap the rows of a SELECT result.
+    pub fn rows(self) -> QueryResult {
+        match self {
+            ExecResult::Rows(q) => q,
+            ExecResult::Affected(n) => QueryResult {
+                columns: vec!["affected".into()],
+                rows: vec![vec![Value::Int(n as i64)]],
+            },
+        }
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 result.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// A column's values by name.
+    pub fn column(&self, name: &str) -> Option<Vec<&Value>> {
+        let i = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| &r[i]).collect())
+    }
+}
+
+/// An embedded relational database.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// The catalog (exposed for storage accounting and direct bulk loads).
+    pub catalog: Catalog,
+    /// Logical optimizer knobs.
+    pub optimizer: OptimizerOptions,
+    /// Physical planner knobs.
+    pub physical: PhysicalOptions,
+}
+
+impl Database {
+    /// An empty database with default options.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a semicolon-separated script, returning the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = ExecResult::Affected(0);
+        for s in &stmts {
+            last = self.execute_stmt(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a SELECT and return its rows (errors on non-SELECT).
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.execute(sql)? {
+            ExecResult::Rows(q) => Ok(q),
+            ExecResult::Affected(_) => {
+                Err(DbError::Unsupported("query() requires a SELECT".into()))
+            }
+        }
+    }
+
+    /// Execute a SELECT without mutable access (reads only).
+    pub fn query_readonly(&self, sql: &str) -> Result<QueryResult> {
+        let (logical, physical) = self.plan_select(sql)?;
+        let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
+        let rows = run_to_vec(&physical, &self.catalog)?;
+        Ok(QueryResult { columns: names, rows })
+    }
+
+    /// Plan a SELECT without executing it (benchmarking translation cost,
+    /// join counting).
+    pub fn plan_select(&self, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(DbError::Unsupported("plan_select() requires a SELECT".into()));
+        };
+        let logical = optimize(bind_select(&self.catalog, &sel)?, &self.optimizer, &self.catalog);
+        let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+        Ok((logical, physical))
+    }
+
+    fn execute_stmt(&mut self, stmt: &Statement) -> Result<ExecResult> {
+        match stmt {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                if *if_not_exists && self.catalog.has_table(name) {
+                    return Ok(ExecResult::Affected(0));
+                }
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c: &ColumnDef| Column {
+                            name: c.name.clone(),
+                            ty: c.ty,
+                            nullable: !c.not_null,
+                        })
+                        .collect(),
+                )?;
+                self.catalog.create_table(name, schema)?;
+                // PRIMARY KEY columns get a unique index.
+                let pk: Vec<String> = columns
+                    .iter()
+                    .filter(|c| c.primary_key)
+                    .map(|c| c.name.clone())
+                    .collect();
+                if !pk.is_empty() {
+                    let table = self.catalog.table_mut(name)?;
+                    let offsets: Vec<usize> = pk
+                        .iter()
+                        .map(|c| table.schema.index_of(c).expect("pk column exists"))
+                        .collect();
+                    table.create_index(format!("{name}_pk"), offsets, true)?;
+                }
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::CreateIndex { name, table, columns, unique } => {
+                let t = self.catalog.table_mut(table)?;
+                let offsets: Vec<usize> = columns
+                    .iter()
+                    .map(|c| {
+                        t.schema
+                            .index_of(c)
+                            .ok_or_else(|| DbError::Binding(format!("no column {c:?}")))
+                    })
+                    .collect::<Result<_>>()?;
+                t.create_index(name.clone(), offsets, *unique)?;
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let t = self.catalog.table(table)?;
+                let arity = t.schema.arity();
+                // Map the provided column list to schema positions.
+                let positions: Vec<usize> = match columns {
+                    None => (0..arity).collect(),
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| {
+                            t.schema
+                                .index_of(c)
+                                .ok_or_else(|| DbError::Binding(format!("no column {c:?}")))
+                        })
+                        .collect::<Result<_>>()?,
+                };
+                let empty: Row = Vec::new();
+                let mut materialized: Vec<Row> = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    if exprs.len() != positions.len() {
+                        return Err(DbError::Constraint(format!(
+                            "INSERT expects {} values, got {}",
+                            positions.len(),
+                            exprs.len()
+                        )));
+                    }
+                    let mut row: Row = vec![Value::Null; arity];
+                    for (pos, e) in positions.iter().zip(exprs) {
+                        let scope = Scope::default();
+                        let bound = bind_literal_expr(e, &scope)?;
+                        row[*pos] = bound.eval(&empty)?;
+                    }
+                    materialized.push(row);
+                }
+                let t = self.catalog.table_mut(table)?;
+                let n = t.insert_many(materialized)?;
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::Select(sel) => {
+                let logical = optimize(bind_select(&self.catalog, sel)?, &self.optimizer, &self.catalog);
+                let names: Vec<String> =
+                    logical.schema().into_iter().map(|c: OutputCol| c.name).collect();
+                let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+                let rows = run_to_vec(&physical, &self.catalog)?;
+                Ok(ExecResult::Rows(QueryResult { columns: names, rows }))
+            }
+            Statement::Delete { table, predicate } => {
+                let t = self.catalog.table(table)?;
+                let scope = scope_of_table(t);
+                let pred = match predicate {
+                    Some(p) => Some(bind_expr(p, &scope)?),
+                    None => None,
+                };
+                let victims: Vec<usize> = t
+                    .scan()
+                    .filter_map(|(rid, row)| match &pred {
+                        None => Some(Ok(rid)),
+                        Some(p) => match p.eval(row) {
+                            Ok(v) if value_to_bool(&v) == Some(true) => Some(Ok(rid)),
+                            Ok(_) => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                    })
+                    .collect::<Result<_>>()?;
+                let t = self.catalog.table_mut(table)?;
+                let mut n = 0;
+                for rid in victims {
+                    if t.delete(rid) {
+                        n += 1;
+                    }
+                }
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::Update { table, assignments, predicate } => {
+                let t = self.catalog.table(table)?;
+                let scope = scope_of_table(t);
+                let pred = match predicate {
+                    Some(p) => Some(bind_expr(p, &scope)?),
+                    None => None,
+                };
+                let mut bound_assignments = Vec::new();
+                for (col, e) in assignments {
+                    let off = t
+                        .schema
+                        .index_of(col)
+                        .ok_or_else(|| DbError::Binding(format!("no column {col:?}")))?;
+                    bound_assignments.push((off, bind_expr(e, &scope)?));
+                }
+                let mut updates: Vec<(usize, Row)> = Vec::new();
+                for (rid, row) in t.scan() {
+                    let keep = match &pred {
+                        None => true,
+                        Some(p) => value_to_bool(&p.eval(row)?) == Some(true),
+                    };
+                    if !keep {
+                        continue;
+                    }
+                    let mut new_row = row.clone();
+                    for (off, e) in &bound_assignments {
+                        new_row[*off] = e.eval(row)?;
+                    }
+                    updates.push((rid, new_row));
+                }
+                let t = self.catalog.table_mut(table)?;
+                let n = updates.len();
+                for (rid, row) in updates {
+                    t.update(rid, row)?;
+                }
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::Explain(inner) => {
+                let Statement::Select(sel) = &**inner else {
+                    return Err(DbError::Unsupported("EXPLAIN supports SELECT only".into()));
+                };
+                let logical = optimize(bind_select(&self.catalog, sel)?, &self.optimizer, &self.catalog);
+                let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+                let text = explain_physical(&physical);
+                let rows = text
+                    .lines()
+                    .map(|l| vec![Value::text(l)])
+                    .collect();
+                Ok(ExecResult::Rows(QueryResult { columns: vec!["plan".into()], rows }))
+            }
+        }
+    }
+
+    /// Bulk-load rows into a table without SQL overhead (the shredders'
+    /// fast path).
+    pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.catalog.table_mut(table)?.insert_many(rows)
+    }
+
+    /// Stream a query through a callback without materializing all rows.
+    pub fn query_streaming(
+        &self,
+        sql: &str,
+        mut on_row: impl FnMut(Row) -> Result<()>,
+    ) -> Result<usize> {
+        let (_, physical) = self.plan_select(sql)?;
+        let mut exec = build_executor(&physical, &self.catalog)?;
+        let mut n = 0;
+        while let Some(row) = exec.next()? {
+            on_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+fn scope_of_table(t: &crate::table::Table) -> Scope {
+    let plan = LogicalPlan::Scan {
+        table: t.name.clone(),
+        cols: t
+            .schema
+            .columns
+            .iter()
+            .map(|c| OutputCol { qualifier: Some(t.name.clone()), name: c.name.clone() })
+            .collect(),
+    };
+    Scope::of(&plan)
+}
+
+/// Bind an expression that may not reference any columns (INSERT values).
+fn bind_literal_expr(e: &Expr, scope: &Scope) -> Result<crate::plan::expr::ScalarExpr> {
+    bind_expr(e, scope)
+        .map_err(|_| DbError::Binding("INSERT values must be literal expressions".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_data() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, dept TEXT, salary INT);
+             INSERT INTO emp VALUES
+               (1, 'ada', 'eng', 120),
+               (2, 'bob', 'eng', 100),
+               (3, 'cho', 'ops', 90),
+               (4, 'dee', 'ops', 95),
+               (5, 'eve', NULL, 80);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut db = db_with_data();
+        let q = db.query("SELECT name FROM emp WHERE salary > 95 ORDER BY name").unwrap();
+        assert_eq!(q.columns, vec!["name"]);
+        let names: Vec<String> = q.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["ada", "bob"]);
+    }
+
+    #[test]
+    fn aggregation_group_by_having() {
+        let mut db = db_with_data();
+        let q = db
+            .query(
+                "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp \
+                 WHERE dept IS NOT NULL GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY dept",
+            )
+            .unwrap();
+        assert_eq!(q.rows.len(), 2);
+        assert_eq!(q.rows[0], vec![Value::text("eng"), Value::Int(2), Value::Int(220)]);
+        assert_eq!(q.rows[1], vec![Value::text("ops"), Value::Int(2), Value::Int(185)]);
+    }
+
+    #[test]
+    fn joins_inner_and_left() {
+        let mut db = db_with_data();
+        db.execute_script(
+            "CREATE TABLE dept (code TEXT, boss TEXT);
+             INSERT INTO dept VALUES ('eng', 'ada'), ('hr', 'zoe');",
+        )
+        .unwrap();
+        let inner = db
+            .query("SELECT e.name FROM emp e JOIN dept d ON e.dept = d.code ORDER BY e.name")
+            .unwrap();
+        assert_eq!(inner.rows.len(), 2);
+        let left = db
+            .query(
+                "SELECT e.name, d.boss FROM emp e LEFT JOIN dept d ON e.dept = d.code \
+                 ORDER BY e.name",
+            )
+            .unwrap();
+        assert_eq!(left.rows.len(), 5);
+        // ops and NULL-dept employees have NULL boss.
+        let cho = left.rows.iter().find(|r| r[0] == Value::text("cho")).unwrap();
+        assert!(cho[1].is_null());
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let mut db = db_with_data();
+        let q = db
+            .query(
+                "SELECT a.name, b.name FROM emp a JOIN emp b ON a.dept = b.dept \
+                 WHERE a.id < b.id ORDER BY a.name",
+            )
+            .unwrap();
+        assert_eq!(q.rows.len(), 2); // (ada,bob), (cho,dee)
+    }
+
+    #[test]
+    fn index_scan_used_for_pk_lookup() {
+        let mut db = db_with_data();
+        let q = db.query("EXPLAIN SELECT name FROM emp WHERE id = 3").unwrap();
+        let plan: String = q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
+        assert!(plan.contains("IndexScan"), "{plan}");
+        let r = db.query("SELECT name FROM emp WHERE id = 3").unwrap();
+        assert_eq!(r.rows[0][0], Value::text("cho"));
+    }
+
+    #[test]
+    fn secondary_index_and_range() {
+        let mut db = db_with_data();
+        db.execute("CREATE INDEX by_salary ON emp (salary)").unwrap();
+        let q = db.query("EXPLAIN SELECT name FROM emp WHERE salary BETWEEN 90 AND 100").unwrap();
+        let plan: String = q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
+        assert!(plan.contains("IndexScan"), "{plan}");
+        let r = db
+            .query("SELECT name FROM emp WHERE salary BETWEEN 90 AND 100 ORDER BY salary")
+            .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|x| x[0].to_string()).collect();
+        assert_eq!(names, vec!["cho", "dee", "bob"]);
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut db = db_with_data();
+        let n = db.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'").unwrap();
+        assert_eq!(n, ExecResult::Affected(2));
+        let q = db.query("SELECT salary FROM emp WHERE name = 'ada'").unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(130));
+        let n = db.execute("DELETE FROM emp WHERE dept IS NULL").unwrap();
+        assert_eq!(n, ExecResult::Affected(1));
+        let q = db.query("SELECT COUNT(*) FROM emp").unwrap();
+        assert_eq!(q.scalar(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn unique_violation_via_sql() {
+        let mut db = db_with_data();
+        let err = db.execute("INSERT INTO emp VALUES (1, 'dup', 'x', 0)").unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+    }
+
+    #[test]
+    fn union_all_distinct_limit() {
+        let mut db = db_with_data();
+        let q = db
+            .query(
+                "SELECT dept FROM emp WHERE dept IS NOT NULL \
+                 UNION ALL SELECT dept FROM emp WHERE dept = 'eng' ORDER BY 1",
+            )
+            .unwrap();
+        assert_eq!(q.rows.len(), 6);
+        let q = db
+            .query("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL ORDER BY dept LIMIT 1")
+            .unwrap();
+        assert_eq!(q.rows, vec![vec![Value::text("eng")]]);
+    }
+
+    #[test]
+    fn subquery_pipeline() {
+        let mut db = db_with_data();
+        let q = db
+            .query(
+                "SELECT d, n FROM (SELECT dept AS d, COUNT(*) AS n FROM emp \
+                 WHERE dept IS NOT NULL GROUP BY dept) s WHERE n > 1 ORDER BY d",
+            )
+            .unwrap();
+        assert_eq!(q.rows.len(), 2);
+    }
+
+    #[test]
+    fn scalar_no_from() {
+        let mut db = Database::new();
+        let q = db.query("SELECT 2 + 3 * 4 AS v").unwrap();
+        assert_eq!(q.scalar(), Some(&Value::Int(14)));
+    }
+
+    #[test]
+    fn avg_and_empty_aggregate() {
+        let mut db = db_with_data();
+        let q = db.query("SELECT AVG(salary) FROM emp WHERE dept = 'eng'").unwrap();
+        assert_eq!(q.scalar(), Some(&Value::Float(110.0)));
+        let q = db.query("SELECT COUNT(*), SUM(salary) FROM emp WHERE dept = 'none'").unwrap();
+        assert_eq!(q.rows[0], vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn like_and_functions() {
+        let mut db = db_with_data();
+        let q = db
+            .query("SELECT UPPER(name) FROM emp WHERE name LIKE '_o%' ORDER BY name")
+            .unwrap();
+        let names: Vec<String> = q.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["BOB"]);
+    }
+
+    #[test]
+    fn streaming_query() {
+        let db = {
+            let mut d = db_with_data();
+            d.execute("CREATE INDEX by_dept ON emp (dept)").unwrap();
+            d
+        };
+        let mut count = 0;
+        let n = db
+            .query_streaming("SELECT name FROM emp WHERE dept = 'eng'", |_| {
+                count += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = db_with_data();
+        db.execute("INSERT INTO emp (id, name) VALUES (9, 'zed')").unwrap();
+        let q = db.query("SELECT dept, salary FROM emp WHERE id = 9").unwrap();
+        assert_eq!(q.rows[0], vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn interval_join_plan_selected() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE node (pre INT, size INT, name TEXT);
+             INSERT INTO node VALUES (0, 3, 'a'), (1, 1, 'b'), (2, 0, 'c'), (3, 0, 'd');",
+        )
+        .unwrap();
+        // Descendants of each 'a': pre in (a.pre, a.pre + a.size].
+        let (_, phys) = db
+            .plan_select(
+                "SELECT d.name FROM node a, node d \
+                 WHERE a.name = 'a' AND d.pre > a.pre AND d.pre <= a.pre + a.size",
+            )
+            .unwrap();
+        let text = explain_physical(&phys);
+        assert!(text.contains("IntervalJoin"), "{text}");
+        let q = db
+            .query(
+                "SELECT d.name FROM node a, node d \
+                 WHERE a.name = 'a' AND d.pre > a.pre AND d.pre <= a.pre + a.size \
+                 ORDER BY d.pre",
+            )
+            .unwrap();
+        let names: Vec<String> = q.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn explain_returns_plan_rows() {
+        let mut db = db_with_data();
+        let q = db.query("EXPLAIN SELECT * FROM emp WHERE id = 1").unwrap();
+        assert!(!q.rows.is_empty());
+        assert_eq!(q.columns, vec!["plan"]);
+    }
+
+    #[test]
+    fn create_table_if_not_exists() {
+        let mut db = db_with_data();
+        assert!(db.execute("CREATE TABLE emp (x INT)").is_err());
+        db.execute("CREATE TABLE IF NOT EXISTS emp (x INT)").unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong planning or executing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text failed to tokenize/parse.
+    Syntax(String),
+    /// Name resolution failed (unknown table/column/index, ambiguity).
+    Binding(String),
+    /// Catalog conflict (duplicate table/index, unknown drop target).
+    Catalog(String),
+    /// Type mismatch at plan or run time.
+    Type(String),
+    /// Constraint violated (NOT NULL, UNIQUE, arity).
+    Constraint(String),
+    /// Runtime evaluation failure (division by zero, bad cast).
+    Runtime(String),
+    /// Feature outside the implemented SQL subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax(m) => write!(f, "syntax error: {m}"),
+            DbError::Binding(m) => write!(f, "binding error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Runtime(m) => write!(f, "runtime error: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,408 @@
+//! Volcano-style executor: each operator is a pull iterator over rows.
+
+mod aggregate;
+mod join;
+
+use std::ops::Bound;
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, Result};
+use crate::plan::expr::{value_to_bool, ScalarExpr};
+use crate::plan::physical::PhysicalPlan;
+use crate::value::{Row, Value};
+
+pub use aggregate::HashAggregateExec;
+pub use join::{HashJoinExec, IndexNestedLoopJoinExec, IntervalJoinExec, NestedLoopJoinExec};
+
+/// A pull-based operator.
+pub trait Executor {
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Build an executor tree for a physical plan over a catalog.
+pub fn build_executor<'a>(
+    plan: &'a PhysicalPlan,
+    catalog: &'a Catalog,
+) -> Result<Box<dyn Executor + 'a>> {
+    Ok(match plan {
+        PhysicalPlan::SeqScan { table } => {
+            let t = catalog.table(table)?;
+            Box::new(SeqScanExec { iter: Box::new(t.scan().map(|(_, r)| r)) })
+        }
+        PhysicalPlan::IndexScan { table, index, lower, upper, residual } => {
+            let t = catalog.table(table)?;
+            let idx = t
+                .indexes
+                .iter()
+                .find(|i| i.name == *index)
+                .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
+            // The tree keys are composite; bound on the leading column only.
+            let to_key = |b: &Bound<Value>, lower_side: bool| -> Bound<Vec<Value>> {
+                match b {
+                    Bound::Unbounded => Bound::Unbounded,
+                    Bound::Included(v) => {
+                        if lower_side {
+                            Bound::Included(vec![v.clone()])
+                        } else {
+                            // Inclusive upper on a composite prefix: extend
+                            // with a maximal sentinel so all suffixes match.
+                            Bound::Included(max_key_after(v.clone(), idx.columns.len()))
+                        }
+                    }
+                    Bound::Excluded(v) => {
+                        if lower_side {
+                            Bound::Excluded(max_key_after(v.clone(), idx.columns.len()))
+                        } else {
+                            Bound::Excluded(vec![v.clone()])
+                        }
+                    }
+                }
+            };
+            let lo = to_key(lower, true);
+            let hi = to_key(upper, false);
+            let mut rids = Vec::new();
+            for (_, postings) in idx.tree.range(bound_ref(&lo), bound_ref(&hi)) {
+                rids.extend_from_slice(postings);
+            }
+            Box::new(IndexScanExec {
+                table: t,
+                rids,
+                pos: 0,
+                residual: residual.as_ref(),
+            })
+        }
+        PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec {
+            input: build_executor(input, catalog)?,
+            predicate,
+        }),
+        PhysicalPlan::Project { input, exprs } => Box::new(ProjectExec {
+            input: build_executor(input, catalog)?,
+            exprs,
+        }),
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            right_arity,
+        } => Box::new(HashJoinExec::new(
+            build_executor(left, catalog)?,
+            build_executor(right, catalog)?,
+            *kind,
+            left_keys,
+            right_keys,
+            residual.as_ref(),
+            *right_arity,
+        )),
+        PhysicalPlan::IndexNestedLoopJoin {
+            left,
+            table,
+            index,
+            left_key,
+            right_filter,
+            residual,
+            kind,
+            right_arity,
+        } => {
+            let t = catalog.table(table)?;
+            let idx = t
+                .indexes
+                .iter()
+                .find(|i| i.name == *index)
+                .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
+            Box::new(IndexNestedLoopJoinExec::new(
+                build_executor(left, catalog)?,
+                t,
+                idx,
+                left_key,
+                right_filter.as_ref(),
+                residual.as_ref(),
+                *kind,
+                *right_arity,
+            ))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, kind, on, right_arity } => {
+            Box::new(NestedLoopJoinExec::new(
+                build_executor(left, catalog)?,
+                build_executor(right, catalog)?,
+                *kind,
+                on.as_ref(),
+                *right_arity,
+            ))
+        }
+        PhysicalPlan::IntervalJoin {
+            left,
+            right,
+            right_key,
+            lo,
+            hi,
+            lo_strict,
+            hi_strict,
+            residual,
+        } => Box::new(IntervalJoinExec::new(
+            build_executor(left, catalog)?,
+            build_executor(right, catalog)?,
+            *right_key,
+            lo,
+            hi,
+            *lo_strict,
+            *hi_strict,
+            residual.as_ref(),
+        )),
+        PhysicalPlan::Sort { input, keys } => Box::new(SortExec {
+            input: Some(build_executor(input, catalog)?),
+            keys,
+            sorted: Vec::new(),
+            pos: 0,
+        }),
+        PhysicalPlan::HashAggregate { input, group_by, aggs } => Box::new(
+            HashAggregateExec::new(build_executor(input, catalog)?, group_by, aggs),
+        ),
+        PhysicalPlan::Limit { input, limit, offset } => Box::new(LimitExec {
+            input: build_executor(input, catalog)?,
+            remaining: limit.map(|l| l as usize),
+            to_skip: *offset as usize,
+        }),
+        PhysicalPlan::Distinct { input } => Box::new(DistinctExec {
+            input: build_executor(input, catalog)?,
+            seen: std::collections::HashSet::new(),
+        }),
+        PhysicalPlan::UnionAll { inputs } => {
+            let mut execs = Vec::new();
+            for i in inputs {
+                execs.push(build_executor(i, catalog)?);
+            }
+            execs.reverse();
+            Box::new(UnionAllExec { pending: execs, current: None })
+        }
+        PhysicalPlan::Values { rows } => Box::new(ValuesExec { rows, pos: 0 }),
+    })
+}
+
+fn bound_ref(b: &Bound<Vec<Value>>) -> Bound<&Vec<Value>> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+    }
+}
+
+/// A composite key that sorts after every key starting with `v` when the
+/// index has `arity` columns: `[v, Text(max), Text(max), ...]`.
+fn max_key_after(v: Value, arity: usize) -> Vec<Value> {
+    let mut key = vec![v];
+    for _ in 1..arity {
+        key.push(Value::Text("\u{10FFFF}\u{10FFFF}".into()));
+    }
+    key
+}
+
+/// Run a plan to completion, materializing all rows.
+pub fn run_to_vec(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Vec<Row>> {
+    let mut exec = build_executor(plan, catalog)?;
+    let mut out = Vec::new();
+    while let Some(row) = exec.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---- leaf and unary operators --------------------------------------------
+
+struct SeqScanExec<'a> {
+    iter: Box<dyn Iterator<Item = &'a Row> + 'a>,
+}
+
+impl Executor for SeqScanExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.iter.next().cloned())
+    }
+}
+
+struct IndexScanExec<'a> {
+    table: &'a crate::table::Table,
+    rids: Vec<usize>,
+    pos: usize,
+    residual: Option<&'a ScalarExpr>,
+}
+
+impl Executor for IndexScanExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while self.pos < self.rids.len() {
+            let rid = self.rids[self.pos];
+            self.pos += 1;
+            let Some(row) = self.table.get(rid) else { continue };
+            if let Some(res) = self.residual {
+                if value_to_bool(&res.eval(row)?) != Some(true) {
+                    continue;
+                }
+            }
+            return Ok(Some(row.clone()));
+        }
+        Ok(None)
+    }
+}
+
+struct FilterExec<'a> {
+    input: Box<dyn Executor + 'a>,
+    predicate: &'a ScalarExpr,
+}
+
+impl Executor for FilterExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if value_to_bool(&self.predicate.eval(&row)?) == Some(true) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectExec<'a> {
+    input: Box<dyn Executor + 'a>,
+    exprs: &'a [ScalarExpr],
+}
+
+impl Executor for ProjectExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in self.exprs {
+                    out.push(e.eval(&row)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+struct SortExec<'a> {
+    input: Option<Box<dyn Executor + 'a>>,
+    keys: &'a [(ScalarExpr, bool)],
+    sorted: Vec<Row>,
+    pos: usize,
+}
+
+impl Executor for SortExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(mut input) = self.input.take() {
+            let mut rows: Vec<(Vec<Value>, Row)> = Vec::new();
+            while let Some(row) = input.next()? {
+                let mut key = Vec::with_capacity(self.keys.len());
+                for (e, _) in self.keys {
+                    key.push(e.eval(&row)?);
+                }
+                rows.push((key, row));
+            }
+            let keys = self.keys;
+            rows.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, asc)) in keys.iter().enumerate() {
+                    let ord = ka[i].cmp(&kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.sorted = rows.into_iter().map(|(_, r)| r).collect();
+        }
+        if self.pos < self.sorted.len() {
+            let r = std::mem::take(&mut self.sorted[self.pos]);
+            self.pos += 1;
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+struct LimitExec<'a> {
+    input: Box<dyn Executor + 'a>,
+    remaining: Option<usize>,
+    to_skip: usize,
+}
+
+impl Executor for LimitExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while self.to_skip > 0 {
+            if self.input.next()?.is_none() {
+                return Ok(None);
+            }
+            self.to_skip -= 1;
+        }
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return Ok(None);
+            }
+            *rem -= 1;
+        }
+        self.input.next()
+    }
+}
+
+struct DistinctExec<'a> {
+    input: Box<dyn Executor + 'a>,
+    seen: std::collections::HashSet<Row>,
+}
+
+impl Executor for DistinctExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct UnionAllExec<'a> {
+    /// Remaining inputs in reverse order (pop from the back).
+    pending: Vec<Box<dyn Executor + 'a>>,
+    current: Option<Box<dyn Executor + 'a>>,
+}
+
+impl Executor for UnionAllExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(cur) = &mut self.current {
+                if let Some(row) = cur.next()? {
+                    return Ok(Some(row));
+                }
+                self.current = None;
+            }
+            match self.pending.pop() {
+                Some(next) => self.current = Some(next),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+struct ValuesExec<'a> {
+    rows: &'a [Vec<ScalarExpr>],
+    pos: usize,
+}
+
+impl Executor for ValuesExec<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let exprs = &self.rows[self.pos];
+        self.pos += 1;
+        let empty: Row = Vec::new();
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            out.push(e.eval(&empty)?);
+        }
+        Ok(Some(out))
+    }
+}

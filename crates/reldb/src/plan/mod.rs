@@ -1,0 +1,12 @@
+//! Query planning: bound expressions, logical plans, optimizer, physical plans.
+
+pub mod expr;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+pub mod reorder;
+
+pub use expr::{AggFunc, ScalarExpr, ScalarFunc};
+pub use logical::{bind_select, LogicalPlan, OutputCol, Scope};
+pub use optimizer::{optimize, OptimizerOptions};
+pub use physical::{plan_physical, PhysicalOptions, PhysicalPlan};

@@ -1,0 +1,152 @@
+//! Table schemas.
+
+use crate::error::{DbError, Result};
+use crate::value::{DataType, Value};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lowercase; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into().to_ascii_lowercase(), ty, nullable: true }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into().to_ascii_lowercase(), ty, nullable: false }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DbError::Catalog(format!("duplicate column {:?}", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Validate and coerce a row against this schema.
+    pub fn check_row(&self, mut row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.arity() {
+            return Err(DbError::Constraint(format!(
+                "expected {} values, got {}",
+                self.arity(),
+                row.len()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            let v = std::mem::replace(&mut row[i], Value::Null);
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(DbError::Constraint(format!(
+                        "column {:?} is NOT NULL",
+                        col.name
+                    )));
+                }
+                continue;
+            }
+            row[i] = v.coerce(col.ty).ok_or_else(|| {
+                DbError::Type(format!("column {:?} expects {}", col.name, col.ty))
+            })?;
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Text),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("NAME"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_coerces_and_validates() {
+        let s = schema();
+        let row = s
+            .check_row(vec![Value::text("7"), Value::Null, Value::Int(3)])
+            .unwrap();
+        assert_eq!(row[0], Value::Int(7));
+        assert_eq!(row[2], Value::Float(3.0));
+    }
+
+    #[test]
+    fn check_row_rejects_null_in_not_null() {
+        let s = schema();
+        assert!(matches!(
+            s.check_row(vec![Value::Null, Value::Null, Value::Null]),
+            Err(DbError::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn check_row_rejects_arity_mismatch() {
+        let s = schema();
+        assert!(s.check_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn check_row_rejects_uncoercible() {
+        let s = schema();
+        assert!(s
+            .check_row(vec![Value::text("x"), Value::Null, Value::Null])
+            .is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL front end: tokenizer, AST, and parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, SelectStmt, Statement};
+pub use parser::{parse_script, parse_statement};

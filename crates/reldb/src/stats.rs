@@ -1,0 +1,154 @@
+//! Table statistics: the ANALYZE-style snapshot behind the optimizer's
+//! cardinality estimates, exposed for inspection and for the experiment
+//! harness's storage accounting.
+
+use std::collections::HashSet;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct non-NULL values (exact from an index when one
+    /// leads with this column, otherwise computed by scanning).
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub nulls: usize,
+    /// Minimum non-NULL value.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value.
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Live rows.
+    pub rows: usize,
+    /// Per-column statistics.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Selectivity estimate for an equality predicate on `column`.
+    pub fn eq_selectivity(&self, column: &str) -> f64 {
+        self.columns
+            .iter()
+            .find(|c| c.name == column)
+            .map(|c| 1.0 / c.distinct.max(1) as f64)
+            .unwrap_or(0.1)
+    }
+}
+
+/// Compute statistics for a table (full scan; exact).
+pub fn analyze_table(t: &Table) -> TableStats {
+    let arity = t.schema.arity();
+    let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+    let mut nulls = vec![0usize; arity];
+    let mut mins: Vec<Option<&Value>> = vec![None; arity];
+    let mut maxs: Vec<Option<&Value>> = vec![None; arity];
+    let mut rows = 0;
+    for (_, row) in t.scan() {
+        rows += 1;
+        for (i, v) in row.iter().enumerate() {
+            if v.is_null() {
+                nulls[i] += 1;
+                continue;
+            }
+            distinct[i].insert(v);
+            if mins[i].map(|m| v < m).unwrap_or(true) {
+                mins[i] = Some(v);
+            }
+            if maxs[i].map(|m| v > m).unwrap_or(true) {
+                maxs[i] = Some(v);
+            }
+        }
+    }
+    TableStats {
+        table: t.name.clone(),
+        rows,
+        columns: t
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ColumnStats {
+                name: c.name.clone(),
+                distinct: distinct[i].len(),
+                nulls: nulls[i],
+                min: mins[i].cloned(),
+                max: maxs[i].cloned(),
+            })
+            .collect(),
+    }
+}
+
+/// Analyze every table in a catalog.
+pub fn analyze_all(catalog: &Catalog) -> Result<Vec<TableStats>> {
+    Ok(catalog.tables().map(analyze_table).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (k INT, label TEXT, v FLOAT);
+             INSERT INTO t VALUES
+               (1, 'a', 1.5), (2, 'a', 2.5), (3, 'b', NULL), (4, NULL, 0.5);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn exact_counts() {
+        let db = db();
+        let stats = analyze_table(db.catalog.table("t").unwrap());
+        assert_eq!(stats.rows, 4);
+        let label = &stats.columns[1];
+        assert_eq!(label.distinct, 2);
+        assert_eq!(label.nulls, 1);
+        assert_eq!(label.min, Some(Value::text("a")));
+        assert_eq!(label.max, Some(Value::text("b")));
+        let v = &stats.columns[2];
+        assert_eq!(v.nulls, 1);
+        assert_eq!(v.min, Some(Value::Float(0.5)));
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let db = db();
+        let stats = analyze_table(db.catalog.table("t").unwrap());
+        assert_eq!(stats.eq_selectivity("label"), 0.5);
+        assert_eq!(stats.eq_selectivity("k"), 0.25);
+        assert_eq!(stats.eq_selectivity("missing"), 0.1);
+    }
+
+    #[test]
+    fn deleted_rows_excluded() {
+        let mut db = db();
+        db.execute("DELETE FROM t WHERE label = 'a'").unwrap();
+        let stats = analyze_table(db.catalog.table("t").unwrap());
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.columns[1].distinct, 1);
+    }
+
+    #[test]
+    fn analyze_all_covers_catalog() {
+        let db = db();
+        let all = analyze_all(&db.catalog).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].table, "t");
+    }
+}

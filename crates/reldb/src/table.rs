@@ -1,0 +1,348 @@
+//! Heap tables with secondary B+-tree indexes.
+
+use std::ops::Bound;
+
+use crate::btree::{BPlusTree, RowId};
+use crate::error::{DbError, Result};
+use crate::schema::Schema;
+use crate::value::{value_size, Row, Value};
+
+/// A secondary (or primary) index over one or more columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Index name (unique per database).
+    pub name: String,
+    /// Indexed column positions, in key order.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    /// The tree: composite column values → row ids.
+    pub tree: BPlusTree<Vec<Value>>,
+}
+
+impl Index {
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+}
+
+/// A heap table: rows in insertion order with a tombstone per slot.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (stored lowercase).
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    rows: Vec<Row>,
+    live: Vec<bool>,
+    live_count: usize,
+    /// Indexes on this table.
+    pub indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            rows: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True when the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Validate, coerce, and insert a row; maintains all indexes.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        let row = self.schema.check_row(row)?;
+        // Unique checks before any mutation.
+        for idx in &self.indexes {
+            if idx.unique {
+                let key = idx.key_of(&row);
+                if idx.tree.contains_key(&key) {
+                    return Err(DbError::Constraint(format!(
+                        "unique index {:?} violated",
+                        idx.name
+                    )));
+                }
+            }
+        }
+        let rid = self.rows.len();
+        for idx in &mut self.indexes {
+            let key: Vec<Value> = idx.columns.iter().map(|&c| row[c].clone()).collect();
+            idx.tree.insert(key, rid);
+        }
+        self.rows.push(row);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(rid)
+    }
+
+    /// Bulk insert without per-row Result overhead in the caller.
+    pub fn insert_many(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        if *self.live.get(rid)? {
+            Some(&self.rows[rid])
+        } else {
+            None
+        }
+    }
+
+    /// Delete a row by id; maintains indexes. Returns false if already dead.
+    pub fn delete(&mut self, rid: RowId) -> bool {
+        if !self.live.get(rid).copied().unwrap_or(false) {
+            return false;
+        }
+        self.live[rid] = false;
+        self.live_count -= 1;
+        let row = self.rows[rid].clone();
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.tree.remove(&key, rid);
+        }
+        true
+    }
+
+    /// Replace a row in place; maintains indexes.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<()> {
+        if !self.live.get(rid).copied().unwrap_or(false) {
+            return Err(DbError::Runtime(format!("row {rid} is not live")));
+        }
+        let new_row = self.schema.check_row(new_row)?;
+        for idx in &self.indexes {
+            if idx.unique {
+                let key = idx.key_of(&new_row);
+                if idx.tree.get(&key).iter().any(|&r| r != rid) {
+                    return Err(DbError::Constraint(format!(
+                        "unique index {:?} violated",
+                        idx.name
+                    )));
+                }
+            }
+        }
+        let old = std::mem::replace(&mut self.rows[rid], new_row);
+        for i in 0..self.indexes.len() {
+            let old_key = self.indexes[i].key_of(&old);
+            let new_key = self.indexes[i].key_of(&self.rows[rid]);
+            if old_key != new_key {
+                self.indexes[i].tree.remove(&old_key, rid);
+                self.indexes[i].tree.insert(new_key, rid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate `(row_id, row)` over live rows in heap order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| self.live[*i])
+    }
+
+    /// Create an index over `columns` and backfill it from existing rows.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<()> {
+        let name = name.into().to_ascii_lowercase();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(DbError::Catalog(format!("index {name:?} already exists")));
+        }
+        if columns.iter().any(|&c| c >= self.schema.arity()) {
+            return Err(DbError::Binding("index column out of range".into()));
+        }
+        let mut idx = Index { name, columns, unique, tree: BPlusTree::new() };
+        for (rid, row) in self.rows.iter().enumerate() {
+            if !self.live[rid] {
+                continue;
+            }
+            let key = idx.key_of(row);
+            if idx.unique && idx.tree.contains_key(&key) {
+                return Err(DbError::Constraint(format!(
+                    "existing data violates unique index {:?}",
+                    idx.name
+                )));
+            }
+            idx.tree.insert(key, rid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Find an index whose leading columns are exactly `columns`' prefix.
+    pub fn index_on(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.columns.len() >= columns.len() && i.columns[..columns.len()] == *columns)
+    }
+
+    /// Look up row ids via an index range scan.
+    pub fn index_range(
+        &self,
+        index: &Index,
+        lower: Bound<&Vec<Value>>,
+        upper: Bound<&Vec<Value>>,
+    ) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for (_, postings) in index.tree.range(lower, upper) {
+            out.extend_from_slice(postings);
+        }
+        out
+    }
+
+    /// Approximate heap size in bytes (row payloads only; experiment E1's
+    /// storage accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.scan()
+            .map(|(_, row)| row.iter().map(value_size).sum::<usize>() + 8)
+            .sum()
+    }
+
+    /// Approximate index size in bytes (keys replicated per entry).
+    pub fn index_bytes(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|i| {
+                i.tree
+                    .iter()
+                    .map(|(k, p)| k.iter().map(value_size).sum::<usize>() + 8 * p.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("label", DataType::Text),
+            Column::new("score", DataType::Float),
+        ])
+        .unwrap();
+        Table::new("t", schema)
+    }
+
+    fn row(id: i64, label: &str, score: f64) -> Row {
+        vec![Value::Int(id), Value::text(label), Value::Float(score)]
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = table();
+        let r0 = t.insert(row(1, "a", 0.5)).unwrap();
+        let r1 = t.insert(row(2, "b", 1.5)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.delete(r0));
+        assert!(!t.delete(r0));
+        assert_eq!(t.len(), 1);
+        let rows: Vec<_> = t.scan().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, r1);
+    }
+
+    #[test]
+    fn unique_index_enforced() {
+        let mut t = table();
+        t.create_index("pk", vec![0], true).unwrap();
+        t.insert(row(1, "a", 0.0)).unwrap();
+        let err = t.insert(row(1, "b", 0.0)).unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn index_backfill_and_lookup() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }, i as f64))
+                .unwrap();
+        }
+        t.create_index("by_label", vec![1], false).unwrap();
+        let idx = t.index_on(&[1]).unwrap();
+        let key = vec![Value::text("even")];
+        let rids = t.index_range(idx, Bound::Included(&key), Bound::Included(&key));
+        assert_eq!(rids.len(), 50);
+        assert!(rids.iter().all(|&r| t.get(r).unwrap()[1] == Value::text("even")));
+    }
+
+    #[test]
+    fn index_maintained_on_delete_and_update() {
+        let mut t = table();
+        t.create_index("by_label", vec![1], false).unwrap();
+        let r = t.insert(row(1, "x", 0.0)).unwrap();
+        t.insert(row(2, "x", 0.0)).unwrap();
+        t.delete(r);
+        let idx = t.index_on(&[1]).unwrap();
+        assert_eq!(idx.tree.get(&vec![Value::text("x")]).len(), 1);
+
+        let r2 = t.scan().next().unwrap().0;
+        t.update(r2, row(2, "y", 0.0)).unwrap();
+        let idx = t.index_on(&[1]).unwrap();
+        assert!(idx.tree.get(&vec![Value::text("x")]).is_empty());
+        assert_eq!(idx.tree.get(&vec![Value::text("y")]).len(), 1);
+    }
+
+    #[test]
+    fn backfill_unique_violation_detected() {
+        let mut t = table();
+        t.insert(row(1, "a", 0.0)).unwrap();
+        t.insert(row(1, "b", 0.0)).unwrap();
+        assert!(t.create_index("pk", vec![0], true).is_err());
+    }
+
+    #[test]
+    fn composite_index_prefix_match() {
+        let mut t = table();
+        t.create_index("c", vec![1, 0], false).unwrap();
+        assert!(t.index_on(&[1]).is_some());
+        assert!(t.index_on(&[1, 0]).is_some());
+        assert!(t.index_on(&[0]).is_none());
+    }
+
+    #[test]
+    fn size_accounting_changes_with_rows() {
+        let mut t = table();
+        assert_eq!(t.heap_bytes(), 0);
+        t.insert(row(1, "abc", 1.0)).unwrap();
+        let one = t.heap_bytes();
+        t.insert(row(2, "defg", 1.0)).unwrap();
+        assert!(t.heap_bytes() > one);
+    }
+
+    #[test]
+    fn update_rejects_dead_row() {
+        let mut t = table();
+        let r = t.insert(row(1, "a", 0.0)).unwrap();
+        t.delete(r);
+        assert!(t.update(r, row(1, "b", 0.0)).is_err());
+    }
+}

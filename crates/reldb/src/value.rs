@@ -1,0 +1,326 @@
+//! Runtime values and column data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        })
+    }
+}
+
+/// A runtime value.
+///
+/// `Value` has a *total* order (`NULL < BOOL < INT/FLOAT < TEXT`, floats via
+/// `total_cmp`, ints and floats compared numerically within the numeric
+/// class) so it can key B+-trees and sort operators directly. SQL
+/// three-valued comparison semantics are layered on top in the expression
+/// evaluator, not here.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+}
+
+impl Value {
+    /// The value's data type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Convenience constructor from a &str.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Integer content, if the value is an INT.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text content, if the value is TEXT.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Float content, coercing INT.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if the value is BOOL.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Coerce to `ty` when a lossless/natural conversion exists
+    /// (INT→FLOAT, TEXT→INT/FLOAT parse, anything→TEXT); NULL passes through.
+    pub fn coerce(self, ty: DataType) -> Option<Value> {
+        match (&self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Text(_), DataType::Text)
+            | (Value::Bool(_), DataType::Bool) => Some(self),
+            (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) if f.fract() == 0.0 => Some(Value::Int(*f as i64)),
+            (Value::Text(s), DataType::Int) => s.trim().parse().ok().map(Value::Int),
+            (Value::Text(s), DataType::Float) => s.trim().parse().ok().map(Value::Float),
+            (v, DataType::Text) => Some(Value::Text(v.to_string())),
+            _ => None,
+        }
+    }
+
+    /// Class rank used by the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL, otherwise the
+    /// numeric/text ordering. Cross-class non-numeric comparisons compare
+    /// by class rank (deterministic, like SQLite's affinity fallback).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash alike because they
+            // compare equal; hash the float bit pattern of the value.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// A tuple of values.
+pub type Row = Vec<Value>;
+
+/// Approximate in-memory footprint of a value in bytes, used by storage
+/// accounting (experiment E1).
+pub fn value_size(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 8,
+        Value::Float(_) => 8,
+        Value::Text(s) => 16 + s.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_classes() {
+        let mut vals = [Value::text("a"),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5)];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(1.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::text("a"));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.9) < Value::Int(2));
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(2).coerce(DataType::Float), Some(Value::Float(2.0)));
+        assert_eq!(Value::text("42").coerce(DataType::Int), Some(Value::Int(42)));
+        assert_eq!(Value::text("x").coerce(DataType::Int), None);
+        assert_eq!(Value::Int(7).coerce(DataType::Text), Some(Value::text("7")));
+        assert_eq!(Value::Null.coerce(DataType::Int), Some(Value::Null));
+        assert_eq!(Value::Float(3.0).coerce(DataType::Int), Some(Value::Int(3)));
+        assert_eq!(Value::Float(3.5).coerce(DataType::Int), None);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_numeric_classes() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(5)), h(&Value::Float(5.0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(value_size(&Value::Int(1)), 8);
+        assert_eq!(value_size(&Value::text("abcd")), 20);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property test: the B+-tree behaves exactly like a sorted multimap
+//! (`BTreeMap<K, Vec<RowId>>`) under arbitrary interleaved operations.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use reldb::btree::{BPlusTree, RowId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, RowId),
+    Remove(i64, RowId),
+    Get(i64),
+    Range(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0i64..200, 0usize..8).prop_map(|(k, r)| Op::Insert(k, r)),
+        2 => (0i64..200, 0usize..8).prop_map(|(k, r)| Op::Remove(k, r)),
+        1 => (0i64..200).prop_map(Op::Get),
+        1 => (0i64..200, 0i64..200).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let mut tree: BPlusTree<i64> = BPlusTree::new();
+        let mut model: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, r) => {
+                    tree.insert(*k, *r);
+                    model.entry(*k).or_default().push(*r);
+                }
+                Op::Remove(k, r) => {
+                    let expected = model
+                        .get_mut(k)
+                        .and_then(|v| {
+                            v.iter().position(|x| x == r).map(|i| {
+                                v.swap_remove(i);
+                            })
+                        })
+                        .is_some();
+                    if model.get(k).map(Vec::is_empty).unwrap_or(false) {
+                        model.remove(k);
+                    }
+                    prop_assert_eq!(tree.remove(k, *r), expected);
+                }
+                Op::Get(k) => {
+                    let mut got = tree.get(k).to_vec();
+                    got.sort_unstable();
+                    let mut want = model.get(k).cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(lo, hi) => {
+                    let got: Vec<i64> = tree
+                        .range(Bound::Included(lo), Bound::Included(hi))
+                        .map(|(k, _)| *k)
+                        .collect();
+                    let want: Vec<i64> = model.range(*lo..=*hi).map(|(k, _)| *k).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.distinct_keys(), model.len());
+        prop_assert_eq!(tree.len(), model.values().map(Vec::len).sum::<usize>());
+        // Full iteration in key order.
+        let keys: Vec<i64> = tree.iter().map(|(k, _)| *k).collect();
+        let want: Vec<i64> = model.keys().copied().collect();
+        prop_assert_eq!(keys, want);
+    }
+}

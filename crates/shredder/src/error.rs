@@ -1,0 +1,48 @@
+//! Error type unifying XML and database failures.
+
+use std::fmt;
+
+use reldb::DbError;
+use xmlpar::XmlError;
+
+/// Anything that can go wrong while shredding or reconstructing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShredError {
+    /// Underlying XML parse error.
+    Xml(XmlError),
+    /// Underlying database error.
+    Db(DbError),
+    /// The stored data violates the scheme's invariants.
+    Corrupt(String),
+    /// The scheme cannot represent the document (e.g. inlining without a
+    /// DTD, or a document that does not conform to the DTD).
+    Unsupported(String),
+}
+
+impl fmt::Display for ShredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShredError::Xml(e) => write!(f, "xml: {e}"),
+            ShredError::Db(e) => write!(f, "db: {e}"),
+            ShredError::Corrupt(m) => write!(f, "corrupt mapping data: {m}"),
+            ShredError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShredError {}
+
+impl From<XmlError> for ShredError {
+    fn from(e: XmlError) -> ShredError {
+        ShredError::Xml(e)
+    }
+}
+
+impl From<DbError> for ShredError {
+    fn from(e: DbError) -> ShredError {
+        ShredError::Db(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ShredError>;

@@ -1,0 +1,207 @@
+//! Document traversal producing the flat node records every mapping
+//! scheme shreds from.
+
+use xmlpar::{Document, NodeId, NodeKind};
+
+/// Node kind in a flat record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecKind {
+    /// Element node.
+    Elem,
+    /// Attribute node.
+    Attr,
+    /// Text node.
+    Text,
+}
+
+impl RecKind {
+    /// Storage tag (the `kind` column value).
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecKind::Elem => "elem",
+            RecKind::Attr => "attr",
+            RecKind::Text => "text",
+        }
+    }
+
+    /// Parse a storage tag.
+    pub fn from_tag(s: &str) -> Option<RecKind> {
+        Some(match s {
+            "elem" => RecKind::Elem,
+            "attr" => RecKind::Attr,
+            "text" => RecKind::Text,
+            _ => return None,
+        })
+    }
+}
+
+/// One flattened node: everything any scheme needs to emit its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRec {
+    /// Pre-order number (0-based; attributes are numbered directly after
+    /// their owner element, before its content — Grust's convention).
+    pub pre: i64,
+    /// Pre number of the parent (None for the root element).
+    pub parent: Option<i64>,
+    /// Position among the parent's record children (attributes first, then
+    /// content), 0-based.
+    pub ordinal: i64,
+    /// Number of records in this subtree excluding self (so the subtree
+    /// occupies `pre ..= pre + size`).
+    pub size: i64,
+    /// Depth (root element = 0).
+    pub level: i64,
+    /// Kind.
+    pub kind: RecKind,
+    /// Element/attribute name (None for text).
+    pub name: Option<String>,
+    /// Attribute value or text content (None for elements).
+    pub value: Option<String>,
+}
+
+/// Flatten a document into pre-order records. Comments and processing
+/// instructions are not shredded (no published mapping scheme stores them;
+/// the tutorial's schemes all model the element/attribute/text projection).
+pub fn flatten(doc: &Document) -> Vec<NodeRec> {
+    let mut out = Vec::with_capacity(doc.len());
+    walk(doc, doc.root(), None, 0, 0, &mut out);
+    out
+}
+
+/// Returns the record index (== pre) of the subtree root it emitted.
+fn walk(
+    doc: &Document,
+    id: NodeId,
+    parent: Option<i64>,
+    ordinal: i64,
+    level: i64,
+    out: &mut Vec<NodeRec>,
+) -> Option<i64> {
+    match &doc.node(id).kind {
+        NodeKind::Element { name, attributes, children } => {
+            let my_pre = out.len() as i64;
+            out.push(NodeRec {
+                pre: my_pre,
+                parent,
+                ordinal,
+                size: 0,
+                level,
+                kind: RecKind::Elem,
+                name: Some(name.as_label()),
+                value: None,
+            });
+            let mut ord = 0;
+            for a in attributes {
+                let pre = out.len() as i64;
+                out.push(NodeRec {
+                    pre,
+                    parent: Some(my_pre),
+                    ordinal: ord,
+                    size: 0,
+                    level: level + 1,
+                    kind: RecKind::Attr,
+                    name: Some(a.name.as_label()),
+                    value: Some(a.value.clone()),
+                });
+                ord += 1;
+            }
+            for &c in children {
+                if walk(doc, c, Some(my_pre), ord, level + 1, out).is_some() {
+                    ord += 1;
+                }
+            }
+            let size = out.len() as i64 - my_pre - 1;
+            out[my_pre as usize].size = size;
+            Some(my_pre)
+        }
+        NodeKind::Text(t) => {
+            let pre = out.len() as i64;
+            out.push(NodeRec {
+                pre,
+                parent,
+                ordinal,
+                size: 0,
+                level,
+                kind: RecKind::Text,
+                name: None,
+                value: Some(t.clone()),
+            });
+            Some(pre)
+        }
+        // Comments and PIs are not shredded.
+        NodeKind::Comment(_) | NodeKind::Pi { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(xml: &str) -> Vec<NodeRec> {
+        flatten(&Document::parse(xml).unwrap())
+    }
+
+    #[test]
+    fn pre_order_numbering() {
+        let recs = flat("<a><b>t</b><c/></a>");
+        let names: Vec<Option<&str>> = recs.iter().map(|r| r.name.as_deref()).collect();
+        assert_eq!(names, vec![Some("a"), Some("b"), None, Some("c")]);
+        assert_eq!(recs[0].size, 3);
+        assert_eq!(recs[1].size, 1);
+        assert_eq!(recs[2].kind, RecKind::Text);
+        assert_eq!(recs[3].size, 0);
+    }
+
+    #[test]
+    fn attributes_numbered_before_content() {
+        let recs = flat(r#"<a x="1" y="2"><b/></a>"#);
+        assert_eq!(recs[1].kind, RecKind::Attr);
+        assert_eq!(recs[1].name.as_deref(), Some("x"));
+        assert_eq!(recs[2].name.as_deref(), Some("y"));
+        assert_eq!(recs[3].name.as_deref(), Some("b"));
+        // Root subtree spans everything.
+        assert_eq!(recs[0].size, 3);
+        // Ordinals: x=0, y=1, b=2.
+        assert_eq!(recs[3].ordinal, 2);
+    }
+
+    #[test]
+    fn levels_and_parents() {
+        let recs = flat("<a><b><c/></b></a>");
+        assert_eq!(recs[2].level, 2);
+        assert_eq!(recs[2].parent, Some(1));
+        assert_eq!(recs[1].parent, Some(0));
+        assert_eq!(recs[0].parent, None);
+    }
+
+    #[test]
+    fn interval_containment_invariant() {
+        let recs = flat("<a><b><c/><d/></b><e>x</e></a>");
+        for r in &recs {
+            if let Some(p) = r.parent {
+                let parent = &recs[p as usize];
+                assert!(parent.pre < r.pre);
+                assert!(r.pre <= parent.pre + parent.size, "child inside parent interval");
+            }
+        }
+    }
+
+    #[test]
+    fn comments_skipped_ordinals_contiguous() {
+        let recs = flat("<a><!-- c --><b/><?pi d?><c/></a>");
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].ordinal, 0);
+        assert_eq!(recs[2].ordinal, 1);
+    }
+
+    #[test]
+    fn mixed_content_text_ordinals() {
+        let recs = flat("<p>x<em>y</em>z</p>");
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[1].kind, RecKind::Text);
+        assert_eq!(recs[1].ordinal, 0);
+        assert_eq!(recs[2].name.as_deref(), Some("em"));
+        assert_eq!(recs[2].ordinal, 1);
+        assert_eq!(recs[4].ordinal, 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! XMark-style auction corpus.
+//!
+//! A scaled-down, DTD-conforming analogue of the XMark benchmark document
+//! (`site` with regions/items, people, open and closed auctions). The
+//! generator is seeded and parameterized by a scale factor; scale 1.0
+//! produces roughly 10k elements. The DTD below drives the inlining
+//! scheme, and the element/attribute shapes exercise every query class in
+//! the workload: long child chains, `//` at several depths, value
+//! predicates on attributes and text, and joins via id references.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlpar::{Document, NodeId, QName};
+
+use crate::words::{person_name, sentence};
+
+/// The corpus DTD (internal-subset syntax, for DTD-driven inlining).
+pub const AUCTION_DTD: &str = r#"
+<!ELEMENT site (regions, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (region*)>
+<!ELEMENT region (item*)>
+<!ATTLIST region name CDATA #REQUIRED>
+<!ELEMENT item (name, description, price)>
+<!ATTLIST item id CDATA #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, profile?)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT profile (interest*, age?)>
+<!ELEMENT interest (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (itemref, seller, initial, bidder*)>
+<!ATTLIST open_auction id CDATA #REQUIRED>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item CDATA #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person CDATA #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, increase)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (itemref, buyer, finalprice)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person CDATA #REQUIRED>
+<!ELEMENT finalprice (#PCDATA)>
+"#;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AuctionConfig {
+    /// Scale factor; 1.0 ≈ 10k elements.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> AuctionConfig {
+        AuctionConfig { scale: 0.1, seed: 20030301 }
+    }
+}
+
+impl AuctionConfig {
+    /// Config at a scale with the default seed.
+    pub fn at_scale(scale: f64) -> AuctionConfig {
+        AuctionConfig { scale, ..AuctionConfig::default() }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// The six region names.
+pub const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generate the auction document.
+pub fn generate(cfg: &AuctionConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let items = cfg.count(400);
+    let people = cfg.count(250);
+    let open = cfg.count(120);
+    let closed = cfg.count(60);
+
+    let mut doc = Document::new_with_root(QName::local("site"));
+    let site = doc.root();
+
+    // Regions with items.
+    let regions = add(&mut doc, site, "regions", &[]);
+    let mut item_ids = Vec::with_capacity(items);
+    let per_region = items.div_ceil(REGIONS.len());
+    let mut item_no = 0usize;
+    for region_name in REGIONS {
+        if item_no >= items {
+            break;
+        }
+        let region = add(&mut doc, regions, "region", &[("name", region_name)]);
+        for _ in 0..per_region {
+            if item_no >= items {
+                break;
+            }
+            let id = format!("item{item_no}");
+            let featured = if rng.gen_bool(0.1) { "yes" } else { "no" };
+            let item = add(&mut doc, region, "item", &[("id", &id), ("featured", featured)]);
+            let name = sentence(&mut rng, 2);
+            add_text_el(&mut doc, item, "name", &name);
+            add_text_el(&mut doc, item, "description", &sentence(&mut rng, 12));
+            add_text_el(&mut doc, item, "price", &format!("{}", rng.gen_range(1..=100)));
+            item_ids.push(id);
+            item_no += 1;
+        }
+    }
+
+    // People.
+    let people_el = add(&mut doc, site, "people", &[]);
+    for p in 0..people {
+        let id = format!("person{p}");
+        let person = add(&mut doc, people_el, "person", &[("id", &id)]);
+        let pname = person_name(&mut rng, p);
+        add_text_el(&mut doc, person, "name", &pname);
+        add_text_el(
+            &mut doc,
+            person,
+            "emailaddress",
+            &format!("mailto:{}@example.org", pname.to_lowercase().replace(' ', ".")),
+        );
+        if rng.gen_bool(0.7) {
+            let profile = add(&mut doc, person, "profile", &[]);
+            for _ in 0..rng.gen_range(0..3usize) {
+                let interest = sentence(&mut rng, 1);
+                add_text_el(&mut doc, profile, "interest", &interest);
+            }
+            if rng.gen_bool(0.8) {
+                add_text_el(&mut doc, profile, "age", &format!("{}", rng.gen_range(18..80)));
+            }
+        }
+    }
+
+    // Open auctions.
+    let opens = add(&mut doc, site, "open_auctions", &[]);
+    for a in 0..open {
+        let id = format!("open{a}");
+        let auction = add(&mut doc, opens, "open_auction", &[("id", &id)]);
+        let item = &item_ids[rng.gen_range(0..item_ids.len())];
+        add(&mut doc, auction, "itemref", &[("item", item)]);
+        let seller = format!("person{}", rng.gen_range(0..people));
+        add(&mut doc, auction, "seller", &[("person", &seller)]);
+        add_text_el(&mut doc, auction, "initial", &format!("{}", rng.gen_range(1..=50)));
+        for _ in 0..rng.gen_range(0..5usize) {
+            let bidder = add(&mut doc, auction, "bidder", &[]);
+            add_text_el(
+                &mut doc,
+                bidder,
+                "date",
+                &format!(
+                    "2002-{:02}-{:02}",
+                    rng.gen_range(1..=12),
+                    rng.gen_range(1..=28)
+                ),
+            );
+            add_text_el(&mut doc, bidder, "increase", &format!("{}", rng.gen_range(1..=20)));
+        }
+    }
+
+    // Closed auctions.
+    let closeds = add(&mut doc, site, "closed_auctions", &[]);
+    for _ in 0..closed {
+        let auction = add(&mut doc, closeds, "closed_auction", &[]);
+        let item = &item_ids[rng.gen_range(0..item_ids.len())];
+        add(&mut doc, auction, "itemref", &[("item", item)]);
+        let buyer = format!("person{}", rng.gen_range(0..people));
+        add(&mut doc, auction, "buyer", &[("person", &buyer)]);
+        add_text_el(
+            &mut doc,
+            auction,
+            "finalprice",
+            &format!("{}", rng.gen_range(10..=200)),
+        );
+    }
+
+    doc
+}
+
+/// Generate and serialize (for parser-driven pipelines).
+pub fn generate_xml(cfg: &AuctionConfig) -> String {
+    xmlpar::serialize::to_string(&generate(cfg))
+}
+
+fn add(doc: &mut Document, parent: NodeId, name: &str, attrs: &[(&str, &str)]) -> NodeId {
+    let attributes = attrs
+        .iter()
+        .map(|(n, v)| xmlpar::Attribute { name: QName::local(*n), value: (*v).to_string() })
+        .collect();
+    doc.add_element(parent, QName::local(name), attributes)
+}
+
+fn add_text_el(doc: &mut Document, parent: NodeId, name: &str, text: &str) -> NodeId {
+    let el = add(doc, parent, name, &[]);
+    doc.add_text(el, text);
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = AuctionConfig::at_scale(0.05);
+        assert_eq!(generate_xml(&cfg), generate_xml(&cfg));
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&AuctionConfig::at_scale(0.05)).element_count();
+        let large = generate(&AuctionConfig::at_scale(0.2)).element_count();
+        assert!(large > small * 2, "{large} vs {small}");
+    }
+
+    #[test]
+    fn structure_matches_expectations() {
+        let doc = generate(&AuctionConfig::at_scale(0.05));
+        let root = doc.root();
+        assert_eq!(doc.name(root).unwrap().local, "site");
+        let hist = doc.label_histogram();
+        assert!(hist["item"] >= 20);
+        assert!(hist["person"] >= 12);
+        assert!(hist.contains_key("open_auction"));
+        assert!(hist.contains_key("closed_auction"));
+    }
+
+    #[test]
+    fn conforms_to_dtd_for_inlining() {
+        // The DTD must parse and accept the generated document's shape.
+        let dtd = xmlpar::dtd::parse_dtd_fragment(AUCTION_DTD).unwrap();
+        assert!(dtd.elements.contains_key("site"));
+        let norm = dtd.normalize();
+        assert!(norm["item"].children.iter().any(|(c, _)| c == "name"));
+    }
+
+    #[test]
+    fn serialized_form_reparses() {
+        let xml = generate_xml(&AuctionConfig::at_scale(0.05));
+        let doc = Document::parse(&xml).unwrap();
+        assert_eq!(doc.name(doc.root()).unwrap().local, "site");
+    }
+}

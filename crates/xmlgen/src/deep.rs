@@ -1,0 +1,104 @@
+//! Deep recursive corpus: nested `section` trees (the worst case for
+//! child-chain translation and the showcase for native descendant axes
+//! and for recursive-DTD handling in the inlining scheme).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlpar::{Document, NodeId, QName};
+
+use crate::words::sentence;
+
+/// The corpus DTD — `section` is recursive.
+pub const DEEP_DTD: &str = r#"
+<!ELEMENT report (section*)>
+<!ELEMENT section (heading, para*, section*)>
+<!ATTLIST section depth CDATA #IMPLIED>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+"#;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepConfig {
+    /// Maximum nesting depth of sections.
+    pub depth: usize,
+    /// Sections per level.
+    pub fanout: usize,
+    /// Paragraphs per section.
+    pub paras: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepConfig {
+    fn default() -> DeepConfig {
+        DeepConfig { depth: 6, fanout: 3, paras: 2, seed: 4242 }
+    }
+}
+
+/// Generate the recursive document.
+pub fn generate(cfg: &DeepConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut doc = Document::new_with_root(QName::local("report"));
+    let root = doc.root();
+    for _ in 0..cfg.fanout {
+        section(&mut doc, root, 1, cfg, &mut rng);
+    }
+    doc
+}
+
+/// Generate and serialize.
+pub fn generate_xml(cfg: &DeepConfig) -> String {
+    xmlpar::serialize::to_string(&generate(cfg))
+}
+
+fn section(doc: &mut Document, parent: NodeId, depth: usize, cfg: &DeepConfig, rng: &mut SmallRng) {
+    let s = doc.add_element(
+        parent,
+        QName::local("section"),
+        vec![xmlpar::Attribute {
+            name: QName::local("depth"),
+            value: depth.to_string(),
+        }],
+    );
+    let h = doc.add_element(s, QName::local("heading"), vec![]);
+    let heading = sentence(rng, 3);
+    doc.add_text(h, heading);
+    for _ in 0..cfg.paras {
+        let p = doc.add_element(s, QName::local("para"), vec![]);
+        let n = rng.gen_range(5..15);
+        let t = sentence(rng, n);
+        doc.add_text(p, t);
+    }
+    if depth < cfg.depth {
+        for _ in 0..cfg.fanout.min(2) {
+            section(doc, s, depth + 1, cfg, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_reached() {
+        let cfg = DeepConfig { depth: 5, fanout: 2, paras: 1, seed: 1 };
+        let doc = generate(&cfg);
+        // report=0, sections 1..5, heading=6, its text node=7.
+        assert_eq!(doc.max_depth(), 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = DeepConfig::default();
+        assert_eq!(generate_xml(&cfg), generate_xml(&cfg));
+    }
+
+    #[test]
+    fn recursive_dtd_parses() {
+        let dtd = xmlpar::dtd::parse_dtd_fragment(DEEP_DTD).unwrap();
+        let norm = dtd.normalize();
+        assert!(norm["section"].children.iter().any(|(c, _)| c == "section"));
+    }
+}

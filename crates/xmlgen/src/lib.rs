@@ -1,0 +1,22 @@
+//! `xmlgen` — deterministic synthetic XML corpora and the benchmark query
+//! workload for the `xmlrel` experiments.
+//!
+//! Substitutes for the datasets the published experiments used (XMark,
+//! DBLP, document archives): each generator is seeded, parameterized on
+//! the structural axes that matter (fanout, depth, recursion, text ratio),
+//! and ships a DTD so the inlining scheme can be exercised.
+
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod dblp;
+pub mod deep;
+pub mod queries;
+pub mod textheavy;
+pub mod words;
+
+pub use auction::{AuctionConfig, AUCTION_DTD};
+pub use dblp::{DblpConfig, DBLP_DTD};
+pub use deep::{DeepConfig, DEEP_DTD};
+pub use queries::{QueryClass, WorkloadQuery, AUCTION_QUERIES, DBLP_QUERIES, DEEP_QUERIES};
+pub use textheavy::{TextConfig, TEXT_DTD};

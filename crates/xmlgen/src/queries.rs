@@ -1,0 +1,193 @@
+//! The benchmark query workload (Q1–Q12) over the auction corpus, plus
+//! per-corpus extras. Each query is annotated with the class it exercises
+//! so experiments can slice by class.
+
+/// Query class, for experiment grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Pure child-axis chain.
+    ChildChain,
+    /// Contains one or more descendant (`//`) steps.
+    Descendant,
+    /// Value predicate (attribute or text comparison).
+    ValuePredicate,
+    /// Positional predicate.
+    Positional,
+    /// FLWOR (iteration, where, order by, join, constructor).
+    Flwor,
+}
+
+/// One workload query.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadQuery {
+    /// Identifier ("Q1"...).
+    pub id: &'static str,
+    /// Query text in the implemented XPath/FLWOR subset.
+    pub text: &'static str,
+    /// Class.
+    pub class: QueryClass,
+    /// Human description.
+    pub description: &'static str,
+}
+
+/// The auction-corpus workload.
+pub const AUCTION_QUERIES: &[WorkloadQuery] = &[
+    WorkloadQuery {
+        id: "Q1",
+        text: "/site/regions/region/item/name",
+        class: QueryClass::ChildChain,
+        description: "item names via a 5-step child chain",
+    },
+    WorkloadQuery {
+        id: "Q2",
+        text: "/site/people/person[@id = 'person7']/name",
+        class: QueryClass::ValuePredicate,
+        description: "point lookup by person id",
+    },
+    WorkloadQuery {
+        id: "Q3",
+        text: "/site/open_auctions/open_auction/bidder/increase",
+        class: QueryClass::ChildChain,
+        description: "all bid increases",
+    },
+    WorkloadQuery {
+        id: "Q4",
+        text: "//item/name",
+        class: QueryClass::Descendant,
+        description: "leading descendant step",
+    },
+    WorkloadQuery {
+        id: "Q5",
+        text: "//open_auction//increase",
+        class: QueryClass::Descendant,
+        description: "double descendant",
+    },
+    WorkloadQuery {
+        id: "Q6",
+        text: "/site/people//age",
+        class: QueryClass::Descendant,
+        description: "trailing descendant (order-preserving case)",
+    },
+    WorkloadQuery {
+        id: "Q7",
+        text: "/site/people/person[profile/age > 40]/name",
+        class: QueryClass::ValuePredicate,
+        description: "nested-path numeric predicate",
+    },
+    WorkloadQuery {
+        id: "Q8",
+        text: "/site/regions/region/item[price > 90]/name",
+        class: QueryClass::ValuePredicate,
+        description: "selective text-value range predicate",
+    },
+    WorkloadQuery {
+        id: "Q9",
+        text: "//item[@featured = 'yes']/name",
+        class: QueryClass::ValuePredicate,
+        description: "attribute equality under //",
+    },
+    WorkloadQuery {
+        id: "Q10",
+        text: "/site/people/person/name/text()",
+        class: QueryClass::ChildChain,
+        description: "text() values",
+    },
+    WorkloadQuery {
+        id: "Q11",
+        text: "for $p in /site/people/person where $p/profile/age > 60 \
+               order by $p/name return $p/name",
+        class: QueryClass::Flwor,
+        description: "FLWOR with where and order by",
+    },
+    WorkloadQuery {
+        id: "Q12",
+        text: "for $a in /site/open_auctions/open_auction, \
+               $p in /site/people/person \
+               where $a/seller/@person = $p/@id and $p/profile/age > 50 \
+               return <sale>{$p/name, $a/initial}</sale>",
+        class: QueryClass::Flwor,
+        description: "FLWOR join on id reference with constructor",
+    },
+];
+
+/// Queries of one class.
+pub fn by_class(class: QueryClass) -> Vec<&'static WorkloadQuery> {
+    AUCTION_QUERIES.iter().filter(|q| q.class == class).collect()
+}
+
+/// Find a query by id.
+pub fn by_id(id: &str) -> Option<&'static WorkloadQuery> {
+    AUCTION_QUERIES.iter().find(|q| q.id == id)
+}
+
+/// DBLP-corpus path queries (join-count experiment E6).
+pub const DBLP_QUERIES: &[WorkloadQuery] = &[
+    WorkloadQuery {
+        id: "D1",
+        text: "/dblp/article/title",
+        class: QueryClass::ChildChain,
+        description: "article titles",
+    },
+    WorkloadQuery {
+        id: "D2",
+        text: "/dblp/article[year = '2000']/title",
+        class: QueryClass::ValuePredicate,
+        description: "titles from 2000",
+    },
+    WorkloadQuery {
+        id: "D3",
+        text: "/dblp/inproceedings[booktitle = 'ICDE']/author",
+        class: QueryClass::ValuePredicate,
+        description: "ICDE authors",
+    },
+    WorkloadQuery {
+        id: "D4",
+        text: "//author",
+        class: QueryClass::Descendant,
+        description: "all authors anywhere",
+    },
+];
+
+/// Deep-corpus queries (recursion experiment E12).
+pub const DEEP_QUERIES: &[WorkloadQuery] = &[
+    WorkloadQuery {
+        id: "R1",
+        text: "//section/heading",
+        class: QueryClass::Descendant,
+        description: "headings at every depth",
+    },
+    WorkloadQuery {
+        id: "R2",
+        text: "/report/section/section/section/heading",
+        class: QueryClass::ChildChain,
+        description: "exact-depth chain",
+    },
+    WorkloadQuery {
+        id: "R3",
+        text: "//section[@depth = '4']/heading",
+        class: QueryClass::ValuePredicate,
+        description: "depth-4 headings by attribute",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for q in AUCTION_QUERIES.iter().chain(DBLP_QUERIES).chain(DEEP_QUERIES) {
+            xqir::parse_query(q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn classes_cover_workload() {
+        assert!(!by_class(QueryClass::ChildChain).is_empty());
+        assert!(!by_class(QueryClass::Descendant).is_empty());
+        assert!(!by_class(QueryClass::ValuePredicate).is_empty());
+        assert!(!by_class(QueryClass::Flwor).is_empty());
+        assert!(by_id("Q5").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Text-heavy corpus: few elements, large text payloads and mixed
+//! content — stresses value storage, `contains()` translation, and the
+//! mixed-content paths of every scheme.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlpar::{Document, QName};
+
+use crate::words::sentence;
+
+/// The corpus DTD (mixed content in `para`).
+pub const TEXT_DTD: &str = r#"
+<!ELEMENT archive (entry*)>
+<!ELEMENT entry (subject, body)>
+<!ATTLIST entry id CDATA #REQUIRED>
+<!ELEMENT subject (#PCDATA)>
+<!ELEMENT body (para*)>
+<!ELEMENT para (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+"#;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TextConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Paragraphs per entry.
+    pub paras: usize,
+    /// Words per paragraph.
+    pub words: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TextConfig {
+    fn default() -> TextConfig {
+        TextConfig { entries: 50, paras: 4, words: 60, seed: 777 }
+    }
+}
+
+/// Generate the archive document.
+pub fn generate(cfg: &TextConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut doc = Document::new_with_root(QName::local("archive"));
+    let root = doc.root();
+    for i in 0..cfg.entries {
+        let entry = doc.add_element(
+            root,
+            QName::local("entry"),
+            vec![xmlpar::Attribute { name: QName::local("id"), value: format!("e{i}") }],
+        );
+        let subj = doc.add_element(entry, QName::local("subject"), vec![]);
+        let subject = sentence(&mut rng, 5);
+        doc.add_text(subj, subject);
+        let body = doc.add_element(entry, QName::local("body"), vec![]);
+        for _ in 0..cfg.paras {
+            let para = doc.add_element(body, QName::local("para"), vec![]);
+            // Mixed content: text, an emphasized span, more text.
+            let first = sentence(&mut rng, cfg.words / 2);
+            doc.add_text(para, first + " ");
+            if rng.gen_bool(0.5) {
+                let em = doc.add_element(para, QName::local("em"), vec![]);
+                let hot = sentence(&mut rng, 2);
+                doc.add_text(em, hot);
+                let rest = sentence(&mut rng, cfg.words / 2);
+                doc.add_text(para, format!(" {rest}"));
+            } else {
+                let rest = sentence(&mut rng, cfg.words / 2);
+                doc.add_text(para, rest);
+            }
+        }
+    }
+    doc
+}
+
+/// Generate and serialize.
+pub fn generate_xml(cfg: &TextConfig) -> String {
+    xmlpar::serialize::to_string(&generate(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_dominates_structure() {
+        let cfg = TextConfig { entries: 10, paras: 3, words: 40, seed: 1 };
+        let doc = generate(&cfg);
+        let xml = xmlpar::serialize::to_string(&doc);
+        let tags: usize = doc.element_count() * 10; // ~10 bytes of markup per element
+        assert!(xml.len() > tags * 2, "text should dominate: {} vs {}", xml.len(), tags);
+    }
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let cfg = TextConfig::default();
+        let xml = generate_xml(&cfg);
+        assert_eq!(xml, generate_xml(&cfg));
+        assert!(xml.contains("<em>"));
+    }
+
+    #[test]
+    fn dtd_parses() {
+        let dtd = xmlpar::dtd::parse_dtd_fragment(TEXT_DTD).unwrap();
+        let norm = dtd.normalize();
+        assert!(norm["para"].pcdata);
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic pseudo-natural text generation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A fixed vocabulary (Shakespeare-flavoured, as XMark's generator uses).
+pub const WORDS: &[&str] = &[
+    "the", "quick", "auction", "price", "gold", "silver", "merchant", "harbor", "letter",
+    "season", "winter", "summer", "market", "guild", "ledger", "promise", "journey", "river",
+    "mountain", "castle", "key", "door", "window", "garden", "rose", "thorn", "crown", "sword",
+    "shield", "banner", "wagon", "horse", "road", "bridge", "tower", "bell", "song", "story",
+    "page", "ink", "quill", "scroll", "candle", "lantern", "shadow", "light", "dawn", "dusk",
+    "tide", "shore", "ship", "sail", "anchor", "compass", "map", "treasure", "chest", "coin",
+    "bargain", "trade", "offer", "bid", "seal", "wax", "ribbon", "cloth", "silk", "wool",
+    "spice", "salt", "honey", "bread", "wine", "barrel", "cellar", "attic", "roof", "stone",
+];
+
+/// Generate `n` space-separated words.
+pub fn sentence(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 6);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A personal name like "Quick Merchant42".
+pub fn person_name(rng: &mut SmallRng, id: usize) -> String {
+    let first = WORDS[rng.gen_range(0..WORDS.len())];
+    let last = WORDS[rng.gen_range(0..WORDS.len())];
+    let mut f: Vec<char> = first.chars().collect();
+    f[0] = f[0].to_ascii_uppercase();
+    let mut l: Vec<char> = last.chars().collect();
+    l[0] = l[0].to_ascii_uppercase();
+    format!(
+        "{} {}{id}",
+        f.into_iter().collect::<String>(),
+        l.into_iter().collect::<String>()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(sentence(&mut a, 10), sentence(&mut b, 10));
+    }
+
+    #[test]
+    fn sentence_word_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 7);
+        assert_eq!(s.split(' ').count(), 7);
+    }
+
+    #[test]
+    fn names_capitalized_and_unique_by_id() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n1 = person_name(&mut rng, 1);
+        let n2 = person_name(&mut rng, 2);
+        assert_ne!(n1, n2);
+        assert!(n1.chars().next().unwrap().is_uppercase());
+    }
+}

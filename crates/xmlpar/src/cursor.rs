@@ -1,0 +1,207 @@
+//! A byte cursor over the input with line/column tracking.
+
+use crate::error::{Position, Result, XmlError, XmlErrorKind};
+
+/// Cursor over an in-memory UTF-8 input.
+///
+/// All parsing in this crate is done over a fully materialized input slice;
+/// the tutorial workloads are documents, not infinite streams, and an
+/// in-memory cursor keeps the parser allocation-free on the hot path.
+pub struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    /// Create a cursor over `input`.
+    pub fn new(input: &'a [u8]) -> Cursor<'a> {
+        Cursor { input, pos: 0, line: 1, col: 1 }
+    }
+
+    /// Current position (for error reporting).
+    pub fn position(&self) -> Position {
+        Position { offset: self.pos, line: self.line, column: self.col }
+    }
+
+    /// Byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Peek the current byte without consuming it.
+    pub fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    /// Peek `n` bytes ahead of the current byte.
+    pub fn peek_at(&self, n: usize) -> Option<u8> {
+        self.input.get(self.pos + n).copied()
+    }
+
+    /// Consume and return the current byte.
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Consume the current byte, erroring at EOF.
+    pub fn bump_or_eof(&mut self) -> Result<u8> {
+        let p = self.position();
+        self.bump().ok_or_else(|| XmlError::new(XmlErrorKind::UnexpectedEof, p))
+    }
+
+    /// Error for an unexpected byte (or EOF) at the current position.
+    pub fn unexpected(&self) -> XmlError {
+        match self.peek() {
+            Some(b) => XmlError::new(XmlErrorKind::UnexpectedByte(b), self.position()),
+            None => XmlError::new(XmlErrorKind::UnexpectedEof, self.position()),
+        }
+    }
+
+    /// If the input at the cursor starts with `s`, consume it and return true.
+    pub fn eat(&mut self, s: &[u8]) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `s` or error.
+    pub fn expect(&mut self, s: &[u8]) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.unexpected())
+        }
+    }
+
+    /// True if the input at the cursor starts with `s` (no consumption).
+    pub fn looking_at(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Skip XML whitespace (space, tab, CR, LF); returns how many bytes
+    /// were skipped.
+    pub fn skip_ws(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.bump();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Require at least one whitespace byte, then skip the rest.
+    pub fn expect_ws(&mut self) -> Result<()> {
+        if self.skip_ws() == 0 {
+            Err(self.unexpected())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consume bytes while `pred` holds; returns the consumed slice.
+    pub fn take_while(&mut self, mut pred: impl FnMut(u8) -> bool) -> &'a [u8] {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.input[start..self.pos]
+    }
+
+    /// Consume until the terminator sequence `term` is seen; the terminator
+    /// itself is consumed but excluded from the returned slice. Errors on EOF.
+    pub fn take_until(&mut self, term: &[u8]) -> Result<&'a [u8]> {
+        let start = self.pos;
+        loop {
+            if self.at_eof() {
+                return Err(XmlError::new(XmlErrorKind::UnexpectedEof, self.position()));
+            }
+            if self.looking_at(term) {
+                let s = &self.input[start..self.pos];
+                self.expect(term)?;
+                return Ok(s);
+            }
+            self.bump();
+        }
+    }
+
+    /// Borrow the slice between two byte offsets.
+    pub fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        &self.input[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut c = Cursor::new(b"ab\ncd");
+        assert_eq!(c.bump(), Some(b'a'));
+        assert_eq!(c.position().column, 2);
+        c.bump();
+        c.bump(); // newline
+        let p = c.position();
+        assert_eq!((p.line, p.column), (2, 1));
+        assert_eq!(c.bump(), Some(b'c'));
+    }
+
+    #[test]
+    fn eat_consumes_only_on_match() {
+        let mut c = Cursor::new(b"<?xml");
+        assert!(!c.eat(b"<!"));
+        assert_eq!(c.offset(), 0);
+        assert!(c.eat(b"<?"));
+        assert_eq!(c.offset(), 2);
+    }
+
+    #[test]
+    fn take_until_excludes_terminator() {
+        let mut c = Cursor::new(b"hello-->rest");
+        let s = c.take_until(b"-->").unwrap();
+        assert_eq!(s, b"hello");
+        assert!(c.looking_at(b"rest"));
+    }
+
+    #[test]
+    fn take_until_eof_errors() {
+        let mut c = Cursor::new(b"no terminator");
+        assert!(c.take_until(b"-->").is_err());
+    }
+
+    #[test]
+    fn skip_ws_counts() {
+        let mut c = Cursor::new(b"  \t\nx");
+        assert_eq!(c.skip_ws(), 4);
+        assert_eq!(c.peek(), Some(b'x'));
+        assert_eq!(c.skip_ws(), 0);
+    }
+}

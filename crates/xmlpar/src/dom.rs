@@ -1,0 +1,474 @@
+//! Arena-based DOM: the "tree with random access" representation from the
+//! tutorial's storage-structures taxonomy.
+//!
+//! Nodes live in a flat arena indexed by [`NodeId`]; ids are stable for the
+//! life of the document and double as document-order pre-order numbers for
+//! freshly parsed documents (mutation can break that correspondence — the
+//! shredders that need exact pre-order always recompute it by traversal).
+
+use std::collections::BTreeMap;
+
+use crate::dtd::Dtd;
+use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::event::{Attribute, XmlEvent};
+use crate::qname::QName;
+use crate::reader::Reader;
+
+/// Index of a node in the document arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena slot as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with attributes and ordered children.
+    Element {
+        /// Tag name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// Child node ids in document order.
+        children: Vec<NodeId>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// Target.
+        target: String,
+        /// Data.
+        data: String,
+    },
+}
+
+/// A node: payload plus parent link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Parent element (`None` only for the root element).
+    pub parent: Option<NodeId>,
+    /// Payload.
+    pub kind: NodeKind,
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// DTD from the internal subset, if the document had one.
+    pub dtd: Option<Dtd>,
+}
+
+impl Document {
+    /// Parse a document from a string.
+    pub fn parse(input: &str) -> Result<Document> {
+        let mut reader = Reader::new(input);
+        Document::from_reader(&mut reader)
+    }
+
+    /// Build a document by draining a [`Reader`].
+    pub fn from_reader(reader: &mut Reader<'_>) -> Result<Document> {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root: Option<NodeId> = None;
+        while let Some(ev) = reader.next() {
+            match ev? {
+                XmlEvent::StartDocument | XmlEvent::EndDocument => {}
+                XmlEvent::StartElement { name, attributes } => {
+                    let id = NodeId(nodes.len() as u32);
+                    let parent = stack.last().copied();
+                    nodes.push(Node {
+                        parent,
+                        kind: NodeKind::Element { name, attributes, children: Vec::new() },
+                    });
+                    if let Some(p) = parent {
+                        push_child(&mut nodes, p, id);
+                    } else if root.is_none() {
+                        root = Some(id);
+                    }
+                    stack.push(id);
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) => {
+                    // Whitespace-only text between elements is kept only
+                    // inside mixed content; pure-structure regions drop it,
+                    // matching what every published shredder does.
+                    let Some(&parent) = stack.last() else { continue };
+                    if t.is_empty() {
+                        continue;
+                    }
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Text(t) });
+                    push_child(&mut nodes, parent, id);
+                }
+                XmlEvent::Comment(c) => {
+                    let Some(&parent) = stack.last() else { continue };
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Comment(c) });
+                    push_child(&mut nodes, parent, id);
+                }
+                XmlEvent::Pi { target, data } => {
+                    let Some(&parent) = stack.last() else { continue };
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Pi { target, data } });
+                    push_child(&mut nodes, parent, id);
+                }
+            }
+        }
+        let root = root.ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::InvalidDocumentStructure("no root element".into()),
+                crate::error::Position::start(),
+            )
+        })?;
+        let mut doc = Document { nodes, root, dtd: reader.take_dtd() };
+        doc.trim_structural_whitespace();
+        Ok(doc)
+    }
+
+    /// Build a document programmatically from a root element name.
+    pub fn new_with_root(name: QName) -> Document {
+        Document {
+            nodes: vec![Node {
+                parent: None,
+                kind: NodeKind::Element { name, attributes: Vec::new(), children: Vec::new() },
+            }],
+            root: NodeId(0),
+            dtd: None,
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total node count (elements + text + comments + PIs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Append a child element under `parent`; returns the new node's id.
+    pub fn add_element(
+        &mut self,
+        parent: NodeId,
+        name: QName,
+        attributes: Vec<Attribute>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            kind: NodeKind::Element { name, attributes, children: Vec::new() },
+        });
+        push_child(&mut self.nodes, parent, id);
+        id
+    }
+
+    /// Append an attribute to element `id` (builder support for
+    /// reconstruction from relational storage).
+    pub fn add_attribute(&mut self, id: NodeId, name: QName, value: impl Into<String>) {
+        if let NodeKind::Element { attributes, .. } = &mut self.nodes[id.index()].kind {
+            attributes.push(crate::event::Attribute { name, value: value.into() });
+        }
+    }
+
+    /// Append a text child under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { parent: Some(parent), kind: NodeKind::Text(text.into()) });
+        push_child(&mut self.nodes, parent, id);
+        id
+    }
+
+    /// Element name of `id`, if it is an element.
+    pub fn name(&self, id: NodeId) -> Option<&QName> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Children of `id` (empty for non-elements).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match &self.node(id).kind {
+            NodeKind::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// Attributes of `id` (empty for non-elements).
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Value of attribute `name` on element `id`.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name.as_label() == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Child elements of `id` with tag `label`.
+    pub fn child_elements<'a>(
+        &'a self,
+        id: NodeId,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.name(c).map(|n| n.as_label() == label).unwrap_or(false))
+    }
+
+    /// Concatenated text of all descendant text nodes (the XPath
+    /// string-value of an element).
+    pub fn text_of(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { children, .. } => {
+                for &c in children {
+                    self.collect_text(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Immediate text content: concatenation of direct text children only.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(id) {
+            if let NodeKind::Text(t) = &self.node(c).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Depth of `id` (root is depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (including `id`).
+    pub fn descendants(&self, id: NodeId) -> PreOrder<'_> {
+        PreOrder { doc: self, stack: vec![id] }
+    }
+
+    /// Pre-order traversal of the whole document from the root.
+    pub fn iter(&self) -> PreOrder<'_> {
+        self.descendants(self.root)
+    }
+
+    /// Count of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    /// Maximum element depth in the document.
+    pub fn max_depth(&self) -> usize {
+        self.iter().map(|id| self.depth(id)).max().unwrap_or(0)
+    }
+
+    /// Distinct element labels with their occurrence counts.
+    pub fn label_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for node in &self.nodes {
+            if let NodeKind::Element { name, .. } = &node.kind {
+                *hist.entry(name.as_label()).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Drop whitespace-only text nodes whose siblings include elements
+    /// (i.e. indentation between tags). Text inside leaf elements is kept
+    /// even if it is whitespace.
+    fn trim_structural_whitespace(&mut self) {
+        let drop: Vec<NodeId> = (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| {
+                let node = &self.nodes[id.index()];
+                let NodeKind::Text(t) = &node.kind else { return false };
+                if !t.chars().all(|c| c.is_ascii_whitespace()) {
+                    return false;
+                }
+                let Some(p) = node.parent else { return false };
+                // Keep whitespace in true mixed content (non-ws text among
+                // the siblings); drop it when siblings are elements only.
+                let siblings = self.children(p);
+                siblings.len() > 1
+                    && siblings.iter().any(|&s| {
+                        matches!(self.nodes[s.index()].kind, NodeKind::Element { .. })
+                    })
+                    && !siblings.iter().any(|&s| {
+                        matches!(&self.nodes[s.index()].kind,
+                            NodeKind::Text(other) if !other.chars().all(|c| c.is_ascii_whitespace()))
+                    })
+            })
+            .collect();
+        for id in drop {
+            let parent = self.nodes[id.index()].parent.expect("text has parent");
+            if let NodeKind::Element { children, .. } = &mut self.nodes[parent.index()].kind {
+                children.retain(|&c| c != id);
+            }
+            // Arena slot stays (ids stable); payload cleared.
+            self.nodes[id.index()].kind = NodeKind::Text(String::new());
+            self.nodes[id.index()].parent = None;
+        }
+    }
+}
+
+fn push_child(nodes: &mut [Node], parent: NodeId, child: NodeId) {
+    if let NodeKind::Element { children, .. } = &mut nodes[parent.index()].kind {
+        children.push(child);
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct PreOrder<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for PreOrder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = self.doc.children(id);
+        for &c in children.iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOK: &str = r#"<book year="1967">
+        <title>The politics of experience</title>
+        <author><firstname>Ronald</firstname><lastname>Laing</lastname></author>
+    </book>"#;
+
+    #[test]
+    fn parses_tutorial_book() {
+        let doc = Document::parse(BOOK).unwrap();
+        let root = doc.root();
+        assert_eq!(doc.name(root).unwrap().as_label(), "book");
+        assert_eq!(doc.attribute(root, "year"), Some("1967"));
+        let title = doc.child_elements(root, "title").next().unwrap();
+        assert_eq!(doc.text_of(title), "The politics of experience");
+    }
+
+    #[test]
+    fn structural_whitespace_dropped_content_kept() {
+        let doc = Document::parse(BOOK).unwrap();
+        let root = doc.root();
+        // Children of book are exactly title and author (no ws text nodes).
+        assert_eq!(doc.children(root).len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_whitespace_kept() {
+        let doc = Document::parse("<p>hello <em>world</em> again</p>").unwrap();
+        assert_eq!(doc.text_of(doc.root()), "hello world again");
+    }
+
+    #[test]
+    fn preorder_visits_document_order() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let labels: Vec<String> = doc
+            .iter()
+            .filter_map(|id| doc.name(id).map(|n| n.as_label()))
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn depth_and_max_depth() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        assert_eq!(doc.max_depth(), 2);
+        let c = doc
+            .iter()
+            .find(|&id| doc.name(id).map(|n| n.local == "c").unwrap_or(false))
+            .unwrap();
+        assert_eq!(doc.depth(c), 2);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let doc = Document::parse("<a><b/><b/><c/></a>").unwrap();
+        let h = doc.label_histogram();
+        assert_eq!(h["b"], 2);
+        assert_eq!(h["a"], 1);
+        assert_eq!(doc.element_count(), 4);
+    }
+
+    #[test]
+    fn direct_text_excludes_descendants() {
+        let doc = Document::parse("<a>x<b>y</b>z</a>").unwrap();
+        assert_eq!(doc.direct_text(doc.root()), "xz");
+        assert_eq!(doc.text_of(doc.root()), "xyz");
+    }
+
+    #[test]
+    fn programmatic_construction() {
+        let mut doc = Document::new_with_root(QName::local("r"));
+        let child = doc.add_element(doc.root(), QName::local("c"), vec![]);
+        doc.add_text(child, "v");
+        assert_eq!(doc.text_of(doc.root()), "v");
+        assert_eq!(doc.children(doc.root()), &[child]);
+    }
+
+    #[test]
+    fn dtd_travels_with_document() {
+        let doc = Document::parse(
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>",
+        )
+        .unwrap();
+        assert!(doc.dtd.is_some());
+    }
+}

@@ -1,0 +1,704 @@
+//! DTD (internal subset) parsing and the tutorial's normalization rules.
+//!
+//! The DTD-to-relational inlining scheme (Shanmugasundaram et al. 1999, as
+//! taught by the tutorial) does not work on raw content models; it first
+//! *simplifies* them with these rewrite rules:
+//!
+//! ```text
+//! (e1, e2)*  ->  e1*, e2*
+//! (e1, e2)?  ->  e1?, e2?
+//! (e1 | e2)  ->  e1?, e2?
+//! e1**       ->  e1*
+//! e1*?       ->  e1*
+//! e1??       ->  e1?
+//! e1+        ->  e1*          (generalized quantifier: be less specific)
+//! ..., a*, ..., a*, ... -> a*, ...   (merge repeated names)
+//! ```
+//!
+//! The result of normalization is, per element type, a set of child labels
+//! each with a cardinality in `{One, Opt, Many}` plus a PCDATA flag — which
+//! is exactly the input the inliner needs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cursor::Cursor;
+use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::qname::{is_name_byte, is_name_start_byte};
+
+/// Occurrence indicator on a content particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repetition {
+    /// Exactly once (no indicator).
+    One,
+    /// `?`
+    Optional,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+}
+
+impl Repetition {
+    /// Combine nested indicators, e.g. `(x*)?` is `x*`.
+    pub fn combine(self, outer: Repetition) -> Repetition {
+        use Repetition::*;
+        match (self, outer) {
+            (One, o) => o,
+            (i, One) => i,
+            (Optional, Optional) => Optional,
+            // Any combination involving * or + repeats without bound; the
+            // tutorial's "be less specific" rule sends them all to Star.
+            _ => Star,
+        }
+    }
+}
+
+impl fmt::Display for Repetition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Repetition::One => Ok(()),
+            Repetition::Optional => f.write_str("?"),
+            Repetition::Star => f.write_str("*"),
+            Repetition::Plus => f.write_str("+"),
+        }
+    }
+}
+
+/// A content particle inside an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Particle {
+    /// A child element name with its occurrence indicator.
+    Name(String, Repetition),
+    /// A sequence `(a, b, c)` with an indicator.
+    Seq(Vec<Particle>, Repetition),
+    /// A choice `(a | b | c)` with an indicator.
+    Choice(Vec<Particle>, Repetition),
+}
+
+/// The declared content of an element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`
+    Empty,
+    /// `ANY`
+    Any,
+    /// `(#PCDATA)`
+    PcData,
+    /// `(#PCDATA | a | b)*` — mixed content.
+    Mixed(Vec<String>),
+    /// Element content: a particle tree.
+    Children(Particle),
+}
+
+/// Declared attribute type (only the distinctions the mapper cares about).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA` and tokenized types other than ID/IDREF.
+    CData,
+    /// `ID`
+    Id,
+    /// `IDREF`
+    IdRef,
+    /// Enumerated `(a | b | c)`.
+    Enumeration(Vec<String>),
+}
+
+/// Attribute default spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED`
+    Required,
+    /// `#IMPLIED`
+    Implied,
+    /// A literal default (optionally `#FIXED`).
+    Value(String),
+}
+
+/// One attribute declaration from an ATTLIST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttType,
+    /// Default spec.
+    pub default: AttDefault,
+}
+
+/// A parsed internal DTD subset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dtd {
+    /// Root element named in the DOCTYPE declaration.
+    pub root: Option<String>,
+    /// Element declarations by element name.
+    pub elements: BTreeMap<String, ContentModel>,
+    /// Attribute declarations by element name.
+    pub attlists: BTreeMap<String, Vec<AttDef>>,
+}
+
+/// Cardinality of a child after normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Card {
+    /// Exactly one.
+    One,
+    /// Zero or one.
+    Opt,
+    /// Zero or more.
+    Many,
+}
+
+impl Card {
+    fn from_rep(r: Repetition) -> Card {
+        match r {
+            Repetition::One => Card::One,
+            Repetition::Optional => Card::Opt,
+            Repetition::Star | Repetition::Plus => Card::Many,
+        }
+    }
+
+    /// Merging two occurrences of the same name: the tutorial's rule merges
+    /// duplicates to `*`.
+    fn merge(self, _other: Card) -> Card {
+        Card::Many
+    }
+}
+
+/// The normalized (flattened) content of one element type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormalizedModel {
+    /// Child labels in first-appearance order, each with a cardinality.
+    pub children: Vec<(String, Card)>,
+    /// Whether text content is allowed (`#PCDATA`, mixed, or `ANY`).
+    pub pcdata: bool,
+}
+
+impl Dtd {
+    /// Normalize every declared element with the tutorial's rewrite rules.
+    pub fn normalize(&self) -> BTreeMap<String, NormalizedModel> {
+        self.elements
+            .iter()
+            .map(|(name, model)| (name.clone(), normalize_model(model)))
+            .collect()
+    }
+
+    /// Element names declared in this DTD.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(String::as_str)
+    }
+
+    /// Attribute declarations for `element`, or an empty slice.
+    pub fn attributes_of(&self, element: &str) -> &[AttDef] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Normalize one content model.
+pub fn normalize_model(model: &ContentModel) -> NormalizedModel {
+    match model {
+        ContentModel::Empty => NormalizedModel::default(),
+        ContentModel::Any => NormalizedModel { children: Vec::new(), pcdata: true },
+        ContentModel::PcData => NormalizedModel { children: Vec::new(), pcdata: true },
+        ContentModel::Mixed(names) => {
+            let mut out = NormalizedModel { children: Vec::new(), pcdata: true };
+            for n in names {
+                push_child(&mut out.children, n.clone(), Card::Many);
+            }
+            out
+        }
+        ContentModel::Children(p) => {
+            let mut out = NormalizedModel::default();
+            flatten(p, Repetition::One, &mut out.children);
+            out
+        }
+    }
+}
+
+fn push_child(children: &mut Vec<(String, Card)>, name: String, card: Card) {
+    if let Some(existing) = children.iter_mut().find(|(n, _)| *n == name) {
+        existing.1 = existing.1.merge(card);
+    } else {
+        children.push((name, card));
+    }
+}
+
+fn flatten(p: &Particle, outer: Repetition, out: &mut Vec<(String, Card)>) {
+    match p {
+        Particle::Name(n, r) => {
+            push_child(out, n.clone(), Card::from_rep(r.combine(outer)));
+        }
+        Particle::Seq(items, r) => {
+            // (e1, e2)X -> e1 X', e2 X' where X' = each item's rep ⊕ X.
+            let eff = r.combine(outer);
+            for item in items {
+                flatten(item, eff, out);
+            }
+        }
+        Particle::Choice(items, r) => {
+            // (e1 | e2)X -> e1?, e2? (then ⊕ X): membership becomes optional.
+            let eff = Repetition::Optional.combine(r.combine(outer));
+            for item in items {
+                flatten(item, eff, out);
+            }
+        }
+    }
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn dtd_err(cur: &Cursor<'_>, msg: &str) -> XmlError {
+    XmlError::new(XmlErrorKind::InvalidDtd(msg.to_string()), cur.position())
+}
+
+fn parse_dtd_name(cur: &mut Cursor<'_>) -> Result<String> {
+    match cur.peek() {
+        Some(b) if is_name_start_byte(b) => {}
+        _ => return Err(dtd_err(cur, "expected a name")),
+    }
+    let raw = cur.take_while(is_name_byte);
+    std::str::from_utf8(raw)
+        .map(str::to_string)
+        .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, cur.position()))
+}
+
+/// Parse `<!DOCTYPE name (SYSTEM/PUBLIC ids)? [internal subset]? >` with the
+/// cursor positioned at `<!DOCTYPE`.
+pub fn parse_doctype(cur: &mut Cursor<'_>) -> Result<Dtd> {
+    cur.expect(b"<!DOCTYPE")?;
+    cur.expect_ws()?;
+    let mut dtd = Dtd { root: Some(parse_dtd_name(cur)?), ..Dtd::default() };
+    cur.skip_ws();
+    // External id: skipped (no external entity resolution offline).
+    if cur.eat(b"SYSTEM") {
+        cur.skip_ws();
+        skip_quoted(cur)?;
+        cur.skip_ws();
+    } else if cur.eat(b"PUBLIC") {
+        cur.skip_ws();
+        skip_quoted(cur)?;
+        cur.skip_ws();
+        skip_quoted(cur)?;
+        cur.skip_ws();
+    }
+    if cur.eat(b"[") {
+        parse_internal_subset(cur, &mut dtd)?;
+        cur.skip_ws();
+    }
+    cur.expect(b">")?;
+    Ok(dtd)
+}
+
+fn skip_quoted(cur: &mut Cursor<'_>) -> Result<()> {
+    let q = match cur.peek() {
+        Some(q @ (b'"' | b'\'')) => q,
+        _ => return Err(dtd_err(cur, "expected quoted literal")),
+    };
+    cur.bump();
+    cur.take_while(|b| b != q);
+    cur.bump_or_eof()?;
+    Ok(())
+}
+
+fn parse_internal_subset(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
+    loop {
+        cur.skip_ws();
+        if cur.eat(b"]") {
+            return Ok(());
+        }
+        if cur.looking_at(b"<!--") {
+            cur.expect(b"<!--")?;
+            cur.take_until(b"-->")?;
+        } else if cur.looking_at(b"<!ELEMENT") {
+            parse_element_decl(cur, dtd)?;
+        } else if cur.looking_at(b"<!ATTLIST") {
+            parse_attlist_decl(cur, dtd)?;
+        } else if cur.looking_at(b"<!ENTITY") || cur.looking_at(b"<!NOTATION") {
+            // Recorded nowhere: general entities and notations play no part
+            // in any mapping scheme; consume up to the closing '>'.
+            cur.take_until(b">")?;
+        } else if cur.looking_at(b"<?") {
+            cur.expect(b"<?")?;
+            cur.take_until(b"?>")?;
+        } else if cur.at_eof() {
+            return Err(dtd_err(cur, "unterminated internal subset"));
+        } else {
+            return Err(dtd_err(cur, "unrecognized declaration in internal subset"));
+        }
+    }
+}
+
+fn parse_element_decl(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
+    cur.expect(b"<!ELEMENT")?;
+    cur.expect_ws()?;
+    let name = parse_dtd_name(cur)?;
+    cur.expect_ws()?;
+    let model = if cur.eat(b"EMPTY") {
+        ContentModel::Empty
+    } else if cur.eat(b"ANY") {
+        ContentModel::Any
+    } else {
+        parse_content_spec(cur)?
+    };
+    cur.skip_ws();
+    cur.expect(b">")?;
+    dtd.elements.insert(name, model);
+    Ok(())
+}
+
+fn parse_content_spec(cur: &mut Cursor<'_>) -> Result<ContentModel> {
+    if !cur.looking_at(b"(") {
+        return Err(dtd_err(cur, "expected '(' in content model"));
+    }
+    // Lookahead for #PCDATA to distinguish mixed content.
+    let save = cur.offset();
+    cur.expect(b"(")?;
+    cur.skip_ws();
+    if cur.eat(b"#PCDATA") {
+        cur.skip_ws();
+        if cur.eat(b")") {
+            cur.eat(b"*");
+            return Ok(ContentModel::PcData);
+        }
+        let mut names = Vec::new();
+        while cur.eat(b"|") {
+            cur.skip_ws();
+            names.push(parse_dtd_name(cur)?);
+            cur.skip_ws();
+        }
+        cur.expect(b")")?;
+        cur.expect(b"*")?;
+        return Ok(ContentModel::Mixed(names));
+    }
+    // Not mixed: re-parse as an element-content particle from '('.
+    let _ = save; // cursor already consumed '('; parse the group body.
+    let particle = parse_group_body(cur)?;
+    Ok(ContentModel::Children(particle))
+}
+
+/// Parse the inside of a group, the cursor just past `(`; consumes the
+/// closing `)` and any repetition indicator.
+fn parse_group_body(cur: &mut Cursor<'_>) -> Result<Particle> {
+    let mut items = vec![parse_cp(cur)?];
+    cur.skip_ws();
+    let mut sep: Option<u8> = None;
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            Some(b')') => {
+                cur.bump();
+                break;
+            }
+            Some(s @ (b',' | b'|')) => {
+                if let Some(prev) = sep {
+                    if prev != s {
+                        return Err(dtd_err(cur, "mixed ',' and '|' in one group"));
+                    }
+                } else {
+                    sep = Some(s);
+                }
+                cur.bump();
+                cur.skip_ws();
+                items.push(parse_cp(cur)?);
+            }
+            _ => return Err(dtd_err(cur, "expected ',', '|' or ')' in content model")),
+        }
+    }
+    let rep = parse_rep(cur);
+    Ok(match sep {
+        Some(b'|') => Particle::Choice(items, rep),
+        _ if items.len() == 1 => {
+            // Single-item group: collapse, combining indicators.
+            match items.into_iter().next().expect("one item") {
+                Particle::Name(n, r) => Particle::Name(n, r.combine(rep)),
+                Particle::Seq(v, r) => Particle::Seq(v, r.combine(rep)),
+                Particle::Choice(v, r) => Particle::Choice(v, r.combine(rep)),
+            }
+        }
+        _ => Particle::Seq(items, rep),
+    })
+}
+
+fn parse_cp(cur: &mut Cursor<'_>) -> Result<Particle> {
+    if cur.eat(b"(") {
+        parse_group_body(cur)
+    } else {
+        let name = parse_dtd_name(cur)?;
+        let rep = parse_rep(cur);
+        Ok(Particle::Name(name, rep))
+    }
+}
+
+fn parse_rep(cur: &mut Cursor<'_>) -> Repetition {
+    match cur.peek() {
+        Some(b'?') => {
+            cur.bump();
+            Repetition::Optional
+        }
+        Some(b'*') => {
+            cur.bump();
+            Repetition::Star
+        }
+        Some(b'+') => {
+            cur.bump();
+            Repetition::Plus
+        }
+        _ => Repetition::One,
+    }
+}
+
+fn parse_attlist_decl(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
+    cur.expect(b"<!ATTLIST")?;
+    cur.expect_ws()?;
+    let element = parse_dtd_name(cur)?;
+    let defs = dtd.attlists.entry(element).or_default();
+    loop {
+        cur.skip_ws();
+        if cur.eat(b">") {
+            return Ok(());
+        }
+        let name = parse_dtd_name(cur)?;
+        cur.expect_ws()?;
+        let ty = if cur.eat(b"CDATA") {
+            AttType::CData
+        } else if cur.eat(b"IDREFS") || cur.eat(b"IDREF") {
+            AttType::IdRef
+        } else if cur.eat(b"ID") {
+            AttType::Id
+        } else if cur.eat(b"NMTOKENS")
+            || cur.eat(b"NMTOKEN")
+            || cur.eat(b"ENTITIES")
+            || cur.eat(b"ENTITY")
+        {
+            AttType::CData
+        } else if cur.eat(b"(") {
+            let mut opts = Vec::new();
+            loop {
+                cur.skip_ws();
+                opts.push(parse_dtd_name(cur)?);
+                cur.skip_ws();
+                if cur.eat(b")") {
+                    break;
+                }
+                if !cur.eat(b"|") {
+                    return Err(dtd_err(cur, "expected '|' or ')' in enumeration"));
+                }
+            }
+            AttType::Enumeration(opts)
+        } else {
+            return Err(dtd_err(cur, "unrecognized attribute type"));
+        };
+        cur.expect_ws()?;
+        let default = if cur.eat(b"#REQUIRED") {
+            AttDefault::Required
+        } else if cur.eat(b"#IMPLIED") {
+            AttDefault::Implied
+        } else {
+            cur.eat(b"#FIXED");
+            cur.skip_ws();
+            let q = match cur.peek() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return Err(dtd_err(cur, "expected default value literal")),
+            };
+            cur.bump();
+            let raw = cur.take_while(|b| b != q);
+            let v = std::str::from_utf8(raw)
+                .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, cur.position()))?
+                .to_string();
+            cur.bump_or_eof()?;
+            AttDefault::Value(v)
+        };
+        defs.push(AttDef { name, ty, default });
+    }
+}
+
+/// Parse a standalone DTD fragment (the internal-subset syntax without the
+/// surrounding DOCTYPE), e.g. for loading schema files in tests/examples.
+pub fn parse_dtd_fragment(input: &str) -> Result<Dtd> {
+    let mut cur = Cursor::new(input.as_bytes());
+    let mut dtd = Dtd::default();
+    loop {
+        cur.skip_ws();
+        if cur.at_eof() {
+            return Ok(dtd);
+        }
+        if cur.looking_at(b"<!--") {
+            cur.expect(b"<!--")?;
+            cur.take_until(b"-->")?;
+        } else if cur.looking_at(b"<!ELEMENT") {
+            parse_element_decl(&mut cur, &mut dtd)?;
+        } else if cur.looking_at(b"<!ATTLIST") {
+            parse_attlist_decl(&mut cur, &mut dtd)?;
+        } else if cur.looking_at(b"<!ENTITY") || cur.looking_at(b"<!NOTATION") {
+            cur.take_until(b">")?;
+        } else {
+            return Err(dtd_err(&cur, "unrecognized declaration"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(input: &str) -> Dtd {
+        parse_dtd_fragment(input).unwrap()
+    }
+
+    #[test]
+    fn parses_tutorial_example() {
+        let dtd = parse(
+            r#"<!ELEMENT book (title, author)>
+               <!ELEMENT article (title, author*)>
+               <!ATTLIST book price CDATA #IMPLIED>
+               <!ELEMENT title (#PCDATA)>
+               <!ELEMENT author (firstname, lastname)>
+               <!ELEMENT firstname (#PCDATA)>
+               <!ELEMENT lastname (#PCDATA)>
+               <!ATTLIST author age CDATA #IMPLIED>"#,
+        );
+        assert_eq!(dtd.elements.len(), 6);
+        assert_eq!(dtd.attributes_of("book").len(), 1);
+        let norm = dtd.normalize();
+        let book = &norm["book"];
+        assert_eq!(
+            book.children,
+            vec![("title".to_string(), Card::One), ("author".to_string(), Card::One)]
+        );
+        let article = &norm["article"];
+        assert_eq!(article.children[1], ("author".to_string(), Card::Many));
+        assert!(norm["title"].pcdata);
+    }
+
+    #[test]
+    fn normalization_distributes_star_over_seq() {
+        // (e1, e2)* -> e1*, e2*
+        let dtd = parse("<!ELEMENT a ((b, c)*)>");
+        let norm = dtd.normalize();
+        assert_eq!(
+            norm["a"].children,
+            vec![("b".to_string(), Card::Many), ("c".to_string(), Card::Many)]
+        );
+    }
+
+    #[test]
+    fn normalization_distributes_opt_over_seq() {
+        // (e1, e2)? -> e1?, e2?
+        let dtd = parse("<!ELEMENT a ((b, c)?)>");
+        let norm = dtd.normalize();
+        assert_eq!(
+            norm["a"].children,
+            vec![("b".to_string(), Card::Opt), ("c".to_string(), Card::Opt)]
+        );
+    }
+
+    #[test]
+    fn normalization_choice_becomes_optionals() {
+        // (e1 | e2) -> e1?, e2?
+        let dtd = parse("<!ELEMENT a (b | c)>");
+        let norm = dtd.normalize();
+        assert_eq!(
+            norm["a"].children,
+            vec![("b".to_string(), Card::Opt), ("c".to_string(), Card::Opt)]
+        );
+    }
+
+    #[test]
+    fn normalization_collapses_nested_quantifiers() {
+        // e** -> e*, e*? -> e*, e?? -> e?
+        let dtd = parse("<!ELEMENT a ((b*)*)><!ELEMENT x ((y*)?)><!ELEMENT p ((q?)?)>");
+        let norm = dtd.normalize();
+        assert_eq!(norm["a"].children[0].1, Card::Many);
+        assert_eq!(norm["x"].children[0].1, Card::Many);
+        assert_eq!(norm["p"].children[0].1, Card::Opt);
+    }
+
+    #[test]
+    fn normalization_plus_becomes_star() {
+        let dtd = parse("<!ELEMENT a (b+)>");
+        assert_eq!(dtd.normalize()["a"].children[0].1, Card::Many);
+    }
+
+    #[test]
+    fn normalization_merges_duplicates() {
+        // a*, ..., a* -> a*
+        let dtd = parse("<!ELEMENT r (a, b, a)>");
+        let norm = dtd.normalize();
+        assert_eq!(
+            norm["r"].children,
+            vec![("a".to_string(), Card::Many), ("b".to_string(), Card::One)]
+        );
+    }
+
+    #[test]
+    fn mixed_content_children_are_many() {
+        let dtd = parse("<!ELEMENT p (#PCDATA | em | strong)*>");
+        let norm = dtd.normalize();
+        assert!(norm["p"].pcdata);
+        assert_eq!(norm["p"].children.len(), 2);
+        assert!(norm["p"].children.iter().all(|(_, c)| *c == Card::Many));
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let dtd = parse("<!ELEMENT e EMPTY><!ELEMENT a ANY>");
+        let norm = dtd.normalize();
+        assert!(!norm["e"].pcdata);
+        assert!(norm["e"].children.is_empty());
+        assert!(norm["a"].pcdata);
+    }
+
+    #[test]
+    fn attlist_types_and_defaults() {
+        let dtd = parse(
+            r#"<!ELEMENT e EMPTY>
+               <!ATTLIST e
+                  id    ID    #REQUIRED
+                  ref   IDREF #IMPLIED
+                  kind  (x | y) "x"
+                  note  CDATA #FIXED "n">"#,
+        );
+        let atts = dtd.attributes_of("e");
+        assert_eq!(atts.len(), 4);
+        assert_eq!(atts[0].ty, AttType::Id);
+        assert_eq!(atts[0].default, AttDefault::Required);
+        assert_eq!(atts[1].ty, AttType::IdRef);
+        assert_eq!(atts[2].ty, AttType::Enumeration(vec!["x".into(), "y".into()]));
+        assert_eq!(atts[3].default, AttDefault::Value("n".into()));
+    }
+
+    #[test]
+    fn recursive_dtd_parses() {
+        // The tutorial's recursive example: book -> author -> book*.
+        let dtd = parse(
+            r#"<!ELEMENT book (author)>
+               <!ATTLIST book title CDATA #REQUIRED>
+               <!ELEMENT author (book*)>
+               <!ATTLIST author name CDATA #REQUIRED>"#,
+        );
+        let norm = dtd.normalize();
+        assert_eq!(norm["book"].children, vec![("author".to_string(), Card::One)]);
+        assert_eq!(norm["author"].children, vec![("book".to_string(), Card::Many)]);
+    }
+
+    #[test]
+    fn doctype_with_subset_via_reader_path() {
+        let mut cur = Cursor::new(b"<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]>rest");
+        let dtd = parse_doctype(&mut cur).unwrap();
+        assert_eq!(dtd.root.as_deref(), Some("r"));
+        assert!(cur.looking_at(b"rest"));
+    }
+
+    #[test]
+    fn doctype_with_system_id() {
+        let mut cur = Cursor::new(b"<!DOCTYPE r SYSTEM \"r.dtd\">x");
+        let dtd = parse_doctype(&mut cur).unwrap();
+        assert_eq!(dtd.root.as_deref(), Some("r"));
+        assert!(cur.looking_at(b"x"));
+    }
+
+    #[test]
+    fn malformed_group_is_error() {
+        assert!(parse_dtd_fragment("<!ELEMENT a (b, c | d)>").is_err());
+        assert!(parse_dtd_fragment("<!ELEMENT a (b").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the XML parser.
+
+use std::fmt;
+
+/// Position of an error in the input, in bytes plus human-readable
+/// line/column (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not characters).
+    pub column: u32,
+}
+
+impl Position {
+    /// Position of the first byte of the input.
+    pub fn start() -> Position {
+        Position { offset: 0, line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The kind of malformation encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the current construct.
+    UnexpectedByte(u8),
+    /// Close tag does not match the open tag.
+    MismatchedTag {
+        /// Name of the element that was open.
+        open: String,
+        /// Name in the close tag actually seen.
+        close: String,
+    },
+    /// A name (element, attribute, target) is syntactically invalid.
+    InvalidName(String),
+    /// A reference (`&name;` / `&#n;`) is unknown or malformed.
+    InvalidReference(String),
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// Document contains content after the root element closed, or no root.
+    InvalidDocumentStructure(String),
+    /// Input is not valid UTF-8.
+    InvalidUtf8,
+    /// DTD declaration is malformed.
+    InvalidDtd(String),
+    /// Character is not allowed in XML content.
+    InvalidChar(u32),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedByte(b) => {
+                if b.is_ascii_graphic() {
+                    write!(f, "unexpected byte '{}'", *b as char)
+                } else {
+                    write!(f, "unexpected byte 0x{b:02x}")
+                }
+            }
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            XmlErrorKind::InvalidName(n) => write!(f, "invalid name {n:?}"),
+            XmlErrorKind::InvalidReference(r) => write!(f, "invalid reference {r:?}"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::InvalidDocumentStructure(m) => write!(f, "invalid document: {m}"),
+            XmlErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+            XmlErrorKind::InvalidDtd(m) => write!(f, "invalid DTD: {m}"),
+            XmlErrorKind::InvalidChar(c) => write!(f, "character U+{c:04X} not allowed"),
+        }
+    }
+}
+
+/// An XML well-formedness or syntax error with its input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Where it went wrong.
+    pub position: Position,
+}
+
+impl XmlError {
+    /// Construct an error at a position.
+    pub fn new(kind: XmlErrorKind, position: Position) -> XmlError {
+        XmlError { kind, position }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for parser operations.
+pub type Result<T> = std::result::Result<T, XmlError>;

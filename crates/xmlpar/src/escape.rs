@@ -1,0 +1,149 @@
+//! Escaping and entity/character-reference resolution.
+
+use crate::error::{Position, Result, XmlError, XmlErrorKind};
+
+/// Escape text content: `&`, `<`, `>` are replaced by entity references.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted serialization.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolve a reference body (the part between `&` and `;`): either one of
+/// the five predefined entities or a decimal/hex character reference.
+pub fn resolve_reference(body: &str, at: Position) -> Result<char> {
+    match body {
+        "amp" => return Ok('&'),
+        "lt" => return Ok('<'),
+        "gt" => return Ok('>'),
+        "quot" => return Ok('"'),
+        "apos" => return Ok('\''),
+        _ => {}
+    }
+    let bad = || XmlError::new(XmlErrorKind::InvalidReference(body.to_string()), at);
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).map_err(|_| bad())?
+        } else {
+            num.parse::<u32>().map_err(|_| bad())?
+        };
+        if !is_xml_char(code) {
+            return Err(XmlError::new(XmlErrorKind::InvalidChar(code), at));
+        }
+        char::from_u32(code).ok_or_else(bad)
+    } else {
+        Err(bad())
+    }
+}
+
+/// XML 1.0 Char production: which code points may appear in a document.
+pub fn is_xml_char(c: u32) -> bool {
+    matches!(c,
+        0x9 | 0xA | 0xD
+        | 0x20..=0xD7FF
+        | 0xE000..=0xFFFD
+        | 0x1_0000..=0x10_FFFF)
+}
+
+/// Unescape a raw slice of character data (text or attribute value),
+/// resolving entity and character references.
+pub fn unescape(raw: &str, at: Position) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::InvalidReference(truncate(after)), at)
+        })?;
+        let body = &after[..semi];
+        out.push(resolve_reference(body, at)?);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(12).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Position {
+        Position::start()
+    }
+
+    #[test]
+    fn escape_round_trips_text() {
+        let original = "a < b && c > d";
+        let escaped = escape_text(original);
+        assert_eq!(escaped, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&escaped, p()).unwrap(), original);
+    }
+
+    #[test]
+    fn attr_escaping_quotes_and_whitespace() {
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+    }
+
+    #[test]
+    fn char_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;", p()).unwrap(), "AB");
+        assert_eq!(unescape("&#x20AC;", p()).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;", p()).unwrap(), "<>&\"'");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        assert!(unescape("&nbsp;", p()).is_err());
+    }
+
+    #[test]
+    fn unterminated_reference_is_error() {
+        assert!(unescape("a&amp", p()).is_err());
+    }
+
+    #[test]
+    fn disallowed_char_reference_is_error() {
+        assert!(unescape("&#0;", p()).is_err());
+        assert!(unescape("&#x1;", p()).is_err());
+    }
+
+    #[test]
+    fn no_ampersand_fast_path() {
+        assert_eq!(unescape("plain text", p()).unwrap(), "plain text");
+    }
+}

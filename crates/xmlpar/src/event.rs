@@ -1,0 +1,64 @@
+//! Pull-parser events (the "token stream" representation from the
+//! tutorial's storage-structures taxonomy).
+
+use crate::qname::QName;
+
+/// One attribute on a start tag, with its reference-resolved value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: QName,
+    /// Resolved (unescaped) value.
+    pub value: String,
+}
+
+/// An event produced by [`crate::reader::Reader`].
+///
+/// The stream for a well-formed document is:
+/// `StartDocument, (StartElement .. EndElement | Text | Comment | Pi)*, EndDocument`
+/// with properly nested element events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// Start of the document (after the optional XML declaration).
+    StartDocument,
+    /// `<name attr="v" ...>` or the open half of `<name/>`.
+    StartElement {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` (also synthesized for `<name/>`).
+    EndElement {
+        /// Element name.
+        name: QName,
+    },
+    /// Character data (entity references resolved, CDATA unwrapped).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<?target data?>`.
+    Pi {
+        /// Processing-instruction target.
+        target: String,
+        /// Raw data following the target (may be empty).
+        data: String,
+    },
+    /// End of the document.
+    EndDocument,
+}
+
+impl XmlEvent {
+    /// Short tag used in debugging output and tests.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            XmlEvent::StartDocument => "start-document",
+            XmlEvent::StartElement { .. } => "start-element",
+            XmlEvent::EndElement { .. } => "end-element",
+            XmlEvent::Text(_) => "text",
+            XmlEvent::Comment(_) => "comment",
+            XmlEvent::Pi { .. } => "pi",
+            XmlEvent::EndDocument => "end-document",
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `xmlpar` — a from-scratch XML 1.0 processor.
+//!
+//! This crate is the XML substrate for the `xmlrel` workspace (an
+//! implementation of *Storage and Retrieval of XML Data using Relational
+//! Databases*). It provides:
+//!
+//! - a pull (event) parser, [`reader::Reader`], covering elements,
+//!   attributes, text, CDATA, comments, processing instructions, entity and
+//!   character references, and well-formedness checking;
+//! - an arena DOM, [`dom::Document`], with document-order traversal;
+//! - a DTD processor, [`dtd`], including the content-model *normalization*
+//!   rules required by the DTD-inlining mapping scheme;
+//! - a serializer, [`serialize`], for publishing relational results back
+//!   as XML.
+//!
+//! # Example
+//!
+//! ```
+//! use xmlpar::dom::Document;
+//!
+//! let doc = Document::parse(r#"<book year="1967"><title>Politics</title></book>"#).unwrap();
+//! let root = doc.root();
+//! assert_eq!(doc.attribute(root, "year"), Some("1967"));
+//! assert_eq!(doc.text_of(root), "Politics");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cursor;
+pub mod dom;
+pub mod dtd;
+pub mod error;
+pub mod escape;
+pub mod event;
+pub mod qname;
+pub mod reader;
+pub mod serialize;
+
+pub use dom::{Document, NodeId, NodeKind};
+pub use error::{Position, Result, XmlError, XmlErrorKind};
+pub use event::{Attribute, XmlEvent};
+pub use qname::QName;
+pub use reader::Reader;

@@ -1,0 +1,127 @@
+//! Qualified names and XML name validation.
+
+use std::fmt;
+
+/// A qualified name: optional namespace prefix plus local part.
+///
+/// This crate records prefixes lexically (as the tutorial's storage schemes
+/// do: the mapped relations store the tag *label*, `prefix:local`); full
+/// namespace-URI resolution is not needed by any mapping scheme and is
+/// deliberately out of scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace prefix, if the name was written `prefix:local`.
+    pub prefix: Option<String>,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// A name with no prefix.
+    pub fn local(name: impl Into<String>) -> QName {
+        QName { prefix: None, local: name.into() }
+    }
+
+    /// Parse `prefix:local` or `local`. Returns `None` when the string is
+    /// not a valid QName (empty parts, multiple colons, bad characters).
+    pub fn parse(s: &str) -> Option<QName> {
+        let mut parts = s.split(':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) => {
+                if is_valid_ncname(first) {
+                    Some(QName::local(first))
+                } else {
+                    None
+                }
+            }
+            (Some(second), None) => {
+                if is_valid_ncname(first) && is_valid_ncname(second) {
+                    Some(QName { prefix: Some(first.to_string()), local: second.to_string() })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The lexical form, `prefix:local` or `local`.
+    pub fn as_label(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{p}:{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.prefix {
+            write!(f, "{p}:")?;
+        }
+        f.write_str(&self.local)
+    }
+}
+
+/// True when `b` can start an XML name (ASCII fast path; all non-ASCII
+/// UTF-8 continuation starts are accepted, matching the XML 1.0 production
+/// closely enough for the corpora this crate processes).
+pub fn is_name_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+/// True when `b` can continue an XML name.
+pub fn is_name_byte(b: u8) -> bool {
+    is_name_start_byte(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+/// Validate a name-without-colon (NCName).
+pub fn is_valid_ncname(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    match bytes.first() {
+        None => false,
+        Some(&b) if !is_name_start_byte(b) || b == b':' => false,
+        _ => bytes[1..].iter().all(|&b| is_name_byte(b) && b != b':'),
+    }
+}
+
+/// Validate a full XML name (at most one colon, both sides NCNames).
+pub fn is_valid_name(s: &str) -> bool {
+    QName::parse(s).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_prefixed() {
+        assert_eq!(QName::parse("book"), Some(QName::local("book")));
+        let q = QName::parse("amz:ref").unwrap();
+        assert_eq!(q.prefix.as_deref(), Some("amz"));
+        assert_eq!(q.local, "ref");
+        assert_eq!(q.as_label(), "amz:ref");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        for bad in ["", ":", "a:", ":b", "a:b:c", "1abc", "-x", "a b"] {
+            assert!(QName::parse(bad).is_none(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn accepts_digits_dots_dashes_inside() {
+        for good in ["a1", "x-y", "x.y", "_private", "h2o.b-3"] {
+            assert!(is_valid_name(good), "{good:?} should be valid");
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        let q = QName { prefix: Some("ns".into()), local: "a".into() };
+        assert_eq!(q.to_string(), "ns:a");
+        assert_eq!(QName::local("a").to_string(), "a");
+    }
+}

@@ -1,0 +1,576 @@
+//! Pull (event) parser for XML 1.0 documents.
+//!
+//! The reader produces a [`XmlEvent`] stream over an in-memory input. It
+//! checks well-formedness (tag nesting, attribute uniqueness, single root,
+//! valid references) but performs no DTD validation; the internal DTD
+//! subset is parsed and exposed via [`Reader::dtd`] for the inlining
+//! mapping scheme.
+
+use crate::cursor::Cursor;
+use crate::dtd::{self, Dtd};
+use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::escape::unescape;
+use crate::event::{Attribute, XmlEvent};
+use crate::qname::{is_name_byte, is_name_start_byte, QName};
+
+/// Streaming XML parser.
+///
+/// ```
+/// use xmlpar::{Reader, XmlEvent};
+///
+/// let mut r = Reader::new("<a x=\"1\">hi</a>");
+/// let mut tags = Vec::new();
+/// while let Some(ev) = r.next() {
+///     if let XmlEvent::StartElement { name, .. } = ev.unwrap() {
+///         tags.push(name.as_label());
+///     }
+/// }
+/// assert_eq!(tags, vec!["a"]);
+/// ```
+pub struct Reader<'a> {
+    cur: Cursor<'a>,
+    state: State,
+    /// Open-element stack for nesting checks.
+    stack: Vec<QName>,
+    /// Whether a root element has been fully read.
+    seen_root: bool,
+    /// Parsed internal DTD subset, if a DOCTYPE was present.
+    dtd: Option<Dtd>,
+    /// Pending end-element to emit (for self-closing tags).
+    pending_end: Option<QName>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Init,
+    InDocument,
+    Done,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over a UTF-8 string.
+    pub fn new(input: &'a str) -> Reader<'a> {
+        Reader {
+            cur: Cursor::new(input.as_bytes()),
+            state: State::Init,
+            stack: Vec::new(),
+            seen_root: false,
+            dtd: None,
+            pending_end: None,
+        }
+    }
+
+    /// Create a reader over raw bytes, verifying UTF-8 first.
+    pub fn from_bytes(input: &'a [u8]) -> Result<Reader<'a>> {
+        match std::str::from_utf8(input) {
+            Ok(s) => Ok(Reader::new(s)),
+            Err(_) => Err(XmlError::new(
+                XmlErrorKind::InvalidUtf8,
+                crate::error::Position::start(),
+            )),
+        }
+    }
+
+    /// The DTD parsed from the document's internal subset, if any.
+    /// Populated once the prolog has been consumed (i.e. after the first
+    /// `next()` call that returns an event past `StartDocument`).
+    pub fn dtd(&self) -> Option<&Dtd> {
+        self.dtd.as_ref()
+    }
+
+    /// Take ownership of the parsed DTD.
+    pub fn take_dtd(&mut self) -> Option<Dtd> {
+        self.dtd.take()
+    }
+
+    /// Pull the next event. Returns `None` after `EndDocument`.
+    ///
+    /// Deliberately iterator-shaped (the tutorial's pull/token-stream API);
+    /// not the `Iterator` trait because items are fallible and the reader
+    /// exposes `dtd()` between pulls.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<XmlEvent>> {
+        match self.state {
+            State::Init => {
+                self.state = State::InDocument;
+                if let Err(e) = self.parse_prolog() {
+                    self.state = State::Done;
+                    return Some(Err(e));
+                }
+                Some(Ok(XmlEvent::StartDocument))
+            }
+            State::InDocument => {
+                let r = self.next_in_document();
+                if matches!(r, Err(_) | Ok(XmlEvent::EndDocument)) {
+                    self.state = State::Done;
+                }
+                Some(r)
+            }
+            State::Done => None,
+        }
+    }
+
+    fn next_in_document(&mut self) -> Result<XmlEvent> {
+        if let Some(name) = self.pending_end.take() {
+            self.pop_element(&name)?;
+            return Ok(XmlEvent::EndElement { name });
+        }
+        {
+            if self.stack.is_empty() {
+                // Between root-level constructs: whitespace, comments and
+                // PIs are allowed; anything else must be the root element
+                // (if not yet seen) or is trailing garbage.
+                self.cur.skip_ws();
+                if self.cur.at_eof() {
+                    if !self.seen_root {
+                        return Err(XmlError::new(
+                            XmlErrorKind::InvalidDocumentStructure("no root element".into()),
+                            self.cur.position(),
+                        ));
+                    }
+                    return Ok(XmlEvent::EndDocument);
+                }
+                if !self.cur.looking_at(b"<") {
+                    return Err(XmlError::new(
+                        XmlErrorKind::InvalidDocumentStructure(
+                            "character data outside root element".into(),
+                        ),
+                        self.cur.position(),
+                    ));
+                }
+            }
+            if self.cur.looking_at(b"<!--") {
+                return self.parse_comment();
+            }
+            if self.cur.looking_at(b"<![CDATA[") {
+                return self.parse_cdata();
+            }
+            if self.cur.looking_at(b"<?") {
+                return self.parse_pi();
+            }
+            if self.cur.looking_at(b"</") {
+                return self.parse_end_tag();
+            }
+            if self.cur.looking_at(b"<") {
+                if self.seen_root && self.stack.is_empty() {
+                    return Err(XmlError::new(
+                        XmlErrorKind::InvalidDocumentStructure(
+                            "content after root element".into(),
+                        ),
+                        self.cur.position(),
+                    ));
+                }
+                return self.parse_start_tag();
+            }
+            // Character data inside an element.
+            self.parse_text()
+        }
+    }
+
+    // ---- prolog ---------------------------------------------------------
+
+    fn parse_prolog(&mut self) -> Result<()> {
+        // Optional XML declaration.
+        if self.cur.looking_at(b"<?xml")
+            && self
+                .cur
+                .peek_at(5)
+                .map(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'?'))
+                .unwrap_or(false)
+        {
+            self.cur.expect(b"<?xml")?;
+            self.cur.take_until(b"?>")?;
+        }
+        // Misc* before a DOCTYPE is consumed silently; everything after the
+        // DOCTYPE (or after the declaration when there is none) is emitted
+        // as ordinary events by `next_in_document`.
+        loop {
+            self.cur.skip_ws();
+            if self.cur.looking_at(b"<!DOCTYPE") {
+                let d = dtd::parse_doctype(&mut self.cur)?;
+                self.dtd = Some(d);
+                return Ok(());
+            } else if self.cur.looking_at(b"<!--") && self.remaining_contains_doctype() {
+                // Only swallow the comment if a DOCTYPE still follows.
+                self.parse_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Heuristic lookahead: does a `<!DOCTYPE` still occur before the first
+    /// start tag? Used only to decide whether prolog comments belong to the
+    /// (silent) pre-DOCTYPE region.
+    fn remaining_contains_doctype(&self) -> bool {
+        // Scan forward from the cursor without consuming.
+        let mut i = 0;
+        loop {
+            match self.cur.peek_at(i) {
+                None => return false,
+                Some(b'<') => {
+                    if self.peek_seq(i, b"<!DOCTYPE") {
+                        return true;
+                    }
+                    if self.peek_seq(i, b"<!--") {
+                        // Skip over the comment.
+                        let mut j = i + 4;
+                        loop {
+                            if self.cur.peek_at(j).is_none() {
+                                return false;
+                            }
+                            if self.peek_seq(j, b"-->") {
+                                i = j + 3;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    if self.peek_seq(i, b"<?") {
+                        let mut j = i + 2;
+                        loop {
+                            if self.cur.peek_at(j).is_none() {
+                                return false;
+                            }
+                            if self.peek_seq(j, b"?>") {
+                                i = j + 2;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    return false;
+                }
+                Some(_) => i += 1,
+            }
+        }
+    }
+
+    fn peek_seq(&self, at: usize, s: &[u8]) -> bool {
+        s.iter()
+            .enumerate()
+            .all(|(k, &b)| self.cur.peek_at(at + k) == Some(b))
+    }
+
+    // ---- markup ---------------------------------------------------------
+
+    fn parse_name(&mut self) -> Result<QName> {
+        let pos = self.cur.position();
+        let first = self.cur.peek().ok_or_else(|| self.cur.unexpected())?;
+        if !is_name_start_byte(first) {
+            return Err(self.cur.unexpected());
+        }
+        let raw = self.cur.take_while(is_name_byte);
+        let s = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        QName::parse(s).ok_or_else(|| XmlError::new(XmlErrorKind::InvalidName(s.to_string()), pos))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent> {
+        self.cur.expect(b"<")?;
+        let name = self.parse_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let had_ws = self.cur.skip_ws() > 0;
+            match self.cur.peek() {
+                Some(b'>') => {
+                    self.cur.bump();
+                    self.stack.push(name.clone());
+                    break;
+                }
+                Some(b'/') => {
+                    self.cur.expect(b"/>")?;
+                    // Synthesize StartElement now, EndElement on next pull.
+                    self.stack.push(name.clone());
+                    self.pending_end = Some(name.clone());
+                    break;
+                }
+                Some(b) if is_name_start_byte(b) => {
+                    if !had_ws {
+                        return Err(self.cur.unexpected());
+                    }
+                    let attr = self.parse_attribute()?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(XmlError::new(
+                            XmlErrorKind::DuplicateAttribute(attr.name.as_label()),
+                            self.cur.position(),
+                        ));
+                    }
+                    attributes.push(attr);
+                }
+                _ => return Err(self.cur.unexpected()),
+            }
+        }
+        Ok(XmlEvent::StartElement { name, attributes })
+    }
+
+    fn parse_attribute(&mut self) -> Result<Attribute> {
+        let name = self.parse_name()?;
+        self.cur.skip_ws();
+        self.cur.expect(b"=")?;
+        self.cur.skip_ws();
+        let quote = match self.cur.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.cur.unexpected()),
+        };
+        self.cur.bump();
+        let pos = self.cur.position();
+        let raw = self.cur.take_while(|b| b != quote && b != b'<');
+        let raw = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        if self.cur.peek() != Some(quote) {
+            return Err(self.cur.unexpected());
+        }
+        self.cur.bump();
+        let value = unescape(raw, pos)?;
+        Ok(Attribute { name, value })
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent> {
+        self.cur.expect(b"</")?;
+        let name = self.parse_name()?;
+        self.cur.skip_ws();
+        self.cur.expect(b">")?;
+        self.pop_element(&name)?;
+        Ok(XmlEvent::EndElement { name })
+    }
+
+    fn pop_element(&mut self, name: &QName) -> Result<()> {
+        match self.stack.pop() {
+            Some(open) if open == *name => {
+                if self.stack.is_empty() {
+                    self.seen_root = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(XmlError::new(
+                XmlErrorKind::MismatchedTag { open: open.as_label(), close: name.as_label() },
+                self.cur.position(),
+            )),
+            None => Err(XmlError::new(
+                XmlErrorKind::InvalidDocumentStructure(format!(
+                    "close tag </{name}> with no open element"
+                )),
+                self.cur.position(),
+            )),
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<XmlEvent> {
+        let pos = self.cur.position();
+        let raw = self.cur.take_while(|b| b != b'<');
+        let raw = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        if self.cur.at_eof() && !self.stack.is_empty() {
+            return Err(XmlError::new(XmlErrorKind::UnexpectedEof, self.cur.position()));
+        }
+        Ok(XmlEvent::Text(unescape(raw, pos)?))
+    }
+
+    fn parse_cdata(&mut self) -> Result<XmlEvent> {
+        self.cur.expect(b"<![CDATA[")?;
+        let pos = self.cur.position();
+        let raw = self.cur.take_until(b"]]>")?;
+        let s = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        Ok(XmlEvent::Text(s.to_string()))
+    }
+
+    fn parse_comment(&mut self) -> Result<XmlEvent> {
+        self.cur.expect(b"<!--")?;
+        let pos = self.cur.position();
+        let raw = self.cur.take_until(b"-->")?;
+        let s = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        Ok(XmlEvent::Comment(s.to_string()))
+    }
+
+    fn parse_pi(&mut self) -> Result<XmlEvent> {
+        self.cur.expect(b"<?")?;
+        let target_pos = self.cur.position();
+        let target = self.parse_name()?;
+        if target.local.eq_ignore_ascii_case("xml") && target.prefix.is_none() {
+            return Err(XmlError::new(
+                XmlErrorKind::InvalidName("xml declaration not allowed here".into()),
+                target_pos,
+            ));
+        }
+        self.cur.skip_ws();
+        let pos = self.cur.position();
+        let raw = self.cur.take_until(b"?>")?;
+        let data = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?
+            .to_string();
+        Ok(XmlEvent::Pi { target: target.as_label(), data })
+    }
+}
+
+/// Convenience: parse a whole document into its event list.
+pub fn parse_events(input: &str) -> Result<Vec<XmlEvent>> {
+    let mut r = Reader::new(input);
+    let mut out = Vec::new();
+    while let Some(ev) = r.next() {
+        out.push(ev?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<&'static str> {
+        parse_events(input).unwrap().iter().map(|e| e.kind_name()).collect()
+    }
+
+    #[test]
+    fn minimal_document() {
+        assert_eq!(
+            kinds("<a/>"),
+            vec!["start-document", "start-element", "end-element", "end-document"]
+        );
+    }
+
+    #[test]
+    fn nested_elements_with_text() {
+        let evs = parse_events("<a><b>hi</b></a>").unwrap();
+        assert_eq!(evs[2], XmlEvent::StartElement { name: QName::local("b"), attributes: vec![] });
+        assert_eq!(evs[3], XmlEvent::Text("hi".into()));
+    }
+
+    #[test]
+    fn attributes_resolved_and_ordered() {
+        let evs = parse_events(r#"<book year="1967" lang="en"/>"#).unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name, QName::local("year"));
+                assert_eq!(attributes[0].value, "1967");
+                assert_eq!(attributes[1].value, "en");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let evs = parse_events("<a x='1'/>").unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].value, "1"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_references_in_text_and_attrs() {
+        let evs = parse_events(r#"<a t="&lt;&amp;">x &gt; y</a>"#).unwrap();
+        match (&evs[1], &evs[2]) {
+            (XmlEvent::StartElement { attributes, .. }, XmlEvent::Text(t)) => {
+                assert_eq!(attributes[0].value, "<&");
+                assert_eq!(t, "x > y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdata_is_text_verbatim() {
+        let evs = parse_events("<a><![CDATA[<not><parsed> & raw]]></a>").unwrap();
+        assert_eq!(evs[2], XmlEvent::Text("<not><parsed> & raw".into()));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = parse_events("<?xml version=\"1.0\"?><!-- c --><a><?go fast?></a>").unwrap();
+        assert!(matches!(&evs[1], XmlEvent::Comment(c) if c == " c "));
+        assert!(
+            matches!(&evs[3], XmlEvent::Pi { target, data } if target == "go" && data == "fast")
+        );
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse_events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_error() {
+        let err = parse_events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn two_roots_error() {
+        let err = parse_events("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::InvalidDocumentStructure(_)));
+    }
+
+    #[test]
+    fn text_outside_root_error() {
+        assert!(parse_events("hello<a/>").is_err());
+        assert!(parse_events("<a/>hello").is_err());
+    }
+
+    #[test]
+    fn unclosed_element_error() {
+        let err = parse_events("<a><b>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::UnexpectedEof | XmlErrorKind::InvalidDocumentStructure(_)
+        ));
+    }
+
+    #[test]
+    fn empty_input_error() {
+        assert!(parse_events("").is_err());
+        assert!(parse_events("   \n ").is_err());
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let evs = parse_events("<ns:a ns:x=\"1\"></ns:a>").unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { name, attributes } => {
+                assert_eq!(name.as_label(), "ns:a");
+                assert_eq!(attributes[0].name.as_label(), "ns:x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctype_is_consumed_and_exposed() {
+        let input = r#"<!DOCTYPE book [
+            <!ELEMENT book (title)>
+            <!ELEMENT title (#PCDATA)>
+        ]><book><title>t</title></book>"#;
+        let mut r = Reader::new(input);
+        let first = r.next().unwrap().unwrap();
+        assert_eq!(first, XmlEvent::StartDocument);
+        assert!(r.dtd().is_some());
+        assert_eq!(r.dtd().unwrap().root.as_deref(), Some("book"));
+        while let Some(ev) = r.next() {
+            ev.unwrap();
+        }
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse_events("<a>\n  <b></c>").unwrap_err();
+        assert_eq!(err.position.line, 2);
+    }
+
+    #[test]
+    fn from_bytes_rejects_invalid_utf8() {
+        assert!(Reader::from_bytes(&[b'<', 0xFF, b'>']).is_err());
+    }
+
+    #[test]
+    fn whitespace_in_tags_tolerated() {
+        let evs = parse_events("<a  x = \"1\" ></a >").unwrap();
+        assert_eq!(evs.len(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Serialization of DOM trees back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialization options.
+#[derive(Debug, Clone, Default)]
+pub struct SerializeOptions {
+    /// Pretty-print with this indent (None = compact).
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration.
+    pub xml_declaration: bool,
+}
+
+/// Serialize the whole document compactly.
+pub fn to_string(doc: &Document) -> String {
+    to_string_with(doc, &SerializeOptions::default())
+}
+
+/// Serialize the whole document with options.
+pub fn to_string_with(doc: &Document, opts: &SerializeOptions) -> String {
+    let mut out = String::new();
+    if opts.xml_declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_node(doc, doc.root(), opts, 0, &mut out);
+    out
+}
+
+/// Serialize one subtree compactly.
+pub fn node_to_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &SerializeOptions::default(), 0, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &SerializeOptions, depth: usize, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Element { name, attributes, children } => {
+            indent(opts, depth, out);
+            out.push('<');
+            out.push_str(&name.as_label());
+            for a in attributes {
+                out.push(' ');
+                out.push_str(&a.name.as_label());
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&a.value));
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let structural = opts.indent.is_some()
+                && children.iter().all(|&c| !matches!(doc.node(c).kind, NodeKind::Text(_)));
+            for &c in children {
+                write_node(doc, c, opts, depth + 1, out);
+            }
+            if structural {
+                indent(opts, depth, out);
+            }
+            out.push_str("</");
+            out.push_str(&name.as_label());
+            out.push('>');
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(c) => {
+            indent(opts, depth, out);
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            indent(opts, depth, out);
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+fn indent(opts: &SerializeOptions, depth: usize, out: &mut String) {
+    if let Some(w) = opts.indent {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let input = r#"<book year="1967"><title>T &amp; U</title><author/></book>"#;
+        let doc = Document::parse(input).unwrap();
+        assert_eq!(to_string(&doc), input);
+    }
+
+    #[test]
+    fn escapes_in_attributes_and_text() {
+        let doc = Document::parse("<a b=\"&quot;&lt;\">x &lt; y</a>").unwrap();
+        let s = to_string(&doc);
+        assert_eq!(s, "<a b=\"&quot;&lt;\">x &lt; y</a>");
+        // And it re-parses to the same tree.
+        assert_eq!(Document::parse(&s).unwrap(), doc);
+    }
+
+    #[test]
+    fn self_closing_for_empty_elements() {
+        let doc = Document::parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_printing_indents_structure() {
+        let doc = Document::parse("<a><b>t</b><c/></a>").unwrap();
+        let opts = SerializeOptions { indent: Some(2), xml_declaration: true };
+        let s = to_string_with(&doc, &opts);
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("\n  <b>t</b>"));
+        assert!(s.contains("\n  <c/>"));
+        assert!(s.ends_with("</a>"));
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = Document::parse("<a><b x=\"1\">t</b></a>").unwrap();
+        let b = doc.children(doc.root())[0];
+        assert_eq!(node_to_string(&doc, b), "<b x=\"1\">t</b>");
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let input = "<a><!-- note --><?p d?></a>";
+        let doc = Document::parse(input).unwrap();
+        assert_eq!(to_string(&doc), input);
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness properties: the parser never panics, and accepts exactly
+//! what it can round-trip.
+
+use proptest::prelude::*;
+use xmlpar::{Document, Reader};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: parse must return Ok or Err, never panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(mut r) = Reader::from_bytes(&bytes) {
+            while let Some(ev) = r.next() {
+                if ev.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Arbitrary markup-ish strings built from XML punctuation.
+    #[test]
+    fn parser_never_panics_on_markup_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<"), Just(">"), Just("/"), Just("a"), Just("b"), Just("="),
+                Just("\""), Just("'"), Just("&"), Just(";"), Just("!"), Just("-"),
+                Just("["), Just("]"), Just("?"), Just(" "), Just("amp"), Just("#"),
+                Just("<a>"), Just("</a>"), Just("<!--"), Just("-->"), Just("<![CDATA["),
+                Just("]]>"), Just("<?"), Just("?>"), Just("<!DOCTYPE"),
+            ],
+            0..40,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = Document::parse(&input);
+    }
+
+    /// Any document that parses must serialize to something that reparses
+    /// to the same tree.
+    #[test]
+    fn accepted_documents_round_trip(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>"), Just("</a>"), Just("<b x=\"1\">"), Just("</b>"),
+                Just("text"), Just("<c/>"), Just("&amp;"), Just("<!-- c -->"),
+            ],
+            1..20,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = Document::parse(&input) {
+            let out = xmlpar::serialize::to_string(&doc);
+            let reparsed = Document::parse(&out).unwrap();
+            prop_assert_eq!(xmlpar::serialize::to_string(&reparsed), out);
+        }
+    }
+}

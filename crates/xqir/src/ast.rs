@@ -1,0 +1,338 @@
+//! AST for the implemented XPath / XQuery-FLWOR subset.
+//!
+//! The subset is the fragment every system surveyed by the tutorial
+//! translates to SQL: rooted path expressions with child / descendant /
+//! attribute axes, wildcard and `text()` node tests, predicates (position,
+//! existence, value comparison, boolean combinations), plus a FLWOR core
+//! (`for`/`let`, `where`, `order by`, `return`) with element constructors.
+
+use std::fmt;
+
+/// Navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/name` — children.
+    Child,
+    /// `//name` — descendants (descendant-or-self::node()/child shorthand).
+    Descendant,
+    /// `@name` — attributes.
+    Attribute,
+    /// `.` — the context node itself.
+    SelfAxis,
+    /// `..` — the parent.
+    Parent,
+}
+
+/// Node test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A tag or attribute name.
+    Name(String),
+    /// `*` — any element (or any attribute on the attribute axis).
+    Wildcard,
+    /// `text()` — text children.
+    Text,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Axis.
+    pub axis: Axis,
+    /// Node test.
+    pub test: NodeTest,
+    /// Predicates, applied in order.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// Predicate-free step.
+    pub fn plain(axis: Axis, test: NodeTest) -> Step {
+        Step { axis, test, predicates: Vec::new() }
+    }
+}
+
+/// A path expression.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathExpr {
+    /// Variable the path starts from (`$x/...`); `None` = document root.
+    pub start: Option<String>,
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Number of descendant-axis steps.
+    pub fn descendant_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.axis == Axis::Descendant).count()
+    }
+
+    /// True if any step navigates upward.
+    pub fn has_parent_step(&self) -> bool {
+        self.steps.iter().any(|s| s.axis == Axis::Parent)
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = &self.start {
+            write!(f, "${v}")?;
+        }
+        for s in &self.steps {
+            match s.axis {
+                Axis::Child => write!(f, "/{}", s.test)?,
+                Axis::Descendant => write!(f, "//{}", s.test)?,
+                Axis::Attribute => write!(f, "/@{}", s.test)?,
+                Axis::SelfAxis => write!(f, "/.")?,
+                Axis::Parent => write!(f, "/..")?,
+            }
+            for p in &s.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operator in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        })
+    }
+}
+
+/// Literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A predicate inside `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `[3]` — positional (1-based, among siblings matching the step).
+    Position(u32),
+    /// `[path]` — existence.
+    Exists(PathExpr),
+    /// `[path op literal]` — value comparison (existential semantics).
+    Compare {
+        /// Path evaluated relative to the step's node.
+        path: PathExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Literal,
+    },
+    /// `contains(path, "s")` — substring containment.
+    Contains {
+        /// Path whose string value is searched.
+        path: PathExpr,
+        /// Needle.
+        needle: String,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Position(n) => write!(f, "{n}"),
+            Predicate::Exists(p) => write!(f, "{}", rel(p)),
+            Predicate::Compare { path, op, value } => {
+                write!(f, "{} {op} {value}", rel(path))
+            }
+            Predicate::Contains { path, needle } => {
+                write!(f, "contains({}, {needle:?})", rel(path))
+            }
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(p) => write!(f, "not({p})"),
+        }
+    }
+}
+
+/// Render a predicate-relative path without the leading `/` (which would
+/// read as an absolute path on reparse). `//` and `$var` starts are kept.
+fn rel(p: &PathExpr) -> String {
+    let s = p.to_string();
+    match s.strip_prefix('/') {
+        Some(rest) if !rest.starts_with('/') && p.start.is_none() => rest.to_string(),
+        _ => s,
+    }
+}
+
+/// A FLWOR query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// `for`/`let` clauses in order.
+    pub clauses: Vec<Clause>,
+    /// `where` condition.
+    pub where_: Option<Condition>,
+    /// `order by` keys (path, ascending).
+    pub order_by: Vec<(PathExpr, bool)>,
+    /// `return` expression.
+    pub ret: ReturnExpr,
+}
+
+/// A `for` or `let` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $var in path` — iterate node bindings.
+    For {
+        /// Variable name (no `$`).
+        var: String,
+        /// Source path (may start at another variable).
+        path: PathExpr,
+    },
+    /// `let $var := path` — bind without iteration.
+    Let {
+        /// Variable name.
+        var: String,
+        /// Bound path.
+        path: PathExpr,
+    },
+}
+
+impl Clause {
+    /// The bound variable's name.
+    pub fn var(&self) -> &str {
+        match self {
+            Clause::For { var, .. } | Clause::Let { var, .. } => var,
+        }
+    }
+
+    /// The clause's source path.
+    pub fn path(&self) -> &PathExpr {
+        match self {
+            Clause::For { path, .. } | Clause::Let { path, .. } => path,
+        }
+    }
+}
+
+/// A WHERE condition (same shape as step predicates but over variables).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Value comparison on a variable-relative path.
+    Compare {
+        /// Path (starting at some variable).
+        path: PathExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Literal,
+    },
+    /// Existence of a variable-relative path.
+    Exists(PathExpr),
+    /// `contains(path, "s")`.
+    Contains {
+        /// Haystack path.
+        path: PathExpr,
+        /// Needle.
+        needle: String,
+    },
+    /// Path-to-path join comparison (`$a/x = $b/y`).
+    Join {
+        /// Left path.
+        left: PathExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right path.
+        right: PathExpr,
+    },
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+/// A `return` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnExpr {
+    /// Return the nodes a path selects.
+    Path(PathExpr),
+    /// Element constructor `<name attr="lit">{ e1, e2, ... }</name>`.
+    Element {
+        /// Element name.
+        name: String,
+        /// Literal attributes.
+        attributes: Vec<(String, String)>,
+        /// Child expressions.
+        children: Vec<ReturnExpr>,
+    },
+    /// Literal text content.
+    Text(String),
+}
+
+/// A complete query: either a bare path or a FLWOR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Bare path expression.
+    Path(PathExpr),
+    /// FLWOR expression.
+    Flwor(Box<Flwor>),
+}
+
+impl Query {
+    /// The query as a path, when it is one.
+    pub fn as_path(&self) -> Option<&PathExpr> {
+        match self {
+            Query::Path(p) => Some(p),
+            Query::Flwor(_) => None,
+        }
+    }
+}

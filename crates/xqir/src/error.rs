@@ -1,0 +1,30 @@
+//! Error type for the query front end.
+
+use std::fmt;
+
+/// Parse or analysis error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+impl QueryError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>, offset: usize) -> QueryError {
+        QueryError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

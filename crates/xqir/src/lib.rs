@@ -1,0 +1,32 @@
+//! `xqir` — the query front end for `xmlrel`.
+//!
+//! Parses the XPath / XQuery-FLWOR subset that the tutorial's systems
+//! translate to SQL, and provides the static analyses (document-order /
+//! distinctness guarantees, path normalization) the translator relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use xqir::{parse_path, parse_query, analyze_order};
+//!
+//! let path = parse_path("/bib/book[@year > 1990]/title").unwrap();
+//! assert_eq!(path.steps.len(), 3);
+//!
+//! let info = analyze_order(&parse_path("/a//b").unwrap());
+//! assert!(info.document_order && info.distinct);
+//!
+//! let q = parse_query("for $b in /bib/book where $b/@year > 2000 return $b/title").unwrap();
+//! assert!(matches!(q, xqir::ast::Query::Flwor(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{Axis, CmpOp, Literal, NodeTest, PathExpr, Predicate, Query, Step};
+pub use error::{QueryError, Result};
+pub use normalize::{analyze_order, normalize_path, OrderInfo};
+pub use parser::{parse_path, parse_query};

@@ -1,0 +1,173 @@
+//! Path normalization and static analysis.
+//!
+//! Implements the compiler-support rules from the tutorial:
+//!
+//! - **Order/duplicate analysis** (slide "How can we deal with path
+//!   expressions?"): decide statically whether a path's results are
+//!   guaranteed to be in document order and duplicate-free, so the
+//!   translator can skip `ORDER BY`/`DISTINCT` in the generated SQL.
+//! - **Self-step elimination**: `/a/./b` → `/a/b`.
+//! - **Parent-step elimination** where statically possible:
+//!   `/a/b/../c` → `/a/c` (the tutorial's "replace backwards navigation
+//!   with forward navigation" rewrite; only applies when the step before
+//!   `..` is a child step with no predicates that could fail).
+
+use crate::ast::{Axis, PathExpr, Step};
+
+/// Static ordering guarantees for a path's result sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderInfo {
+    /// Results are guaranteed to come out in document order.
+    pub document_order: bool,
+    /// Results are guaranteed duplicate-free.
+    pub distinct: bool,
+}
+
+/// Analyze a path per the tutorial's rules:
+///
+/// ```text
+/// /a/b/c   -> ordered, distinct
+/// /a//b    -> ordered, distinct      (single // as the LAST step)
+/// //a/b    -> NOT ordered, distinct  (child steps below a //)
+/// //a//b   -> neither guaranteed
+/// .../..../ with parent steps -> neither guaranteed
+/// ```
+pub fn analyze_order(path: &PathExpr) -> OrderInfo {
+    if path.has_parent_step() {
+        return OrderInfo { document_order: false, distinct: false };
+    }
+    let desc = path.descendant_steps();
+    if desc == 0 {
+        return OrderInfo { document_order: true, distinct: true };
+    }
+    if desc == 1 {
+        let last_is_desc = path
+            .steps
+            .iter()
+            .rev()
+            .find(|s| s.axis != Axis::Attribute && s.axis != Axis::SelfAxis)
+            .map(|s| s.axis == Axis::Descendant)
+            .unwrap_or(false);
+        return OrderInfo { document_order: last_is_desc, distinct: true };
+    }
+    OrderInfo { document_order: false, distinct: false }
+}
+
+/// Normalize a path: drop self steps and fold `child/..` pairs.
+pub fn normalize_path(path: &PathExpr) -> PathExpr {
+    let mut steps: Vec<Step> = Vec::with_capacity(path.steps.len());
+    for step in &path.steps {
+        match step.axis {
+            // `.` with no predicates is the identity step.
+            Axis::SelfAxis if step.predicates.is_empty() => continue,
+            // `x/..` cancels when `x` is a child step with no predicates:
+            // every node reached via child::x has exactly the parent we
+            // came from. Descendant steps cannot be cancelled (the parent
+            // is not the context node) and predicated steps cannot either
+            // (the predicate may filter, changing the existential result —
+            // except it doesn't change *which* parents qualify... it does:
+            // a parent qualifies only if it has a matching child, so the
+            // pair acts as an existence filter; we keep those).
+            Axis::Parent
+                if step.predicates.is_empty()
+                    && steps
+                        .last()
+                        .map(|p: &Step| p.axis == Axis::Child && p.predicates.is_empty())
+                        .unwrap_or(false) =>
+            {
+                steps.pop();
+                continue;
+            }
+            _ => {}
+        }
+        let mut s = step.clone();
+        // Normalize predicate paths recursively.
+        for pred in &mut s.predicates {
+            normalize_predicate(pred);
+        }
+        steps.push(s);
+    }
+    PathExpr { start: path.start.clone(), steps }
+}
+
+fn normalize_predicate(p: &mut crate::ast::Predicate) {
+    use crate::ast::Predicate;
+    match p {
+        Predicate::Exists(path) => *path = normalize_path(path),
+        Predicate::Compare { path, .. } => *path = normalize_path(path),
+        Predicate::Contains { path, .. } => *path = normalize_path(path),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            normalize_predicate(a);
+            normalize_predicate(b);
+        }
+        Predicate::Not(inner) => normalize_predicate(inner),
+        Predicate::Position(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    fn analyze(s: &str) -> OrderInfo {
+        analyze_order(&parse_path(s).unwrap())
+    }
+
+    #[test]
+    fn tutorial_order_rules() {
+        // /a/b/c: ordered and distinct.
+        assert_eq!(analyze("/a/b/c"), OrderInfo { document_order: true, distinct: true });
+        // /a//b: single trailing //: ordered and distinct.
+        assert_eq!(analyze("/a//b"), OrderInfo { document_order: true, distinct: true });
+        // //a/b: child below //: distinct but not ordered.
+        assert_eq!(analyze("//a/b"), OrderInfo { document_order: false, distinct: true });
+        // //a//b: nothing guaranteed.
+        assert_eq!(analyze("//a//b"), OrderInfo { document_order: false, distinct: false });
+        // Parent steps: nothing guaranteed.
+        assert_eq!(
+            analyze("/a/b/../c"),
+            OrderInfo { document_order: false, distinct: false }
+        );
+    }
+
+    #[test]
+    fn attribute_tail_does_not_break_trailing_descendant() {
+        // //b/@x: the last *navigation* step is //, attributes are 1:1.
+        assert_eq!(analyze("//b/@x"), OrderInfo { document_order: true, distinct: true });
+    }
+
+    #[test]
+    fn self_steps_removed() {
+        let p = normalize_path(&parse_path("/a/./b/.").unwrap());
+        assert_eq!(p.to_string(), "/a/b");
+    }
+
+    #[test]
+    fn child_parent_pair_folds() {
+        let p = normalize_path(&parse_path("/a/b/../c").unwrap());
+        assert_eq!(p.to_string(), "/a/c");
+    }
+
+    #[test]
+    fn descendant_parent_pair_kept() {
+        let p = normalize_path(&parse_path("/a//b/../c").unwrap());
+        assert!(p.has_parent_step());
+    }
+
+    #[test]
+    fn predicated_child_parent_pair_kept() {
+        let p = normalize_path(&parse_path("/a/b[@x = 1]/../c").unwrap());
+        assert!(p.has_parent_step());
+    }
+
+    #[test]
+    fn predicate_paths_normalized() {
+        let p = normalize_path(&parse_path("/a/b[./c = 1]").unwrap());
+        let crate::ast::Predicate::Compare { path, .. } = &p.steps[1].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps.len(), 1);
+        assert_eq!(path.steps[0].axis, Axis::Child);
+    }
+}

@@ -1,0 +1,841 @@
+//! Character-driven recursive-descent parser for the XPath/FLWOR subset.
+//!
+//! The parser is character-driven (not token-stream-based) because element
+//! constructors make the grammar context-sensitive: `<` starts a
+//! constructor in `return` position but is a comparison elsewhere.
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+
+/// Parse a complete query: either a path expression or a FLWOR.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut p = P::new(input);
+    p.ws();
+    let q = if p.looking_at("for ") || p.looking_at("for$") || p.looking_at("let ") || p.looking_at("let$") {
+        Query::Flwor(Box::new(p.flwor()?))
+    } else {
+        Query::Path(p.path()?)
+    };
+    p.ws();
+    if !p.done() {
+        return Err(p.err("trailing characters after query"));
+    }
+    Ok(q)
+}
+
+/// Parse a bare path expression.
+pub fn parse_path(input: &str) -> Result<PathExpr> {
+    let mut p = P::new(input);
+    p.ws();
+    let path = p.path()?;
+    p.ws();
+    if !p.done() {
+        return Err(p.err("trailing characters after path"));
+    }
+    Ok(path)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> P<'a> {
+        P { s: input.as_bytes(), i: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.s.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn err(&self, msg: &str) -> QueryError {
+        QueryError::new(msg, self.i)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn looking_at(&self, s: &str) -> bool {
+        self.s[self.i..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.looking_at(s) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    /// Keyword: word followed by a non-name character.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.looking_at(kw) {
+            let after = self.s.get(self.i + kw.len()).copied();
+            if after.map(|b| !is_name_byte(b)).unwrap_or(true) {
+                self.i += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.i;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        while self.peek().map(is_name_byte).unwrap_or(false) {
+            self.i += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+    }
+
+    /// `name` or `prefix:local`.
+    fn qname(&mut self) -> Result<String> {
+        let mut n = self.name()?;
+        if self.peek() == Some(b':')
+            && self.s.get(self.i + 1).map(|&b| is_name_start(b)).unwrap_or(false)
+        {
+            self.i += 1;
+            let local = self.name()?;
+            n = format!("{n}:{local}");
+        }
+        Ok(n)
+    }
+
+    fn var(&mut self) -> Result<String> {
+        self.expect("$")?;
+        self.name()
+    }
+
+    fn string_lit(&mut self) -> Result<String> {
+        let q = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected string literal")),
+        };
+        self.i += 1;
+        let start = self.i;
+        while self.peek().map(|b| b != q).unwrap_or(false) {
+            self.i += 1;
+        }
+        if self.done() {
+            return Err(self.err("unterminated string literal"));
+        }
+        let s = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<Literal> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.i += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.i += 1;
+            while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("digits are utf8");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected a number"));
+        }
+        if float {
+            text.parse()
+                .map(Literal::Float)
+                .map_err(|_| self.err("bad float literal"))
+        } else {
+            text.parse()
+                .map(Literal::Int)
+                .map_err(|_| self.err("bad integer literal"))
+        }
+    }
+
+    // ---- paths -----------------------------------------------------------
+
+    fn path(&mut self) -> Result<PathExpr> {
+        let mut path = PathExpr::default();
+        self.ws();
+        if self.peek() == Some(b'$') {
+            path.start = Some(self.var()?);
+            if self.done() || !matches!(self.peek(), Some(b'/')) {
+                return Ok(path);
+            }
+        } else if !matches!(self.peek(), Some(b'/')) {
+            // Relative path: implicit child step(s) from the context node.
+            path.steps.push(self.step(Axis::Child)?);
+            while self.looking_at("/") {
+                let axis = if self.eat("//") {
+                    Axis::Descendant
+                } else {
+                    self.expect("/")?;
+                    Axis::Child
+                };
+                path.steps.push(self.step(axis)?);
+            }
+            return Ok(path);
+        }
+        while self.looking_at("/") {
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else {
+                self.expect("/")?;
+                Axis::Child
+            };
+            path.steps.push(self.step(axis)?);
+        }
+        if path.steps.is_empty() && path.start.is_none() {
+            return Err(self.err("expected a path"));
+        }
+        Ok(path)
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step> {
+        // '..' and '.'
+        if self.eat("..") {
+            return Ok(Step::plain(Axis::Parent, NodeTest::Wildcard));
+        }
+        if self.peek() == Some(b'.') && !self.looking_at("..") {
+            self.i += 1;
+            return Ok(Step::plain(Axis::SelfAxis, NodeTest::Wildcard));
+        }
+        let (axis, test) = if self.eat("@") {
+            let test = if self.eat("*") {
+                NodeTest::Wildcard
+            } else {
+                NodeTest::Name(self.qname()?)
+            };
+            (Axis::Attribute, test)
+        } else if self.eat("*") {
+            (axis, NodeTest::Wildcard)
+        } else if self.eat_kw("text") && self.eat("()") {
+            (axis, NodeTest::Text)
+        } else {
+            (axis, NodeTest::Name(self.qname()?))
+        };
+        let mut step = Step::plain(axis, test);
+        while self.peek() == Some(b'[') {
+            self.i += 1;
+            self.ws();
+            let pred = self.predicate()?;
+            self.ws();
+            self.expect("]")?;
+            step.predicates.push(pred);
+        }
+        Ok(step)
+    }
+
+    // ---- predicates ------------------------------------------------------
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        self.pred_or()
+    }
+
+    fn pred_or(&mut self) -> Result<Predicate> {
+        let mut p = self.pred_and()?;
+        loop {
+            self.ws();
+            if self.eat_kw("or") {
+                self.ws();
+                p = Predicate::Or(Box::new(p), Box::new(self.pred_and()?));
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate> {
+        let mut p = self.pred_atom()?;
+        loop {
+            self.ws();
+            if self.eat_kw("and") {
+                self.ws();
+                p = Predicate::And(Box::new(p), Box::new(self.pred_atom()?));
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    fn pred_atom(&mut self) -> Result<Predicate> {
+        self.ws();
+        if self.eat("(") {
+            let p = self.predicate()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(p);
+        }
+        if self.looking_at("not(") {
+            self.i += "not(".len();
+            let p = self.predicate()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Predicate::Not(Box::new(p)));
+        }
+        if self.looking_at("contains(") {
+            self.i += "contains(".len();
+            self.ws();
+            let path = self.rel_path()?;
+            self.ws();
+            self.expect(",")?;
+            self.ws();
+            let needle = self.string_lit()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Predicate::Contains { path, needle });
+        }
+        // Position predicate.
+        if self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            let Literal::Int(n) = self.number()? else {
+                return Err(self.err("position must be an integer"));
+            };
+            if n < 1 {
+                return Err(self.err("positions are 1-based"));
+            }
+            return Ok(Predicate::Position(n as u32));
+        }
+        // Path, optionally compared to a literal.
+        let path = self.rel_path()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::NotEq)
+        } else if self.eat("<=") {
+            Some(CmpOp::LtEq)
+        } else if self.eat(">=") {
+            Some(CmpOp::GtEq)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(Predicate::Exists(path)),
+            Some(op) => {
+                self.ws();
+                let value = if matches!(self.peek(), Some(b'"' | b'\'')) {
+                    Literal::Str(self.string_lit()?)
+                } else {
+                    self.number()?
+                };
+                Ok(Predicate::Compare { path, op, value })
+            }
+        }
+    }
+
+    /// Relative path inside a predicate / condition: `@a`, `b/c`, `.`,
+    /// `$v/x` (conditions only).
+    fn rel_path(&mut self) -> Result<PathExpr> {
+        let mut path = PathExpr::default();
+        if self.peek() == Some(b'$') {
+            path.start = Some(self.var()?);
+            while self.looking_at("/") {
+                let axis = if self.eat("//") { Axis::Descendant } else {
+                    self.expect("/")?;
+                    Axis::Child
+                };
+                path.steps.push(self.step(axis)?);
+            }
+            return Ok(path);
+        }
+        if self.eat(".") {
+            path.steps.push(Step::plain(Axis::SelfAxis, NodeTest::Wildcard));
+            while self.looking_at("/") {
+                let axis = if self.eat("//") { Axis::Descendant } else {
+                    self.expect("/")?;
+                    Axis::Child
+                };
+                path.steps.push(self.step(axis)?);
+            }
+            return Ok(path);
+        }
+        // Leading // or plain names.
+        if self.looking_at("//") {
+            self.i += 2;
+            path.steps.push(self.step(Axis::Descendant)?);
+        } else {
+            path.steps.push(self.step(Axis::Child)?);
+        }
+        while self.looking_at("/") {
+            let axis = if self.eat("//") { Axis::Descendant } else {
+                self.expect("/")?;
+                Axis::Child
+            };
+            path.steps.push(self.step(axis)?);
+        }
+        Ok(path)
+    }
+
+    // ---- FLWOR -----------------------------------------------------------
+
+    fn flwor(&mut self) -> Result<Flwor> {
+        let mut clauses = Vec::new();
+        loop {
+            self.ws();
+            if self.eat_kw("for") {
+                loop {
+                    self.ws();
+                    let var = self.var()?;
+                    self.ws();
+                    if !self.eat_kw("in") {
+                        return Err(self.err("expected 'in'"));
+                    }
+                    self.ws();
+                    let path = self.path()?;
+                    clauses.push(Clause::For { var, path });
+                    self.ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else if self.eat_kw("let") {
+                loop {
+                    self.ws();
+                    let var = self.var()?;
+                    self.ws();
+                    self.expect(":=")?;
+                    self.ws();
+                    let path = self.path()?;
+                    clauses.push(Clause::Let { var, path });
+                    self.ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if clauses.is_empty() {
+            return Err(self.err("FLWOR requires at least one for/let clause"));
+        }
+        self.ws();
+        let where_ = if self.eat_kw("where") {
+            self.ws();
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        self.ws();
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.ws();
+            if !self.eat_kw("by") {
+                return Err(self.err("expected 'by'"));
+            }
+            loop {
+                self.ws();
+                let path = self.rel_path()?;
+                self.ws();
+                let asc = if self.eat_kw("descending") {
+                    false
+                } else {
+                    self.eat_kw("ascending");
+                    true
+                };
+                order_by.push((path, asc));
+                self.ws();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.ws();
+        if !self.eat_kw("return") {
+            return Err(self.err("expected 'return'"));
+        }
+        self.ws();
+        let ret = self.return_expr()?;
+        Ok(Flwor { clauses, where_, order_by, ret })
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        self.cond_or()
+    }
+
+    fn cond_or(&mut self) -> Result<Condition> {
+        let mut c = self.cond_and()?;
+        loop {
+            self.ws();
+            if self.eat_kw("or") {
+                self.ws();
+                c = Condition::Or(Box::new(c), Box::new(self.cond_and()?));
+            } else {
+                return Ok(c);
+            }
+        }
+    }
+
+    fn cond_and(&mut self) -> Result<Condition> {
+        let mut c = self.cond_atom()?;
+        loop {
+            self.ws();
+            if self.eat_kw("and") {
+                self.ws();
+                c = Condition::And(Box::new(c), Box::new(self.cond_atom()?));
+            } else {
+                return Ok(c);
+            }
+        }
+    }
+
+    fn cond_atom(&mut self) -> Result<Condition> {
+        self.ws();
+        if self.eat("(") {
+            let c = self.condition()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(c);
+        }
+        if self.looking_at("not(") {
+            self.i += "not(".len();
+            let c = self.condition()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Condition::Not(Box::new(c)));
+        }
+        if self.looking_at("contains(") {
+            self.i += "contains(".len();
+            self.ws();
+            let path = self.rel_path()?;
+            self.ws();
+            self.expect(",")?;
+            self.ws();
+            let needle = self.string_lit()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Condition::Contains { path, needle });
+        }
+        let path = self.rel_path()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::NotEq)
+        } else if self.eat("<=") {
+            Some(CmpOp::LtEq)
+        } else if self.eat(">=") {
+            Some(CmpOp::GtEq)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(Condition::Exists(path)),
+            Some(op) => {
+                self.ws();
+                if matches!(self.peek(), Some(b'"' | b'\'')) {
+                    Ok(Condition::Compare { path, op, value: Literal::Str(self.string_lit()?) })
+                } else if self.peek() == Some(b'$') {
+                    let right = self.rel_path()?;
+                    Ok(Condition::Join { left: path, op, right })
+                } else {
+                    Ok(Condition::Compare { path, op, value: self.number()? })
+                }
+            }
+        }
+    }
+
+    fn return_expr(&mut self) -> Result<ReturnExpr> {
+        self.ws();
+        if self.peek() == Some(b'<') {
+            return self.constructor();
+        }
+        if matches!(self.peek(), Some(b'"' | b'\'')) {
+            return Ok(ReturnExpr::Text(self.string_lit()?));
+        }
+        Ok(ReturnExpr::Path(self.rel_path()?))
+    }
+
+    /// `<name a="v">{ e1, e2 }</name>` or `<name/>` or `<name></name>`.
+    fn constructor(&mut self) -> Result<ReturnExpr> {
+        self.expect("<")?;
+        let name = self.name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.ws();
+            if self.eat("/>") {
+                return Ok(ReturnExpr::Element { name, attributes, children: Vec::new() });
+            }
+            if self.eat(">") {
+                break;
+            }
+            let aname = self.name()?;
+            self.ws();
+            self.expect("=")?;
+            self.ws();
+            let aval = self.string_lit()?;
+            attributes.push((aname, aval));
+        }
+        // Content: sequence of { expr-list } blocks, nested constructors
+        // and literal text, until the close tag.
+        let mut children = Vec::new();
+        loop {
+            self.ws();
+            if self.looking_at("</") {
+                self.expect("</")?;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.err(&format!("mismatched constructor </{close}>")));
+                }
+                self.ws();
+                self.expect(">")?;
+                return Ok(ReturnExpr::Element { name, attributes, children });
+            }
+            if self.eat("{") {
+                loop {
+                    self.ws();
+                    children.push(self.return_expr()?);
+                    self.ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.ws();
+                self.expect("}")?;
+                continue;
+            }
+            if self.peek() == Some(b'<') {
+                children.push(self.constructor()?);
+                continue;
+            }
+            // Literal text until the next markup.
+            let start = self.i;
+            while self.peek().map(|b| b != b'<' && b != b'{').unwrap_or(false) {
+                self.i += 1;
+            }
+            if self.i == start {
+                return Err(self.err("unterminated element constructor"));
+            }
+            let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+            if !text.trim().is_empty() {
+                children.push(ReturnExpr::Text(text));
+            }
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_byte(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_child_path() {
+        let p = parse_path("/bib/book/title").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(p.to_string(), "/bib/book/title");
+    }
+
+    #[test]
+    fn descendant_and_attribute() {
+        let p = parse_path("//book/@year").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name("year".into()));
+    }
+
+    #[test]
+    fn wildcard_and_text() {
+        let p = parse_path("/a/*/text()").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Wildcard);
+        assert_eq!(p.steps[2].test, NodeTest::Text);
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let p = parse_path("/a/b[3]").unwrap();
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Position(3)]);
+    }
+
+    #[test]
+    fn value_predicates() {
+        let p = parse_path("/bib/book[@year > 1990]/title").unwrap();
+        match &p.steps[1].predicates[0] {
+            Predicate::Compare { path, op, value } => {
+                assert_eq!(path.steps[0].axis, Axis::Attribute);
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*value, Literal::Int(1990));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_predicate_and_exists() {
+        let p = parse_path("/bib/book[publisher = 'Springer'][author]").unwrap();
+        assert_eq!(p.steps[1].predicates.len(), 2);
+        assert!(matches!(&p.steps[1].predicates[1], Predicate::Exists(_)));
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let p = parse_path("/a/b[@x = 1 and c = 'v' or not(d)]").unwrap();
+        assert!(matches!(&p.steps[1].predicates[0], Predicate::Or(_, _)));
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let p = parse_path("/a/b[contains(c, 'ip')]").unwrap();
+        assert!(matches!(
+            &p.steps[1].predicates[0],
+            Predicate::Contains { needle, .. } if needle == "ip"
+        ));
+    }
+
+    #[test]
+    fn nested_path_predicate() {
+        let p = parse_path("/bib/book[author/lastname = 'Laing']").unwrap();
+        match &p.steps[1].predicates[0] {
+            Predicate::Compare { path, .. } => assert_eq!(path.steps.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parent_and_self_steps() {
+        let p = parse_path("/a/b/../c").unwrap();
+        assert!(p.has_parent_step());
+        let p = parse_path("/a/./b").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::SelfAxis);
+    }
+
+    #[test]
+    fn flwor_tutorial_example() {
+        // The tutorial's slide-30 query, adapted to the implemented subset.
+        let q = parse_query(
+            "for $b in /bib//book \
+             where $b/publisher = 'Springer Verlag' and $b/@year > 2000 \
+             order by $b/@year \
+             return $b/title",
+        )
+        .unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        assert_eq!(f.clauses.len(), 1);
+        assert!(matches!(&f.clauses[0], Clause::For { var, .. } if var == "b"));
+        assert!(matches!(&f.where_, Some(Condition::And(_, _))));
+        assert_eq!(f.order_by.len(), 1);
+        assert!(matches!(&f.ret, ReturnExpr::Path(_)));
+    }
+
+    #[test]
+    fn flwor_with_constructor() {
+        let q = parse_query(
+            "for $x in /doc/item \
+             return <result id=\"r1\">{$x/name, $x/@price}</result>",
+        )
+        .unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        let ReturnExpr::Element { name, attributes, children } = &f.ret else { panic!() };
+        assert_eq!(name, "result");
+        assert_eq!(attributes[0], ("id".to_string(), "r1".to_string()));
+        assert_eq!(children.len(), 2);
+    }
+
+    #[test]
+    fn nested_constructors_and_text() {
+        let q = parse_query(
+            "for $x in /a/b return <out><tag>label</tag>{$x/c}</out>",
+        )
+        .unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        let ReturnExpr::Element { children, .. } = &f.ret else { panic!() };
+        assert_eq!(children.len(), 2);
+        assert!(matches!(&children[0], ReturnExpr::Element { name, .. } if name == "tag"));
+    }
+
+    #[test]
+    fn flwor_multiple_for_and_join() {
+        let q = parse_query(
+            "for $a in /site/person, $b in /site/order \
+             where $a/@id = $b/@buyer \
+             return $b/total",
+        )
+        .unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        assert_eq!(f.clauses.len(), 2);
+        assert!(matches!(&f.where_, Some(Condition::Join { .. })));
+    }
+
+    #[test]
+    fn flwor_var_relative_for() {
+        let q = parse_query("for $a in /x/y, $c in $a/z return $c").unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        assert_eq!(f.clauses[1].path().start.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn let_clause() {
+        let q = parse_query("let $t := /doc/title return $t").unwrap();
+        let Query::Flwor(f) = q else { panic!() };
+        assert!(matches!(&f.clauses[0], Clause::Let { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("/a/[2]").is_err());
+        assert!(parse_path("/a trailing").is_err());
+        assert!(parse_query("for $x in /a").is_err()); // missing return
+        assert!(parse_query("for $x in /a return <a>{$x}</b>").is_err());
+    }
+
+    #[test]
+    fn qname_steps() {
+        let p = parse_path("/amz:ref/@amz:isbn").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::Name("amz:ref".into()));
+        assert_eq!(p.steps[1].test, NodeTest::Name("amz:isbn".into()));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "/bib/book/title",
+            "//book/@year",
+            "/a//b/c",
+            "/a/b[3]",
+        ] {
+            let p = parse_path(src).unwrap();
+            let reparsed = parse_path(&p.to_string()).unwrap();
+            assert_eq!(p, reparsed, "{src}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The query parser never panics, and display output re-parses.
+
+use proptest::prelude::*;
+use xqir::{parse_path, parse_query};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,100}") {
+        let _ = parse_query(&s);
+        let _ = parse_path(&s);
+    }
+
+    #[test]
+    fn query_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("/"), Just("//"), Just("a"), Just("b"), Just("@x"),
+                Just("["), Just("]"), Just("="), Just("'s'"), Just("1"),
+                Just("for "), Just("$v"), Just(" in "), Just("where "),
+                Just("return "), Just("order by "), Just("and "), Just("or "),
+                Just("text()"), Just("*"), Just("contains("), Just(")"),
+                Just("<e>"), Just("</e>"), Just("{"), Just("}"), Just(","),
+            ],
+            0..24,
+        )
+    ) {
+        let s: String = parts.concat();
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn display_of_parsed_paths_reparses(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("/a"), Just("/b"), Just("//c"), Just("/@x"),
+                Just("/d[2]"), Just("/e[@y = 'v']"), Just("/*"),
+                Just("/f[g > 10]"),
+            ],
+            1..6,
+        )
+    ) {
+        let s: String = parts.concat();
+        if let Ok(p) = parse_path(&s) {
+            let printed = p.to_string();
+            let reparsed = parse_path(&printed).expect("display must reparse");
+            prop_assert_eq!(p, reparsed);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Scheme comparison on the auction corpus: storage, join counts, and
+//! answer agreement across all six mapping schemes.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use xmlrel::xmlgen::auction::{generate, AuctionConfig, AUCTION_DTD};
+use xmlrel::xmlgen::AUCTION_QUERIES;
+use xmlrel::{all_schemes, XmlStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AuctionConfig::at_scale(0.2);
+    let doc = generate(&cfg);
+    println!(
+        "corpus: auction scale {} ({} elements)\n",
+        cfg.scale,
+        doc.element_count()
+    );
+
+    let mut stores: Vec<XmlStore> = Vec::new();
+    for scheme in all_schemes(AUCTION_DTD)? {
+        let mut store = XmlStore::new(scheme)?;
+        store.load_document("auction", &doc)?;
+        stores.push(store);
+    }
+
+    // Storage comparison (experiment E1's shape).
+    println!("{:<10} {:>8} {:>8} {:>12} {:>12}", "scheme", "tables", "rows", "heap B", "index B");
+    for store in &stores {
+        let st = store.storage_stats();
+        println!(
+            "{:<10} {:>8} {:>8} {:>12} {:>12}",
+            store.scheme().name(),
+            st.tables,
+            st.rows,
+            st.heap_bytes,
+            st.index_bytes
+        );
+    }
+
+    // Join counts per query (experiment E6's shape).
+    println!("\njoins in translated SQL:");
+    print!("{:<6}", "query");
+    for store in &stores {
+        print!(" {:>10}", store.scheme().name());
+    }
+    println!();
+    for q in AUCTION_QUERIES {
+        print!("{:<6}", q.id);
+        for store in &stores {
+            match store.join_count(q.text) {
+                Ok(n) => print!(" {n:>10}"),
+                Err(_) => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // Agreement: every scheme that can answer a query returns the same
+    // number of results.
+    println!("\nresult counts (agreement check):");
+    for q in AUCTION_QUERIES {
+        let mut counts = Vec::new();
+        for store in &mut stores {
+            match store.query_count(q.text) {
+                Ok(n) => counts.push((store.scheme().name(), n)),
+                Err(_) => counts.push((store.scheme().name(), usize::MAX)),
+            }
+        }
+        let answered: Vec<usize> =
+            counts.iter().map(|(_, n)| *n).filter(|&n| n != usize::MAX).collect();
+        let agree = answered.windows(2).all(|w| w[0] == w[1]);
+        println!(
+            "{:<6} {:?} {}",
+            q.id,
+            counts
+                .iter()
+                .map(|(s, n)| if *n == usize::MAX {
+                    format!("{s}:-")
+                } else {
+                    format!("{s}:{n}")
+                })
+                .collect::<Vec<_>>(),
+            if agree { "OK" } else { "MISMATCH" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Update demonstration: subtree inserts and deletes under the two order
+//! encodings where they differ (interval renumbering vs Dewey locality).
+//!
+//! ```sh
+//! cargo run --release --example updates
+//! ```
+
+use xmlrel::shredder::{DeweyScheme, IntervalScheme};
+use xmlrel::xmlgen::auction::{generate, AuctionConfig};
+use xmlrel::xmlpar::Document;
+use xmlrel::{Scheme, XmlStore};
+use xmlrel_core::update::{
+    dewey_delete_subtree, dewey_insert_child, interval_delete_subtree, interval_insert_child,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = generate(&AuctionConfig::at_scale(0.2));
+    let fragment = Document::parse(
+        r#"<person id="late-arrival"><name>Late Arrival</name><emailaddress>late@x</emailaddress></person>"#,
+    )?;
+
+    // ---- interval scheme ---------------------------------------------------
+    let mut ivl = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+    let (doc_id, _) = ivl.load_document("auction", &doc)?;
+
+    // Find /site/people's pre number via a translated query.
+    let t = ivl.translate("/site/people")?;
+    let rows = ivl.run_rows(&t)?;
+    let people_pre = rows[0][1].as_int().expect("pre");
+
+    let before = ivl.query_count("/site/people/person")?;
+    let stats = interval_insert_child(&mut ivl.db, doc_id, people_pre, &fragment)?;
+    let after = ivl.query_count("/site/people/person")?;
+    println!("interval insert:");
+    println!("  persons {before} -> {after}");
+    println!(
+        "  rows inserted: {}, pre-existing rows renumbered: {}",
+        stats.rows_inserted, stats.rows_renumbered
+    );
+
+    // The new person is queryable immediately.
+    let hit = ivl.query("/site/people/person[@id = 'late-arrival']/name/text()")?;
+    println!("  lookup: {:?}", hit.items);
+
+    // And deletable; the document stays consistent.
+    let t = ivl.translate("/site/people/person[@id = 'late-arrival']")?;
+    let rows = ivl.run_rows(&t)?;
+    let victim_pre = rows[0][1].as_int().expect("pre");
+    let dstats = interval_delete_subtree(&mut ivl.db, doc_id, victim_pre)?;
+    println!(
+        "  delete: {} rows removed, {} renumbered; persons back to {}",
+        dstats.rows_deleted,
+        dstats.rows_renumbered,
+        ivl.query_count("/site/people/person")?
+    );
+
+    // ---- dewey scheme --------------------------------------------------------
+    let mut dwy = XmlStore::new(Scheme::Dewey(DeweyScheme::new()))?;
+    let (doc_id, _) = dwy.load_document("auction", &doc)?;
+    let t = dwy.translate("/site/people")?;
+    let rows = dwy.run_rows(&t)?;
+    let people_key = rows[0][1].as_text().expect("key").to_string();
+
+    let stats = dewey_insert_child(&mut dwy.db, doc_id, &people_key, &fragment)?;
+    println!("\ndewey insert:");
+    println!(
+        "  rows inserted: {}, pre-existing rows renumbered: {}  <- locality",
+        stats.rows_inserted, stats.rows_renumbered
+    );
+    let hit = dwy.query("/site/people/person[@id = 'late-arrival']/name/text()")?;
+    println!("  lookup: {:?}", hit.items);
+
+    let t = dwy.translate("/site/people/person[@id = 'late-arrival']")?;
+    let rows = dwy.run_rows(&t)?;
+    let victim_key = rows[0][1].as_text().expect("key").to_string();
+    let dstats = dewey_delete_subtree(&mut dwy.db, doc_id, &victim_key)?;
+    println!(
+        "  delete: {} rows removed, {} renumbered",
+        dstats.rows_deleted, dstats.rows_renumbered
+    );
+
+    // Both stores reconstruct the original document exactly after the
+    // insert+delete round trip.
+    let original = xmlrel::xmlpar::serialize::to_string(&doc);
+    assert_eq!(ivl.reconstruct("auction")?, original);
+    assert_eq!(dwy.reconstruct("auction")?, original);
+    println!("\nboth schemes reconstruct the original document exactly after the round trip");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! `xmlrel` — storage and retrieval of XML data using relational databases.
+//!
+//! Workspace façade: re-exports the public API of every crate.
+//!
+//! - [`XmlStore`] / [`Scheme`]: store XML, query it with XPath/FLWOR.
+//! - [`xmlpar`]: the XML parser / DOM / DTD substrate.
+//! - [`reldb`]: the embedded relational engine the SQL runs on.
+//! - [`xqir`]: the query front end.
+//! - [`shredder`]: the six mapping schemes.
+//! - [`xmlgen`]: synthetic corpora and the benchmark workload.
+
+pub use xmlrel_core::{
+    CoreError, NodeKey, OutKind, QueryOutput, Result, Scheme, Translated, XmlStore,
+};
+
+pub use reldb;
+pub use shredder;
+pub use xmlgen;
+pub use xmlpar;
+pub use xqir;
+
+/// All six schemes, freshly constructed, for comparative experiments.
+/// The inline scheme needs a DTD; pass the corpus DTD text.
+pub fn all_schemes(dtd: &str) -> Result<Vec<Scheme>> {
+    Ok(vec![
+        Scheme::Edge(shredder::EdgeScheme::new()),
+        Scheme::Binary(shredder::BinaryScheme::new()),
+        Scheme::Universal(shredder::UniversalScheme::new()),
+        Scheme::Interval(shredder::IntervalScheme::new()),
+        Scheme::Dewey(shredder::DeweyScheme::new()),
+        Scheme::Inline(shredder::InlineScheme::from_dtd_text(dtd)?),
+    ])
+}

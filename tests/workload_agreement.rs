@@ -1,0 +1,160 @@
+//! Cross-crate integration: every mapping scheme answers the full
+//! benchmark workload identically on every generated corpus.
+
+use xmlrel::xmlgen::auction::{generate, AuctionConfig, AUCTION_DTD};
+use xmlrel::xmlgen::dblp::{generate as gen_dblp, DblpConfig, DBLP_DTD};
+use xmlrel::xmlgen::deep::{generate as gen_deep, DeepConfig, DEEP_DTD};
+use xmlrel::xmlgen::{AUCTION_QUERIES, DBLP_QUERIES, DEEP_QUERIES};
+use xmlrel::{all_schemes, XmlStore};
+
+fn stores_for(doc: &xmlrel::xmlpar::Document, dtd: &str) -> Vec<XmlStore> {
+    all_schemes(dtd)
+        .unwrap()
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).unwrap();
+            store.load_document("corpus", doc).unwrap();
+            store
+        })
+        .collect()
+}
+
+fn assert_workload_agreement(
+    doc: &xmlrel::xmlpar::Document,
+    dtd: &str,
+    queries: &[xmlrel::xmlgen::WorkloadQuery],
+) {
+    let mut stores = stores_for(doc, dtd);
+    for q in queries {
+        // Collect sorted item multisets per scheme; all schemes that can
+        // answer must agree exactly.
+        let mut reference: Option<(String, Vec<String>)> = None;
+        for store in &mut stores {
+            let name = store.scheme().name();
+            let result = match store.query(q.text) {
+                Ok(r) => r,
+                Err(xmlrel::CoreError::Translate(_)) => continue, // documented gap
+                Err(e) => panic!("{name} failed {}: {e}", q.id),
+            };
+            let mut items = result.items;
+            items.sort();
+            match &reference {
+                None => reference = Some((name.to_string(), items)),
+                Some((ref_name, ref_items)) => {
+                    assert_eq!(
+                        &items, ref_items,
+                        "{name} disagrees with {ref_name} on {} ({})",
+                        q.id, q.text
+                    );
+                }
+            }
+        }
+        let (_, items) = reference.expect("at least one scheme answers each query");
+        // Sanity: the workload was designed so every query matches data.
+        assert!(!items.is_empty(), "{} returned nothing", q.id);
+    }
+}
+
+#[test]
+fn auction_workload_agreement() {
+    let doc = generate(&AuctionConfig::at_scale(0.15));
+    assert_workload_agreement(&doc, AUCTION_DTD, xmlrel::xmlgen::AUCTION_QUERIES);
+    let _ = AUCTION_QUERIES; // linked above
+}
+
+#[test]
+fn dblp_workload_agreement() {
+    let doc = gen_dblp(&DblpConfig { articles: 120, inproceedings: 80, seed: 99 });
+    assert_workload_agreement(&doc, DBLP_DTD, DBLP_QUERIES);
+}
+
+#[test]
+fn deep_workload_agreement() {
+    let doc = gen_deep(&DeepConfig { depth: 6, fanout: 2, paras: 1, seed: 5 });
+    assert_workload_agreement(&doc, DEEP_DTD, DEEP_QUERIES);
+}
+
+#[test]
+fn all_schemes_round_trip_all_corpora() {
+    let corpora: Vec<(xmlrel::xmlpar::Document, &str)> = vec![
+        (generate(&AuctionConfig::at_scale(0.1)), AUCTION_DTD),
+        (gen_dblp(&DblpConfig { articles: 40, inproceedings: 25, seed: 3 }), DBLP_DTD),
+        (gen_deep(&DeepConfig { depth: 5, fanout: 2, paras: 1, seed: 4 }), DEEP_DTD),
+        (
+            xmlrel::xmlgen::textheavy::generate(&xmlrel::xmlgen::TextConfig {
+                entries: 15,
+                paras: 3,
+                words: 30,
+                seed: 8,
+            }),
+            xmlrel::xmlgen::TEXT_DTD,
+        ),
+    ];
+    for (doc, dtd) in &corpora {
+        let original = xmlrel::xmlpar::serialize::to_string(doc);
+        for store in stores_for(doc, dtd) {
+            let rebuilt = store.reconstruct("corpus").unwrap();
+            assert_eq!(rebuilt, original, "scheme {}", store.scheme().name());
+        }
+    }
+}
+
+#[test]
+fn storage_ordering_expectations() {
+    // The E1 claim: inline stores fewest rows; the universal table stores
+    // fewer rows than edge (padded rows) but wide ones; dewey pays for its
+    // textual keys.
+    let doc = generate(&AuctionConfig::at_scale(0.2));
+    let stores = stores_for(&doc, AUCTION_DTD);
+    let stat = |name: &str| {
+        stores
+            .iter()
+            .find(|s| s.scheme().name() == name)
+            .unwrap()
+            .storage_stats()
+    };
+    assert!(stat("inline").rows < stat("edge").rows / 2);
+    assert!(stat("dewey").total_bytes() > stat("interval").total_bytes());
+    assert!(stat("binary").heap_bytes < stat("edge").heap_bytes);
+}
+
+#[test]
+fn join_count_expectations() {
+    // The E6 claim: inline needs the fewest joins on DTD-conformant child
+    // chains; interval/dewey collapse descendant chains.
+    let doc = generate(&AuctionConfig::at_scale(0.1));
+    let stores = stores_for(&doc, AUCTION_DTD);
+    let joins = |name: &str, q: &str| {
+        stores
+            .iter()
+            .find(|s| s.scheme().name() == name)
+            .unwrap()
+            .join_count(q)
+            .unwrap()
+    };
+    let chain = "/site/open_auctions/open_auction/bidder/increase";
+    assert!(joins("inline", chain) < joins("edge", chain));
+    let desc = "//open_auction//increase";
+    assert!(joins("interval", desc) < joins("edge", desc));
+    assert!(joins("dewey", desc) < joins("binary", desc));
+}
+
+#[test]
+fn scheme_storage_stats_consistent_with_shred_stats() {
+    let doc = generate(&AuctionConfig::at_scale(0.1));
+    for scheme in all_schemes(AUCTION_DTD).unwrap() {
+        let mut store = XmlStore::new(scheme).unwrap();
+        let (_, shred) = store.load_document("corpus", &doc).unwrap();
+        let storage = store.storage_stats();
+        assert!(storage.rows > 0, "{}", store.scheme().name());
+        // Inline stores fewer rows than nodes; others one row per node
+        // (plus registries/summaries).
+        if store.scheme().name() != "inline" && store.scheme().name() != "universal" {
+            assert!(
+                storage.rows >= shred.rows,
+                "{}: {storage:?} vs {shred:?}",
+                store.scheme().name()
+            );
+        }
+    }
+}
