@@ -119,12 +119,44 @@ pub struct XmlStore {
 }
 
 impl XmlStore {
-    /// Create a store: installs the scheme's tables.
+    /// Create an in-memory store: installs the scheme's tables.
     pub fn new(scheme: Scheme) -> Result<XmlStore> {
         let mut db = Database::new();
         docstore::install(&mut db)?;
         scheme.ops().install(&mut db)?;
         Ok(XmlStore { db, scheme })
+    }
+
+    /// Open (or create) a durable store in a directory on disk. Previously
+    /// loaded documents are recovered from the latest snapshot plus the
+    /// write-ahead log; a fresh directory gets the scheme's tables
+    /// installed.
+    pub fn open(scheme: Scheme, path: impl Into<std::path::PathBuf>) -> Result<XmlStore> {
+        XmlStore::open_with_backend(scheme, Box::new(reldb::FileBackend::open(path)?))
+    }
+
+    /// Open (or create) a durable store over any storage backend (e.g. an
+    /// in-memory or fault-injecting backend in tests).
+    pub fn open_with_backend(
+        scheme: Scheme,
+        backend: Box<dyn reldb::StorageBackend>,
+    ) -> Result<XmlStore> {
+        let mut db = Database::open_with_backend(backend)?;
+        if db.catalog.table_names().is_empty() {
+            // Fresh database: create the scheme's tables (logged to the
+            // WAL like any other statement). A recovered database already
+            // has them.
+            docstore::install(&mut db)?;
+            scheme.ops().install(&mut db)?;
+        }
+        Ok(XmlStore { db, scheme })
+    }
+
+    /// Checkpoint the store: serialize all tables to a new snapshot and
+    /// truncate the write-ahead log. No-op for in-memory stores.
+    pub fn persist(&mut self) -> Result<()> {
+        self.db.checkpoint()?;
+        Ok(())
     }
 
     /// The scheme in use.

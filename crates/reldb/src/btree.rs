@@ -129,7 +129,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                 let split = self.insert_into(child_idx, key, row)?;
                 let (sep, right) = split;
                 let Node::Internal { keys, children } = &mut self.nodes[idx] else {
-                    unreachable!()
+                    unreachable!("descent target changed kind during insert")
                 };
                 keys.insert(pos, sep);
                 children.insert(pos + 1, right);
@@ -140,7 +140,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             }
             None => {
                 let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
-                    unreachable!()
+                    unreachable!("descent target changed kind during insert")
                 };
                 match keys.binary_search(&key) {
                     Ok(p) => {
@@ -165,7 +165,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     fn split_leaf(&mut self, idx: usize) -> (K, usize) {
         let (r_keys, r_postings, old_next) = {
             let Node::Leaf { keys, postings, next, .. } = &mut self.nodes[idx] else {
-                unreachable!()
+                unreachable!("split_leaf called on a non-leaf node")
             };
             let mid = keys.len() / 2;
             (keys.split_off(mid), postings.split_off(mid), *next)
@@ -191,7 +191,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     fn split_internal(&mut self, idx: usize) -> (K, usize) {
         let (sep, r_keys, r_children) = {
             let Node::Internal { keys, children } = &mut self.nodes[idx] else {
-                unreachable!()
+                unreachable!("split_internal called on a non-internal node")
             };
             let mid = keys.len() / 2;
             let mut r_keys = keys.split_off(mid);
@@ -229,7 +229,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                 Some((children[pos], pos))
             }
             Node::Leaf { .. } => None,
-            Node::Free(_) => unreachable!(),
+            Node::Free(_) => unreachable!("descended into freed node"),
         };
         match child {
             Some((child_idx, pos)) => {
@@ -238,7 +238,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                     self.unlink_leaf_if_leaf(child_idx);
                     self.release(child_idx);
                     let Node::Internal { keys, children } = &mut self.nodes[idx] else {
-                        unreachable!()
+                        unreachable!("descent target changed kind during remove")
                     };
                     children.remove(pos);
                     // Remove the separator adjacent to the deleted child.
@@ -252,7 +252,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             }
             None => {
                 let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
-                    unreachable!()
+                    unreachable!("descent target changed kind during remove")
                 };
                 match keys.binary_search(key) {
                     Ok(p) => {
@@ -313,7 +313,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                         Err(_) => &[],
                     };
                 }
-                Node::Free(_) => unreachable!(),
+                Node::Free(_) => unreachable!("descended into freed node"),
             }
         }
     }
@@ -347,7 +347,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                             };
                             break (idx, p);
                         }
-                        Node::Free(_) => unreachable!(),
+                        Node::Free(_) => unreachable!("descended into freed node"),
                     }
                 }
             }
@@ -361,7 +361,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             match &self.nodes[idx] {
                 Node::Internal { children, .. } => idx = children[0],
                 Node::Leaf { .. } => return idx,
-                Node::Free(_) => unreachable!(),
+                Node::Free(_) => unreachable!("descended into freed node"),
             }
         }
     }

@@ -28,6 +28,12 @@ impl Catalog {
         Ok(())
     }
 
+    /// Install a fully-built table under its own name (snapshot recovery
+    /// path; replaces any existing entry).
+    pub(crate) fn install(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
     /// Drop a table; errors if missing (unless `if_exists`).
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();

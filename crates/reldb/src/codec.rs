@@ -1,0 +1,284 @@
+//! Byte-level encoding shared by the WAL and snapshot formats.
+//!
+//! Little-endian fixed-width integers, length-prefixed strings, tagged
+//! values. Every decode path returns [`DbError::Corrupt`] instead of
+//! panicking — recovery code relies on this to detect torn or damaged
+//! records and stop cleanly.
+
+use crate::error::{DbError, Result};
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, Row, Value};
+
+// ---- CRC32 (IEEE 802.3) ----------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC32 checksum of `data` (IEEE polynomial, as used by zip/png).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- writing ---------------------------------------------------------------
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Bool(b) => {
+            put_u8(out, 1);
+            put_u8(out, *b as u8);
+        }
+        Value::Int(i) => {
+            put_u8(out, 2);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 3);
+            put_f64(out, *f);
+        }
+        Value::Text(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+    }
+}
+
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_u32(out, row.len() as u32);
+    for v in row {
+        put_value(out, v);
+    }
+}
+
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.columns.len() as u32);
+    for c in &schema.columns {
+        put_str(out, &c.name);
+        put_u8(
+            out,
+            match c.ty {
+                DataType::Int => 0,
+                DataType::Float => 1,
+                DataType::Text => 2,
+                DataType::Bool => 3,
+            },
+        );
+        put_u8(out, c.nullable as u8);
+    }
+}
+
+// ---- reading ---------------------------------------------------------------
+
+/// A bounds-checked cursor over a byte buffer.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> DbError {
+    DbError::Corrupt(format!("truncated or malformed {what}"))
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        // A length beyond the buffer means a torn/corrupt record.
+        let b = self.take(len, "string")?;
+        String::from_utf8(b.to_vec()).map_err(|_| corrupt("utf-8 string"))
+    }
+
+    pub(crate) fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::Text(self.str()?),
+            t => return Err(DbError::Corrupt(format!("unknown value tag {t}"))),
+        })
+    }
+
+    pub(crate) fn row(&mut self) -> Result<Row> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            // Each value takes at least one byte; reject absurd counts
+            // before allocating.
+            return Err(corrupt("row"));
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.value()?);
+        }
+        Ok(row)
+    }
+
+    pub(crate) fn schema(&mut self) -> Result<Schema> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(corrupt("schema"));
+        }
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let ty = match self.u8()? {
+                0 => DataType::Int,
+                1 => DataType::Float,
+                2 => DataType::Text,
+                3 => DataType::Bool,
+                t => return Err(DbError::Corrupt(format!("unknown type tag {t}"))),
+            };
+            let nullable = self.u8()? != 0;
+            cols.push(Column { name, ty, nullable });
+        }
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") = 0xCBF43926 is the standard check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.75),
+            Value::text("héllo <xml>"),
+        ];
+        let mut buf = Vec::new();
+        put_row(&mut buf, &vals);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.row().unwrap(), vals);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("score", DataType::Float),
+            Column::new("ok", DataType::Bool),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        assert_eq!(Reader::new(&buf).schema().unwrap(), schema);
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let mut buf = Vec::new();
+        put_row(&mut buf, &vec![Value::text("abcdefgh"), Value::Int(1)]);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                matches!(r.row(), Err(DbError::Corrupt(_))),
+                "cut at {cut} must be Corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Reader::new(&buf).row().is_err());
+        assert!(Reader::new(&buf).str().is_err());
+    }
+}

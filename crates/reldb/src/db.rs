@@ -2,15 +2,21 @@
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
-use crate::exec::{build_executor, run_to_vec};
+use crate::exec::{build_executor_limited, run_to_vec_limited, ExecLimits};
 use crate::plan::expr::value_to_bool;
 use crate::plan::logical::{bind_expr, bind_select, LogicalPlan, OutputCol, Scope};
 use crate::plan::optimizer::{optimize, OptimizerOptions};
 use crate::plan::physical::{explain_physical, plan_physical, PhysicalOptions, PhysicalPlan};
 use crate::schema::{Column, Schema};
+use crate::snapshot::{
+    encode_snapshot, parse_snapshot_gen, snapshot_file, SNAPSHOT_TMP,
+};
 use crate::sql::ast::{ColumnDef, Expr, Statement};
 use crate::sql::parser::{parse_script, parse_statement};
+use crate::storage::{FileBackend, StorageBackend};
+use crate::table::Table;
 use crate::value::{Row, Value};
+use crate::wal::{encode_frame, read_frames, WalRecord, WAL_FILE};
 
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +76,17 @@ impl QueryResult {
     }
 }
 
+/// Durability state of a persistent database: the backend, plus the
+/// generation stamped into WAL frames (matching the current snapshot).
+#[derive(Debug)]
+struct Durability {
+    backend: Box<dyn StorageBackend>,
+    gen: u64,
+    /// Set after a failed commit: memory and disk have diverged, so
+    /// further writes are refused until the database is reopened.
+    poisoned: bool,
+}
+
 /// An embedded relational database.
 #[derive(Debug, Default)]
 pub struct Database {
@@ -79,12 +96,156 @@ pub struct Database {
     pub optimizer: OptimizerOptions,
     /// Physical planner knobs.
     pub physical: PhysicalOptions,
+    /// Execution resource limits (unlimited by default).
+    pub limits: ExecLimits,
+    /// Durable storage; `None` for a purely in-memory database.
+    durability: Option<Durability>,
 }
 
 impl Database {
     /// An empty database with default options.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Open (or create) a durable database in a directory on disk,
+    /// recovering from the latest snapshot plus the write-ahead log.
+    pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Database> {
+        Database::open_with_backend(Box::new(FileBackend::open(path)?))
+    }
+
+    /// Open (or create) a durable database over any storage backend.
+    ///
+    /// Recovery: load the highest-generation snapshot that validates,
+    /// then replay WAL frames of that generation in order. Replay stops at
+    /// the first torn, checksum-failing, or stale-generation frame and
+    /// truncates the log there, so the database always comes back at a
+    /// committed statement boundary — never mid-statement, never with a
+    /// panic on damaged bytes.
+    pub fn open_with_backend(mut backend: Box<dyn StorageBackend>) -> Result<Database> {
+        // 1. Latest valid snapshot (ignore `snapshot.tmp` and damaged files).
+        let mut gens: Vec<u64> =
+            backend.list()?.iter().filter_map(|n| parse_snapshot_gen(n)).collect();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        let any_snapshot = !gens.is_empty();
+        let mut gen = 0;
+        let mut catalog = Catalog::new();
+        let mut loaded = false;
+        for g in gens {
+            if let Some(buf) = backend.read(&snapshot_file(g))? {
+                if let Ok((file_gen, c)) = crate::snapshot::decode_snapshot(&buf) {
+                    if file_gen == g {
+                        gen = g;
+                        catalog = c;
+                        loaded = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // A snapshot was published but none decodes: the data existed and
+        // is now unreadable. Refuse to present an empty database.
+        if any_snapshot && !loaded {
+            return Err(DbError::Corrupt(
+                "no snapshot file decodes cleanly; refusing to open as empty".into(),
+            ));
+        }
+        // 2. Replay the WAL prefix belonging to that snapshot.
+        let wal_buf = backend.read(WAL_FILE)?.unwrap_or_default();
+        let (frames, _) = read_frames(&wal_buf);
+        let mut keep = 0usize;
+        for frame in frames {
+            if frame.gen != gen {
+                // Written against an older snapshot whose effects the
+                // current snapshot already contains; replaying would
+                // double-apply.
+                break;
+            }
+            apply_records(&mut catalog, &frame.records)?;
+            keep = frame.end;
+        }
+        // 3. Drop everything past the last replayable frame.
+        if keep < wal_buf.len() {
+            backend.truncate(WAL_FILE, keep as u64)?;
+        }
+        Ok(Database {
+            catalog,
+            durability: Some(Durability { backend, gen, poisoned: false }),
+            ..Database::default()
+        })
+    }
+
+    /// Whether this database persists its writes.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Serialize the catalog to a new snapshot and truncate the WAL.
+    ///
+    /// Protocol: write `snapshot.tmp`, fsync, rename to
+    /// `snapshot.<gen+1>`, truncate the log, delete the old snapshot. A
+    /// crash anywhere in between leaves a recoverable state (see the
+    /// `snapshot` module docs). No-op for in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durability else { return Ok(()) };
+        if d.poisoned {
+            return Err(DbError::Io(
+                "durability poisoned by an earlier failed commit; reopen the database".into(),
+            ));
+        }
+        let next_gen = d.gen + 1;
+        let bytes = encode_snapshot(next_gen, &self.catalog);
+        d.backend.write(SNAPSHOT_TMP, &bytes)?;
+        d.backend.sync(SNAPSHOT_TMP)?;
+        let published = snapshot_file(next_gen);
+        d.backend.rename(SNAPSHOT_TMP, &published)?;
+        // The snapshot is now published: recovery will prefer it over both
+        // the old snapshot and the old-generation WAL frames. Any failure
+        // past this point leaves the in-memory bookkeeping out of step with
+        // disk, so treat it like a failed commit and poison until reopen.
+        let old = snapshot_file(d.gen);
+        let res = d
+            .backend
+            .sync(&published)
+            .and_then(|()| d.backend.truncate(WAL_FILE, 0))
+            .and_then(|()| d.backend.remove(&old));
+        match res {
+            Ok(()) => {
+                d.gen = next_gen;
+                Ok(())
+            }
+            Err(e) => {
+                d.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Append one statement's records to the WAL and flush. Called after
+    /// the in-memory mutation succeeded; a failure here poisons the
+    /// durability state (memory is ahead of disk) until reopen.
+    fn commit(&mut self, records: Vec<WalRecord>) -> Result<()> {
+        let Some(d) = &mut self.durability else { return Ok(()) };
+        if records.is_empty() {
+            return Ok(());
+        }
+        let frame = encode_frame(d.gen, &records);
+        let res = d.backend.append(WAL_FILE, &frame).and_then(|()| d.backend.sync(WAL_FILE));
+        if res.is_err() {
+            d.poisoned = true;
+        }
+        res
+    }
+
+    /// Refuse mutations once a commit has failed: the in-memory state is
+    /// ahead of the log, and writing more would corrupt the sequence.
+    fn check_writable(&self) -> Result<()> {
+        match &self.durability {
+            Some(d) if d.poisoned => Err(DbError::Io(
+                "durability poisoned by an earlier failed commit; reopen the database".into(),
+            )),
+            _ => Ok(()),
+        }
     }
 
     /// Execute one SQL statement.
@@ -117,7 +278,7 @@ impl Database {
     pub fn query_readonly(&self, sql: &str) -> Result<QueryResult> {
         let (logical, physical) = self.plan_select(sql)?;
         let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
-        let rows = run_to_vec(&physical, &self.catalog)?;
+        let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
         Ok(QueryResult { columns: names, rows })
     }
 
@@ -134,39 +295,79 @@ impl Database {
     }
 
     fn execute_stmt(&mut self, stmt: &Statement) -> Result<ExecResult> {
-        match stmt {
+        let durable = self.durability.is_some();
+        let mut wal: Vec<WalRecord> = Vec::new();
+        let result = match stmt {
             Statement::CreateTable { name, columns, if_not_exists } => {
                 if *if_not_exists && self.catalog.has_table(name) {
-                    return Ok(ExecResult::Affected(0));
-                }
-                let schema = Schema::new(
-                    columns
+                    ExecResult::Affected(0)
+                } else {
+                    self.check_writable()?;
+                    let schema = Schema::new(
+                        columns
+                            .iter()
+                            .map(|c: &ColumnDef| Column {
+                                name: c.name.clone(),
+                                ty: c.ty,
+                                nullable: !c.not_null,
+                            })
+                            .collect(),
+                    )?;
+                    self.catalog.create_table(name, schema.clone())?;
+                    if durable {
+                        wal.push(WalRecord::CreateTable {
+                            name: name.to_ascii_lowercase(),
+                            schema,
+                        });
+                    }
+                    // PRIMARY KEY columns get a unique index.
+                    let pk: Vec<String> = columns
                         .iter()
-                        .map(|c: &ColumnDef| Column {
-                            name: c.name.clone(),
-                            ty: c.ty,
-                            nullable: !c.not_null,
-                        })
-                        .collect(),
-                )?;
-                self.catalog.create_table(name, schema)?;
-                // PRIMARY KEY columns get a unique index.
-                let pk: Vec<String> = columns
-                    .iter()
-                    .filter(|c| c.primary_key)
-                    .map(|c| c.name.clone())
-                    .collect();
-                if !pk.is_empty() {
-                    let table = self.catalog.table_mut(name)?;
-                    let offsets: Vec<usize> = pk
-                        .iter()
-                        .map(|c| table.schema.index_of(c).expect("pk column exists"))
+                        .filter(|c| c.primary_key)
+                        .map(|c| c.name.clone())
                         .collect();
-                    table.create_index(format!("{name}_pk"), offsets, true)?;
+                    if !pk.is_empty() {
+                        let resolved: std::result::Result<Vec<usize>, String> = {
+                            let schema = &self.catalog.table(name)?.schema;
+                            pk.iter()
+                                .map(|c| schema.index_of(c).ok_or_else(|| c.clone()))
+                                .collect()
+                        };
+                        let offsets = match resolved {
+                            Ok(offsets) => offsets,
+                            Err(col) => {
+                                // Keep the statement atomic: no table without
+                                // its primary-key index.
+                                self.catalog.drop_table(name, true)?;
+                                return Err(DbError::Runtime(format!(
+                                    "PRIMARY KEY column '{col}' is not defined by the table"
+                                )));
+                            }
+                        };
+                        let table = self.catalog.table_mut(name)?;
+                        let idx_name = format!("{name}_pk").to_ascii_lowercase();
+                        if let Err(e) =
+                            table.create_index(idx_name.clone(), offsets.clone(), true)
+                        {
+                            // Keep the statement atomic: no table without
+                            // its primary-key index.
+                            self.catalog.drop_table(name, true)?;
+                            return Err(e);
+                        }
+                        if durable {
+                            wal.push(WalRecord::CreateIndex {
+                                table: name.to_ascii_lowercase(),
+                                name: idx_name,
+                                columns: offsets,
+                                unique: true,
+                            });
+                        }
+                    }
+                    ExecResult::Affected(0)
                 }
-                Ok(ExecResult::Affected(0))
             }
             Statement::CreateIndex { name, table, columns, unique } => {
+                self.check_writable()?;
                 let t = self.catalog.table_mut(table)?;
                 let offsets: Vec<usize> = columns
                     .iter()
@@ -176,14 +377,28 @@ impl Database {
                             .ok_or_else(|| DbError::Binding(format!("no column {c:?}")))
                     })
                     .collect::<Result<_>>()?;
-                t.create_index(name.clone(), offsets, *unique)?;
-                Ok(ExecResult::Affected(0))
+                t.create_index(name.clone(), offsets.clone(), *unique)?;
+                if durable {
+                    wal.push(WalRecord::CreateIndex {
+                        table: t.name.clone(),
+                        name: name.to_ascii_lowercase(),
+                        columns: offsets,
+                        unique: *unique,
+                    });
+                }
+                ExecResult::Affected(0)
             }
             Statement::DropTable { name, if_exists } => {
+                self.check_writable()?;
+                let existed = self.catalog.has_table(name);
                 self.catalog.drop_table(name, *if_exists)?;
-                Ok(ExecResult::Affected(0))
+                if durable && existed {
+                    wal.push(WalRecord::DropTable { name: name.to_ascii_lowercase() });
+                }
+                ExecResult::Affected(0)
             }
             Statement::Insert { table, columns, rows } => {
+                self.check_writable()?;
                 let t = self.catalog.table(table)?;
                 let arity = t.schema.arity();
                 // Map the provided column list to schema positions.
@@ -217,18 +432,27 @@ impl Database {
                     materialized.push(row);
                 }
                 let t = self.catalog.table_mut(table)?;
-                let n = t.insert_many(materialized)?;
-                Ok(ExecResult::Affected(n))
+                let n = if durable {
+                    let n = t.insert_atomic(materialized.clone())?;
+                    if !materialized.is_empty() {
+                        wal.push(WalRecord::Insert { table: t.name.clone(), rows: materialized });
+                    }
+                    n
+                } else {
+                    t.insert_atomic(materialized)?
+                };
+                ExecResult::Affected(n)
             }
             Statement::Select(sel) => {
                 let logical = optimize(bind_select(&self.catalog, sel)?, &self.optimizer, &self.catalog);
                 let names: Vec<String> =
                     logical.schema().into_iter().map(|c: OutputCol| c.name).collect();
                 let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
-                let rows = run_to_vec(&physical, &self.catalog)?;
-                Ok(ExecResult::Rows(QueryResult { columns: names, rows }))
+                let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
+                ExecResult::Rows(QueryResult { columns: names, rows })
             }
             Statement::Delete { table, predicate } => {
+                self.check_writable()?;
                 let t = self.catalog.table(table)?;
                 let scope = scope_of_table(t);
                 let pred = match predicate {
@@ -247,15 +471,20 @@ impl Database {
                     })
                     .collect::<Result<_>>()?;
                 let t = self.catalog.table_mut(table)?;
-                let mut n = 0;
+                let mut deleted: Vec<usize> = Vec::new();
                 for rid in victims {
                     if t.delete(rid) {
-                        n += 1;
+                        deleted.push(rid);
                     }
                 }
-                Ok(ExecResult::Affected(n))
+                let n = deleted.len();
+                if durable && !deleted.is_empty() {
+                    wal.push(WalRecord::Delete { table: t.name.clone(), rids: deleted });
+                }
+                ExecResult::Affected(n)
             }
             Statement::Update { table, assignments, predicate } => {
+                self.check_writable()?;
                 let t = self.catalog.table(table)?;
                 let scope = scope_of_table(t);
                 let pred = match predicate {
@@ -286,11 +515,17 @@ impl Database {
                     updates.push((rid, new_row));
                 }
                 let t = self.catalog.table_mut(table)?;
-                let n = updates.len();
-                for (rid, row) in updates {
-                    t.update(rid, row)?;
+                apply_updates_atomic(t, &updates)?;
+                if durable {
+                    for (rid, row) in &updates {
+                        wal.push(WalRecord::Update {
+                            table: t.name.clone(),
+                            rid: *rid,
+                            row: row.clone(),
+                        });
+                    }
                 }
-                Ok(ExecResult::Affected(n))
+                ExecResult::Affected(updates.len())
             }
             Statement::Explain(inner) => {
                 let Statement::Select(sel) = &**inner else {
@@ -303,15 +538,30 @@ impl Database {
                     .lines()
                     .map(|l| vec![Value::text(l)])
                     .collect();
-                Ok(ExecResult::Rows(QueryResult { columns: vec!["plan".into()], rows }))
+                ExecResult::Rows(QueryResult { columns: vec!["plan".into()], rows })
             }
-        }
+        };
+        self.commit(wal)?;
+        Ok(result)
     }
 
     /// Bulk-load rows into a table without SQL overhead (the shredders'
-    /// fast path).
+    /// fast path). All-or-nothing, and logged to the WAL when durable.
     pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        self.catalog.table_mut(table)?.insert_many(rows)
+        self.check_writable()?;
+        if self.durability.is_some() {
+            let (n, record) = {
+                let t = self.catalog.table_mut(table)?;
+                let n = t.insert_atomic(rows.clone())?;
+                (n, WalRecord::Insert { table: t.name.clone(), rows })
+            };
+            if n > 0 {
+                self.commit(vec![record])?;
+            }
+            Ok(n)
+        } else {
+            self.catalog.table_mut(table)?.insert_atomic(rows)
+        }
     }
 
     /// Stream a query through a callback without materializing all rows.
@@ -321,7 +571,7 @@ impl Database {
         mut on_row: impl FnMut(Row) -> Result<()>,
     ) -> Result<usize> {
         let (_, physical) = self.plan_select(sql)?;
-        let mut exec = build_executor(&physical, &self.catalog)?;
+        let mut exec = build_executor_limited(&physical, &self.catalog, self.limits)?;
         let mut n = 0;
         while let Some(row) = exec.next()? {
             on_row(row)?;
@@ -329,6 +579,64 @@ impl Database {
         }
         Ok(n)
     }
+}
+
+/// Apply a batch of updates all-or-nothing: on failure, already-applied
+/// updates are rolled back (in reverse, bypassing constraint checks —
+/// the restored state is the previously-validated one).
+fn apply_updates_atomic(t: &mut Table, updates: &[(usize, Row)]) -> Result<()> {
+    let mut done: Vec<(usize, Row)> = Vec::with_capacity(updates.len());
+    for (rid, row) in updates {
+        let old = match t.get(*rid) {
+            Some(r) => r.clone(),
+            None => {
+                rollback_updates(t, done);
+                return Err(DbError::Runtime(format!("row {rid} is not live")));
+            }
+        };
+        if let Err(e) = t.update(*rid, row.clone()) {
+            rollback_updates(t, done);
+            return Err(e);
+        }
+        done.push((*rid, old));
+    }
+    Ok(())
+}
+
+fn rollback_updates(t: &mut Table, done: Vec<(usize, Row)>) {
+    for (rid, old) in done.into_iter().rev() {
+        t.force_update(rid, old);
+    }
+}
+
+/// Replay one WAL frame's records onto a catalog. A frame that passed its
+/// checksum but no longer applies indicates tampering or a format bug, so
+/// the failure surfaces as [`DbError::Corrupt`].
+fn apply_records(catalog: &mut Catalog, records: &[WalRecord]) -> Result<()> {
+    for rec in records {
+        let res = match rec {
+            WalRecord::CreateTable { name, schema } => {
+                catalog.create_table(name, schema.clone())
+            }
+            WalRecord::CreateIndex { table, name, columns, unique } => catalog
+                .table_mut(table)
+                .and_then(|t| t.create_index(name.clone(), columns.clone(), *unique)),
+            WalRecord::DropTable { name } => catalog.drop_table(name, true),
+            WalRecord::Insert { table, rows } => catalog
+                .table_mut(table)
+                .and_then(|t| t.insert_atomic(rows.clone()).map(|_| ())),
+            WalRecord::Delete { table, rids } => catalog.table_mut(table).map(|t| {
+                for &rid in rids {
+                    t.delete(rid);
+                }
+            }),
+            WalRecord::Update { table, rid, row } => {
+                catalog.table_mut(table).and_then(|t| t.update(*rid, row.clone()))
+            }
+        };
+        res.map_err(|e| DbError::Corrupt(format!("WAL replay failed: {e}")))?;
+    }
+    Ok(())
 }
 
 fn scope_of_table(t: &crate::table::Table) -> Scope {

@@ -19,6 +19,13 @@ pub enum DbError {
     Runtime(String),
     /// Feature outside the implemented SQL subset.
     Unsupported(String),
+    /// Storage I/O failure (filesystem error, injected fault, failed fsync).
+    Io(String),
+    /// On-disk data failed validation (bad magic, CRC mismatch, truncated
+    /// or malformed record).
+    Corrupt(String),
+    /// A configured execution resource limit was exceeded.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for DbError {
@@ -31,6 +38,9 @@ impl fmt::Display for DbError {
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::Runtime(m) => write!(f, "runtime error: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::Io(m) => write!(f, "storage I/O error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
         }
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::{DbError, Result};
-use crate::exec::Executor;
+use crate::exec::{admit_buffered, Executor};
 use crate::plan::expr::{AggFunc, ScalarExpr};
 use crate::value::{Row, Value};
 
@@ -106,16 +106,19 @@ pub struct HashAggregateExec<'a> {
     aggs: &'a [(AggFunc, Option<ScalarExpr>)],
     output: Vec<Row>,
     pos: usize,
+    cap: Option<usize>,
 }
 
 impl<'a> HashAggregateExec<'a> {
-    /// Create the operator.
+    /// Create the operator. `cap` bounds the number of distinct groups
+    /// (`None` = unlimited).
     pub fn new(
         input: Box<dyn Executor + 'a>,
         group_by: &'a [ScalarExpr],
         aggs: &'a [(AggFunc, Option<ScalarExpr>)],
+        cap: Option<usize>,
     ) -> HashAggregateExec<'a> {
-        HashAggregateExec { input: Some(input), group_by, aggs, output: Vec::new(), pos: 0 }
+        HashAggregateExec { input: Some(input), group_by, aggs, output: Vec::new(), pos: 0, cap }
     }
 
     fn consume(&mut self) -> Result<()> {
@@ -132,6 +135,7 @@ impl<'a> HashAggregateExec<'a> {
                 Some(s) => s,
                 None => {
                     order.push(key.clone());
+                    admit_buffered(self.cap, "HashAggregate groups", order.len())?;
                     groups
                         .entry(key.clone())
                         .or_insert_with(|| self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
@@ -156,7 +160,9 @@ impl<'a> HashAggregateExec<'a> {
             return Ok(());
         }
         for key in order {
-            let states = groups.remove(&key).expect("group present");
+            let states = groups.remove(&key).ok_or_else(|| {
+                DbError::Runtime("aggregate group vanished between passes".into())
+            })?;
             let mut row = key;
             for (state, (f, _)) in states.into_iter().zip(self.aggs) {
                 row.push(state.finish(*f));

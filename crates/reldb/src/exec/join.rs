@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
-use crate::exec::Executor;
+use crate::exec::{admit_buffered, Executor};
 use crate::plan::expr::{value_to_bool, ScalarExpr};
 use crate::sql::ast::JoinKind;
 use crate::value::{Row, Value};
@@ -19,12 +19,15 @@ pub struct HashJoinExec<'a> {
     residual: Option<&'a ScalarExpr>,
     right_arity: usize,
     table: HashMap<Vec<Value>, Vec<Row>>,
+    buffered: usize,
+    cap: Option<usize>,
     /// Current probe row and its pending matches.
     probe: Option<(Row, Vec<Row>, usize, bool)>,
 }
 
 impl<'a> HashJoinExec<'a> {
-    /// Create a hash join executor.
+    /// Create a hash join executor. `cap` bounds the build-side buffer
+    /// (`None` = unlimited).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: Box<dyn Executor + 'a>,
@@ -34,6 +37,7 @@ impl<'a> HashJoinExec<'a> {
         right_keys: &'a [ScalarExpr],
         residual: Option<&'a ScalarExpr>,
         right_arity: usize,
+        cap: Option<usize>,
     ) -> HashJoinExec<'a> {
         HashJoinExec {
             left,
@@ -44,6 +48,8 @@ impl<'a> HashJoinExec<'a> {
             residual,
             right_arity,
             table: HashMap::new(),
+            buffered: 0,
+            cap,
             probe: None,
         }
     }
@@ -62,6 +68,8 @@ impl<'a> HashJoinExec<'a> {
                 continue; // NULL keys never join.
             }
             self.table.entry(key).or_default().push(row);
+            self.buffered += 1;
+            admit_buffered(self.cap, "HashJoin build", self.buffered)?;
         }
         Ok(())
     }
@@ -231,17 +239,20 @@ pub struct NestedLoopJoinExec<'a> {
     on: Option<&'a ScalarExpr>,
     right_arity: usize,
     right_rows: Vec<Row>,
+    cap: Option<usize>,
     probe: Option<(Row, usize, bool)>,
 }
 
 impl<'a> NestedLoopJoinExec<'a> {
-    /// Create a nested-loop join executor.
+    /// Create a nested-loop join executor. `cap` bounds the materialized
+    /// inner side (`None` = unlimited).
     pub fn new(
         left: Box<dyn Executor + 'a>,
         right: Box<dyn Executor + 'a>,
         kind: JoinKind,
         on: Option<&'a ScalarExpr>,
         right_arity: usize,
+        cap: Option<usize>,
     ) -> NestedLoopJoinExec<'a> {
         NestedLoopJoinExec {
             left,
@@ -250,6 +261,7 @@ impl<'a> NestedLoopJoinExec<'a> {
             on,
             right_arity,
             right_rows: Vec::new(),
+            cap,
             probe: None,
         }
     }
@@ -260,6 +272,7 @@ impl Executor for NestedLoopJoinExec<'_> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
                 self.right_rows.push(r);
+                admit_buffered(self.cap, "NestedLoopJoin inner", self.right_rows.len())?;
             }
         }
         loop {
@@ -309,11 +322,13 @@ pub struct IntervalJoinExec<'a> {
     hi_strict: bool,
     residual: Option<&'a ScalarExpr>,
     sorted: Vec<Row>,
+    cap: Option<usize>,
     probe: Option<(Row, usize, Value)>,
 }
 
 impl<'a> IntervalJoinExec<'a> {
-    /// Create an interval join executor.
+    /// Create an interval join executor. `cap` bounds the sorted inner
+    /// side (`None` = unlimited).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: Box<dyn Executor + 'a>,
@@ -324,6 +339,7 @@ impl<'a> IntervalJoinExec<'a> {
         lo_strict: bool,
         hi_strict: bool,
         residual: Option<&'a ScalarExpr>,
+        cap: Option<usize>,
     ) -> IntervalJoinExec<'a> {
         IntervalJoinExec {
             left,
@@ -335,6 +351,7 @@ impl<'a> IntervalJoinExec<'a> {
             hi_strict,
             residual,
             sorted: Vec::new(),
+            cap,
             probe: None,
         }
     }
@@ -345,6 +362,7 @@ impl Executor for IntervalJoinExec<'_> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
                 self.sorted.push(r);
+                admit_buffered(self.cap, "IntervalJoin inner", self.sorted.len())?;
             }
             let key = self.right_key;
             self.sorted.sort_by(|a, b| a[key].cmp(&b[key]));

@@ -20,11 +20,47 @@ pub trait Executor {
     fn next(&mut self) -> Result<Option<Row>>;
 }
 
-/// Build an executor tree for a physical plan over a catalog.
+/// Configurable execution resource limits. `None` means unlimited; the
+/// default is fully unlimited. Exceeding a limit aborts the query with
+/// [`DbError::ResourceExhausted`] instead of exhausting memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Cap on rows materialized into a query result.
+    pub max_rows: Option<usize>,
+    /// Cap on rows buffered inside any single materializing operator
+    /// (sort buffers, hash-join build sides, nested-loop inner rows,
+    /// aggregate groups, DISTINCT sets).
+    pub max_intermediate_rows: Option<usize>,
+}
+
+/// Fail with [`DbError::ResourceExhausted`] once an operator's buffer
+/// exceeds `cap`.
+pub(crate) fn admit_buffered(cap: Option<usize>, op: &str, len: usize) -> Result<()> {
+    match cap {
+        Some(max) if len > max => Err(DbError::ResourceExhausted(format!(
+            "{op} buffered {len} rows, exceeding max_intermediate_rows = {max}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Build an executor tree for a physical plan over a catalog, with no
+/// resource limits.
 pub fn build_executor<'a>(
     plan: &'a PhysicalPlan,
     catalog: &'a Catalog,
 ) -> Result<Box<dyn Executor + 'a>> {
+    build_executor_limited(plan, catalog, ExecLimits::default())
+}
+
+/// Build an executor tree enforcing `limits` on materializing operators.
+pub fn build_executor_limited<'a>(
+    plan: &'a PhysicalPlan,
+    catalog: &'a Catalog,
+    limits: ExecLimits,
+) -> Result<Box<dyn Executor + 'a>> {
+    let build = |p: &'a PhysicalPlan| build_executor_limited(p, catalog, limits);
+    let cap = limits.max_intermediate_rows;
     Ok(match plan {
         PhysicalPlan::SeqScan { table } => {
             let t = catalog.table(table)?;
@@ -73,11 +109,11 @@ pub fn build_executor<'a>(
             })
         }
         PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec {
-            input: build_executor(input, catalog)?,
+            input: build(input)?,
             predicate,
         }),
         PhysicalPlan::Project { input, exprs } => Box::new(ProjectExec {
-            input: build_executor(input, catalog)?,
+            input: build(input)?,
             exprs,
         }),
         PhysicalPlan::HashJoin {
@@ -89,13 +125,14 @@ pub fn build_executor<'a>(
             residual,
             right_arity,
         } => Box::new(HashJoinExec::new(
-            build_executor(left, catalog)?,
-            build_executor(right, catalog)?,
+            build(left)?,
+            build(right)?,
             *kind,
             left_keys,
             right_keys,
             residual.as_ref(),
             *right_arity,
+            cap,
         )),
         PhysicalPlan::IndexNestedLoopJoin {
             left,
@@ -114,7 +151,7 @@ pub fn build_executor<'a>(
                 .find(|i| i.name == *index)
                 .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
             Box::new(IndexNestedLoopJoinExec::new(
-                build_executor(left, catalog)?,
+                build(left)?,
                 t,
                 idx,
                 left_key,
@@ -126,11 +163,12 @@ pub fn build_executor<'a>(
         }
         PhysicalPlan::NestedLoopJoin { left, right, kind, on, right_arity } => {
             Box::new(NestedLoopJoinExec::new(
-                build_executor(left, catalog)?,
-                build_executor(right, catalog)?,
+                build(left)?,
+                build(right)?,
                 *kind,
                 on.as_ref(),
                 *right_arity,
+                cap,
             ))
         }
         PhysicalPlan::IntervalJoin {
@@ -143,37 +181,40 @@ pub fn build_executor<'a>(
             hi_strict,
             residual,
         } => Box::new(IntervalJoinExec::new(
-            build_executor(left, catalog)?,
-            build_executor(right, catalog)?,
+            build(left)?,
+            build(right)?,
             *right_key,
             lo,
             hi,
             *lo_strict,
             *hi_strict,
             residual.as_ref(),
+            cap,
         )),
         PhysicalPlan::Sort { input, keys } => Box::new(SortExec {
-            input: Some(build_executor(input, catalog)?),
+            input: Some(build(input)?),
             keys,
             sorted: Vec::new(),
             pos: 0,
+            cap,
         }),
         PhysicalPlan::HashAggregate { input, group_by, aggs } => Box::new(
-            HashAggregateExec::new(build_executor(input, catalog)?, group_by, aggs),
+            HashAggregateExec::new(build(input)?, group_by, aggs, cap),
         ),
         PhysicalPlan::Limit { input, limit, offset } => Box::new(LimitExec {
-            input: build_executor(input, catalog)?,
+            input: build(input)?,
             remaining: limit.map(|l| l as usize),
             to_skip: *offset as usize,
         }),
         PhysicalPlan::Distinct { input } => Box::new(DistinctExec {
-            input: build_executor(input, catalog)?,
+            input: build(input)?,
             seen: std::collections::HashSet::new(),
+            cap,
         }),
         PhysicalPlan::UnionAll { inputs } => {
             let mut execs = Vec::new();
             for i in inputs {
-                execs.push(build_executor(i, catalog)?);
+                execs.push(build(i)?);
             }
             execs.reverse();
             Box::new(UnionAllExec { pending: execs, current: None })
@@ -200,12 +241,29 @@ fn max_key_after(v: Value, arity: usize) -> Vec<Value> {
     key
 }
 
-/// Run a plan to completion, materializing all rows.
+/// Run a plan to completion, materializing all rows, with no limits.
 pub fn run_to_vec(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Vec<Row>> {
-    let mut exec = build_executor(plan, catalog)?;
+    run_to_vec_limited(plan, catalog, ExecLimits::default())
+}
+
+/// Run a plan to completion enforcing `limits`; the materialized result
+/// itself is capped by `limits.max_rows`.
+pub fn run_to_vec_limited(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    limits: ExecLimits,
+) -> Result<Vec<Row>> {
+    let mut exec = build_executor_limited(plan, catalog, limits)?;
     let mut out = Vec::new();
     while let Some(row) = exec.next()? {
         out.push(row);
+        if let Some(max) = limits.max_rows {
+            if out.len() > max {
+                return Err(DbError::ResourceExhausted(format!(
+                    "query produced more than max_rows = {max} rows"
+                )));
+            }
+        }
     }
     Ok(out)
 }
@@ -287,6 +345,7 @@ struct SortExec<'a> {
     keys: &'a [(ScalarExpr, bool)],
     sorted: Vec<Row>,
     pos: usize,
+    cap: Option<usize>,
 }
 
 impl Executor for SortExec<'_> {
@@ -299,6 +358,7 @@ impl Executor for SortExec<'_> {
                     key.push(e.eval(&row)?);
                 }
                 rows.push((key, row));
+                admit_buffered(self.cap, "Sort", rows.len())?;
             }
             let keys = self.keys;
             rows.sort_by(|(ka, _), (kb, _)| {
@@ -350,12 +410,14 @@ impl Executor for LimitExec<'_> {
 struct DistinctExec<'a> {
     input: Box<dyn Executor + 'a>,
     seen: std::collections::HashSet<Row>,
+    cap: Option<usize>,
 }
 
 impl Executor for DistinctExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
             if self.seen.insert(row.clone()) {
+                admit_buffered(self.cap, "Distinct", self.seen.len())?;
                 return Ok(Some(row));
             }
         }

@@ -30,17 +30,23 @@
 
 pub mod btree;
 pub mod catalog;
+pub(crate) mod codec;
 pub mod db;
 pub mod exec;
 pub mod plan;
 pub mod error;
 pub mod schema;
+pub mod snapshot;
 pub mod sql;
 pub mod stats;
+pub mod storage;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use db::{Database, ExecResult, QueryResult};
 pub use error::{DbError, Result};
+pub use exec::ExecLimits;
 pub use schema::{Column, Schema};
+pub use storage::{FaultBackend, FaultPlan, FileBackend, MemBackend, SharedFiles, StorageBackend};
 pub use value::{DataType, Row, Value};

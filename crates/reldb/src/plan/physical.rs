@@ -427,7 +427,9 @@ fn plan_join(
     if opts.use_interval_join && kind == JoinKind::Inner {
         let mut equi_residuals = Vec::new();
         for (lk, rk) in left_keys.iter().zip(&right_keys) {
-            let shifted = rk.remap(&|i| Some(i + left_arity)).expect("right key remap");
+            let shifted = rk
+                .remap(&|i| Some(i + left_arity))
+                .ok_or_else(|| DbError::Runtime("join key remap failed".into()))?;
             equi_residuals.push(ScalarExpr::Binary {
                 op: BinOp::Eq,
                 left: Box::new(lk.clone()),
@@ -473,7 +475,7 @@ fn plan_join(
                     }
                     let shifted = rk2
                         .remap(&|c| Some(c + left_arity))
-                        .expect("right key remap");
+                        .ok_or_else(|| DbError::Runtime("join key remap failed".into()))?;
                     residual_parts.push(ScalarExpr::Binary {
                         op: BinOp::Eq,
                         left: Box::new(lk2.clone()),
@@ -512,7 +514,7 @@ fn plan_join(
     for (lk, rk) in left_keys.into_iter().zip(right_keys) {
         let shifted = rk
             .remap(&|i| Some(i + left_arity))
-            .expect("right key remap");
+            .ok_or_else(|| DbError::Runtime("join key remap failed".into()))?;
         all.push(ScalarExpr::Binary {
             op: BinOp::Eq,
             left: Box::new(lk),

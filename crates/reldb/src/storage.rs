@@ -1,0 +1,505 @@
+//! Pluggable storage I/O: the byte-level substrate under the WAL and
+//! snapshot files.
+//!
+//! Three implementations:
+//! - [`FileBackend`] — real files under a directory (production path).
+//! - [`MemBackend`] — an in-memory file map, shareable between backend
+//!   instances via [`SharedFiles`] so tests can "reboot" a database on the
+//!   same bytes.
+//! - [`FaultBackend`] — wraps the shared in-memory map and injects
+//!   **deterministic** faults: a byte budget after which writes tear at an
+//!   exact offset, scheduled fsync failures, and short reads. No wall
+//!   clock, no OS randomness; everything derives from the test's
+//!   configuration, so every crash scenario replays exactly.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use crate::error::{DbError, Result};
+
+/// Byte-level storage under the durability layer: named flat files with
+/// whole-file reads, appends, rewrites, and fsync.
+pub trait StorageBackend: fmt::Debug {
+    /// Whole contents of a file, or `None` if it does not exist.
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>>;
+    /// Create or replace a file with `data`.
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<()>;
+    /// Append `data` to a file (creating it if missing).
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()>;
+    /// Shrink a file to `len` bytes (no-op if already shorter).
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()>;
+    /// Durably flush a file's contents.
+    fn sync(&mut self, name: &str) -> Result<()>;
+    /// Delete a file (no error if missing).
+    fn remove(&mut self, name: &str) -> Result<()>;
+    /// Atomically rename a file, replacing any destination.
+    fn rename(&mut self, from: &str, to: &str) -> Result<()>;
+    /// All file names, sorted.
+    fn list(&mut self) -> Result<Vec<String>>;
+}
+
+fn io_err(op: &str, name: &str, e: impl fmt::Display) -> DbError {
+    DbError::Io(format!("{op} {name:?}: {e}"))
+}
+
+// ---- real files ------------------------------------------------------------
+
+/// Files under a directory on the real filesystem.
+#[derive(Debug)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    /// Open (creating if needed) a database directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FileBackend> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create dir", &root.display().to_string(), e))?;
+        Ok(FileBackend { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", name, e)),
+        }
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        std::fs::write(self.path(name), data).map_err(|e| io_err("write", name, e))
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for append", name, e))?;
+        f.write_all(data).map_err(|e| io_err("append", name, e))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for truncate", name, e))?;
+        f.set_len(len).map_err(|e| io_err("truncate", name, e))
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        let f = std::fs::File::open(self.path(name)).map_err(|e| io_err("open for sync", name, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", name, e))
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", name, e)),
+        }
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| io_err("rename", from, e))
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("list", &self.root.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", "dir entry", e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                out.push(name.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---- in-memory files -------------------------------------------------------
+
+/// A shareable in-memory file map. Cloning shares the same bytes, so a
+/// test can drop a database ("crash") and reopen another backend over the
+/// surviving files.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFiles(Rc<RefCell<BTreeMap<String, Vec<u8>>>>);
+
+impl SharedFiles {
+    /// An empty file map.
+    pub fn new() -> SharedFiles {
+        SharedFiles::default()
+    }
+
+    /// A copy of one file's bytes.
+    pub fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.0.borrow().get(name).cloned()
+    }
+
+    /// Overwrite one file's bytes directly (test corruption hook).
+    pub fn put(&self, name: &str, data: Vec<u8>) {
+        self.0.borrow_mut().insert(name.to_string(), data);
+    }
+
+    /// Mutate one file's bytes in place (test corruption hook); returns
+    /// false if the file does not exist.
+    pub fn mutate(&self, name: &str, f: impl FnOnce(&mut Vec<u8>)) -> bool {
+        match self.0.borrow_mut().get_mut(name) {
+            Some(data) => {
+                f(data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All file names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.0.borrow().keys().cloned().collect()
+    }
+}
+
+/// Fault-free in-memory backend over a [`SharedFiles`] map.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: SharedFiles,
+}
+
+impl MemBackend {
+    /// A fresh, private in-memory backend.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// A backend over an existing (possibly shared) file map.
+    pub fn over(files: SharedFiles) -> MemBackend {
+        MemBackend { files }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.files.get(name))
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.files.put(name, data.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        if !self.files.mutate(name, |f| f.extend_from_slice(data)) {
+            self.files.put(name, data.to_vec());
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.files.mutate(name, |f| f.truncate(len as usize));
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> Result<()> {
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.files.0.borrow_mut().remove(name);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let mut files = self.files.0.borrow_mut();
+        match files.remove(from) {
+            Some(data) => {
+                files.insert(to.to_string(), data);
+                Ok(())
+            }
+            None => Err(io_err("rename", from, "no such file")),
+        }
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        Ok(self.files.names())
+    }
+}
+
+// ---- deterministic fault injection ------------------------------------------
+
+/// What faults to inject, all deterministic. The default plan injects
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Total bytes that may be written (across `write` and `append`)
+    /// before the backend "crashes": the write that crosses the budget is
+    /// torn at exactly the remaining-byte offset, then every later
+    /// operation fails.
+    pub write_budget: Option<u64>,
+    /// Fail the Nth `sync` call (0-based) and crash the backend there.
+    pub fail_sync_at: Option<u64>,
+    /// Serve only this many bytes of any `read` (simulates a short read /
+    /// truncated tail). `None` reads normally.
+    pub read_limit: Option<u64>,
+    /// Seed reserved for randomized plans built by tests; the backend
+    /// itself never consumes entropy.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that tears writes after `n` bytes.
+    pub fn tear_after(n: u64) -> FaultPlan {
+        FaultPlan { write_budget: Some(n), ..FaultPlan::default() }
+    }
+
+    /// A plan that fails the `n`th fsync (0-based).
+    pub fn fail_sync(n: u64) -> FaultPlan {
+        FaultPlan { fail_sync_at: Some(n), ..FaultPlan::default() }
+    }
+}
+
+/// In-memory backend with deterministic fault injection. After the first
+/// injected fault the backend is "dead": every subsequent operation
+/// returns [`DbError::Io`], like a crashed process. The underlying
+/// [`SharedFiles`] keeps whatever bytes made it down before the fault, so
+/// a test reopens them with a plain [`MemBackend`] to model recovery.
+#[derive(Debug)]
+pub struct FaultBackend {
+    files: SharedFiles,
+    plan: FaultPlan,
+    written: u64,
+    syncs: u64,
+    dead: bool,
+}
+
+impl FaultBackend {
+    /// Wrap a shared file map with a fault plan.
+    pub fn over(files: SharedFiles, plan: FaultPlan) -> FaultBackend {
+        FaultBackend { files, plan, written: 0, syncs: 0, dead: false }
+    }
+
+    /// Whether an injected fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.dead
+    }
+
+    /// Total bytes accepted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.dead {
+            Err(DbError::Io("backend crashed by injected fault".into()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// How many bytes of a `len`-byte write are accepted; tears and kills
+    /// the backend when the budget is crossed.
+    fn admit(&mut self, len: usize) -> Result<usize> {
+        match self.plan.write_budget {
+            None => {
+                self.written += len as u64;
+                Ok(len)
+            }
+            Some(budget) => {
+                let left = budget.saturating_sub(self.written);
+                if (len as u64) <= left {
+                    self.written += len as u64;
+                    Ok(len)
+                } else {
+                    self.written = budget;
+                    self.dead = true;
+                    Ok(left as usize)
+                }
+            }
+        }
+    }
+}
+
+impl StorageBackend for FaultBackend {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        self.check_alive()?;
+        let data = self.files.get(name);
+        match (data, self.plan.read_limit) {
+            (Some(mut d), Some(limit)) => {
+                d.truncate(limit as usize);
+                Ok(Some(d))
+            }
+            (d, _) => Ok(d),
+        }
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        let n = self.admit(data.len())?;
+        self.files.put(name, data[..n].to_vec());
+        if n < data.len() {
+            return Err(DbError::Io(format!("injected torn write: {n}/{} bytes", data.len())));
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        let n = self.admit(data.len())?;
+        if !self.files.mutate(name, |f| f.extend_from_slice(&data[..n])) {
+            self.files.put(name, data[..n].to_vec());
+        }
+        if n < data.len() {
+            return Err(DbError::Io(format!("injected torn append: {n}/{} bytes", data.len())));
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.check_alive()?;
+        self.files.mutate(name, |f| f.truncate(len as usize));
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> Result<()> {
+        self.check_alive()?;
+        let this = self.syncs;
+        self.syncs += 1;
+        if self.plan.fail_sync_at == Some(this) {
+            self.dead = true;
+            return Err(DbError::Io(format!("injected fsync failure at sync #{this}")));
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.check_alive()?;
+        self.files.0.borrow_mut().remove(name);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        self.check_alive()?;
+        let mut files = self.files.0.borrow_mut();
+        match files.remove(from) {
+            Some(data) => {
+                files.insert(to.to_string(), data);
+                Ok(())
+            }
+            None => Err(io_err("rename", from, "no such file")),
+        }
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        self.check_alive()?;
+        Ok(self.files.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_basic_ops() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.read("x").unwrap(), None);
+        b.write("x", b"hello").unwrap();
+        b.append("x", b" world").unwrap();
+        assert_eq!(b.read("x").unwrap().unwrap(), b"hello world");
+        b.truncate("x", 5).unwrap();
+        assert_eq!(b.read("x").unwrap().unwrap(), b"hello");
+        b.rename("x", "y").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["y".to_string()]);
+        b.remove("y").unwrap();
+        assert!(b.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_files_survive_backend_drop() {
+        let files = SharedFiles::new();
+        {
+            let mut b = MemBackend::over(files.clone());
+            b.write("wal", b"abc").unwrap();
+        }
+        let mut b2 = MemBackend::over(files);
+        assert_eq!(b2.read("wal").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn torn_write_keeps_exact_prefix() {
+        for budget in 0..10u64 {
+            let files = SharedFiles::new();
+            let mut b = FaultBackend::over(files.clone(), FaultPlan::tear_after(budget));
+            let err = b.append("wal", b"0123456789").unwrap_err();
+            assert!(matches!(err, DbError::Io(_)));
+            assert!(b.crashed());
+            assert_eq!(files.get("wal").unwrap(), b"0123456789"[..budget as usize].to_vec());
+            // Dead backend fails everything.
+            assert!(b.read("wal").is_err());
+            assert!(b.append("wal", b"x").is_err());
+            assert!(b.sync("wal").is_err());
+        }
+    }
+
+    #[test]
+    fn budget_spans_multiple_writes() {
+        let files = SharedFiles::new();
+        let mut b = FaultBackend::over(files.clone(), FaultPlan::tear_after(7));
+        b.append("wal", b"0123").unwrap();
+        let err = b.append("wal", b"4567").unwrap_err();
+        assert!(matches!(err, DbError::Io(_)));
+        assert_eq!(files.get("wal").unwrap(), b"0123456".to_vec());
+    }
+
+    #[test]
+    fn sync_failure_fires_on_schedule() {
+        let files = SharedFiles::new();
+        let mut b = FaultBackend::over(files, FaultPlan::fail_sync(1));
+        b.append("wal", b"a").unwrap();
+        b.sync("wal").unwrap();
+        b.append("wal", b"b").unwrap();
+        assert!(b.sync("wal").is_err());
+        assert!(b.crashed());
+    }
+
+    #[test]
+    fn short_reads_serve_prefix() {
+        let files = SharedFiles::new();
+        files.put("f", b"0123456789".to_vec());
+        let mut b = FaultBackend::over(
+            files,
+            FaultPlan { read_limit: Some(4), ..FaultPlan::default() },
+        );
+        assert_eq!(b.read("f").unwrap().unwrap(), b"0123");
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let dir = std::env::temp_dir().join(format!("reldb_storage_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = FileBackend::open(&dir).unwrap();
+        b.write("snap", b"hello").unwrap();
+        b.append("wal", b"abc").unwrap();
+        b.append("wal", b"def").unwrap();
+        b.sync("wal").unwrap();
+        assert_eq!(b.read("wal").unwrap().unwrap(), b"abcdef");
+        b.truncate("wal", 2).unwrap();
+        assert_eq!(b.read("wal").unwrap().unwrap(), b"ab");
+        b.rename("snap", "snap.1").unwrap();
+        assert!(b.list().unwrap().contains(&"snap.1".to_string()));
+        b.remove("missing").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

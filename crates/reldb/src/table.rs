@@ -99,6 +99,23 @@ impl Table {
         Ok(n)
     }
 
+    /// Insert all rows or none: on any failure the already-inserted prefix
+    /// is unwound (reclaiming its heap slots) before the error returns.
+    /// Statement-level commits rely on this so failed statements never
+    /// consume row ids.
+    pub fn insert_atomic(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let base = self.rows.len();
+        let mut n = 0;
+        for r in rows {
+            if let Err(e) = self.insert(r) {
+                self.unwind_tail(base);
+                return Err(e);
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Fetch a live row.
     pub fn get(&self, rid: RowId) -> Option<&Row> {
         if *self.live.get(rid)? {
@@ -190,6 +207,55 @@ impl Table {
         }
         self.indexes.push(idx);
         Ok(())
+    }
+
+    /// Number of heap slots including tombstones (the next row id).
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Every heap slot with its liveness flag, in row-id order. Snapshots
+    /// serialize tombstones too so row ids stay stable across a reload.
+    pub(crate) fn slots(&self) -> impl Iterator<Item = (&Row, bool)> {
+        self.rows.iter().zip(self.live.iter().copied())
+    }
+
+    /// Rebuild a table from snapshot slots without re-validating rows.
+    /// Indexes are rebuilt by the caller via [`Table::create_index`].
+    pub(crate) fn from_slots(name: String, schema: Schema, rows: Vec<Row>, live: Vec<bool>) -> Table {
+        let live_count = live.iter().filter(|&&l| l).count();
+        Table { name, schema, rows, live, live_count, indexes: Vec::new() }
+    }
+
+    /// Drop the heap tail from row id `from` onward, fixing indexes.
+    /// Rollback path: a failed multi-row statement must not consume heap
+    /// slots, or replayed row ids would drift from the live database.
+    pub(crate) fn unwind_tail(&mut self, from: usize) {
+        while self.rows.len() > from {
+            let rid = self.rows.len() - 1;
+            let row = self.rows.pop().expect("tail row exists");
+            if self.live.pop().expect("tail flag exists") {
+                self.live_count -= 1;
+                for idx in &mut self.indexes {
+                    let key = idx.key_of(&row);
+                    idx.tree.remove(&key, rid);
+                }
+            }
+        }
+    }
+
+    /// Replace a row bypassing schema/constraint checks (rollback path
+    /// only — the restored state was already validated).
+    pub(crate) fn force_update(&mut self, rid: usize, row: Row) {
+        let old = std::mem::replace(&mut self.rows[rid], row);
+        for i in 0..self.indexes.len() {
+            let old_key = self.indexes[i].key_of(&old);
+            let new_key = self.indexes[i].key_of(&self.rows[rid]);
+            if old_key != new_key {
+                self.indexes[i].tree.remove(&old_key, rid);
+                self.indexes[i].tree.insert(new_key, rid);
+            }
+        }
     }
 
     /// Find an index whose leading columns are exactly `columns`' prefix.

@@ -26,7 +26,7 @@ fn schemes() -> Vec<Box<dyn MappingScheme>> {
     vec![
         Box::new(EdgeScheme::new()),
         Box::new(BinaryScheme::new()),
-        Box::new(UniversalScheme::default()),
+        Box::new(UniversalScheme),
         Box::new(IntervalScheme::new()),
         Box::new(DeweyScheme::new()),
         Box::new(InlineScheme::from_dtd_text(DTD).unwrap()),

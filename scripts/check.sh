@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and lints.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
