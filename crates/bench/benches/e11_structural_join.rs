@@ -10,13 +10,17 @@ fn bench(c: &mut Criterion) {
     // The deep corpus makes the containment product large (hundreds of
     // sections × hundreds of paras), which is where the structural join's
     // sort + binary-search wins over quadratic nested loops.
-    let doc = generate(&DeepConfig { depth: 8, fanout: 3, paras: 2, seed: 1 });
+    let doc = generate(&DeepConfig {
+        depth: 8,
+        fanout: 3,
+        paras: 2,
+        seed: 1,
+    });
     let q = "//section//para";
     let mut g = c.benchmark_group("e11_structural_join");
     g.sample_size(10);
     for use_ij in [true, false] {
-        let mut store =
-            XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
         store.db.physical.use_interval_join = use_ij;
         // Nested loops need the index-NL path off too, to expose the raw
         // O(n^2) containment cost the published comparison shows.

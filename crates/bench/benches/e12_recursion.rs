@@ -7,7 +7,12 @@ use xmlgen::DEEP_QUERIES;
 use xmlrel_core::XmlStore;
 
 fn bench(c: &mut Criterion) {
-    let doc = generate(&DeepConfig { depth: 7, fanout: 3, paras: 2, seed: 1 });
+    let doc = generate(&DeepConfig {
+        depth: 7,
+        fanout: 3,
+        paras: 2,
+        seed: 1,
+    });
     let mut stores: Vec<XmlStore> = xmlrel::all_schemes(DEEP_DTD)
         .expect("schemes")
         .into_iter()

@@ -14,12 +14,17 @@ fn bench(c: &mut Criterion) {
     type Tweak = Box<dyn Fn(&mut XmlStore)>;
     let configs: Vec<(&str, Tweak)> = vec![
         ("full", Box::new(|_| {})),
-        ("no_reorder", Box::new(|s| s.db.optimizer.join_reorder = false)),
-        ("no_inl_join", Box::new(|s| s.db.physical.use_index_nl_join = false)),
+        (
+            "no_reorder",
+            Box::new(|s| s.db.optimizer.join_reorder = false),
+        ),
+        (
+            "no_inl_join",
+            Box::new(|s| s.db.physical.use_index_nl_join = false),
+        ),
     ];
     for (name, tweak) in configs {
-        let mut store =
-            XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
         tweak(&mut store);
         store.load_document("auction", &doc).expect("shred");
         g.bench_function(name, |b| {

@@ -7,7 +7,10 @@ use xmlrel_bench::{loaded_stores, BENCH_SCALE};
 fn bench(c: &mut Criterion) {
     let mut stores = loaded_stores(BENCH_SCALE);
     let mut g = c.benchmark_group("e3_child_paths");
-    for q in AUCTION_QUERIES.iter().filter(|q| matches!(q.id, "Q1" | "Q3" | "Q10")) {
+    for q in AUCTION_QUERIES
+        .iter()
+        .filter(|q| matches!(q.id, "Q1" | "Q3" | "Q10"))
+    {
         for store in stores.iter_mut() {
             let id = format!("{}/{}", q.id, store.scheme().name());
             g.bench_function(&id, |b| {

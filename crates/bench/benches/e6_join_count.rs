@@ -8,7 +8,11 @@ use xmlgen::DBLP_QUERIES;
 use xmlrel_core::XmlStore;
 
 fn bench(c: &mut Criterion) {
-    let doc = generate(&DblpConfig { articles: 80, inproceedings: 50, seed: 11 });
+    let doc = generate(&DblpConfig {
+        articles: 80,
+        inproceedings: 50,
+        seed: 11,
+    });
     let stores: Vec<XmlStore> = xmlrel::all_schemes(DBLP_DTD)
         .expect("schemes")
         .into_iter()

@@ -13,8 +13,9 @@ use xmlrel_core::{Scheme, XmlStore};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_updates");
     g.sample_size(10);
-    let frag = Document::parse("<person id=\"pX\"><name>N</name><emailaddress>e</emailaddress></person>")
-        .expect("fragment");
+    let frag =
+        Document::parse("<person id=\"pX\"><name>N</name><emailaddress>e</emailaddress></person>")
+            .expect("fragment");
     for scale in [0.1, 0.3] {
         let doc = corpus(scale);
         g.bench_function(format!("interval/scale{scale}"), |b| {

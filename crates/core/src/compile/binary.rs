@@ -32,9 +32,7 @@ impl BinaryCompiler {
             NodeTest::Wildcard => Err(CoreError::Translate(
                 "wildcard steps must be path-expanded in the binary scheme".into(),
             )),
-            NodeTest::Text => {
-                Err(CoreError::Translate("text() is not an element test".into()))
-            }
+            NodeTest::Text => Err(CoreError::Translate("text() is not an element test".into())),
         }
     }
 }
@@ -69,7 +67,10 @@ impl StepCompiler for BinaryCompiler {
             NodeTest::Name(n) => n.clone(),
             _ => String::new(),
         };
-        Ok(NodeRef { alias, meta: NodeMeta::Labeled { label } })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Labeled { label },
+        })
     }
 
     fn child(
@@ -87,7 +88,10 @@ impl StepCompiler for BinaryCompiler {
             NodeTest::Name(n) => n.clone(),
             _ => String::new(),
         };
-        Ok(NodeRef { alias, meta: NodeMeta::Labeled { label } })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Labeled { label },
+        })
     }
 
     fn attr_value(
@@ -126,7 +130,10 @@ impl StepCompiler for BinaryCompiler {
     }
 
     fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
-        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.pre", ctx.alias)])
+        Ok(vec![
+            format!("{}.doc", ctx.alias),
+            format!("{}.pre", ctx.alias),
+        ])
     }
 
     fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
@@ -146,6 +153,9 @@ impl StepCompiler for BinaryCompiler {
     }
 
     fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
-        Some((format!("{}.source", ctx.alias), format!("{}.ordinal", ctx.alias)))
+        Some((
+            format!("{}.source", ctx.alias),
+            format!("{}.ordinal", ctx.alias),
+        ))
     }
 }

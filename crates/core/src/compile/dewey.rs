@@ -60,7 +60,10 @@ impl StepCompiler for DeweyCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn child(
@@ -77,7 +80,10 @@ impl StepCompiler for DeweyCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn descendant(
@@ -94,7 +100,10 @@ impl StepCompiler for DeweyCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn any_element(
@@ -112,7 +121,10 @@ impl StepCompiler for DeweyCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn attr_value(
@@ -150,7 +162,10 @@ impl StepCompiler for DeweyCompiler {
     }
 
     fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
-        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.dewey", ctx.alias)])
+        Ok(vec![
+            format!("{}.doc", ctx.alias),
+            format!("{}.dewey", ctx.alias),
+        ])
     }
 
     fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
@@ -162,8 +177,14 @@ impl StepCompiler for DeweyCompiler {
     }
 
     fn decode_key(&self, vals: &[Value]) -> Result<NodeKey> {
-        match (vals.first().and_then(Value::as_int), vals.get(1).and_then(Value::as_text)) {
-            (Some(doc), Some(key)) => Ok(NodeKey::Dewey { doc, key: key.to_string() }),
+        match (
+            vals.first().and_then(Value::as_int),
+            vals.get(1).and_then(Value::as_text),
+        ) {
+            (Some(doc), Some(key)) => Ok(NodeKey::Dewey {
+                doc,
+                key: key.to_string(),
+            }),
             _ => Err(CoreError::Translate(format!("bad dewey key {vals:?}"))),
         }
     }
@@ -173,6 +194,9 @@ impl StepCompiler for DeweyCompiler {
     }
 
     fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
-        Some((format!("{}.parent", ctx.alias), format!("{}.dewey", ctx.alias)))
+        Some((
+            format!("{}.parent", ctx.alias),
+            format!("{}.dewey", ctx.alias),
+        ))
     }
 }

@@ -186,7 +186,11 @@ pub fn compile_path_query(
                 select.push(a.parent_expr);
                 let order_col2 = select.len();
                 select.push(a.order_expr);
-                Some(PositionalPost { n: a.n, parent_col, order_col: order_col2 })
+                Some(PositionalPost {
+                    n: a.n,
+                    parent_col,
+                    order_col: order_col2,
+                })
             }
         };
         arms.push(b.render(&select.join(", "), true));
@@ -200,7 +204,12 @@ pub fn compile_path_query(
     if let Some(o) = order_col {
         sql.push_str(&format!(" ORDER BY {}", o + 1));
     }
-    Ok(Translated { sql, out, key_width: step.key_width(), positional })
+    Ok(Translated {
+        sql,
+        out,
+        key_width: step.key_width(),
+        positional,
+    })
 }
 
 enum Tail {
@@ -234,9 +243,7 @@ fn split_tail(steps: &[Step]) -> Result<(&[Step], Tail)> {
                 ));
             }
             match &last.test {
-                NodeTest::Name(n) => {
-                    Ok((&steps[..steps.len() - 1], Tail::Attribute(n.clone())))
-                }
+                NodeTest::Name(n) => Ok((&steps[..steps.len() - 1], Tail::Attribute(n.clone()))),
                 _ => Err(CoreError::Translate(
                     "wildcard attribute steps are unsupported".into(),
                 )),
@@ -327,7 +334,11 @@ fn apply_predicates(
                     step.scheme()
                 ))
             })?;
-            *positional = Some(PositionalAnchor { n: *n, parent_expr, order_expr });
+            *positional = Some(PositionalAnchor {
+                n: *n,
+                parent_expr,
+                order_expr,
+            });
             continue;
         }
         let cond = compile_predicate(step, db, b, ctx, p, JoinMode::Inner)?;
@@ -421,12 +432,11 @@ fn match_pattern<'s>(
         NodeTest::Text => false,
     };
     match s.axis {
-        Axis::Child
-            if li < labels.len() && matches(labels[li]) => {
-                assignment[li] = Some(s);
-                match_pattern(steps, si + 1, labels, li + 1, assignment, emit);
-                assignment[li] = None;
-            }
+        Axis::Child if li < labels.len() && matches(labels[li]) => {
+            assignment[li] = Some(s);
+            match_pattern(steps, si + 1, labels, li + 1, assignment, emit);
+            assignment[li] = None;
+        }
         Axis::Descendant => {
             for j in li..labels.len() {
                 if matches(labels[j]) {
@@ -514,10 +524,7 @@ enum ValueExprKind {
     Value(String),
     /// An element; `key` is its first key expression (existence test) and
     /// `text` the lazily-computed text value.
-    Element {
-        key: String,
-        text: String,
-    },
+    Element { key: String, text: String },
 }
 
 impl ValuePath {
@@ -569,11 +576,15 @@ pub fn compile_value_path(
             (Axis::SelfAxis, _) => continue,
             (Axis::Attribute, NodeTest::Name(n)) if last => {
                 let v = step.attr_value(db, b, &cur, n, mode)?;
-                return Ok(ValuePath { expr: ValueExprKind::Value(v) });
+                return Ok(ValuePath {
+                    expr: ValueExprKind::Value(v),
+                });
             }
             (Axis::Child, NodeTest::Text) if last => {
                 let v = step.text_value(db, b, &cur, mode)?;
-                return Ok(ValuePath { expr: ValueExprKind::Value(v) });
+                return Ok(ValuePath {
+                    expr: ValueExprKind::Value(v),
+                });
             }
             (Axis::Child, test @ (NodeTest::Name(_) | NodeTest::Wildcard)) => {
                 cur = child_with_mode(step, db, b, &cur, test, mode)?;
@@ -597,7 +608,9 @@ pub fn compile_value_path(
     // Ends at an element: value = its direct text; existence = its id.
     let key = step.existence_expr(&cur)?;
     let text = step.text_value(db, b, &cur, mode)?;
-    Ok(ValuePath { expr: ValueExprKind::Element { key, text } })
+    Ok(ValuePath {
+        expr: ValueExprKind::Element { key, text },
+    })
 }
 
 /// `child`, honoring LEFT-join mode for `or` branches. Schemes implement
@@ -663,8 +676,7 @@ pub fn compile_flwor(
                         step.scheme()
                     )));
                 }
-                let (ctx, anchor) =
-                    compile_native_steps(step, db, &mut b, elem_steps, doc)?;
+                let (ctx, anchor) = compile_native_steps(step, db, &mut b, elem_steps, doc)?;
                 if anchor.is_some() {
                     return Err(CoreError::Translate(
                         "positional predicates in FLWOR clauses are unsupported".into(),
@@ -713,7 +725,12 @@ pub fn compile_flwor(
             .collect();
         sql.push_str(&format!(" ORDER BY {}", keys.join(", ")));
     }
-    Ok(Translated { sql, out, key_width: step.key_width(), positional: None })
+    Ok(Translated {
+        sql,
+        out,
+        key_width: step.key_width(),
+        positional: None,
+    })
 }
 
 /// Bind relative element steps from a variable's node.
@@ -825,16 +842,18 @@ fn compile_return(
     select: &mut Vec<String>,
 ) -> Result<OutKind> {
     match ret {
-        ReturnExpr::Path(path) => {
-            match compile_return_path(step, db, b, vars, path, select)? {
-                Slot::Value(col) => Ok(OutKind::Values { col }),
-                Slot::Node(_start) => Ok(OutKind::Nodes),
-                _ => unreachable!("return paths produce value or node slots"),
-            }
-        }
+        ReturnExpr::Path(path) => match compile_return_path(step, db, b, vars, path, select)? {
+            Slot::Value(col) => Ok(OutKind::Values { col }),
+            Slot::Node(_start) => Ok(OutKind::Nodes),
+            other => Err(CoreError::Translate(format!(
+                "return path compiled to a non-output slot {other:?}"
+            ))),
+        },
         ReturnExpr::Text(t) => {
             select.push(sql_str(t));
-            Ok(OutKind::Values { col: select.len() - 1 })
+            Ok(OutKind::Values {
+                col: select.len() - 1,
+            })
         }
         ReturnExpr::Element { .. } => {
             let template = compile_template(step, db, b, vars, ret, select)?;
@@ -851,22 +870,35 @@ fn compile_template(
     ret: &ReturnExpr,
     select: &mut Vec<String>,
 ) -> Result<Template> {
-    let ReturnExpr::Element { name, attributes, children } = ret else {
-        return Err(CoreError::Translate("expected an element constructor".into()));
+    let ReturnExpr::Element {
+        name,
+        attributes,
+        children,
+    } = ret
+    else {
+        return Err(CoreError::Translate(
+            "expected an element constructor".into(),
+        ));
     };
     let mut slots = Vec::new();
     for child in children {
         match child {
             ReturnExpr::Text(t) => slots.push(Slot::Text(t.clone())),
             ReturnExpr::Element { .. } => {
-                slots.push(Slot::Nested(compile_template(step, db, b, vars, child, select)?));
+                slots.push(Slot::Nested(compile_template(
+                    step, db, b, vars, child, select,
+                )?));
             }
             ReturnExpr::Path(p) => {
                 slots.push(compile_return_path(step, db, b, vars, p, select)?);
             }
         }
     }
-    Ok(Template { name: name.clone(), attrs: attributes.clone(), children: slots })
+    Ok(Template {
+        name: name.clone(),
+        attrs: attributes.clone(),
+        children: slots,
+    })
 }
 
 /// Compile a return-position path: value paths add one column; element

@@ -62,7 +62,10 @@ impl StepCompiler for EdgeCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn child(
@@ -80,7 +83,10 @@ impl StepCompiler for EdgeCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn attr_value(
@@ -120,7 +126,10 @@ impl StepCompiler for EdgeCompiler {
     }
 
     fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
-        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.target", ctx.alias)])
+        Ok(vec![
+            format!("{}.doc", ctx.alias),
+            format!("{}.target", ctx.alias),
+        ])
     }
 
     fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
@@ -140,19 +149,17 @@ impl StepCompiler for EdgeCompiler {
     }
 
     fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
-        Some((format!("{}.source", ctx.alias), format!("{}.ordinal", ctx.alias)))
+        Some((
+            format!("{}.source", ctx.alias),
+            format!("{}.ordinal", ctx.alias),
+        ))
     }
 }
 
 /// Add a joined table whose ON conditions were written against the
 /// placeholder alias `__A`; the placeholder is rewritten to the fresh
 /// alias. Inner mode routes conditions to WHERE.
-pub(crate) fn add_join(
-    b: &mut SqlBuilder,
-    table: &str,
-    mode: JoinMode,
-    on: Vec<String>,
-) -> String {
+pub(crate) fn add_join(b: &mut SqlBuilder, table: &str, mode: JoinMode, on: Vec<String>) -> String {
     match mode {
         JoinMode::Inner => {
             let alias = b.add_table(table);
@@ -164,8 +171,10 @@ pub(crate) fn add_join(
         JoinMode::Left => {
             // Resolve the alias first so ON conditions can reference it.
             let alias_preview = format!("t{}", b.table_count());
-            let on: Vec<String> =
-                on.into_iter().map(|c| c.replace("__A", &alias_preview)).collect();
+            let on: Vec<String> = on
+                .into_iter()
+                .map(|c| c.replace("__A", &alias_preview))
+                .collect();
             let alias = b.add_table_with(table, JoinMode::Left, on);
             debug_assert_eq!(alias, alias_preview);
             alias

@@ -40,7 +40,9 @@ impl InlineCompiler {
             NodeMeta::Inline { anchor, path } => {
                 Ok(path.last().map(String::as_str).unwrap_or(anchor.as_str()))
             }
-            _ => Err(CoreError::Translate("inline compiler got a foreign node".into())),
+            _ => Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            )),
         }
     }
 }
@@ -102,7 +104,13 @@ impl StepCompiler for InlineCompiler {
         if let Some(d) = doc {
             b.cond(format!("{alias}.doc = {d}"));
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Inline { anchor: n.clone(), path: Vec::new() } })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Inline {
+                anchor: n.clone(),
+                path: Vec::new(),
+            },
+        })
     }
 
     fn child(
@@ -118,7 +126,9 @@ impl StepCompiler for InlineCompiler {
             ));
         };
         let NodeMeta::Inline { anchor, path } = &ctx.meta else {
-            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+            return Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            ));
         };
         let cur_label = self.ctx_label(ctx)?;
         let model = self
@@ -135,12 +145,21 @@ impl StepCompiler for InlineCompiler {
             let anchor_def = &self.scheme.mapping.tables[anchor.as_str()];
             let alias = b.add_table(&child_def.table);
             b.cond(format!("{alias}.parent_id = {}.id", ctx.alias));
-            b.cond(format!("{alias}.parent_tbl = {}", sql_str(&anchor_def.table)));
-            b.cond(format!("{alias}.parent_path = {}", sql_str(&path.join("/"))));
+            b.cond(format!(
+                "{alias}.parent_tbl = {}",
+                sql_str(&anchor_def.table)
+            ));
+            b.cond(format!(
+                "{alias}.parent_path = {}",
+                sql_str(&path.join("/"))
+            ));
             b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
             Ok(NodeRef {
                 alias,
-                meta: NodeMeta::Inline { anchor: m.clone(), path: Vec::new() },
+                meta: NodeMeta::Inline {
+                    anchor: m.clone(),
+                    path: Vec::new(),
+                },
             })
         } else {
             // Inlined: stay on the same row.
@@ -154,7 +173,10 @@ impl StepCompiler for InlineCompiler {
             }
             Ok(NodeRef {
                 alias: ctx.alias.clone(),
-                meta: NodeMeta::Inline { anchor: anchor.clone(), path: new_path },
+                meta: NodeMeta::Inline {
+                    anchor: anchor.clone(),
+                    path: new_path,
+                },
             })
         }
     }
@@ -169,7 +191,9 @@ impl StepCompiler for InlineCompiler {
     ) -> Result<String> {
         let _ = b;
         let NodeMeta::Inline { anchor, path } = &ctx.meta else {
-            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+            return Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            ));
         };
         let def = &self.scheme.mapping.tables[anchor.as_str()];
         match def.find_col(path, &ColKind::Attr(name.to_string())) {
@@ -186,7 +210,9 @@ impl StepCompiler for InlineCompiler {
         mode: JoinMode,
     ) -> Result<String> {
         let NodeMeta::Inline { anchor, path } = &ctx.meta else {
-            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+            return Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            ));
         };
         let def = &self.scheme.mapping.tables[anchor.as_str()];
         if path.is_empty() && def.mixed {
@@ -206,7 +232,9 @@ impl StepCompiler for InlineCompiler {
 
     fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
         let NodeMeta::Inline { anchor, path } = &ctx.meta else {
-            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+            return Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            ));
         };
         Ok(vec![
             format!("{}.doc", ctx.alias),
@@ -218,7 +246,9 @@ impl StepCompiler for InlineCompiler {
 
     fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
         let NodeMeta::Inline { anchor, path } = &ctx.meta else {
-            return Err(CoreError::Translate("inline compiler got a foreign node".into()));
+            return Err(CoreError::Translate(
+                "inline compiler got a foreign node".into(),
+            ));
         };
         if path.is_empty() {
             return Ok(format!("{}.id", ctx.alias));

@@ -60,7 +60,10 @@ impl StepCompiler for IntervalCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn child(
@@ -77,7 +80,10 @@ impl StepCompiler for IntervalCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn descendant(
@@ -97,7 +103,10 @@ impl StepCompiler for IntervalCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn any_element(
@@ -115,7 +124,10 @@ impl StepCompiler for IntervalCompiler {
         if let Some(c) = Self::name_cond(&alias, test)? {
             b.cond(c);
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Plain })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Plain,
+        })
     }
 
     fn attr_value(
@@ -153,7 +165,10 @@ impl StepCompiler for IntervalCompiler {
     }
 
     fn key_exprs(&self, ctx: &NodeRef) -> Result<Vec<String>> {
-        Ok(vec![format!("{}.doc", ctx.alias), format!("{}.pre", ctx.alias)])
+        Ok(vec![
+            format!("{}.doc", ctx.alias),
+            format!("{}.pre", ctx.alias),
+        ])
     }
 
     fn existence_expr(&self, ctx: &NodeRef) -> Result<String> {
@@ -173,6 +188,9 @@ impl StepCompiler for IntervalCompiler {
     }
 
     fn positional_exprs(&self, ctx: &NodeRef) -> Option<(String, String)> {
-        Some((format!("{}.parent", ctx.alias), format!("{}.pre", ctx.alias)))
+        Some((
+            format!("{}.parent", ctx.alias),
+            format!("{}.pre", ctx.alias),
+        ))
     }
 }

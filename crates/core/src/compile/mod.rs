@@ -204,7 +204,10 @@ pub fn test_label(test: &NodeTest) -> Option<&str> {
 
 /// Helper: decode (doc, pre) keys shared by several schemes.
 pub fn decode_pre_key(vals: &[Value]) -> Result<NodeKey> {
-    match (vals.first().and_then(Value::as_int), vals.get(1).and_then(Value::as_int)) {
+    match (
+        vals.first().and_then(Value::as_int),
+        vals.get(1).and_then(Value::as_int),
+    ) {
         (Some(doc), Some(pre)) => Ok(NodeKey::Pre { doc, pre }),
         _ => Err(CoreError::Translate(format!("bad node key {vals:?}"))),
     }

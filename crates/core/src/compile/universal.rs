@@ -45,16 +45,16 @@ impl UniversalCompiler {
             NodeTest::Wildcard => Err(CoreError::Translate(
                 "wildcard steps must be path-expanded in the universal scheme".into(),
             )),
-            NodeTest::Text => {
-                Err(CoreError::Translate("text() is not an element test".into()))
-            }
+            NodeTest::Text => Err(CoreError::Translate("text() is not an element test".into())),
         }
     }
 
     fn node_expr(ctx: &NodeRef) -> Result<String> {
         match &ctx.meta {
             NodeMeta::Universal { stem } => Ok(format!("{}.t_{stem}", ctx.alias)),
-            _ => Err(CoreError::Translate("universal compiler got a foreign node".into())),
+            _ => Err(CoreError::Translate(
+                "universal compiler got a foreign node".into(),
+            )),
         }
     }
 }
@@ -89,7 +89,10 @@ impl StepCompiler for UniversalCompiler {
         if let Some(d) = doc {
             b.cond(format!("{alias}.doc = {d}"));
         }
-        Ok(NodeRef { alias, meta: NodeMeta::Universal { stem } })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Universal { stem },
+        })
     }
 
     fn child(
@@ -105,7 +108,10 @@ impl StepCompiler for UniversalCompiler {
         b.cond(format!("{alias}.src = {parent}"));
         b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
         b.cond(format!("{alias}.t_{stem} IS NOT NULL"));
-        Ok(NodeRef { alias, meta: NodeMeta::Universal { stem } })
+        Ok(NodeRef {
+            alias,
+            meta: NodeMeta::Universal { stem },
+        })
     }
 
     fn attr_value(

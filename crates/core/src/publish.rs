@@ -3,11 +3,12 @@
 
 use std::collections::HashMap;
 
-use reldb::{Database, Value};
+use reldb::{row_int, row_text, Database, Value};
 use shredder::reconstruct::rebuild;
 use shredder::walk::{NodeRec, RecKind};
-use shredder::{BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme,
-    UniversalScheme};
+use shredder::{
+    BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, UniversalScheme,
+};
 use xmlpar::serialize;
 
 use crate::compile::NodeKey;
@@ -18,7 +19,9 @@ use crate::sqlgen::sql_str;
 pub fn publish_interval(db: &Database, _s: &IntervalScheme, doc: i64, pre: i64) -> Result<String> {
     // Fetch the node's size, then its whole interval.
     let size = db
-        .query_readonly(&format!("SELECT size FROM inode WHERE doc = {doc} AND pre = {pre}"))?
+        .query_readonly(&format!(
+            "SELECT size FROM inode WHERE doc = {doc} AND pre = {pre}"
+        ))?
         .scalar()
         .and_then(Value::as_int)
         .ok_or_else(|| CoreError::Translate(format!("no inode ({doc},{pre})")))?;
@@ -40,7 +43,14 @@ pub fn publish_interval(db: &Database, _s: &IntervalScheme, doc: i64, pre: i64) 
 /// Publish one Dewey-scheme node.
 pub fn publish_dewey(db: &Database, _s: &DeweyScheme, doc: i64, key: &str) -> Result<String> {
     // (dewey, parent, ordinal, kind, name, value)
-    type RawRow = (String, Option<String>, i64, String, Option<String>, Option<String>);
+    type RawRow = (
+        String,
+        Option<String>,
+        i64,
+        String,
+        Option<String>,
+        Option<String>,
+    );
     let mut raw: Vec<RawRow> = Vec::new();
     db.query_streaming(
         &format!(
@@ -51,12 +61,12 @@ pub fn publish_dewey(db: &Database, _s: &DeweyScheme, doc: i64, key: &str) -> Re
         ),
         |row| {
             raw.push((
-                row[0].as_text().unwrap_or("").to_string(),
-                row[1].as_text().map(str::to_string),
-                row[2].as_int().unwrap_or(0),
-                row[3].as_text().unwrap_or("").to_string(),
-                row[4].as_text().map(str::to_string),
-                row[5].as_text().map(str::to_string),
+                row_text(&row, 0).unwrap_or("").to_string(),
+                row_text(&row, 1).map(str::to_string),
+                row_int(&row, 2).unwrap_or(0),
+                row_text(&row, 3).unwrap_or("").to_string(),
+                row_text(&row, 4).map(str::to_string),
+                row_text(&row, 5).map(str::to_string),
             ));
             Ok(())
         },
@@ -64,8 +74,11 @@ pub fn publish_dewey(db: &Database, _s: &DeweyScheme, doc: i64, key: &str) -> Re
     if raw.is_empty() {
         return Err(CoreError::Translate(format!("no dnode ({doc},{key})")));
     }
-    let rank: HashMap<&str, i64> =
-        raw.iter().enumerate().map(|(i, r)| (r.0.as_str(), i as i64)).collect();
+    let rank: HashMap<&str, i64> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.0.as_str(), i as i64))
+        .collect();
     let recs: Vec<NodeRec> = raw
         .iter()
         .enumerate()
@@ -131,30 +144,38 @@ pub fn publish_edge(db: &Database, _s: &EdgeScheme, doc: i64, pre: i64) -> Resul
 }
 
 fn edge_rec(row: &[Value], root_pre: i64) -> NodeRec {
-    let target = row[0].as_int().unwrap_or(0);
+    let target = row_int(row, 0).unwrap_or(0);
     NodeRec {
         pre: target,
-        parent: if target == root_pre { None } else { row[1].as_int() },
-        ordinal: row[2].as_int().unwrap_or(0),
+        parent: if target == root_pre {
+            None
+        } else {
+            row_int(row, 1)
+        },
+        ordinal: row_int(row, 2).unwrap_or(0),
         size: 0,
         level: 0,
-        kind: RecKind::from_tag(row[3].as_text().unwrap_or("")).unwrap_or(RecKind::Elem),
-        name: row[4].as_text().map(str::to_string),
-        value: row[5].as_text().map(str::to_string),
+        kind: RecKind::from_tag(row_text(row, 3).unwrap_or("")).unwrap_or(RecKind::Elem),
+        name: row_text(row, 4).map(str::to_string),
+        value: row_text(row, 5).map(str::to_string),
     }
 }
 
 fn rec_from_row(row: &[Value], root_pre: i64) -> NodeRec {
-    let pre = row[0].as_int().unwrap_or(0);
+    let pre = row_int(row, 0).unwrap_or(0);
     NodeRec {
         pre,
-        parent: if pre == root_pre { None } else { row[1].as_int() },
-        ordinal: row[2].as_int().unwrap_or(0),
+        parent: if pre == root_pre {
+            None
+        } else {
+            row_int(row, 1)
+        },
+        ordinal: row_int(row, 2).unwrap_or(0),
         size: 0,
         level: 0,
-        kind: RecKind::from_tag(row[3].as_text().unwrap_or("")).unwrap_or(RecKind::Elem),
-        name: row[4].as_text().map(str::to_string),
-        value: row[5].as_text().map(str::to_string),
+        kind: RecKind::from_tag(row_text(row, 3).unwrap_or("")).unwrap_or(RecKind::Elem),
+        name: row_text(row, 4).map(str::to_string),
+        value: row_text(row, 5).map(str::to_string),
     }
 }
 
@@ -167,13 +188,16 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
     let attr_tables: Vec<(String, String)> = {
         // label registry: attribute tables.
         let mut v = Vec::new();
-        db.query_streaming("SELECT label, tbl FROM bin_labels WHERE kind = 'attr'", |row| {
-            v.push((
-                row[0].as_text().unwrap_or("").to_string(),
-                row[1].as_text().unwrap_or("").to_string(),
-            ));
-            Ok(())
-        })?;
+        db.query_streaming(
+            "SELECT label, tbl FROM bin_labels WHERE kind = 'attr'",
+            |row| {
+                v.push((
+                    row_text(&row, 0).unwrap_or("").to_string(),
+                    row_text(&row, 1).unwrap_or("").to_string(),
+                ));
+                Ok(())
+            },
+        )?;
         v
     };
     let mut recs: Vec<NodeRec> = Vec::new();
@@ -187,7 +211,7 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
             recs.push(NodeRec {
                 pre,
                 parent: None,
-                ordinal: row[1].as_int().unwrap_or(0),
+                ordinal: row_int(row, 1).unwrap_or(0),
                 size: 0,
                 level: 0,
                 kind: RecKind::Elem,
@@ -199,7 +223,9 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
         }
     }
     if root_label.is_none() {
-        return Err(CoreError::Translate(format!("no binary node ({doc},{pre})")));
+        return Err(CoreError::Translate(format!(
+            "no binary node ({doc},{pre})"
+        )));
     }
     let mut frontier = vec![pre];
     while !frontier.is_empty() {
@@ -213,12 +239,12 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
                      WHERE doc = {doc} AND source IN ({in_list})"
                 ),
                 |row| {
-                    let p = row[0].as_int().unwrap_or(0);
+                    let p = row_int(&row, 0).unwrap_or(0);
                     next.push(p);
                     recs.push(NodeRec {
                         pre: p,
-                        parent: row[1].as_int(),
-                        ordinal: row[2].as_int().unwrap_or(0),
+                        parent: row_int(&row, 1),
+                        ordinal: row_int(&row, 2).unwrap_or(0),
                         size: 0,
                         level: 0,
                         kind: RecKind::Elem,
@@ -237,14 +263,14 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
                 ),
                 |row| {
                     recs.push(NodeRec {
-                        pre: row[0].as_int().unwrap_or(0),
-                        parent: row[1].as_int(),
-                        ordinal: row[2].as_int().unwrap_or(0),
+                        pre: row_int(&row, 0).unwrap_or(0),
+                        parent: row_int(&row, 1),
+                        ordinal: row_int(&row, 2).unwrap_or(0),
                         size: 0,
                         level: 0,
                         kind: RecKind::Attr,
                         name: Some(label.clone()),
-                        value: row[3].as_text().map(str::to_string),
+                        value: row_text(&row, 3).map(str::to_string),
                     });
                     Ok(())
                 },
@@ -257,14 +283,14 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
             ),
             |row| {
                 recs.push(NodeRec {
-                    pre: row[0].as_int().unwrap_or(0),
-                    parent: row[1].as_int(),
-                    ordinal: row[2].as_int().unwrap_or(0),
+                    pre: row_int(&row, 0).unwrap_or(0),
+                    parent: row_int(&row, 1),
+                    ordinal: row_int(&row, 2).unwrap_or(0),
                     size: 0,
                     level: 0,
                     kind: RecKind::Text,
                     name: None,
-                    value: row[3].as_text().map(str::to_string),
+                    value: row_text(&row, 3).map(str::to_string),
                 });
                 Ok(())
             },
@@ -276,12 +302,7 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
 
 /// Publish one universal-scheme node: rebuild the document once and index
 /// by pre (the scheme has no per-subtree access path — a documented cost).
-pub fn publish_universal(
-    db: &Database,
-    s: &UniversalScheme,
-    doc: i64,
-    pre: i64,
-) -> Result<String> {
+pub fn publish_universal(db: &Database, s: &UniversalScheme, doc: i64, pre: i64) -> Result<String> {
     use shredder::MappingScheme;
     let full = s.reconstruct(db, doc)?;
     // The stored node ids are the original document's pre-order numbers
@@ -293,7 +314,9 @@ pub fn publish_universal(
             return Ok(serialize::node_to_string(&full, node_id));
         }
     }
-    Err(CoreError::Translate(format!("no universal node ({doc},{pre})")))
+    Err(CoreError::Translate(format!(
+        "no universal node ({doc},{pre})"
+    )))
 }
 
 /// Pair a document's element/text nodes with pre-order numbers using the
@@ -304,7 +327,11 @@ fn collect_pre_order(doc: &xmlpar::Document) -> Vec<(xmlpar::NodeId, i64)> {
     let mut counter: i64 = 0;
     while let Some(id) = stack.pop() {
         match &doc.node(id).kind {
-            xmlpar::NodeKind::Element { attributes, children, .. } => {
+            xmlpar::NodeKind::Element {
+                attributes,
+                children,
+                ..
+            } => {
                 out.push((id, counter));
                 counter += 1 + attributes.len() as i64;
                 for &c in children.iter().rev() {
@@ -346,12 +373,16 @@ pub fn publish_key(
     match key {
         NodeKey::Pre { doc, pre } => pre_publisher(db, *doc, *pre),
         NodeKey::Dewey { doc, key } => {
-            let s = dewey.ok_or_else(|| {
-                CoreError::Translate("dewey key without a dewey scheme".into())
-            })?;
+            let s = dewey
+                .ok_or_else(|| CoreError::Translate("dewey key without a dewey scheme".into()))?;
             publish_dewey(db, s, *doc, key)
         }
-        NodeKey::Inline { doc, anchor, id, path } => {
+        NodeKey::Inline {
+            doc,
+            anchor,
+            id,
+            path,
+        } => {
             let s = inline.ok_or_else(|| {
                 CoreError::Translate("inline key without an inline scheme".into())
             })?;

@@ -36,20 +36,21 @@ impl SqlBuilder {
     /// Add a table with a regular join; returns its alias.
     pub fn add_table(&mut self, table: &str) -> String {
         let alias = self.fresh_alias();
-        self.tables.push((table.to_string(), alias.clone(), JoinMode::Inner, Vec::new()));
+        self.tables.push((
+            table.to_string(),
+            alias.clone(),
+            JoinMode::Inner,
+            Vec::new(),
+        ));
         alias
     }
 
     /// Add a table with an explicit mode and ON conditions.
-    pub fn add_table_with(
-        &mut self,
-        table: &str,
-        mode: JoinMode,
-        on: Vec<String>,
-    ) -> String {
+    pub fn add_table_with(&mut self, table: &str, mode: JoinMode, on: Vec<String>) -> String {
         let alias = self.fresh_alias();
-        self.tables.push((table.to_string(), alias, mode, on));
-        self.tables.last().expect("just pushed").1.clone()
+        self.tables
+            .push((table.to_string(), alias.clone(), mode, on));
+        alias
     }
 
     /// Add a WHERE conjunct.
@@ -86,7 +87,11 @@ impl SqlBuilder {
                     sql.push_str(&format!(", {table} {alias}"));
                 }
                 JoinMode::Left => {
-                    let cond = if on.is_empty() { "1 = 1".to_string() } else { on.join(" AND ") };
+                    let cond = if on.is_empty() {
+                        "1 = 1".to_string()
+                    } else {
+                        on.join(" AND ")
+                    };
                     sql.push_str(&format!(" LEFT JOIN {table} {alias} ON {cond}"));
                 }
             }
@@ -120,7 +125,11 @@ mod tests {
     fn renders_comma_joins_and_where() {
         let mut b = SqlBuilder::new();
         let a0 = b.add_table("edge");
-        let a1 = b.add_table_with("edge", JoinMode::Inner, vec![format!("{a1}.source = {a0}.target", a1 = "t1")]);
+        let a1 = b.add_table_with(
+            "edge",
+            JoinMode::Inner,
+            vec![format!("{a1}.source = {a0}.target", a1 = "t1")],
+        );
         b.cond(format!("{a0}.doc = 1"));
         let sql = b.render(&format!("{a1}.target"), true);
         assert_eq!(
@@ -140,7 +149,10 @@ mod tests {
             vec![format!("t1.parent = {a0}.pre")],
         );
         let sql = b.render(&format!("{a0}.pre, {a1}.value"), false);
-        assert!(sql.contains("LEFT JOIN inode t1 ON t1.parent = t0.pre"), "{sql}");
+        assert!(
+            sql.contains("LEFT JOIN inode t1 ON t1.parent = t0.pre"),
+            "{sql}"
+        );
     }
 
     #[test]

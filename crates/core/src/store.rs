@@ -5,8 +5,8 @@ use std::collections::HashMap;
 
 use reldb::{Database, Value};
 use shredder::{
-    docstore, BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme,
-    MappingScheme, ShredStats, StorageStats, UniversalScheme,
+    docstore, BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, MappingScheme,
+    ShredStats, StorageStats, UniversalScheme,
 };
 use xmlpar::Document;
 use xqir::parse_query;
@@ -82,10 +82,18 @@ impl Scheme {
             (Scheme::Dewey(s), NodeKey::Dewey { doc, key }) => {
                 publish::publish_dewey(db, s, *doc, key)
             }
-            (Scheme::Inline(s), NodeKey::Inline { doc, anchor, id, path }) => {
-                publish::publish_inline(db, s, *doc, anchor, *id, path)
-            }
-            _ => Err(CoreError::Translate("node key does not match the scheme".into())),
+            (
+                Scheme::Inline(s),
+                NodeKey::Inline {
+                    doc,
+                    anchor,
+                    id,
+                    path,
+                },
+            ) => publish::publish_inline(db, s, *doc, anchor, *id, path),
+            _ => Err(CoreError::Translate(
+                "node key does not match the scheme".into(),
+            )),
         }
     }
 }
@@ -173,7 +181,9 @@ impl XmlStore {
     /// Store an already-parsed document.
     pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(i64, ShredStats)> {
         if docstore::lookup(&self.db, name)?.is_some() {
-            return Err(CoreError::Translate(format!("document {name:?} already loaded")));
+            return Err(CoreError::Translate(format!(
+                "document {name:?} already loaded"
+            )));
         }
         let id = docstore::register(&mut self.db, name)?;
         let stats = self.scheme.ops().shred(&mut self.db, id, doc)?;
@@ -182,8 +192,7 @@ impl XmlStore {
 
     /// Document id by name.
     pub fn doc_id(&self, name: &str) -> Result<i64> {
-        docstore::lookup(&self.db, name)?
-            .ok_or_else(|| CoreError::NoSuchDocument(name.to_string()))
+        docstore::lookup(&self.db, name)?.ok_or_else(|| CoreError::NoSuchDocument(name.to_string()))
     }
 
     /// Remove a document.
@@ -205,15 +214,17 @@ impl XmlStore {
     pub fn translate(&self, query_text: &str) -> Result<Translated> {
         let query = parse_query(query_text)?;
         let compiler = self.scheme.compiler();
-        match compile_query(compiler.as_ref(), &self.db, &query, None) {
-            Err(CoreError::EmptyResult) => Ok(Translated {
+        let t = match compile_query(compiler.as_ref(), &self.db, &query, None) {
+            Err(CoreError::EmptyResult) => Translated {
                 sql: "SELECT NULL LIMIT 0".into(),
                 out: OutKind::Values { col: 0 },
                 key_width: compiler.key_width(),
                 positional: None,
-            }),
-            other => other,
-        }
+            },
+            other => other?,
+        };
+        self.debug_verify(&t)?;
+        Ok(t)
     }
 
     /// Translate a query scoped to one document.
@@ -221,15 +232,76 @@ impl XmlStore {
         let id = self.doc_id(doc)?;
         let query = parse_query(query_text)?;
         let compiler = self.scheme.compiler();
-        match compile_query(compiler.as_ref(), &self.db, &query, Some(id)) {
-            Err(CoreError::EmptyResult) => Ok(Translated {
+        let t = match compile_query(compiler.as_ref(), &self.db, &query, Some(id)) {
+            Err(CoreError::EmptyResult) => Translated {
                 sql: "SELECT NULL LIMIT 0".into(),
                 out: OutKind::Values { col: 0 },
                 key_width: compiler.key_width(),
                 positional: None,
-            }),
-            other => other,
+            },
+            other => other?,
+        };
+        self.debug_verify(&t)?;
+        Ok(t)
+    }
+
+    /// Statically validate a compiled query string against the catalog this
+    /// store's shredder actually created: re-parse it with the SQL parser,
+    /// bind it, and run the plan validator over the bound, optimized, and
+    /// physical plans. Returns every diagnostic found (empty = clean).
+    pub fn verify_sql(&self, sql: &str) -> Result<Vec<reldb::plan::Diagnostic>> {
+        use reldb::plan::{
+            bind_select, optimize, plan_physical, validate_logical, validate_physical,
+        };
+        use reldb::sql::parser::parse_statement;
+        use reldb::sql::Statement;
+        let stmt = parse_statement(sql).map_err(CoreError::Db)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(CoreError::Translate(format!(
+                "compiled query is not a SELECT: {sql}"
+            )));
+        };
+        let catalog = &self.db.catalog;
+        let bound = bind_select(catalog, &sel).map_err(CoreError::Db)?;
+        // Comma-join SQL binds as condition-less joins under one filter;
+        // predicate pushdown rewrites that into conditioned joins. Style
+        // lints (e.g. cartesian-product) are therefore only meaningful on
+        // the optimized plan — keep just type errors from the bound one.
+        let mut diags: Vec<reldb::plan::Diagnostic> = validate_logical(catalog, &bound)
+            .into_iter()
+            .filter(|d| d.severity == reldb::plan::Severity::Error)
+            .collect();
+        let optimized = optimize(bound, &self.db.optimizer, catalog);
+        diags.extend(validate_logical(catalog, &optimized));
+        let physical =
+            plan_physical(catalog, &optimized, &self.db.physical).map_err(CoreError::Db)?;
+        diags.extend(validate_physical(catalog, &physical));
+        diags.dedup();
+        Ok(diags)
+    }
+
+    /// Debug-build hook: every query string a scheme compiler emits must
+    /// re-parse and validate against the live catalog, so the whole test
+    /// suite doubles as a static check over all six compile backends.
+    #[cfg(debug_assertions)]
+    fn debug_verify(&self, t: &Translated) -> Result<()> {
+        let diags = self.verify_sql(&t.sql)?;
+        if let Some(d) = diags
+            .iter()
+            .find(|d| d.severity == reldb::plan::Severity::Error)
+        {
+            return Err(CoreError::Translate(format!(
+                "scheme {:?} compiled SQL that fails validation: {d}; sql: {}",
+                self.scheme.name(),
+                t.sql
+            )));
         }
+        Ok(())
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_verify(&self, _t: &Translated) -> Result<()> {
+        Ok(())
     }
 
     /// Run a query across all loaded documents.
@@ -251,9 +323,7 @@ impl XmlStore {
         let t = self.translate(query_text)?;
         let rows = self.run_rows(&t)?;
         Ok(match &t.out {
-            OutKind::Values { col } => {
-                rows.iter().filter(|r| !r[*col].is_null()).count()
-            }
+            OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
             _ => rows.len(),
         })
     }
@@ -310,12 +380,16 @@ impl XmlStore {
             }
             let mut kept = Vec::new();
             for parent in order {
-                let g = groups.remove(&parent).expect("group exists");
+                let Some(g) = groups.remove(&parent) else {
+                    continue;
+                };
                 let mut distinct: Vec<&Value> = g.iter().map(|r| &r[p.order_col]).collect();
                 distinct.sort();
                 distinct.dedup();
                 let idx = (p.n as usize).saturating_sub(1);
-                let Some(target) = distinct.get(idx) else { continue };
+                let Some(target) = distinct.get(idx) else {
+                    continue;
+                };
                 let target = (*target).clone();
                 for row in g {
                     if row[p.order_col] == target {

@@ -10,7 +10,7 @@
 //!
 //! Both operations preserve exact reconstruction, which the tests verify.
 
-use reldb::{Database, ExecResult, Value};
+use reldb::{row_int, Database, ExecResult, Value};
 use shredder::dewey::{child_key, descendant_pattern};
 use shredder::walk::flatten;
 use xmlpar::Document;
@@ -51,8 +51,8 @@ pub fn interval_insert_child(
         .rows
         .first()
         .ok_or_else(|| CoreError::Translate(format!("no inode ({doc},{parent_pre})")))?;
-    let psize = row[0].as_int().unwrap_or(0);
-    let plevel = row[1].as_int().unwrap_or(0);
+    let psize = row_int(row, 0).unwrap_or(0);
+    let plevel = row_int(row, 1).unwrap_or(0);
     let next_ord = db
         .query_readonly(&format!(
             "SELECT MAX(ordinal) FROM inode WHERE doc = {doc} AND parent = {parent_pre}"
@@ -90,7 +90,11 @@ pub fn interval_insert_child(
                 Value::Int(r.size),
                 Value::Int(r.level + plevel + 1),
                 Value::Int(r.parent.map(|p| p + start).unwrap_or(parent_pre)),
-                Value::Int(if r.parent.is_none() { next_ord } else { r.ordinal }),
+                Value::Int(if r.parent.is_none() {
+                    next_ord
+                } else {
+                    r.ordinal
+                }),
                 Value::text(r.kind.tag()),
                 r.name.clone().map(Value::Text).unwrap_or(Value::Null),
                 r.value.clone().map(Value::Text).unwrap_or(Value::Null),
@@ -110,9 +114,9 @@ pub fn interval_delete_subtree(db: &mut Database, doc: i64, pre: i64) -> Result<
         .rows
         .first()
         .ok_or_else(|| CoreError::Translate(format!("no inode ({doc},{pre})")))?;
-    let size = row[0].as_int().unwrap_or(0);
-    let parent = row[1].as_int();
-    let ordinal = row[2].as_int().unwrap_or(0);
+    let size = row_int(row, 0).unwrap_or(0);
+    let parent = row_int(row, 1);
+    let ordinal = row_int(row, 2).unwrap_or(0);
     let n = size + 1;
     let hi = pre + size;
 
@@ -160,7 +164,7 @@ pub fn dewey_insert_child(
         .rows
         .first()
         .ok_or_else(|| CoreError::Translate(format!("no dnode ({doc},{parent_key})")))?;
-    let plevel = row[0].as_int().unwrap_or(0);
+    let plevel = row_int(row, 0).unwrap_or(0);
     let next_ord = db
         .query_readonly(&format!(
             "SELECT MAX(ordinal) FROM dnode WHERE doc = {doc} AND parent = {}",
@@ -191,7 +195,11 @@ pub fn dewey_insert_child(
                 r.parent
                     .map(|p| Value::text(keys[p as usize].clone()))
                     .unwrap_or_else(|| Value::text(parent_key)),
-                Value::Int(if r.parent.is_none() { next_ord } else { r.ordinal }),
+                Value::Int(if r.parent.is_none() {
+                    next_ord
+                } else {
+                    r.ordinal
+                }),
                 Value::Int(r.level + plevel + 1),
                 Value::text(r.kind.tag()),
                 r.name.clone().map(Value::Text).unwrap_or(Value::Null),
@@ -200,7 +208,11 @@ pub fn dewey_insert_child(
         })
         .collect();
     let inserted = db.bulk_insert("dnode", rows)?;
-    Ok(UpdateStats { rows_renumbered: 0, rows_inserted: inserted, rows_deleted: 0 })
+    Ok(UpdateStats {
+        rows_renumbered: 0,
+        rows_inserted: inserted,
+        rows_deleted: 0,
+    })
 }
 
 /// Delete the subtree rooted at the Dewey-scheme node `(doc, key)` — no
@@ -214,7 +226,11 @@ pub fn dewey_delete_subtree(db: &mut Database, doc: i64, key: &str) -> Result<Up
     if deleted == 0 {
         return Err(CoreError::Translate(format!("no dnode ({doc},{key})")));
     }
-    Ok(UpdateStats { rows_renumbered: 0, rows_inserted: 0, rows_deleted: deleted })
+    Ok(UpdateStats {
+        rows_renumbered: 0,
+        rows_inserted: 0,
+        rows_deleted: deleted,
+    })
 }
 
 #[cfg(test)]
@@ -294,8 +310,7 @@ mod tests {
 
         let mut dstore = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
         let (ddoc, _) = dstore.load_str("t", &xml).unwrap();
-        let dstats =
-            dewey_insert_child(&mut dstore.db, ddoc, "000000.000000", &frag).unwrap();
+        let dstats = dewey_insert_child(&mut dstore.db, ddoc, "000000.000000", &frag).unwrap();
 
         assert!(
             istats.rows_renumbered > 200,
@@ -303,7 +318,10 @@ mod tests {
         );
         assert_eq!(dstats.rows_renumbered, 0, "dewey appends locally");
         // Both reconstruct identically.
-        assert_eq!(istore.reconstruct("t").unwrap(), dstore.reconstruct("t").unwrap());
+        assert_eq!(
+            istore.reconstruct("t").unwrap(),
+            dstore.reconstruct("t").unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Golden static-validation test: shred one sample document under all six
+//! mapping schemes, translate a battery of queries with each scheme's
+//! compiler, and require that every emitted SQL string re-parses and runs
+//! the plan validator **without a single diagnostic**. This pins the
+//! contract that the six compile backends only ever emit SQL that is
+//! well-typed against the catalog their own shredder created.
+
+use shredder::{
+    BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, UniversalScheme,
+};
+use xmlrel_core::{Scheme, XmlStore};
+
+const BIB_DTD: &str = r#"
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, price?)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"#;
+
+const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><lastname>Stevens</lastname></author><price>65</price></book><book year="2000"><title>Data on the Web</title><author><firstname>Serge</firstname><lastname>Abiteboul</lastname></author><author><lastname>Buneman</lastname></author><price>39</price></book><book year="1999"><title>Economics</title><author><lastname>Keynes</lastname></author></book></bib>"#;
+
+/// Queries spanning every translator feature: child/descendant steps,
+/// attribute axes, predicates (value, positional, existence), text(),
+/// FLWOR with sorting, and element construction.
+const QUERIES: &[&str] = &[
+    "/bib/book/title/text()",
+    "/bib/book/author/lastname/text()",
+    "//lastname/text()",
+    "/bib/book[@year > 1995]/title/text()",
+    "/bib/book[price]/price/text()",
+    "/bib/book[author/firstname]/title/text()",
+    "/bib/book[1]/title/text()",
+    "/bib/book/@year",
+    "for $b in /bib/book return $b/title/text()",
+    "for $b in /bib/book where $b/@year > 1995 return $b/title/text()",
+    "for $b in /bib/book order by $b/title return $b/title/text()",
+    "for $b in /bib/book return <entry>{$b/title/text()}</entry>",
+];
+
+fn stores() -> Vec<XmlStore> {
+    let schemes = vec![
+        Scheme::Edge(EdgeScheme::new()),
+        Scheme::Binary(BinaryScheme::new()),
+        Scheme::Universal(UniversalScheme::new()),
+        Scheme::Interval(IntervalScheme::new()),
+        Scheme::Dewey(DeweyScheme::new()),
+        Scheme::Inline(InlineScheme::from_dtd_text(BIB_DTD).unwrap()),
+    ];
+    schemes
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::new(s).unwrap();
+            store.load_str("bib", BIB).unwrap();
+            store
+        })
+        .collect()
+}
+
+#[test]
+fn every_scheme_compiles_every_query_to_validator_clean_sql() {
+    for store in stores() {
+        let name = store.scheme().name();
+        let mut validated = 0usize;
+        for q in QUERIES {
+            // A scheme may declare a feature unsupported (e.g. positional
+            // predicates under the universal table); that is a typed
+            // refusal, not a compilation bug.
+            let t = match store.translate(q) {
+                Err(xmlrel_core::CoreError::Translate(m)) if m.contains("unsupported") => continue,
+                other => other.unwrap_or_else(|e| panic!("{name}: {q}: translation failed: {e}")),
+            };
+            let diags = store.verify_sql(&t.sql).unwrap_or_else(|e| {
+                panic!(
+                    "{name}: {q}: emitted SQL failed to re-parse: {e}\nsql: {}",
+                    t.sql
+                )
+            });
+            assert!(
+                diags.is_empty(),
+                "{name}: {q}: validator diagnostics on compiled SQL:\n{}\nsql: {}",
+                diags
+                    .iter()
+                    .map(|d| format!("  {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                t.sql
+            );
+            validated += 1;
+        }
+        assert!(
+            validated >= QUERIES.len() - 1,
+            "scheme {name} skipped too many queries"
+        );
+    }
+}
+
+#[test]
+fn doc_scoped_translations_validate_too() {
+    for store in stores() {
+        let name = store.scheme().name();
+        for q in QUERIES {
+            let t = match store.translate_for(q, "bib") {
+                Err(xmlrel_core::CoreError::Translate(m)) if m.contains("unsupported") => continue,
+                other => other
+                    .unwrap_or_else(|e| panic!("{name}: {q}: doc-scoped translation failed: {e}")),
+            };
+            let diags = store
+                .verify_sql(&t.sql)
+                .unwrap_or_else(|e| panic!("{name}: {q}: emitted SQL failed to re-parse: {e}"));
+            assert!(diags.is_empty(), "{name}: {q}: diagnostics: {diags:?}");
+        }
+    }
+}

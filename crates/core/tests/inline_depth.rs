@@ -16,8 +16,7 @@ const CHAIN_DTD: &str = r#"
 <!ELEMENT z (#PCDATA)>
 "#;
 
-const CHAIN_XML: &str =
-    r#"<r><a><b><c kind="leaf">deep value</c></b><z>zed</z></a></r>"#;
+const CHAIN_XML: &str = r#"<r><a><b><c kind="leaf">deep value</c></b><z>zed</z></a></r>"#;
 
 fn stores() -> (XmlStore, XmlStore) {
     let mut inline = XmlStore::new(Scheme::Inline(
@@ -33,7 +32,9 @@ fn stores() -> (XmlStore, XmlStore) {
 #[test]
 fn whole_chain_lives_in_one_table() {
     let (inline, _) = stores();
-    let Scheme::Inline(s) = inline.scheme() else { unreachable!() };
+    let Scheme::Inline(s) = inline.scheme() else {
+        unreachable!()
+    };
     // Only r is tabled; a, b, c, z are columns of inl_r.
     assert!(s.mapping.is_tabled("r"));
     for el in ["a", "b", "c", "z"] {
@@ -66,7 +67,11 @@ fn deep_values_and_attributes_answered_correctly() {
             vec!["leaf"],
             "{name}"
         );
-        assert_eq!(store.query("/r/a/z/text()").unwrap().items, vec!["zed"], "{name}");
+        assert_eq!(
+            store.query("/r/a/z/text()").unwrap().items,
+            vec!["zed"],
+            "{name}"
+        );
         // Predicate deep inside the inlined chain.
         assert_eq!(
             store

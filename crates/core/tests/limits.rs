@@ -35,7 +35,10 @@ fn descendant_inside_predicate_rejected_on_expansion_schemes() {
     assert!(matches!(err, CoreError::Translate(_)));
     // The same predicate works on a native scheme.
     let mut s = interval_store();
-    assert_eq!(s.query("/r[//a = 'one']/b/text()").unwrap().items, vec!["bee"]);
+    assert_eq!(
+        s.query("/r[//a = 'one']/b/text()").unwrap().items,
+        vec!["bee"]
+    );
 }
 
 #[test]
@@ -47,7 +50,11 @@ fn positional_on_inline_and_universal_rejected() {
         let mut s = XmlStore::new(scheme).unwrap();
         s.load_str("d", XML).unwrap();
         let err = s.query("/r/a[2]").unwrap_err();
-        assert!(matches!(err, CoreError::Translate(_)), "{}", s.scheme().name());
+        assert!(
+            matches!(err, CoreError::Translate(_)),
+            "{}",
+            s.scheme().name()
+        );
     }
 }
 
@@ -112,8 +119,16 @@ fn empty_results_are_empty_not_errors() {
     ] {
         let mut s = XmlStore::new(scheme).unwrap();
         s.load_str("d", XML).unwrap();
-        assert!(s.query("/r/zzz").unwrap().is_empty(), "{}", s.scheme().name());
-        assert!(s.query("/zzz/a").unwrap().is_empty(), "{}", s.scheme().name());
+        assert!(
+            s.query("/r/zzz").unwrap().is_empty(),
+            "{}",
+            s.scheme().name()
+        );
+        assert!(
+            s.query("/zzz/a").unwrap().is_empty(),
+            "{}",
+            s.scheme().name()
+        );
         assert!(
             s.query("/r/a[@x = 'nope']").unwrap().is_empty(),
             "{}",
@@ -139,7 +154,10 @@ fn malformed_query_is_query_error() {
 #[test]
 fn malformed_document_is_xml_error() {
     let mut s = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
-    assert!(matches!(s.load_str("bad", "<a><b></a>"), Err(CoreError::Xml(_))));
+    assert!(matches!(
+        s.load_str("bad", "<a><b></a>"),
+        Err(CoreError::Xml(_))
+    ));
 }
 
 #[test]

@@ -82,7 +82,10 @@ fn element_results_publish_subtrees() {
 
 #[test]
 fn attribute_predicate() {
-    assert_all_schemes("/bib/book[@year = '2000']/title/text()", &["Data on the Web"]);
+    assert_all_schemes(
+        "/bib/book[@year = '2000']/title/text()",
+        &["Data on the Web"],
+    );
 }
 
 #[test]
@@ -95,23 +98,20 @@ fn numeric_attribute_predicate() {
 
 #[test]
 fn text_value_predicate() {
-    assert_all_schemes("/bib/book[price > 50]/title/text()", &["TCP/IP Illustrated"]);
+    assert_all_schemes(
+        "/bib/book[price > 50]/title/text()",
+        &["TCP/IP Illustrated"],
+    );
 }
 
 #[test]
 fn nested_path_predicate() {
-    assert_all_schemes(
-        "/bib/book[author/lastname = 'Stevens']/@year",
-        &["1994"],
-    );
+    assert_all_schemes("/bib/book[author/lastname = 'Stevens']/@year", &["1994"]);
 }
 
 #[test]
 fn existence_predicate() {
-    assert_all_schemes(
-        "/bib/book[price]/@year",
-        &["1994", "2000"],
-    );
+    assert_all_schemes("/bib/book[price]/@year", &["1994", "2000"]);
 }
 
 #[test]
@@ -140,7 +140,10 @@ fn descendant_axis() {
 
 #[test]
 fn descendant_then_child() {
-    assert_all_schemes("//author/lastname/text()", &["Stevens", "Abiteboul", "Buneman", "Keynes"]);
+    assert_all_schemes(
+        "//author/lastname/text()",
+        &["Stevens", "Abiteboul", "Buneman", "Keynes"],
+    );
 }
 
 #[test]
@@ -291,8 +294,12 @@ fn translated_sql_is_visible() {
 #[test]
 fn query_scoped_to_one_document() {
     let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
-    store.load_str("a", "<bib><book><title>A</title></book></bib>").unwrap();
-    store.load_str("b", "<bib><book><title>B</title></book></bib>").unwrap();
+    store
+        .load_str("a", "<bib><book><title>A</title></book></bib>")
+        .unwrap();
+    store
+        .load_str("b", "<bib><book><title>B</title></book></bib>")
+        .unwrap();
     let all = store.query("/bib/book/title/text()").unwrap();
     assert_eq!(all.len(), 2);
     let only_a = store.query_doc("a", "/bib/book/title/text()").unwrap();

@@ -66,7 +66,12 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size, throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
     }
 }
 
@@ -106,9 +111,17 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { total: Duration::ZERO, iters: 0, samples };
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        samples,
+    };
     f(&mut b);
-    let mean = if b.iters > 0 { b.total / b.iters as u32 } else { Duration::ZERO };
+    let mean = if b.iters > 0 {
+        b.total / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
     let extra = match tp {
         Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
             let mbps = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
@@ -120,7 +133,10 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, tp: Option<Throughp
         }
         _ => String::new(),
     };
-    eprintln!("bench {id:<50} {mean:>12.3?}/iter over {} iters{extra}", b.iters);
+    eprintln!(
+        "bench {id:<50} {mean:>12.3?}/iter over {} iters{extra}",
+        b.iters
+    );
 }
 
 /// Timing context passed to each benchmark closure.

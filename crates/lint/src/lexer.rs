@@ -1,0 +1,482 @@
+//! A small hand-written Rust lexer, just precise enough for token-level
+//! linting: it distinguishes identifiers, punctuation, and literals, and it
+//! never mistakes the contents of a string, char literal, or comment for
+//! code. It does not parse; structural questions (test regions, attribute
+//! extents) are answered by a separate pass over the token stream.
+
+/// Coarse token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `r#async`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal, possibly suffixed (`0`, `42u32`, `0xFF`).
+    Int,
+    /// Float literal (`1.5`, `2e10`).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`.
+    Str,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment, kept separate from the token stream; used only for
+/// suppression scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line,
+    /// in which case a suppression in it also covers the following line.
+    pub alone_on_line: bool,
+    /// Doc comments (`///`, `//!`, `/**`, `/*!`) describe code rather
+    /// than annotate it; suppressions are not read from them.
+    pub doc: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Unterminated literals or comments
+/// simply consume the rest of the input; the linter is best-effort on
+/// malformed files (rustc will reject them anyway).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether any non-whitespace byte has appeared on the current
+    // line before the position being examined (for `alone_on_line`).
+    let mut line_has_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src[start..i].to_string();
+                let doc = text.starts_with("///") || text.starts_with("//!");
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    alone_on_line: !line_has_code,
+                    doc,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let alone = !line_has_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        line_has_code = false;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = src[start..i.min(src.len())].to_string();
+                let doc = text.starts_with("/**") || text.starts_with("/*!");
+                out.comments.push(Comment {
+                    text,
+                    line: start_line,
+                    alone_on_line: alone,
+                    doc,
+                });
+            }
+            b'"' => {
+                line_has_code = true;
+                let (end, nl) = scan_string(b, i + 1);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' => {
+                line_has_code = true;
+                // Raw strings (r"…", r#"…"#), byte strings (b"…", br"…"),
+                // byte chars (b'x'), or just an identifier starting with
+                // r/b. Also raw identifiers r#name.
+                if let Some((end, nl)) = scan_raw_or_byte(b, i) {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                } else {
+                    let (end, text) = scan_ident(src, b, i);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            b'\'' => {
+                line_has_code = true;
+                // Lifetime vs char literal. A lifetime is ' followed by an
+                // identifier NOT closed by another quote ('a but not 'a').
+                if is_lifetime(b, i) {
+                    let (end, text) = scan_ident(src, b, i + 1);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let (end, nl) = scan_char(b, i + 1);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                }
+            }
+            b'0'..=b'9' => {
+                line_has_code = true;
+                let (end, kind, text) = scan_number(src, b, i);
+                out.tokens.push(Tok { kind, text, line });
+                i = end;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                line_has_code = true;
+                let (end, text) = scan_ident(src, b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan past a normal string body starting just after the opening quote.
+/// Returns (index after closing quote, newlines consumed).
+fn scan_string(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // A line-continuation escape still consumes a newline.
+                if b.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scan past a char literal body starting just after the opening quote.
+fn scan_char(b: &[u8], mut i: usize) -> (usize, u32) {
+    let nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return (i + 1, nl),
+            b'\n' => {
+                // Unterminated char literal; stop at end of line.
+                return (i, nl + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Try to scan a raw/byte string family starting at `r` or `b`.
+/// Returns None when the prefix is just the start of an identifier.
+fn scan_raw_or_byte(b: &[u8], start: usize) -> Option<(usize, u32)> {
+    let mut i = start;
+    // Optional 'b' then optional 'r'.
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'\'' {
+            // Byte char b'x'.
+            let (end, nl) = scan_char(b, i + 1);
+            return Some((end, nl));
+        }
+        if i < b.len() && b[i] == b'"' {
+            let (end, nl) = scan_string(b, i + 1);
+            return Some((end, nl));
+        }
+        if i < b.len() && b[i] == b'r' {
+            i += 1;
+        } else {
+            return None;
+        }
+    } else if b[i] == b'r' {
+        i += 1;
+    } else {
+        return None;
+    }
+    // Here: after r or br. Count hashes.
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        // Raw string: scan for `"` followed by `hashes` hashes.
+        i += 1;
+        let mut nl = 0u32;
+        while i < b.len() {
+            if b[i] == b'\n' {
+                nl += 1;
+                i += 1;
+            } else if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < b.len() && b[j] == b'#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return Some((j, nl));
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        return Some((i, nl));
+    }
+    if hashes == 1 && i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphabetic()) {
+        // Raw identifier r#name: treat as an identifier by signalling None
+        // from one past the `r#` -- simplest is to let the caller lex `r`
+        // as ident; the `#` and name lex separately, which is fine for the
+        // rules this linter implements.
+        return None;
+    }
+    None
+}
+
+/// True if the quote at `i` starts a lifetime rather than a char literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&c1) = b.get(i + 1) else {
+        return false;
+    };
+    if !(c1 == b'_' || c1.is_ascii_alphabetic()) {
+        return false;
+    }
+    // 'a' is a char literal; 'ab is a lifetime; 'a is a lifetime.
+    let mut j = i + 2;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+fn scan_ident(src: &str, b: &[u8], start: usize) -> (usize, String) {
+    let mut i = start;
+    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric() || b[i] >= 0x80) {
+        i += 1;
+    }
+    (i, src[start..i].to_string())
+}
+
+fn scan_number(src: &str, b: &[u8], start: usize) -> (usize, TokKind, String) {
+    let mut i = start;
+    let mut kind = TokKind::Int;
+    if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int, src[start..i].to_string());
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: `1.5` yes, `1.max(2)` no, `0..n` no.
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        kind = TokKind::Float;
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            kind = TokKind::Float;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (u32, f64, ...).
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        if b[i] == b'f' {
+            kind = TokKind::Float;
+        }
+        i += 1;
+    }
+    (i, kind, src[start..i].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("x.unwrap()");
+        assert_eq!(t[0], (TokKind::Ident, "x".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Ident, "unwrap".into()));
+        assert_eq!(t[3], (TokKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let t = kinds(r#"let s = "a.unwrap() // not code";"#);
+        assert!(t.iter().all(|(_, txt)| txt != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = kinds(r##"let s = r#"quote " inside"# ; done"##);
+        assert_eq!(t.last().map(|(_, s)| s.as_str()), Some("done"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn comments_collected_not_tokenized() {
+        let lx = lex("let a = 1; // trailing\n// alone\nlet b = 2;\n/* block\nspan */ let c = 3;");
+        assert_eq!(lx.comments.len(), 3);
+        assert!(!lx.comments[0].alone_on_line);
+        assert!(lx.comments[1].alone_on_line);
+        assert!(lx.comments[2].alone_on_line);
+        assert!(lx.tokens.iter().all(|t| !t.text.contains("trailing")));
+        // The token after the block comment lands on the right line.
+        let c_tok = lx.tokens.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c_tok.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(lx.tokens.len(), 1);
+        assert_eq!(lx.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn numbers() {
+        let t = kinds("a[0] + 1.5 + 0xFF + 2e3 + 1u32 + 3f64");
+        let ints: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Int).collect();
+        let floats: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Float).collect();
+        assert_eq!(ints.len(), 3, "{ints:?}");
+        assert_eq!(floats.len(), 3, "{floats:?}");
+    }
+
+    #[test]
+    fn range_is_not_float() {
+        let t = kinds("for i in 0..n {}");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0"));
+        assert!(!t.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let t = kinds(r#"let a = b"bytes"; let c = b'x'; let r = br"raw";"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let lx = lex("one\ntwo\nthree");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_strings_advance_line_counter() {
+        // A plain embedded newline and a `\`-continuation both span lines.
+        let lx = lex("let a = \"x\ny\"; after\nlet b = \"p \\\n q\"; last");
+        let after = lx.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 2);
+        let last = lx.tokens.iter().find(|t| t.text == "last").unwrap();
+        assert_eq!(last.line, 4);
+    }
+}

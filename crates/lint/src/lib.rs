@@ -1,0 +1,148 @@
+//! `xmlrel-lint`: a from-scratch, token-level linter for this workspace.
+//!
+//! The workspace's reliability story depends on library code never
+//! panicking on user input: a malformed XML document, a corrupt WAL frame,
+//! or a hostile query must surface as a typed error, not an abort. Clippy
+//! cannot enforce the project-specific parts of that contract, so this
+//! crate implements the handful of rules we care about over a hand-written
+//! lexer (no external parser dependencies; the build environment is
+//! offline).
+//!
+//! Rules (see [`rules::RULES`]):
+//! - `no-unwrap`, `no-expect`: no `.unwrap()` / `.expect(..)` in non-test
+//!   library code.
+//! - `no-panic`, `no-unreachable`, `no-todo`: no `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!`.
+//! - `no-index`: no integer-literal subscripts (`row[0]`); use checked
+//!   accessors.
+//! - `no-len-truncate`: no `.len() as u32`-style truncating casts.
+//!
+//! Suppress a finding with `// lint:allow(rule): justification` on the
+//! offending line or alone on the line above. Bare `lint:allow` without a
+//! rule name is itself reported (`bare-allow`).
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check, Violation, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lint a single source string.
+pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
+    rules::check(file, &lexer::lex(src))
+}
+
+/// Directory names whose contents are test/bench scaffolding, exempt from
+/// library-code rules.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// Vendored dependency shims and the bench harness: not project library
+/// code, so not linted by default.
+const SKIP_CRATES: &[&str] = &["rand", "proptest", "criterion", "bench"];
+
+/// Collect the `.rs` files under `root` that the linter should scan.
+pub fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let meta = std::fs::metadata(root)?;
+    if meta.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            // Skip vendored crates when walking a `crates/` directory.
+            if root.file_name().is_some_and(|n| n == "crates") && SKIP_CRATES.contains(&name) {
+                continue;
+            }
+            collect_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every collected file under the given roots; returns all
+/// violations, sorted by file then line.
+pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for r in roots {
+        collect_files(r, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut out = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        let name = f.to_string_lossy().into_owned();
+        out.extend(lint_source(&name, &src));
+    }
+    Ok(out)
+}
+
+/// Render violations as a JSON array (machine-readable report). No serde:
+/// the fields are simple enough to emit by hand.
+pub fn to_json(violations: &[Violation]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&v.file),
+            v.line,
+            v.rule,
+            esc(&v.message),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let v = vec![Violation {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: "no-unwrap",
+            message: "has \"quotes\"\nand newline".into(),
+        }];
+        let j = to_json(&v);
+        assert!(j.contains(r#""file": "a\"b.rs""#));
+        assert!(j.contains(r#"\nand newline"#));
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_json() {
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

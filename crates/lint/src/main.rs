@@ -1,0 +1,94 @@
+//! `xmlrel-lint` binary: scan the workspace's library code for forbidden
+//! panicking constructs and truncating casts.
+//!
+//! Usage:
+//!   xmlrel-lint [--json] [PATH...]
+//!
+//! With no paths, scans the workspace's own crate sources (`src/` and
+//! `crates/*/src`, minus vendored shims and the bench harness), located
+//! relative to the nearest ancestor directory containing `Cargo.toml` with
+//! a `[workspace]` table. Exits 1 when any violation is reported.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: xmlrel-lint [--json] [PATH...]");
+                eprintln!("rules: {}", lint::RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            p => roots.push(PathBuf::from(p)),
+        }
+    }
+    if roots.is_empty() {
+        match default_roots() {
+            Some(r) => roots = r,
+            None => {
+                eprintln!(
+                    "xmlrel-lint: could not locate the workspace root; pass paths explicitly"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let violations = match lint::lint_paths(&roots) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xmlrel-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", lint::to_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        if violations.is_empty() {
+            eprintln!("xmlrel-lint: clean");
+        } else {
+            eprintln!("xmlrel-lint: {} violation(s)", violations.len());
+        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Find the workspace root (nearest ancestor whose Cargo.toml declares
+/// `[workspace]`) and return its library source roots.
+fn default_roots() -> Option<Vec<PathBuf>> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    let mut roots = Vec::new();
+                    let src = dir.join("src");
+                    if src.is_dir() {
+                        roots.push(src);
+                    }
+                    let crates = dir.join("crates");
+                    if crates.is_dir() {
+                        roots.push(crates);
+                    }
+                    return Some(roots);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

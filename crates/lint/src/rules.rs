@@ -1,0 +1,519 @@
+//! Lint rules over the token stream produced by [`crate::lexer`].
+//!
+//! All rules apply to non-test library code only: tokens inside
+//! `#[cfg(test)]` modules or `#[test]` functions are exempt, as are files
+//! the walker classifies as test/bench/example sources.
+//!
+//! A violation on a line can be suppressed with a `// lint:allow(rule)`
+//! comment either trailing the offending line or alone on the line above
+//! it. A suppression must name the rule(s) it silences; a bare
+//! `lint:allow` is itself a violation.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+use std::collections::{HashMap, HashSet};
+
+/// Every rule this linter knows about.
+pub const RULES: &[&str] = &[
+    "no-unwrap",
+    "no-expect",
+    "no-panic",
+    "no-unreachable",
+    "no-todo",
+    "no-index",
+    "no-len-truncate",
+    "bare-allow",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lint one lexed file. `file` is used only for reporting.
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
+    let toks = &lexed.tokens;
+    let test_mask = test_region_mask(toks);
+    let (suppressions, mut out) = parse_suppressions(file, &lexed.comments);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    for (i, in_test) in test_mask.iter().enumerate() {
+        if !in_test {
+            raw.extend(check_at(file, toks, i));
+        }
+    }
+
+    for v in raw {
+        let suppressed = suppressions
+            .get(&v.line)
+            .map(|set| set.contains(v.rule))
+            .unwrap_or(false);
+        if !suppressed {
+            out.push(v);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Run every token-anchored rule at position `i`.
+fn check_at(file: &str, toks: &[Tok], i: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let t = &toks[i];
+    let mk = |rule: &'static str, line: u32, message: String| Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    if t.kind == TokKind::Ident {
+        let prev_dot = i > 0 && is_punct(&toks[i - 1], ".");
+        let next_paren = matches!(toks.get(i + 1), Some(n) if is_punct(n, "("));
+        let next_bang = matches!(toks.get(i + 1), Some(n) if is_punct(n, "!"));
+        match t.text.as_str() {
+            "unwrap" if prev_dot && next_paren => {
+                out.push(mk(
+                    "no-unwrap",
+                    t.line,
+                    "`.unwrap()` in library code; propagate an error or \
+                     handle the None/Err case"
+                        .into(),
+                ));
+            }
+            "expect" if prev_dot && next_paren => {
+                out.push(mk(
+                    "no-expect",
+                    t.line,
+                    "`.expect(..)` in library code; propagate an error \
+                     instead of panicking"
+                        .into(),
+                ));
+            }
+            "panic" if next_bang => {
+                out.push(mk(
+                    "no-panic",
+                    t.line,
+                    "`panic!` in library code; return an error variant".into(),
+                ));
+            }
+            "unreachable" if next_bang => {
+                out.push(mk(
+                    "no-unreachable",
+                    t.line,
+                    "`unreachable!` in library code; make the invariant a \
+                     typed error so corrupt input cannot abort the process"
+                        .into(),
+                ));
+            }
+            "todo" | "unimplemented" if next_bang => {
+                out.push(mk(
+                    "no-todo",
+                    t.line,
+                    format!("`{}!` left in library code", t.text),
+                ));
+            }
+            _ => {}
+        }
+
+        // no-len-truncate: `.len() as <narrow-int>` silently truncates on
+        // 64-bit targets; lengths must be bounds-checked first.
+        if t.text == "len"
+            && prev_dot
+            && next_paren
+            && matches!(toks.get(i + 2), Some(n) if is_punct(n, ")"))
+            && matches!(toks.get(i + 3), Some(n) if n.kind == TokKind::Ident && n.text == "as")
+        {
+            if let Some(ty) = toks.get(i + 4) {
+                if matches!(
+                    ty.text.as_str(),
+                    "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                ) {
+                    out.push(mk(
+                        "no-len-truncate",
+                        t.line,
+                        format!(
+                            "`.len() as {}` truncates silently; bounds-check \
+                             the length and return an error on overflow",
+                            ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // no-index: integer-literal subscript `expr[0]` on an expression. The
+    // preceding token must end an expression (identifier, `)`, or `]`) so
+    // array literals `[0, 1]`, attribute brackets `#[..]`, and types
+    // `[u8; 4]` do not match.
+    if is_punct(t, "[")
+        && i > 0
+        && expression_end(&toks[i - 1])
+        && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Int)
+        && matches!(toks.get(i + 2), Some(n) if is_punct(n, "]"))
+    {
+        out.push(mk(
+            "no-index",
+            t.line,
+            format!(
+                "integer-literal subscript `[{}]` panics when out of \
+                 bounds; use `.get({})` or a checked accessor",
+                toks[i + 1].text,
+                toks[i + 1].text
+            ),
+        ));
+    }
+
+    out
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Does this token end an expression a subscript could apply to?
+fn expression_end(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => !matches!(
+            t.text.as_str(),
+            // Keywords that precede `[` without forming a subscript.
+            "return" | "break" | "in" | "as" | "mut" | "ref" | "else" | "match" | "if"
+        ),
+        TokKind::Punct => t.text == ")" || t.text == "]" || t.text == "?",
+        _ => false,
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)]` or `#[test]`-attributed item.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(&toks[i], "#") && matches!(toks.get(i + 1), Some(n) if is_punct(n, "[")) {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                if is_punct(&toks[j], "[") {
+                    depth += 1;
+                } else if is_punct(&toks[j], "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                attr.push(toks[j].text.as_str());
+                j += 1;
+            }
+            if is_test_attr(&attr) {
+                // Skip any further attributes between this one and the item.
+                let mut k = j + 1;
+                while k + 1 < toks.len() && is_punct(&toks[k], "#") && is_punct(&toks[k + 1], "[") {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        if is_punct(&toks[k], "[") {
+                            d += 1;
+                        } else if is_punct(&toks[k], "]") {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                // The attributed item extends to its closing brace, or to
+                // a `;` at depth zero for brace-less items (`use`, fields).
+                let mut d = 0usize;
+                let mut entered = false;
+                let end = loop {
+                    if k >= toks.len() {
+                        break toks.len();
+                    }
+                    let t = &toks[k];
+                    if is_punct(t, "{") {
+                        d += 1;
+                        entered = true;
+                    } else if is_punct(t, "}") {
+                        d = d.saturating_sub(1);
+                        if entered && d == 0 {
+                            break k + 1;
+                        }
+                    } else if is_punct(t, ";") && !entered {
+                        break k + 1;
+                    }
+                    k += 1;
+                };
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Is this attribute token sequence a test gate?
+fn is_test_attr(attr: &[&str]) -> bool {
+    if attr == ["test"] {
+        return true;
+    }
+    // cfg(test), cfg(all(test, ...)), cfg(any(.., test)) -- look for the
+    // `test` identifier directly inside a cfg attribute, but not inside a
+    // `not(..)` group.
+    if attr.first() != Some(&"cfg") {
+        return false;
+    }
+    let mut not_depth: isize = -1;
+    let mut depth: isize = 0;
+    for (i, &t) in attr.iter().enumerate() {
+        match t {
+            "(" => depth += 1,
+            ")" => {
+                if depth == not_depth {
+                    not_depth = -1;
+                }
+                depth -= 1;
+            }
+            "not" if attr.get(i + 1) == Some(&"(") && not_depth < 0 => {
+                not_depth = depth + 1;
+            }
+            "test" if not_depth < 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Extract `lint:allow(rule, ...)` suppressions from comments.
+///
+/// Returns the per-line suppression sets plus any violations produced by
+/// malformed suppressions (bare `lint:allow`, unknown rule names).
+fn parse_suppressions(
+    file: &str,
+    comments: &[Comment],
+) -> (HashMap<u32, HashSet<&'static str>>, Vec<Violation>) {
+    let mut map: HashMap<u32, HashSet<&'static str>> = HashMap::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint:allow".len()..];
+        let names = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(inside, _)| {
+                inside
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        if names.is_empty() {
+            bad.push(Violation {
+                file: file.to_string(),
+                line: c.line,
+                rule: "bare-allow",
+                message: "`lint:allow` must name the rule(s) it suppresses, \
+                          e.g. `lint:allow(no-unwrap)`"
+                    .into(),
+            });
+            continue;
+        }
+        let mut resolved: HashSet<&'static str> = HashSet::new();
+        for n in names {
+            match RULES.iter().find(|r| **r == n) {
+                Some(r) => {
+                    resolved.insert(r);
+                }
+                None => bad.push(Violation {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: "bare-allow",
+                    message: format!("unknown lint rule `{n}` in lint:allow"),
+                }),
+            }
+        }
+        map.entry(c.line).or_default().extend(resolved.iter());
+        if c.alone_on_line {
+            map.entry(c.line + 1).or_default().extend(resolved.iter());
+        }
+    }
+    (map, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        check("t.rs", &lex(src))
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        lint(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap() {
+        assert_eq!(rules_of("fn f() { x.unwrap(); }"), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn flags_expect_method_call_only() {
+        assert_eq!(
+            rules_of("fn f() { x.expect(\"boom\"); }"),
+            vec!["no-expect"]
+        );
+        // A parser method *named* expect is not a std Option/Result call
+        // when invoked without a receiver dot... but `self.expect(tok)` is
+        // indistinguishable at token level, so it IS flagged; custom
+        // methods should use a different name.
+        assert_eq!(rules_of("fn f() { expect(1); }"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn flags_panic_family() {
+        assert_eq!(
+            rules_of("fn f() { panic!(\"x\"); unreachable!(); todo!(); unimplemented!() }"),
+            // Same line, so sorted by rule name.
+            vec!["no-panic", "no-todo", "no-todo", "no-unreachable"]
+        );
+    }
+
+    #[test]
+    fn panic_ident_without_bang_ok() {
+        assert_eq!(
+            rules_of("fn f(panic: u32) -> u32 { panic }"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn flags_integer_subscript() {
+        assert_eq!(rules_of("fn f() { let a = row[0]; }"), vec!["no-index"]);
+        assert_eq!(rules_of("fn f() { g()[1]; }"), vec!["no-index"]);
+        assert_eq!(
+            rules_of("fn f() { m[0][1]; }"),
+            vec!["no-index", "no-index"]
+        );
+    }
+
+    #[test]
+    fn array_literals_types_and_attrs_not_subscripts() {
+        assert_eq!(rules_of("fn f() { let a = [0, 1]; }"), Vec::<&str>::new());
+        assert_eq!(rules_of("fn f(x: [u8; 4]) {}"), Vec::<&str>::new());
+        assert_eq!(rules_of("#[derive(Debug)] struct S;"), Vec::<&str>::new());
+        assert_eq!(
+            rules_of("fn f(v: &[u8]) { for b in v {} }"),
+            Vec::<&str>::new()
+        );
+        // Variable subscripts are out of scope for this rule.
+        assert_eq!(rules_of("fn f(i: usize) { row[i]; }"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn flags_len_truncation() {
+        assert_eq!(
+            rules_of("fn f(s: &str) -> u32 { s.len() as u32 }"),
+            vec!["no-len-truncate"]
+        );
+        // Widening or same-width casts are fine.
+        assert_eq!(
+            rules_of("fn f(s: &str) -> u64 { s.len() as u64 }"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            rules_of("fn f(s: &str) -> usize { s.len() }"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn h() { x.unwrap(); }\n}\n";
+        assert_eq!(lint(src), vec![]);
+        let src2 =
+            "#[test]\nfn t() { y.expect(\"in test\"); }\nfn lib(z: Option<u8>) { z.unwrap(); }";
+        let v = lint(src2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }";
+        assert_eq!(rules_of(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn suppression_same_line() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-unwrap)";
+        assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn suppression_line_above() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap): startup-only\n    x.unwrap();\n}";
+        assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn suppression_wrong_rule_does_not_mask() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-expect)";
+        assert_eq!(rules_of(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn trailing_comment_does_not_cover_next_line() {
+        let src = "fn f() { a.unwrap(); } // lint:allow(no-unwrap)\nfn g() { b.unwrap(); }";
+        let v = lint(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn bare_allow_is_a_violation() {
+        assert_eq!(rules_of("// lint:allow\nfn f() {}"), vec!["bare-allow"]);
+        assert_eq!(rules_of("// lint:allow()\nfn f() {}"), vec!["bare-allow"]);
+        assert_eq!(
+            rules_of("// lint:allow(no-such-rule)\nfn f() {}"),
+            vec!["bare-allow"]
+        );
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "fn f() { x.unwrap().to_vec()[0]; } // lint:allow(no-unwrap, no-index)";
+        assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        let src = "fn f() { let s = \"x.unwrap() panic!\"; /* y.expect(1) */ }";
+        assert_eq!(lint(src), vec![]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration test: lint a deliberately violating fixture and check that
+//! every rule fires exactly where expected, suppressions hold, and test
+//! modules are exempt.
+
+use lint::{lint_source, to_json};
+
+const FIXTURE: &str = include_str!("fixtures/violations.rs.txt");
+
+#[test]
+fn fixture_trips_every_rule_once() {
+    let violations = lint_source("violations.rs", FIXTURE);
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    assert_eq!(
+        rules,
+        vec![
+            "no-unwrap",
+            "no-expect",
+            "no-panic",
+            "no-unreachable",
+            "no-todo",
+            "no-index",
+            "no-len-truncate",
+            "bare-allow",
+        ],
+        "{violations:#?}"
+    );
+}
+
+#[test]
+fn fixture_lines_are_attributed() {
+    let violations = lint_source("violations.rs", FIXTURE);
+    for v in &violations {
+        let line = FIXTURE.lines().nth(v.line as usize - 1).unwrap_or("");
+        let needle = match v.rule {
+            "no-unwrap" => ".unwrap()",
+            "no-expect" => ".expect(",
+            "no-panic" => "panic!",
+            "no-unreachable" => "unreachable!",
+            "no-todo" => "todo!",
+            "no-index" => "row[0]",
+            "no-len-truncate" => ".len() as u32",
+            "bare-allow" => "lint:allow",
+            other => panic!("unexpected rule {other}"),
+        };
+        assert!(
+            line.contains(needle),
+            "rule {} attributed to line {}: {line:?}",
+            v.rule,
+            v.line
+        );
+    }
+}
+
+#[test]
+fn suppressed_site_not_reported() {
+    let violations = lint_source("violations.rs", FIXTURE);
+    // The `suppressed` fn's unwrap carries lint:allow(no-unwrap); only the
+    // one in `unwraps` may be reported.
+    let unwraps: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "no-unwrap")
+        .collect();
+    assert_eq!(unwraps.len(), 1);
+    let line = FIXTURE
+        .lines()
+        .nth(unwraps[0].line as usize - 1)
+        .unwrap_or("");
+    assert!(!line.contains("lint:allow"));
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let violations = lint_source("violations.rs", FIXTURE);
+    let json = to_json(&violations);
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("\"rule\":").count(), violations.len());
+    assert!(json.contains("\"rule\": \"no-len-truncate\""));
+}

@@ -121,7 +121,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, reason, pred }
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
     }
 
     /// Build recursive values: `self` is the leaf case, `recurse` wraps an
@@ -352,7 +356,11 @@ impl Strategy for &'static str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
         let (min, max) = parse_repetition(self).unwrap_or((0, 20));
-        let len = if max > min { min + rng.below(max - min + 1) } else { min };
+        let len = if max > min {
+            min + rng.below(max - min + 1)
+        } else {
+            min
+        };
         let mut out = String::new();
         for _ in 0..len {
             out.push(char::arbitrary(rng));
@@ -385,11 +393,11 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
 
 // ---- collections ------------------------------------------------------------
 

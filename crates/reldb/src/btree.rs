@@ -58,7 +58,12 @@ impl<K: Ord + Clone> BPlusTree<K> {
     /// An empty tree.
     pub fn new() -> BPlusTree<K> {
         BPlusTree {
-            nodes: vec![Node::Leaf { keys: Vec::new(), postings: Vec::new(), prev: None, next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+                prev: None,
+                next: None,
+            }],
             root: 0,
             free: None,
             distinct: 0,
@@ -85,7 +90,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
         if let Some(idx) = self.free {
             let next = match self.nodes[idx] {
                 Node::Free(n) => n,
-                _ => unreachable!("free list points at live node"),
+                _ => unreachable!("free list points at live node"), // lint:allow(no-unreachable): free list and live tree are disjoint by construction
             };
             self.free = next;
             self.nodes[idx] = node;
@@ -122,14 +127,14 @@ impl<K: Ord + Clone> BPlusTree<K> {
                 Some((children[pos], pos))
             }
             Node::Leaf { .. } => None,
-            Node::Free(_) => unreachable!("descended into freed node"),
+            Node::Free(_) => unreachable!("descended into freed node"), // lint:allow(no-unreachable): free nodes are never linked into the tree
         };
         match child {
             Some((child_idx, pos)) => {
                 let split = self.insert_into(child_idx, key, row)?;
                 let (sep, right) = split;
                 let Node::Internal { keys, children } = &mut self.nodes[idx] else {
-                    unreachable!("descent target changed kind during insert")
+                    unreachable!("descent target changed kind during insert") // lint:allow(no-unreachable): node kinds are fixed at alloc; descent re-borrows the same node
                 };
                 keys.insert(pos, sep);
                 children.insert(pos + 1, right);
@@ -140,7 +145,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             }
             None => {
                 let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
-                    unreachable!("descent target changed kind during insert")
+                    unreachable!("descent target changed kind during insert") // lint:allow(no-unreachable): node kinds are fixed at alloc; descent re-borrows the same node
                 };
                 match keys.binary_search(&key) {
                     Ok(p) => {
@@ -164,13 +169,19 @@ impl<K: Ord + Clone> BPlusTree<K> {
 
     fn split_leaf(&mut self, idx: usize) -> (K, usize) {
         let (r_keys, r_postings, old_next) = {
-            let Node::Leaf { keys, postings, next, .. } = &mut self.nodes[idx] else {
-                unreachable!("split_leaf called on a non-leaf node")
+            let Node::Leaf {
+                keys,
+                postings,
+                next,
+                ..
+            } = &mut self.nodes[idx]
+            else {
+                unreachable!("split_leaf called on a non-leaf node") // lint:allow(no-unreachable): callers split only the leaf they just inspected
             };
             let mid = keys.len() / 2;
             (keys.split_off(mid), postings.split_off(mid), *next)
         };
-        let sep = r_keys[0].clone();
+        let sep = r_keys[0].clone(); // lint:allow(no-index): split_off of an overfull leaf leaves both halves non-empty
         let right = self.alloc(Node::Leaf {
             keys: r_keys,
             postings: r_postings,
@@ -191,7 +202,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     fn split_internal(&mut self, idx: usize) -> (K, usize) {
         let (sep, r_keys, r_children) = {
             let Node::Internal { keys, children } = &mut self.nodes[idx] else {
-                unreachable!("split_internal called on a non-internal node")
+                unreachable!("split_internal called on a non-internal node") // lint:allow(no-unreachable): callers split only the internal node they just inspected
             };
             let mid = keys.len() / 2;
             let mut r_keys = keys.split_off(mid);
@@ -199,7 +210,10 @@ impl<K: Ord + Clone> BPlusTree<K> {
             let r_children = children.split_off(mid + 1);
             (sep, r_keys, r_children)
         };
-        let right = self.alloc(Node::Internal { keys: r_keys, children: r_children });
+        let right = self.alloc(Node::Internal {
+            keys: r_keys,
+            children: r_children,
+        });
         (sep, right)
     }
 
@@ -211,7 +225,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             // Collapse a root that lost all keys down to its single child.
             while let Node::Internal { keys, children } = &self.nodes[self.root] {
                 if keys.is_empty() && children.len() == 1 {
-                    let only = children[0];
+                    let only = children[0]; // lint:allow(no-index): an underflowing root keeps exactly one child
                     self.release(self.root);
                     self.root = only;
                 } else {
@@ -229,7 +243,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                 Some((children[pos], pos))
             }
             Node::Leaf { .. } => None,
-            Node::Free(_) => unreachable!("descended into freed node"),
+            Node::Free(_) => unreachable!("descended into freed node"), // lint:allow(no-unreachable): free nodes are never linked into the tree
         };
         match child {
             Some((child_idx, pos)) => {
@@ -238,6 +252,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                     self.unlink_leaf_if_leaf(child_idx);
                     self.release(child_idx);
                     let Node::Internal { keys, children } = &mut self.nodes[idx] else {
+                        // lint:allow(no-unreachable): node kinds are fixed at alloc; descent re-borrows the same node
                         unreachable!("descent target changed kind during remove")
                     };
                     children.remove(pos);
@@ -252,7 +267,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             }
             None => {
                 let Node::Leaf { keys, postings, .. } = &mut self.nodes[idx] else {
-                    unreachable!("descent target changed kind during remove")
+                    unreachable!("descent target changed kind during remove") // lint:allow(no-unreachable): node kinds are fixed at alloc; descent re-borrows the same node
                 };
                 match keys.binary_search(key) {
                     Ok(p) => {
@@ -313,7 +328,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                         Err(_) => &[],
                     };
                 }
-                Node::Free(_) => unreachable!("descended into freed node"),
+                Node::Free(_) => unreachable!("descended into freed node"), // lint:allow(no-unreachable): free nodes are never linked into the tree
             }
         }
     }
@@ -324,11 +339,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     }
 
     /// Iterate `(key, postings)` pairs within bounds, in key order.
-    pub fn range<'a>(
-        &'a self,
-        lower: Bound<&'a K>,
-        upper: Bound<&'a K>,
-    ) -> RangeIter<'a, K> {
+    pub fn range<'a>(&'a self, lower: Bound<&'a K>, upper: Bound<&'a K>) -> RangeIter<'a, K> {
         // Locate the starting leaf by descending on the lower bound.
         let (leaf, pos) = match lower {
             Bound::Unbounded => (self.leftmost_leaf(), 0),
@@ -347,21 +358,26 @@ impl<K: Ord + Clone> BPlusTree<K> {
                             };
                             break (idx, p);
                         }
-                        Node::Free(_) => unreachable!("descended into freed node"),
+                        Node::Free(_) => unreachable!("descended into freed node"), // lint:allow(no-unreachable): free nodes are never linked into the tree
                     }
                 }
             }
         };
-        RangeIter { tree: self, leaf: Some(leaf), pos, upper }
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+            upper,
+        }
     }
 
     fn leftmost_leaf(&self) -> usize {
         let mut idx = self.root;
         loop {
             match &self.nodes[idx] {
-                Node::Internal { children, .. } => idx = children[0],
+                Node::Internal { children, .. } => idx = children[0], // lint:allow(no-index): internal nodes always hold at least one child
                 Node::Leaf { .. } => return idx,
-                Node::Free(_) => unreachable!("descended into freed node"),
+                Node::Free(_) => unreachable!("descended into freed node"), // lint:allow(no-unreachable): free nodes are never linked into the tree
             }
         }
     }
@@ -377,7 +393,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
         let mut idx = self.root;
         while let Node::Internal { children, .. } = &self.nodes[idx] {
             d += 1;
-            idx = children[0];
+            idx = children[0]; // lint:allow(no-index): internal nodes always hold at least one child
         }
         d
     }
@@ -412,7 +428,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             Node::Leaf { keys, postings, .. } => {
                 assert_eq!(keys.len(), postings.len());
                 for w in keys.windows(2) {
-                    assert!(w[0] < w[1], "leaf keys unsorted");
+                    assert!(w[0] < w[1], "leaf keys unsorted"); // lint:allow(no-index): windows(2) yields exactly two elements
                 }
                 for k in keys {
                     if let Some(lo) = lo {
@@ -431,7 +447,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
             Node::Internal { keys, children } => {
                 assert_eq!(children.len(), keys.len() + 1, "fanout mismatch");
                 for w in keys.windows(2) {
-                    assert!(w[0] < w[1], "separator keys unsorted");
+                    assert!(w[0] < w[1], "separator keys unsorted"); // lint:allow(no-index): windows(2) yields exactly two elements
                 }
                 for (i, &c) in children.iter().enumerate() {
                     let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
@@ -439,7 +455,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
                     self.check_node(c, child_lo, child_hi, total, distinct);
                 }
             }
-            Node::Free(_) => panic!("free node reachable"),
+            Node::Free(_) => panic!("free node reachable"), // lint:allow(no-panic): check_invariants is an assertion pass for tests
         }
     }
 }
@@ -455,7 +471,10 @@ impl<K> Node<K> {
                 prev: *prev,
                 next: *next,
             },
-            Node::Internal { .. } => Node::Internal { keys: Vec::new(), children: Vec::new() },
+            Node::Internal { .. } => Node::Internal {
+                keys: Vec::new(),
+                children: Vec::new(),
+            },
             Node::Free(n) => Node::Free(*n),
         }
     }
@@ -475,7 +494,13 @@ impl<'a, K: Ord + Clone> Iterator for RangeIter<'a, K> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let leaf = self.leaf?;
-            let Node::Leaf { keys, postings, next, .. } = &self.tree.nodes[leaf] else {
+            let Node::Leaf {
+                keys,
+                postings,
+                next,
+                ..
+            } = &self.tree.nodes[leaf]
+            else {
                 return None;
             };
             if self.pos >= keys.len() {
@@ -611,9 +636,11 @@ mod tests {
                 let row = (step % 17) as usize;
                 let removed_model = model
                     .get_mut(&key)
-                    .and_then(|v| v.iter().position(|&r| r == row).map(|i| {
-                        v.swap_remove(i);
-                    }))
+                    .and_then(|v| {
+                        v.iter().position(|&r| r == row).map(|i| {
+                            v.swap_remove(i);
+                        })
+                    })
                     .is_some();
                 if model.get(&key).map(Vec::is_empty).unwrap_or(false) {
                     model.remove(&key);

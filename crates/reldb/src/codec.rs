@@ -19,7 +19,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -38,6 +42,19 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 // ---- writing ---------------------------------------------------------------
+
+/// Bounds-check a length before narrowing it to the u32 wire width.
+///
+/// Lengths beyond `u32::MAX` cannot be represented in the frame format;
+/// encoding them with `as` would silently truncate and produce a frame
+/// that decodes to the wrong shape (or fails CRC-valid decode later).
+pub(crate) fn len_u32(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        DbError::ResourceExhausted(format!(
+            "{what} length {n} exceeds the u32 wire format limit"
+        ))
+    })
+}
 
 pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
@@ -59,12 +76,13 @@ pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    put_u32(out, len_u32(s.len(), "string")?);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
     match v {
         Value::Null => put_u8(out, 0),
         Value::Bool(b) => {
@@ -81,22 +99,24 @@ pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Text(s) => {
             put_u8(out, 4);
-            put_str(out, s);
+            put_str(out, s)?;
         }
     }
+    Ok(())
 }
 
-pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) {
-    put_u32(out, row.len() as u32);
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) -> Result<()> {
+    put_u32(out, len_u32(row.len(), "row")?);
     for v in row {
-        put_value(out, v);
+        put_value(out, v)?;
     }
+    Ok(())
 }
 
-pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
-    put_u32(out, schema.columns.len() as u32);
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) -> Result<()> {
+    put_u32(out, len_u32(schema.columns.len(), "schema")?);
     for c in &schema.columns {
-        put_str(out, &c.name);
+        put_str(out, &c.name)?;
         put_u8(
             out,
             match c.ty {
@@ -108,6 +128,7 @@ pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
         );
         put_u8(out, c.nullable as u8);
     }
+    Ok(())
 }
 
 // ---- reading ---------------------------------------------------------------
@@ -145,17 +166,22 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1, "u8")?[0])
+        let b = self.take(1, "u8")?;
+        b.first().copied().ok_or_else(|| corrupt("u8"))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32> {
         let b = self.take(4, "u32")?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(
+            b.try_into().map_err(|_| corrupt("u32"))?,
+        ))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64> {
         let b = self.take(8, "u64")?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes(
+            b.try_into().map_err(|_| corrupt("u64"))?,
+        ))
     }
 
     pub(crate) fn i64(&mut self) -> Result<i64> {
@@ -241,7 +267,7 @@ mod tests {
             Value::text("héllo <xml>"),
         ];
         let mut buf = Vec::new();
-        put_row(&mut buf, &vals);
+        put_row(&mut buf, &vals).unwrap();
         let mut r = Reader::new(&buf);
         assert_eq!(r.row().unwrap(), vals);
         assert!(r.is_empty());
@@ -257,14 +283,14 @@ mod tests {
         ])
         .unwrap();
         let mut buf = Vec::new();
-        put_schema(&mut buf, &schema);
+        put_schema(&mut buf, &schema).unwrap();
         assert_eq!(Reader::new(&buf).schema().unwrap(), schema);
     }
 
     #[test]
     fn truncation_is_corrupt_not_panic() {
         let mut buf = Vec::new();
-        put_row(&mut buf, &vec![Value::text("abcdefgh"), Value::Int(1)]);
+        put_row(&mut buf, &vec![Value::text("abcdefgh"), Value::Int(1)]).unwrap();
         for cut in 0..buf.len() {
             let mut r = Reader::new(&buf[..cut]);
             assert!(

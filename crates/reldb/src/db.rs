@@ -5,13 +5,12 @@ use crate::error::{DbError, Result};
 use crate::exec::{build_executor_limited, run_to_vec_limited, ExecLimits};
 use crate::plan::expr::value_to_bool;
 use crate::plan::logical::{bind_expr, bind_select, LogicalPlan, OutputCol, Scope};
-use crate::plan::optimizer::{optimize, OptimizerOptions};
+use crate::plan::optimizer::{optimize_checked, OptimizerOptions};
 use crate::plan::physical::{explain_physical, plan_physical, PhysicalOptions, PhysicalPlan};
+use crate::plan::validate::ensure_valid_logical;
 use crate::schema::{Column, Schema};
-use crate::snapshot::{
-    encode_snapshot, parse_snapshot_gen, snapshot_file, SNAPSHOT_TMP,
-};
-use crate::sql::ast::{ColumnDef, Expr, Statement};
+use crate::snapshot::{encode_snapshot, parse_snapshot_gen, snapshot_file, SNAPSHOT_TMP};
+use crate::sql::ast::{ColumnDef, Expr, SelectStmt, Statement};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::storage::{FileBackend, StorageBackend};
 use crate::table::Table;
@@ -62,10 +61,12 @@ impl QueryResult {
 
     /// The single value of a 1×1 result.
     pub fn scalar(&self) -> Option<&Value> {
-        if self.rows.len() == 1 && self.rows[0].len() == 1 {
-            Some(&self.rows[0][0])
-        } else {
-            None
+        match self.rows.as_slice() {
+            [row] => match row.as_slice() {
+                [v] => Some(v),
+                _ => None,
+            },
+            _ => None,
         }
     }
 
@@ -124,8 +125,11 @@ impl Database {
     /// panic on damaged bytes.
     pub fn open_with_backend(mut backend: Box<dyn StorageBackend>) -> Result<Database> {
         // 1. Latest valid snapshot (ignore `snapshot.tmp` and damaged files).
-        let mut gens: Vec<u64> =
-            backend.list()?.iter().filter_map(|n| parse_snapshot_gen(n)).collect();
+        let mut gens: Vec<u64> = backend
+            .list()?
+            .iter()
+            .filter_map(|n| parse_snapshot_gen(n))
+            .collect();
         gens.sort_unstable_by(|a, b| b.cmp(a));
         let any_snapshot = !gens.is_empty();
         let mut gen = 0;
@@ -170,7 +174,11 @@ impl Database {
         }
         Ok(Database {
             catalog,
-            durability: Some(Durability { backend, gen, poisoned: false }),
+            durability: Some(Durability {
+                backend,
+                gen,
+                poisoned: false,
+            }),
             ..Database::default()
         })
     }
@@ -187,14 +195,16 @@ impl Database {
     /// crash anywhere in between leaves a recoverable state (see the
     /// `snapshot` module docs). No-op for in-memory databases.
     pub fn checkpoint(&mut self) -> Result<()> {
-        let Some(d) = &mut self.durability else { return Ok(()) };
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
         if d.poisoned {
             return Err(DbError::Io(
                 "durability poisoned by an earlier failed commit; reopen the database".into(),
             ));
         }
         let next_gen = d.gen + 1;
-        let bytes = encode_snapshot(next_gen, &self.catalog);
+        let bytes = encode_snapshot(next_gen, &self.catalog)?;
         d.backend.write(SNAPSHOT_TMP, &bytes)?;
         d.backend.sync(SNAPSHOT_TMP)?;
         let published = snapshot_file(next_gen);
@@ -225,12 +235,17 @@ impl Database {
     /// the in-memory mutation succeeded; a failure here poisons the
     /// durability state (memory is ahead of disk) until reopen.
     fn commit(&mut self, records: Vec<WalRecord>) -> Result<()> {
-        let Some(d) = &mut self.durability else { return Ok(()) };
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
         if records.is_empty() {
             return Ok(());
         }
-        let frame = encode_frame(d.gen, &records);
-        let res = d.backend.append(WAL_FILE, &frame).and_then(|()| d.backend.sync(WAL_FILE));
+        // The in-memory mutation already happened; any failure from here
+        // on (including an unencodable frame) leaves memory ahead of disk.
+        let res = encode_frame(d.gen, &records)
+            .and_then(|frame| d.backend.append(WAL_FILE, &frame))
+            .and_then(|()| d.backend.sync(WAL_FILE));
         if res.is_err() {
             d.poisoned = true;
         }
@@ -279,7 +294,10 @@ impl Database {
         let (logical, physical) = self.plan_select(sql)?;
         let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
         let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
-        Ok(QueryResult { columns: names, rows })
+        Ok(QueryResult {
+            columns: names,
+            rows,
+        })
     }
 
     /// Plan a SELECT without executing it (benchmarking translation cost,
@@ -287,10 +305,25 @@ impl Database {
     pub fn plan_select(&self, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
         let stmt = parse_statement(sql)?;
         let Statement::Select(sel) = stmt else {
-            return Err(DbError::Unsupported("plan_select() requires a SELECT".into()));
+            return Err(DbError::Unsupported(
+                "plan_select() requires a SELECT".into(),
+            ));
         };
-        let logical = optimize(bind_select(&self.catalog, &sel)?, &self.optimizer, &self.catalog);
+        self.plan_bound_select(&sel)
+    }
+
+    /// Bind, validate, optimize, and lower a SELECT. The bound plan is
+    /// validated against the catalog before any rewrite runs; debug builds
+    /// additionally re-validate after each optimizer stage (inside
+    /// [`optimize_checked`]) and validate the physical plan, so planner
+    /// rewrites are proven invariant-preserving under the test suite.
+    fn plan_bound_select(&self, sel: &SelectStmt) -> Result<(LogicalPlan, PhysicalPlan)> {
+        let bound = bind_select(&self.catalog, sel)?;
+        ensure_valid_logical(&self.catalog, &bound)?;
+        let logical = optimize_checked(bound, &self.optimizer, &self.catalog)?;
         let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+        #[cfg(debug_assertions)]
+        crate::plan::validate::ensure_valid_physical(&self.catalog, &physical)?;
         Ok((logical, physical))
     }
 
@@ -298,7 +331,11 @@ impl Database {
         let durable = self.durability.is_some();
         let mut wal: Vec<WalRecord> = Vec::new();
         let result = match stmt {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 if *if_not_exists && self.catalog.has_table(name) {
                     ExecResult::Affected(0)
                 } else {
@@ -346,8 +383,7 @@ impl Database {
                         };
                         let table = self.catalog.table_mut(name)?;
                         let idx_name = format!("{name}_pk").to_ascii_lowercase();
-                        if let Err(e) =
-                            table.create_index(idx_name.clone(), offsets.clone(), true)
+                        if let Err(e) = table.create_index(idx_name.clone(), offsets.clone(), true)
                         {
                             // Keep the statement atomic: no table without
                             // its primary-key index.
@@ -366,7 +402,12 @@ impl Database {
                     ExecResult::Affected(0)
                 }
             }
-            Statement::CreateIndex { name, table, columns, unique } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
                 self.check_writable()?;
                 let t = self.catalog.table_mut(table)?;
                 let offsets: Vec<usize> = columns
@@ -393,11 +434,17 @@ impl Database {
                 let existed = self.catalog.has_table(name);
                 self.catalog.drop_table(name, *if_exists)?;
                 if durable && existed {
-                    wal.push(WalRecord::DropTable { name: name.to_ascii_lowercase() });
+                    wal.push(WalRecord::DropTable {
+                        name: name.to_ascii_lowercase(),
+                    });
                 }
                 ExecResult::Affected(0)
             }
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 self.check_writable()?;
                 let t = self.catalog.table(table)?;
                 let arity = t.schema.arity();
@@ -435,7 +482,10 @@ impl Database {
                 let n = if durable {
                     let n = t.insert_atomic(materialized.clone())?;
                     if !materialized.is_empty() {
-                        wal.push(WalRecord::Insert { table: t.name.clone(), rows: materialized });
+                        wal.push(WalRecord::Insert {
+                            table: t.name.clone(),
+                            rows: materialized,
+                        });
                     }
                     n
                 } else {
@@ -444,12 +494,17 @@ impl Database {
                 ExecResult::Affected(n)
             }
             Statement::Select(sel) => {
-                let logical = optimize(bind_select(&self.catalog, sel)?, &self.optimizer, &self.catalog);
-                let names: Vec<String> =
-                    logical.schema().into_iter().map(|c: OutputCol| c.name).collect();
-                let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+                let (logical, physical) = self.plan_bound_select(sel)?;
+                let names: Vec<String> = logical
+                    .schema()
+                    .into_iter()
+                    .map(|c: OutputCol| c.name)
+                    .collect();
                 let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
-                ExecResult::Rows(QueryResult { columns: names, rows })
+                ExecResult::Rows(QueryResult {
+                    columns: names,
+                    rows,
+                })
             }
             Statement::Delete { table, predicate } => {
                 self.check_writable()?;
@@ -479,11 +534,18 @@ impl Database {
                 }
                 let n = deleted.len();
                 if durable && !deleted.is_empty() {
-                    wal.push(WalRecord::Delete { table: t.name.clone(), rids: deleted });
+                    wal.push(WalRecord::Delete {
+                        table: t.name.clone(),
+                        rids: deleted,
+                    });
                 }
                 ExecResult::Affected(n)
             }
-            Statement::Update { table, assignments, predicate } => {
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
                 self.check_writable()?;
                 let t = self.catalog.table(table)?;
                 let scope = scope_of_table(t);
@@ -531,14 +593,13 @@ impl Database {
                 let Statement::Select(sel) = &**inner else {
                     return Err(DbError::Unsupported("EXPLAIN supports SELECT only".into()));
                 };
-                let logical = optimize(bind_select(&self.catalog, sel)?, &self.optimizer, &self.catalog);
-                let physical = plan_physical(&self.catalog, &logical, &self.physical)?;
+                let (_, physical) = self.plan_bound_select(sel)?;
                 let text = explain_physical(&physical);
-                let rows = text
-                    .lines()
-                    .map(|l| vec![Value::text(l)])
-                    .collect();
-                ExecResult::Rows(QueryResult { columns: vec!["plan".into()], rows })
+                let rows = text.lines().map(|l| vec![Value::text(l)]).collect();
+                ExecResult::Rows(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows,
+                })
             }
         };
         self.commit(wal)?;
@@ -553,7 +614,13 @@ impl Database {
             let (n, record) = {
                 let t = self.catalog.table_mut(table)?;
                 let n = t.insert_atomic(rows.clone())?;
-                (n, WalRecord::Insert { table: t.name.clone(), rows })
+                (
+                    n,
+                    WalRecord::Insert {
+                        table: t.name.clone(),
+                        rows,
+                    },
+                )
             };
             if n > 0 {
                 self.commit(vec![record])?;
@@ -615,10 +682,13 @@ fn rollback_updates(t: &mut Table, done: Vec<(usize, Row)>) {
 fn apply_records(catalog: &mut Catalog, records: &[WalRecord]) -> Result<()> {
     for rec in records {
         let res = match rec {
-            WalRecord::CreateTable { name, schema } => {
-                catalog.create_table(name, schema.clone())
-            }
-            WalRecord::CreateIndex { table, name, columns, unique } => catalog
+            WalRecord::CreateTable { name, schema } => catalog.create_table(name, schema.clone()),
+            WalRecord::CreateIndex {
+                table,
+                name,
+                columns,
+                unique,
+            } => catalog
                 .table_mut(table)
                 .and_then(|t| t.create_index(name.clone(), columns.clone(), *unique)),
             WalRecord::DropTable { name } => catalog.drop_table(name, true),
@@ -630,9 +700,9 @@ fn apply_records(catalog: &mut Catalog, records: &[WalRecord]) -> Result<()> {
                     t.delete(rid);
                 }
             }),
-            WalRecord::Update { table, rid, row } => {
-                catalog.table_mut(table).and_then(|t| t.update(*rid, row.clone()))
-            }
+            WalRecord::Update { table, rid, row } => catalog
+                .table_mut(table)
+                .and_then(|t| t.update(*rid, row.clone())),
         };
         res.map_err(|e| DbError::Corrupt(format!("WAL replay failed: {e}")))?;
     }
@@ -646,7 +716,10 @@ fn scope_of_table(t: &crate::table::Table) -> Scope {
             .schema
             .columns
             .iter()
-            .map(|c| OutputCol { qualifier: Some(t.name.clone()), name: c.name.clone() })
+            .map(|c| OutputCol {
+                qualifier: Some(t.name.clone()),
+                name: c.name.clone(),
+            })
             .collect(),
     };
     Scope::of(&plan)
@@ -680,7 +753,9 @@ mod tests {
     #[test]
     fn end_to_end_select() {
         let mut db = db_with_data();
-        let q = db.query("SELECT name FROM emp WHERE salary > 95 ORDER BY name").unwrap();
+        let q = db
+            .query("SELECT name FROM emp WHERE salary > 95 ORDER BY name")
+            .unwrap();
         assert_eq!(q.columns, vec!["name"]);
         let names: Vec<String> = q.rows.iter().map(|r| r[0].to_string()).collect();
         assert_eq!(names, vec!["ada", "bob"]);
@@ -696,8 +771,14 @@ mod tests {
             )
             .unwrap();
         assert_eq!(q.rows.len(), 2);
-        assert_eq!(q.rows[0], vec![Value::text("eng"), Value::Int(2), Value::Int(220)]);
-        assert_eq!(q.rows[1], vec![Value::text("ops"), Value::Int(2), Value::Int(185)]);
+        assert_eq!(
+            q.rows[0],
+            vec![Value::text("eng"), Value::Int(2), Value::Int(220)]
+        );
+        assert_eq!(
+            q.rows[1],
+            vec![Value::text("ops"), Value::Int(2), Value::Int(185)]
+        );
     }
 
     #[test]
@@ -720,7 +801,11 @@ mod tests {
             .unwrap();
         assert_eq!(left.rows.len(), 5);
         // ops and NULL-dept employees have NULL boss.
-        let cho = left.rows.iter().find(|r| r[0] == Value::text("cho")).unwrap();
+        let cho = left
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("cho"))
+            .unwrap();
         assert!(cho[1].is_null());
     }
 
@@ -739,7 +824,9 @@ mod tests {
     #[test]
     fn index_scan_used_for_pk_lookup() {
         let mut db = db_with_data();
-        let q = db.query("EXPLAIN SELECT name FROM emp WHERE id = 3").unwrap();
+        let q = db
+            .query("EXPLAIN SELECT name FROM emp WHERE id = 3")
+            .unwrap();
         let plan: String = q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
         assert!(plan.contains("IndexScan"), "{plan}");
         let r = db.query("SELECT name FROM emp WHERE id = 3").unwrap();
@@ -749,8 +836,11 @@ mod tests {
     #[test]
     fn secondary_index_and_range() {
         let mut db = db_with_data();
-        db.execute("CREATE INDEX by_salary ON emp (salary)").unwrap();
-        let q = db.query("EXPLAIN SELECT name FROM emp WHERE salary BETWEEN 90 AND 100").unwrap();
+        db.execute("CREATE INDEX by_salary ON emp (salary)")
+            .unwrap();
+        let q = db
+            .query("EXPLAIN SELECT name FROM emp WHERE salary BETWEEN 90 AND 100")
+            .unwrap();
         let plan: String = q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
         assert!(plan.contains("IndexScan"), "{plan}");
         let r = db
@@ -763,9 +853,13 @@ mod tests {
     #[test]
     fn delete_and_update() {
         let mut db = db_with_data();
-        let n = db.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'").unwrap();
+        let n = db
+            .execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+            .unwrap();
         assert_eq!(n, ExecResult::Affected(2));
-        let q = db.query("SELECT salary FROM emp WHERE name = 'ada'").unwrap();
+        let q = db
+            .query("SELECT salary FROM emp WHERE name = 'ada'")
+            .unwrap();
         assert_eq!(q.rows[0][0], Value::Int(130));
         let n = db.execute("DELETE FROM emp WHERE dept IS NULL").unwrap();
         assert_eq!(n, ExecResult::Affected(1));
@@ -776,7 +870,9 @@ mod tests {
     #[test]
     fn unique_violation_via_sql() {
         let mut db = db_with_data();
-        let err = db.execute("INSERT INTO emp VALUES (1, 'dup', 'x', 0)").unwrap_err();
+        let err = db
+            .execute("INSERT INTO emp VALUES (1, 'dup', 'x', 0)")
+            .unwrap_err();
         assert!(matches!(err, DbError::Constraint(_)));
     }
 
@@ -818,9 +914,13 @@ mod tests {
     #[test]
     fn avg_and_empty_aggregate() {
         let mut db = db_with_data();
-        let q = db.query("SELECT AVG(salary) FROM emp WHERE dept = 'eng'").unwrap();
+        let q = db
+            .query("SELECT AVG(salary) FROM emp WHERE dept = 'eng'")
+            .unwrap();
         assert_eq!(q.scalar(), Some(&Value::Float(110.0)));
-        let q = db.query("SELECT COUNT(*), SUM(salary) FROM emp WHERE dept = 'none'").unwrap();
+        let q = db
+            .query("SELECT COUNT(*), SUM(salary) FROM emp WHERE dept = 'none'")
+            .unwrap();
         assert_eq!(q.rows[0], vec![Value::Int(0), Value::Null]);
     }
 
@@ -855,8 +955,11 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_nulls() {
         let mut db = db_with_data();
-        db.execute("INSERT INTO emp (id, name) VALUES (9, 'zed')").unwrap();
-        let q = db.query("SELECT dept, salary FROM emp WHERE id = 9").unwrap();
+        db.execute("INSERT INTO emp (id, name) VALUES (9, 'zed')")
+            .unwrap();
+        let q = db
+            .query("SELECT dept, salary FROM emp WHERE id = 9")
+            .unwrap();
         assert_eq!(q.rows[0], vec![Value::Null, Value::Null]);
     }
 
@@ -900,6 +1003,7 @@ mod tests {
     fn create_table_if_not_exists() {
         let mut db = db_with_data();
         assert!(db.execute("CREATE TABLE emp (x INT)").is_err());
-        db.execute("CREATE TABLE IF NOT EXISTS emp (x INT)").unwrap();
+        db.execute("CREATE TABLE IF NOT EXISTS emp (x INT)")
+            .unwrap();
     }
 }

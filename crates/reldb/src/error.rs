@@ -26,6 +26,8 @@ pub enum DbError {
     Corrupt(String),
     /// A configured execution resource limit was exceeded.
     ResourceExhausted(String),
+    /// The plan validator rejected a logical or physical plan.
+    Validation(String),
 }
 
 impl fmt::Display for DbError {
@@ -41,6 +43,7 @@ impl fmt::Display for DbError {
             DbError::Io(m) => write!(f, "storage I/O error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
+            DbError::Validation(m) => write!(f, "plan validation failed: {m}"),
         }
     }
 }

@@ -20,7 +20,10 @@ impl AggState {
     fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
-            AggFunc::Sum | AggFunc::Avg => AggState::Sum { acc: None, count: 0 },
+            AggFunc::Sum | AggFunc::Avg => AggState::Sum {
+                acc: None,
+                count: 0,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
@@ -71,9 +74,7 @@ impl AggState {
             (AggFunc::Count | AggFunc::CountStar, AggState::Count(n)) => Value::Int(n),
             (AggFunc::Sum, AggState::Sum { acc, .. }) => acc.unwrap_or(Value::Null),
             (AggFunc::Avg, AggState::Sum { acc, count }) => match acc {
-                Some(v) if count > 0 => {
-                    Value::Float(v.as_float().unwrap_or(0.0) / count as f64)
-                }
+                Some(v) if count > 0 => Value::Float(v.as_float().unwrap_or(0.0) / count as f64),
                 _ => Value::Null,
             },
             (AggFunc::Min, AggState::Min(v)) | (AggFunc::Max, AggState::Max(v)) => {
@@ -118,11 +119,20 @@ impl<'a> HashAggregateExec<'a> {
         aggs: &'a [(AggFunc, Option<ScalarExpr>)],
         cap: Option<usize>,
     ) -> HashAggregateExec<'a> {
-        HashAggregateExec { input: Some(input), group_by, aggs, output: Vec::new(), pos: 0, cap }
+        HashAggregateExec {
+            input: Some(input),
+            group_by,
+            aggs,
+            output: Vec::new(),
+            pos: 0,
+            cap,
+        }
     }
 
     fn consume(&mut self) -> Result<()> {
-        let Some(mut input) = self.input.take() else { return Ok(()) };
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
         // Group order = first-seen order (deterministic given the input).
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
@@ -136,9 +146,9 @@ impl<'a> HashAggregateExec<'a> {
                 None => {
                     order.push(key.clone());
                     admit_buffered(self.cap, "HashAggregate groups", order.len())?;
-                    groups
-                        .entry(key.clone())
-                        .or_insert_with(|| self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
+                    groups.entry(key.clone()).or_insert_with(|| {
+                        self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect()
+                    })
                 }
             };
             for (i, (_, arg)) in self.aggs.iter().enumerate() {

@@ -55,7 +55,9 @@ impl<'a> HashJoinExec<'a> {
     }
 
     fn build(&mut self) -> Result<()> {
-        let Some(mut right) = self.right.take() else { return Ok(()) };
+        let Some(mut right) = self.right.take() else {
+            return Ok(());
+        };
         while let Some(row) = right.next()? {
             let mut key = Vec::with_capacity(self.right_keys.len());
             let mut has_null = false;
@@ -175,7 +177,9 @@ impl Executor for IndexNestedLoopJoinExec<'_> {
                 while *pos < rids.len() {
                     let rid = rids[*pos];
                     *pos += 1;
-                    let Some(rrow) = self.table.get(rid) else { continue };
+                    let Some(rrow) = self.table.get(rid) else {
+                        continue;
+                    };
                     if let Some(f) = self.right_filter {
                         if value_to_bool(&f.eval(rrow)?) != Some(true) {
                             continue;

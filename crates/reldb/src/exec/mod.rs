@@ -64,9 +64,17 @@ pub fn build_executor_limited<'a>(
     Ok(match plan {
         PhysicalPlan::SeqScan { table } => {
             let t = catalog.table(table)?;
-            Box::new(SeqScanExec { iter: Box::new(t.scan().map(|(_, r)| r)) })
+            Box::new(SeqScanExec {
+                iter: Box::new(t.scan().map(|(_, r)| r)),
+            })
         }
-        PhysicalPlan::IndexScan { table, index, lower, upper, residual } => {
+        PhysicalPlan::IndexScan {
+            table,
+            index,
+            lower,
+            upper,
+            residual,
+        } => {
             let t = catalog.table(table)?;
             let idx = t
                 .indexes
@@ -161,16 +169,20 @@ pub fn build_executor_limited<'a>(
                 *right_arity,
             ))
         }
-        PhysicalPlan::NestedLoopJoin { left, right, kind, on, right_arity } => {
-            Box::new(NestedLoopJoinExec::new(
-                build(left)?,
-                build(right)?,
-                *kind,
-                on.as_ref(),
-                *right_arity,
-                cap,
-            ))
-        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            right_arity,
+        } => Box::new(NestedLoopJoinExec::new(
+            build(left)?,
+            build(right)?,
+            *kind,
+            on.as_ref(),
+            *right_arity,
+            cap,
+        )),
         PhysicalPlan::IntervalJoin {
             left,
             right,
@@ -198,10 +210,16 @@ pub fn build_executor_limited<'a>(
             pos: 0,
             cap,
         }),
-        PhysicalPlan::HashAggregate { input, group_by, aggs } => Box::new(
-            HashAggregateExec::new(build(input)?, group_by, aggs, cap),
-        ),
-        PhysicalPlan::Limit { input, limit, offset } => Box::new(LimitExec {
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => Box::new(HashAggregateExec::new(build(input)?, group_by, aggs, cap)),
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => Box::new(LimitExec {
             input: build(input)?,
             remaining: limit.map(|l| l as usize),
             to_skip: *offset as usize,
@@ -217,7 +235,10 @@ pub fn build_executor_limited<'a>(
                 execs.push(build(i)?);
             }
             execs.reverse();
-            Box::new(UnionAllExec { pending: execs, current: None })
+            Box::new(UnionAllExec {
+                pending: execs,
+                current: None,
+            })
         }
         PhysicalPlan::Values { rows } => Box::new(ValuesExec { rows, pos: 0 }),
     })
@@ -292,7 +313,9 @@ impl Executor for IndexScanExec<'_> {
         while self.pos < self.rids.len() {
             let rid = self.rids[self.pos];
             self.pos += 1;
-            let Some(row) = self.table.get(rid) else { continue };
+            let Some(row) = self.table.get(rid) else {
+                continue;
+            };
             if let Some(res) = self.residual {
                 if value_to_bool(&res.eval(row)?) != Some(true) {
                     continue;

@@ -32,9 +32,9 @@ pub mod btree;
 pub mod catalog;
 pub(crate) mod codec;
 pub mod db;
+pub mod error;
 pub mod exec;
 pub mod plan;
-pub mod error;
 pub mod schema;
 pub mod snapshot;
 pub mod sql;
@@ -49,4 +49,4 @@ pub use error::{DbError, Result};
 pub use exec::ExecLimits;
 pub use schema::{Column, Schema};
 pub use storage::{FaultBackend, FaultPlan, FileBackend, MemBackend, SharedFiles, StorageBackend};
-pub use value::{DataType, Row, Value};
+pub use value::{row_int, row_text, row_val, DataType, Row, Value};

@@ -175,7 +175,9 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::IsNull { expr, .. } => expr.columns_used(out),
-            ScalarExpr::Between { expr, low, high, .. } => {
+            ScalarExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns_used(out);
                 low.columns_used(out);
                 high.columns_used(out);
@@ -204,9 +206,10 @@ impl ScalarExpr {
                 left: Box::new(left.remap(map)?),
                 right: Box::new(right.remap(map)?),
             },
-            ScalarExpr::Unary { op, expr } => {
-                ScalarExpr::Unary { op: *op, expr: Box::new(expr.remap(map)?) }
-            }
+            ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.remap(map)?),
+            },
             ScalarExpr::Call { func, args } => ScalarExpr::Call {
                 func: *func,
                 args: args.iter().map(|a| a.remap(map)).collect::<Option<_>>()?,
@@ -215,18 +218,31 @@ impl ScalarExpr {
                 expr: Box::new(expr.remap(map)?),
                 negated: *negated,
             },
-            ScalarExpr::Between { expr, low, high, negated } => ScalarExpr::Between {
+            ScalarExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => ScalarExpr::Between {
                 expr: Box::new(expr.remap(map)?),
                 low: Box::new(low.remap(map)?),
                 high: Box::new(high.remap(map)?),
                 negated: *negated,
             },
-            ScalarExpr::InList { expr, list, negated } => ScalarExpr::InList {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
                 expr: Box::new(expr.remap(map)?),
                 list: list.iter().map(|e| e.remap(map)).collect::<Option<_>>()?,
                 negated: *negated,
             },
-            ScalarExpr::Like { expr, pattern, negated } => ScalarExpr::Like {
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
                 expr: Box::new(expr.remap(map)?),
                 pattern: Box::new(pattern.remap(map)?),
                 negated: *negated,
@@ -263,14 +279,17 @@ impl ScalarExpr {
                 let isnull = expr.eval(row)?.is_null();
                 Ok(Value::Bool(isnull != *negated))
             }
-            ScalarExpr::Between { expr, low, high, negated } => {
+            ScalarExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 let lo = low.eval(row)?;
                 let hi = high.eval(row)?;
                 let within = match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
-                    (Some(a), Some(b)) => {
-                        Some(a != Ordering::Less && b != Ordering::Greater)
-                    }
+                    (Some(a), Some(b)) => Some(a != Ordering::Less && b != Ordering::Greater),
                     _ => None,
                 };
                 Ok(match within {
@@ -278,7 +297,11 @@ impl ScalarExpr {
                     Some(b) => Value::Bool(b != *negated),
                 })
             }
-            ScalarExpr::InList { expr, list, negated } => {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -294,9 +317,17 @@ impl ScalarExpr {
                         _ => {}
                     }
                 }
-                Ok(if saw_null { Value::Null } else { Value::Bool(*negated) })
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                })
             }
-            ScalarExpr::Like { expr, pattern, negated } => {
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 let p = pattern.eval(row)?;
                 match (v, p) {
@@ -343,8 +374,8 @@ fn eval_binary(op: BinOp, left: &ScalarExpr, right: &ScalarExpr, row: &Row) -> R
                     BinOp::Lt => ord == Ordering::Less,
                     BinOp::LtEq => ord != Ordering::Greater,
                     BinOp::Gt => ord == Ordering::Greater,
-                    BinOp::GtEq => ord != Ordering::Less,
-                    _ => unreachable!(),
+                    // GtEq; the outer arm admits no other operator.
+                    _ => ord != Ordering::Less,
                 }),
             })
         }
@@ -353,7 +384,11 @@ fn eval_binary(op: BinOp, left: &ScalarExpr, right: &ScalarExpr, row: &Row) -> R
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             (a, b) => Ok(Value::Text(format!("{a}{b}"))),
         },
-        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        // Handled by the short-circuit path above; reaching here would be
+        // an evaluator bug, reported as an error rather than a panic.
+        BinOp::And | BinOp::Or => Err(DbError::Runtime(format!(
+            "logic operator {op:?} fell through short-circuit"
+        ))),
     }
 }
 
@@ -381,7 +416,11 @@ fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
                     }
                     a % b
                 }
-                _ => unreachable!(),
+                other => {
+                    return Err(DbError::Runtime(format!(
+                        "not an arithmetic operator: {other:?}"
+                    )))
+                }
             }))
         }
         _ => {
@@ -402,7 +441,11 @@ fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
                     a / b
                 }
                 BinOp::Mod => a % b,
-                _ => unreachable!(),
+                other => {
+                    return Err(DbError::Runtime(format!(
+                        "not an arithmetic operator: {other:?}"
+                    )))
+                }
             }))
         }
     }
@@ -410,28 +453,32 @@ fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
 
 fn eval_call(func: ScalarFunc, args: &[ScalarExpr], row: &Row) -> Result<Value> {
     let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+    // Checked accessor: the binder enforces call arity, but an evaluator
+    // reached with a hand-built plan must error, not panic.
+    let arg0 = || {
+        vals.first()
+            .ok_or_else(|| DbError::Runtime(format!("{func:?} called with no arguments")))
+    };
     match func {
         ScalarFunc::Coalesce => {
-            for v in vals {
+            for v in &vals {
                 if !v.is_null() {
-                    return Ok(v);
+                    return Ok(v.clone());
                 }
             }
             Ok(Value::Null)
         }
         _ if vals.first().map(Value::is_null).unwrap_or(true) => Ok(Value::Null),
-        ScalarFunc::Lower => text_arg(&vals[0]).map(|s| Value::Text(s.to_lowercase())),
-        ScalarFunc::Upper => text_arg(&vals[0]).map(|s| Value::Text(s.to_uppercase())),
-        ScalarFunc::Length => {
-            text_arg(&vals[0]).map(|s| Value::Int(s.chars().count() as i64))
-        }
-        ScalarFunc::Abs => match &vals[0] {
+        ScalarFunc::Lower => text_arg(arg0()?).map(|s| Value::Text(s.to_lowercase())),
+        ScalarFunc::Upper => text_arg(arg0()?).map(|s| Value::Text(s.to_uppercase())),
+        ScalarFunc::Length => text_arg(arg0()?).map(|s| Value::Int(s.chars().count() as i64)),
+        ScalarFunc::Abs => match arg0()? {
             Value::Int(i) => Ok(Value::Int(i.abs())),
             Value::Float(f) => Ok(Value::Float(f.abs())),
             other => Err(DbError::Type(format!("ABS expects a number, got {other}"))),
         },
-        ScalarFunc::Num => match &vals[0] {
-            Value::Int(_) | Value::Float(_) => Ok(vals[0].clone()),
+        ScalarFunc::Num => match arg0()? {
+            v @ (Value::Int(_) | Value::Float(_)) => Ok(v.clone()),
             Value::Text(s) => Ok(s
                 .trim()
                 .parse::<i64>()
@@ -441,7 +488,7 @@ fn eval_call(func: ScalarFunc, args: &[ScalarExpr], row: &Row) -> Result<Value> 
             _ => Ok(Value::Null),
         },
         ScalarFunc::Substr => {
-            let s = text_arg(&vals[0])?;
+            let s = text_arg(arg0()?)?;
             let start = vals
                 .get(1)
                 .and_then(Value::as_int)
@@ -613,7 +660,11 @@ mod tests {
         assert_eq!(
             call(
                 ScalarFunc::Substr,
-                vec![ScalarExpr::lit("abcdef"), ScalarExpr::lit(2i64), ScalarExpr::lit(3i64)]
+                vec![
+                    ScalarExpr::lit("abcdef"),
+                    ScalarExpr::lit(2i64),
+                    ScalarExpr::lit(3i64)
+                ]
             )
             .eval(&empty())
             .unwrap(),
@@ -632,16 +683,30 @@ mod tests {
 
     #[test]
     fn num_parses_text() {
-        let call = |args| ScalarExpr::Call { func: ScalarFunc::Num, args };
-        assert_eq!(call(vec![ScalarExpr::lit("42")]).eval(&empty()).unwrap(), Value::Int(42));
+        let call = |args| ScalarExpr::Call {
+            func: ScalarFunc::Num,
+            args,
+        };
+        assert_eq!(
+            call(vec![ScalarExpr::lit("42")]).eval(&empty()).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             call(vec![ScalarExpr::lit(" 3.5 ")]).eval(&empty()).unwrap(),
             Value::Float(3.5)
         );
-        assert_eq!(call(vec![ScalarExpr::lit("abc")]).eval(&empty()).unwrap(), Value::Null);
-        assert_eq!(call(vec![ScalarExpr::lit(7i64)]).eval(&empty()).unwrap(), Value::Int(7));
         assert_eq!(
-            call(vec![ScalarExpr::Literal(Value::Null)]).eval(&empty()).unwrap(),
+            call(vec![ScalarExpr::lit("abc")]).eval(&empty()).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            call(vec![ScalarExpr::lit(7i64)]).eval(&empty()).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            call(vec![ScalarExpr::Literal(Value::Null)])
+                .eval(&empty())
+                .unwrap(),
             Value::Null
         );
     }

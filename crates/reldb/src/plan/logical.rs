@@ -18,7 +18,10 @@ pub struct OutputCol {
 impl OutputCol {
     /// Unqualified column.
     pub fn bare(name: impl Into<String>) -> OutputCol {
-        OutputCol { qualifier: None, name: name.into() }
+        OutputCol {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 }
 
@@ -122,7 +125,9 @@ impl LogicalPlan {
                 out.extend(right.schema());
                 out
             }
-            LogicalPlan::UnionAll { inputs } => inputs[0].schema(),
+            LogicalPlan::UnionAll { inputs } => {
+                inputs.first().map(|p| p.schema()).unwrap_or_default()
+            }
         }
     }
 
@@ -151,7 +156,9 @@ pub struct Scope {
 impl Scope {
     /// Scope over a plan's output.
     pub fn of(plan: &LogicalPlan) -> Scope {
-        Scope { cols: plan.schema() }
+        Scope {
+            cols: plan.schema(),
+        }
     }
 
     /// Resolve a column reference to an offset.
@@ -227,8 +234,11 @@ pub fn bind_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<LogicalPlan> 
             solo.offset = None;
             plans.push(bind_select(catalog, &solo)?);
         }
-        let arity = plans[0].schema().len();
-        for p in &plans[1..] {
+        let Some((first, rest)) = plans.split_first() else {
+            return Err(DbError::Binding("UNION ALL with no arms".into()));
+        };
+        let arity = first.schema().len();
+        for p in rest {
             if p.schema().len() != arity {
                 return Err(DbError::Binding("UNION ALL arms differ in arity".into()));
             }
@@ -241,14 +251,20 @@ pub fn bind_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<LogicalPlan> 
     // FROM.
     let mut plan = match &stmt.from {
         Some(tr) => bind_table_ref(catalog, tr)?,
-        None => LogicalPlan::Values { rows: vec![Vec::new()], cols: Vec::new() },
+        None => LogicalPlan::Values {
+            rows: vec![Vec::new()],
+            cols: Vec::new(),
+        },
     };
 
     // WHERE.
     if let Some(pred) = &stmt.predicate {
         let scope = Scope::of(&plan);
         let bound = bind_expr(pred, &scope)?;
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: bound };
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: bound,
+        };
     }
 
     // Aggregation.
@@ -307,7 +323,10 @@ pub fn bind_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<LogicalPlan> 
             cols: agg_cols,
         };
         if let Some(h) = having {
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: h,
+            };
         }
         (proj_exprs, proj_names)
     } else {
@@ -348,10 +367,16 @@ pub fn bind_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<LogicalPlan> 
         (exprs, names)
     };
 
-    plan = LogicalPlan::Project { input: Box::new(plan), exprs, cols: names };
+    plan = LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs,
+        cols: names,
+    };
 
     if stmt.distinct {
-        plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
     }
 
     plan = apply_order_limit(plan, &stmt.order_by, stmt.limit, stmt.offset)?;
@@ -377,7 +402,9 @@ fn apply_order_limit(
             if let Expr::Literal(Value::Int(n)) = e {
                 let i = *n as usize;
                 if i == 0 || i > visible {
-                    return Err(DbError::Binding(format!("ORDER BY position {n} out of range")));
+                    return Err(DbError::Binding(format!(
+                        "ORDER BY position {n} out of range"
+                    )));
                 }
                 keys.push((ScalarExpr::Column(i - 1), *asc));
                 continue;
@@ -396,8 +423,17 @@ fn apply_order_limit(
             }
         }
         if !hidden.is_empty() {
-            let LogicalPlan::Project { input, mut exprs, mut cols } = plan else {
-                unreachable!("checked above")
+            let LogicalPlan::Project {
+                input,
+                mut exprs,
+                mut cols,
+            } = plan
+            else {
+                // Hidden sort keys are only collected when the plan root is
+                // a projection; anything else is a binder bug.
+                return Err(DbError::Binding(
+                    "ORDER BY on unprojected expressions requires a projection".into(),
+                ));
             };
             let input_scope = Scope::of(&input);
             for (i, (pos, e, _)) in hidden.iter().enumerate() {
@@ -406,8 +442,15 @@ fn apply_order_limit(
                 cols.push(OutputCol::bare(format!("__sort{i}")));
                 keys[*pos].0 = ScalarExpr::Column(visible + i);
             }
-            let projected = LogicalPlan::Project { input, exprs, cols: cols.clone() };
-            let sorted = LogicalPlan::Sort { input: Box::new(projected), keys };
+            let projected = LogicalPlan::Project {
+                input,
+                exprs,
+                cols: cols.clone(),
+            };
+            let sorted = LogicalPlan::Sort {
+                input: Box::new(projected),
+                keys,
+            };
             // Strip the hidden sort columns.
             let strip_exprs = (0..visible).map(ScalarExpr::Column).collect();
             let strip_cols = cols[..visible].to_vec();
@@ -417,7 +460,10 @@ fn apply_order_limit(
                 cols: strip_cols,
             };
         } else {
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
     }
     if limit.is_some() || offset.is_some() {
@@ -440,9 +486,15 @@ pub fn bind_table_ref(catalog: &Catalog, tr: &TableRef) -> Result<LogicalPlan> {
                 .schema
                 .columns
                 .iter()
-                .map(|c| OutputCol { qualifier: Some(q.clone()), name: c.name.clone() })
+                .map(|c| OutputCol {
+                    qualifier: Some(q.clone()),
+                    name: c.name.clone(),
+                })
                 .collect();
-            Ok(LogicalPlan::Scan { table: name.to_ascii_lowercase(), cols })
+            Ok(LogicalPlan::Scan {
+                table: name.to_ascii_lowercase(),
+                cols,
+            })
         }
         TableRef::Subquery { query, alias } => {
             let inner = bind_select(catalog, query)?;
@@ -450,12 +502,24 @@ pub fn bind_table_ref(catalog: &Catalog, tr: &TableRef) -> Result<LogicalPlan> {
             let cols: Vec<OutputCol> = inner
                 .schema()
                 .into_iter()
-                .map(|c| OutputCol { qualifier: Some(alias.clone()), name: c.name })
+                .map(|c| OutputCol {
+                    qualifier: Some(alias.clone()),
+                    name: c.name,
+                })
                 .collect();
             let exprs = (0..cols.len()).map(ScalarExpr::Column).collect();
-            Ok(LogicalPlan::Project { input: Box::new(inner), exprs, cols })
+            Ok(LogicalPlan::Project {
+                input: Box::new(inner),
+                exprs,
+                cols,
+            })
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = bind_table_ref(catalog, left)?;
             let r = bind_table_ref(catalog, right)?;
             let joined = LogicalPlan::Join {
@@ -469,8 +533,18 @@ pub fn bind_table_ref(catalog: &Catalog, tr: &TableRef) -> Result<LogicalPlan> {
                 Some(e) => Some(bind_expr(e, &scope)?),
                 None => None,
             };
-            let LogicalPlan::Join { left, right, kind, .. } = joined else { unreachable!() };
-            Ok(LogicalPlan::Join { left, right, kind, on: bound_on })
+            let LogicalPlan::Join {
+                left, right, kind, ..
+            } = joined
+            else {
+                return Err(DbError::Binding("join binding lost its join node".into()));
+            };
+            Ok(LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on: bound_on,
+            })
         }
     }
 }
@@ -478,9 +552,9 @@ pub fn bind_table_ref(catalog: &Catalog, tr: &TableRef) -> Result<LogicalPlan> {
 /// Bind an expression with no aggregate context.
 pub fn bind_expr(e: &Expr, scope: &Scope) -> Result<ScalarExpr> {
     match e {
-        Expr::Column { qualifier, name } => {
-            Ok(ScalarExpr::Column(scope.resolve(qualifier.as_deref(), name)?))
-        }
+        Expr::Column { qualifier, name } => Ok(ScalarExpr::Column(
+            scope.resolve(qualifier.as_deref(), name)?,
+        )),
         Expr::Literal(v) => Ok(ScalarExpr::Literal(v.clone())),
         Expr::Binary { op, left, right } => Ok(ScalarExpr::Binary {
             op: *op,
@@ -501,7 +575,10 @@ pub fn bind_expr(e: &Expr, scope: &Scope) -> Result<ScalarExpr> {
                 .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
             Ok(ScalarExpr::Call {
                 func,
-                args: args.iter().map(|a| bind_expr(a, scope)).collect::<Result<_>>()?,
+                args: args
+                    .iter()
+                    .map(|a| bind_expr(a, scope))
+                    .collect::<Result<_>>()?,
             })
         }
         Expr::Star => Err(DbError::Binding("'*' only allowed in COUNT(*)".into())),
@@ -509,18 +586,34 @@ pub fn bind_expr(e: &Expr, scope: &Scope) -> Result<ScalarExpr> {
             expr: Box::new(bind_expr(expr, scope)?),
             negated: *negated,
         }),
-        Expr::Between { expr, low, high, negated } => Ok(ScalarExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(ScalarExpr::Between {
             expr: Box::new(bind_expr(expr, scope)?),
             low: Box::new(bind_expr(low, scope)?),
             high: Box::new(bind_expr(high, scope)?),
             negated: *negated,
         }),
-        Expr::InList { expr, list, negated } => Ok(ScalarExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(ScalarExpr::InList {
             expr: Box::new(bind_expr(expr, scope)?),
-            list: list.iter().map(|x| bind_expr(x, scope)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|x| bind_expr(x, scope))
+                .collect::<Result<_>>()?,
             negated: *negated,
         }),
-        Expr::Like { expr, pattern, negated } => Ok(ScalarExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(ScalarExpr::Like {
             expr: Box::new(bind_expr(expr, scope)?),
             pattern: Box::new(bind_expr(pattern, scope)?),
             negated: *negated,
@@ -541,7 +634,9 @@ fn bind_agg_expr(e: &Expr, ctx: &mut AggCtx<'_>) -> Result<ScalarExpr> {
     }
     match e {
         Expr::Function { name, args } if AggFunc::by_name(name).is_some() => {
-            let mut func = AggFunc::by_name(name).expect("checked");
+            let Some(mut func) = AggFunc::by_name(name) else {
+                return Err(DbError::Binding(format!("unknown aggregate {name:?}")));
+            };
             let arg = match args.as_slice() {
                 [Expr::Star] if func == AggFunc::Count => {
                     func = AggFunc::CountStar;
@@ -596,7 +691,10 @@ fn bind_agg_expr(e: &Expr, ctx: &mut AggCtx<'_>) -> Result<ScalarExpr> {
                 .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
             Ok(ScalarExpr::Call {
                 func,
-                args: args.iter().map(|a| bind_agg_expr(a, ctx)).collect::<Result<_>>()?,
+                args: args
+                    .iter()
+                    .map(|a| bind_agg_expr(a, ctx))
+                    .collect::<Result<_>>()?,
             })
         }
         Expr::Star => Err(DbError::Binding("'*' only allowed in COUNT(*)".into())),
@@ -604,18 +702,34 @@ fn bind_agg_expr(e: &Expr, ctx: &mut AggCtx<'_>) -> Result<ScalarExpr> {
             expr: Box::new(bind_agg_expr(expr, ctx)?),
             negated: *negated,
         }),
-        Expr::Between { expr, low, high, negated } => Ok(ScalarExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(ScalarExpr::Between {
             expr: Box::new(bind_agg_expr(expr, ctx)?),
             low: Box::new(bind_agg_expr(low, ctx)?),
             high: Box::new(bind_agg_expr(high, ctx)?),
             negated: *negated,
         }),
-        Expr::InList { expr, list, negated } => Ok(ScalarExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(ScalarExpr::InList {
             expr: Box::new(bind_agg_expr(expr, ctx)?),
-            list: list.iter().map(|x| bind_agg_expr(x, ctx)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|x| bind_agg_expr(x, ctx))
+                .collect::<Result<_>>()?,
             negated: *negated,
         }),
-        Expr::Like { expr, pattern, negated } => Ok(ScalarExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(ScalarExpr::Like {
             expr: Box::new(bind_agg_expr(expr, ctx)?),
             pattern: Box::new(bind_agg_expr(pattern, ctx)?),
             negated: *negated,
@@ -631,9 +745,9 @@ fn contains_agg(e: &Expr) -> bool {
         Expr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
         Expr::Unary { expr, .. } => contains_agg(expr),
         Expr::IsNull { expr, .. } => contains_agg(expr),
-        Expr::Between { expr, low, high, .. } => {
-            contains_agg(expr) || contains_agg(low) || contains_agg(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_agg(expr) || contains_agg(low) || contains_agg(high),
         Expr::InList { expr, list, .. } => contains_agg(expr) || list.iter().any(contains_agg),
         Expr::Like { expr, pattern, .. } => contains_agg(expr) || contains_agg(pattern),
         Expr::Column { .. } | Expr::Literal(_) | Expr::Star => false,
@@ -669,12 +783,22 @@ fn fmt_plan(plan: &LogicalPlan, depth: usize, out: &mut String) {
             out.push_str(&format!("{pad}Project [{} exprs]\n", exprs.len()));
             fmt_plan(input, depth + 1, out);
         }
-        LogicalPlan::Join { left, right, kind, on } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             out.push_str(&format!("{pad}Join {kind:?} on={on:?}\n"));
             fmt_plan(left, depth + 1, out);
             fmt_plan(right, depth + 1, out);
         }
-        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             out.push_str(&format!(
                 "{pad}Aggregate groups={} aggs={}\n",
                 group_by.len(),
@@ -686,7 +810,11 @@ fn fmt_plan(plan: &LogicalPlan, depth: usize, out: &mut String) {
             out.push_str(&format!("{pad}Sort [{} keys]\n", keys.len()));
             fmt_plan(input, depth + 1, out);
         }
-        LogicalPlan::Limit { input, limit, offset } => {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
             out.push_str(&format!("{pad}Limit limit={limit:?} offset={offset}\n"));
             fmt_plan(input, depth + 1, out);
         }
@@ -771,7 +899,10 @@ mod tests {
 
     #[test]
     fn unknown_column_errors() {
-        assert!(matches!(bind("SELECT nope FROM edge"), Err(DbError::Binding(_))));
+        assert!(matches!(
+            bind("SELECT nope FROM edge"),
+            Err(DbError::Binding(_))
+        ));
     }
 
     #[test]
@@ -789,12 +920,19 @@ mod tests {
 
     #[test]
     fn aggregate_binding_and_rewrite() {
-        let p = bind("SELECT label, COUNT(*), SUM(tgt) FROM edge GROUP BY label HAVING COUNT(*) > 2")
-            .unwrap();
+        let p =
+            bind("SELECT label, COUNT(*), SUM(tgt) FROM edge GROUP BY label HAVING COUNT(*) > 2")
+                .unwrap();
         // Shape: Project(Filter(Aggregate(Scan))).
-        let LogicalPlan::Project { input, .. } = &p else { panic!("{p:?}") };
-        let LogicalPlan::Filter { input: agg, .. } = &**input else { panic!() };
-        let LogicalPlan::Aggregate { group_by, aggs, .. } = &**agg else { panic!() };
+        let LogicalPlan::Project { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let LogicalPlan::Filter { input: agg, .. } = &**input else {
+            panic!()
+        };
+        let LogicalPlan::Aggregate { group_by, aggs, .. } = &**agg else {
+            panic!()
+        };
         assert_eq!(group_by.len(), 1);
         // COUNT(*) is shared between projection and HAVING.
         assert_eq!(aggs.len(), 2);

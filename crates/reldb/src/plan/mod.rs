@@ -5,8 +5,13 @@ pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod reorder;
+pub mod validate;
 
 pub use expr::{AggFunc, ScalarExpr, ScalarFunc};
 pub use logical::{bind_select, LogicalPlan, OutputCol, Scope};
-pub use optimizer::{optimize, OptimizerOptions};
+pub use optimizer::{optimize, optimize_checked, OptimizerOptions};
 pub use physical::{plan_physical, PhysicalOptions, PhysicalPlan};
+pub use validate::{
+    ensure_valid_logical, ensure_valid_physical, validate_logical, validate_physical, Diagnostic,
+    Severity,
+};

@@ -7,6 +7,7 @@
 //! joins.
 
 use crate::catalog::Catalog;
+use crate::error::Result;
 use crate::plan::expr::ScalarExpr;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::reorder::reorder_joins;
@@ -23,13 +24,20 @@ pub struct OptimizerOptions {
 
 impl Default for OptimizerOptions {
     fn default() -> OptimizerOptions {
-        OptimizerOptions { predicate_pushdown: true, join_reorder: true }
+        OptimizerOptions {
+            predicate_pushdown: true,
+            join_reorder: true,
+        }
     }
 }
 
 /// Run all enabled rewrites.
 pub fn optimize(plan: LogicalPlan, opts: &OptimizerOptions, catalog: &Catalog) -> LogicalPlan {
-    let plan = if opts.predicate_pushdown { push_filters(plan) } else { plan };
+    let plan = if opts.predicate_pushdown {
+        push_filters(plan)
+    } else {
+        plan
+    };
     if opts.join_reorder {
         reorder_joins(plan, catalog)
     } else {
@@ -37,9 +45,54 @@ pub fn optimize(plan: LogicalPlan, opts: &OptimizerOptions, catalog: &Catalog) -
     }
 }
 
+/// Run all enabled rewrites, re-validating the plan after each one in
+/// debug builds so every rewrite is proven invariant-preserving. Release
+/// builds skip the per-stage checks (the caller validates the bound plan
+/// once before optimizing).
+pub fn optimize_checked(
+    plan: LogicalPlan,
+    opts: &OptimizerOptions,
+    catalog: &Catalog,
+) -> Result<LogicalPlan> {
+    let plan = if opts.predicate_pushdown {
+        let rewritten = push_filters(plan);
+        check_stage(&rewritten, catalog, "predicate pushdown")?;
+        rewritten
+    } else {
+        plan
+    };
+    if opts.join_reorder {
+        let rewritten = reorder_joins(plan, catalog);
+        check_stage(&rewritten, catalog, "join reorder")?;
+        Ok(rewritten)
+    } else {
+        Ok(plan)
+    }
+}
+
+#[cfg(debug_assertions)]
+fn check_stage(plan: &LogicalPlan, catalog: &Catalog, stage: &str) -> Result<()> {
+    use crate::error::DbError;
+    crate::plan::validate::ensure_valid_logical(catalog, plan).map_err(|e| {
+        DbError::Validation(format!(
+            "optimizer stage '{stage}' produced an invalid plan: {e}"
+        ))
+    })
+}
+
+#[cfg(not(debug_assertions))]
+fn check_stage(_plan: &LogicalPlan, _catalog: &Catalog, _stage: &str) -> Result<()> {
+    Ok(())
+}
+
 /// Split a predicate into its top-level AND conjuncts.
 pub fn split_conjuncts(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
-    if let ScalarExpr::Binary { op: BinOp::And, left, right } = e {
+    if let ScalarExpr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
         split_conjuncts(left, out);
         split_conjuncts(right, out);
     } else {
@@ -51,7 +104,11 @@ pub fn split_conjuncts(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
 pub fn conjoin(mut parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     let mut acc = parts.pop()?;
     while let Some(p) = parts.pop() {
-        acc = ScalarExpr::Binary { op: BinOp::And, left: Box::new(p), right: Box::new(acc) };
+        acc = ScalarExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(p),
+            right: Box::new(acc),
+        };
     }
     Some(acc)
 }
@@ -69,30 +126,47 @@ fn push_filters(plan: LogicalPlan) -> LogicalPlan {
             exprs,
             cols,
         },
-        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
             left: Box::new(push_filters(*left)),
             right: Box::new(push_filters(*right)),
             kind,
             on,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs, cols } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            cols,
+        } => LogicalPlan::Aggregate {
             input: Box::new(push_filters(*input)),
             group_by,
             aggs,
             cols,
         },
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(push_filters(*input)), keys }
-        }
-        LogicalPlan::Limit { input, limit, offset } => {
-            LogicalPlan::Limit { input: Box::new(push_filters(*input)), limit, offset }
-        }
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(push_filters(*input)) }
-        }
-        LogicalPlan::UnionAll { inputs } => {
-            LogicalPlan::UnionAll { inputs: inputs.into_iter().map(push_filters).collect() }
-        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(push_filters(*input)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(push_filters).collect(),
+        },
         leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
     }
 }
@@ -101,9 +175,12 @@ fn push_filters(plan: LogicalPlan) -> LogicalPlan {
 /// attaching what cannot move as a Filter on top.
 fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> LogicalPlan {
     match plan {
-        LogicalPlan::Join { left, right, kind, on }
-            if matches!(kind, JoinKind::Inner | JoinKind::Cross) =>
-        {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } if matches!(kind, JoinKind::Inner | JoinKind::Cross) => {
             let left_arity = left.schema().len();
             let right_arity = right.schema().len();
             let mut to_left: Vec<ScalarExpr> = Vec::new();
@@ -115,10 +192,13 @@ fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> Logical
                 if used.iter().all(|&i| i < left_arity) {
                     to_left.push(c);
                 } else if used.iter().all(|&i| i >= left_arity) {
-                    let shifted = c
-                        .remap(&|i| Some(i - left_arity))
-                        .expect("all columns on right side");
-                    to_right.push(shifted);
+                    // checked_sub makes the remap partial: a column that
+                    // somehow is not on the right keeps the conjunct at
+                    // the join instead of panicking.
+                    match c.remap(&|i| i.checked_sub(left_arity)) {
+                        Some(shifted) => to_right.push(shifted),
+                        None => stay.push(c),
+                    }
                 } else {
                     stay.push(c);
                 }
@@ -146,7 +226,12 @@ fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> Logical
                 on: new_on,
             }
         }
-        LogicalPlan::Join { left, right, kind: JoinKind::Left, on } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JoinKind::Left,
+            on,
+        } => {
             // For LEFT joins only left-side conjuncts can move (they cannot
             // change which left rows survive null-extension... they can,
             // but filtering left rows earlier is semantics-preserving;
@@ -182,7 +267,10 @@ fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> Logical
 
 fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> LogicalPlan {
     match conjoin(conjuncts) {
-        Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
         None => plan,
     }
 }
@@ -214,9 +302,18 @@ mod tests {
     }
 
     fn opt(sql: &str) -> LogicalPlan {
-        let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let plan = bind_select(&catalog(), &sel).unwrap();
-        optimize(plan, &OptimizerOptions { join_reorder: false, ..Default::default() }, &catalog())
+        optimize(
+            plan,
+            &OptimizerOptions {
+                join_reorder: false,
+                ..Default::default()
+            },
+            &catalog(),
+        )
     }
 
     fn contains_filter_over_scan(plan: &LogicalPlan) -> bool {

@@ -193,7 +193,9 @@ pub fn plan_physical(
     opts: &PhysicalOptions,
 ) -> Result<PhysicalPlan> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Ok(PhysicalPlan::SeqScan { table: table.clone() }),
+        LogicalPlan::Scan { table, .. } => Ok(PhysicalPlan::SeqScan {
+            table: table.clone(),
+        }),
         LogicalPlan::Filter { input, predicate } => {
             // Index selection opportunity: Filter directly over a Scan.
             if let LogicalPlan::Scan { table, .. } = &**input {
@@ -212,21 +214,31 @@ pub fn plan_physical(
             input: Box::new(plan_physical(catalog, input, opts)?),
             exprs: exprs.clone(),
         }),
-        LogicalPlan::Join { left, right, kind, on } => {
-            plan_join(catalog, left, right, *kind, on.as_ref(), opts)
-        }
-        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
-            Ok(PhysicalPlan::HashAggregate {
-                input: Box::new(plan_physical(catalog, input, opts)?),
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
-            })
-        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => plan_join(catalog, left, right, *kind, on.as_ref(), opts),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => Ok(PhysicalPlan::HashAggregate {
+            input: Box::new(plan_physical(catalog, input, opts)?),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        }),
         LogicalPlan::Sort { input, keys } => Ok(PhysicalPlan::Sort {
             input: Box::new(plan_physical(catalog, input, opts)?),
             keys: keys.clone(),
         }),
-        LogicalPlan::Limit { input, limit, offset } => Ok(PhysicalPlan::Limit {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => Ok(PhysicalPlan::Limit {
             input: Box::new(plan_physical(catalog, input, opts)?),
             limit: *limit,
             offset: *offset,
@@ -265,7 +277,9 @@ fn try_index_scan(
     type Candidate = (usize, Bound<Value>, Bound<Value>, Vec<ScalarExpr>, f64);
     let mut best: Option<Candidate> = None;
     for (ix, index) in t.indexes.iter().enumerate() {
-        let lead = index.columns[0];
+        let Some(&lead) = index.columns.first() else {
+            continue;
+        };
         let mut lower = Bound::Unbounded;
         let mut upper = Bound::Unbounded;
         let mut residual = Vec::new();
@@ -283,11 +297,19 @@ fn try_index_scan(
                     est = Some(est.unwrap_or(total).min(total / ndv));
                 }
                 Some(BoundKind::Lower(v, strict)) => {
-                    lower = if strict { Bound::Excluded(v) } else { Bound::Included(v) };
+                    lower = if strict {
+                        Bound::Excluded(v)
+                    } else {
+                        Bound::Included(v)
+                    };
                     est = Some(est.unwrap_or(total).min(total / 3.0));
                 }
                 Some(BoundKind::Upper(v, strict)) => {
-                    upper = if strict { Bound::Excluded(v) } else { Bound::Included(v) };
+                    upper = if strict {
+                        Bound::Excluded(v)
+                    } else {
+                        Bound::Included(v)
+                    };
                     est = Some(est.unwrap_or(total).min(total / 3.0));
                 }
                 Some(BoundKind::Range(lo, hi)) => {
@@ -304,13 +326,15 @@ fn try_index_scan(
             }
         }
     }
-    Ok(best.map(|(ix, lower, upper, residual, _)| PhysicalPlan::IndexScan {
-        table: table.to_string(),
-        index: t.indexes[ix].name.clone(),
-        lower,
-        upper,
-        residual: conjoin(residual),
-    }))
+    Ok(
+        best.map(|(ix, lower, upper, residual, _)| PhysicalPlan::IndexScan {
+            table: table.to_string(),
+            index: t.indexes[ix].name.clone(),
+            lower,
+            upper,
+            residual: conjoin(residual),
+        }),
+    )
 }
 
 enum BoundKind {
@@ -342,18 +366,19 @@ fn classify_bound(c: &ScalarExpr, col: usize) -> Option<BoundKind> {
                 _ => None,
             }
         }
-        ScalarExpr::Between { expr, low, high, negated: false } => {
-            match (&**expr, &**low, &**high) {
-                (
-                    ScalarExpr::Column(i),
-                    ScalarExpr::Literal(lo),
-                    ScalarExpr::Literal(hi),
-                ) if *i == col && !lo.is_null() && !hi.is_null() => {
-                    Some(BoundKind::Range(lo.clone(), hi.clone()))
-                }
-                _ => None,
+        ScalarExpr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => match (&**expr, &**low, &**high) {
+            (ScalarExpr::Column(i), ScalarExpr::Literal(lo), ScalarExpr::Literal(hi))
+                if *i == col && !lo.is_null() && !hi.is_null() =>
+            {
+                Some(BoundKind::Range(lo.clone(), hi.clone()))
             }
-        }
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -403,7 +428,12 @@ fn plan_join(
     let mut right_keys = Vec::new();
     let mut rest = Vec::new();
     for c in conjuncts {
-        if let ScalarExpr::Binary { op: BinOp::Eq, left: a, right: b } = &c {
+        if let ScalarExpr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = &c
+        {
             if let (ScalarExpr::Column(i), ScalarExpr::Column(j)) = (&**a, &**b) {
                 let (i, j) = (*i, *j);
                 if i < left_arity && j >= left_arity {
@@ -452,9 +482,7 @@ fn plan_join(
         let (table, right_filter) = match right {
             LogicalPlan::Scan { table, .. } => (Some(table.clone()), None),
             LogicalPlan::Filter { input, predicate } => match &**input {
-                LogicalPlan::Scan { table, .. } => {
-                    (Some(table.clone()), Some(predicate.clone()))
-                }
+                LogicalPlan::Scan { table, .. } => (Some(table.clone()), Some(predicate.clone())),
                 _ => (None, None),
             },
             _ => (None, None),
@@ -463,13 +491,13 @@ fn plan_join(
             let tt = catalog.table(&table)?;
             for (i, rk) in right_keys.iter().enumerate() {
                 let ScalarExpr::Column(j) = rk else { continue };
-                let Some(index) = tt.index_on(&[*j]) else { continue };
+                let Some(index) = tt.index_on(&[*j]) else {
+                    continue;
+                };
                 // The chosen key pair becomes the probe; the rest join as
                 // residual equalities over the concatenated row.
                 let mut residual_parts = rest.clone();
-                for (k, (lk2, rk2)) in
-                    left_keys.iter().zip(&right_keys).enumerate()
-                {
+                for (k, (lk2, rk2)) in left_keys.iter().zip(&right_keys).enumerate() {
                     if k == i {
                         continue;
                     }
@@ -496,7 +524,9 @@ fn plan_join(
         }
     }
 
-    if opts.use_hash_join && !left_keys.is_empty() && matches!(kind, JoinKind::Inner | JoinKind::Left)
+    if opts.use_hash_join
+        && !left_keys.is_empty()
+        && matches!(kind, JoinKind::Inner | JoinKind::Left)
     {
         return Ok(PhysicalPlan::HashJoin {
             left: Box::new(l),
@@ -551,7 +581,13 @@ fn try_interval_join(
         }
     };
     for (k, c) in conjuncts.iter().enumerate() {
-        if let ScalarExpr::Between { expr, low, high, negated: false } = c {
+        if let ScalarExpr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } = c
+        {
             if let ScalarExpr::Column(i) = **expr {
                 if i >= left_arity && side_ok(low, true) && side_ok(high, true) {
                     let residual: Vec<ScalarExpr> = conjuncts
@@ -578,7 +614,14 @@ fn try_interval_join(
     let mut lo_found: Option<(usize, ScalarExpr, bool, usize)> = None;
     let mut hi_found: Option<(usize, ScalarExpr, bool, usize)> = None;
     for (k, c) in conjuncts.iter().enumerate() {
-        let ScalarExpr::Binary { op, left: a, right: b } = c else { continue };
+        let ScalarExpr::Binary {
+            op,
+            left: a,
+            right: b,
+        } = c
+        else {
+            continue;
+        };
         // Normalize to: right_col OP left_expr.
         let (col, expr, op) = match (&**a, &**b) {
             (ScalarExpr::Column(i), e) if *i >= left_arity && side_ok(e, true) => {
@@ -597,9 +640,7 @@ fn try_interval_join(
             _ => continue,
         }
     }
-    if let (Some((lc, lo, lo_strict, lk)), Some((hc, hi, hi_strict, hk))) =
-        (lo_found, hi_found)
-    {
+    if let (Some((lc, lo, lo_strict, lk)), Some((hc, hi, hi_strict, hk))) = (lo_found, hi_found) {
         if lc == hc && lk != hk {
             let residual: Vec<ScalarExpr> = conjuncts
                 .iter()
@@ -633,7 +674,13 @@ fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match plan {
         PhysicalPlan::SeqScan { table } => out.push_str(&format!("{pad}SeqScan {table}\n")),
-        PhysicalPlan::IndexScan { table, index, lower, upper, residual } => {
+        PhysicalPlan::IndexScan {
+            table,
+            index,
+            lower,
+            upper,
+            residual,
+        } => {
             out.push_str(&format!(
                 "{pad}IndexScan {table} via {index} [{lower:?} .. {upper:?}] residual={}\n",
                 residual.is_some()
@@ -647,23 +694,45 @@ fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             out.push_str(&format!("{pad}Project [{}]\n", exprs.len()));
             fmt(input, depth + 1, out);
         }
-        PhysicalPlan::HashJoin { left, right, kind, left_keys, .. } => {
-            out.push_str(&format!("{pad}HashJoin {kind:?} keys={}\n", left_keys.len()));
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            ..
+        } => {
+            out.push_str(&format!(
+                "{pad}HashJoin {kind:?} keys={}\n",
+                left_keys.len()
+            ));
             fmt(left, depth + 1, out);
             fmt(right, depth + 1, out);
         }
-        PhysicalPlan::NestedLoopJoin { left, right, kind, .. } => {
+        PhysicalPlan::NestedLoopJoin {
+            left, right, kind, ..
+        } => {
             out.push_str(&format!("{pad}NestedLoopJoin {kind:?}\n"));
             fmt(left, depth + 1, out);
             fmt(right, depth + 1, out);
         }
-        PhysicalPlan::IndexNestedLoopJoin { left, table, index, kind, .. } => {
+        PhysicalPlan::IndexNestedLoopJoin {
+            left,
+            table,
+            index,
+            kind,
+            ..
+        } => {
             out.push_str(&format!(
                 "{pad}IndexNestedLoopJoin {kind:?} inner={table} via {index}\n"
             ));
             fmt(left, depth + 1, out);
         }
-        PhysicalPlan::IntervalJoin { left, right, right_key, .. } => {
+        PhysicalPlan::IntervalJoin {
+            left,
+            right,
+            right_key,
+            ..
+        } => {
             out.push_str(&format!("{pad}IntervalJoin right_key={right_key}\n"));
             fmt(left, depth + 1, out);
             fmt(right, depth + 1, out);
@@ -672,7 +741,11 @@ fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             out.push_str(&format!("{pad}Sort [{}]\n", keys.len()));
             fmt(input, depth + 1, out);
         }
-        PhysicalPlan::HashAggregate { input, group_by, aggs } => {
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             out.push_str(&format!(
                 "{pad}HashAggregate groups={} aggs={}\n",
                 group_by.len(),
@@ -680,7 +753,11 @@ fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             ));
             fmt(input, depth + 1, out);
         }
-        PhysicalPlan::Limit { input, limit, offset } => {
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
             out.push_str(&format!("{pad}Limit {limit:?} offset={offset}\n"));
             fmt(input, depth + 1, out);
         }

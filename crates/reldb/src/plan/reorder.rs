@@ -24,10 +24,16 @@ use crate::sql::ast::{BinOp, JoinKind};
 /// Reorder all maximal inner-join trees in the plan.
 pub fn reorder_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     match plan {
-        LogicalPlan::Join { kind: JoinKind::Inner | JoinKind::Cross, .. } => {
-            reorder_tree(plan, catalog)
-        }
-        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            kind: JoinKind::Inner | JoinKind::Cross,
+            ..
+        } => reorder_tree(plan, catalog),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
             left: Box::new(reorder_joins(*left, catalog)),
             right: Box::new(reorder_joins(*right, catalog)),
             kind,
@@ -42,25 +48,38 @@ pub fn reorder_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
             exprs,
             cols,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs, cols } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            cols,
+        } => LogicalPlan::Aggregate {
             input: Box::new(reorder_joins(*input, catalog)),
             group_by,
             aggs,
             cols,
         },
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(reorder_joins(*input, catalog)), keys }
-        }
-        LogicalPlan::Limit { input, limit, offset } => LogicalPlan::Limit {
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(reorder_joins(*input, catalog)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
             input: Box::new(reorder_joins(*input, catalog)),
             limit,
             offset,
         },
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(reorder_joins(*input, catalog)) }
-        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(reorder_joins(*input, catalog)),
+        },
         LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
-            inputs: inputs.into_iter().map(|p| reorder_joins(p, catalog)).collect(),
+            inputs: inputs
+                .into_iter()
+                .map(|p| reorder_joins(p, catalog))
+                .collect(),
         },
         leaf => leaf,
     }
@@ -72,10 +91,24 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     let mut leaves: Vec<LogicalPlan> = Vec::new();
     let mut conds: Vec<ScalarExpr> = Vec::new();
     flatten(plan, catalog, &mut leaves, &mut conds);
-    if leaves.len() == 1 {
-        let tree = leaves.into_iter().next().expect("one leaf");
+    if leaves.len() <= 1 {
+        // A single leaf: nothing to reorder. (Zero leaves cannot happen --
+        // flatten always produces at least one -- but an empty Values leaf
+        // is a safe stand-in rather than a panic.)
+        let tree = match leaves.pop() {
+            Some(t) => t,
+            None => {
+                return LogicalPlan::Values {
+                    rows: Vec::new(),
+                    cols: Vec::new(),
+                }
+            }
+        };
         return match conjoin(conds) {
-            Some(p) => LogicalPlan::Filter { input: Box::new(tree), predicate: p },
+            Some(p) => LogicalPlan::Filter {
+                input: Box::new(tree),
+                predicate: p,
+            },
             None => tree,
         };
     }
@@ -112,9 +145,11 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     let n = leaves.len();
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut placed: HashSet<usize> = HashSet::new();
+    // `min_by` over the non-empty candidate range always yields a leaf;
+    // the fallbacks below keep this function panic-free regardless.
     let first = (0..n)
         .min_by(|&a, &b| est[a].total_cmp(&est[b]))
-        .expect("at least one leaf");
+        .unwrap_or(0);
     order.push(first);
     placed.insert(first);
     while order.len() < n {
@@ -123,17 +158,21 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
                 ls.contains(&cand) && ls.iter().any(|l| placed.contains(l)) && ls.len() > 1
             })
         };
-        let next = (0..n)
-            .filter(|i| !placed.contains(i))
-            .min_by(|&a, &b| {
-                // Connected leaves strictly before disconnected ones.
-                let ka = (!connected(a), est[a]);
-                let kb = (!connected(b), est[b]);
-                ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
-            })
-            .expect("leaves remain");
+        let next = (0..n).filter(|i| !placed.contains(i)).min_by(|&a, &b| {
+            // Connected leaves strictly before disconnected ones.
+            let ka = (!connected(a), est[a]);
+            let kb = (!connected(b), est[b]);
+            ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
+        });
+        let Some(next) = next else { break };
         order.push(next);
         placed.insert(next);
+    }
+    // No leaf may be dropped: append any stragglers in index order.
+    for i in 0..n {
+        if placed.insert(i) {
+            order.push(i);
+        }
     }
     // 6. New layout offsets.
     let mut new_starts = vec![0usize; n];
@@ -153,15 +192,30 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     let mut remaining: Vec<(ScalarExpr, HashSet<usize>)> = conds
         .into_iter()
         .zip(cond_leaves)
-        .map(|(c, ls)| (c.remap(&|o| Some(remap_col(o))).expect("total remap"), ls))
+        // The remap closure is total, so remap never returns None; keep
+        // the condition unmapped rather than panicking if it ever did.
+        .map(|(c, ls)| {
+            let mapped = c.remap(&|o| Some(remap_col(o))).unwrap_or(c);
+            (mapped, ls)
+        })
         .collect();
     let mut available: HashSet<usize> = HashSet::new();
-    available.insert(order[0]);
-    let mut tree = leaf_slots[order[0]].take().expect("leaf present");
+    let driver = order.first().copied().unwrap_or(0);
+    available.insert(driver);
+    let Some(tree) = leaf_slots.get_mut(driver).and_then(Option::take) else {
+        // Unreachable: `order` indexes into `leaf_slots` by construction.
+        return LogicalPlan::Values {
+            rows: Vec::new(),
+            cols: Vec::new(),
+        };
+    };
+    let mut tree = tree;
     // Single-leaf conditions on the driver attach as a filter.
     tree = attach_ready(tree, &mut remaining, &available, true);
-    for &leaf in &order[1..] {
-        let right = leaf_slots[leaf].take().expect("leaf present");
+    for &leaf in order.iter().skip(1) {
+        let Some(right) = leaf_slots.get_mut(leaf).and_then(Option::take) else {
+            continue;
+        };
         available.insert(leaf);
         let mut on_parts = Vec::new();
         remaining.retain(|(c, ls)| {
@@ -173,8 +227,17 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
             }
         });
         let on = conjoin(on_parts);
-        let kind = if on.is_some() { JoinKind::Inner } else { JoinKind::Cross };
-        tree = LogicalPlan::Join { left: Box::new(tree), right: Box::new(right), kind, on };
+        let kind = if on.is_some() {
+            JoinKind::Inner
+        } else {
+            JoinKind::Cross
+        };
+        tree = LogicalPlan::Join {
+            left: Box::new(tree),
+            right: Box::new(right),
+            kind,
+            on,
+        };
     }
     debug_assert!(remaining.is_empty(), "conditions left unattached");
 
@@ -183,7 +246,11 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     // Recompute the original output names from the reordered tree.
     let new_schema = tree.schema();
     let cols = (0..acc).map(|o| new_schema[remap_col(o)].clone()).collect();
-    LogicalPlan::Project { input: Box::new(tree), exprs, cols }
+    LogicalPlan::Project {
+        input: Box::new(tree),
+        exprs,
+        cols,
+    }
 }
 
 /// Attach single-side conditions that are already satisfiable.
@@ -203,7 +270,10 @@ fn attach_ready(
         }
     });
     match conjoin(ready) {
-        Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
         None => plan,
     }
 }
@@ -217,7 +287,12 @@ fn flatten(
     conds: &mut Vec<ScalarExpr>,
 ) {
     match plan {
-        LogicalPlan::Join { left, right, kind: JoinKind::Inner | JoinKind::Cross, on } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner | JoinKind::Cross,
+            on,
+        } => {
             flatten(*left, catalog, leaves, conds);
             // Offsets in `on` are relative to (left ++ right); left's
             // flattened leaves occupy the same range, so offsets transfer.
@@ -236,9 +311,10 @@ fn flatten(
 /// Cardinality estimate for a plan node.
 pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
     match plan {
-        LogicalPlan::Scan { table, .. } => {
-            catalog.table(table).map(|t| t.len() as f64).unwrap_or(1000.0)
-        }
+        LogicalPlan::Scan { table, .. } => catalog
+            .table(table)
+            .map(|t| t.len() as f64)
+            .unwrap_or(1000.0),
         LogicalPlan::Filter { input, predicate } => {
             let base = estimate(input, catalog);
             let sel = selectivity(input, predicate, catalog);
@@ -252,7 +328,12 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
             limit.map(|l| base.min(l as f64)).unwrap_or(base)
         }
         LogicalPlan::Aggregate { input, .. } => estimate(input, catalog).sqrt().max(1.0),
-        LogicalPlan::Join { left, right, kind, on } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = estimate(left, catalog);
             let r = estimate(right, catalog);
             match (kind, on) {
@@ -260,35 +341,37 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
                 _ => (l * r * 0.01).max(l.max(r) * 0.1).max(1.0),
             }
         }
-        LogicalPlan::UnionAll { inputs } => {
-            inputs.iter().map(|p| estimate(p, catalog)).sum()
-        }
+        LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| estimate(p, catalog)).sum(),
         LogicalPlan::Values { rows, .. } => rows.len() as f64,
     }
 }
 
 /// Selectivity of a predicate over its (Scan) input.
 fn selectivity(input: &LogicalPlan, predicate: &ScalarExpr, catalog: &Catalog) -> f64 {
-    let LogicalPlan::Scan { table, .. } = input else { return 0.25 };
-    let Ok(t) = catalog.table(table) else { return 0.25 };
+    let LogicalPlan::Scan { table, .. } = input else {
+        return 0.25;
+    };
+    let Ok(t) = catalog.table(table) else {
+        return 0.25;
+    };
     let rows = t.len().max(1) as f64;
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate, &mut conjuncts);
     let mut sel = 1.0f64;
     for c in &conjuncts {
         sel *= match c {
-            ScalarExpr::Binary { op: BinOp::Eq, left, right } => {
-                match (&**left, &**right) {
-                    (ScalarExpr::Column(i), ScalarExpr::Literal(_))
-                    | (ScalarExpr::Literal(_), ScalarExpr::Column(i)) => {
-                        match t.index_on(&[*i]) {
-                            Some(idx) => 1.0 / idx.tree.distinct_keys().max(1) as f64,
-                            None => 0.05,
-                        }
-                    }
-                    _ => 0.1,
-                }
-            }
+            ScalarExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => match (&**left, &**right) {
+                (ScalarExpr::Column(i), ScalarExpr::Literal(_))
+                | (ScalarExpr::Literal(_), ScalarExpr::Column(i)) => match t.index_on(&[*i]) {
+                    Some(idx) => 1.0 / idx.tree.distinct_keys().max(1) as f64,
+                    None => 0.05,
+                },
+                _ => 0.1,
+            },
             ScalarExpr::Binary {
                 op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq,
                 ..
@@ -382,7 +465,10 @@ mod tests {
     #[test]
     fn estimates_reflect_filters() {
         let db = db_with_skew();
-        let scan = LogicalPlan::Scan { table: "big".into(), cols: vec![] };
+        let scan = LogicalPlan::Scan {
+            table: "big".into(),
+            cols: vec![],
+        };
         let base = estimate(&scan, &db.catalog);
         assert_eq!(base, 3000.0);
         let filtered = LogicalPlan::Filter {

@@ -17,12 +17,20 @@ pub struct Column {
 impl Column {
     /// A nullable column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into().to_ascii_lowercase(), ty, nullable: true }
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: true,
+        }
     }
 
     /// A NOT NULL column.
     pub fn not_null(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into().to_ascii_lowercase(), ty, nullable: false }
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: false,
+        }
     }
 }
 

@@ -28,7 +28,9 @@
 //! that validates.
 
 use crate::catalog::Catalog;
-use crate::codec::{crc32, put_row, put_schema, put_str, put_u32, put_u64, put_u8, Reader};
+use crate::codec::{
+    crc32, len_u32, put_row, put_schema, put_str, put_u32, put_u64, put_u8, Reader,
+};
 use crate::error::{DbError, Result};
 use crate::table::Table;
 use crate::value::Row;
@@ -51,35 +53,38 @@ pub fn parse_snapshot_gen(name: &str) -> Option<u64> {
 }
 
 /// Serialize the whole catalog as generation `gen`.
-pub(crate) fn encode_snapshot(gen: u64, catalog: &Catalog) -> Vec<u8> {
+///
+/// Fails with [`DbError::ResourceExhausted`] when any length exceeds the
+/// u32 wire format rather than silently truncating it.
+pub(crate) fn encode_snapshot(gen: u64, catalog: &Catalog) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.extend_from_slice(SNAPSHOT_MAGIC);
     put_u32(&mut out, SNAPSHOT_VERSION);
     put_u64(&mut out, gen);
     let names = catalog.table_names();
-    put_u32(&mut out, names.len() as u32);
+    put_u32(&mut out, len_u32(names.len(), "snapshot tables")?);
     for name in &names {
-        let t = catalog.table(name).expect("listed table exists");
-        put_str(&mut out, &t.name);
-        put_schema(&mut out, &t.schema);
+        let t = catalog.table(name)?;
+        put_str(&mut out, &t.name)?;
+        put_schema(&mut out, &t.schema)?;
         put_u64(&mut out, t.slot_count() as u64);
         for (row, live) in t.slots() {
             put_u8(&mut out, live as u8);
-            put_row(&mut out, row);
+            put_row(&mut out, row)?;
         }
-        put_u32(&mut out, t.indexes.len() as u32);
+        put_u32(&mut out, len_u32(t.indexes.len(), "table indexes")?);
         for idx in &t.indexes {
-            put_str(&mut out, &idx.name);
-            put_u32(&mut out, idx.columns.len() as u32);
+            put_str(&mut out, &idx.name)?;
+            put_u32(&mut out, len_u32(idx.columns.len(), "index columns")?);
             for &c in &idx.columns {
-                put_u32(&mut out, c as u32);
+                put_u32(&mut out, len_u32(c, "index column offset")?);
             }
             put_u8(&mut out, idx.unique as u8);
         }
     }
     let crc = crc32(&out);
     put_u32(&mut out, crc);
-    out
+    Ok(out)
 }
 
 /// Decode and validate a snapshot file, rebuilding the catalog (including
@@ -101,7 +106,9 @@ pub(crate) fn decode_snapshot(buf: &[u8]) -> Result<(u64, Catalog)> {
     let mut r = Reader::new(&body[SNAPSHOT_MAGIC.len()..]);
     let version = r.u32()?;
     if version != SNAPSHOT_VERSION {
-        return Err(DbError::Corrupt(format!("snapshot: unsupported version {version}")));
+        return Err(DbError::Corrupt(format!(
+            "snapshot: unsupported version {version}"
+        )));
     }
     let gen = r.u64()?;
     let table_count = r.u32()? as usize;
@@ -139,7 +146,9 @@ pub(crate) fn decode_snapshot(buf: &[u8]) -> Result<(u64, Catalog)> {
             let idx_name = r.str()?;
             let n = r.u32()? as usize;
             if n > r.remaining() {
-                return Err(DbError::Corrupt("snapshot: absurd index column count".into()));
+                return Err(DbError::Corrupt(
+                    "snapshot: absurd index column count".into(),
+                ));
             }
             let mut columns = Vec::with_capacity(n);
             for _ in 0..n {
@@ -175,7 +184,8 @@ mod tests {
         let t = c.table_mut("t").unwrap();
         t.create_index("t_pk", vec![0], true).unwrap();
         for i in 0..10 {
-            t.insert(vec![Value::Int(i), Value::text(format!("row{i}"))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::text(format!("row{i}"))])
+                .unwrap();
         }
         // Leave tombstones so the round trip must preserve row ids.
         t.delete(3);
@@ -186,7 +196,7 @@ mod tests {
     #[test]
     fn snapshot_round_trip_preserves_rows_and_rids() {
         let catalog = sample_catalog();
-        let buf = encode_snapshot(5, &catalog);
+        let buf = encode_snapshot(5, &catalog).unwrap();
         let (gen, restored) = decode_snapshot(&buf).unwrap();
         assert_eq!(gen, 5);
         let orig = catalog.table("t").unwrap();
@@ -206,7 +216,7 @@ mod tests {
 
     #[test]
     fn truncation_anywhere_is_corrupt() {
-        let buf = encode_snapshot(1, &sample_catalog());
+        let buf = encode_snapshot(1, &sample_catalog()).unwrap();
         for cut in 0..buf.len() {
             assert!(
                 matches!(decode_snapshot(&buf[..cut]), Err(DbError::Corrupt(_))),
@@ -217,7 +227,7 @@ mod tests {
 
     #[test]
     fn bit_flip_anywhere_is_detected() {
-        let buf = encode_snapshot(1, &sample_catalog());
+        let buf = encode_snapshot(1, &sample_catalog()).unwrap();
         // Flipping any byte must fail the magic or the CRC.
         for pos in (0..buf.len()).step_by(17) {
             let mut bad = buf.clone();
@@ -236,7 +246,7 @@ mod tests {
 
     #[test]
     fn empty_catalog_round_trips() {
-        let buf = encode_snapshot(0, &Catalog::new());
+        let buf = encode_snapshot(0, &Catalog::new()).unwrap();
         let (gen, c) = decode_snapshot(&buf).unwrap();
         assert_eq!(gen, 0);
         assert!(c.table_names().is_empty());

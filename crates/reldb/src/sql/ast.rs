@@ -254,12 +254,18 @@ pub enum Expr {
 impl Expr {
     /// Column shorthand.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     /// Qualified column shorthand.
     pub fn qcol(q: &str, name: &str) -> Expr {
-        Expr::Column { qualifier: Some(q.to_string()), name: name.to_string() }
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
     }
 
     /// Literal shorthand.
@@ -269,7 +275,11 @@ impl Expr {
 
     /// Binary op shorthand.
     pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// `AND` of two expressions.

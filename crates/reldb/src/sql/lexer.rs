@@ -127,22 +127,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Symbol(Symbol::NotEq));
                 i += 2;
             }
-            b'<' => {
-                match b.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Symbol(Symbol::LtEq));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Symbol(Symbol::NotEq));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Symbol::Lt));
-                        i += 1;
-                    }
+            b'<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Symbol(Symbol::LtEq));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
             b'>' => {
                 if b.get(i + 1) == Some(&b'=') {
                     out.push(Token::Symbol(Symbol::GtEq));
@@ -271,14 +269,25 @@ mod tests {
             .collect();
         assert_eq!(
             syms,
-            vec![Symbol::NotEq, Symbol::NotEq, Symbol::LtEq, Symbol::GtEq, Symbol::Concat]
+            vec![
+                Symbol::NotEq,
+                Symbol::NotEq,
+                Symbol::LtEq,
+                Symbol::GtEq,
+                Symbol::Concat
+            ]
         );
     }
 
     #[test]
     fn comments_skipped() {
         let toks = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
-        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Number(_))).count(), 2);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, Token::Number(_)))
+                .count(),
+            2
+        );
     }
 
     #[test]

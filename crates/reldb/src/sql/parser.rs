@@ -143,7 +143,11 @@ impl Parser {
         if self.eat_kw("delete") {
             self.expect_kw("from")?;
             let table = self.ident()?;
-            let predicate = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             return Ok(Statement::Delete { table, predicate });
         }
         if self.eat_kw("update") {
@@ -158,8 +162,16 @@ impl Parser {
                     break;
                 }
             }
-            let predicate = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-            return Ok(Statement::Update { table, assignments, predicate });
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                predicate,
+            });
         }
         Err(self.err("expected a statement"))
     }
@@ -176,7 +188,12 @@ impl Parser {
                 columns.push(self.ident()?);
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Statement::CreateIndex { name, table, columns, unique });
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            });
         }
         if unique {
             return Err(self.err("expected INDEX after UNIQUE"));
@@ -207,13 +224,22 @@ impl Parser {
                     break;
                 }
             }
-            columns.push(ColumnDef { name: col_name, ty, not_null, primary_key });
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                not_null,
+                primary_key,
+            });
             if !self.eat_symbol(Symbol::Comma) {
                 break;
             }
         }
         self.expect_symbol(Symbol::RParen)?;
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn data_type(&mut self) -> Result<DataType> {
@@ -261,7 +287,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     // ---- select ----------------------------------------------------------
@@ -341,7 +371,11 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `ident.*`
-        if let (Some(Token::Ident(q)), Some(Token::Symbol(Symbol::Dot)), Some(Token::Symbol(Symbol::Star))) = (
+        if let (
+            Some(Token::Ident(q)),
+            Some(Token::Symbol(Symbol::Dot)),
+            Some(Token::Symbol(Symbol::Star)),
+        ) = (
             self.tokens.get(self.pos),
             self.tokens.get(self.pos + 1),
             self.tokens.get(self.pos + 2),
@@ -352,8 +386,8 @@ impl Parser {
         }
         let expr = self.expr()?;
         // `AS alias` or a bare non-reserved identifier.
-        let has_alias = self.eat_kw("as")
-            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+        let has_alias =
+            self.eat_kw("as") || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
         let alias = if has_alias { Some(self.ident()?) } else { None };
         Ok(SelectItem::Expr { expr, alias })
     }
@@ -401,7 +435,10 @@ impl Parser {
                 self.expect_symbol(Symbol::RParen)?;
                 self.eat_kw("as");
                 let alias = self.ident()?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             // Parenthesized join tree.
             let inner = self.table_ref()?;
@@ -409,8 +446,8 @@ impl Parser {
             return Ok(inner);
         }
         let name = self.ident()?;
-        let has_alias = self.eat_kw("as")
-            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+        let has_alias =
+            self.eat_kw("as") || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
         let alias = if has_alias { Some(self.ident()?) } else { None };
         Ok(TableRef::Table { name, alias })
     }
@@ -440,7 +477,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -451,7 +491,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(e), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            });
         }
         let negated = self.eat_kw("not");
         if self.eat_kw("between") {
@@ -472,11 +515,19 @@ impl Parser {
                 list.push(self.expr()?);
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(e), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(e),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("like") {
             let pat = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(e), pattern: Box::new(pat), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(e),
+                pattern: Box::new(pat),
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected BETWEEN, IN or LIKE after NOT"));
@@ -531,7 +582,10 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr> {
         if self.eat_symbol(Symbol::Minus) {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.eat_symbol(Symbol::Plus) {
             return self.unary();
@@ -604,21 +658,26 @@ impl Parser {
     fn column_tail(&mut self, first: String) -> Result<Expr> {
         if self.eat_symbol(Symbol::Dot) {
             let col = self.ident()?;
-            Ok(Expr::Column { qualifier: Some(first), name: col })
+            Ok(Expr::Column {
+                qualifier: Some(first),
+                name: col,
+            })
         } else {
-            Ok(Expr::Column { qualifier: None, name: first })
+            Ok(Expr::Column {
+                qualifier: None,
+                name: first,
+            })
         }
     }
 }
 
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
-        "union", "all", "distinct", "as", "join", "inner", "left", "right", "outer",
-        "cross", "on", "and", "or", "not", "in", "between", "like", "is", "null",
-        "insert", "into", "values", "update", "set", "delete", "create", "drop",
-        "table", "index", "unique", "primary", "key", "if", "exists", "explain",
-        "asc", "desc", "true", "false",
+        "select", "from", "where", "group", "by", "having", "order", "limit", "offset", "union",
+        "all", "distinct", "as", "join", "inner", "left", "right", "outer", "cross", "on", "and",
+        "or", "not", "in", "between", "like", "is", "null", "insert", "into", "values", "update",
+        "set", "delete", "create", "drop", "table", "index", "unique", "primary", "key", "if",
+        "exists", "explain", "asc", "desc", "true", "false",
     ];
     RESERVED.contains(&word.to_ascii_lowercase().as_str())
 }
@@ -634,7 +693,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 assert_eq!(name, "edge");
                 assert_eq!(columns.len(), 5);
                 assert!(columns[0].not_null);
@@ -661,7 +724,11 @@ mod tests {
     fn insert_multi_row() {
         let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -691,14 +758,20 @@ mod tests {
 
     #[test]
     fn joins_left_deep() {
-        let s = parse_statement(
-            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y")
+            .unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let TableRef::Join { kind, left, .. } = sel.from.unwrap() else { panic!() };
+        let TableRef::Join { kind, left, .. } = sel.from.unwrap() else {
+            panic!()
+        };
         assert_eq!(kind, JoinKind::Left);
-        assert!(matches!(*left, TableRef::Join { kind: JoinKind::Inner, .. }));
+        assert!(matches!(
+            *left,
+            TableRef::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -707,14 +780,17 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(
             sel.from.unwrap(),
-            TableRef::Join { kind: JoinKind::Cross, on: None, .. }
+            TableRef::Join {
+                kind: JoinKind::Cross,
+                on: None,
+                ..
+            }
         ));
     }
 
     #[test]
     fn subquery_in_from() {
-        let s =
-            parse_statement("SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 1").unwrap();
+        let s = parse_statement("SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 1").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(sel.from.unwrap(), TableRef::Subquery { alias, .. } if alias == "sub"));
     }
@@ -724,9 +800,18 @@ mod tests {
         let Statement::Select(sel) = parse_statement("SELECT 1 + 2 * 3").unwrap() else {
             panic!()
         };
-        let SelectItem::Expr { expr, .. } = &sel.projections[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.projections[0] else {
+            panic!()
+        };
         // Must parse as 1 + (2 * 3).
-        let Expr::Binary { op: BinOp::Add, right, .. } = expr else { panic!("{expr:?}") };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
+            panic!("{expr:?}")
+        };
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -783,23 +868,42 @@ mod tests {
 
     #[test]
     fn errors_are_syntax() {
-        assert!(matches!(parse_statement("SELEC 1"), Err(DbError::Syntax(_))));
-        assert!(matches!(parse_statement("SELECT FROM"), Err(DbError::Syntax(_))));
-        assert!(matches!(parse_statement("SELECT 1 extra garbage ,"), Err(DbError::Syntax(_))));
+        assert!(matches!(
+            parse_statement("SELEC 1"),
+            Err(DbError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_statement("SELECT FROM"),
+            Err(DbError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_statement("SELECT 1 extra garbage ,"),
+            Err(DbError::Syntax(_))
+        ));
     }
 
     #[test]
     fn update_and_delete() {
         let s = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE c = 2").unwrap();
         match s {
-            Statement::Update { assignments, predicate, .. } => {
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(predicate.is_some());
             }
             _ => unreachable!(),
         }
         let s = parse_statement("DELETE FROM t").unwrap();
-        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl StorageBackend for FileBackend {
     }
 
     fn sync(&mut self, name: &str) -> Result<()> {
-        let f = std::fs::File::open(self.path(name)).map_err(|e| io_err("open for sync", name, e))?;
+        let f =
+            std::fs::File::open(self.path(name)).map_err(|e| io_err("open for sync", name, e))?;
         f.sync_all().map_err(|e| io_err("fsync", name, e))
     }
 
@@ -261,12 +262,18 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that tears writes after `n` bytes.
     pub fn tear_after(n: u64) -> FaultPlan {
-        FaultPlan { write_budget: Some(n), ..FaultPlan::default() }
+        FaultPlan {
+            write_budget: Some(n),
+            ..FaultPlan::default()
+        }
     }
 
     /// A plan that fails the `n`th fsync (0-based).
     pub fn fail_sync(n: u64) -> FaultPlan {
-        FaultPlan { fail_sync_at: Some(n), ..FaultPlan::default() }
+        FaultPlan {
+            fail_sync_at: Some(n),
+            ..FaultPlan::default()
+        }
     }
 }
 
@@ -287,7 +294,13 @@ pub struct FaultBackend {
 impl FaultBackend {
     /// Wrap a shared file map with a fault plan.
     pub fn over(files: SharedFiles, plan: FaultPlan) -> FaultBackend {
-        FaultBackend { files, plan, written: 0, syncs: 0, dead: false }
+        FaultBackend {
+            files,
+            plan,
+            written: 0,
+            syncs: 0,
+            dead: false,
+        }
     }
 
     /// Whether an injected fault has fired.
@@ -349,7 +362,10 @@ impl StorageBackend for FaultBackend {
         let n = self.admit(data.len())?;
         self.files.put(name, data[..n].to_vec());
         if n < data.len() {
-            return Err(DbError::Io(format!("injected torn write: {n}/{} bytes", data.len())));
+            return Err(DbError::Io(format!(
+                "injected torn write: {n}/{} bytes",
+                data.len()
+            )));
         }
         Ok(())
     }
@@ -361,7 +377,10 @@ impl StorageBackend for FaultBackend {
             self.files.put(name, data[..n].to_vec());
         }
         if n < data.len() {
-            return Err(DbError::Io(format!("injected torn append: {n}/{} bytes", data.len())));
+            return Err(DbError::Io(format!(
+                "injected torn append: {n}/{} bytes",
+                data.len()
+            )));
         }
         Ok(())
     }
@@ -378,7 +397,9 @@ impl StorageBackend for FaultBackend {
         self.syncs += 1;
         if self.plan.fail_sync_at == Some(this) {
             self.dead = true;
-            return Err(DbError::Io(format!("injected fsync failure at sync #{this}")));
+            return Err(DbError::Io(format!(
+                "injected fsync failure at sync #{this}"
+            )));
         }
         Ok(())
     }
@@ -445,7 +466,10 @@ mod tests {
             let err = b.append("wal", b"0123456789").unwrap_err();
             assert!(matches!(err, DbError::Io(_)));
             assert!(b.crashed());
-            assert_eq!(files.get("wal").unwrap(), b"0123456789"[..budget as usize].to_vec());
+            assert_eq!(
+                files.get("wal").unwrap(),
+                b"0123456789"[..budget as usize].to_vec()
+            );
             // Dead backend fails everything.
             assert!(b.read("wal").is_err());
             assert!(b.append("wal", b"x").is_err());
@@ -480,7 +504,10 @@ mod tests {
         files.put("f", b"0123456789".to_vec());
         let mut b = FaultBackend::over(
             files,
-            FaultPlan { read_limit: Some(4), ..FaultPlan::default() },
+            FaultPlan {
+                read_limit: Some(4),
+                ..FaultPlan::default()
+            },
         );
         assert_eq!(b.read("f").unwrap().unwrap(), b"0123");
     }

@@ -191,7 +191,12 @@ impl Table {
         if columns.iter().any(|&c| c >= self.schema.arity()) {
             return Err(DbError::Binding("index column out of range".into()));
         }
-        let mut idx = Index { name, columns, unique, tree: BPlusTree::new() };
+        let mut idx = Index {
+            name,
+            columns,
+            unique,
+            tree: BPlusTree::new(),
+        };
         for (rid, row) in self.rows.iter().enumerate() {
             if !self.live[rid] {
                 continue;
@@ -222,9 +227,21 @@ impl Table {
 
     /// Rebuild a table from snapshot slots without re-validating rows.
     /// Indexes are rebuilt by the caller via [`Table::create_index`].
-    pub(crate) fn from_slots(name: String, schema: Schema, rows: Vec<Row>, live: Vec<bool>) -> Table {
+    pub(crate) fn from_slots(
+        name: String,
+        schema: Schema,
+        rows: Vec<Row>,
+        live: Vec<bool>,
+    ) -> Table {
         let live_count = live.iter().filter(|&&l| l).count();
-        Table { name, schema, rows, live, live_count, indexes: Vec::new() }
+        Table {
+            name,
+            schema,
+            rows,
+            live,
+            live_count,
+            indexes: Vec::new(),
+        }
     }
 
     /// Drop the heap tail from row id `from` onward, fixing indexes.
@@ -233,8 +250,8 @@ impl Table {
     pub(crate) fn unwind_tail(&mut self, from: usize) {
         while self.rows.len() > from {
             let rid = self.rows.len() - 1;
-            let row = self.rows.pop().expect("tail row exists");
-            if self.live.pop().expect("tail flag exists") {
+            let Some(row) = self.rows.pop() else { break };
+            if self.live.pop().unwrap_or(false) {
                 self.live_count -= 1;
                 for idx in &mut self.indexes {
                     let key = idx.key_of(&row);
@@ -357,7 +374,9 @@ mod tests {
         let key = vec![Value::text("even")];
         let rids = t.index_range(idx, Bound::Included(&key), Bound::Included(&key));
         assert_eq!(rids.len(), 50);
-        assert!(rids.iter().all(|&r| t.get(r).unwrap()[1] == Value::text("even")));
+        assert!(rids
+            .iter()
+            .all(|&r| t.get(r).unwrap()[1] == Value::text("even")));
     }
 
     #[test]

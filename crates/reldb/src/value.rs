@@ -142,6 +142,24 @@ impl Value {
     }
 }
 
+/// Checked row access: the value at `i`, or SQL NULL when the row is
+/// narrower than expected. Result-decoding code uses this instead of `[]`
+/// so a schema drift surfaces as NULL handling, never a panic.
+pub fn row_val(row: &[Value], i: usize) -> &Value {
+    const NULL: Value = Value::Null;
+    row.get(i).unwrap_or(&NULL)
+}
+
+/// Checked accessor: the INT at column `i`, if present.
+pub fn row_int(row: &[Value], i: usize) -> Option<i64> {
+    row.get(i).and_then(Value::as_int)
+}
+
+/// Checked accessor: the TEXT at column `i`, if present.
+pub fn row_text(row: &[Value], i: usize) -> Option<&str> {
+    row.get(i).and_then(Value::as_text)
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Value) -> bool {
         self.cmp(other) == Ordering::Equal
@@ -261,11 +279,13 @@ mod tests {
 
     #[test]
     fn total_order_classes() {
-        let mut vals = [Value::text("a"),
+        let mut vals = [
+            Value::text("a"),
             Value::Int(3),
             Value::Null,
             Value::Bool(true),
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));
@@ -290,8 +310,14 @@ mod tests {
 
     #[test]
     fn coercions() {
-        assert_eq!(Value::Int(2).coerce(DataType::Float), Some(Value::Float(2.0)));
-        assert_eq!(Value::text("42").coerce(DataType::Int), Some(Value::Int(42)));
+        assert_eq!(
+            Value::Int(2).coerce(DataType::Float),
+            Some(Value::Float(2.0))
+        );
+        assert_eq!(
+            Value::text("42").coerce(DataType::Int),
+            Some(Value::Int(42))
+        );
         assert_eq!(Value::text("x").coerce(DataType::Int), None);
         assert_eq!(Value::Int(7).coerce(DataType::Text), Some(Value::text("7")));
         assert_eq!(Value::Null.coerce(DataType::Int), Some(Value::Null));

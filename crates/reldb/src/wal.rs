@@ -20,7 +20,9 @@
 //! between publishing a new snapshot and truncating the log, and replaying
 //! those frames would double-apply their effects.
 
-use crate::codec::{crc32, put_row, put_schema, put_str, put_u32, put_u64, put_u8, Reader};
+use crate::codec::{
+    crc32, len_u32, put_row, put_schema, put_str, put_u32, put_u64, put_u8, Reader,
+};
 use crate::error::{DbError, Result};
 use crate::schema::Schema;
 use crate::value::Row;
@@ -80,55 +82,64 @@ pub enum WalRecord {
     },
 }
 
-fn put_record(out: &mut Vec<u8>, rec: &WalRecord) {
+fn put_record(out: &mut Vec<u8>, rec: &WalRecord) -> Result<()> {
     match rec {
         WalRecord::CreateTable { name, schema } => {
             put_u8(out, 1);
-            put_str(out, name);
-            put_schema(out, schema);
+            put_str(out, name)?;
+            put_schema(out, schema)?;
         }
-        WalRecord::CreateIndex { table, name, columns, unique } => {
+        WalRecord::CreateIndex {
+            table,
+            name,
+            columns,
+            unique,
+        } => {
             put_u8(out, 2);
-            put_str(out, table);
-            put_str(out, name);
-            put_u32(out, columns.len() as u32);
+            put_str(out, table)?;
+            put_str(out, name)?;
+            put_u32(out, len_u32(columns.len(), "index columns")?);
             for &c in columns {
-                put_u32(out, c as u32);
+                put_u32(out, len_u32(c, "index column offset")?);
             }
             put_u8(out, *unique as u8);
         }
         WalRecord::DropTable { name } => {
             put_u8(out, 3);
-            put_str(out, name);
+            put_str(out, name)?;
         }
         WalRecord::Insert { table, rows } => {
             put_u8(out, 4);
-            put_str(out, table);
-            put_u32(out, rows.len() as u32);
+            put_str(out, table)?;
+            put_u32(out, len_u32(rows.len(), "insert rows")?);
             for r in rows {
-                put_row(out, r);
+                put_row(out, r)?;
             }
         }
         WalRecord::Delete { table, rids } => {
             put_u8(out, 5);
-            put_str(out, table);
-            put_u32(out, rids.len() as u32);
+            put_str(out, table)?;
+            put_u32(out, len_u32(rids.len(), "delete rids")?);
             for &rid in rids {
                 put_u64(out, rid as u64);
             }
         }
         WalRecord::Update { table, rid, row } => {
             put_u8(out, 6);
-            put_str(out, table);
+            put_str(out, table)?;
             put_u64(out, *rid as u64);
-            put_row(out, row);
+            put_row(out, row)?;
         }
     }
+    Ok(())
 }
 
 fn read_record(r: &mut Reader<'_>) -> Result<WalRecord> {
     Ok(match r.u8()? {
-        1 => WalRecord::CreateTable { name: r.str()?, schema: r.schema()? },
+        1 => WalRecord::CreateTable {
+            name: r.str()?,
+            schema: r.schema()?,
+        },
         2 => {
             let table = r.str()?;
             let name = r.str()?;
@@ -141,7 +152,12 @@ fn read_record(r: &mut Reader<'_>) -> Result<WalRecord> {
                 columns.push(r.u32()? as usize);
             }
             let unique = r.u8()? != 0;
-            WalRecord::CreateIndex { table, name, columns, unique }
+            WalRecord::CreateIndex {
+                table,
+                name,
+                columns,
+                unique,
+            }
         }
         3 => WalRecord::DropTable { name: r.str()? },
         4 => {
@@ -168,24 +184,31 @@ fn read_record(r: &mut Reader<'_>) -> Result<WalRecord> {
             }
             WalRecord::Delete { table, rids }
         }
-        6 => WalRecord::Update { table: r.str()?, rid: r.u64()? as usize, row: r.row()? },
+        6 => WalRecord::Update {
+            table: r.str()?,
+            rid: r.u64()? as usize,
+            row: r.row()?,
+        },
         t => return Err(DbError::Corrupt(format!("unknown WAL record tag {t}"))),
     })
 }
 
 /// Encode one commit (all records of one statement) as a WAL frame.
-pub fn encode_frame(gen: u64, records: &[WalRecord]) -> Vec<u8> {
+///
+/// Fails with [`DbError::ResourceExhausted`] when any length in the frame
+/// exceeds the u32 wire format instead of silently truncating it.
+pub fn encode_frame(gen: u64, records: &[WalRecord]) -> Result<Vec<u8>> {
     let mut payload = Vec::new();
     put_u64(&mut payload, gen);
-    put_u32(&mut payload, records.len() as u32);
+    put_u32(&mut payload, len_u32(records.len(), "frame records")?);
     for rec in records {
-        put_record(&mut payload, rec);
+        put_record(&mut payload, rec)?;
     }
     let mut frame = Vec::with_capacity(8 + payload.len());
-    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, len_u32(payload.len(), "frame payload")?);
     put_u32(&mut frame, crc32(&payload));
     frame.extend_from_slice(&payload);
-    frame
+    Ok(frame)
 }
 
 /// One decoded commit.
@@ -230,7 +253,11 @@ pub fn read_frames(buf: &[u8]) -> (Vec<Frame>, usize) {
             for _ in 0..count {
                 records.push(read_record(&mut r)?);
             }
-            Ok(Frame { gen, records, end: start + len })
+            Ok(Frame {
+                gen,
+                records,
+                end: start + len,
+            })
         })();
         match frame {
             Ok(f) if r.is_empty() => frames.push(f),
@@ -256,7 +283,10 @@ mod tests {
         ])
         .unwrap();
         vec![
-            WalRecord::CreateTable { name: "t".into(), schema },
+            WalRecord::CreateTable {
+                name: "t".into(),
+                schema,
+            },
             WalRecord::CreateIndex {
                 table: "t".into(),
                 name: "t_pk".into(),
@@ -270,7 +300,10 @@ mod tests {
                     vec![Value::Int(2), Value::Null],
                 ],
             },
-            WalRecord::Delete { table: "t".into(), rids: vec![0, 1] },
+            WalRecord::Delete {
+                table: "t".into(),
+                rids: vec![0, 1],
+            },
             WalRecord::Update {
                 table: "t".into(),
                 rid: 1,
@@ -283,8 +316,8 @@ mod tests {
     #[test]
     fn frame_round_trip() {
         let records = sample_records();
-        let mut buf = encode_frame(7, &records[..3]);
-        buf.extend_from_slice(&encode_frame(7, &records[3..]));
+        let mut buf = encode_frame(7, &records[..3]).unwrap();
+        buf.extend_from_slice(&encode_frame(7, &records[3..]).unwrap());
         let (frames, consumed) = read_frames(&buf);
         assert_eq!(consumed, buf.len());
         assert_eq!(frames.len(), 2);
@@ -296,8 +329,8 @@ mod tests {
     #[test]
     fn torn_tail_truncates_to_frame_boundary() {
         let records = sample_records();
-        let f1 = encode_frame(1, &records[..2]);
-        let f2 = encode_frame(1, &records[2..]);
+        let f1 = encode_frame(1, &records[..2]).unwrap();
+        let f2 = encode_frame(1, &records[2..]).unwrap();
         let mut buf = f1.clone();
         buf.extend_from_slice(&f2);
         for cut in f1.len()..buf.len() {
@@ -318,9 +351,9 @@ mod tests {
     #[test]
     fn crc_flip_stops_replay_at_bad_frame() {
         let records = sample_records();
-        let f1 = encode_frame(1, &records[..2]);
-        let f2 = encode_frame(1, &records[2..4]);
-        let f3 = encode_frame(1, &records[4..]);
+        let f1 = encode_frame(1, &records[..2]).unwrap();
+        let f2 = encode_frame(1, &records[2..4]).unwrap();
+        let f3 = encode_frame(1, &records[4..]).unwrap();
         let mut buf = [f1.clone(), f2.clone(), f3].concat();
         // Flip one payload bit in the middle frame.
         buf[f1.len() + 8] ^= 0x01;

@@ -18,11 +18,15 @@ fn limit_offset_boundaries() {
     let mut db = db();
     let all = db.query("SELECT k FROM t ORDER BY k LIMIT 100").unwrap();
     assert_eq!(all.rows.len(), 5);
-    let two = db.query("SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 1").unwrap();
+    let two = db
+        .query("SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 1")
+        .unwrap();
     assert_eq!(two.rows.len(), 2);
     let none = db.query("SELECT k FROM t ORDER BY k LIMIT 0").unwrap();
     assert!(none.rows.is_empty());
-    let past = db.query("SELECT k FROM t ORDER BY k LIMIT 3 OFFSET 10").unwrap();
+    let past = db
+        .query("SELECT k FROM t ORDER BY k LIMIT 3 OFFSET 10")
+        .unwrap();
     assert!(past.rows.is_empty());
 }
 
@@ -40,11 +44,10 @@ fn nulls_sort_first_and_distinct_keeps_one_null() {
 #[test]
 fn aggregates_skip_nulls() {
     let mut db = db();
-    let q = db.query("SELECT COUNT(*), COUNT(k), COUNT(v) FROM t").unwrap();
-    assert_eq!(
-        q.rows[0],
-        vec![Value::Int(5), Value::Int(4), Value::Int(4)]
-    );
+    let q = db
+        .query("SELECT COUNT(*), COUNT(k), COUNT(v) FROM t")
+        .unwrap();
+    assert_eq!(q.rows[0], vec![Value::Int(5), Value::Int(4), Value::Int(4)]);
     let q = db.query("SELECT AVG(k), MIN(v), MAX(v) FROM t").unwrap();
     assert_eq!(q.rows[0][0], Value::Float(2.5));
     assert_eq!(q.rows[0][1], Value::text("a"));
@@ -79,8 +82,11 @@ fn joins_over_empty_tables() {
 #[test]
 fn null_join_keys_never_match() {
     let mut db = db();
-    db.execute_script("CREATE TABLE u (k INT); INSERT INTO u VALUES (NULL), (1);").unwrap();
-    let q = db.query("SELECT COUNT(*) FROM t JOIN u ON t.k = u.k").unwrap();
+    db.execute_script("CREATE TABLE u (k INT); INSERT INTO u VALUES (NULL), (1);")
+        .unwrap();
+    let q = db
+        .query("SELECT COUNT(*) FROM t JOIN u ON t.k = u.k")
+        .unwrap();
     assert_eq!(q.scalar(), Some(&Value::Int(1)));
 }
 
@@ -94,11 +100,17 @@ fn self_cross_join_counts() {
 #[test]
 fn between_and_in_with_nulls() {
     let mut db = db();
-    let q = db.query("SELECT COUNT(*) FROM t WHERE k BETWEEN 2 AND 3").unwrap();
+    let q = db
+        .query("SELECT COUNT(*) FROM t WHERE k BETWEEN 2 AND 3")
+        .unwrap();
     assert_eq!(q.scalar(), Some(&Value::Int(2)));
-    let q = db.query("SELECT COUNT(*) FROM t WHERE k IN (1, 4, NULL)").unwrap();
+    let q = db
+        .query("SELECT COUNT(*) FROM t WHERE k IN (1, 4, NULL)")
+        .unwrap();
     assert_eq!(q.scalar(), Some(&Value::Int(2)));
-    let q = db.query("SELECT COUNT(*) FROM t WHERE k NOT BETWEEN 2 AND 3").unwrap();
+    let q = db
+        .query("SELECT COUNT(*) FROM t WHERE k NOT BETWEEN 2 AND 3")
+        .unwrap();
     // NULL k is UNKNOWN, excluded.
     assert_eq!(q.scalar(), Some(&Value::Int(2)));
 }
@@ -111,7 +123,9 @@ fn order_by_multiple_keys_mixed_directions() {
          INSERT INTO p VALUES (1, 1), (1, 2), (2, 1), (2, 2);",
     )
     .unwrap();
-    let q = db.query("SELECT a, b FROM p ORDER BY a ASC, b DESC").unwrap();
+    let q = db
+        .query("SELECT a, b FROM p ORDER BY a ASC, b DESC")
+        .unwrap();
     let pairs: Vec<(i64, i64)> = q
         .rows
         .iter()

@@ -5,9 +5,11 @@ use reldb::{Database, DbError, ExecLimits};
 
 fn filled_db(n: i64) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)").unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)")
+        .unwrap();
     for i in 0..n {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3))
+            .unwrap();
     }
     db
 }
@@ -22,7 +24,10 @@ fn assert_exhausted(r: reldb::Result<reldb::QueryResult>) {
 #[test]
 fn max_rows_bounds_result_size() {
     let mut db = filled_db(20);
-    db.limits = ExecLimits { max_rows: Some(10), max_intermediate_rows: None };
+    db.limits = ExecLimits {
+        max_rows: Some(10),
+        max_intermediate_rows: None,
+    };
     assert_exhausted(db.query("SELECT id FROM t"));
     // At the limit is fine; the guard fires only past it.
     db.limits.max_rows = Some(20);
@@ -32,19 +37,25 @@ fn max_rows_bounds_result_size() {
 #[test]
 fn max_intermediate_rows_bounds_blocking_operators() {
     let mut db = filled_db(20);
-    db.limits = ExecLimits { max_rows: None, max_intermediate_rows: Some(5) };
+    db.limits = ExecLimits {
+        max_rows: None,
+        max_intermediate_rows: Some(5),
+    };
     // Sort buffers all input.
     assert_exhausted(db.query("SELECT id FROM t ORDER BY grp, id"));
     // Distinct tracks every seen row.
     assert_exhausted(db.query("SELECT DISTINCT id FROM t"));
     // Hash join materializes its build side.
-    assert_exhausted(db.query(
-        "SELECT a.id FROM t a JOIN t b ON a.grp = b.grp WHERE a.id < 100",
-    ));
+    assert_exhausted(db.query("SELECT a.id FROM t a JOIN t b ON a.grp = b.grp WHERE a.id < 100"));
     // Three groups fit under the cap even though the input does not.
-    let q = db.query("SELECT grp, COUNT(*) FROM t GROUP BY grp").unwrap();
+    let q = db
+        .query("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+        .unwrap();
     assert_eq!(q.rows.len(), 3);
     // Lifting the cap restores all queries.
     db.limits = ExecLimits::default();
-    assert_eq!(db.query("SELECT id FROM t ORDER BY id").unwrap().rows.len(), 20);
+    assert_eq!(
+        db.query("SELECT id FROM t ORDER BY id").unwrap().rows.len(),
+        20
+    );
 }

@@ -46,7 +46,11 @@ fn left_join_keeps_unmatched() {
         )
         .unwrap();
     // dyne has no orders but must appear once.
-    let dyne: Vec<_> = q.rows.iter().filter(|r| r[0] == Value::text("dyne")).collect();
+    let dyne: Vec<_> = q
+        .rows
+        .iter()
+        .filter(|r| r[0] == Value::text("dyne"))
+        .collect();
     assert_eq!(dyne.len(), 1);
     assert!(dyne[0][1].is_null());
     // Null customer order never matches anyone.
@@ -103,7 +107,9 @@ fn left_join_via_inl_keeps_unmatched() {
 fn three_valued_logic_in_where() {
     let mut db = northwind_lite();
     // city = 'berlin' is UNKNOWN for dyne (NULL city): excluded.
-    let q = db.query("SELECT COUNT(*) FROM customers WHERE city = 'berlin'").unwrap();
+    let q = db
+        .query("SELECT COUNT(*) FROM customers WHERE city = 'berlin'")
+        .unwrap();
     assert_eq!(q.scalar(), Some(&Value::Int(2)));
     // NOT (city = 'berlin') is also UNKNOWN for dyne: still excluded.
     let q = db
@@ -111,7 +117,9 @@ fn three_valued_logic_in_where() {
         .unwrap();
     assert_eq!(q.scalar(), Some(&Value::Int(1)));
     // IS NULL finds it.
-    let q = db.query("SELECT name FROM customers WHERE city IS NULL").unwrap();
+    let q = db
+        .query("SELECT name FROM customers WHERE city IS NULL")
+        .unwrap();
     assert_eq!(q.rows[0][0], Value::text("dyne"));
 }
 
@@ -135,7 +143,11 @@ fn predicate_pushdown_reduces_plan() {
     let with_q = db
         .query("EXPLAIN SELECT o.id FROM customers c, orders o WHERE o.customer = c.id AND c.city = 'paris'")
         .unwrap();
-    let with_text: String = with_q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
+    let with_text: String = with_q
+        .rows
+        .iter()
+        .map(|r| r[0].to_string() + "\n")
+        .collect();
     // The city predicate must reach the customers access path (index scan
     // or filtered scan below the join).
     assert!(
@@ -147,7 +159,8 @@ fn predicate_pushdown_reduces_plan() {
 #[test]
 fn update_delete_with_index_maintenance() {
     let mut db = northwind_lite();
-    db.execute("UPDATE orders SET customer = 2 WHERE id = 13").unwrap();
+    db.execute("UPDATE orders SET customer = 2 WHERE id = 13")
+        .unwrap();
     let q = db
         .query("SELECT COUNT(*) FROM orders WHERE customer = 2")
         .unwrap();

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 use reldb::snapshot::snapshot_file;
 use reldb::wal::{read_frames, WAL_FILE};
-use reldb::{
-    Database, DbError, FaultBackend, FaultPlan, MemBackend, SharedFiles, Value,
-};
+use reldb::{Database, DbError, FaultBackend, FaultPlan, MemBackend, SharedFiles, Value};
 
 fn open_mem(files: &SharedFiles) -> reldb::Result<Database> {
     Database::open_with_backend(Box::new(MemBackend::over(files.clone())))
@@ -18,7 +16,8 @@ fn open_mem(files: &SharedFiles) -> reldb::Result<Database> {
 /// fresh database over `files`.
 fn build_three_frames(files: &SharedFiles) {
     let mut db = open_mem(files).unwrap();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
     db.execute("INSERT INTO t VALUES (2, 'b')").unwrap();
 }
@@ -27,12 +26,14 @@ fn build_three_frames(files: &SharedFiles) {
 /// of the three statements above.
 fn check_state(db: &mut Database, committed: usize) {
     if committed == 0 {
-        assert!(db.query("SELECT id FROM t").is_err(), "table must not exist");
+        assert!(
+            db.query("SELECT id FROM t").is_err(),
+            "table must not exist"
+        );
         return;
     }
     let q = db.query("SELECT id FROM t ORDER BY id").unwrap();
-    let want: Vec<Vec<Value>> =
-        (1..committed as i64).map(|i| vec![Value::Int(i)]).collect();
+    let want: Vec<Vec<Value>> = (1..committed as i64).map(|i| vec![Value::Int(i)]).collect();
     assert_eq!(q.rows, want);
 }
 
@@ -54,7 +55,12 @@ fn torn_wal_tail_recovers_to_statement_boundary() {
         let committed = boundaries.iter().filter(|&&b| b <= cut).count();
         check_state(&mut db, committed);
         // Recovery must have truncated the torn tail off the log.
-        let keep = boundaries.iter().copied().filter(|&b| b <= cut).max().unwrap_or(0);
+        let keep = boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b <= cut)
+            .max()
+            .unwrap_or(0);
         assert_eq!(crashed.get(WAL_FILE).unwrap().len(), keep, "cut at {cut}");
     }
 }
@@ -66,7 +72,11 @@ fn crc_corruption_stops_replay_at_damaged_frame() {
         build_three_frames(&files);
         let wal = files.get(WAL_FILE).unwrap();
         let (frames, _) = read_frames(&wal);
-        let start = if victim == 0 { 0 } else { frames[victim - 1].end };
+        let start = if victim == 0 {
+            0
+        } else {
+            frames[victim - 1].end
+        };
         // Flip one payload bit inside the victim frame (past its header).
         assert!(files.mutate(WAL_FILE, |b| b[start + 8] ^= 0x40));
         let mut db = open_mem(&files).unwrap();
@@ -81,7 +91,8 @@ fn truncated_snapshot_refuses_to_open_as_empty() {
     let pristine = SharedFiles::new();
     {
         let mut db = open_mem(&pristine).unwrap();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
         db.checkpoint().unwrap();
     }
@@ -107,7 +118,8 @@ fn truncated_snapshot_refuses_to_open_as_empty() {
 fn falls_back_to_older_valid_snapshot() {
     let files = SharedFiles::new();
     let mut db = open_mem(&files).unwrap();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
     db.checkpoint().unwrap(); // snapshot.1
     let snap1 = files.get(&snapshot_file(1)).unwrap();
@@ -135,7 +147,8 @@ fn torn_commit_poisons_until_reopen() {
     let files = SharedFiles::new();
     {
         let mut db = open_mem(&files).unwrap();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
     }
     // The write budget is counted per backend instance; five bytes is not
     // enough for the next commit's frame, so it tears mid-write.
@@ -162,7 +175,8 @@ fn failed_sync_poisons_commit() {
     let files = SharedFiles::new();
     {
         let mut db = open_mem(&files).unwrap();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
     }
     // The schema commit used sync #0 on a fresh backend; fail the next one.
     let mut db = Database::open_with_backend(Box::new(FaultBackend::over(
@@ -186,7 +200,8 @@ fn file_backend_survives_reopen() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let mut db = Database::open(&dir).unwrap();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
         db.checkpoint().unwrap();
         db.execute("INSERT INTO t VALUES (2, 'b')").unwrap();

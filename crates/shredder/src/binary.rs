@@ -9,7 +9,7 @@
 //! the edge scheme's, at the cost of many tables and of `UNION ALL` for
 //! wildcard steps.
 
-use reldb::{Database, ExecResult, Value};
+use reldb::{row_int, row_text, Database, ExecResult, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
@@ -29,7 +29,10 @@ pub struct BinaryScheme {
 
 impl Default for BinaryScheme {
     fn default() -> BinaryScheme {
-        BinaryScheme { registry: LabelRegistry { prefix: "bin" }, with_value_index: false }
+        BinaryScheme {
+            registry: LabelRegistry { prefix: "bin" },
+            with_value_index: false,
+        }
     }
 }
 
@@ -166,14 +169,18 @@ impl MappingScheme for BinaryScheme {
         let mut recs = Vec::new();
         for (label, kind, tbl) in self.registry.all(db)? {
             let value_sel = if kind == "attr" { ", value" } else { "" };
-            let rec_kind = if kind == "attr" { RecKind::Attr } else { RecKind::Elem };
+            let rec_kind = if kind == "attr" {
+                RecKind::Attr
+            } else {
+                RecKind::Elem
+            };
             db.query_streaming(
                 &format!("SELECT pre, source, ordinal{value_sel} FROM {tbl} WHERE doc = {doc_id}"),
                 |row| {
                     recs.push(NodeRec {
-                        pre: row[0].as_int().unwrap_or(0),
-                        parent: row[1].as_int(),
-                        ordinal: row[2].as_int().unwrap_or(0),
+                        pre: row_int(&row, 0).unwrap_or(0),
+                        parent: row_int(&row, 1),
+                        ordinal: row_int(&row, 2).unwrap_or(0),
                         size: 0,
                         level: 0,
                         kind: rec_kind,
@@ -188,14 +195,14 @@ impl MappingScheme for BinaryScheme {
             &format!("SELECT pre, source, ordinal, value FROM bin_text WHERE doc = {doc_id}"),
             |row| {
                 recs.push(NodeRec {
-                    pre: row[0].as_int().unwrap_or(0),
-                    parent: row[1].as_int(),
-                    ordinal: row[2].as_int().unwrap_or(0),
+                    pre: row_int(&row, 0).unwrap_or(0),
+                    parent: row_int(&row, 1),
+                    ordinal: row_int(&row, 2).unwrap_or(0),
                     size: 0,
                     level: 0,
                     kind: RecKind::Text,
                     name: None,
-                    value: row[3].as_text().map(str::to_string),
+                    value: row_text(&row, 3).map(str::to_string),
                 });
                 Ok(())
             },
@@ -246,7 +253,8 @@ mod tests {
         let mut db = Database::new();
         let s = BinaryScheme::new();
         s.install(&mut db).unwrap();
-        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap())
+            .unwrap();
         (db, s)
     }
 
@@ -272,7 +280,10 @@ mod tests {
     #[test]
     fn round_trip() {
         let (db, s) = setup();
-        assert_eq!(xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()), BOOK);
+        assert_eq!(
+            xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()),
+            BOOK
+        );
     }
 
     #[test]
@@ -294,8 +305,12 @@ mod tests {
     #[test]
     fn delete_document() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 2, &Document::parse("<book><title>U</title></book>").unwrap())
-            .unwrap();
+        s.shred(
+            &mut db,
+            2,
+            &Document::parse("<book><title>U</title></book>").unwrap(),
+        )
+        .unwrap();
         let n = s.delete_document(&mut db, 1).unwrap();
         assert_eq!(n, 9);
         assert!(s.reconstruct(&db, 1).is_err());

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use reldb::{Database, Value};
+use reldb::{row_int, row_text, Database, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
@@ -122,7 +122,15 @@ impl MappingScheme for DeweyScheme {
 
     fn reconstruct(&self, db: &Database, doc_id: i64) -> Result<Document> {
         // (dewey, parent, ordinal, level, kind, name, value)
-        type RawRow = (String, Option<String>, i64, i64, String, Option<String>, Option<String>);
+        type RawRow = (
+            String,
+            Option<String>,
+            i64,
+            i64,
+            String,
+            Option<String>,
+            Option<String>,
+        );
         // Assign synthetic pre ids by lexicographic key rank.
         let mut raw: Vec<RawRow> = Vec::new();
         db.query_streaming(
@@ -132,13 +140,13 @@ impl MappingScheme for DeweyScheme {
             ),
             |row| {
                 raw.push((
-                    row[0].as_text().unwrap_or("").to_string(),
-                    row[1].as_text().map(str::to_string),
-                    row[2].as_int().unwrap_or(0),
-                    row[3].as_int().unwrap_or(0),
-                    row[4].as_text().unwrap_or("").to_string(),
-                    row[5].as_text().map(str::to_string),
-                    row[6].as_text().map(str::to_string),
+                    row_text(&row, 0).unwrap_or("").to_string(),
+                    row_text(&row, 1).map(str::to_string),
+                    row_int(&row, 2).unwrap_or(0),
+                    row_int(&row, 3).unwrap_or(0),
+                    row_text(&row, 4).unwrap_or("").to_string(),
+                    row_text(&row, 5).map(str::to_string),
+                    row_text(&row, 6).map(str::to_string),
                 ));
                 Ok(())
             },
@@ -151,16 +159,18 @@ impl MappingScheme for DeweyScheme {
         let recs: Vec<NodeRec> = raw
             .iter()
             .enumerate()
-            .map(|(i, (_, parent, ordinal, level, kind, name, value))| NodeRec {
-                pre: i as i64,
-                parent: parent.as_deref().and_then(|p| rank.get(p)).copied(),
-                ordinal: *ordinal,
-                size: 0,
-                level: *level,
-                kind: RecKind::from_tag(kind).unwrap_or(RecKind::Elem),
-                name: name.clone(),
-                value: value.clone(),
-            })
+            .map(
+                |(i, (_, parent, ordinal, level, kind, name, value))| NodeRec {
+                    pre: i as i64,
+                    parent: parent.as_deref().and_then(|p| rank.get(p)).copied(),
+                    ordinal: *ordinal,
+                    size: 0,
+                    level: *level,
+                    kind: RecKind::from_tag(kind).unwrap_or(RecKind::Elem),
+                    name: name.clone(),
+                    value: value.clone(),
+                },
+            )
             .collect();
         rebuild(recs)
     }
@@ -194,7 +204,10 @@ mod tests {
     #[test]
     fn round_trip() {
         let (db, s) = setup();
-        assert_eq!(xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()), XML);
+        assert_eq!(
+            xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()),
+            XML
+        );
     }
 
     #[test]

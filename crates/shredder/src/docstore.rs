@@ -1,6 +1,6 @@
 //! Document registry shared by all schemes: ids, names, and root labels.
 
-use reldb::{Database, ExecResult, Value};
+use reldb::{row_int, row_text, Database, ExecResult, Value};
 
 use crate::error::Result;
 use crate::labels::escape;
@@ -37,9 +37,12 @@ pub fn register(db: &mut Database, name: &str) -> Result<i64> {
 pub fn lookup(db: &Database, name: &str) -> Result<Option<i64>> {
     let mut found = None;
     db.query_streaming(
-        &format!("SELECT doc FROM {DOCS_TABLE} WHERE name = '{}'", escape(name)),
+        &format!(
+            "SELECT doc FROM {DOCS_TABLE} WHERE name = '{}'",
+            escape(name)
+        ),
         |row| {
-            found = row[0].as_int();
+            found = row_int(&row, 0);
             Ok(())
         },
     )?;
@@ -49,13 +52,16 @@ pub fn lookup(db: &Database, name: &str) -> Result<Option<i64>> {
 /// All registered documents.
 pub fn list(db: &Database) -> Result<Vec<DocEntry>> {
     let mut out = Vec::new();
-    db.query_streaming(&format!("SELECT doc, name FROM {DOCS_TABLE} ORDER BY doc"), |row| {
-        out.push(DocEntry {
-            id: row[0].as_int().unwrap_or(0),
-            name: row[1].as_text().unwrap_or("").to_string(),
-        });
-        Ok(())
-    })?;
+    db.query_streaming(
+        &format!("SELECT doc, name FROM {DOCS_TABLE} ORDER BY doc"),
+        |row| {
+            out.push(DocEntry {
+                id: row_int(&row, 0).unwrap_or(0),
+                name: row_text(&row, 1).unwrap_or("").to_string(),
+            });
+            Ok(())
+        },
+    )?;
     Ok(out)
 }
 

@@ -17,7 +17,7 @@
 //! `edge` occurrence per step — the join-chain cost that motivates every
 //! other scheme in the comparison.
 
-use reldb::{Database, Value};
+use reldb::{row_int, row_text, Database, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
@@ -28,13 +28,11 @@ use crate::walk::{flatten, NodeRec, RecKind};
 
 /// The edge scheme. `with_value_index` adds a secondary index on `value`
 /// (experiment E5's knob).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EdgeScheme {
     /// Create an index on the `value` column at install time.
     pub with_value_index: bool,
 }
-
 
 impl EdgeScheme {
     /// Scheme with default options.
@@ -110,15 +108,15 @@ impl MappingScheme for EdgeScheme {
             ),
             |row| {
                 recs.push(NodeRec {
-                    pre: row[4].as_int().unwrap_or(0),
-                    parent: row[0].as_int(),
-                    ordinal: row[1].as_int().unwrap_or(0),
+                    pre: row_int(&row, 4).unwrap_or(0),
+                    parent: row_int(&row, 0),
+                    ordinal: row_int(&row, 1).unwrap_or(0),
                     size: 0,
                     level: 0,
-                    kind: RecKind::from_tag(row[3].as_text().unwrap_or(""))
+                    kind: RecKind::from_tag(row_text(&row, 3).unwrap_or(""))
                         .unwrap_or(RecKind::Elem),
-                    name: row[2].as_text().map(str::to_string),
-                    value: row[5].as_text().map(str::to_string),
+                    name: row_text(&row, 2).map(str::to_string),
+                    value: row_text(&row, 5).map(str::to_string),
                 });
                 Ok(())
             },
@@ -179,8 +177,10 @@ mod tests {
     #[test]
     fn multiple_documents_isolated() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 1, &Document::parse("<a><b/></a>").unwrap()).unwrap();
-        s.shred(&mut db, 2, &Document::parse("<x>t</x>").unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse("<a><b/></a>").unwrap())
+            .unwrap();
+        s.shred(&mut db, 2, &Document::parse("<x>t</x>").unwrap())
+            .unwrap();
         assert_eq!(
             xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()),
             "<a><b/></a>"
@@ -194,8 +194,10 @@ mod tests {
     #[test]
     fn delete_document_removes_rows() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap()).unwrap();
-        s.shred(&mut db, 2, &Document::parse("<x/>").unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap())
+            .unwrap();
+        s.shred(&mut db, 2, &Document::parse("<x/>").unwrap())
+            .unwrap();
         let n = s.delete_document(&mut db, 1).unwrap();
         assert_eq!(n, 9);
         assert_eq!(db.catalog.table("edge").unwrap().len(), 1);
@@ -205,7 +207,8 @@ mod tests {
     #[test]
     fn storage_stats_nonzero() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap())
+            .unwrap();
         let st = s.storage_stats(&db);
         assert_eq!(st.tables, 2); // edge + edge_paths
         assert!(st.rows >= 9);
@@ -216,7 +219,9 @@ mod tests {
     #[test]
     fn value_index_option() {
         let mut db = Database::new();
-        let s = EdgeScheme { with_value_index: true };
+        let s = EdgeScheme {
+            with_value_index: true,
+        };
         s.install(&mut db).unwrap();
         assert!(db
             .catalog
@@ -230,7 +235,8 @@ mod tests {
     #[test]
     fn label_query_via_sql() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap())
+            .unwrap();
         let q = db
             .query("SELECT value FROM edge WHERE label = 'year' AND kind = 'attr'")
             .unwrap();

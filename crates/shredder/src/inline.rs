@@ -31,7 +31,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use reldb::{Database, ExecResult, Value};
+use reldb::{row_int, row_text, Database, ExecResult, Value};
 use xmlpar::dtd::{Card, Dtd, NormalizedModel};
 use xmlpar::{Document, NodeId, NodeKind, QName};
 
@@ -78,7 +78,25 @@ pub struct TableDef {
 impl TableDef {
     /// Find a value column by path and kind.
     pub fn find_col(&self, path: &[String], kind: &ColKind) -> Option<&InlineCol> {
-        self.columns.iter().find(|c| c.path == path && c.kind == *kind)
+        self.columns
+            .iter()
+            .find(|c| c.path == path && c.kind == *kind)
+    }
+
+    /// Row offset of `col` in the table's full layout (6 fixed columns
+    /// precede the value columns). `Corrupt` when the column does not
+    /// belong to this definition — e.g. a mapping edited behind our back.
+    pub fn col_offset(&self, col: &InlineCol) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == col)
+            .map(|i| 6 + i)
+            .ok_or_else(|| {
+                ShredError::Corrupt(format!(
+                    "column {:?} is not part of table {:?}",
+                    col.column, self.table
+                ))
+            })
     }
 }
 
@@ -131,7 +149,8 @@ impl InlineMapping {
         tabled.insert(root.as_str());
         for (el, m) in &models {
             let ps = parents.get(el.as_str());
-            let shared = ps.map(|v| v.iter().map(|(p, _)| p).collect::<BTreeSet<_>>().len() > 1)
+            let shared = ps
+                .map(|v| v.iter().map(|(p, _)| p).collect::<BTreeSet<_>>().len() > 1)
                 .unwrap_or(false);
             let set_valued = ps
                 .map(|v| v.iter().any(|(_, c)| *c == Card::Many))
@@ -152,7 +171,10 @@ impl InlineMapping {
             .map(|el| {
                 (
                     el.clone(),
-                    dtd.attributes_of(el).iter().map(|a| a.name.clone()).collect(),
+                    dtd.attributes_of(el)
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect(),
                 )
             })
             .collect();
@@ -177,7 +199,15 @@ impl InlineMapping {
                     column: unique_col(&mut used, "val"),
                 });
             }
-            inline_columns(el, &models, &attrs, &tabled, &mut Vec::new(), &mut used, &mut columns)?;
+            inline_columns(
+                el,
+                &models,
+                &attrs,
+                &tabled,
+                &mut Vec::new(),
+                &mut used,
+                &mut columns,
+            )?;
             tables.insert(
                 el.to_string(),
                 TableDef {
@@ -249,7 +279,11 @@ fn inline_columns(
         }
         debug_assert_ne!(*card, Card::Many, "many-children are always tabled");
         path.push(child.clone());
-        let prefix = path.iter().map(|p| sanitize(p)).collect::<Vec<_>>().join("_");
+        let prefix = path
+            .iter()
+            .map(|p| sanitize(p))
+            .collect::<Vec<_>>()
+            .join("_");
         let cm = &models[child];
         if *card == Card::Opt {
             out.push(InlineCol {
@@ -343,7 +377,7 @@ fn cycle_elements(models: &BTreeMap<String, NormalizedModel>) -> BTreeSet<&str> 
                             break;
                         }
                     }
-                    let self_loop = comp.len() == 1 && adj[comp[0]].contains(&comp[0]);
+                    let self_loop = matches!(comp.as_slice(), &[w] if adj[w].contains(&w));
                     if comp.len() > 1 || self_loop {
                         for w in comp {
                             out.insert(names[w]);
@@ -366,7 +400,9 @@ pub struct InlineScheme {
 impl InlineScheme {
     /// Build the scheme from a DTD.
     pub fn from_dtd(dtd: &Dtd) -> Result<InlineScheme> {
-        Ok(InlineScheme { mapping: InlineMapping::from_dtd(dtd)? })
+        Ok(InlineScheme {
+            mapping: InlineMapping::from_dtd(dtd)?,
+        })
     }
 
     /// Build from DTD fragment text (convenience).
@@ -444,7 +480,12 @@ impl MappingScheme for InlineScheme {
             stats: ShredStats::default(),
         };
         sh.shred_tabled(doc.root(), None)?;
-        let InlineShredder { rows, text_rows, stats, .. } = sh;
+        let InlineShredder {
+            rows,
+            text_rows,
+            stats,
+            ..
+        } = sh;
         for (table, rs) in rows {
             db.bulk_insert(&table, rs)?;
         }
@@ -456,8 +497,6 @@ impl MappingScheme for InlineScheme {
         let mut loader = InlineLoader::load(&self.mapping, db, doc_id)?;
         loader.build()
     }
-
-
 
     fn delete_document(&self, db: &mut Database, doc_id: i64) -> Result<usize> {
         let mut n = 0;
@@ -477,8 +516,12 @@ impl MappingScheme for InlineScheme {
     }
 
     fn tables(&self, _db: &Database) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.mapping.tables.values().map(|d| d.table.clone()).collect();
+        let mut v: Vec<String> = self
+            .mapping
+            .tables
+            .values()
+            .map(|d| d.table.clone())
+            .collect();
         v.push("inl_text".to_string());
         v
     }
@@ -516,17 +559,18 @@ impl InlineShredder<'_> {
         self.next_id += 1;
         self.stats.elements += 1;
         let arity = 6 + def.columns.len();
-        let mut row: Vec<Value> = vec![Value::Null; arity];
-        row[0] = Value::Int(self.doc_id);
-        row[1] = Value::Int(id);
+        let mut row: Vec<Value> = Vec::with_capacity(arity);
+        row.push(Value::Int(self.doc_id));
+        row.push(Value::Int(id));
         if let Some((ptbl, pid, ppath, ord)) = &parent {
-            row[2] = Value::Int(*pid);
-            row[3] = Value::text(*ptbl);
-            row[4] = Value::text(ppath.clone());
-            row[5] = Value::Int(*ord);
+            row.push(Value::Int(*pid));
+            row.push(Value::text(*ptbl));
+            row.push(Value::text(ppath.clone()));
+            row.push(Value::Int(*ord));
         } else {
-            row[5] = Value::Int(0);
+            row.extend([Value::Null, Value::Null, Value::Null, Value::Int(0)]);
         }
+        row.resize(arity, Value::Null);
         // Own attributes.
         for a in self.doc.attributes(node) {
             let col = def
@@ -537,7 +581,7 @@ impl InlineShredder<'_> {
                         a.name.as_label()
                     ))
                 })?;
-            let off = 6 + def.columns.iter().position(|c| c == col).expect("col present");
+            let off = def.col_offset(col)?;
             row[off] = Value::text(a.value.clone());
             self.stats.attributes += 1;
         }
@@ -584,7 +628,7 @@ impl InlineShredder<'_> {
         }
         if !val_text.is_empty() || self.mapping.models[&label].pcdata && !def.mixed {
             if let Some(col) = def.find_col(&[], &ColKind::Pcdata) {
-                let off = 6 + def.columns.iter().position(|c| c == col).expect("col");
+                let off = def.col_offset(col)?;
                 row[off] = Value::text(val_text);
             }
         }
@@ -605,12 +649,10 @@ impl InlineShredder<'_> {
     ) -> Result<()> {
         self.stats.elements += 1;
         let label = path.last().cloned().unwrap_or_default();
-        let offset_of = |col: &InlineCol, def: &TableDef| {
-            6 + def.columns.iter().position(|c| c == col).expect("column present")
-        };
+
         // Presence marker (duplicate occurrence of a once-child = non-conforming).
         if let Some(col) = def.find_col(path, &ColKind::Present) {
-            let off = offset_of(col, def);
+            let off = def.col_offset(col)?;
             if !row[off].is_null() {
                 return Err(ShredError::Unsupported(format!(
                     "element {label:?} occurs twice but the DTD allows it once"
@@ -627,14 +669,14 @@ impl InlineShredder<'_> {
                         a.name.as_label()
                     ))
                 })?;
-            row[offset_of(col, def)] = Value::text(a.value.clone());
+            row[def.col_offset(col)?] = Value::text(a.value.clone());
             self.stats.attributes += 1;
         }
         let mut val_text = String::new();
         let mut saw_pcdata_col = false;
         if let Some(col) = def.find_col(path, &ColKind::Pcdata) {
             saw_pcdata_col = true;
-            if !row[offset_of(col, def)].is_null() {
+            if !row[def.col_offset(col)?].is_null() {
                 return Err(ShredError::Unsupported(format!(
                     "element {label:?} occurs twice but the DTD allows it once"
                 )));
@@ -665,8 +707,9 @@ impl InlineShredder<'_> {
             }
         }
         if saw_pcdata_col {
-            let col = def.find_col(path, &ColKind::Pcdata).expect("checked");
-            row[offset_of(col, def)] = Value::text(val_text);
+            if let Some(col) = def.find_col(path, &ColKind::Pcdata) {
+                row[def.col_offset(col)?] = Value::text(val_text);
+            }
         } else if !val_text.trim().is_empty() {
             return Err(ShredError::Unsupported(format!(
                 "element {label:?} has text content but the DTD declares none"
@@ -723,17 +766,20 @@ impl<'a> InlineLoader<'a> {
                         values.insert(c.to_string(), row[5 + i].clone());
                     }
                     let loaded = LoadedRow {
-                        id: row[0].as_int().unwrap_or(0),
-                        ord: row[4].as_int().unwrap_or(0),
+                        id: row_int(&row, 0).unwrap_or(0),
+                        ord: row_int(&row, 4).unwrap_or(0),
                         values,
                     };
                     let key = (
-                        row[2].as_text().unwrap_or("").to_string(),
-                        row[1].as_int(),
-                        row[3].as_text().unwrap_or("").to_string(),
+                        row_text(&row, 2).unwrap_or("").to_string(),
+                        row_int(&row, 1),
+                        row_text(&row, 3).unwrap_or("").to_string(),
                     );
                     by_id.insert((def.element.clone(), loaded.id), loaded.clone());
-                    children.entry(key).or_default().push((def.element.clone(), loaded));
+                    children
+                        .entry(key)
+                        .or_default()
+                        .push((def.element.clone(), loaded));
                     Ok(())
                 },
             )?;
@@ -747,13 +793,13 @@ impl<'a> InlineLoader<'a> {
             |row| {
                 texts
                     .entry((
-                        row[0].as_text().unwrap_or("").to_string(),
-                        row[1].as_int().unwrap_or(0),
+                        row_text(&row, 0).unwrap_or("").to_string(),
+                        row_int(&row, 1).unwrap_or(0),
                     ))
                     .or_default()
                     .push((
-                        row[2].as_int().unwrap_or(0),
-                        row[3].as_text().unwrap_or("").to_string(),
+                        row_int(&row, 2).unwrap_or(0),
+                        row_text(&row, 3).unwrap_or("").to_string(),
                     ));
                 Ok(())
             },
@@ -761,7 +807,13 @@ impl<'a> InlineLoader<'a> {
         for list in texts.values_mut() {
             list.sort();
         }
-        Ok(InlineLoader { mapping, children, by_id, texts, doc: None })
+        Ok(InlineLoader {
+            mapping,
+            children,
+            by_id,
+            texts,
+            doc: None,
+        })
     }
 
     /// Build a fragment rooted at one node.
@@ -770,9 +822,7 @@ impl<'a> InlineLoader<'a> {
             .by_id
             .get(&(anchor.to_string(), id))
             .cloned()
-            .ok_or_else(|| {
-                ShredError::Corrupt(format!("no row {id} in table for {anchor:?}"))
-            })?;
+            .ok_or_else(|| ShredError::Corrupt(format!("no row {id} in table for {anchor:?}")))?;
         let element = path.last().map(String::as_str).unwrap_or(anchor);
         let doc = Document::new_with_root(parse_qname(element)?);
         let root_id = doc.root();
@@ -787,7 +837,7 @@ impl<'a> InlineLoader<'a> {
                     if let ColKind::Attr(a) = &col.kind {
                         if let Some(Value::Text(v)) = row.values.get(&col.column) {
                             let v = v.clone();
-                            self.doc_mut().add_attribute(root_id, parse_qname(a)?, v);
+                            self.doc_mut()?.add_attribute(root_id, parse_qname(a)?, v);
                         }
                     }
                 }
@@ -796,7 +846,7 @@ impl<'a> InlineLoader<'a> {
                 if let Some(Value::Text(v)) = row.values.get(&col.column) {
                     if !v.is_empty() {
                         let v = v.clone();
-                        self.doc_mut().add_text(root_id, v);
+                        self.doc_mut()?.add_text(root_id, v);
                     }
                 }
             }
@@ -804,7 +854,9 @@ impl<'a> InlineLoader<'a> {
             let mut p = path.to_vec();
             self.emit_children(root_id, element, &def, &row, &model, &mut p)?;
         }
-        Ok(self.doc.take().expect("fragment built"))
+        self.doc
+            .take()
+            .ok_or_else(|| ShredError::Corrupt("reconstruction lost its document".into()))
     }
 
     fn build(&mut self) -> Result<Document> {
@@ -819,12 +871,16 @@ impl<'a> InlineLoader<'a> {
                 roots.len()
             )));
         }
-        let (element, row) = roots.into_iter().next().expect("one root");
+        let Some((element, row)) = roots.into_iter().next() else {
+            return Err(ShredError::Corrupt("root row vanished".into()));
+        };
         let doc = Document::new_with_root(parse_qname(&element)?);
         let root_id = doc.root();
         self.doc = Some(doc);
         self.emit_tabled(root_id, &element, &row)?;
-        Ok(self.doc.take().expect("document built"))
+        self.doc
+            .take()
+            .ok_or_else(|| ShredError::Corrupt("reconstruction lost its document".into()))
     }
 
     fn emit_tabled(&mut self, node: NodeId, element: &str, row: &LoadedRow) -> Result<()> {
@@ -835,7 +891,7 @@ impl<'a> InlineLoader<'a> {
                 if let ColKind::Attr(a) = &c.kind {
                     if let Some(Value::Text(v)) = row.values.get(&c.column) {
                         let v = v.clone();
-                        self.doc_mut().add_attribute(node, parse_qname(a)?, v);
+                        self.doc_mut()?.add_attribute(node, parse_qname(a)?, v);
                     }
                 }
             }
@@ -859,11 +915,12 @@ impl<'a> InlineLoader<'a> {
             for (_, item) in items {
                 match item {
                     Item::Text(v) => {
-                        self.doc_mut().add_text(node, v);
+                        self.doc_mut()?.add_text(node, v);
                     }
                     Item::Tabled(el, r) => {
                         let child =
-                            self.doc_mut().add_element(node, parse_qname(&el)?, Vec::new());
+                            self.doc_mut()?
+                                .add_element(node, parse_qname(&el)?, Vec::new());
                         self.emit_tabled(child, &el, &r)?;
                     }
                 }
@@ -875,7 +932,7 @@ impl<'a> InlineLoader<'a> {
             if let Some(Value::Text(v)) = row.values.get(&col.column) {
                 if !v.is_empty() {
                     let v = v.clone();
-                    self.doc_mut().add_text(node, v);
+                    self.doc_mut()?.add_text(node, v);
                 }
             }
         }
@@ -902,15 +959,12 @@ impl<'a> InlineLoader<'a> {
                 let kids: Vec<(String, LoadedRow)> = self
                     .children
                     .get(&(def.table.clone(), Some(row.id), path.join("/")))
-                    .map(|v| {
-                        v.iter()
-                            .filter(|(el, _)| el == child)
-                            .cloned()
-                            .collect()
-                    })
+                    .map(|v| v.iter().filter(|(el, _)| el == child).cloned().collect())
                     .unwrap_or_default();
                 for (el, r) in kids {
-                    let c = self.doc_mut().add_element(node, parse_qname(&el)?, Vec::new());
+                    let c = self
+                        .doc_mut()?
+                        .add_element(node, parse_qname(&el)?, Vec::new());
                     self.emit_tabled(c, &el, &r)?;
                 }
                 continue;
@@ -925,7 +979,9 @@ impl<'a> InlineLoader<'a> {
                 _ => true,
             };
             if present {
-                let c = self.doc_mut().add_element(node, parse_qname(child)?, Vec::new());
+                let c = self
+                    .doc_mut()?
+                    .add_element(node, parse_qname(child)?, Vec::new());
                 // Attributes.
                 let cm = self.mapping.models[child].clone();
                 for col in &def.columns {
@@ -933,7 +989,7 @@ impl<'a> InlineLoader<'a> {
                         if let ColKind::Attr(a) = &col.kind {
                             if let Some(Value::Text(v)) = row.values.get(&col.column) {
                                 let v = v.clone();
-                                self.doc_mut().add_attribute(c, parse_qname(a)?, v);
+                                self.doc_mut()?.add_attribute(c, parse_qname(a)?, v);
                             }
                         }
                     }
@@ -943,7 +999,7 @@ impl<'a> InlineLoader<'a> {
                     if let Some(Value::Text(v)) = row.values.get(&col.column) {
                         if !v.is_empty() {
                             let v = v.clone();
-                            self.doc_mut().add_text(c, v);
+                            self.doc_mut()?.add_text(c, v);
                         }
                     }
                 }
@@ -954,8 +1010,10 @@ impl<'a> InlineLoader<'a> {
         Ok(())
     }
 
-    fn doc_mut(&mut self) -> &mut Document {
-        self.doc.as_mut().expect("document under construction")
+    fn doc_mut(&mut self) -> Result<&mut Document> {
+        self.doc
+            .as_mut()
+            .ok_or_else(|| ShredError::Corrupt("reconstruction lost its document".into()))
     }
 }
 
@@ -1022,10 +1080,16 @@ mod tests {
             .find_col(&["price".into()], &ColKind::Attr("currency".into()))
             .is_some());
         // price is optional -> presence marker.
-        assert!(book.find_col(&["price".into()], &ColKind::Present).is_some());
+        assert!(book
+            .find_col(&["price".into()], &ColKind::Present)
+            .is_some());
         let author = &m.tables["author"];
-        assert!(author.find_col(&["firstname".into()], &ColKind::Pcdata).is_some());
-        assert!(author.find_col(&["lastname".into()], &ColKind::Pcdata).is_some());
+        assert!(author
+            .find_col(&["firstname".into()], &ColKind::Pcdata)
+            .is_some());
+        assert!(author
+            .find_col(&["lastname".into()], &ColKind::Pcdata)
+            .is_some());
     }
 
     #[test]

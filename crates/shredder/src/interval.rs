@@ -19,7 +19,7 @@
 //! `level` supports the child axis as `descendant AND level = a.level + 1`;
 //! `parent` is also materialized for direct child joins.
 
-use reldb::{Database, Value};
+use reldb::{row_int, row_text, Database, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
@@ -28,13 +28,11 @@ use crate::scheme::{tally, MappingScheme, ShredStats};
 use crate::walk::{flatten, NodeRec, RecKind};
 
 /// The interval scheme.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IntervalScheme {
     /// Create an index on the `value` column at install time.
     pub with_value_index: bool,
 }
-
 
 impl IntervalScheme {
     /// Scheme with default options.
@@ -108,15 +106,15 @@ impl MappingScheme for IntervalScheme {
             ),
             |row| {
                 recs.push(NodeRec {
-                    pre: row[0].as_int().unwrap_or(0),
-                    size: row[1].as_int().unwrap_or(0),
-                    level: row[2].as_int().unwrap_or(0),
-                    parent: row[3].as_int(),
-                    ordinal: row[4].as_int().unwrap_or(0),
-                    kind: RecKind::from_tag(row[5].as_text().unwrap_or(""))
+                    pre: row_int(&row, 0).unwrap_or(0),
+                    size: row_int(&row, 1).unwrap_or(0),
+                    level: row_int(&row, 2).unwrap_or(0),
+                    parent: row_int(&row, 3),
+                    ordinal: row_int(&row, 4).unwrap_or(0),
+                    kind: RecKind::from_tag(row_text(&row, 5).unwrap_or(""))
                         .unwrap_or(RecKind::Elem),
-                    name: row[6].as_text().map(str::to_string),
-                    value: row[7].as_text().map(str::to_string),
+                    name: row_text(&row, 6).map(str::to_string),
+                    value: row_text(&row, 7).map(str::to_string),
                 });
                 Ok(())
             },
@@ -153,7 +151,10 @@ mod tests {
     #[test]
     fn round_trip() {
         let (db, s) = setup_with(XML);
-        assert_eq!(xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()), XML);
+        assert_eq!(
+            xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()),
+            XML
+        );
     }
 
     #[test]

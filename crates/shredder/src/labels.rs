@@ -2,7 +2,7 @@
 //! universal): maps XML tag/attribute labels to legal, collision-free SQL
 //! table names, persisted in the database so the mapping is stable.
 
-use reldb::{Database, Value};
+use reldb::{row_text, Database, Value};
 
 use crate::error::Result;
 
@@ -16,7 +16,7 @@ pub fn sanitize(label: &str) -> String {
             out.push('_');
         }
     }
-    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+    if out.as_bytes().first().is_none_or(u8::is_ascii_digit) {
         out.insert(0, 'x');
     }
     out
@@ -56,7 +56,7 @@ impl LabelRegistry {
                 kind
             ),
             |row| {
-                found = row[0].as_text().map(str::to_string);
+                found = row_text(&row, 0).map(str::to_string);
                 Ok(())
             },
         )?;
@@ -70,9 +70,9 @@ impl LabelRegistry {
             &format!("SELECT label, kind, tbl FROM {}", self.registry_table()),
             |row| {
                 out.push((
-                    row[0].as_text().unwrap_or("").to_string(),
-                    row[1].as_text().unwrap_or("").to_string(),
-                    row[2].as_text().unwrap_or("").to_string(),
+                    row_text(&row, 0).unwrap_or("").to_string(),
+                    row_text(&row, 1).unwrap_or("").to_string(),
+                    row_text(&row, 2).unwrap_or("").to_string(),
                 ));
                 Ok(())
             },

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use reldb::{Database, Value};
+use reldb::{row_text, Database, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
@@ -63,7 +63,7 @@ impl PathSummary {
         db.query_streaming(
             &format!("SELECT path FROM {}{filter}", self.table()),
             |row| {
-                if let Some(p) = row[0].as_text() {
+                if let Some(p) = row_text(&row, 0) {
                     out.insert(p.to_string());
                 }
                 Ok(())
@@ -74,7 +74,10 @@ impl PathSummary {
 
     /// Drop a document's summary rows.
     pub fn delete_document(&self, db: &mut Database, doc_id: i64) -> Result<usize> {
-        match db.execute(&format!("DELETE FROM {} WHERE doc = {doc_id}", self.table()))? {
+        match db.execute(&format!(
+            "DELETE FROM {} WHERE doc = {doc_id}",
+            self.table()
+        ))? {
             reldb::ExecResult::Affected(n) => Ok(n),
             _ => Ok(0),
         }
@@ -116,8 +119,10 @@ mod tests {
         let mut db = Database::new();
         let ps = PathSummary { prefix: "bin" };
         ps.install(&mut db).unwrap();
-        ps.record(&mut db, 1, &Document::parse("<a><b/></a>").unwrap()).unwrap();
-        ps.record(&mut db, 2, &Document::parse("<a><c/></a>").unwrap()).unwrap();
+        ps.record(&mut db, 1, &Document::parse("<a><b/></a>").unwrap())
+            .unwrap();
+        ps.record(&mut db, 2, &Document::parse("<a><c/></a>").unwrap())
+            .unwrap();
         assert_eq!(ps.paths(&db, None).unwrap().len(), 3);
         assert_eq!(ps.paths(&db, Some(2)).unwrap(), vec!["/a", "/a/c"]);
         assert_eq!(ps.delete_document(&mut db, 1).unwrap(), 2);

@@ -60,7 +60,9 @@ fn attach(
     if depth > 100_000 {
         return Err(ShredError::Corrupt("parent links form a cycle".into()));
     }
-    let Some(list) = children.get(&parent_pre) else { return Ok(()) };
+    let Some(list) = children.get(&parent_pre) else {
+        return Ok(());
+    };
     for rec in list {
         *remaining -= 1;
         match rec.kind {
@@ -107,7 +109,10 @@ mod tests {
         let mut recs = flatten(&doc);
         recs.reverse();
         let rebuilt = rebuild(recs).unwrap();
-        assert_eq!(xmlpar::serialize::to_string(&rebuilt), "<a><b>x</b><c/></a>");
+        assert_eq!(
+            xmlpar::serialize::to_string(&rebuilt),
+            "<a><b>x</b><c/></a>"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub trait MappingScheme {
 /// implementations).
 pub(crate) fn tally(recs: &[crate::walk::NodeRec]) -> ShredStats {
     use crate::walk::RecKind;
-    let mut s = ShredStats { rows: recs.len(), ..ShredStats::default() };
+    let mut s = ShredStats {
+        rows: recs.len(),
+        ..ShredStats::default()
+    };
     for r in recs {
         match r.kind {
             RecKind::Elem => s.elements += 1,

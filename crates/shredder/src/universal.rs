@@ -25,7 +25,7 @@
 
 use std::collections::BTreeMap;
 
-use reldb::{Database, ExecResult, Value};
+use reldb::{row_int, row_text, Database, ExecResult, Value};
 use xmlpar::Document;
 
 use crate::error::{Result, ShredError};
@@ -71,9 +71,9 @@ impl UniversalScheme {
         let mut out = Vec::new();
         db.query_streaming("SELECT label, kind, stem FROM univ_meta", |row| {
             out.push(LabelCols {
-                label: row[0].as_text().unwrap_or("").to_string(),
-                kind: row[1].as_text().unwrap_or("").to_string(),
-                stem: row[2].as_text().unwrap_or("").to_string(),
+                label: row_text(&row, 0).unwrap_or("").to_string(),
+                kind: row_text(&row, 1).unwrap_or("").to_string(),
+                stem: row_text(&row, 2).unwrap_or("").to_string(),
             });
             Ok(())
         })?;
@@ -100,7 +100,11 @@ impl UniversalScheme {
         let mut cols = String::from("doc INT NOT NULL, src INT, row INT NOT NULL");
         let mut meta_rows = Vec::new();
         let mut mk_stem = |label: &str, kind: &str| {
-            let mut stem = format!("{}_{}", if kind == "attr" { "a" } else { "e" }, sanitize(label));
+            let mut stem = format!(
+                "{}_{}",
+                if kind == "attr" { "a" } else { "e" },
+                sanitize(label)
+            );
             let n = stems.entry(stem.clone()).or_insert(0);
             *n += 1;
             if *n > 1 {
@@ -111,12 +115,20 @@ impl UniversalScheme {
         for l in elem_labels {
             let stem = mk_stem(l, "elem");
             cols.push_str(&format!(", t_{stem} INT, o_{stem} INT"));
-            meta_rows.push(vec![Value::text(l.clone()), Value::text("elem"), Value::text(stem)]);
+            meta_rows.push(vec![
+                Value::text(l.clone()),
+                Value::text("elem"),
+                Value::text(stem),
+            ]);
         }
         for l in attr_labels {
             let stem = mk_stem(l, "attr");
             cols.push_str(&format!(", a_{stem} TEXT, ao_{stem} INT"));
-            meta_rows.push(vec![Value::text(l.clone()), Value::text("attr"), Value::text(stem)]);
+            meta_rows.push(vec![
+                Value::text(l.clone()),
+                Value::text("attr"),
+                Value::text(stem),
+            ]);
         }
         cols.push_str(", t_text INT, o_text INT, v_text TEXT");
         db.execute(&format!("CREATE TABLE univ ({cols})"))?;
@@ -177,12 +189,18 @@ impl MappingScheme for UniversalScheme {
             if m.kind == "elem" {
                 elem_cols.insert(
                     m.label.as_str(),
-                    (col(&format!("t_{}", m.stem))?, col(&format!("o_{}", m.stem))?),
+                    (
+                        col(&format!("t_{}", m.stem))?,
+                        col(&format!("o_{}", m.stem))?,
+                    ),
                 );
             } else {
                 attr_cols.insert(
                     m.label.as_str(),
-                    (col(&format!("a_{}", m.stem))?, col(&format!("ao_{}", m.stem))?),
+                    (
+                        col(&format!("a_{}", m.stem))?,
+                        col(&format!("ao_{}", m.stem))?,
+                    ),
                 );
             }
         }
@@ -204,7 +222,12 @@ impl MappingScheme for UniversalScheme {
 
         // Group child records by source.
         let mut by_src: BTreeMap<Option<i64>, Vec<&NodeRec>> = BTreeMap::new();
-        by_src.entry(None).or_default().push(&recs[0]); // virtual root row
+        let Some(root_rec) = recs.first() else {
+            return Err(ShredError::Corrupt(
+                "flattened document has no records".into(),
+            ));
+        };
+        by_src.entry(None).or_default().push(root_rec); // virtual root row
         for r in recs.iter().skip(1) {
             by_src.entry(r.parent).or_default().push(r);
         }
@@ -222,10 +245,11 @@ impl MappingScheme for UniversalScheme {
             }
             let depth = lists.values().map(Vec::len).max().unwrap_or(0);
             for k in 0..depth {
-                let mut row = vec![Value::Null; arity];
-                row[0] = Value::Int(doc_id);
-                row[1] = src.map(Value::Int).unwrap_or(Value::Null);
-                row[2] = Value::Int(k as i64);
+                let mut row: Vec<Value> = Vec::with_capacity(arity);
+                row.push(Value::Int(doc_id));
+                row.push(src.map(Value::Int).unwrap_or(Value::Null));
+                row.push(Value::Int(k as i64));
+                row.resize(arity, Value::Null);
                 for ((kindtag, label), list) in &lists {
                     let Some(c) = list.get(k) else { continue };
                     match kindtag {
@@ -242,8 +266,7 @@ impl MappingScheme for UniversalScheme {
                         _ => {
                             row[t_text] = Value::Int(c.pre);
                             row[o_text] = Value::Int(c.ordinal);
-                            row[v_text] =
-                                c.value.clone().map(Value::Text).unwrap_or(Value::Null);
+                            row[v_text] = c.value.clone().map(Value::Text).unwrap_or(Value::Null);
                         }
                     }
                 }
@@ -258,17 +281,38 @@ impl MappingScheme for UniversalScheme {
     fn reconstruct(&self, db: &Database, doc_id: i64) -> Result<Document> {
         let meta = self.label_columns(db)?;
         let schema = db.catalog.table("univ")?.schema.clone();
-        let col = |name: &str| schema.index_of(name).expect("meta column exists");
-        let src_col = col("src");
+        let col = |name: &str| -> Result<usize> {
+            schema.index_of(name).ok_or_else(|| {
+                ShredError::Corrupt(format!("universal table lacks column {name:?}"))
+            })
+        };
+        let src_col = col("src")?;
+        // Resolve every per-label column up front so schema drift is a
+        // typed error, not a panic inside the scan callback.
+        let mut meta_cols: Vec<(usize, usize)> = Vec::with_capacity(meta.len());
+        for m in &meta {
+            meta_cols.push(if m.kind == "elem" {
+                (
+                    col(&format!("t_{}", m.stem))?,
+                    col(&format!("o_{}", m.stem))?,
+                )
+            } else {
+                (
+                    col(&format!("a_{}", m.stem))?,
+                    col(&format!("ao_{}", m.stem))?,
+                )
+            });
+        }
+        let (t_text, o_text, v_text) = (col("t_text")?, col("o_text")?, col("v_text")?);
         let mut recs: Vec<NodeRec> = Vec::new();
         // Synthetic unique ids for attribute records (never referenced).
         let mut synth = -1i64;
         db.query_streaming(&format!("SELECT * FROM univ WHERE doc = {doc_id}"), |row| {
-            let src = row[src_col].as_int();
-            for m in &meta {
+            let src = row_int(&row, src_col);
+            for (m, &(c1, c2)) in meta.iter().zip(&meta_cols) {
                 if m.kind == "elem" {
-                    let t = row[col(&format!("t_{}", m.stem))].as_int();
-                    let o = row[col(&format!("o_{}", m.stem))].as_int();
+                    let t = row_int(&row, c1);
+                    let o = row_int(&row, c2);
                     if let (Some(t), Some(o)) = (t, o) {
                         recs.push(NodeRec {
                             pre: t,
@@ -282,8 +326,8 @@ impl MappingScheme for UniversalScheme {
                         });
                     }
                 } else {
-                    let a = row[col(&format!("a_{}", m.stem))].as_text().map(str::to_string);
-                    let ao = row[col(&format!("ao_{}", m.stem))].as_int();
+                    let a = row_text(&row, c1).map(str::to_string);
+                    let ao = row_int(&row, c2);
                     if let (Some(a), Some(ao)) = (a, ao) {
                         recs.push(NodeRec {
                             pre: synth,
@@ -299,9 +343,7 @@ impl MappingScheme for UniversalScheme {
                     }
                 }
             }
-            if let (Some(t), Some(o)) =
-                (row[col("t_text")].as_int(), row[col("o_text")].as_int())
-            {
+            if let (Some(t), Some(o)) = (row_int(&row, t_text), row_int(&row, o_text)) {
                 recs.push(NodeRec {
                     pre: t,
                     parent: src,
@@ -310,7 +352,7 @@ impl MappingScheme for UniversalScheme {
                     level: 0,
                     kind: RecKind::Text,
                     name: None,
-                    value: row[col("v_text")].as_text().map(str::to_string),
+                    value: row_text(&row, v_text).map(str::to_string),
                 });
             }
             Ok(())
@@ -349,23 +391,25 @@ mod tests {
         let mut db = Database::new();
         let s = UniversalScheme::new();
         s.install(&mut db).unwrap();
-        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap()).unwrap();
+        s.shred(&mut db, 1, &Document::parse(BOOK).unwrap())
+            .unwrap();
         (db, s)
     }
 
     #[test]
     fn round_trip() {
         let (db, s) = setup();
-        assert_eq!(xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()), BOOK);
+        assert_eq!(
+            xmlpar::serialize::to_string(&s.reconstruct(&db, 1).unwrap()),
+            BOOK
+        );
     }
 
     #[test]
     fn repeated_labels_pad_rows() {
         let (mut db, _) = setup();
         // The book node has two author children → two rows for its src.
-        let q = db
-            .query("SELECT COUNT(*) FROM univ WHERE src = 0")
-            .unwrap();
+        let q = db.query("SELECT COUNT(*) FROM univ WHERE src = 0").unwrap();
         assert_eq!(q.scalar(), Some(&Value::Int(2)));
     }
 
@@ -396,8 +440,12 @@ mod tests {
     #[test]
     fn second_document_with_subset_labels_ok() {
         let (mut db, s) = setup();
-        s.shred(&mut db, 2, &Document::parse("<book><title>U</title></book>").unwrap())
-            .unwrap();
+        s.shred(
+            &mut db,
+            2,
+            &Document::parse("<book><title>U</title></book>").unwrap(),
+        )
+        .unwrap();
         assert_eq!(
             xmlpar::serialize::to_string(&s.reconstruct(&db, 2).unwrap()),
             "<book><title>U</title></book>"

@@ -78,7 +78,11 @@ fn walk(
     out: &mut Vec<NodeRec>,
 ) -> Option<i64> {
     match &doc.node(id).kind {
-        NodeKind::Element { name, attributes, children } => {
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
             let my_pre = out.len() as i64;
             out.push(NodeRec {
                 pre: my_pre,
@@ -181,7 +185,10 @@ mod tests {
             if let Some(p) = r.parent {
                 let parent = &recs[p as usize];
                 assert!(parent.pre < r.pre);
-                assert!(r.pre <= parent.pre + parent.size, "child inside parent interval");
+                assert!(
+                    r.pre <= parent.pre + parent.size,
+                    "child inside parent interval"
+                );
             }
         }
     }

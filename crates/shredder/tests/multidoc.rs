@@ -39,7 +39,9 @@ fn three_documents_round_trip_independently() {
         let mut db = reldb::Database::new();
         scheme.install(&mut db).unwrap();
         for (id, xml) in docs() {
-            scheme.shred(&mut db, id, &Document::parse(&xml).unwrap()).unwrap();
+            scheme
+                .shred(&mut db, id, &Document::parse(&xml).unwrap())
+                .unwrap();
         }
         for (id, xml) in docs() {
             let rebuilt = scheme.reconstruct(&db, id).unwrap();
@@ -59,11 +61,17 @@ fn deleting_the_middle_document_leaves_neighbors_intact() {
         let mut db = reldb::Database::new();
         scheme.install(&mut db).unwrap();
         for (id, xml) in docs() {
-            scheme.shred(&mut db, id, &Document::parse(&xml).unwrap()).unwrap();
+            scheme
+                .shred(&mut db, id, &Document::parse(&xml).unwrap())
+                .unwrap();
         }
         let removed = scheme.delete_document(&mut db, 2).unwrap();
         assert!(removed > 0, "scheme {}", scheme.name());
-        assert!(scheme.reconstruct(&db, 2).is_err(), "scheme {}", scheme.name());
+        assert!(
+            scheme.reconstruct(&db, 2).is_err(),
+            "scheme {}",
+            scheme.name()
+        );
         for (id, xml) in docs() {
             if id == 2 {
                 continue;

@@ -61,14 +61,20 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> AuctionConfig {
-        AuctionConfig { scale: 0.1, seed: 20030301 }
+        AuctionConfig {
+            scale: 0.1,
+            seed: 20030301,
+        }
     }
 }
 
 impl AuctionConfig {
     /// Config at a scale with the default seed.
     pub fn at_scale(scale: f64) -> AuctionConfig {
-        AuctionConfig { scale, ..AuctionConfig::default() }
+        AuctionConfig {
+            scale,
+            ..AuctionConfig::default()
+        }
     }
 
     fn count(&self, base: usize) -> usize {
@@ -77,7 +83,14 @@ impl AuctionConfig {
 }
 
 /// The six region names.
-pub const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+pub const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generate the auction document.
 pub fn generate(cfg: &AuctionConfig) -> Document {
@@ -106,11 +119,21 @@ pub fn generate(cfg: &AuctionConfig) -> Document {
             }
             let id = format!("item{item_no}");
             let featured = if rng.gen_bool(0.1) { "yes" } else { "no" };
-            let item = add(&mut doc, region, "item", &[("id", &id), ("featured", featured)]);
+            let item = add(
+                &mut doc,
+                region,
+                "item",
+                &[("id", &id), ("featured", featured)],
+            );
             let name = sentence(&mut rng, 2);
             add_text_el(&mut doc, item, "name", &name);
             add_text_el(&mut doc, item, "description", &sentence(&mut rng, 12));
-            add_text_el(&mut doc, item, "price", &format!("{}", rng.gen_range(1..=100)));
+            add_text_el(
+                &mut doc,
+                item,
+                "price",
+                &format!("{}", rng.gen_range(1..=100)),
+            );
             item_ids.push(id);
             item_no += 1;
         }
@@ -127,7 +150,10 @@ pub fn generate(cfg: &AuctionConfig) -> Document {
             &mut doc,
             person,
             "emailaddress",
-            &format!("mailto:{}@example.org", pname.to_lowercase().replace(' ', ".")),
+            &format!(
+                "mailto:{}@example.org",
+                pname.to_lowercase().replace(' ', ".")
+            ),
         );
         if rng.gen_bool(0.7) {
             let profile = add(&mut doc, person, "profile", &[]);
@@ -136,7 +162,12 @@ pub fn generate(cfg: &AuctionConfig) -> Document {
                 add_text_el(&mut doc, profile, "interest", &interest);
             }
             if rng.gen_bool(0.8) {
-                add_text_el(&mut doc, profile, "age", &format!("{}", rng.gen_range(18..80)));
+                add_text_el(
+                    &mut doc,
+                    profile,
+                    "age",
+                    &format!("{}", rng.gen_range(18..80)),
+                );
             }
         }
     }
@@ -150,7 +181,12 @@ pub fn generate(cfg: &AuctionConfig) -> Document {
         add(&mut doc, auction, "itemref", &[("item", item)]);
         let seller = format!("person{}", rng.gen_range(0..people));
         add(&mut doc, auction, "seller", &[("person", &seller)]);
-        add_text_el(&mut doc, auction, "initial", &format!("{}", rng.gen_range(1..=50)));
+        add_text_el(
+            &mut doc,
+            auction,
+            "initial",
+            &format!("{}", rng.gen_range(1..=50)),
+        );
         for _ in 0..rng.gen_range(0..5usize) {
             let bidder = add(&mut doc, auction, "bidder", &[]);
             add_text_el(
@@ -163,7 +199,12 @@ pub fn generate(cfg: &AuctionConfig) -> Document {
                     rng.gen_range(1..=28)
                 ),
             );
-            add_text_el(&mut doc, bidder, "increase", &format!("{}", rng.gen_range(1..=20)));
+            add_text_el(
+                &mut doc,
+                bidder,
+                "increase",
+                &format!("{}", rng.gen_range(1..=20)),
+            );
         }
     }
 
@@ -194,7 +235,10 @@ pub fn generate_xml(cfg: &AuctionConfig) -> String {
 fn add(doc: &mut Document, parent: NodeId, name: &str, attrs: &[(&str, &str)]) -> NodeId {
     let attributes = attrs
         .iter()
-        .map(|(n, v)| xmlpar::Attribute { name: QName::local(*n), value: (*v).to_string() })
+        .map(|(n, v)| xmlpar::Attribute {
+            name: QName::local(*n),
+            value: (*v).to_string(),
+        })
         .collect();
     doc.add_element(parent, QName::local(name), attributes)
 }

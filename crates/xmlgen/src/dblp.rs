@@ -36,13 +36,22 @@ pub struct DblpConfig {
 
 impl Default for DblpConfig {
     fn default() -> DblpConfig {
-        DblpConfig { articles: 300, inproceedings: 200, seed: 19990101 }
+        DblpConfig {
+            articles: 300,
+            inproceedings: 200,
+            seed: 19990101,
+        }
     }
 }
 
 /// Journals drawn for `journal` elements.
-pub const JOURNALS: &[&str] =
-    &["TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems"];
+pub const JOURNALS: &[&str] = &[
+    "TODS",
+    "VLDB Journal",
+    "SIGMOD Record",
+    "TKDE",
+    "Information Systems",
+];
 
 /// Venues drawn for `booktitle` elements.
 pub const VENUES: &[&str] = &["SIGMOD", "VLDB", "ICDE", "EDBT", "PODS"];
@@ -53,30 +62,64 @@ pub fn generate(cfg: &DblpConfig) -> Document {
     let mut doc = Document::new_with_root(QName::local("dblp"));
     let root = doc.root();
     for i in 0..cfg.articles {
-        let art = el(&mut doc, root, "article", &[("key", &format!("journals/a{i}"))]);
+        let art = el(
+            &mut doc,
+            root,
+            "article",
+            &[("key", &format!("journals/a{i}"))],
+        );
         for _ in 0..rng.gen_range(1..=3usize) {
             let pid = rng.gen_range(0..500);
             let a = person_name(&mut rng, pid);
             text_el(&mut doc, art, "author", &a);
         }
         text_el(&mut doc, art, "title", &title_case(&sentence(&mut rng, 6)));
-        text_el(&mut doc, art, "journal", JOURNALS[rng.gen_range(0..JOURNALS.len())]);
-        text_el(&mut doc, art, "year", &format!("{}", rng.gen_range(1985..=2003)));
+        text_el(
+            &mut doc,
+            art,
+            "journal",
+            JOURNALS[rng.gen_range(0..JOURNALS.len())],
+        );
+        text_el(
+            &mut doc,
+            art,
+            "year",
+            &format!("{}", rng.gen_range(1985..=2003)),
+        );
         if rng.gen_bool(0.6) {
-            text_el(&mut doc, art, "volume", &format!("{}", rng.gen_range(1..=30)));
+            text_el(
+                &mut doc,
+                art,
+                "volume",
+                &format!("{}", rng.gen_range(1..=30)),
+            );
         }
     }
     for i in 0..cfg.inproceedings {
-        let inp =
-            el(&mut doc, root, "inproceedings", &[("key", &format!("conf/c{i}"))]);
+        let inp = el(
+            &mut doc,
+            root,
+            "inproceedings",
+            &[("key", &format!("conf/c{i}"))],
+        );
         for _ in 0..rng.gen_range(1..=4usize) {
             let pid = rng.gen_range(0..500);
             let a = person_name(&mut rng, pid);
             text_el(&mut doc, inp, "author", &a);
         }
         text_el(&mut doc, inp, "title", &title_case(&sentence(&mut rng, 7)));
-        text_el(&mut doc, inp, "booktitle", VENUES[rng.gen_range(0..VENUES.len())]);
-        text_el(&mut doc, inp, "year", &format!("{}", rng.gen_range(1985..=2003)));
+        text_el(
+            &mut doc,
+            inp,
+            "booktitle",
+            VENUES[rng.gen_range(0..VENUES.len())],
+        );
+        text_el(
+            &mut doc,
+            inp,
+            "year",
+            &format!("{}", rng.gen_range(1985..=2003)),
+        );
     }
     doc
 }
@@ -89,7 +132,10 @@ pub fn generate_xml(cfg: &DblpConfig) -> String {
 fn el(doc: &mut Document, parent: NodeId, name: &str, attrs: &[(&str, &str)]) -> NodeId {
     let attributes = attrs
         .iter()
-        .map(|(n, v)| xmlpar::Attribute { name: QName::local(*n), value: (*v).to_string() })
+        .map(|(n, v)| xmlpar::Attribute {
+            name: QName::local(*n),
+            value: (*v).to_string(),
+        })
         .collect();
     doc.add_element(parent, QName::local(name), attributes)
 }
@@ -123,7 +169,11 @@ mod tests {
 
     #[test]
     fn deterministic_and_sized() {
-        let cfg = DblpConfig { articles: 10, inproceedings: 5, seed: 7 };
+        let cfg = DblpConfig {
+            articles: 10,
+            inproceedings: 5,
+            seed: 7,
+        };
         let a = generate_xml(&cfg);
         assert_eq!(a, generate_xml(&cfg));
         let doc = generate(&cfg);

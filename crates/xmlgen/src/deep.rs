@@ -32,7 +32,12 @@ pub struct DeepConfig {
 
 impl Default for DeepConfig {
     fn default() -> DeepConfig {
-        DeepConfig { depth: 6, fanout: 3, paras: 2, seed: 4242 }
+        DeepConfig {
+            depth: 6,
+            fanout: 3,
+            paras: 2,
+            seed: 4242,
+        }
     }
 }
 
@@ -83,7 +88,12 @@ mod tests {
 
     #[test]
     fn depth_reached() {
-        let cfg = DeepConfig { depth: 5, fanout: 2, paras: 1, seed: 1 };
+        let cfg = DeepConfig {
+            depth: 5,
+            fanout: 2,
+            paras: 1,
+            seed: 1,
+        };
         let doc = generate(&cfg);
         // report=0, sections 1..5, heading=6, its text node=7.
         assert_eq!(doc.max_depth(), 7);

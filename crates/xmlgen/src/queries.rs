@@ -112,7 +112,10 @@ pub const AUCTION_QUERIES: &[WorkloadQuery] = &[
 
 /// Queries of one class.
 pub fn by_class(class: QueryClass) -> Vec<&'static WorkloadQuery> {
-    AUCTION_QUERIES.iter().filter(|q| q.class == class).collect()
+    AUCTION_QUERIES
+        .iter()
+        .filter(|q| q.class == class)
+        .collect()
 }
 
 /// Find a query by id.
@@ -176,7 +179,11 @@ mod tests {
 
     #[test]
     fn all_queries_parse() {
-        for q in AUCTION_QUERIES.iter().chain(DBLP_QUERIES).chain(DEEP_QUERIES) {
+        for q in AUCTION_QUERIES
+            .iter()
+            .chain(DBLP_QUERIES)
+            .chain(DEEP_QUERIES)
+        {
             xqir::parse_query(q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
         }
     }

@@ -34,7 +34,12 @@ pub struct TextConfig {
 
 impl Default for TextConfig {
     fn default() -> TextConfig {
-        TextConfig { entries: 50, paras: 4, words: 60, seed: 777 }
+        TextConfig {
+            entries: 50,
+            paras: 4,
+            words: 60,
+            seed: 777,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ pub fn generate(cfg: &TextConfig) -> Document {
         let entry = doc.add_element(
             root,
             QName::local("entry"),
-            vec![xmlpar::Attribute { name: QName::local("id"), value: format!("e{i}") }],
+            vec![xmlpar::Attribute {
+                name: QName::local("id"),
+                value: format!("e{i}"),
+            }],
         );
         let subj = doc.add_element(entry, QName::local("subject"), vec![]);
         let subject = sentence(&mut rng, 5);
@@ -84,11 +92,21 @@ mod tests {
 
     #[test]
     fn text_dominates_structure() {
-        let cfg = TextConfig { entries: 10, paras: 3, words: 40, seed: 1 };
+        let cfg = TextConfig {
+            entries: 10,
+            paras: 3,
+            words: 40,
+            seed: 1,
+        };
         let doc = generate(&cfg);
         let xml = xmlpar::serialize::to_string(&doc);
         let tags: usize = doc.element_count() * 10; // ~10 bytes of markup per element
-        assert!(xml.len() > tags * 2, "text should dominate: {} vs {}", xml.len(), tags);
+        assert!(
+            xml.len() > tags * 2,
+            "text should dominate: {} vs {}",
+            xml.len(),
+            tags
+        );
     }
 
     #[test]

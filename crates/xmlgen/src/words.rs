@@ -5,14 +5,14 @@ use rand::Rng;
 
 /// A fixed vocabulary (Shakespeare-flavoured, as XMark's generator uses).
 pub const WORDS: &[&str] = &[
-    "the", "quick", "auction", "price", "gold", "silver", "merchant", "harbor", "letter",
-    "season", "winter", "summer", "market", "guild", "ledger", "promise", "journey", "river",
-    "mountain", "castle", "key", "door", "window", "garden", "rose", "thorn", "crown", "sword",
-    "shield", "banner", "wagon", "horse", "road", "bridge", "tower", "bell", "song", "story",
-    "page", "ink", "quill", "scroll", "candle", "lantern", "shadow", "light", "dawn", "dusk",
-    "tide", "shore", "ship", "sail", "anchor", "compass", "map", "treasure", "chest", "coin",
-    "bargain", "trade", "offer", "bid", "seal", "wax", "ribbon", "cloth", "silk", "wool",
-    "spice", "salt", "honey", "bread", "wine", "barrel", "cellar", "attic", "roof", "stone",
+    "the", "quick", "auction", "price", "gold", "silver", "merchant", "harbor", "letter", "season",
+    "winter", "summer", "market", "guild", "ledger", "promise", "journey", "river", "mountain",
+    "castle", "key", "door", "window", "garden", "rose", "thorn", "crown", "sword", "shield",
+    "banner", "wagon", "horse", "road", "bridge", "tower", "bell", "song", "story", "page", "ink",
+    "quill", "scroll", "candle", "lantern", "shadow", "light", "dawn", "dusk", "tide", "shore",
+    "ship", "sail", "anchor", "compass", "map", "treasure", "chest", "coin", "bargain", "trade",
+    "offer", "bid", "seal", "wax", "ribbon", "cloth", "silk", "wool", "spice", "salt", "honey",
+    "bread", "wine", "barrel", "cellar", "attic", "roof", "stone",
 ];
 
 /// Generate `n` space-separated words.
@@ -31,15 +31,14 @@ pub fn sentence(rng: &mut SmallRng, n: usize) -> String {
 pub fn person_name(rng: &mut SmallRng, id: usize) -> String {
     let first = WORDS[rng.gen_range(0..WORDS.len())];
     let last = WORDS[rng.gen_range(0..WORDS.len())];
-    let mut f: Vec<char> = first.chars().collect();
-    f[0] = f[0].to_ascii_uppercase();
-    let mut l: Vec<char> = last.chars().collect();
-    l[0] = l[0].to_ascii_uppercase();
-    format!(
-        "{} {}{id}",
-        f.into_iter().collect::<String>(),
-        l.into_iter().collect::<String>()
-    )
+    let cap = |w: &str| {
+        let mut chars = w.chars();
+        match chars.next() {
+            Some(c) => c.to_ascii_uppercase().to_string() + chars.as_str(),
+            None => String::new(),
+        }
+    };
+    format!("{} {}{id}", cap(first), cap(last))
 }
 
 #[cfg(test)]

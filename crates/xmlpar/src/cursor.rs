@@ -17,12 +17,21 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Create a cursor over `input`.
     pub fn new(input: &'a [u8]) -> Cursor<'a> {
-        Cursor { input, pos: 0, line: 1, col: 1 }
+        Cursor {
+            input,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Current position (for error reporting).
     pub fn position(&self) -> Position {
-        Position { offset: self.pos, line: self.line, column: self.col }
+        Position {
+            offset: self.pos,
+            line: self.line,
+            column: self.col,
+        }
     }
 
     /// Byte offset into the input.
@@ -61,7 +70,8 @@ impl<'a> Cursor<'a> {
     /// Consume the current byte, erroring at EOF.
     pub fn bump_or_eof(&mut self) -> Result<u8> {
         let p = self.position();
-        self.bump().ok_or_else(|| XmlError::new(XmlErrorKind::UnexpectedEof, p))
+        self.bump()
+            .ok_or_else(|| XmlError::new(XmlErrorKind::UnexpectedEof, p))
     }
 
     /// Error for an unexpected byte (or EOF) at the current position.
@@ -85,7 +95,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Consume `s` or error.
-    pub fn expect(&mut self, s: &[u8]) -> Result<()> {
+    pub fn expect_bytes(&mut self, s: &[u8]) -> Result<()> {
         if self.eat(s) {
             Ok(())
         } else {
@@ -145,7 +155,7 @@ impl<'a> Cursor<'a> {
             }
             if self.looking_at(term) {
                 let s = &self.input[start..self.pos];
-                self.expect(term)?;
+                self.expect_bytes(term)?;
                 return Ok(s);
             }
             self.bump();

@@ -84,11 +84,15 @@ impl Document {
             match ev? {
                 XmlEvent::StartDocument | XmlEvent::EndDocument => {}
                 XmlEvent::StartElement { name, attributes } => {
-                    let id = NodeId(nodes.len() as u32);
+                    let id = next_id(&nodes);
                     let parent = stack.last().copied();
                     nodes.push(Node {
                         parent,
-                        kind: NodeKind::Element { name, attributes, children: Vec::new() },
+                        kind: NodeKind::Element {
+                            name,
+                            attributes,
+                            children: Vec::new(),
+                        },
                     });
                     if let Some(p) = parent {
                         push_child(&mut nodes, p, id);
@@ -104,24 +108,39 @@ impl Document {
                     // Whitespace-only text between elements is kept only
                     // inside mixed content; pure-structure regions drop it,
                     // matching what every published shredder does.
-                    let Some(&parent) = stack.last() else { continue };
+                    let Some(&parent) = stack.last() else {
+                        continue;
+                    };
                     if t.is_empty() {
                         continue;
                     }
-                    let id = NodeId(nodes.len() as u32);
-                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Text(t) });
+                    let id = next_id(&nodes);
+                    nodes.push(Node {
+                        parent: Some(parent),
+                        kind: NodeKind::Text(t),
+                    });
                     push_child(&mut nodes, parent, id);
                 }
                 XmlEvent::Comment(c) => {
-                    let Some(&parent) = stack.last() else { continue };
-                    let id = NodeId(nodes.len() as u32);
-                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Comment(c) });
+                    let Some(&parent) = stack.last() else {
+                        continue;
+                    };
+                    let id = next_id(&nodes);
+                    nodes.push(Node {
+                        parent: Some(parent),
+                        kind: NodeKind::Comment(c),
+                    });
                     push_child(&mut nodes, parent, id);
                 }
                 XmlEvent::Pi { target, data } => {
-                    let Some(&parent) = stack.last() else { continue };
-                    let id = NodeId(nodes.len() as u32);
-                    nodes.push(Node { parent: Some(parent), kind: NodeKind::Pi { target, data } });
+                    let Some(&parent) = stack.last() else {
+                        continue;
+                    };
+                    let id = next_id(&nodes);
+                    nodes.push(Node {
+                        parent: Some(parent),
+                        kind: NodeKind::Pi { target, data },
+                    });
                     push_child(&mut nodes, parent, id);
                 }
             }
@@ -132,7 +151,11 @@ impl Document {
                 crate::error::Position::start(),
             )
         })?;
-        let mut doc = Document { nodes, root, dtd: reader.take_dtd() };
+        let mut doc = Document {
+            nodes,
+            root,
+            dtd: reader.take_dtd(),
+        };
         doc.trim_structural_whitespace();
         Ok(doc)
     }
@@ -142,7 +165,11 @@ impl Document {
         Document {
             nodes: vec![Node {
                 parent: None,
-                kind: NodeKind::Element { name, attributes: Vec::new(), children: Vec::new() },
+                kind: NodeKind::Element {
+                    name,
+                    attributes: Vec::new(),
+                    children: Vec::new(),
+                },
             }],
             root: NodeId(0),
             dtd: None,
@@ -176,10 +203,14 @@ impl Document {
         name: QName,
         attributes: Vec<Attribute>,
     ) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = next_id(&self.nodes);
         self.nodes.push(Node {
             parent: Some(parent),
-            kind: NodeKind::Element { name, attributes, children: Vec::new() },
+            kind: NodeKind::Element {
+                name,
+                attributes,
+                children: Vec::new(),
+            },
         });
         push_child(&mut self.nodes, parent, id);
         id
@@ -189,14 +220,20 @@ impl Document {
     /// reconstruction from relational storage).
     pub fn add_attribute(&mut self, id: NodeId, name: QName, value: impl Into<String>) {
         if let NodeKind::Element { attributes, .. } = &mut self.nodes[id.index()].kind {
-            attributes.push(crate::event::Attribute { name, value: value.into() });
+            attributes.push(crate::event::Attribute {
+                name,
+                value: value.into(),
+            });
         }
     }
 
     /// Append a text child under `parent`.
     pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { parent: Some(parent), kind: NodeKind::Text(text.into()) });
+        let id = next_id(&self.nodes);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            kind: NodeKind::Text(text.into()),
+        });
         push_child(&mut self.nodes, parent, id);
         id
     }
@@ -289,7 +326,10 @@ impl Document {
 
     /// Pre-order traversal of the subtree rooted at `id` (including `id`).
     pub fn descendants(&self, id: NodeId) -> PreOrder<'_> {
-        PreOrder { doc: self, stack: vec![id] }
+        PreOrder {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     /// Pre-order traversal of the whole document from the root.
@@ -325,7 +365,7 @@ impl Document {
     /// (i.e. indentation between tags). Text inside leaf elements is kept
     /// even if it is whitespace.
     fn trim_structural_whitespace(&mut self) {
-        let drop: Vec<NodeId> = (0..self.nodes.len() as u32)
+        let drop: Vec<NodeId> = (0..next_id(&self.nodes).0)
             .map(NodeId)
             .filter(|&id| {
                 let node = &self.nodes[id.index()];
@@ -348,7 +388,9 @@ impl Document {
             })
             .collect();
         for id in drop {
-            let parent = self.nodes[id.index()].parent.expect("text has parent");
+            let Some(parent) = self.nodes[id.index()].parent else {
+                continue;
+            };
             if let NodeKind::Element { children, .. } = &mut self.nodes[parent.index()].kind {
                 children.retain(|&c| c != id);
             }
@@ -357,6 +399,14 @@ impl Document {
             self.nodes[id.index()].parent = None;
         }
     }
+}
+
+/// Id of the next node appended to the arena. Saturates at `u32::MAX`
+/// instead of truncating: a document that large exhausts memory first,
+/// and a saturated id fails arena lookups loudly rather than aliasing
+/// an earlier node.
+fn next_id(nodes: &[Node]) -> NodeId {
+    NodeId(u32::try_from(nodes.len()).unwrap_or(u32::MAX))
 }
 
 fn push_child(nodes: &mut [Node], parent: NodeId, child: NodeId) {
@@ -465,10 +515,7 @@ mod tests {
 
     #[test]
     fn dtd_travels_with_document() {
-        let doc = Document::parse(
-            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>",
-        )
-        .unwrap();
+        let doc = Document::parse("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>").unwrap();
         assert!(doc.dtd.is_some());
     }
 }

@@ -197,10 +197,19 @@ impl Dtd {
 pub fn normalize_model(model: &ContentModel) -> NormalizedModel {
     match model {
         ContentModel::Empty => NormalizedModel::default(),
-        ContentModel::Any => NormalizedModel { children: Vec::new(), pcdata: true },
-        ContentModel::PcData => NormalizedModel { children: Vec::new(), pcdata: true },
+        ContentModel::Any => NormalizedModel {
+            children: Vec::new(),
+            pcdata: true,
+        },
+        ContentModel::PcData => NormalizedModel {
+            children: Vec::new(),
+            pcdata: true,
+        },
         ContentModel::Mixed(names) => {
-            let mut out = NormalizedModel { children: Vec::new(), pcdata: true };
+            let mut out = NormalizedModel {
+                children: Vec::new(),
+                pcdata: true,
+            };
             for n in names {
                 push_child(&mut out.children, n.clone(), Card::Many);
             }
@@ -264,9 +273,12 @@ fn parse_dtd_name(cur: &mut Cursor<'_>) -> Result<String> {
 /// Parse `<!DOCTYPE name (SYSTEM/PUBLIC ids)? [internal subset]? >` with the
 /// cursor positioned at `<!DOCTYPE`.
 pub fn parse_doctype(cur: &mut Cursor<'_>) -> Result<Dtd> {
-    cur.expect(b"<!DOCTYPE")?;
+    cur.expect_bytes(b"<!DOCTYPE")?;
     cur.expect_ws()?;
-    let mut dtd = Dtd { root: Some(parse_dtd_name(cur)?), ..Dtd::default() };
+    let mut dtd = Dtd {
+        root: Some(parse_dtd_name(cur)?),
+        ..Dtd::default()
+    };
     cur.skip_ws();
     // External id: skipped (no external entity resolution offline).
     if cur.eat(b"SYSTEM") {
@@ -284,7 +296,7 @@ pub fn parse_doctype(cur: &mut Cursor<'_>) -> Result<Dtd> {
         parse_internal_subset(cur, &mut dtd)?;
         cur.skip_ws();
     }
-    cur.expect(b">")?;
+    cur.expect_bytes(b">")?;
     Ok(dtd)
 }
 
@@ -306,7 +318,7 @@ fn parse_internal_subset(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
             return Ok(());
         }
         if cur.looking_at(b"<!--") {
-            cur.expect(b"<!--")?;
+            cur.expect_bytes(b"<!--")?;
             cur.take_until(b"-->")?;
         } else if cur.looking_at(b"<!ELEMENT") {
             parse_element_decl(cur, dtd)?;
@@ -317,7 +329,7 @@ fn parse_internal_subset(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
             // in any mapping scheme; consume up to the closing '>'.
             cur.take_until(b">")?;
         } else if cur.looking_at(b"<?") {
-            cur.expect(b"<?")?;
+            cur.expect_bytes(b"<?")?;
             cur.take_until(b"?>")?;
         } else if cur.at_eof() {
             return Err(dtd_err(cur, "unterminated internal subset"));
@@ -328,7 +340,7 @@ fn parse_internal_subset(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
 }
 
 fn parse_element_decl(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
-    cur.expect(b"<!ELEMENT")?;
+    cur.expect_bytes(b"<!ELEMENT")?;
     cur.expect_ws()?;
     let name = parse_dtd_name(cur)?;
     cur.expect_ws()?;
@@ -340,7 +352,7 @@ fn parse_element_decl(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
         parse_content_spec(cur)?
     };
     cur.skip_ws();
-    cur.expect(b">")?;
+    cur.expect_bytes(b">")?;
     dtd.elements.insert(name, model);
     Ok(())
 }
@@ -351,7 +363,7 @@ fn parse_content_spec(cur: &mut Cursor<'_>) -> Result<ContentModel> {
     }
     // Lookahead for #PCDATA to distinguish mixed content.
     let save = cur.offset();
-    cur.expect(b"(")?;
+    cur.expect_bytes(b"(")?;
     cur.skip_ws();
     if cur.eat(b"#PCDATA") {
         cur.skip_ws();
@@ -365,8 +377,8 @@ fn parse_content_spec(cur: &mut Cursor<'_>) -> Result<ContentModel> {
             names.push(parse_dtd_name(cur)?);
             cur.skip_ws();
         }
-        cur.expect(b")")?;
-        cur.expect(b"*")?;
+        cur.expect_bytes(b")")?;
+        cur.expect_bytes(b"*")?;
         return Ok(ContentModel::Mixed(names));
     }
     // Not mixed: re-parse as an element-content particle from '('.
@@ -404,16 +416,18 @@ fn parse_group_body(cur: &mut Cursor<'_>) -> Result<Particle> {
         }
     }
     let rep = parse_rep(cur);
-    Ok(match sep {
-        Some(b'|') => Particle::Choice(items, rep),
-        _ if items.len() == 1 => {
+    if sep != Some(b'|') && items.len() == 1 {
+        if let Some(single) = items.pop() {
             // Single-item group: collapse, combining indicators.
-            match items.into_iter().next().expect("one item") {
+            return Ok(match single {
                 Particle::Name(n, r) => Particle::Name(n, r.combine(rep)),
                 Particle::Seq(v, r) => Particle::Seq(v, r.combine(rep)),
                 Particle::Choice(v, r) => Particle::Choice(v, r.combine(rep)),
-            }
+            });
         }
+    }
+    Ok(match sep {
+        Some(b'|') => Particle::Choice(items, rep),
         _ => Particle::Seq(items, rep),
     })
 }
@@ -447,7 +461,7 @@ fn parse_rep(cur: &mut Cursor<'_>) -> Repetition {
 }
 
 fn parse_attlist_decl(cur: &mut Cursor<'_>, dtd: &mut Dtd) -> Result<()> {
-    cur.expect(b"<!ATTLIST")?;
+    cur.expect_bytes(b"<!ATTLIST")?;
     cur.expect_ws()?;
     let element = parse_dtd_name(cur)?;
     let defs = dtd.attlists.entry(element).or_default();
@@ -522,7 +536,7 @@ pub fn parse_dtd_fragment(input: &str) -> Result<Dtd> {
             return Ok(dtd);
         }
         if cur.looking_at(b"<!--") {
-            cur.expect(b"<!--")?;
+            cur.expect_bytes(b"<!--")?;
             cur.take_until(b"-->")?;
         } else if cur.looking_at(b"<!ELEMENT") {
             parse_element_decl(&mut cur, &mut dtd)?;
@@ -562,7 +576,10 @@ mod tests {
         let book = &norm["book"];
         assert_eq!(
             book.children,
-            vec![("title".to_string(), Card::One), ("author".to_string(), Card::One)]
+            vec![
+                ("title".to_string(), Card::One),
+                ("author".to_string(), Card::One)
+            ]
         );
         let article = &norm["article"];
         assert_eq!(article.children[1], ("author".to_string(), Card::Many));
@@ -662,7 +679,10 @@ mod tests {
         assert_eq!(atts[0].ty, AttType::Id);
         assert_eq!(atts[0].default, AttDefault::Required);
         assert_eq!(atts[1].ty, AttType::IdRef);
-        assert_eq!(atts[2].ty, AttType::Enumeration(vec!["x".into(), "y".into()]));
+        assert_eq!(
+            atts[2].ty,
+            AttType::Enumeration(vec!["x".into(), "y".into()])
+        );
         assert_eq!(atts[3].default, AttDefault::Value("n".into()));
     }
 
@@ -676,8 +696,14 @@ mod tests {
                <!ATTLIST author name CDATA #REQUIRED>"#,
         );
         let norm = dtd.normalize();
-        assert_eq!(norm["book"].children, vec![("author".to_string(), Card::One)]);
-        assert_eq!(norm["author"].children, vec![("book".to_string(), Card::Many)]);
+        assert_eq!(
+            norm["book"].children,
+            vec![("author".to_string(), Card::One)]
+        );
+        assert_eq!(
+            norm["author"].children,
+            vec![("book".to_string(), Card::Many)]
+        );
     }
 
     #[test]

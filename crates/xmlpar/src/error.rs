@@ -17,7 +17,11 @@ pub struct Position {
 impl Position {
     /// Position of the first byte of the input.
     pub fn start() -> Position {
-        Position { offset: 0, line: 1, column: 1 }
+        Position {
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
     }
 }
 

@@ -79,9 +79,9 @@ pub fn unescape(raw: &str, at: Position) -> Result<String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let semi = after.find(';').ok_or_else(|| {
-            XmlError::new(XmlErrorKind::InvalidReference(truncate(after)), at)
-        })?;
+        let semi = after
+            .find(';')
+            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidReference(truncate(after)), at))?;
         let body = &after[..semi];
         out.push(resolve_reference(body, at)?);
         rest = &after[semi + 1..];
@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn predefined_entities() {
-        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;", p()).unwrap(), "<>&\"'");
+        assert_eq!(
+            unescape("&lt;&gt;&amp;&quot;&apos;", p()).unwrap(),
+            "<>&\"'"
+        );
     }
 
     #[test]

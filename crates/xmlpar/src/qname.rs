@@ -19,7 +19,10 @@ pub struct QName {
 impl QName {
     /// A name with no prefix.
     pub fn local(name: impl Into<String>) -> QName {
-        QName { prefix: None, local: name.into() }
+        QName {
+            prefix: None,
+            local: name.into(),
+        }
     }
 
     /// Parse `prefix:local` or `local`. Returns `None` when the string is
@@ -37,7 +40,10 @@ impl QName {
             }
             (Some(second), None) => {
                 if is_valid_ncname(first) && is_valid_ncname(second) {
-                    Some(QName { prefix: Some(first.to_string()), local: second.to_string() })
+                    Some(QName {
+                        prefix: Some(first.to_string()),
+                        local: second.to_string(),
+                    })
                 } else {
                     None
                 }
@@ -120,7 +126,10 @@ mod tests {
 
     #[test]
     fn display_matches_label() {
-        let q = QName { prefix: Some("ns".into()), local: "a".into() };
+        let q = QName {
+            prefix: Some("ns".into()),
+            local: "a".into(),
+        };
         assert_eq!(q.to_string(), "ns:a");
         assert_eq!(QName::local("a").to_string(), "a");
     }

@@ -154,9 +154,7 @@ impl<'a> Reader<'a> {
             if self.cur.looking_at(b"<") {
                 if self.seen_root && self.stack.is_empty() {
                     return Err(XmlError::new(
-                        XmlErrorKind::InvalidDocumentStructure(
-                            "content after root element".into(),
-                        ),
+                        XmlErrorKind::InvalidDocumentStructure("content after root element".into()),
                         self.cur.position(),
                     ));
                 }
@@ -178,7 +176,7 @@ impl<'a> Reader<'a> {
                 .map(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'?'))
                 .unwrap_or(false)
         {
-            self.cur.expect(b"<?xml")?;
+            self.cur.expect_bytes(b"<?xml")?;
             self.cur.take_until(b"?>")?;
         }
         // Misc* before a DOCTYPE is consumed silently; everything after the
@@ -263,13 +261,13 @@ impl<'a> Reader<'a> {
             return Err(self.cur.unexpected());
         }
         let raw = self.cur.take_while(is_name_byte);
-        let s = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        let s =
+            std::str::from_utf8(raw).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
         QName::parse(s).ok_or_else(|| XmlError::new(XmlErrorKind::InvalidName(s.to_string()), pos))
     }
 
     fn parse_start_tag(&mut self) -> Result<XmlEvent> {
-        self.cur.expect(b"<")?;
+        self.cur.expect_bytes(b"<")?;
         let name = self.parse_name()?;
         let mut attributes: Vec<Attribute> = Vec::new();
         loop {
@@ -281,7 +279,7 @@ impl<'a> Reader<'a> {
                     break;
                 }
                 Some(b'/') => {
-                    self.cur.expect(b"/>")?;
+                    self.cur.expect_bytes(b"/>")?;
                     // Synthesize StartElement now, EndElement on next pull.
                     self.stack.push(name.clone());
                     self.pending_end = Some(name.clone());
@@ -309,7 +307,7 @@ impl<'a> Reader<'a> {
     fn parse_attribute(&mut self) -> Result<Attribute> {
         let name = self.parse_name()?;
         self.cur.skip_ws();
-        self.cur.expect(b"=")?;
+        self.cur.expect_bytes(b"=")?;
         self.cur.skip_ws();
         let quote = match self.cur.peek() {
             Some(q @ (b'"' | b'\'')) => q,
@@ -318,8 +316,8 @@ impl<'a> Reader<'a> {
         self.cur.bump();
         let pos = self.cur.position();
         let raw = self.cur.take_while(|b| b != quote && b != b'<');
-        let raw = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        let raw =
+            std::str::from_utf8(raw).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
         if self.cur.peek() != Some(quote) {
             return Err(self.cur.unexpected());
         }
@@ -329,10 +327,10 @@ impl<'a> Reader<'a> {
     }
 
     fn parse_end_tag(&mut self) -> Result<XmlEvent> {
-        self.cur.expect(b"</")?;
+        self.cur.expect_bytes(b"</")?;
         let name = self.parse_name()?;
         self.cur.skip_ws();
-        self.cur.expect(b">")?;
+        self.cur.expect_bytes(b">")?;
         self.pop_element(&name)?;
         Ok(XmlEvent::EndElement { name })
     }
@@ -346,7 +344,10 @@ impl<'a> Reader<'a> {
                 Ok(())
             }
             Some(open) => Err(XmlError::new(
-                XmlErrorKind::MismatchedTag { open: open.as_label(), close: name.as_label() },
+                XmlErrorKind::MismatchedTag {
+                    open: open.as_label(),
+                    close: name.as_label(),
+                },
                 self.cur.position(),
             )),
             None => Err(XmlError::new(
@@ -361,34 +362,37 @@ impl<'a> Reader<'a> {
     fn parse_text(&mut self) -> Result<XmlEvent> {
         let pos = self.cur.position();
         let raw = self.cur.take_while(|b| b != b'<');
-        let raw = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        let raw =
+            std::str::from_utf8(raw).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
         if self.cur.at_eof() && !self.stack.is_empty() {
-            return Err(XmlError::new(XmlErrorKind::UnexpectedEof, self.cur.position()));
+            return Err(XmlError::new(
+                XmlErrorKind::UnexpectedEof,
+                self.cur.position(),
+            ));
         }
         Ok(XmlEvent::Text(unescape(raw, pos)?))
     }
 
     fn parse_cdata(&mut self) -> Result<XmlEvent> {
-        self.cur.expect(b"<![CDATA[")?;
+        self.cur.expect_bytes(b"<![CDATA[")?;
         let pos = self.cur.position();
         let raw = self.cur.take_until(b"]]>")?;
-        let s = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        let s =
+            std::str::from_utf8(raw).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
         Ok(XmlEvent::Text(s.to_string()))
     }
 
     fn parse_comment(&mut self) -> Result<XmlEvent> {
-        self.cur.expect(b"<!--")?;
+        self.cur.expect_bytes(b"<!--")?;
         let pos = self.cur.position();
         let raw = self.cur.take_until(b"-->")?;
-        let s = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
+        let s =
+            std::str::from_utf8(raw).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?;
         Ok(XmlEvent::Comment(s.to_string()))
     }
 
     fn parse_pi(&mut self) -> Result<XmlEvent> {
-        self.cur.expect(b"<?")?;
+        self.cur.expect_bytes(b"<?")?;
         let target_pos = self.cur.position();
         let target = self.parse_name()?;
         if target.local.eq_ignore_ascii_case("xml") && target.prefix.is_none() {
@@ -403,7 +407,10 @@ impl<'a> Reader<'a> {
         let data = std::str::from_utf8(raw)
             .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))?
             .to_string();
-        Ok(XmlEvent::Pi { target: target.as_label(), data })
+        Ok(XmlEvent::Pi {
+            target: target.as_label(),
+            data,
+        })
     }
 }
 
@@ -422,21 +429,36 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<&'static str> {
-        parse_events(input).unwrap().iter().map(|e| e.kind_name()).collect()
+        parse_events(input)
+            .unwrap()
+            .iter()
+            .map(|e| e.kind_name())
+            .collect()
     }
 
     #[test]
     fn minimal_document() {
         assert_eq!(
             kinds("<a/>"),
-            vec!["start-document", "start-element", "end-element", "end-document"]
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
         );
     }
 
     #[test]
     fn nested_elements_with_text() {
         let evs = parse_events("<a><b>hi</b></a>").unwrap();
-        assert_eq!(evs[2], XmlEvent::StartElement { name: QName::local("b"), attributes: vec![] });
+        assert_eq!(
+            evs[2],
+            XmlEvent::StartElement {
+                name: QName::local("b"),
+                attributes: vec![]
+            }
+        );
         assert_eq!(evs[3], XmlEvent::Text("hi".into()));
     }
 
@@ -505,7 +527,10 @@ mod tests {
     #[test]
     fn two_roots_error() {
         let err = parse_events("<a/><b/>").unwrap_err();
-        assert!(matches!(err.kind, XmlErrorKind::InvalidDocumentStructure(_)));
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::InvalidDocumentStructure(_)
+        ));
     }
 
     #[test]

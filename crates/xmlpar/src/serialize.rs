@@ -39,7 +39,11 @@ pub fn node_to_string(doc: &Document, id: NodeId) -> String {
 
 fn write_node(doc: &Document, id: NodeId, opts: &SerializeOptions, depth: usize, out: &mut String) {
     match &doc.node(id).kind {
-        NodeKind::Element { name, attributes, children } => {
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
             indent(opts, depth, out);
             out.push('<');
             out.push_str(&name.as_label());
@@ -56,7 +60,9 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOptions, depth: usize,
             }
             out.push('>');
             let structural = opts.indent.is_some()
-                && children.iter().all(|&c| !matches!(doc.node(c).kind, NodeKind::Text(_)));
+                && children
+                    .iter()
+                    .all(|&c| !matches!(doc.node(c).kind, NodeKind::Text(_)));
             for &c in children {
                 write_node(doc, c, opts, depth + 1, out);
             }
@@ -127,7 +133,10 @@ mod tests {
     #[test]
     fn pretty_printing_indents_structure() {
         let doc = Document::parse("<a><b>t</b><c/></a>").unwrap();
-        let opts = SerializeOptions { indent: Some(2), xml_declaration: true };
+        let opts = SerializeOptions {
+            indent: Some(2),
+            xml_declaration: true,
+        };
         let s = to_string_with(&doc, &opts);
         assert!(s.starts_with("<?xml"));
         assert!(s.contains("\n  <b>t</b>"));

@@ -58,7 +58,11 @@ pub struct Step {
 impl Step {
     /// Predicate-free step.
     pub fn plain(axis: Axis, test: NodeTest) -> Step {
-        Step { axis, test, predicates: Vec::new() }
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        }
     }
 }
 
@@ -74,7 +78,10 @@ pub struct PathExpr {
 impl PathExpr {
     /// Number of descendant-axis steps.
     pub fn descendant_steps(&self) -> usize {
-        self.steps.iter().filter(|s| s.axis == Axis::Descendant).count()
+        self.steps
+            .iter()
+            .filter(|s| s.axis == Axis::Descendant)
+            .count()
     }
 
     /// True if any step navigates upward.

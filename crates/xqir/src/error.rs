@@ -14,7 +14,10 @@ pub struct QueryError {
 impl QueryError {
     /// Construct an error.
     pub fn new(message: impl Into<String>, offset: usize) -> QueryError {
-        QueryError { message: message.into(), offset }
+        QueryError {
+            message: message.into(),
+            offset,
+        }
     }
 }
 

@@ -34,11 +34,17 @@ pub struct OrderInfo {
 /// ```
 pub fn analyze_order(path: &PathExpr) -> OrderInfo {
     if path.has_parent_step() {
-        return OrderInfo { document_order: false, distinct: false };
+        return OrderInfo {
+            document_order: false,
+            distinct: false,
+        };
     }
     let desc = path.descendant_steps();
     if desc == 0 {
-        return OrderInfo { document_order: true, distinct: true };
+        return OrderInfo {
+            document_order: true,
+            distinct: true,
+        };
     }
     if desc == 1 {
         let last_is_desc = path
@@ -48,9 +54,15 @@ pub fn analyze_order(path: &PathExpr) -> OrderInfo {
             .find(|s| s.axis != Axis::Attribute && s.axis != Axis::SelfAxis)
             .map(|s| s.axis == Axis::Descendant)
             .unwrap_or(false);
-        return OrderInfo { document_order: last_is_desc, distinct: true };
+        return OrderInfo {
+            document_order: last_is_desc,
+            distinct: true,
+        };
     }
-    OrderInfo { document_order: false, distinct: false }
+    OrderInfo {
+        document_order: false,
+        distinct: false,
+    }
 }
 
 /// Normalize a path: drop self steps and fold `child/..` pairs.
@@ -87,7 +99,10 @@ pub fn normalize_path(path: &PathExpr) -> PathExpr {
         }
         steps.push(s);
     }
-    PathExpr { start: path.start.clone(), steps }
+    PathExpr {
+        start: path.start.clone(),
+        steps,
+    }
 }
 
 fn normalize_predicate(p: &mut crate::ast::Predicate) {
@@ -117,24 +132,57 @@ mod tests {
     #[test]
     fn tutorial_order_rules() {
         // /a/b/c: ordered and distinct.
-        assert_eq!(analyze("/a/b/c"), OrderInfo { document_order: true, distinct: true });
+        assert_eq!(
+            analyze("/a/b/c"),
+            OrderInfo {
+                document_order: true,
+                distinct: true
+            }
+        );
         // /a//b: single trailing //: ordered and distinct.
-        assert_eq!(analyze("/a//b"), OrderInfo { document_order: true, distinct: true });
+        assert_eq!(
+            analyze("/a//b"),
+            OrderInfo {
+                document_order: true,
+                distinct: true
+            }
+        );
         // //a/b: child below //: distinct but not ordered.
-        assert_eq!(analyze("//a/b"), OrderInfo { document_order: false, distinct: true });
+        assert_eq!(
+            analyze("//a/b"),
+            OrderInfo {
+                document_order: false,
+                distinct: true
+            }
+        );
         // //a//b: nothing guaranteed.
-        assert_eq!(analyze("//a//b"), OrderInfo { document_order: false, distinct: false });
+        assert_eq!(
+            analyze("//a//b"),
+            OrderInfo {
+                document_order: false,
+                distinct: false
+            }
+        );
         // Parent steps: nothing guaranteed.
         assert_eq!(
             analyze("/a/b/../c"),
-            OrderInfo { document_order: false, distinct: false }
+            OrderInfo {
+                document_order: false,
+                distinct: false
+            }
         );
     }
 
     #[test]
     fn attribute_tail_does_not_break_trailing_descendant() {
         // //b/@x: the last *navigation* step is //, attributes are 1:1.
-        assert_eq!(analyze("//b/@x"), OrderInfo { document_order: true, distinct: true });
+        assert_eq!(
+            analyze("//b/@x"),
+            OrderInfo {
+                document_order: true,
+                distinct: true
+            }
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@ use crate::error::{QueryError, Result};
 pub fn parse_query(input: &str) -> Result<Query> {
     let mut p = P::new(input);
     p.ws();
-    let q = if p.looking_at("for ") || p.looking_at("for$") || p.looking_at("let ") || p.looking_at("let$") {
+    let q = if p.looking_at("for ")
+        || p.looking_at("for$")
+        || p.looking_at("let ")
+        || p.looking_at("let$")
+    {
         Query::Flwor(Box::new(p.flwor()?))
     } else {
         Query::Path(p.path()?)
@@ -42,7 +46,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn new(input: &'a str) -> P<'a> {
-        P { s: input.as_bytes(), i: 0 }
+        P {
+            s: input.as_bytes(),
+            i: 0,
+        }
     }
 
     fn done(&self) -> bool {
@@ -76,7 +83,7 @@ impl<'a> P<'a> {
         }
     }
 
-    fn expect(&mut self, s: &str) -> Result<()> {
+    fn expect_tok(&mut self, s: &str) -> Result<()> {
         if self.eat(s) {
             Ok(())
         } else {
@@ -112,7 +119,11 @@ impl<'a> P<'a> {
     fn qname(&mut self) -> Result<String> {
         let mut n = self.name()?;
         if self.peek() == Some(b':')
-            && self.s.get(self.i + 1).map(|&b| is_name_start(b)).unwrap_or(false)
+            && self
+                .s
+                .get(self.i + 1)
+                .map(|&b| is_name_start(b))
+                .unwrap_or(false)
         {
             self.i += 1;
             let local = self.name()?;
@@ -122,7 +133,7 @@ impl<'a> P<'a> {
     }
 
     fn var(&mut self) -> Result<String> {
-        self.expect("$")?;
+        self.expect_tok("$")?;
         self.name()
     }
 
@@ -160,7 +171,9 @@ impl<'a> P<'a> {
                 self.i += 1;
             }
         }
-        let text = std::str::from_utf8(&self.s[start..self.i]).expect("digits are utf8");
+        let Ok(text) = std::str::from_utf8(&self.s[start..self.i]) else {
+            return Err(self.err("expected a number"));
+        };
         if text.is_empty() || text == "-" {
             return Err(self.err("expected a number"));
         }
@@ -192,7 +205,7 @@ impl<'a> P<'a> {
                 let axis = if self.eat("//") {
                     Axis::Descendant
                 } else {
-                    self.expect("/")?;
+                    self.expect_tok("/")?;
                     Axis::Child
                 };
                 path.steps.push(self.step(axis)?);
@@ -203,7 +216,7 @@ impl<'a> P<'a> {
             let axis = if self.eat("//") {
                 Axis::Descendant
             } else {
-                self.expect("/")?;
+                self.expect_tok("/")?;
                 Axis::Child
             };
             path.steps.push(self.step(axis)?);
@@ -243,7 +256,7 @@ impl<'a> P<'a> {
             self.ws();
             let pred = self.predicate()?;
             self.ws();
-            self.expect("]")?;
+            self.expect_tok("]")?;
             step.predicates.push(pred);
         }
         Ok(step)
@@ -286,14 +299,14 @@ impl<'a> P<'a> {
         if self.eat("(") {
             let p = self.predicate()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(p);
         }
         if self.looking_at("not(") {
             self.i += "not(".len();
             let p = self.predicate()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(Predicate::Not(Box::new(p)));
         }
         if self.looking_at("contains(") {
@@ -301,11 +314,11 @@ impl<'a> P<'a> {
             self.ws();
             let path = self.rel_path()?;
             self.ws();
-            self.expect(",")?;
+            self.expect_tok(",")?;
             self.ws();
             let needle = self.string_lit()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(Predicate::Contains { path, needle });
         }
         // Position predicate.
@@ -357,8 +370,10 @@ impl<'a> P<'a> {
         if self.peek() == Some(b'$') {
             path.start = Some(self.var()?);
             while self.looking_at("/") {
-                let axis = if self.eat("//") { Axis::Descendant } else {
-                    self.expect("/")?;
+                let axis = if self.eat("//") {
+                    Axis::Descendant
+                } else {
+                    self.expect_tok("/")?;
                     Axis::Child
                 };
                 path.steps.push(self.step(axis)?);
@@ -366,10 +381,13 @@ impl<'a> P<'a> {
             return Ok(path);
         }
         if self.eat(".") {
-            path.steps.push(Step::plain(Axis::SelfAxis, NodeTest::Wildcard));
+            path.steps
+                .push(Step::plain(Axis::SelfAxis, NodeTest::Wildcard));
             while self.looking_at("/") {
-                let axis = if self.eat("//") { Axis::Descendant } else {
-                    self.expect("/")?;
+                let axis = if self.eat("//") {
+                    Axis::Descendant
+                } else {
+                    self.expect_tok("/")?;
                     Axis::Child
                 };
                 path.steps.push(self.step(axis)?);
@@ -384,8 +402,10 @@ impl<'a> P<'a> {
             path.steps.push(self.step(Axis::Child)?);
         }
         while self.looking_at("/") {
-            let axis = if self.eat("//") { Axis::Descendant } else {
-                self.expect("/")?;
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else {
+                self.expect_tok("/")?;
                 Axis::Child
             };
             path.steps.push(self.step(axis)?);
@@ -420,7 +440,7 @@ impl<'a> P<'a> {
                     self.ws();
                     let var = self.var()?;
                     self.ws();
-                    self.expect(":=")?;
+                    self.expect_tok(":=")?;
                     self.ws();
                     let path = self.path()?;
                     clauses.push(Clause::Let { var, path });
@@ -473,7 +493,12 @@ impl<'a> P<'a> {
         }
         self.ws();
         let ret = self.return_expr()?;
-        Ok(Flwor { clauses, where_, order_by, ret })
+        Ok(Flwor {
+            clauses,
+            where_,
+            order_by,
+            ret,
+        })
     }
 
     fn condition(&mut self) -> Result<Condition> {
@@ -511,14 +536,14 @@ impl<'a> P<'a> {
         if self.eat("(") {
             let c = self.condition()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(c);
         }
         if self.looking_at("not(") {
             self.i += "not(".len();
             let c = self.condition()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(Condition::Not(Box::new(c)));
         }
         if self.looking_at("contains(") {
@@ -526,11 +551,11 @@ impl<'a> P<'a> {
             self.ws();
             let path = self.rel_path()?;
             self.ws();
-            self.expect(",")?;
+            self.expect_tok(",")?;
             self.ws();
             let needle = self.string_lit()?;
             self.ws();
-            self.expect(")")?;
+            self.expect_tok(")")?;
             return Ok(Condition::Contains { path, needle });
         }
         let path = self.rel_path()?;
@@ -555,12 +580,24 @@ impl<'a> P<'a> {
             Some(op) => {
                 self.ws();
                 if matches!(self.peek(), Some(b'"' | b'\'')) {
-                    Ok(Condition::Compare { path, op, value: Literal::Str(self.string_lit()?) })
+                    Ok(Condition::Compare {
+                        path,
+                        op,
+                        value: Literal::Str(self.string_lit()?),
+                    })
                 } else if self.peek() == Some(b'$') {
                     let right = self.rel_path()?;
-                    Ok(Condition::Join { left: path, op, right })
+                    Ok(Condition::Join {
+                        left: path,
+                        op,
+                        right,
+                    })
                 } else {
-                    Ok(Condition::Compare { path, op, value: self.number()? })
+                    Ok(Condition::Compare {
+                        path,
+                        op,
+                        value: self.number()?,
+                    })
                 }
             }
         }
@@ -579,20 +616,24 @@ impl<'a> P<'a> {
 
     /// `<name a="v">{ e1, e2 }</name>` or `<name/>` or `<name></name>`.
     fn constructor(&mut self) -> Result<ReturnExpr> {
-        self.expect("<")?;
+        self.expect_tok("<")?;
         let name = self.name()?;
         let mut attributes = Vec::new();
         loop {
             self.ws();
             if self.eat("/>") {
-                return Ok(ReturnExpr::Element { name, attributes, children: Vec::new() });
+                return Ok(ReturnExpr::Element {
+                    name,
+                    attributes,
+                    children: Vec::new(),
+                });
             }
             if self.eat(">") {
                 break;
             }
             let aname = self.name()?;
             self.ws();
-            self.expect("=")?;
+            self.expect_tok("=")?;
             self.ws();
             let aval = self.string_lit()?;
             attributes.push((aname, aval));
@@ -603,14 +644,18 @@ impl<'a> P<'a> {
         loop {
             self.ws();
             if self.looking_at("</") {
-                self.expect("</")?;
+                self.expect_tok("</")?;
                 let close = self.name()?;
                 if close != name {
                     return Err(self.err(&format!("mismatched constructor </{close}>")));
                 }
                 self.ws();
-                self.expect(">")?;
-                return Ok(ReturnExpr::Element { name, attributes, children });
+                self.expect_tok(">")?;
+                return Ok(ReturnExpr::Element {
+                    name,
+                    attributes,
+                    children,
+                });
             }
             if self.eat("{") {
                 loop {
@@ -622,7 +667,7 @@ impl<'a> P<'a> {
                     }
                 }
                 self.ws();
-                self.expect("}")?;
+                self.expect_tok("}")?;
                 continue;
             }
             if self.peek() == Some(b'<') {
@@ -764,7 +809,14 @@ mod tests {
         )
         .unwrap();
         let Query::Flwor(f) = q else { panic!() };
-        let ReturnExpr::Element { name, attributes, children } = &f.ret else { panic!() };
+        let ReturnExpr::Element {
+            name,
+            attributes,
+            children,
+        } = &f.ret
+        else {
+            panic!()
+        };
         assert_eq!(name, "result");
         assert_eq!(attributes[0], ("id".to_string(), "r1".to_string()));
         assert_eq!(children.len(), 2);
@@ -772,12 +824,11 @@ mod tests {
 
     #[test]
     fn nested_constructors_and_text() {
-        let q = parse_query(
-            "for $x in /a/b return <out><tag>label</tag>{$x/c}</out>",
-        )
-        .unwrap();
+        let q = parse_query("for $x in /a/b return <out><tag>label</tag>{$x/c}</out>").unwrap();
         let Query::Flwor(f) = q else { panic!() };
-        let ReturnExpr::Element { children, .. } = &f.ret else { panic!() };
+        let ReturnExpr::Element { children, .. } = &f.ret else {
+            panic!()
+        };
         assert_eq!(children.len(), 2);
         assert!(matches!(&children[0], ReturnExpr::Element { name, .. } if name == "tag"));
     }
@@ -827,12 +878,7 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for src in [
-            "/bib/book/title",
-            "//book/@year",
-            "/a//b/c",
-            "/a/b[3]",
-        ] {
+        for src in ["/bib/book/title", "//book/@year", "/a//b/c", "/a/b[3]"] {
             let p = parse_path(src).unwrap();
             let reparsed = parse_path(&p.to_string()).unwrap();
             assert_eq!(p, reparsed, "{src}");

@@ -11,7 +11,8 @@ use xmlrel::reldb::Database;
 use xmlrel::shredder::IntervalScheme;
 use xmlrel::{Scheme, XmlStore};
 
-const BIB: &str = r#"<bib><book year="1994"><title>TCP</title><author>Stevens</author></book></bib>"#;
+const BIB: &str =
+    r#"<bib><book year="1994"><title>TCP</title><author>Stevens</author></book></bib>"#;
 
 fn write(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::open(format!("{dir}/db"))?;

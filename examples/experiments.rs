@@ -103,7 +103,11 @@ fn e2_shred_throughput() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== E2: shredding throughput (auction, scale 0.3) ==");
     let doc = generate(&AuctionConfig::at_scale(0.3));
     let xml = xmlrel::xmlpar::serialize::to_string(&doc);
-    println!("document: {} bytes, {} elements", xml.len(), doc.element_count());
+    println!(
+        "document: {} bytes, {} elements",
+        xml.len(),
+        doc.element_count()
+    );
     println!("{:<10} {:>10} {:>12}", "scheme", "load ms", "MB/s");
     for scheme in all_schemes(AUCTION_DTD)? {
         let mut store = XmlStore::new(scheme)?;
@@ -172,7 +176,11 @@ fn e3_child_paths() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|q| matches!(q.id, "Q1" | "Q3" | "Q10"))
         .collect();
-    run_query_table("E3: child-chain queries (auction, scale 0.3)", &mut stores, &qs);
+    run_query_table(
+        "E3: child-chain queries (auction, scale 0.3)",
+        &mut stores,
+        &qs,
+    );
     Ok(())
 }
 
@@ -183,7 +191,11 @@ fn e4_descendant() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|q| matches!(q.id, "Q4" | "Q5" | "Q6"))
         .collect();
-    run_query_table("E4: descendant-axis queries (auction, scale 0.3)", &mut stores, &qs);
+    run_query_table(
+        "E4: descendant-axis queries (auction, scale 0.3)",
+        &mut stores,
+        &qs,
+    );
     Ok(())
 }
 
@@ -200,14 +212,26 @@ fn e5_value_index() -> Result<(), Box<dyn std::error::Error>> {
     let range = "/site/regions/region/item[price > 95]/name/text()";
     println!("{:<34} {:>10} {:>8}", "configuration", "ms", "rows");
     for with_index in [false, true] {
-        let scheme = IntervalScheme { with_value_index: with_index };
+        let scheme = IntervalScheme {
+            with_value_index: with_index,
+        };
         let mut store = XmlStore::new(Scheme::Interval(scheme))?;
         store.load_document("auction", &doc)?;
         let tag = if with_index { "indexed" } else { "no index" };
         let (n, t) = time_query(&mut store, point).map_err(|e| e.to_string())?;
-        println!("{:<34} {:>10.2} {:>8}", format!("point lookup, {tag}"), t, n);
+        println!(
+            "{:<34} {:>10.2} {:>8}",
+            format!("point lookup, {tag}"),
+            t,
+            n
+        );
         let (n, t) = time_query(&mut store, range).map_err(|e| e.to_string())?;
-        println!("{:<34} {:>10.2} {:>8}", format!("numeric range, {tag} (unsargable)"), t, n);
+        println!(
+            "{:<34} {:>10.2} {:>8}",
+            format!("numeric range, {tag} (unsargable)"),
+            t,
+            n
+        );
     }
     Ok(())
 }
@@ -364,7 +388,11 @@ fn e11_structural_join() -> Result<(), Box<dyn std::error::Error>> {
             time_query(&mut store, "//open_auction//increase").map_err(|e| e.to_string())?;
         println!(
             "{:<24} {:>10.2}",
-            if use_interval_join { "structural (sorted)" } else { "nested loops" },
+            if use_interval_join {
+                "structural (sorted)"
+            } else {
+                "nested loops"
+            },
             t
         );
     }
@@ -381,12 +409,21 @@ fn e13_optimizer_ablation() -> Result<(), Box<dyn std::error::Error>> {
     type Tweak = Box<dyn Fn(&mut XmlStore)>;
     let configs: Vec<(&str, Tweak)> = vec![
         ("full optimizer", Box::new(|_| {})),
-        ("no join reordering", Box::new(|s| s.db.optimizer.join_reorder = false)),
-        ("no index-NL joins", Box::new(|s| s.db.physical.use_index_nl_join = false)),
-        ("no indexes at all", Box::new(|s| {
-            s.db.physical.use_indexes = false;
-            s.db.physical.use_index_nl_join = false;
-        })),
+        (
+            "no join reordering",
+            Box::new(|s| s.db.optimizer.join_reorder = false),
+        ),
+        (
+            "no index-NL joins",
+            Box::new(|s| s.db.physical.use_index_nl_join = false),
+        ),
+        (
+            "no indexes at all",
+            Box::new(|s| {
+                s.db.physical.use_indexes = false;
+                s.db.physical.use_index_nl_join = false;
+            }),
+        ),
     ];
     for (name, tweak) in configs {
         let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
@@ -407,7 +444,12 @@ fn e13_optimizer_ablation() -> Result<(), Box<dyn std::error::Error>> {
 /// E12 — recursion: inlining's table count and `//` cost on a deep corpus.
 fn e12_recursion() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== E12: recursive DTD handling (deep corpus) ==");
-    let doc = gen_deep(&DeepConfig { depth: 8, fanout: 3, paras: 2, seed: 1 });
+    let doc = gen_deep(&DeepConfig {
+        depth: 8,
+        fanout: 3,
+        paras: 2,
+        seed: 1,
+    });
     let inline = InlineScheme::from_dtd_text(DEEP_DTD)?;
     println!(
         "inline mapping creates {} tables for the recursive DTD",

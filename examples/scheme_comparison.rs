@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Storage comparison (experiment E1's shape).
-    println!("{:<10} {:>8} {:>8} {:>12} {:>12}", "scheme", "tables", "rows", "heap B", "index B");
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12}",
+        "scheme", "tables", "rows", "heap B", "index B"
+    );
     for store in &stores {
         let st = store.storage_stats();
         println!(
@@ -68,8 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Err(_) => counts.push((store.scheme().name(), usize::MAX)),
             }
         }
-        let answered: Vec<usize> =
-            counts.iter().map(|(_, n)| *n).filter(|&n| n != usize::MAX).collect();
+        let answered: Vec<usize> = counts
+            .iter()
+            .map(|(_, n)| *n)
+            .filter(|&n| n != usize::MAX)
+            .collect();
         let agree = answered.windows(2).all(|w| w[0] == w[1]);
         println!(
             "{:<6} {:?} {}",

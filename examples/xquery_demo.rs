@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Positional access.
     println!("\n-- the second item of each region --");
-    for item in store.query("/site/regions/region/item[2]/name/text()")?.items {
+    for item in store
+        .query("/site/regions/region/item[2]/name/text()")?
+        .items
+    {
         println!("  {item}");
     }
 

@@ -1,9 +1,31 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and lints.
-# Run from anywhere; operates on the repository root.
-set -euo pipefail
+# Full verification gate: formatting, release build, the workspace linter,
+# clippy, and the whole test suite. Run from anywhere; operates on the
+# repository root. Each step names itself so a failure is attributable at
+# a glance.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy -- -D warnings
+failed=0
+
+step() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if ! "$@"; then
+        echo "FAILED: ${name}" >&2
+        failed=1
+    fi
+}
+
+step "cargo fmt --check"  cargo fmt --all --check
+step "release build"      cargo build --release
+step "xmlrel-lint"        cargo run -q -p lint
+step "clippy"             cargo clippy --workspace --all-targets -- -D warnings
+step "tests"              cargo test -q --workspace
+
+if [ "${failed}" -ne 0 ]; then
+    echo "check.sh: one or more steps failed" >&2
+    exit 1
+fi
+echo "check.sh: all steps passed"

@@ -40,7 +40,11 @@ fn variable_relative_for_clause() {
                 r.items
             })
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(got, vec!["Abiteboul", "Buneman", "Stevens"], "scheme {name}");
+        assert_eq!(
+            got,
+            vec!["Abiteboul", "Buneman", "Stevens"],
+            "scheme {name}"
+        );
     }
 }
 
@@ -103,7 +107,12 @@ fn exists_condition_in_where() {
 
 #[test]
 fn contains_over_text_heavy_corpus_agrees() {
-    let doc = generate(&TextConfig { entries: 25, paras: 3, words: 30, seed: 42 });
+    let doc = generate(&TextConfig {
+        entries: 25,
+        paras: 3,
+        words: 30,
+        seed: 42,
+    });
     let queries = [
         "/archive/entry[contains(subject, 'er')]/@id",
         "//para/em/text()",
@@ -147,7 +156,12 @@ fn contains_over_text_heavy_corpus_agrees() {
 
 #[test]
 fn mixed_content_text_survives_queries_and_round_trip() {
-    let doc = generate(&TextConfig { entries: 6, paras: 2, words: 16, seed: 7 });
+    let doc = generate(&TextConfig {
+        entries: 6,
+        paras: 2,
+        words: 16,
+        seed: 7,
+    });
     let original = xmlrel::xmlpar::serialize::to_string(&doc);
     for scheme in all_schemes(TEXT_DTD).unwrap() {
         let name = scheme.name();
@@ -159,7 +173,11 @@ fn mixed_content_text_survives_queries_and_round_trip() {
         for p in &paras.items {
             assert!(p.starts_with("<para>"), "{name}: {p}");
             let reparsed = xmlrel::xmlpar::Document::parse(p).unwrap();
-            assert_eq!(xmlrel::xmlpar::serialize::to_string(&reparsed), *p, "{name}");
+            assert_eq!(
+                xmlrel::xmlpar::serialize::to_string(&reparsed),
+                *p,
+                "{name}"
+            );
         }
     }
 }

@@ -12,7 +12,11 @@ use xmlrel::xmlpar::{serialize, Document, QName};
 /// which stresses the label-partitioned schemes).
 #[derive(Debug, Clone)]
 enum Tree {
-    Element { name: u8, attrs: Vec<(u8, String)>, children: Vec<Tree> },
+    Element {
+        name: u8,
+        attrs: Vec<(u8, String)>,
+        children: Vec<Tree>,
+    },
     Text(String),
 }
 
@@ -47,8 +51,15 @@ fn text_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         text_strategy().prop_map(Tree::Text),
-        (any::<u8>(), proptest::collection::vec((any::<u8>(), text_strategy()), 0..3))
-            .prop_map(|(n, attrs)| Tree::Element { name: n, attrs, children: vec![] }),
+        (
+            any::<u8>(),
+            proptest::collection::vec((any::<u8>(), text_strategy()), 0..3)
+        )
+            .prop_map(|(n, attrs)| Tree::Element {
+                name: n,
+                attrs,
+                children: vec![]
+            }),
     ];
     leaf.prop_recursive(4, 24, 4, |inner| {
         (
@@ -56,12 +67,21 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             proptest::collection::vec((any::<u8>(), text_strategy()), 0..2),
             proptest::collection::vec(inner, 0..4),
         )
-            .prop_map(|(n, attrs, children)| Tree::Element { name: n, attrs, children })
+            .prop_map(|(n, attrs, children)| Tree::Element {
+                name: n,
+                attrs,
+                children,
+            })
     })
 }
 
 fn build(tree: &Tree) -> Document {
-    let Tree::Element { name, attrs, children } = tree else {
+    let Tree::Element {
+        name,
+        attrs,
+        children,
+    } = tree
+    else {
         // Wrap a bare text in a root.
         let mut doc = Document::new_with_root(QName::local("root"));
         if let Tree::Text(t) = tree {
@@ -101,7 +121,11 @@ fn add(doc: &mut Document, parent: xmlrel::xmlpar::NodeId, tree: &Tree) {
             }
             doc.add_text(parent, t.clone());
         }
-        Tree::Element { name, attrs, children } => {
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let id = doc.add_element(parent, QName::local(name_of(*name)), Vec::new());
             add_attrs(doc, id, attrs);
             for c in children {

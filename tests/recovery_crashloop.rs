@@ -4,9 +4,7 @@
 //! success, never a partial statement, never a panic.
 
 use xmlrel::reldb::wal::WAL_FILE;
-use xmlrel::reldb::{
-    Database, FaultBackend, FaultPlan, MemBackend, SharedFiles, Value,
-};
+use xmlrel::reldb::{Database, FaultBackend, FaultPlan, MemBackend, SharedFiles, Value};
 use xmlrel::shredder::{EdgeScheme, IntervalScheme};
 use xmlrel::{Scheme, XmlStore};
 
@@ -172,6 +170,10 @@ fn crashed_document_load_never_damages_committed_documents() {
         // byte-identical; the torn load may be absent or partial, but the
         // store stays openable and queryable.
         let store = store_over(make, &f);
-        assert_eq!(store.reconstruct("bib").unwrap(), bib_before, "budget {budget}");
+        assert_eq!(
+            store.reconstruct("bib").unwrap(),
+            bib_before,
+            "budget {budget}"
+        );
     }
 }

@@ -64,13 +64,22 @@ fn auction_workload_agreement() {
 
 #[test]
 fn dblp_workload_agreement() {
-    let doc = gen_dblp(&DblpConfig { articles: 120, inproceedings: 80, seed: 99 });
+    let doc = gen_dblp(&DblpConfig {
+        articles: 120,
+        inproceedings: 80,
+        seed: 99,
+    });
     assert_workload_agreement(&doc, DBLP_DTD, DBLP_QUERIES);
 }
 
 #[test]
 fn deep_workload_agreement() {
-    let doc = gen_deep(&DeepConfig { depth: 6, fanout: 2, paras: 1, seed: 5 });
+    let doc = gen_deep(&DeepConfig {
+        depth: 6,
+        fanout: 2,
+        paras: 1,
+        seed: 5,
+    });
     assert_workload_agreement(&doc, DEEP_DTD, DEEP_QUERIES);
 }
 
@@ -78,8 +87,23 @@ fn deep_workload_agreement() {
 fn all_schemes_round_trip_all_corpora() {
     let corpora: Vec<(xmlrel::xmlpar::Document, &str)> = vec![
         (generate(&AuctionConfig::at_scale(0.1)), AUCTION_DTD),
-        (gen_dblp(&DblpConfig { articles: 40, inproceedings: 25, seed: 3 }), DBLP_DTD),
-        (gen_deep(&DeepConfig { depth: 5, fanout: 2, paras: 1, seed: 4 }), DEEP_DTD),
+        (
+            gen_dblp(&DblpConfig {
+                articles: 40,
+                inproceedings: 25,
+                seed: 3,
+            }),
+            DBLP_DTD,
+        ),
+        (
+            gen_deep(&DeepConfig {
+                depth: 5,
+                fanout: 2,
+                paras: 1,
+                seed: 4,
+            }),
+            DEEP_DTD,
+        ),
         (
             xmlrel::xmlgen::textheavy::generate(&xmlrel::xmlgen::TextConfig {
                 entries: 15,

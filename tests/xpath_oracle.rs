@@ -12,7 +12,9 @@ use xmlrel::{all_schemes, XmlStore};
 fn oracle(doc: &Document, steps: &[OStep]) -> Vec<String> {
     let mut ctx: Vec<NodeId> = Vec::new();
     // First step applies to the root element.
-    let Some((first, rest)) = steps.split_first() else { return Vec::new() };
+    let Some((first, rest)) = steps.split_first() else {
+        return Vec::new();
+    };
     match first {
         OStep::Child(n) => {
             if doc.name(doc.root()).map(|q| q.local == *n).unwrap_or(false) {
@@ -128,11 +130,12 @@ enum Tree {
 }
 
 fn tree_strategy() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        (0u8..12).prop_map(Tree::Tx),
-        ((0u8..5), proptest::collection::vec((0u8..3, 0u8..9), 0..2))
-            .prop_map(|(n, a)| Tree::El(n, a, vec![])),
-    ];
+    let leaf =
+        prop_oneof![
+            (0u8..12).prop_map(Tree::Tx),
+            ((0u8..5), proptest::collection::vec((0u8..3, 0u8..9), 0..2))
+                .prop_map(|(n, a)| Tree::El(n, a, vec![])),
+        ];
     leaf.prop_recursive(3, 20, 3, |inner| {
         (
             0u8..5,
