@@ -7,6 +7,7 @@ use xqir::ast::NodeTest;
 
 use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{JoinMode, SqlBuilder};
 
@@ -44,6 +45,27 @@ impl StepCompiler for BinaryCompiler {
 
     fn native_recursive(&self) -> bool {
         false
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "binary",
+            indexes: vec![
+                IndexPat::Suffix("_src"),
+                IndexPat::Suffix("_pre"),
+                IndexPat::Suffix("_val"),
+                IndexPat::Exact("bin_text_src"),
+                IndexPat::Exact("bin_text_val"),
+            ],
+            // The value index is experiment E5's knob; only promise it
+            // when this instance actually created it.
+            value_indexes: if self.scheme.with_value_index {
+                vec![IndexPat::Suffix("_val")]
+            } else {
+                vec![]
+            },
+            descendant: DescendantAccess::PathExpansion,
+        }
     }
 
     fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {

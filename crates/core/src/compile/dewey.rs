@@ -8,6 +8,7 @@ use xqir::ast::NodeTest;
 
 use crate::compile::edge::add_join;
 use crate::compile::{NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
 
@@ -42,6 +43,19 @@ impl StepCompiler for DeweyCompiler {
 
     fn native_recursive(&self) -> bool {
         true
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "dewey",
+            indexes: vec![
+                IndexPat::Exact("dnode_key"),
+                IndexPat::Exact("dnode_name"),
+                IndexPat::Exact("dnode_parent"),
+            ],
+            value_indexes: vec![],
+            descendant: DescendantAccess::DeweyPrefix,
+        }
     }
 
     fn root_with_test(

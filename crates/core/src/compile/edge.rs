@@ -5,6 +5,7 @@ use shredder::EdgeScheme;
 use xqir::ast::NodeTest;
 
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
 
@@ -39,6 +40,26 @@ impl StepCompiler for EdgeCompiler {
 
     fn native_recursive(&self) -> bool {
         false
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "edge",
+            indexes: vec![
+                IndexPat::Exact("edge_source"),
+                IndexPat::Exact("edge_label"),
+                IndexPat::Exact("edge_target"),
+                IndexPat::Exact("edge_value"),
+            ],
+            // The value index is experiment E5's knob; only promise it
+            // when this instance actually created it.
+            value_indexes: if self.scheme.with_value_index {
+                vec![IndexPat::Exact("edge_value")]
+            } else {
+                vec![]
+            },
+            descendant: DescendantAccess::PathExpansion,
+        }
     }
 
     fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {

@@ -11,6 +11,7 @@ use xqir::ast::NodeTest;
 
 use crate::compile::edge::add_join;
 use crate::compile::{NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
 
@@ -54,6 +55,19 @@ impl StepCompiler for InlineCompiler {
 
     fn native_recursive(&self) -> bool {
         false
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "inline",
+            indexes: vec![
+                IndexPat::Suffix("_parent"),
+                IndexPat::Suffix("_id"),
+                IndexPat::Exact("inl_text_parent"),
+            ],
+            value_indexes: vec![],
+            descendant: DescendantAccess::PathExpansion,
+        }
     }
 
     fn concrete_paths(&self, _db: &Database, _doc: Option<i64>) -> Result<Vec<String>> {

@@ -8,6 +8,7 @@ use xqir::ast::NodeTest;
 
 use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
 
@@ -42,6 +43,26 @@ impl StepCompiler for IntervalCompiler {
 
     fn native_recursive(&self) -> bool {
         true
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "interval",
+            indexes: vec![
+                IndexPat::Exact("inode_pre"),
+                IndexPat::Exact("inode_name"),
+                IndexPat::Exact("inode_parent"),
+                IndexPat::Exact("inode_value"),
+            ],
+            // The value index is experiment E5's knob; only promise it
+            // when this instance actually created it.
+            value_indexes: if self.scheme.with_value_index {
+                vec![IndexPat::Exact("inode_value")]
+            } else {
+                vec![]
+            },
+            descendant: DescendantAccess::IntervalContainment,
+        }
     }
 
     fn root_with_test(

@@ -20,6 +20,7 @@ pub mod universal;
 use reldb::{Database, Value};
 use xqir::ast::NodeTest;
 
+use crate::contract::AccessContract;
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{JoinMode, SqlBuilder};
 
@@ -94,6 +95,11 @@ pub trait StepCompiler {
 
     /// True when `//` and `*` compile natively (no path expansion needed).
     fn native_recursive(&self) -> bool;
+
+    /// The access-path contract this scheme promises: which indexes its
+    /// compiled plans may touch and how descendant steps must be realized.
+    /// Checked against every chosen plan by `XmlStore::verify_plan`.
+    fn contract(&self) -> AccessContract;
 
     /// Concrete root-to-element label paths (`/a/b/c` strings) for
     /// expansion schemes.

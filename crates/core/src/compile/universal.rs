@@ -10,6 +10,7 @@ use xqir::ast::NodeTest;
 
 use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
+use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
 use crate::sqlgen::{JoinMode, SqlBuilder};
 
@@ -66,6 +67,15 @@ impl StepCompiler for UniversalCompiler {
 
     fn native_recursive(&self) -> bool {
         false
+    }
+
+    fn contract(&self) -> AccessContract {
+        AccessContract {
+            scheme: "universal",
+            indexes: vec![IndexPat::Exact("univ_src")],
+            value_indexes: vec![],
+            descendant: DescendantAccess::PathExpansion,
+        }
     }
 
     fn concrete_paths(&self, db: &Database, doc: Option<i64>) -> Result<Vec<String>> {

@@ -1,0 +1,483 @@
+//! Per-mapping-scheme access-path contracts.
+//!
+//! Each published mapping scheme makes a performance promise the paper's
+//! experiments depend on: edge-style schemes resolve child steps with
+//! `(parent, tag)` index lookups (never cartesian products), the interval
+//! scheme resolves `//` with a single pre/post containment window (Grust
+//! 2002), and Dewey resolves descendants via prefix containment on the
+//! order key (Tatarinov et al. 2002). Those promises were previously only
+//! *hoped for*; this module states them as data
+//! ([`AccessContract`], declared by every [`StepCompiler`]) and checks
+//! them against the physical plan the optimizer actually chose
+//! ([`check_contract`], surfaced as `XmlStore::verify_plan`).
+//!
+//! The checker is deliberately structural: it never re-runs the optimizer,
+//! it only inspects the plan — so any regression in index selection, join
+//! ordering, or the structural-join rewrite shows up as a contract
+//! violation without a single benchmark.
+//!
+//! [`StepCompiler`]: crate::compile::StepCompiler
+
+use reldb::plan::{cost, Diagnostic, PhysicalPlan, ScalarExpr, Severity};
+use reldb::Database;
+use xqir::ast::{Axis, Clause, Condition, Literal, PathExpr, Predicate, Query};
+
+/// Pattern matching an index name a scheme is allowed (and expected) to
+/// use. Label-partitioned schemes create one index family per element
+/// label, so suffix patterns cover them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPat {
+    /// The exact index name.
+    Exact(&'static str),
+    /// Any index whose name ends with the suffix (per-label families).
+    Suffix(&'static str),
+}
+
+impl IndexPat {
+    /// Does `name` match this pattern?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            IndexPat::Exact(n) => name == *n,
+            IndexPat::Suffix(s) => name.ends_with(s),
+        }
+    }
+}
+
+/// How a scheme promises to resolve descendant (`//`) steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescendantAccess {
+    /// One pre/post containment window per step — the plan must contain an
+    /// interval (structural) join (Grust 2002).
+    IntervalContainment,
+    /// Prefix containment on the Dewey order key, realized as a `LIKE`
+    /// residual (Tatarinov et al. 2002); a lexicographic range scan is the
+    /// intended upgrade path.
+    DeweyPrefix,
+    /// No native encoding: the driver expands `//` against the stored path
+    /// summary into a UNION ALL of concrete child chains, each of which
+    /// must obey the child-step contract.
+    PathExpansion,
+}
+
+/// The machine-checkable promise one mapping scheme makes about the plans
+/// its compiled queries produce.
+#[derive(Debug, Clone)]
+pub struct AccessContract {
+    /// Scheme name (matches `StepCompiler::scheme`).
+    pub scheme: &'static str,
+    /// Every index the scheme's shredder creates. Any index access in a
+    /// compiled plan must match one of these.
+    pub indexes: Vec<IndexPat>,
+    /// Indexes over node *values*; when non-empty, a string-equality value
+    /// predicate must never force a full scan of a value-indexed table —
+    /// it is answered either by a value-index probe or as a residual of
+    /// some other index access (the E5 promise). Empty means this instance
+    /// has no value index and the rule is waived.
+    pub value_indexes: Vec<IndexPat>,
+    /// How `//` steps must be realized.
+    pub descendant: DescendantAccess,
+}
+
+/// Shape facts about a query, derived from its AST, that select which
+/// contract rules apply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryTraits {
+    /// The query has a descendant step whose context is a bound node (not
+    /// the document root) — the case that needs a structural access path.
+    pub nonleading_descendant: bool,
+    /// The query compares an attribute or text value to a string literal
+    /// with `=` — the case a value index can answer.
+    pub string_eq_value: bool,
+}
+
+impl QueryTraits {
+    /// Derive traits from a parsed query.
+    pub fn of(query: &Query) -> QueryTraits {
+        let mut t = QueryTraits::default();
+        match query {
+            Query::Path(p) => t.absorb_path(p, false),
+            Query::Flwor(f) => {
+                for c in &f.clauses {
+                    let relative = match c {
+                        Clause::For { path, .. } | Clause::Let { path, .. } => path.start.is_some(),
+                    };
+                    t.absorb_path(c.path(), relative);
+                }
+                if let Some(w) = &f.where_ {
+                    t.absorb_condition(w);
+                }
+                for (p, _) in &f.order_by {
+                    t.absorb_path(p, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// Fold in one path. `relative` paths start at an already-bound node,
+    /// so even their first descendant step is non-leading.
+    fn absorb_path(&mut self, p: &PathExpr, relative: bool) {
+        let relative = relative || p.start.is_some();
+        for (i, s) in p.steps.iter().enumerate() {
+            if s.axis == Axis::Descendant && (relative || i > 0) {
+                self.nonleading_descendant = true;
+            }
+            for pred in &s.predicates {
+                self.absorb_predicate(pred);
+            }
+        }
+    }
+
+    fn absorb_predicate(&mut self, pred: &Predicate) {
+        match pred {
+            Predicate::Compare { path, op, value } => {
+                self.absorb_path(path, true);
+                if *op == xqir::ast::CmpOp::Eq && matches!(value, Literal::Str(_)) {
+                    self.string_eq_value = true;
+                }
+            }
+            Predicate::Exists(p) | Predicate::Contains { path: p, .. } => self.absorb_path(p, true),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                self.absorb_predicate(a);
+                self.absorb_predicate(b);
+            }
+            Predicate::Not(p) => self.absorb_predicate(p),
+            Predicate::Position(_) => {}
+        }
+    }
+
+    fn absorb_condition(&mut self, cond: &Condition) {
+        match cond {
+            Condition::Compare { path, op, value } => {
+                self.absorb_path(path, true);
+                if *op == xqir::ast::CmpOp::Eq && matches!(value, Literal::Str(_)) {
+                    self.string_eq_value = true;
+                }
+            }
+            Condition::Exists(p) | Condition::Contains { path: p, .. } => self.absorb_path(p, true),
+            Condition::Join { left, right, .. } => {
+                self.absorb_path(left, true);
+                self.absorb_path(right, true);
+            }
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                self.absorb_condition(a);
+                self.absorb_condition(b);
+            }
+            Condition::Not(c) => self.absorb_condition(c),
+        }
+    }
+}
+
+/// Check a physical plan against a scheme's contract. Returns one
+/// diagnostic per violation; an empty result means the optimizer delivered
+/// every access path the scheme promises.
+pub fn check_contract(
+    contract: &AccessContract,
+    traits: &QueryTraits,
+    db: &Database,
+    plan: &PhysicalPlan,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut shape = PlanShape::default();
+    collect(db, plan, &mut Vec::new(), contract, &mut shape, &mut out);
+
+    if traits.nonleading_descendant {
+        match contract.descendant {
+            DescendantAccess::IntervalContainment if !shape.has_interval_join => {
+                out.push(violation(
+                    "contract-descendant",
+                    "plan",
+                    format!(
+                        "scheme {:?} promises descendant steps via a pre/post \
+                         containment window, but the plan contains no interval join",
+                        contract.scheme
+                    ),
+                ));
+            }
+            DescendantAccess::DeweyPrefix if !shape.has_prefix_like => {
+                out.push(violation(
+                    "contract-descendant",
+                    "plan",
+                    format!(
+                        "scheme {:?} promises descendant steps via prefix \
+                         containment on the order key, but the plan contains no \
+                         LIKE condition",
+                        contract.scheme
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    if traits.string_eq_value && !contract.value_indexes.is_empty() {
+        let probed = shape
+            .index_accesses
+            .iter()
+            .any(|ix| contract.value_indexes.iter().any(|p| p.matches(ix)));
+        if !probed {
+            // No value-index probe: acceptable only as long as no
+            // value-indexed table is read by a full scan — the predicate
+            // must ride some index access (per-label partitioning, a
+            // structural descent) instead of forcing a sequential read.
+            for table in &shape.seq_scans {
+                let has_value_index = db
+                    .catalog
+                    .table(table)
+                    .map(|t| {
+                        t.indexes
+                            .iter()
+                            .any(|ix| contract.value_indexes.iter().any(|p| p.matches(&ix.name)))
+                    })
+                    .unwrap_or(false);
+                if has_value_index {
+                    out.push(violation(
+                        "contract-value-index",
+                        "plan",
+                        format!(
+                            "scheme {:?} carries a value index, but the plan \
+                             answers a string-equality predicate by fully \
+                             scanning {table:?} (indexes used: {:?})",
+                            contract.scheme, shape.index_accesses
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn violation(rule: &'static str, node: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule,
+        node: node.to_string(),
+        message,
+    }
+}
+
+/// What the structural walk saw.
+#[derive(Debug, Default)]
+struct PlanShape {
+    has_interval_join: bool,
+    has_prefix_like: bool,
+    index_accesses: Vec<String>,
+    seq_scans: Vec<String>,
+}
+
+fn collect(
+    db: &Database,
+    plan: &PhysicalPlan,
+    path: &mut Vec<&'static str>,
+    contract: &AccessContract,
+    shape: &mut PlanShape,
+    out: &mut Vec<Diagnostic>,
+) {
+    let name: &'static str = match plan {
+        PhysicalPlan::SeqScan { .. } => "SeqScan",
+        PhysicalPlan::IndexScan { .. } => "IndexScan",
+        PhysicalPlan::Filter { .. } => "Filter",
+        PhysicalPlan::Project { .. } => "Project",
+        PhysicalPlan::HashJoin { .. } => "HashJoin",
+        PhysicalPlan::IndexNestedLoopJoin { .. } => "IndexNestedLoopJoin",
+        PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+        PhysicalPlan::IntervalJoin { .. } => "IntervalJoin",
+        PhysicalPlan::Sort { .. } => "Sort",
+        PhysicalPlan::HashAggregate { .. } => "HashAggregate",
+        PhysicalPlan::Limit { .. } => "Limit",
+        PhysicalPlan::Distinct { .. } => "Distinct",
+        PhysicalPlan::UnionAll { .. } => "UnionAll",
+        PhysicalPlan::Values { .. } => "Values",
+    };
+    path.push(name);
+
+    match plan {
+        PhysicalPlan::SeqScan { table } => shape.seq_scans.push(table.clone()),
+        PhysicalPlan::IndexScan {
+            index, residual, ..
+        } => {
+            note_index(index, path, contract, shape, out);
+            note_like(residual.as_ref(), shape);
+        }
+        PhysicalPlan::IndexNestedLoopJoin {
+            index,
+            right_filter,
+            residual,
+            ..
+        } => {
+            note_index(index, path, contract, shape, out);
+            note_like(right_filter.as_ref(), shape);
+            note_like(residual.as_ref(), shape);
+        }
+        PhysicalPlan::IntervalJoin { residual, .. } => {
+            shape.has_interval_join = true;
+            note_like(residual.as_ref(), shape);
+        }
+        PhysicalPlan::HashJoin { residual, .. } => note_like(residual.as_ref(), shape),
+        PhysicalPlan::Filter { predicate, .. } => note_like(Some(predicate), shape),
+        PhysicalPlan::NestedLoopJoin {
+            left, right, on, ..
+        } => {
+            note_like(on.as_ref(), shape);
+            match on {
+                Some(cond) => {
+                    // A conditioned nested loop is only within contract for
+                    // the Dewey prefix realization.
+                    let dewey_ok =
+                        contract.descendant == DescendantAccess::DeweyPrefix && contains_like(cond);
+                    if !dewey_ok {
+                        out.push(violation(
+                            "contract-nl-join",
+                            &path.join(" > "),
+                            format!(
+                                "scheme {:?} compiled a conditioned nested-loop \
+                                 join; child chains must use index, hash, or \
+                                 interval joins",
+                                contract.scheme
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    // Cross joins are within contract only when one side is
+                    // a single row (constant driver).
+                    let l = cost::cost_physical(&db.catalog, left).rows;
+                    let r = cost::cost_physical(&db.catalog, right).rows;
+                    if l > 1.0 && r > 1.0 {
+                        out.push(violation(
+                            "contract-nl-join",
+                            &path.join(" > "),
+                            format!(
+                                "scheme {:?} compiled a cartesian product \
+                                 (~{l:.0} × ~{r:.0} rows)",
+                                contract.scheme
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+
+    match plan {
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input } => collect(db, input, path, contract, shape, out),
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::NestedLoopJoin { left, right, .. }
+        | PhysicalPlan::IntervalJoin { left, right, .. } => {
+            collect(db, left, path, contract, shape, out);
+            collect(db, right, path, contract, shape, out);
+        }
+        PhysicalPlan::IndexNestedLoopJoin { left, .. } => {
+            collect(db, left, path, contract, shape, out)
+        }
+        PhysicalPlan::UnionAll { inputs } => {
+            for i in inputs {
+                collect(db, i, path, contract, shape, out);
+            }
+        }
+        _ => {}
+    }
+    path.pop();
+}
+
+fn note_index(
+    index: &str,
+    path: &[&'static str],
+    contract: &AccessContract,
+    shape: &mut PlanShape,
+    out: &mut Vec<Diagnostic>,
+) {
+    shape.index_accesses.push(index.to_string());
+    if !contract.indexes.iter().any(|p| p.matches(index)) {
+        out.push(violation(
+            "contract-probe",
+            &path.join(" > "),
+            format!(
+                "index {index:?} is not part of scheme {:?}'s declared access paths",
+                contract.scheme
+            ),
+        ));
+    }
+}
+
+fn note_like(expr: Option<&ScalarExpr>, shape: &mut PlanShape) {
+    if let Some(e) = expr {
+        if contains_like(e) {
+            shape.has_prefix_like = true;
+        }
+    }
+}
+
+/// Does the expression tree contain a LIKE?
+fn contains_like(e: &ScalarExpr) -> bool {
+    match e {
+        ScalarExpr::Like { .. } => true,
+        ScalarExpr::Binary { left, right, .. } => contains_like(left) || contains_like(right),
+        ScalarExpr::Unary { expr, .. } => contains_like(expr),
+        ScalarExpr::Call { args, .. } => args.iter().any(contains_like),
+        ScalarExpr::IsNull { expr, .. } => contains_like(expr),
+        ScalarExpr::Between {
+            expr, low, high, ..
+        } => contains_like(expr) || contains_like(low) || contains_like(high),
+        ScalarExpr::InList { expr, list, .. } => {
+            contains_like(expr) || list.iter().any(contains_like)
+        }
+        ScalarExpr::Column(_) | ScalarExpr::Literal(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqir::parse_query;
+
+    fn traits(q: &str) -> QueryTraits {
+        QueryTraits::of(&parse_query(q).expect("parses"))
+    }
+
+    #[test]
+    fn leading_descendant_is_not_structural() {
+        assert!(!traits("//item/name").nonleading_descendant);
+        assert!(!traits("//author").nonleading_descendant);
+    }
+
+    #[test]
+    fn nonleading_descendants_detected() {
+        assert!(traits("//open_auction//increase").nonleading_descendant);
+        assert!(traits("/site/people//age").nonleading_descendant);
+    }
+
+    #[test]
+    fn string_eq_detected() {
+        assert!(traits("/site/people/person[@id = 'person7']/name").string_eq_value);
+        assert!(traits("/dblp/article[year = '2000']/title").string_eq_value);
+        // Numeric comparisons are not index-sargable in this engine.
+        assert!(!traits("/site/regions/region/item[price > 90]/name").string_eq_value);
+    }
+
+    #[test]
+    fn flwor_traits() {
+        let t = traits(
+            "for $p in /site/people/person where $p/profile/age > 60 \
+             order by $p/name return $p/name",
+        );
+        assert!(!t.string_eq_value);
+        assert!(!t.nonleading_descendant);
+    }
+
+    #[test]
+    fn index_patterns_match() {
+        assert!(IndexPat::Exact("edge_value").matches("edge_value"));
+        assert!(!IndexPat::Exact("edge_value").matches("edge_values"));
+        assert!(IndexPat::Suffix("_val").matches("b_booktitle_val"));
+        assert!(!IndexPat::Suffix("_val").matches("b_booktitle_src"));
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod contract;
 pub mod error;
 pub mod publish;
 pub mod sqlgen;
@@ -29,5 +30,6 @@ pub mod update;
 
 pub use compile::driver::{OutKind, Translated};
 pub use compile::{NodeKey, StepCompiler};
+pub use contract::{check_contract, AccessContract, DescendantAccess, IndexPat, QueryTraits};
 pub use error::{CoreError, Result};
-pub use store::{QueryOutput, Scheme, XmlStore};
+pub use store::{PlanReport, QueryOutput, Scheme, XmlStore};

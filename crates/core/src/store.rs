@@ -16,6 +16,7 @@ use crate::compile::{
     binary::BinaryCompiler, dewey::DeweyCompiler, edge::EdgeCompiler, inline::InlineCompiler,
     interval::IntervalCompiler, universal::UniversalCompiler, NodeKey, StepCompiler,
 };
+use crate::contract::{check_contract, QueryTraits};
 use crate::error::{CoreError, Result};
 use crate::publish;
 
@@ -115,6 +116,31 @@ impl QueryOutput {
     /// True when no items matched.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+}
+
+/// Everything `XmlStore::verify_plan` learned about one query's chosen
+/// plan: the compiled SQL, the physical plan, its cost breakdown, and any
+/// plan-quality or contract findings.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The compiled SQL.
+    pub sql: String,
+    /// Rendered physical plan (EXPLAIN output).
+    pub explain: String,
+    /// Rendered cost breakdown, one line per plan node.
+    pub cost: String,
+    /// Total estimated cost of the chosen plan.
+    pub total_cost: f64,
+    /// Anti-pattern and contract findings (empty = plan is within contract
+    /// and free of detectable planning mistakes).
+    pub diagnostics: Vec<reldb::plan::Diagnostic>,
+}
+
+impl PlanReport {
+    /// True when no findings were raised.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
     }
 }
 
@@ -278,6 +304,71 @@ impl XmlStore {
         diags.extend(validate_physical(catalog, &physical));
         diags.dedup();
         Ok(diags)
+    }
+
+    /// Compile a query and check the physical plan the optimizer chose
+    /// against this scheme's access-path contract plus the generic
+    /// plan-quality analyzer. Returns a [`PlanReport`] with the rendered
+    /// plan, its cost breakdown, and every finding (empty diagnostics =
+    /// the optimizer delivered all the access paths the scheme promises).
+    pub fn verify_plan(&self, query_text: &str) -> Result<PlanReport> {
+        let t = self.translate(query_text)?;
+        self.verify_translated(query_text, &t)
+    }
+
+    /// [`XmlStore::verify_plan`] scoped to one document.
+    pub fn verify_plan_for(&self, query_text: &str, doc: &str) -> Result<PlanReport> {
+        let t = self.translate_for(query_text, doc)?;
+        self.verify_translated(query_text, &t)
+    }
+
+    fn verify_translated(&self, query_text: &str, t: &Translated) -> Result<PlanReport> {
+        use reldb::plan::{
+            analyze_physical, bind_select, cost, explain_physical, optimize, plan_physical,
+            AnalyzerOptions,
+        };
+        use reldb::sql::parser::parse_statement;
+        use reldb::sql::Statement;
+
+        // A statically-empty result compiles to the `SELECT NULL LIMIT 0`
+        // stub; there is no access path to check.
+        if t.sql == "SELECT NULL LIMIT 0" {
+            return Ok(PlanReport {
+                sql: t.sql.clone(),
+                explain: "Values (empty)".into(),
+                cost: String::new(),
+                total_cost: 0.0,
+                diagnostics: Vec::new(),
+            });
+        }
+
+        let stmt = parse_statement(&t.sql).map_err(CoreError::Db)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(CoreError::Translate(format!(
+                "compiled query is not a SELECT: {}",
+                t.sql
+            )));
+        };
+        let catalog = &self.db.catalog;
+        let bound = bind_select(catalog, &sel).map_err(CoreError::Db)?;
+        let optimized = optimize(bound, &self.db.optimizer, catalog);
+        let physical =
+            plan_physical(catalog, &optimized, &self.db.physical).map_err(CoreError::Db)?;
+
+        let mut diagnostics = analyze_physical(catalog, &physical, &AnalyzerOptions::default());
+        let query = parse_query(query_text)?;
+        let traits = QueryTraits::of(&query);
+        let contract = self.scheme.compiler().contract();
+        diagnostics.extend(check_contract(&contract, &traits, &self.db, &physical));
+
+        let report = cost::report_physical(catalog, &physical);
+        Ok(PlanReport {
+            sql: t.sql.clone(),
+            explain: explain_physical(&physical),
+            cost: report.render(),
+            total_cost: report.total(),
+            diagnostics,
+        })
     }
 
     /// Debug-build hook: every query string a scheme compiler emits must

@@ -16,6 +16,8 @@
 //! - `no-index`: no integer-literal subscripts (`row[0]`); use checked
 //!   accessors.
 //! - `no-len-truncate`: no `.len() as u32`-style truncating casts.
+//! - `no-cost-truncate`: no `as u64`/`as usize` casts on cost/cardinality
+//!   estimates outside `plan::cost`; estimates stay f64 end to end.
 //!
 //! Suppress a finding with `// lint:allow(rule): justification` on the
 //! offending line or alone on the line above. Bare `lint:allow` without a

@@ -2,7 +2,10 @@
 //! panicking constructs and truncating casts.
 //!
 //! Usage:
-//!   xmlrel-lint [--json] [PATH...]
+//!   xmlrel-lint [--json] [--out PATH] [PATH...]
+//!
+//! `--out` always writes the JSON report (even on failure), so CI can
+//! upload it as an artifact regardless of the exit code.
 //!
 //! With no paths, scans the workspace's own crate sources (`src/` and
 //! `crates/*/src`, minus vendored shims and the bench harness), located
@@ -14,12 +17,21 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut out_path: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xmlrel-lint: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: xmlrel-lint [--json] [PATH...]");
+                eprintln!("usage: xmlrel-lint [--json] [--out PATH] [PATH...]");
                 eprintln!("rules: {}", lint::RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
@@ -46,6 +58,12 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, lint::to_json(&violations)) {
+            eprintln!("xmlrel-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if json {
         println!("{}", lint::to_json(&violations));
     } else {

@@ -21,6 +21,7 @@ pub const RULES: &[&str] = &[
     "no-todo",
     "no-index",
     "no-len-truncate",
+    "no-cost-truncate",
     "bare-allow",
 ];
 
@@ -156,6 +157,32 @@ fn check_at(file: &str, toks: &[Tok], i: usize) -> Vec<Violation> {
         }
     }
 
+    // no-cost-truncate: `<cost-ish expr> as u64` / `as usize` rounds an
+    // estimated cost or cardinality toward zero, silently collapsing
+    // fractional estimates (a 0.3-row leaf becomes 0). Estimates must stay
+    // f64 end to end; only `plan::cost` itself may convert, explicitly.
+    if t.kind == TokKind::Ident
+        && t.text == "as"
+        && !in_cost_module(file)
+        && matches!(
+            toks.get(i + 1),
+            Some(ty) if ty.kind == TokKind::Ident && is_int_type(&ty.text)
+        )
+    {
+        if let Some(name) = costish_cast_source(toks, i) {
+            out.push(mk(
+                "no-cost-truncate",
+                t.line,
+                format!(
+                    "`{name} .. as {}` truncates an estimated cost/cardinality; \
+                     keep estimates in f64 and convert inside `plan::cost` \
+                     (or round explicitly at the consumer)",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+
     // no-index: integer-literal subscript `expr[0]` on an expression. The
     // preceding token must end an expression (identifier, `)`, or `]`) so
     // array literals `[0, 1]`, attribute brackets `#[..]`, and types
@@ -183,6 +210,88 @@ fn check_at(file: &str, toks: &[Tok], i: usize) -> Vec<Violation> {
 
 fn is_punct(t: &Tok, s: &str) -> bool {
     t.kind == TokKind::Punct && t.text == s
+}
+
+/// The unified estimator is the one place allowed to move between floats
+/// and integers; everywhere else must go through it.
+fn in_cost_module(file: &str) -> bool {
+    file.ends_with("plan/cost.rs") || file.ends_with("plan\\cost.rs")
+}
+
+fn is_int_type(s: &str) -> bool {
+    matches!(
+        s,
+        "u8" | "u16" | "u32" | "u64" | "usize" | "i8" | "i16" | "i32" | "i64" | "isize"
+    )
+}
+
+/// Does this identifier name an estimate? Matched per underscore-separated
+/// segment so `est_rows`, `total_cost`, and `join_card` all qualify while
+/// `largest` and `test` do not.
+fn is_costish(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        matches!(
+            seg,
+            "cost"
+                | "costs"
+                | "card"
+                | "cardinality"
+                | "est"
+                | "estimate"
+                | "estimated"
+                | "sel"
+                | "selectivity"
+                | "rows"
+        )
+    })
+}
+
+/// Walk the postfix chain feeding an `as` cast (identifiers, field/method
+/// dots, `?`, balanced call parens) and return the first cost-ish name in
+/// it, so `cost.total() as u64` and `est_rows as usize` both resolve.
+/// Chains ending in `.len()` are counts, not estimates, and never match.
+fn costish_cast_source(toks: &[Tok], as_pos: usize) -> Option<String> {
+    let mut chain: Vec<&str> = Vec::new();
+    let mut j = as_pos;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if is_punct(t, ")") {
+            // Skip the balanced argument list back to its `(`.
+            let mut depth = 1usize;
+            let mut k = j - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if is_punct(&toks[k], ")") {
+                    depth += 1;
+                } else if is_punct(&toks[k], "(") {
+                    depth -= 1;
+                }
+            }
+            if depth > 0 {
+                break;
+            }
+            j = k;
+        } else if is_punct(t, "?") {
+            j -= 1;
+        } else if t.kind == TokKind::Ident && t.text != "as" {
+            chain.push(t.text.as_str());
+            j -= 1;
+            if j > 0 && is_punct(&toks[j - 1], ".") {
+                j -= 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    if chain.first() == Some(&"len") {
+        return None;
+    }
+    chain
+        .iter()
+        .find(|name| is_costish(name))
+        .map(|name| (*name).to_string())
 }
 
 /// Does this token end an expression a subscript could apply to?
@@ -449,6 +558,62 @@ mod tests {
             rules_of("fn f(s: &str) -> usize { s.len() }"),
             Vec::<&str>::new()
         );
+    }
+
+    #[test]
+    fn flags_cost_truncation() {
+        // Bare identifier and method-chain forms both resolve.
+        assert_eq!(
+            rules_of("fn f(est_rows: f64) -> usize { est_rows as usize }"),
+            vec!["no-cost-truncate"]
+        );
+        assert_eq!(
+            rules_of("fn f(c: Cost) -> u64 { c.total_cost as u64 }"),
+            vec!["no-cost-truncate"]
+        );
+        assert_eq!(
+            rules_of("fn f(cost: Cost) -> u64 { cost.total() as u64 }"),
+            vec!["no-cost-truncate"]
+        );
+        assert_eq!(
+            rules_of("fn f(p: &Plan) -> usize { p.selectivity()? as usize }"),
+            vec!["no-cost-truncate"]
+        );
+    }
+
+    #[test]
+    fn cost_truncation_negatives() {
+        // Casting to float keeps the estimate exact.
+        assert_eq!(
+            rules_of("fn f(rows: u64) -> f64 { rows as f64 }"),
+            Vec::<&str>::new()
+        );
+        // Counting rows is not estimating them.
+        assert_eq!(
+            rules_of("fn f(rows: &[Row]) -> u64 { rows.len() as u64 }"),
+            Vec::<&str>::new()
+        );
+        // Segment match, not substring match: `largest` is not `est`.
+        assert_eq!(
+            rules_of("fn f(largest: f64) -> u64 { largest as u64 }"),
+            Vec::<&str>::new()
+        );
+        // Non-cost identifiers cast freely.
+        assert_eq!(
+            rules_of("fn f(n: f64) -> u64 { n as u64 }"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn cost_module_is_exempt() {
+        let src = "fn f(est_rows: f64) -> usize { est_rows as usize }";
+        let v = check("crates/reldb/src/plan/cost.rs", &lex(src));
+        assert_eq!(v, vec![]);
+        // Any other file in the planner is not exempt.
+        let v = check("crates/reldb/src/plan/reorder.rs", &lex(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-cost-truncate");
     }
 
     #[test]

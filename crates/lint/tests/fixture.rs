@@ -20,6 +20,7 @@ fn fixture_trips_every_rule_once() {
             "no-todo",
             "no-index",
             "no-len-truncate",
+            "no-cost-truncate",
             "bare-allow",
         ],
         "{violations:#?}"
@@ -39,6 +40,7 @@ fn fixture_lines_are_attributed() {
             "no-todo" => "todo!",
             "no-index" => "row[0]",
             "no-len-truncate" => ".len() as u32",
+            "no-cost-truncate" => "est_rows as usize",
             "bare-allow" => "lint:allow",
             other => panic!("unexpected rule {other}"),
         };

@@ -1,5 +1,7 @@
 //! Query planning: bound expressions, logical plans, optimizer, physical plans.
 
+pub mod analyze;
+pub mod cost;
 pub mod expr;
 pub mod logical;
 pub mod optimizer;
@@ -7,10 +9,14 @@ pub mod physical;
 pub mod reorder;
 pub mod validate;
 
+pub use analyze::{analyze_physical, AnalyzerOptions};
+pub use cost::{
+    cost_logical, cost_physical, estimate, report_physical, Cost, CostNode, CostReport,
+};
 pub use expr::{AggFunc, ScalarExpr, ScalarFunc};
 pub use logical::{bind_select, LogicalPlan, OutputCol, Scope};
 pub use optimizer::{optimize, optimize_checked, OptimizerOptions};
-pub use physical::{plan_physical, PhysicalOptions, PhysicalPlan};
+pub use physical::{explain_physical, plan_physical, PhysicalOptions, PhysicalPlan};
 pub use validate::{
     ensure_valid_logical, ensure_valid_physical, validate_logical, validate_physical, Diagnostic,
     Severity,

@@ -4,6 +4,7 @@ use std::ops::Bound;
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
+use crate::plan::cost;
 use crate::plan::expr::{AggFunc, ScalarExpr};
 use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::{conjoin, split_conjuncts};
@@ -269,9 +270,9 @@ fn try_index_scan(
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate, &mut conjuncts);
 
-    // Pick the index with the lowest *estimated* result cardinality:
-    // equality on the leading column estimates rows/ndv (from the
-    // B+-tree's distinct-key count), range predicates estimate rows/3.
+    // Pick the index with the lowest *estimated* result cardinality. All
+    // numbers come from `plan::cost` — the same model the join reorderer
+    // uses — so index choice and join order cannot disagree.
     let total = t.len().max(1) as f64;
     // (index position, lower, upper, residual conjuncts, estimated rows)
     type Candidate = (usize, Bound<Value>, Bound<Value>, Vec<ScalarExpr>, f64);
@@ -293,8 +294,8 @@ fn try_index_scan(
                     // column's ndv, so this over-estimates selectivity for
                     // multi-column indexes — a conservative tie-breaker
                     // favoring single-column indexes.
-                    let ndv = index.tree.distinct_keys().max(1) as f64;
-                    est = Some(est.unwrap_or(total).min(total / ndv));
+                    let e = cost::eq_rows(total, index.tree.distinct_keys());
+                    est = Some(est.unwrap_or(total).min(e));
                 }
                 Some(BoundKind::Lower(v, strict)) => {
                     lower = if strict {
@@ -302,7 +303,7 @@ fn try_index_scan(
                     } else {
                         Bound::Included(v)
                     };
-                    est = Some(est.unwrap_or(total).min(total / 3.0));
+                    est = Some(est.unwrap_or(total).min(cost::range_rows(total)));
                 }
                 Some(BoundKind::Upper(v, strict)) => {
                     upper = if strict {
@@ -310,12 +311,12 @@ fn try_index_scan(
                     } else {
                         Bound::Included(v)
                     };
-                    est = Some(est.unwrap_or(total).min(total / 3.0));
+                    est = Some(est.unwrap_or(total).min(cost::range_rows(total)));
                 }
                 Some(BoundKind::Range(lo, hi)) => {
                     lower = Bound::Included(lo);
                     upper = Bound::Included(hi);
-                    est = Some(est.unwrap_or(total).min(total / 3.0));
+                    est = Some(est.unwrap_or(total).min(cost::between_rows(total)));
                 }
                 None => residual.push(c.clone()),
             }
@@ -337,15 +338,21 @@ fn try_index_scan(
     )
 }
 
-enum BoundKind {
+/// How a conjunct constrains a single column (shared with `plan::analyze`
+/// so the full-scan rule agrees with index selection about sargability).
+pub(crate) enum BoundKind {
+    /// `col = v`.
     Eq(Value),
+    /// `col > v` / `col >= v` (strict flag).
     Lower(Value, bool),
+    /// `col < v` / `col <= v` (strict flag).
     Upper(Value, bool),
+    /// `col BETWEEN lo AND hi`.
     Range(Value, Value),
 }
 
 /// Classify a conjunct as a bound on column `col`, if it is one.
-fn classify_bound(c: &ScalarExpr, col: usize) -> Option<BoundKind> {
+pub(crate) fn classify_bound(c: &ScalarExpr, col: usize) -> Option<BoundKind> {
     match c {
         ScalarExpr::Binary { op, left, right } => {
             let (colref, lit, flipped) = match (&**left, &**right) {

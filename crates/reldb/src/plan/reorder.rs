@@ -7,19 +7,22 @@
 //! Project that restores the original column order, so the rewrite is
 //! invisible to the rest of the plan.
 //!
-//! Cardinality estimates use table row counts and B+-tree distinct-key
-//! counts: `eq` on an indexed column estimates `rows / ndv`, ranges
-//! `rows / 3`, everything else `rows / 10` per conjunct. Crude, but enough
-//! to let a selective value predicate drive the plan — the effect the
-//! value-index experiment depends on.
+//! All cardinality and cost numbers come from [`crate::plan::cost`] — the
+//! same model index selection consults — so the two halves of the optimizer
+//! cannot disagree about what is cheap. The greedy order is additionally
+//! *cost-guarded*: the candidate tree is costed against the original
+//! ([`cost::cost_logical`], a C_out-style metric), and if the rewrite does
+//! not estimate at least as cheap, the original order is kept. Reordering
+//! therefore never makes the estimated cost worse.
 
 use std::collections::HashSet;
 
 use crate::catalog::Catalog;
+use crate::plan::cost;
 use crate::plan::expr::ScalarExpr;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::{conjoin, split_conjuncts};
-use crate::sql::ast::{BinOp, JoinKind};
+use crate::sql::ast::JoinKind;
 
 /// Reorder all maximal inner-join trees in the plan.
 pub fn reorder_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
@@ -27,7 +30,19 @@ pub fn reorder_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
         LogicalPlan::Join {
             kind: JoinKind::Inner | JoinKind::Cross,
             ..
-        } => reorder_tree(plan, catalog),
+        } => {
+            // Cost guard: keep the original order unless the greedy
+            // rewrite estimates at least as cheap.
+            let original = plan.clone();
+            let candidate = reorder_tree(plan, catalog);
+            if cost::cost_logical(&candidate, catalog).total()
+                <= cost::cost_logical(&original, catalog).total()
+            {
+                candidate
+            } else {
+                original
+            }
+        }
         LogicalPlan::Join {
             left,
             right,
@@ -138,8 +153,14 @@ fn reorder_tree(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
         })
         .collect();
 
-    // 4. Estimate leaf cardinalities.
-    let est: Vec<f64> = leaves.iter().map(|l| estimate(l, catalog)).collect();
+    // 4. Rank leaves (shared model in `plan::cost`). `driver_rank` keeps
+    //    the unfloored fractional cardinality of filtered scans, so the
+    //    most selective of several ~one-row leaves (e.g. a value-index
+    //    point lookup vs. a root test) still wins the driver seat.
+    let est: Vec<f64> = leaves
+        .iter()
+        .map(|l| cost::driver_rank(l, catalog))
+        .collect();
 
     // 5. Greedy order: cheapest leaf first, then cheapest connected leaf.
     let n = leaves.len();
@@ -308,92 +329,12 @@ fn flatten(
     }
 }
 
-/// Cardinality estimate for a plan node.
-pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
-    match plan {
-        LogicalPlan::Scan { table, .. } => catalog
-            .table(table)
-            .map(|t| t.len() as f64)
-            .unwrap_or(1000.0),
-        LogicalPlan::Filter { input, predicate } => {
-            let base = estimate(input, catalog);
-            let sel = selectivity(input, predicate, catalog);
-            (base * sel).max(1.0)
-        }
-        LogicalPlan::Project { input, .. }
-        | LogicalPlan::Sort { input, .. }
-        | LogicalPlan::Distinct { input } => estimate(input, catalog),
-        LogicalPlan::Limit { input, limit, .. } => {
-            let base = estimate(input, catalog);
-            limit.map(|l| base.min(l as f64)).unwrap_or(base)
-        }
-        LogicalPlan::Aggregate { input, .. } => estimate(input, catalog).sqrt().max(1.0),
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-        } => {
-            let l = estimate(left, catalog);
-            let r = estimate(right, catalog);
-            match (kind, on) {
-                (JoinKind::Cross, None) => l * r,
-                _ => (l * r * 0.01).max(l.max(r) * 0.1).max(1.0),
-            }
-        }
-        LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| estimate(p, catalog)).sum(),
-        LogicalPlan::Values { rows, .. } => rows.len() as f64,
-    }
-}
-
-/// Selectivity of a predicate over its (Scan) input.
-fn selectivity(input: &LogicalPlan, predicate: &ScalarExpr, catalog: &Catalog) -> f64 {
-    let LogicalPlan::Scan { table, .. } = input else {
-        return 0.25;
-    };
-    let Ok(t) = catalog.table(table) else {
-        return 0.25;
-    };
-    let rows = t.len().max(1) as f64;
-    let mut conjuncts = Vec::new();
-    split_conjuncts(predicate, &mut conjuncts);
-    let mut sel = 1.0f64;
-    for c in &conjuncts {
-        sel *= match c {
-            ScalarExpr::Binary {
-                op: BinOp::Eq,
-                left,
-                right,
-            } => match (&**left, &**right) {
-                (ScalarExpr::Column(i), ScalarExpr::Literal(_))
-                | (ScalarExpr::Literal(_), ScalarExpr::Column(i)) => match t.index_on(&[*i]) {
-                    Some(idx) => 1.0 / idx.tree.distinct_keys().max(1) as f64,
-                    None => 0.05,
-                },
-                _ => 0.1,
-            },
-            ScalarExpr::Binary {
-                op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq,
-                ..
-            } => 1.0 / 3.0,
-            ScalarExpr::Between { .. } => 1.0 / 4.0,
-            ScalarExpr::IsNull { negated, .. } => {
-                if *negated {
-                    0.9
-                } else {
-                    0.1
-                }
-            }
-            _ => 0.25,
-        };
-    }
-    sel.max(1.0 / rows)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::db::Database;
+    use crate::plan::cost::{cost_logical, estimate};
+    use crate::sql::ast::BinOp;
     use crate::value::Value;
 
     fn db_with_skew() -> Database {
@@ -481,6 +422,31 @@ mod tests {
         };
         let est = estimate(&filtered, &db.catalog);
         assert!(est < 10.0, "indexed eq should be selective: {est}");
+    }
+
+    #[test]
+    fn reorder_never_raises_estimated_cost() {
+        let db = db_with_skew();
+        for sql in [
+            "SELECT big.id FROM big, small WHERE big.id = small.id AND small.label = 'l3'",
+            "SELECT big.id FROM big, small WHERE big.id = small.id",
+            "SELECT big.id FROM small, big WHERE big.id = small.id AND big.tag = 't1'",
+        ] {
+            let stmt = crate::sql::parse_statement(sql).unwrap();
+            let crate::sql::ast::Statement::Select(sel) = stmt else {
+                panic!("not a select")
+            };
+            let bound = crate::plan::bind_select(&db.catalog, &sel).unwrap();
+            let opts = crate::plan::OptimizerOptions {
+                join_reorder: false,
+                ..Default::default()
+            };
+            let unordered = crate::plan::optimize(bound, &opts, &db.catalog);
+            let reordered = reorder_joins(unordered.clone(), &db.catalog);
+            let before = cost_logical(&unordered, &db.catalog).total();
+            let after = cost_logical(&reordered, &db.catalog).total();
+            assert!(after <= before, "{sql}: {after} > {before}");
+        }
     }
 
     #[test]

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, the workspace linter,
-# clippy, and the whole test suite. Run from anywhere; operates on the
-# repository root. Each step names itself so a failure is attributable at
-# a glance.
+# the plan-quality gate, clippy, and the whole test suite. Run from
+# anywhere; operates on the repository root. Each step names itself so a
+# failure is attributable at a glance.
+#
+# All cargo invocations run --locked: the container is offline and the
+# lockfile is the only dependency truth, so a drifted Cargo.toml fails
+# loudly here instead of mid-build.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 failed=0
+mkdir -p target
 
 step() {
     local name="$1"
@@ -18,11 +23,19 @@ step() {
     fi
 }
 
+planlint() {
+    if ! cargo run -q --locked -p planlint -- --out target/planlint.json; then
+        echo "planlint: report written to target/planlint.json" >&2
+        return 1
+    fi
+}
+
 step "cargo fmt --check"  cargo fmt --all --check
-step "release build"      cargo build --release
-step "xmlrel-lint"        cargo run -q -p lint
-step "clippy"             cargo clippy --workspace --all-targets -- -D warnings
-step "tests"              cargo test -q --workspace
+step "release build"      cargo build --release --locked
+step "xmlrel-lint"        cargo run -q --locked -p lint -- --out target/lint.json
+step "planlint"           planlint
+step "clippy"             cargo clippy --workspace --all-targets --locked -- -D warnings
+step "tests"              cargo test -q --workspace --locked
 
 if [ "${failed}" -ne 0 ]; then
     echo "check.sh: one or more steps failed" >&2
