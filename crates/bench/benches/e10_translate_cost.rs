@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 for q in AUCTION_QUERIES {
-                    let _ = std::hint::black_box(store.translate(q.text));
+                    let _ = std::hint::black_box(store.request(q.text).translated());
                 }
             })
         });

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_structural_join");
     g.sample_size(10);
     for use_ij in [true, false] {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .expect("install");
         store.db.physical.use_interval_join = use_ij;
         // Nested loops need the index-NL path off too, to expose the raw
         // O(n^2) containment cost the published comparison shows.
@@ -30,7 +32,7 @@ fn bench(c: &mut Criterion) {
         store.load_document("deep", &doc).expect("shred");
         let name = if use_ij { "structural" } else { "nested_loops" };
         g.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(store.query_count(q).expect("query")))
+            b.iter(|| std::hint::black_box(store.request(q).count().expect("query")))
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         .expect("schemes")
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).expect("install");
+            let mut store = XmlStore::builder(s).open().expect("install");
             store.load_document("deep", &doc).expect("shred");
             store
         })
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         for store in stores.iter_mut() {
             let id = format!("{}/{}", q.id, store.scheme().name());
             g.bench_function(&id, |b| {
-                b.iter(|| std::hint::black_box(store.query_count(q.text).expect("query")))
+                b.iter(|| std::hint::black_box(store.request(q.text).count().expect("query")))
             });
         }
     }

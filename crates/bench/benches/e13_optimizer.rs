@@ -24,11 +24,13 @@ fn bench(c: &mut Criterion) {
         ),
     ];
     for (name, tweak) in configs {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .expect("install");
         tweak(&mut store);
         store.load_document("auction", &doc).expect("shred");
         g.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(store.query_count(q).expect("query")))
+            b.iter(|| std::hint::black_box(store.request(q).count().expect("query")))
         });
     }
     g.finish();

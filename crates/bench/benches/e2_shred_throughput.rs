@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         let name = scheme.name();
         g.bench_function(name, |b| {
             b.iter_with_large_drop(|| {
-                let mut store = XmlStore::new(scheme.clone()).expect("install");
+                let mut store = XmlStore::builder(scheme.clone()).open().expect("install");
                 store.load_document("auction", &doc).expect("shred");
                 store
             })

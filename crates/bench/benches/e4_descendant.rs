@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         for store in stores.iter_mut() {
             let id = format!("{}/{}", q.id, store.scheme().name());
             g.bench_function(&id, |b| {
-                b.iter(|| std::hint::black_box(store.query_count(q.text).expect("query")))
+                b.iter(|| std::hint::black_box(store.request(q.text).count().expect("query")))
             });
         }
     }

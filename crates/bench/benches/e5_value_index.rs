@@ -13,17 +13,18 @@ fn bench(c: &mut Criterion) {
     let range = "/site/regions/region/item[price > 95]/name/text()";
     let mut g = c.benchmark_group("e5_value_index");
     for with_index in [false, true] {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme {
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme {
             with_value_index: with_index,
         }))
+        .open()
         .expect("install");
         store.load_document("auction", &doc).expect("shred");
         let tag = if with_index { "indexed" } else { "noindex" };
         g.bench_function(format!("point/{tag}"), |b| {
-            b.iter(|| std::hint::black_box(store.query_count(point).expect("query")))
+            b.iter(|| std::hint::black_box(store.request(point).count().expect("query")))
         });
         g.bench_function(format!("range/{tag}"), |b| {
-            b.iter(|| std::hint::black_box(store.query_count(range).expect("query")))
+            b.iter(|| std::hint::black_box(store.request(range).count().expect("query")))
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         .expect("schemes")
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).expect("install");
+            let mut store = XmlStore::builder(s).open().expect("install");
             store.load_document("dblp", &doc).expect("shred");
             store
         })

@@ -21,11 +21,11 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("interval/scale{scale}"), |b| {
             b.iter_batched(
                 || {
-                    let mut store =
-                        XmlStore::new(Scheme::Interval(IntervalScheme::new())).expect("install");
+                    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+                        .open()
+                        .expect("install");
                     let (id, _) = store.load_document("a", &doc).expect("shred");
-                    let t = store.translate("/site/people").expect("translate");
-                    let rows = store.run_rows(&t).expect("rows");
+                    let rows = store.request("/site/people").rows().expect("rows");
                     let pre = rows[0][1].as_int().expect("pre");
                     (store, id, pre)
                 },
@@ -38,11 +38,11 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("dewey/scale{scale}"), |b| {
             b.iter_batched(
                 || {
-                    let mut store =
-                        XmlStore::new(Scheme::Dewey(DeweyScheme::new())).expect("install");
+                    let mut store = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+                        .open()
+                        .expect("install");
                     let (id, _) = store.load_document("a", &doc).expect("shred");
-                    let t = store.translate("/site/people").expect("translate");
-                    let rows = store.run_rows(&t).expect("rows");
+                    let rows = store.request("/site/people").rows().expect("rows");
                     let key = rows[0][1].as_text().expect("key").to_string();
                     (store, id, key)
                 },

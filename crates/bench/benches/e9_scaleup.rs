@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     std::hint::black_box(
                         store
-                            .query_count("/site/regions/region/item/name")
+                            .request("/site/regions/region/item/name")
+                            .count()
                             .expect("query"),
                     )
                 })

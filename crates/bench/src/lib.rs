@@ -33,7 +33,7 @@ pub fn loaded_stores(scale: f64) -> Vec<XmlStore> {
     schemes()
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).expect("install");
+            let mut store = XmlStore::builder(s).open().expect("install");
             store.load_document("auction", &doc).expect("shred");
             store
         })

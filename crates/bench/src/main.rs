@@ -1,0 +1,322 @@
+//! `xmlrel-bench`: one-shot benchmark driver emitting a machine-readable
+//! report for CI.
+//!
+//! Runs the experiment workload (E1 storage, E2 shred, and the
+//! E3/E4/E5/E6/E11 query slices) under every mapping scheme, executing each
+//! query with `Explain::Analyze` so the report carries per-query wall time
+//! *and* the runtime operator profile rollup (rows, probes, comparisons,
+//! buffered bytes, worst q-error). The whole run records tracing spans; the
+//! chrome-trace export lands next to the JSON report.
+//!
+//! Usage:
+//!   xmlrel-bench [--out PATH] [--trace PATH] [--scale F]
+//!
+//! Defaults: `--out BENCH_PR4.json`, `--trace trace_pr4.json`,
+//! `--scale 0.1`. Exits 1 on any setup error; per-query translate errors
+//! are recorded in the report instead of aborting (not every scheme
+//! supports every construct).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use xmlgen::auction::{generate as gen_auction, AuctionConfig, AUCTION_DTD};
+use xmlgen::dblp::{generate as gen_dblp, DblpConfig, DBLP_DTD};
+use xmlgen::queries::{WorkloadQuery, AUCTION_QUERIES, DBLP_QUERIES};
+use xmlrel_core::{Explain, Scheme, XmlStore};
+use xmlrel_obs::{metrics, trace};
+
+/// The query slices driven per corpus (same pinning as `planlint`).
+const EXPERIMENTS: &[(&str, &str, &[&str])] = &[
+    ("E3", "auction", &["Q1", "Q3", "Q10"]),
+    ("E4", "auction", &["Q4", "Q5", "Q6"]),
+    ("E5", "auction", &["Q2", "Q8"]),
+    ("E6", "dblp", &["D1", "D2", "D3", "D4"]),
+    ("E11", "auction", &["Q5"]),
+];
+
+/// One measured query execution.
+struct QueryRun {
+    experiment: &'static str,
+    query_id: &'static str,
+    corpus: &'static str,
+    scheme: &'static str,
+    wall_us: u128,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    Ok {
+        items: usize,
+        operators: u64,
+        root_rows: u64,
+        probes: u64,
+        comparisons: u64,
+        buffered_bytes: u64,
+        max_q_error: f64,
+    },
+    Error(String),
+}
+
+/// Per-scheme, per-corpus load measurements (experiments E1/E2).
+struct LoadRun {
+    corpus: &'static str,
+    scheme: &'static str,
+    shred_us: u128,
+    rows: usize,
+    heap_bytes: usize,
+    index_bytes: usize,
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_PR4.json");
+    let mut trace_out = String::from("trace_pr4.json");
+    let mut scale = 0.1f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => return usage("--out requires a path"),
+            },
+            "--trace" => match args.next() {
+                Some(p) => trace_out = p,
+                None => return usage("--trace requires a path"),
+            },
+            "--scale" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(f) => scale = f,
+                None => return usage("--scale requires a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => {
+                eprintln!("xmlrel-bench: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match run(scale, &out, &trace_out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xmlrel-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("usage: xmlrel-bench [--out PATH] [--trace PATH] [--scale F]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xmlrel-bench: {err}");
+        ExitCode::FAILURE
+    }
+}
+
+fn run(scale: f64, out: &str, trace_out: &str) -> Result<(), String> {
+    // One big sink for the whole run; every store/engine span below lands
+    // here and exports as one chrome trace.
+    let sink = trace::TraceSink::with_capacity(65536);
+    let _guard = trace::install(&sink);
+    let started = Instant::now();
+
+    let auction = gen_auction(&AuctionConfig::at_scale(scale));
+    let dblp = gen_dblp(&DblpConfig::default());
+
+    let mut loads = Vec::new();
+    let mut runs = Vec::new();
+    for (corpus, dtd, doc) in [
+        ("auction", AUCTION_DTD, &auction),
+        ("dblp", DBLP_DTD, &dblp),
+    ] {
+        for scheme in schemes(dtd)? {
+            let name = scheme.name();
+            let mut store = XmlStore::builder(scheme)
+                .open()
+                .map_err(|e| format!("{name}: install: {e}"))?;
+            let t0 = Instant::now();
+            store
+                .load_document(corpus, doc)
+                .map_err(|e| format!("{name}: load {corpus}: {e}"))?;
+            let shred_us = t0.elapsed().as_micros();
+            let stats = store.storage_stats();
+            loads.push(LoadRun {
+                corpus,
+                scheme: name,
+                shred_us,
+                rows: stats.rows,
+                heap_bytes: stats.heap_bytes,
+                index_bytes: stats.index_bytes,
+            });
+            for (experiment, query_id, query) in corpus_queries(corpus) {
+                runs.push(drive(&store, experiment, query_id, corpus, name, query));
+            }
+        }
+    }
+
+    let report = to_json(scale, started.elapsed().as_micros(), &loads, &runs);
+    std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(trace_out, sink.to_chrome_trace())
+        .map_err(|e| format!("writing {trace_out}: {e}"))?;
+    let errors = runs
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Error(_)))
+        .count();
+    eprintln!(
+        "xmlrel-bench: {} query runs ({} unsupported), {} loads -> {out}, trace -> {trace_out}",
+        runs.len(),
+        errors,
+        loads.len()
+    );
+    Ok(())
+}
+
+/// Execute one workload query with full instrumentation.
+fn drive(
+    store: &XmlStore,
+    experiment: &'static str,
+    query_id: &'static str,
+    corpus: &'static str,
+    scheme: &'static str,
+    query: &WorkloadQuery,
+) -> QueryRun {
+    let t0 = Instant::now();
+    let result = store.request(query.text).explain(Explain::Analyze).run();
+    let wall_us = t0.elapsed().as_micros();
+    let outcome = match result {
+        Ok(output) => {
+            let items = output.len();
+            match output.profile {
+                Some(profile) => {
+                    let roll = profile.rollup();
+                    Outcome::Ok {
+                        items,
+                        operators: roll.operators,
+                        root_rows: roll.root_rows,
+                        probes: roll.probes,
+                        comparisons: roll.comparisons,
+                        buffered_bytes: roll.buffered_bytes,
+                        max_q_error: roll.max_q_error,
+                    }
+                }
+                None => Outcome::Error("analyze produced no profile".into()),
+            }
+        }
+        Err(e) => Outcome::Error(e.to_string()),
+    };
+    QueryRun {
+        experiment,
+        query_id,
+        corpus,
+        scheme,
+        wall_us,
+        outcome,
+    }
+}
+
+/// The (experiment, id, query) triples run against one corpus.
+fn corpus_queries(corpus: &str) -> Vec<(&'static str, &'static str, &'static WorkloadQuery)> {
+    let pool: &[WorkloadQuery] = if corpus == "dblp" {
+        DBLP_QUERIES
+    } else {
+        AUCTION_QUERIES
+    };
+    let mut out = Vec::new();
+    for (experiment, exp_corpus, ids) in EXPERIMENTS {
+        if *exp_corpus != corpus {
+            continue;
+        }
+        for id in *ids {
+            if let Some(q) = pool.iter().find(|q| q.id == *id) {
+                out.push((*experiment, *id, q));
+            }
+        }
+    }
+    out
+}
+
+/// All six schemes over the corpus DTD.
+fn schemes(dtd: &str) -> Result<Vec<Scheme>, String> {
+    Ok(vec![
+        Scheme::Edge(shredder::EdgeScheme::new()),
+        Scheme::Binary(shredder::BinaryScheme::new()),
+        Scheme::Universal(shredder::UniversalScheme::new()),
+        Scheme::Interval(shredder::IntervalScheme::new()),
+        Scheme::Dewey(shredder::DeweyScheme::new()),
+        Scheme::Inline(
+            shredder::InlineScheme::from_dtd_text(dtd).map_err(|e| format!("inline: {e}"))?,
+        ),
+    ])
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde).
+fn to_json(scale: f64, total_us: u128, loads: &[LoadRun], runs: &[QueryRun]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"total_us\": {total_us},\n"));
+    s.push_str("  \"loads\": [");
+    for (i, l) in loads.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"corpus\": {}, \"scheme\": {}, \"shred_us\": {}, \"rows\": {}, \"heap_bytes\": {}, \"index_bytes\": {}}}",
+            quote(l.corpus),
+            quote(l.scheme),
+            l.shred_us,
+            l.rows,
+            l.heap_bytes,
+            l.index_bytes
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str("  \"queries\": [");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"experiment\": {}, \"query_id\": {}, \"corpus\": {}, \"scheme\": {}, \"wall_us\": {}, ",
+            quote(r.experiment),
+            quote(r.query_id),
+            quote(r.corpus),
+            quote(r.scheme),
+            r.wall_us
+        ));
+        match &r.outcome {
+            Outcome::Ok {
+                items,
+                operators,
+                root_rows,
+                probes,
+                comparisons,
+                buffered_bytes,
+                max_q_error,
+            } => s.push_str(&format!(
+                "\"items\": {items}, \"operators\": {operators}, \"root_rows\": {root_rows}, \"probes\": {probes}, \"comparisons\": {comparisons}, \"buffered_bytes\": {buffered_bytes}, \"max_q_error\": {max_q_error:.3}}}"
+            )),
+            Outcome::Error(e) => s.push_str(&format!("\"error\": {}}}", quote(e))),
+        }
+    }
+    s.push_str("\n  ],\n");
+    s.push_str(&format!("  \"metrics\": {}\n", quote(&metrics::dump())));
+    s.push('}');
+    s
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

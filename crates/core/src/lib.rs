@@ -12,9 +12,9 @@
 //! use xmlrel_core::{Scheme, XmlStore};
 //! use shredder::IntervalScheme;
 //!
-//! let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+//! let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open().unwrap();
 //! store.load_str("bib", r#"<bib><book year="1994"><title>TCP/IP</title></book></bib>"#).unwrap();
-//! let titles = store.query("/bib/book[@year > 1990]/title/text()").unwrap();
+//! let titles = store.request("/bib/book[@year > 1990]/title/text()").run().unwrap();
 //! assert_eq!(titles.items, vec!["TCP/IP"]);
 //! ```
 
@@ -32,4 +32,4 @@ pub use compile::driver::{OutKind, Translated};
 pub use compile::{NodeKey, StepCompiler};
 pub use contract::{check_contract, AccessContract, DescendantAccess, IndexPat, QueryTraits};
 pub use error::{CoreError, Result};
-pub use store::{PlanReport, QueryOutput, Scheme, XmlStore};
+pub use store::{Explain, PlanReport, QueryOutput, QueryRequest, Scheme, StoreBuilder, XmlStore};

@@ -1,14 +1,39 @@
 //! `XmlStore`: the user-facing API — store XML in the relational engine,
 //! retrieve it with XPath/XQuery.
+//!
+//! Construction goes through [`StoreBuilder`]:
+//!
+//! ```text
+//! let store = XmlStore::builder(scheme).path("db_dir").open()?;
+//! ```
+//!
+//! and every retrieval goes through one [`QueryRequest`] pipeline:
+//!
+//! ```text
+//! let out = store.request("/bib/book/title")
+//!     .doc("bib")
+//!     .explain(Explain::Analyze)
+//!     .trace(&sink)
+//!     .run()?;
+//! ```
+//!
+//! The request runs parse → translate → plan → execute → publish under
+//! tracing spans, bumps the `queries_total{scheme=…}` metric, and returns a
+//! [`QueryOutput`] carrying the published items, the raw rows, the compiled
+//! SQL, and (when asked) the [`PlanReport`] and runtime
+//! [`ExecProfile`](reldb::ExecProfile). The older fleet of `query*` /
+//! `translate*` / `verify_plan*` / `run_*` methods survives one release as
+//! deprecated shims over this pipeline.
 
 use std::collections::HashMap;
 
-use reldb::{Database, Value};
+use reldb::{Database, ExecProfile, Value};
 use shredder::{
     docstore, BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, MappingScheme,
     ShredStats, StorageStats, UniversalScheme,
 };
 use xmlpar::Document;
+use xmlrel_obs::{metrics, trace};
 use xqir::parse_query;
 
 use crate::compile::driver::{compile_query, OutKind, Slot, Template, Translated};
@@ -99,12 +124,38 @@ impl Scheme {
     }
 }
 
-/// A query result: serialized fragments or string values, in document
-/// order where the scheme guarantees one.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// How much plan detail a [`QueryRequest`] should gather alongside its
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Explain {
+    /// Results only (the default).
+    #[default]
+    None,
+    /// Also compile-time detail: the chosen plan, its cost breakdown, and
+    /// plan-quality diagnostics ([`QueryOutput::plan`]).
+    Plan,
+    /// Everything `Plan` gathers plus a runtime [`ExecProfile`] with
+    /// per-operator actuals ([`QueryOutput::profile`]).
+    Analyze,
+}
+
+/// A query result: the published items plus everything the pipeline
+/// learned on the way. Items are serialized fragments or string values, in
+/// document order where the scheme guarantees one.
+#[derive(Debug, Clone)]
 pub struct QueryOutput {
     /// One entry per result item.
     pub items: Vec<String>,
+    /// The raw relational rows behind the items, after positional
+    /// post-processing.
+    pub rows: Vec<Vec<Value>>,
+    /// The SQL the query compiled to.
+    pub sql: String,
+    /// Plan report, when requested via [`Explain::Plan`] or
+    /// [`Explain::Analyze`].
+    pub plan: Option<PlanReport>,
+    /// Runtime operator profile, when requested via [`Explain::Analyze`].
+    pub profile: Option<ExecProfile>,
 }
 
 impl QueryOutput {
@@ -119,9 +170,10 @@ impl QueryOutput {
     }
 }
 
-/// Everything `XmlStore::verify_plan` learned about one query's chosen
-/// plan: the compiled SQL, the physical plan, its cost breakdown, and any
-/// plan-quality or contract findings.
+/// Everything a plan verification learned about one query's chosen plan:
+/// the compiled SQL, the physical plan, its cost breakdown, and any
+/// plan-quality or contract findings. Obtained from
+/// [`QueryRequest::report`] or carried in [`QueryOutput::plan`].
 #[derive(Debug, Clone)]
 pub struct PlanReport {
     /// The compiled SQL.
@@ -144,6 +196,77 @@ impl PlanReport {
     }
 }
 
+/// Builder for an [`XmlStore`]: pick the scheme, then optionally a durable
+/// location (a directory [`path`](StoreBuilder::path) or an explicit
+/// [`backend`](StoreBuilder::backend)) and scheme knobs. With neither path
+/// nor backend, [`open`](StoreBuilder::open) yields an in-memory store.
+pub struct StoreBuilder {
+    scheme: Scheme,
+    path: Option<std::path::PathBuf>,
+    backend: Option<Box<dyn reldb::StorageBackend>>,
+    value_index: Option<bool>,
+}
+
+impl StoreBuilder {
+    /// Store durably in a directory on disk: previously loaded documents
+    /// are recovered from the latest snapshot plus the write-ahead log; a
+    /// fresh directory gets the scheme's tables installed.
+    pub fn path(mut self, path: impl Into<std::path::PathBuf>) -> StoreBuilder {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Store durably over an explicit storage backend (e.g. an in-memory
+    /// or fault-injecting backend in tests). Mutually exclusive with
+    /// [`path`](StoreBuilder::path).
+    pub fn backend(mut self, backend: Box<dyn reldb::StorageBackend>) -> StoreBuilder {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Toggle the secondary index on the content `value` column
+    /// (experiment E5's knob). Only the edge, binary, and interval schemes
+    /// have the knob; [`open`](StoreBuilder::open) rejects the others.
+    pub fn value_index(mut self, on: bool) -> StoreBuilder {
+        self.value_index = Some(on);
+        self
+    }
+
+    /// Open the store.
+    pub fn open(self) -> Result<XmlStore> {
+        let mut scheme = self.scheme;
+        if let Some(on) = self.value_index {
+            match &mut scheme {
+                Scheme::Edge(s) => s.with_value_index = on,
+                Scheme::Binary(s) => s.with_value_index = on,
+                Scheme::Interval(s) => s.with_value_index = on,
+                other => {
+                    return Err(CoreError::Translate(format!(
+                        "the {} scheme has no value-index knob",
+                        other.name()
+                    )))
+                }
+            }
+        }
+        let backend = match (self.backend, self.path) {
+            (Some(_), Some(_)) => {
+                return Err(CoreError::Translate(
+                    "give StoreBuilder a path or a backend, not both".into(),
+                ))
+            }
+            (Some(b), None) => Some(b),
+            (None, Some(p)) => {
+                Some(Box::new(reldb::FileBackend::open(p)?) as Box<dyn reldb::StorageBackend>)
+            }
+            (None, None) => None,
+        };
+        match backend {
+            Some(b) => XmlStore::open_backend_impl(scheme, b),
+            None => XmlStore::new_impl(scheme),
+        }
+    }
+}
+
 /// An XML store: one relational database + one mapping scheme.
 pub struct XmlStore {
     /// The underlying relational database (exposed for EXPLAIN, storage
@@ -153,25 +276,24 @@ pub struct XmlStore {
 }
 
 impl XmlStore {
-    /// Create an in-memory store: installs the scheme's tables.
-    pub fn new(scheme: Scheme) -> Result<XmlStore> {
+    /// Start building a store over `scheme`. See [`StoreBuilder`].
+    pub fn builder(scheme: Scheme) -> StoreBuilder {
+        StoreBuilder {
+            scheme,
+            path: None,
+            backend: None,
+            value_index: None,
+        }
+    }
+
+    fn new_impl(scheme: Scheme) -> Result<XmlStore> {
         let mut db = Database::new();
         docstore::install(&mut db)?;
         scheme.ops().install(&mut db)?;
         Ok(XmlStore { db, scheme })
     }
 
-    /// Open (or create) a durable store in a directory on disk. Previously
-    /// loaded documents are recovered from the latest snapshot plus the
-    /// write-ahead log; a fresh directory gets the scheme's tables
-    /// installed.
-    pub fn open(scheme: Scheme, path: impl Into<std::path::PathBuf>) -> Result<XmlStore> {
-        XmlStore::open_with_backend(scheme, Box::new(reldb::FileBackend::open(path)?))
-    }
-
-    /// Open (or create) a durable store over any storage backend (e.g. an
-    /// in-memory or fault-injecting backend in tests).
-    pub fn open_with_backend(
+    fn open_backend_impl(
         scheme: Scheme,
         backend: Box<dyn reldb::StorageBackend>,
     ) -> Result<XmlStore> {
@@ -184,6 +306,27 @@ impl XmlStore {
             scheme.ops().install(&mut db)?;
         }
         Ok(XmlStore { db, scheme })
+    }
+
+    /// Create an in-memory store: installs the scheme's tables.
+    #[deprecated(note = "use `XmlStore::builder(scheme).open()`")]
+    pub fn new(scheme: Scheme) -> Result<XmlStore> {
+        XmlStore::new_impl(scheme)
+    }
+
+    /// Open (or create) a durable store in a directory on disk.
+    #[deprecated(note = "use `XmlStore::builder(scheme).path(dir).open()`")]
+    pub fn open(scheme: Scheme, path: impl Into<std::path::PathBuf>) -> Result<XmlStore> {
+        XmlStore::open_backend_impl(scheme, Box::new(reldb::FileBackend::open(path)?))
+    }
+
+    /// Open (or create) a durable store over any storage backend.
+    #[deprecated(note = "use `XmlStore::builder(scheme).backend(b).open()`")]
+    pub fn open_with_backend(
+        scheme: Scheme,
+        backend: Box<dyn reldb::StorageBackend>,
+    ) -> Result<XmlStore> {
+        XmlStore::open_backend_impl(scheme, backend)
     }
 
     /// Checkpoint the store: serialize all tables to a new snapshot and
@@ -200,12 +343,16 @@ impl XmlStore {
 
     /// Parse and store a document under `name`; returns (doc id, stats).
     pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(i64, ShredStats)> {
-        let doc = Document::parse(xml)?;
+        let doc = {
+            let _span = trace::span("xml.parse", "core");
+            Document::parse(xml)?
+        };
         self.load_document(name, &doc)
     }
 
     /// Store an already-parsed document.
     pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(i64, ShredStats)> {
+        let _span = trace::span("shred", "core");
         if docstore::lookup(&self.db, name)?.is_some() {
             return Err(CoreError::Translate(format!(
                 "document {name:?} already loaded"
@@ -213,6 +360,11 @@ impl XmlStore {
         }
         let id = docstore::register(&mut self.db, name)?;
         let stats = self.scheme.ops().shred(&mut self.db, id, doc)?;
+        metrics::counter_inc(&metrics::labelled(
+            "documents_loaded_total",
+            "scheme",
+            self.scheme.name(),
+        ));
         Ok((id, stats))
     }
 
@@ -236,11 +388,33 @@ impl XmlStore {
         Ok(xmlpar::serialize::to_string(&doc))
     }
 
-    /// Translate a query to SQL without running it.
-    pub fn translate(&self, query_text: &str) -> Result<Translated> {
-        let query = parse_query(query_text)?;
+    /// Begin a query request. Finish it with [`QueryRequest::run`],
+    /// [`QueryRequest::count`], [`QueryRequest::rows`],
+    /// [`QueryRequest::translated`], or [`QueryRequest::report`].
+    pub fn request<'a>(&'a self, query: &'a str) -> QueryRequest<'a> {
+        QueryRequest {
+            store: self,
+            query,
+            doc: None,
+            explain: Explain::None,
+            sink: None,
+        }
+    }
+
+    /// Translate, scoped to one document when `doc` is given. A
+    /// statically-empty result compiles to the `SELECT NULL LIMIT 0` stub.
+    fn translate_impl(&self, query_text: &str, doc: Option<&str>) -> Result<Translated> {
+        let _span = trace::span("translate", "core");
+        let doc_id = match doc {
+            Some(name) => Some(self.doc_id(name)?),
+            None => None,
+        };
+        let query = {
+            let _span = trace::span("xq.parse", "core");
+            parse_query(query_text)?
+        };
         let compiler = self.scheme.compiler();
-        let t = match compile_query(compiler.as_ref(), &self.db, &query, None) {
+        let t = match compile_query(compiler.as_ref(), &self.db, &query, doc_id) {
             Err(CoreError::EmptyResult) => Translated {
                 sql: "SELECT NULL LIMIT 0".into(),
                 out: OutKind::Values { col: 0 },
@@ -253,22 +427,57 @@ impl XmlStore {
         Ok(t)
     }
 
-    /// Translate a query scoped to one document.
-    pub fn translate_for(&self, query_text: &str, doc: &str) -> Result<Translated> {
-        let id = self.doc_id(doc)?;
-        let query = parse_query(query_text)?;
-        let compiler = self.scheme.compiler();
-        let t = match compile_query(compiler.as_ref(), &self.db, &query, Some(id)) {
-            Err(CoreError::EmptyResult) => Translated {
-                sql: "SELECT NULL LIMIT 0".into(),
-                out: OutKind::Values { col: 0 },
-                key_width: compiler.key_width(),
-                positional: None,
-            },
-            other => other?,
+    /// Execute translated SQL and apply positional post-processing. With
+    /// `analyze`, also collect the runtime operator profile.
+    fn fetch(
+        &self,
+        t: &Translated,
+        analyze: bool,
+    ) -> Result<(Vec<Vec<Value>>, Option<ExecProfile>)> {
+        metrics::counter_inc(&metrics::labelled(
+            "queries_total",
+            "scheme",
+            self.scheme.name(),
+        ));
+        let _span = trace::span("execute", "sql");
+        let (raw, profile) = if analyze {
+            let (result, profile) = self.db.query_profiled(&t.sql)?;
+            (result.rows, Some(profile))
+        } else {
+            (self.db.query_readonly(&t.sql)?.rows, None)
         };
-        self.debug_verify(&t)?;
-        Ok(t)
+        Ok((apply_positional(t, raw), profile))
+    }
+
+    /// Publish rows as XML fragments / string values per the translated
+    /// query's output kind.
+    fn publish_rows(&self, t: &Translated, rows: &[Vec<Value>]) -> Result<Vec<String>> {
+        let compiler = self.scheme.compiler();
+        let mut items = Vec::with_capacity(rows.len());
+        match &t.out {
+            OutKind::Values { col } => {
+                for row in rows {
+                    match &row[*col] {
+                        Value::Null => {}
+                        v => items.push(v.to_string()),
+                    }
+                }
+            }
+            OutKind::Nodes => {
+                for row in rows {
+                    let key = compiler.decode_key(&row[..t.key_width])?;
+                    items.push(self.scheme.publish_key(&self.db, &key)?);
+                }
+            }
+            OutKind::Constructed(template) => {
+                for row in rows {
+                    let mut s = String::new();
+                    self.render_template(template, row, compiler.as_ref(), &mut s)?;
+                    items.push(s);
+                }
+            }
+        }
+        Ok(items)
     }
 
     /// Statically validate a compiled query string against the catalog this
@@ -306,22 +515,6 @@ impl XmlStore {
         Ok(diags)
     }
 
-    /// Compile a query and check the physical plan the optimizer chose
-    /// against this scheme's access-path contract plus the generic
-    /// plan-quality analyzer. Returns a [`PlanReport`] with the rendered
-    /// plan, its cost breakdown, and every finding (empty diagnostics =
-    /// the optimizer delivered all the access paths the scheme promises).
-    pub fn verify_plan(&self, query_text: &str) -> Result<PlanReport> {
-        let t = self.translate(query_text)?;
-        self.verify_translated(query_text, &t)
-    }
-
-    /// [`XmlStore::verify_plan`] scoped to one document.
-    pub fn verify_plan_for(&self, query_text: &str, doc: &str) -> Result<PlanReport> {
-        let t = self.translate_for(query_text, doc)?;
-        self.verify_translated(query_text, &t)
-    }
-
     fn verify_translated(&self, query_text: &str, t: &Translated) -> Result<PlanReport> {
         use reldb::plan::{
             analyze_physical, bind_select, cost, explain_physical, optimize, plan_physical,
@@ -329,6 +522,8 @@ impl XmlStore {
         };
         use reldb::sql::parser::parse_statement;
         use reldb::sql::Statement;
+
+        let _span = trace::span("plan.verify", "core");
 
         // A statically-empty result compiles to the `SELECT NULL LIMIT 0`
         // stub; there is no access path to check.
@@ -396,101 +591,67 @@ impl XmlStore {
     }
 
     /// Run a query across all loaded documents.
+    #[deprecated(note = "use `store.request(q).run()`")]
     pub fn query(&mut self, query_text: &str) -> Result<QueryOutput> {
-        let t = self.translate(query_text)?;
-        self.run_translated(&t)
+        self.request(query_text).run()
     }
 
     /// Run a query against one document.
+    #[deprecated(note = "use `store.request(q).doc(name).run()`")]
     pub fn query_doc(&mut self, name: &str, query_text: &str) -> Result<QueryOutput> {
-        let t = self.translate_for(query_text, name)?;
-        self.run_translated(&t)
+        self.request(query_text).doc(name).run()
     }
 
-    /// Number of matches without publishing. Consistent with
-    /// [`XmlStore::query`]: for value results, NULLs (absent attributes /
-    /// empty text) do not count.
+    /// Number of matches without publishing.
+    #[deprecated(note = "use `store.request(q).count()`")]
     pub fn query_count(&mut self, query_text: &str) -> Result<usize> {
-        let t = self.translate(query_text)?;
-        let rows = self.run_rows(&t)?;
-        Ok(match &t.out {
-            OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
-            _ => rows.len(),
-        })
+        self.request(query_text).count()
+    }
+
+    /// Translate a query to SQL without running it.
+    #[deprecated(note = "use `store.request(q).translated()`")]
+    pub fn translate(&self, query_text: &str) -> Result<Translated> {
+        self.request(query_text).translated()
+    }
+
+    /// Translate a query scoped to one document.
+    #[deprecated(note = "use `store.request(q).doc(name).translated()`")]
+    pub fn translate_for(&self, query_text: &str, doc: &str) -> Result<Translated> {
+        self.request(query_text).doc(doc).translated()
+    }
+
+    /// Compile a query and check the chosen physical plan against the
+    /// scheme's access-path contract plus the plan-quality analyzer.
+    #[deprecated(note = "use `store.request(q).report()`")]
+    pub fn verify_plan(&self, query_text: &str) -> Result<PlanReport> {
+        self.request(query_text).report()
+    }
+
+    /// Plan verification scoped to one document.
+    #[deprecated(note = "use `store.request(q).doc(name).report()`")]
+    pub fn verify_plan_for(&self, query_text: &str, doc: &str) -> Result<PlanReport> {
+        self.request(query_text).doc(doc).report()
     }
 
     /// Execute a translated query and publish its results.
+    #[deprecated(note = "use `store.request(q).run()`")]
     pub fn run_translated(&mut self, t: &Translated) -> Result<QueryOutput> {
-        let rows = self.run_rows(t)?;
-        let compiler = self.scheme.compiler();
-        let mut items = Vec::with_capacity(rows.len());
-        match &t.out {
-            OutKind::Values { col } => {
-                for row in &rows {
-                    match &row[*col] {
-                        Value::Null => {}
-                        v => items.push(v.to_string()),
-                    }
-                }
-            }
-            OutKind::Nodes => {
-                for row in &rows {
-                    let key = compiler.decode_key(&row[..t.key_width])?;
-                    items.push(self.scheme.publish_key(&self.db, &key)?);
-                }
-            }
-            OutKind::Constructed(template) => {
-                for row in &rows {
-                    let mut s = String::new();
-                    self.render_template(template, row, compiler.as_ref(), &mut s)?;
-                    items.push(s);
-                }
-            }
-        }
-        Ok(QueryOutput { items })
+        let (rows, _) = self.fetch(t, false)?;
+        let items = self.publish_rows(t, &rows)?;
+        Ok(QueryOutput {
+            items,
+            rows,
+            sql: t.sql.clone(),
+            plan: None,
+            profile: None,
+        })
     }
 
     /// Execute a translated query, returning the raw rows after positional
     /// post-processing.
+    #[deprecated(note = "use `store.request(q).rows()`")]
     pub fn run_rows(&mut self, t: &Translated) -> Result<Vec<Vec<Value>>> {
-        let result = self.db.query(&t.sql)?;
-        let mut rows = result.rows;
-        if let Some(p) = t.positional {
-            // Per parent: rank the DISTINCT sibling-order values and keep
-            // every row whose anchor node is the n-th sibling. (The anchor
-            // step may be an interior step, so several result rows can
-            // share one anchor node.)
-            let mut groups: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
-            let mut order: Vec<String> = Vec::new();
-            for row in rows {
-                let parent = row[p.parent_col].to_string();
-                if !groups.contains_key(&parent) {
-                    order.push(parent.clone());
-                }
-                groups.entry(parent).or_default().push(row);
-            }
-            let mut kept = Vec::new();
-            for parent in order {
-                let Some(g) = groups.remove(&parent) else {
-                    continue;
-                };
-                let mut distinct: Vec<&Value> = g.iter().map(|r| &r[p.order_col]).collect();
-                distinct.sort();
-                distinct.dedup();
-                let idx = (p.n as usize).saturating_sub(1);
-                let Some(target) = distinct.get(idx) else {
-                    continue;
-                };
-                let target = (*target).clone();
-                for row in g {
-                    if row[p.order_col] == target {
-                        kept.push(row);
-                    }
-                }
-            }
-            rows = kept;
-        }
-        Ok(rows)
+        Ok(self.fetch(t, false)?.0)
     }
 
     fn render_template(
@@ -541,7 +702,7 @@ impl XmlStore {
     /// Number of joins in the translated SQL's logical plan (experiment
     /// E6's metric).
     pub fn join_count(&self, query_text: &str) -> Result<usize> {
-        let t = self.translate(query_text)?;
+        let t = self.translate_impl(query_text, None)?;
         let (logical, _) = self.db.plan_select(&t.sql)?;
         Ok(logical.join_count())
     }
@@ -553,4 +714,177 @@ impl XmlStore {
             .map(|d| (d.id, d.name))
             .collect())
     }
+}
+
+/// One query, being configured: scope it with [`doc`](QueryRequest::doc),
+/// pick detail with [`explain`](QueryRequest::explain), attach a trace
+/// sink with [`trace`](QueryRequest::trace), then finish with one of the
+/// terminal methods. Created by [`XmlStore::request`].
+pub struct QueryRequest<'a> {
+    store: &'a XmlStore,
+    query: &'a str,
+    doc: Option<&'a str>,
+    explain: Explain,
+    sink: Option<&'a trace::TraceSink>,
+}
+
+impl<'a> QueryRequest<'a> {
+    /// Scope the query to one loaded document.
+    pub fn doc(mut self, name: &'a str) -> QueryRequest<'a> {
+        self.doc = Some(name);
+        self
+    }
+
+    /// Gather plan detail alongside the results (see [`Explain`]).
+    pub fn explain(mut self, mode: Explain) -> QueryRequest<'a> {
+        self.explain = mode;
+        self
+    }
+
+    /// Record tracing spans for this request into `sink`.
+    pub fn trace(mut self, sink: &'a trace::TraceSink) -> QueryRequest<'a> {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Translate, execute, and publish; the [`QueryOutput`] carries
+    /// whatever extra detail [`explain`](QueryRequest::explain) asked for.
+    pub fn run(self) -> Result<QueryOutput> {
+        let QueryRequest {
+            store,
+            query,
+            doc,
+            explain,
+            sink,
+        } = self;
+        let _guard = sink.map(trace::install);
+        let _span = trace::span("store.query", "core");
+        let t = store.translate_impl(query, doc)?;
+        let plan = match explain {
+            Explain::None => None,
+            Explain::Plan | Explain::Analyze => Some(store.verify_translated(query, &t)?),
+        };
+        let (rows, profile) = store.fetch(&t, explain == Explain::Analyze)?;
+        let items = {
+            let _span = trace::span("publish", "core");
+            store.publish_rows(&t, &rows)?
+        };
+        Ok(QueryOutput {
+            items,
+            rows,
+            sql: t.sql,
+            plan,
+            profile,
+        })
+    }
+
+    /// Number of matches without publishing. Consistent with
+    /// [`QueryRequest::run`]: for value results, NULLs (absent attributes
+    /// / empty text) do not count.
+    pub fn count(self) -> Result<usize> {
+        let QueryRequest {
+            store,
+            query,
+            doc,
+            sink,
+            ..
+        } = self;
+        let _guard = sink.map(trace::install);
+        let _span = trace::span("store.query_count", "core");
+        let t = store.translate_impl(query, doc)?;
+        let (rows, _) = store.fetch(&t, false)?;
+        Ok(match &t.out {
+            OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
+            _ => rows.len(),
+        })
+    }
+
+    /// Execute and return the raw relational rows after positional
+    /// post-processing, skipping XML publishing.
+    pub fn rows(self) -> Result<Vec<Vec<Value>>> {
+        let QueryRequest {
+            store,
+            query,
+            doc,
+            sink,
+            ..
+        } = self;
+        let _guard = sink.map(trace::install);
+        let _span = trace::span("store.query_rows", "core");
+        let t = store.translate_impl(query, doc)?;
+        Ok(store.fetch(&t, false)?.0)
+    }
+
+    /// Translate to SQL without executing.
+    pub fn translated(self) -> Result<Translated> {
+        let QueryRequest {
+            store,
+            query,
+            doc,
+            sink,
+            ..
+        } = self;
+        let _guard = sink.map(trace::install);
+        let _span = trace::span("store.translate", "core");
+        store.translate_impl(query, doc)
+    }
+
+    /// Compile the query and check the physical plan the optimizer chose
+    /// against this scheme's access-path contract plus the generic
+    /// plan-quality analyzer, without executing. Returns a [`PlanReport`]
+    /// with the rendered plan, its cost breakdown, and every finding
+    /// (empty diagnostics = the optimizer delivered all the access paths
+    /// the scheme promises).
+    pub fn report(self) -> Result<PlanReport> {
+        let QueryRequest {
+            store,
+            query,
+            doc,
+            sink,
+            ..
+        } = self;
+        let _guard = sink.map(trace::install);
+        let _span = trace::span("store.verify_plan", "core");
+        let t = store.translate_impl(query, doc)?;
+        store.verify_translated(query, &t)
+    }
+}
+
+/// Positional predicate post-processing: per parent, rank the DISTINCT
+/// sibling-order values and keep every row whose anchor node is the n-th
+/// sibling. (The anchor step may be an interior step, so several result
+/// rows can share one anchor node.)
+fn apply_positional(t: &Translated, rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    let Some(p) = t.positional else {
+        return rows;
+    };
+    let mut groups: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for row in rows {
+        let parent = row[p.parent_col].to_string();
+        if !groups.contains_key(&parent) {
+            order.push(parent.clone());
+        }
+        groups.entry(parent).or_default().push(row);
+    }
+    let mut kept = Vec::new();
+    for parent in order {
+        let Some(g) = groups.remove(&parent) else {
+            continue;
+        };
+        let mut distinct: Vec<&Value> = g.iter().map(|r| &r[p.order_col]).collect();
+        distinct.sort();
+        distinct.dedup();
+        let idx = (p.n as usize).saturating_sub(1);
+        let Some(target) = distinct.get(idx) else {
+            continue;
+        };
+        let target = (*target).clone();
+        for row in g {
+            if row[p.order_col] == target {
+                kept.push(row);
+            }
+        }
+    }
+    kept
 }

@@ -243,7 +243,9 @@ mod tests {
 
     #[test]
     fn interval_insert_preserves_reconstruction() {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Insert <e>z</e> as last child of <b> (pre of b = 1).
         let frag = Document::parse("<e>z</e>").unwrap();
@@ -259,19 +261,23 @@ mod tests {
 
     #[test]
     fn interval_delete_preserves_reconstruction() {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Delete <b> (pre 1, subtree of 3 nodes).
         let stats = interval_delete_subtree(&mut store.db, doc, 1).unwrap();
         assert_eq!(stats.rows_deleted, 3);
         assert_eq!(store.reconstruct("t").unwrap(), "<a><d>y</d></a>");
         // Queries still work after renumbering.
-        assert_eq!(store.query("/a/d/text()").unwrap().items, vec!["y"]);
+        assert_eq!(store.request("/a/d/text()").run().unwrap().items, vec!["y"]);
     }
 
     #[test]
     fn dewey_insert_touches_nothing_existing() {
-        let mut store = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
+        let mut store = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+            .open()
+            .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Parent <b> has key 000000.000000.
         let frag = Document::parse("<e>z</e>").unwrap();
@@ -286,7 +292,9 @@ mod tests {
 
     #[test]
     fn dewey_delete_is_local() {
-        let mut store = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
+        let mut store = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+            .open()
+            .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         let stats = dewey_delete_subtree(&mut store.db, doc, "000000.000000").unwrap();
         assert_eq!(stats.rows_renumbered, 0);
@@ -303,12 +311,16 @@ mod tests {
         }
         xml.push_str("</r>");
 
-        let mut istore = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+        let mut istore = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .unwrap();
         let (idoc, _) = istore.load_str("t", &xml).unwrap();
         let frag = Document::parse("<x/>").unwrap();
         let istats = interval_insert_child(&mut istore.db, idoc, 1, &frag).unwrap();
 
-        let mut dstore = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
+        let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+            .open()
+            .unwrap();
         let (ddoc, _) = dstore.load_str("t", &xml).unwrap();
         let dstats = dewey_insert_child(&mut dstore.db, ddoc, "000000.000000", &frag).unwrap();
 
@@ -326,12 +338,16 @@ mod tests {
 
     #[test]
     fn missing_targets_error() {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+            .open()
+            .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         let frag = Document::parse("<e/>").unwrap();
         assert!(interval_insert_child(&mut store.db, doc, 999, &frag).is_err());
         assert!(interval_delete_subtree(&mut store.db, doc, 999).is_err());
-        let mut dstore = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
+        let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+            .open()
+            .unwrap();
         let (ddoc, _) = dstore.load_str("t", XML).unwrap();
         assert!(dewey_insert_child(&mut dstore.db, ddoc, "zz", &frag).is_err());
         assert!(dewey_delete_subtree(&mut dstore.db, ddoc, "zz").is_err());

@@ -1,0 +1,86 @@
+//! The deprecated `XmlStore` constructors and query methods stay behaviorally
+//! identical to the `StoreBuilder` / `QueryRequest` pipeline for one release.
+//! This is the only place in the repo still allowed to call them.
+
+#![allow(deprecated)]
+
+use shredder::{EdgeScheme, IntervalScheme};
+use xmlrel_core::{Scheme, XmlStore};
+
+const XML: &str = r#"<r><a x="1">one</a><a x="2">two</a><b>bee</b></r>"#;
+
+fn seeded(scheme: Scheme) -> XmlStore {
+    let mut s = XmlStore::new(scheme).unwrap();
+    s.load_str("d", XML).unwrap();
+    s
+}
+
+#[test]
+fn shim_query_matches_request_run() {
+    let mut s = seeded(Scheme::Interval(IntervalScheme::new()));
+    let old = s.query("/r/a/text()").unwrap();
+    let new = s.request("/r/a/text()").run().unwrap();
+    assert_eq!(old.items, new.items);
+    assert_eq!(old.rows, new.rows);
+    assert_eq!(old.sql, new.sql);
+}
+
+#[test]
+fn shim_query_doc_and_count() {
+    let mut s = seeded(Scheme::Edge(EdgeScheme::new()));
+    assert_eq!(
+        s.query_doc("d", "/r/b/text()").unwrap().items,
+        s.request("/r/b/text()").doc("d").run().unwrap().items
+    );
+    assert_eq!(
+        s.query_count("/r/a").unwrap(),
+        s.request("/r/a").count().unwrap()
+    );
+}
+
+#[test]
+fn shim_translate_and_run() {
+    let mut s = seeded(Scheme::Interval(IntervalScheme::new()));
+    let t = s.translate("/r/a[@x = '2']/text()").unwrap();
+    assert_eq!(
+        t.sql,
+        s.request("/r/a[@x = '2']/text()").translated().unwrap().sql
+    );
+    let out = s.run_translated(&t).unwrap();
+    assert_eq!(out.items, vec!["two"]);
+    let rows = s.run_rows(&t).unwrap();
+    assert_eq!(rows.len(), out.rows.len());
+    let t2 = s.translate_for("/r/a/text()", "d").unwrap();
+    assert!(!t2.sql.is_empty());
+}
+
+#[test]
+fn shim_verify_plan_matches_report() {
+    let s = seeded(Scheme::Interval(IntervalScheme::new()));
+    let old = s.verify_plan("/r/a[@x = '1']").unwrap();
+    let new = s.request("/r/a[@x = '1']").report().unwrap();
+    assert_eq!(old.sql, new.sql);
+    assert_eq!(old.explain, new.explain);
+    let scoped = s.verify_plan_for("/r/a[@x = '1']", "d").unwrap();
+    assert!(!scoped.explain.is_empty());
+}
+
+#[test]
+fn shim_constructors_still_open() {
+    let dir = std::env::temp_dir().join(format!("xmlrel-depr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut s = XmlStore::open(Scheme::Interval(IntervalScheme::new()), &dir).unwrap();
+        s.load_str("d", XML).unwrap();
+        s.persist().unwrap();
+    }
+    {
+        let s = XmlStore::open_with_backend(
+            Scheme::Interval(IntervalScheme::new()),
+            Box::new(reldb::FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(s.documents().unwrap().len(), 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,7 +53,7 @@ fn stores() -> Vec<XmlStore> {
     schemes
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).unwrap();
+            let mut store = XmlStore::builder(s).open().unwrap();
             store.load_str("bib", BIB).unwrap();
             store
         })
@@ -69,7 +69,7 @@ fn every_scheme_compiles_every_query_to_validator_clean_sql() {
             // A scheme may declare a feature unsupported (e.g. positional
             // predicates under the universal table); that is a typed
             // refusal, not a compilation bug.
-            let t = match store.translate(q) {
+            let t = match store.request(q).translated() {
                 Err(xmlrel_core::CoreError::Translate(m)) if m.contains("unsupported") => continue,
                 other => other.unwrap_or_else(|e| panic!("{name}: {q}: translation failed: {e}")),
             };
@@ -103,7 +103,7 @@ fn doc_scoped_translations_validate_too() {
     for store in stores() {
         let name = store.scheme().name();
         for q in QUERIES {
-            let t = match store.translate_for(q, "bib") {
+            let t = match store.request(q).doc("bib").translated() {
                 Err(xmlrel_core::CoreError::Translate(m)) if m.contains("unsupported") => continue,
                 other => other
                     .unwrap_or_else(|e| panic!("{name}: {q}: doc-scoped translation failed: {e}")),

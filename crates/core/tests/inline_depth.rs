@@ -19,12 +19,15 @@ const CHAIN_DTD: &str = r#"
 const CHAIN_XML: &str = r#"<r><a><b><c kind="leaf">deep value</c></b><z>zed</z></a></r>"#;
 
 fn stores() -> (XmlStore, XmlStore) {
-    let mut inline = XmlStore::new(Scheme::Inline(
+    let mut inline = XmlStore::builder(Scheme::Inline(
         InlineScheme::from_dtd_text(CHAIN_DTD).unwrap(),
     ))
+    .open()
     .unwrap();
     inline.load_str("d", CHAIN_XML).unwrap();
-    let mut edge = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    let mut edge = XmlStore::builder(Scheme::Edge(EdgeScheme::new()))
+        .open()
+        .unwrap();
     edge.load_str("d", CHAIN_XML).unwrap();
     (inline, edge)
 }
@@ -58,24 +61,25 @@ fn deep_values_and_attributes_answered_correctly() {
     for store in [&mut inline, &mut edge] {
         let name = store.scheme().name();
         assert_eq!(
-            store.query("/r/a/b/c/text()").unwrap().items,
+            store.request("/r/a/b/c/text()").run().unwrap().items,
             vec!["deep value"],
             "{name}"
         );
         assert_eq!(
-            store.query("/r/a/b/c/@kind").unwrap().items,
+            store.request("/r/a/b/c/@kind").run().unwrap().items,
             vec!["leaf"],
             "{name}"
         );
         assert_eq!(
-            store.query("/r/a/z/text()").unwrap().items,
+            store.request("/r/a/z/text()").run().unwrap().items,
             vec!["zed"],
             "{name}"
         );
         // Predicate deep inside the inlined chain.
         assert_eq!(
             store
-                .query("/r/a[b/c = 'deep value']/z/text()")
+                .request("/r/a[b/c = 'deep value']/z/text()")
+                .run()
                 .unwrap()
                 .items,
             vec!["zed"],
@@ -86,11 +90,11 @@ fn deep_values_and_attributes_answered_correctly() {
 
 #[test]
 fn publishing_inlined_interior_nodes() {
-    let (mut inline, _) = stores();
+    let (inline, _) = stores();
     // Selecting an INLINED element publishes its subtree from columns.
-    let got = inline.query("/r/a/b").unwrap();
+    let got = inline.request("/r/a/b").run().unwrap();
     assert_eq!(got.items, vec![r#"<b><c kind="leaf">deep value</c></b>"#]);
-    let got = inline.query("/r/a").unwrap();
+    let got = inline.request("/r/a").run().unwrap();
     assert_eq!(
         got.items,
         vec![r#"<a><b><c kind="leaf">deep value</c></b><z>zed</z></a>"#]
@@ -99,16 +103,24 @@ fn publishing_inlined_interior_nodes() {
 
 #[test]
 fn optional_tail_absent_vs_present() {
-    let mut inline = XmlStore::new(Scheme::Inline(
+    let mut inline = XmlStore::builder(Scheme::Inline(
         InlineScheme::from_dtd_text(CHAIN_DTD).unwrap(),
     ))
+    .open()
     .unwrap();
     inline
         .load_str("noz", "<r><a><b><c>v</c></b></a></r>")
         .unwrap();
     // z is absent: existence predicate must filter out.
-    assert!(inline.query("/r/a[z]/b/c/text()").unwrap().is_empty());
-    assert_eq!(inline.query("/r/a/b/c/text()").unwrap().items, vec!["v"]);
+    assert!(inline
+        .request("/r/a[z]/b/c/text()")
+        .run()
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        inline.request("/r/a/b/c/text()").run().unwrap().items,
+        vec!["v"]
+    );
     // The reconstructed doc has no <z/>.
     assert_eq!(
         inline.reconstruct("noz").unwrap(),

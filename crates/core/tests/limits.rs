@@ -15,28 +15,32 @@ const DTD: &str = r#"
 const XML: &str = r#"<r><a x="1">one</a><a x="2">two</a><b>bee</b></r>"#;
 
 fn interval_store() -> XmlStore {
-    let mut s = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    let mut s = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
     s.load_str("d", XML).unwrap();
     s
 }
 
 #[test]
 fn not_predicate_rejected_cleanly() {
-    let mut s = interval_store();
-    let err = s.query("/r/a[not(@x = '1')]").unwrap_err();
+    let s = interval_store();
+    let err = s.request("/r/a[not(@x = '1')]").run().unwrap_err();
     assert!(matches!(err, CoreError::Translate(m) if m.contains("not(")));
 }
 
 #[test]
 fn descendant_inside_predicate_rejected_on_expansion_schemes() {
-    let mut s = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    let mut s = XmlStore::builder(Scheme::Edge(EdgeScheme::new()))
+        .open()
+        .unwrap();
     s.load_str("d", XML).unwrap();
-    let err = s.query("/r[//a = 'one']/b").unwrap_err();
+    let err = s.request("/r[//a = 'one']/b").run().unwrap_err();
     assert!(matches!(err, CoreError::Translate(_)));
     // The same predicate works on a native scheme.
-    let mut s = interval_store();
+    let s = interval_store();
     assert_eq!(
-        s.query("/r[//a = 'one']/b/text()").unwrap().items,
+        s.request("/r[//a = 'one']/b/text()").run().unwrap().items,
         vec!["bee"]
     );
 }
@@ -47,9 +51,9 @@ fn positional_on_inline_and_universal_rejected() {
         Scheme::Inline(InlineScheme::from_dtd_text(DTD).unwrap()),
         Scheme::Universal(UniversalScheme),
     ] {
-        let mut s = XmlStore::new(scheme).unwrap();
+        let mut s = XmlStore::builder(scheme).open().unwrap();
         s.load_str("d", XML).unwrap();
-        let err = s.query("/r/a[2]").unwrap_err();
+        let err = s.request("/r/a[2]").run().unwrap_err();
         assert!(
             matches!(err, CoreError::Translate(_)),
             "{}",
@@ -60,52 +64,60 @@ fn positional_on_inline_and_universal_rejected() {
 
 #[test]
 fn two_positionals_rejected() {
-    let mut s = interval_store();
-    let err = s.query("/r/a[1]/b[2]").unwrap_err();
+    let s = interval_store();
+    let err = s.request("/r/a[1]/b[2]").run().unwrap_err();
     assert!(matches!(err, CoreError::Translate(m) if m.contains("one positional")));
 }
 
 #[test]
 fn or_predicates_work() {
-    let mut s = interval_store();
-    let got = s.query("/r/a[@x = '1' or @x = '2']/text()").unwrap();
+    let s = interval_store();
+    let got = s
+        .request("/r/a[@x = '1' or @x = '2']/text()")
+        .run()
+        .unwrap();
     assert_eq!(got.items, vec!["one", "two"]);
     // An `or` branch over a missing attribute must not drop candidates.
-    let got = s.query("/r/a[@x = '1' or @missing = 'z']/text()").unwrap();
+    let got = s
+        .request("/r/a[@x = '1' or @missing = 'z']/text()")
+        .run()
+        .unwrap();
     assert_eq!(got.items, vec!["one"]);
 }
 
 #[test]
 fn mixed_or_and_parenthesization() {
-    let mut s = interval_store();
+    let s = interval_store();
     let got = s
-        .query("/r/a[(@x = '1' or @x = '2') and contains(., 'o')]/text()")
+        .request("/r/a[(@x = '1' or @x = '2') and contains(., 'o')]/text()")
+        .run()
         .unwrap();
     assert_eq!(got.items, vec!["one", "two"]);
 }
 
 #[test]
 fn self_step_in_predicate_means_own_text() {
-    let mut s = interval_store();
-    let got = s.query("/r/a[. = 'two']/@x").unwrap();
+    let s = interval_store();
+    let got = s.request("/r/a[. = 'two']/@x").run().unwrap();
     assert_eq!(got.items, vec!["2"]);
 }
 
 #[test]
 fn unknown_variable_in_flwor() {
-    let mut s = interval_store();
+    let s = interval_store();
     let err = s
-        .query("for $v in /r/a where $w/@x = '1' return $v")
+        .request("for $v in /r/a where $w/@x = '1' return $v")
+        .run()
         .unwrap_err();
     assert!(matches!(err, CoreError::Translate(m) if m.contains("unbound")));
 }
 
 #[test]
 fn parent_axis_rejected_when_not_normalized_away() {
-    let mut s = interval_store();
+    let s = interval_store();
     // /r/a/.. normalizes to /r (supported); //a/.. cannot be normalized.
-    assert!(s.query("/r/a/../b/text()").is_ok());
-    let err = s.query("//a/../b").unwrap_err();
+    assert!(s.request("/r/a/../b/text()").run().is_ok());
+    let err = s.request("//a/../b").run().unwrap_err();
     assert!(matches!(err, CoreError::Translate(_)));
 }
 
@@ -117,20 +129,20 @@ fn empty_results_are_empty_not_errors() {
         Scheme::Dewey(DeweyScheme::new()),
         Scheme::Inline(InlineScheme::from_dtd_text(DTD).unwrap()),
     ] {
-        let mut s = XmlStore::new(scheme).unwrap();
+        let mut s = XmlStore::builder(scheme).open().unwrap();
         s.load_str("d", XML).unwrap();
         assert!(
-            s.query("/r/zzz").unwrap().is_empty(),
+            s.request("/r/zzz").run().unwrap().is_empty(),
             "{}",
             s.scheme().name()
         );
         assert!(
-            s.query("/zzz/a").unwrap().is_empty(),
+            s.request("/zzz/a").run().unwrap().is_empty(),
             "{}",
             s.scheme().name()
         );
         assert!(
-            s.query("/r/a[@x = 'nope']").unwrap().is_empty(),
+            s.request("/r/a[@x = 'nope']").run().unwrap().is_empty(),
             "{}",
             s.scheme().name()
         );
@@ -139,21 +151,29 @@ fn empty_results_are_empty_not_errors() {
 
 #[test]
 fn query_against_missing_document() {
-    let mut s = interval_store();
-    let err = s.query_doc("missing", "/r/a").unwrap_err();
+    let s = interval_store();
+    let err = s.request("/r/a").doc("missing").run().unwrap_err();
     assert!(matches!(err, CoreError::NoSuchDocument(_)));
 }
 
 #[test]
 fn malformed_query_is_query_error() {
-    let mut s = interval_store();
-    assert!(matches!(s.query("/r/[2]"), Err(CoreError::Query(_))));
-    assert!(matches!(s.query("for $x"), Err(CoreError::Query(_))));
+    let s = interval_store();
+    assert!(matches!(
+        s.request("/r/[2]").run(),
+        Err(CoreError::Query(_))
+    ));
+    assert!(matches!(
+        s.request("for $x").run(),
+        Err(CoreError::Query(_))
+    ));
 }
 
 #[test]
 fn malformed_document_is_xml_error() {
-    let mut s = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    let mut s = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
     assert!(matches!(
         s.load_str("bad", "<a><b></a>"),
         Err(CoreError::Xml(_))
@@ -169,19 +189,22 @@ fn expansion_cap_is_enforced() {
         xml.push_str(&format!("<g{i}><leaf/></g{i}>"));
     }
     xml.push_str("</root>");
-    let mut s = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    let mut s = XmlStore::builder(Scheme::Edge(EdgeScheme::new()))
+        .open()
+        .unwrap();
     s.load_str("wide", &xml).unwrap();
-    let err = s.query("//leaf").unwrap_err();
+    let err = s.request("//leaf").run().unwrap_err();
     assert!(matches!(err, CoreError::Translate(m) if m.contains("expansion")));
     // Concrete paths still work.
-    assert_eq!(s.query_count("/root/g7/leaf").unwrap(), 1);
+    assert_eq!(s.request("/root/g7/leaf").count().unwrap(), 1);
 }
 
 #[test]
 fn flwor_let_binds_single_values() {
-    let mut s = interval_store();
+    let s = interval_store();
     let got = s
-        .query("let $b := /r/b return <out>{$b/text()}</out>")
+        .request("let $b := /r/b return <out>{$b/text()}</out>")
+        .run()
         .unwrap();
     assert_eq!(got.items, vec!["<out>bee</out>"]);
 }
@@ -189,7 +212,7 @@ fn flwor_let_binds_single_values() {
 #[test]
 fn translated_sql_round_trips_through_engine_explain() {
     let s = interval_store();
-    let t = s.translate("/r/a[@x = '1']/text()").unwrap();
+    let t = s.request("/r/a[@x = '1']/text()").translated().unwrap();
     // The generated SQL must be plannable and EXPLAINable.
     let (logical, physical) = s.db.plan_select(&t.sql).unwrap();
     assert!(logical.join_count() >= 1);

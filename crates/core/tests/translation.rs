@@ -31,7 +31,7 @@ fn stores() -> Vec<XmlStore> {
     schemes
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).unwrap();
+            let mut store = XmlStore::builder(s).open().unwrap();
             store.load_str("bib", BIB).unwrap();
             store
         })
@@ -46,7 +46,8 @@ fn assert_all_schemes(query: &str, expected: &[&str]) {
     for store in &mut stores() {
         let name = store.scheme().name();
         let got = store
-            .query(query)
+            .request(query)
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {query}: {e}"));
         let mut items = got.items;
         items.sort();
@@ -176,10 +177,11 @@ fn flwor_filter_and_order() {
     for store in &mut stores() {
         let name = store.scheme().name();
         let got = store
-            .query(
+            .request(
                 "for $b in /bib/book where $b/price > 30 \
                  order by $b/@year return $b/title/text()",
             )
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             got.items,
@@ -194,10 +196,11 @@ fn flwor_constructor() {
     for store in &mut stores() {
         let name = store.scheme().name();
         let got = store
-            .query(
+            .request(
                 "for $b in /bib/book where $b/@year = 1994 \
                  return <hit><y>{$b/@year}</y>{$b/title/text()}</hit>",
             )
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             got.items,
@@ -212,7 +215,8 @@ fn flwor_returning_nodes() {
     for store in &mut stores() {
         let name = store.scheme().name();
         let got = store
-            .query("for $b in /bib/book where $b/@year = 1994 return $b/author")
+            .request("for $b in /bib/book where $b/@year = 1994 return $b/author")
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             got.items,
@@ -227,7 +231,7 @@ fn positional_predicate_where_supported() {
     // Positional predicates are supported by the four node-id schemes.
     for store in &mut stores() {
         let name = store.scheme().name();
-        let r = store.query("/bib/book[2]/title/text()");
+        let r = store.request("/bib/book[2]/title/text()").run();
         match name {
             "inline" | "universal" => assert!(r.is_err(), "{name} should reject [n]"),
             _ => {
@@ -246,7 +250,7 @@ fn document_order_preserved_by_ordered_schemes() {
         if matches!(name, "inline" | "universal") {
             continue;
         }
-        let got = store.query("/bib/book/title/text()").unwrap();
+        let got = store.request("/bib/book/title/text()").run().unwrap();
         assert_eq!(
             got.items,
             vec!["TCP/IP Illustrated", "Data on the Web", "Economics"],
@@ -286,29 +290,37 @@ fn join_counts_differ_by_scheme() {
 #[test]
 fn translated_sql_is_visible() {
     let store = stores().remove(3); // interval
-    let t = store.translate("//book//lastname").unwrap();
+    let t = store.request("//book//lastname").translated().unwrap();
     assert!(t.sql.contains("inode"), "{}", t.sql);
     assert!(t.sql.to_lowercase().contains("pre"), "{}", t.sql);
 }
 
 #[test]
 fn query_scoped_to_one_document() {
-    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
     store
         .load_str("a", "<bib><book><title>A</title></book></bib>")
         .unwrap();
     store
         .load_str("b", "<bib><book><title>B</title></book></bib>")
         .unwrap();
-    let all = store.query("/bib/book/title/text()").unwrap();
+    let all = store.request("/bib/book/title/text()").run().unwrap();
     assert_eq!(all.len(), 2);
-    let only_a = store.query_doc("a", "/bib/book/title/text()").unwrap();
+    let only_a = store
+        .request("/bib/book/title/text()")
+        .doc("a")
+        .run()
+        .unwrap();
     assert_eq!(only_a.items, vec!["A"]);
 }
 
 #[test]
 fn duplicate_document_names_rejected() {
-    let mut store = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Edge(EdgeScheme::new()))
+        .open()
+        .unwrap();
     store.load_str("x", "<a/>").unwrap();
     assert!(store.load_str("x", "<b/>").is_err());
     assert_eq!(store.documents().unwrap().len(), 1);
@@ -316,9 +328,11 @@ fn duplicate_document_names_rejected() {
 
 #[test]
 fn remove_document() {
-    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
     store.load_str("x", "<a><b/></a>").unwrap();
     assert!(store.remove("x").unwrap() > 0);
     assert!(store.reconstruct("x").is_err());
-    assert!(store.query("/a/b").unwrap().is_empty());
+    assert!(store.request("/a/b").run().unwrap().is_empty());
 }

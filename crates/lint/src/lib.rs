@@ -18,6 +18,9 @@
 //! - `no-len-truncate`: no `.len() as u32`-style truncating casts.
 //! - `no-cost-truncate`: no `as u64`/`as usize` casts on cost/cardinality
 //!   estimates outside `plan::cost`; estimates stay f64 end to end.
+//! - `no-untraced-entrypoint`: public `query*`/`execute*`/`run*` fns in
+//!   the execution-surface files (`core/src/store.rs`, `reldb/src/db.rs`)
+//!   must open a trace span; deprecated shims are exempt.
 //!
 //! Suppress a finding with `// lint:allow(rule): justification` on the
 //! offending line or alone on the line above. Bare `lint:allow` without a

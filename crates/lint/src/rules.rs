@@ -22,6 +22,7 @@ pub const RULES: &[&str] = &[
     "no-index",
     "no-len-truncate",
     "no-cost-truncate",
+    "no-untraced-entrypoint",
     "bare-allow",
 ];
 
@@ -56,6 +57,7 @@ pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
             raw.extend(check_at(file, toks, i));
         }
     }
+    raw.extend(check_entrypoints(file, toks, &test_mask));
 
     for v in raw {
         let suppressed = suppressions
@@ -210,6 +212,175 @@ fn check_at(file: &str, toks: &[Tok], i: usize) -> Vec<Violation> {
 
 fn is_punct(t: &Tok, s: &str) -> bool {
     t.kind == TokKind::Punct && t.text == s
+}
+
+/// no-untraced-entrypoint: the files that form the public execution
+/// surface must keep their entry points observable. Every non-deprecated
+/// `pub fn` named `query*` / `execute*` / `run*` in them has to open a
+/// trace span (any `span` identifier in its body counts), so profiles and
+/// chrome traces cover the whole query path by construction.
+const ENTRYPOINT_FILES: &[&str] = &[
+    "core/src/store.rs",
+    "core\\src\\store.rs",
+    "reldb/src/db.rs",
+    "reldb\\src\\db.rs",
+];
+
+fn is_entrypoint_name(name: &str) -> bool {
+    name.starts_with("query") || name.starts_with("execute") || name.starts_with("run")
+}
+
+fn check_entrypoints(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
+    if !ENTRYPOINT_FILES.iter().any(|s| file.ends_with(s)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident || !is_entrypoint_name(&name.text) {
+            continue;
+        }
+        let Some(sig_start) = signature_start(toks, i) else {
+            continue; // not `pub`
+        };
+        if is_deprecated_item(toks, sig_start) {
+            continue; // shims on their way out are exempt
+        }
+        if body_contains_span(toks, i + 2) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line: name.line,
+            rule: "no-untraced-entrypoint",
+            message: format!(
+                "public entry point `{}` never opens a trace span; add \
+                 `let _span = trace::span(..)` so profiles and chrome \
+                 traces cover it",
+                name.text
+            ),
+        });
+    }
+    out
+}
+
+/// Walk backwards over fn modifiers (`async`, `unsafe`, `const`,
+/// `extern` with its ABI string, a `pub(..)` restriction) and return the
+/// index of the `pub` token that starts the signature, or None if the fn
+/// is private.
+fn signature_start(toks: &[Tok], fn_pos: usize) -> Option<usize> {
+    let mut j = fn_pos;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "async" | "unsafe" | "const" | "extern")
+        {
+            j -= 1;
+        } else if t.kind == TokKind::Str {
+            j -= 1; // extern ABI string
+        } else if is_punct(t, ")") {
+            // `pub(crate)` / `pub(super)`: skip back to the matching `(`.
+            let mut depth = 1usize;
+            let mut k = j - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if is_punct(&toks[k], ")") {
+                    depth += 1;
+                } else if is_punct(&toks[k], "(") {
+                    depth -= 1;
+                }
+            }
+            if depth > 0 {
+                return None;
+            }
+            j = k;
+        } else if t.kind == TokKind::Ident && t.text == "pub" {
+            return Some(j - 1);
+        } else {
+            return None;
+        }
+    }
+    None
+}
+
+/// Is the item whose signature starts at `sig_start` annotated
+/// `#[deprecated]` (possibly among other attributes)?
+fn is_deprecated_item(toks: &[Tok], sig_start: usize) -> bool {
+    let mut j = sig_start;
+    loop {
+        if j < 3 || !is_punct(&toks[j - 1], "]") {
+            return false;
+        }
+        let mut depth = 1usize;
+        let mut k = j - 1;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            if is_punct(&toks[k], "]") {
+                depth += 1;
+            } else if is_punct(&toks[k], "[") {
+                depth -= 1;
+            }
+        }
+        if depth > 0 || k == 0 || !is_punct(&toks[k - 1], "#") {
+            return false;
+        }
+        if matches!(
+            toks.get(k + 1),
+            Some(t) if t.kind == TokKind::Ident && t.text == "deprecated"
+        ) {
+            return true;
+        }
+        j = k - 1; // keep scanning earlier attributes
+    }
+}
+
+/// Does the fn whose tokens follow its name at `start` contain the
+/// identifier `span` inside its body? Bodyless declarations (trait
+/// methods ending in `;`) have nothing to trace and never match.
+fn body_contains_span(toks: &[Tok], start: usize) -> bool {
+    // Find the body's `{`: first brace outside the parameter list /
+    // return type (tracked via paren and bracket depth).
+    let mut depth = 0isize;
+    let mut j = start;
+    loop {
+        let Some(t) = toks.get(j) else {
+            return true; // malformed tail; nothing to report
+        };
+        if is_punct(t, "(") || is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") {
+            depth -= 1;
+        } else if depth == 0 && is_punct(t, ";") {
+            return true; // declaration without a body
+        } else if depth == 0 && is_punct(t, "{") {
+            break;
+        }
+        j += 1;
+    }
+    let mut braces = 0usize;
+    while let Some(t) = toks.get(j) {
+        if is_punct(t, "{") {
+            braces += 1;
+        } else if is_punct(t, "}") {
+            braces -= 1;
+            if braces == 0 {
+                return false;
+            }
+        } else if t.kind == TokKind::Ident && t.text == "span" {
+            return true;
+        }
+        j += 1;
+    }
+    false
 }
 
 /// The unified estimator is the one place allowed to move between floats
@@ -680,5 +851,78 @@ mod tests {
     fn strings_and_comments_never_match() {
         let src = "fn f() { let s = \"x.unwrap() panic!\"; /* y.expect(1) */ }";
         assert_eq!(lint(src), vec![]);
+    }
+
+    const STORE: &str = "crates/core/src/store.rs";
+
+    fn store_rules(src: &str) -> Vec<&'static str> {
+        check(STORE, &lex(src))
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_untraced_entrypoint() {
+        let src = "impl S { pub fn query_all(&self) -> u32 { self.n } }";
+        assert_eq!(store_rules(src), vec!["no-untraced-entrypoint"]);
+        let src = "pub fn run_workload() { step(); }";
+        assert_eq!(store_rules(src), vec!["no-untraced-entrypoint"]);
+    }
+
+    #[test]
+    fn traced_entrypoint_ok() {
+        let src = "impl S { pub fn query_all(&self) -> u32 {\n    \
+                   let _span = trace::span(\"q\", \"core\");\n    self.n\n} }";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn deprecated_entrypoint_exempt() {
+        let src = "impl S {\n#[deprecated(note = \"use request()\")]\n\
+                   pub fn query_all(&self) -> u32 { self.n }\n}";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+        // Other attributes between #[deprecated] and the fn still count.
+        let src = "#[deprecated]\n#[inline]\npub fn run_old() {}";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn entrypoint_rule_scoped_to_surface_files() {
+        let src = "pub fn query_all() -> u32 { 1 }";
+        // Same source in an ordinary file: no finding.
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+        let v = check("crates/reldb/src/db.rs", &lex(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-untraced-entrypoint");
+    }
+
+    #[test]
+    fn private_and_unmatched_fns_exempt() {
+        assert_eq!(store_rules("fn run_inner() {}"), Vec::<&str>::new());
+        assert_eq!(
+            store_rules("pub fn verify_sql(&self) -> bool { true }"),
+            Vec::<&str>::new()
+        );
+        // pub(crate) visibility is still public enough to need a span.
+        assert_eq!(
+            store_rules("pub(crate) fn execute_one() {}"),
+            vec!["no-untraced-entrypoint"]
+        );
+    }
+
+    #[test]
+    fn bodyless_declarations_exempt() {
+        let src = "pub trait Exec { fn run(&self); }";
+        // Trait methods are not `pub` token-wise, and even an explicit
+        // bodyless decl has nothing to trace.
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn entrypoint_suppression_works() {
+        let src = "// lint:allow(no-untraced-entrypoint): metrics-only path\n\
+                   pub fn run_light() {}";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
     }
 }

@@ -1,0 +1,16 @@
+//! Observability primitives for the xmlrel workspace.
+//!
+//! Two independent facilities, both written from scratch (the workspace is
+//! offline — no tracing/metrics crates):
+//!
+//! - [`trace`]: scoped spans (`parse` → `shred` → `translate` → `plan` →
+//!   `execute` → `publish`) collected into a fixed-capacity ring buffer and
+//!   exportable as chrome-trace JSON (`chrome://tracing`, Perfetto).
+//! - [`metrics`]: a process-wide registry of counters, gauges and
+//!   histograms with a plain-text exposition dump.
+//!
+//! Both are cheap when idle: a span with no sink installed is a single
+//! thread-local read; metrics are a short mutex-guarded map update.
+
+pub mod metrics;
+pub mod trace;

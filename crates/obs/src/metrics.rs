@@ -1,0 +1,266 @@
+//! Process-wide metrics registry: counters, gauges, histograms.
+//!
+//! Metrics are addressed by name; a name may carry inline labels in
+//! Prometheus style (`queries_total{scheme="edge"}`), which the registry
+//! treats as part of the key. Free functions update the global registry:
+//!
+//! ```
+//! use xmlrel_obs::metrics;
+//! metrics::counter_add("wal_bytes_total", 128);
+//! metrics::gauge_set("open_documents", 3);
+//! metrics::observe_us("snapshot_duration_us", 1500);
+//! let text = metrics::dump();
+//! assert!(text.contains("wal_bytes_total"));
+//! ```
+//!
+//! [`dump`] renders a plain-text exposition sorted by name, stable enough
+//! to grep in tests and paste into a bug report. Histograms use power-of-two
+//! buckets, so the dump stays deterministic for deterministic workloads.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts samples in
+/// `[2^(i-1), 2^i)`, with bucket 0 holding zero. 2^40 µs ≈ 12 days.
+const BUCKETS: usize = 41;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Upper bound of the bucket holding the p-th percentile (0..=100).
+    pub fn percentile_bound(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * u64::from(p)).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// One metric value, as read back by [`snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(i64),
+    // Boxed: the bucket array dwarfs the scalar variants, and the
+    // registry holds many more counters than histograms.
+    Histogram(Box<Histogram>),
+}
+
+#[derive(Default)]
+struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Lock the registry, recovering from poisoning: a panic elsewhere must
+/// not take the metrics surface down with it, and every registry update
+/// leaves the map structurally valid regardless of where it was
+/// interrupted.
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Increment a counter by 1.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Increment a counter by `delta`.
+pub fn counter_add(name: &str, delta: u64) {
+    let mut reg = lock();
+    // A name already registered with another kind is left untouched.
+    if let Metric::Counter(v) = reg
+        .metrics
+        .entry(name.to_string())
+        .or_insert(Metric::Counter(0))
+    {
+        *v += delta;
+    }
+}
+
+/// Set a gauge to an absolute value.
+pub fn gauge_set(name: &str, value: i64) {
+    let mut reg = lock();
+    *reg.metrics
+        .entry(name.to_string())
+        .or_insert(Metric::Gauge(0)) = Metric::Gauge(value);
+}
+
+/// Record one sample into a histogram (unit encoded in the name, e.g.
+/// `_us` for microseconds or `_bytes`).
+pub fn observe_us(name: &str, sample: u64) {
+    let mut reg = lock();
+    if let Metric::Histogram(h) = reg
+        .metrics
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Box::default()))
+    {
+        h.observe(sample);
+    }
+}
+
+/// Read one metric back, if present.
+pub fn get(name: &str) -> Option<Metric> {
+    lock().metrics.get(name).cloned()
+}
+
+/// Convenience: current value of a counter, 0 when absent.
+pub fn counter_value(name: &str) -> u64 {
+    match get(name) {
+        Some(Metric::Counter(v)) => v,
+        _ => 0,
+    }
+}
+
+/// Snapshot of every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, Metric)> {
+    let reg = lock();
+    reg.metrics
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// Remove every registered metric. Intended for tests and for the CLI's
+/// per-run dumps; the registry is process-global.
+pub fn reset() {
+    lock().metrics.clear();
+}
+
+/// Plain-text exposition: one metric per line, sorted by name.
+///
+/// ```text
+/// queries_total{scheme="edge"} 12
+/// snapshot_duration_us count=3 sum=4500 min=1200 max=1800 p50<=2048 p99<=2048
+/// ```
+pub fn dump() -> String {
+    let mut out = String::new();
+    for (name, metric) in snapshot() {
+        match metric {
+            Metric::Counter(v) => out.push_str(&format!("{name} {v}\n")),
+            Metric::Gauge(v) => out.push_str(&format!("{name} {v}\n")),
+            Metric::Histogram(h) => {
+                if h.count == 0 {
+                    out.push_str(&format!("{name} count=0\n"));
+                } else {
+                    out.push_str(&format!(
+                        "{name} count={} sum={} min={} max={} p50<={} p99<={}\n",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.percentile_bound(50),
+                        h.percentile_bound(99)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build a labelled metric name, escaping quotes in the label value:
+/// `labelled("queries_total", "scheme", "edge")` →
+/// `queries_total{scheme="edge"}`.
+pub fn labelled(name: &str, key: &str, value: &str) -> String {
+    let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{name}{{{key}=\"{escaped}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global and tests run concurrently, so every
+    /// test uses its own metric names rather than `reset()`.
+    #[test]
+    fn counters_accumulate() {
+        counter_inc("test_counters_accumulate");
+        counter_add("test_counters_accumulate", 4);
+        assert_eq!(counter_value("test_counters_accumulate"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        gauge_set("test_gauge", 7);
+        gauge_set("test_gauge", -2);
+        assert_eq!(get("test_gauge"), Some(Metric::Gauge(-2)));
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        for v in [1u64, 2, 3, 100, 1000] {
+            observe_us("test_histogram", v);
+        }
+        let h = match get("test_histogram") {
+            Some(Metric::Histogram(h)) => h,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert!(h.percentile_bound(50) <= 4);
+        assert!(h.percentile_bound(99) >= 1000);
+    }
+
+    #[test]
+    fn dump_is_sorted_text() {
+        counter_inc("test_dump_b");
+        counter_inc("test_dump_a");
+        let text = dump();
+        let a = text.find("test_dump_a").unwrap();
+        let b = text.find("test_dump_b").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn labelled_names_escape() {
+        assert_eq!(
+            labelled("queries_total", "scheme", "edge"),
+            "queries_total{scheme=\"edge\"}"
+        );
+        assert_eq!(labelled("x", "k", "a\"b"), "x{k=\"a\\\"b\"}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Scoped tracing spans with a ring-buffer collector.
+//!
+//! A [`TraceSink`] owns a bounded ring of finished span events. Installing
+//! a sink (via [`install`]) makes it the current collector for the calling
+//! thread; [`span`] then returns an RAII guard that records one event —
+//! name, category, start offset, duration, nesting depth — when it drops.
+//! When no sink is installed a span is inert and costs one thread-local
+//! read.
+//!
+//! The ring keeps the most recent window: once full, the oldest event is
+//! overwritten and a drop counter ticks, so a long-running process always
+//! holds the tail of its own history (the part you want when something just
+//! went wrong). Export with [`TraceSink::to_chrome_trace`] and load the
+//! file in `chrome://tracing` or Perfetto.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity: plenty for a multi-document workload while
+/// keeping the worst-case footprint small (events are ~100 bytes).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span name, e.g. `execute`.
+    pub name: Cow<'static, str>,
+    /// Coarse category, e.g. `query` or `storage`.
+    pub cat: &'static str,
+    /// Start offset from the sink's creation, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at the time the span opened (outermost = 1).
+    pub depth: u32,
+}
+
+struct SinkInner {
+    epoch: Instant,
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A bounded collector of span events. Clone-cheap (`Arc` inside) and
+/// shareable across threads; each thread that should record into it must
+/// [`install`] it.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl SinkInner {
+    /// Lock a sink's state, recovering from poisoning: every mutation
+    /// leaves the ring structurally valid, and a panic elsewhere must not
+    /// disable trace collection for the rest of the process.
+    fn lock(inner: &Mutex<SinkInner>) -> std::sync::MutexGuard<'_, SinkInner> {
+        inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink with the [`DEFAULT_CAPACITY`].
+    pub fn new() -> TraceSink {
+        TraceSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A sink holding at most `capacity` events; the oldest event is
+    /// evicted (and counted as dropped) once the ring is full.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            inner: Arc::new(Mutex::new(SinkInner {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                events: VecDeque::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let inner = SinkInner::lock(&self.inner);
+        inner.events.iter().cloned().collect()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        SinkInner::lock(&self.inner).dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        SinkInner::lock(&self.inner).events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forget all recorded events and the drop count.
+    pub fn clear(&self) {
+        let mut inner = SinkInner::lock(&self.inner);
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+
+    /// Render the events in chrome-trace ("Trace Event Format") JSON:
+    /// an object with a `traceEvents` array of complete (`"ph":"X"`)
+    /// events. Loadable in `chrome://tracing` and Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let inner = SinkInner::lock(&self.inner);
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in inner.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":1,\"args\":{{\"depth\":{}}}}}",
+                json_quote(&e.name),
+                json_quote(e.cat),
+                e.start_us,
+                e.dur_us,
+                e.depth
+            ));
+        }
+        if !inner.events.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}",
+            inner.dropped
+        ));
+        out
+    }
+
+    fn record(&self, event: Event) {
+        let mut inner = SinkInner::lock(&self.inner);
+        if inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCellSink = RefCellSink::default();
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Thread-local stack of installed sinks; spans record into the top.
+#[derive(Default)]
+struct RefCellSink {
+    stack: std::cell::RefCell<Vec<TraceSink>>,
+}
+
+/// Install `sink` as the current thread's collector until the returned
+/// guard drops. Installs nest: the most recent one wins.
+pub fn install(sink: &TraceSink) -> InstallGuard {
+    CURRENT.with(|c| c.stack.borrow_mut().push(sink.clone()));
+    InstallGuard { _priv: () }
+}
+
+/// RAII guard for [`install`]; uninstalls on drop.
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Open a span. Records one [`Event`] into the installed sink when the
+/// returned guard drops; inert (and nearly free) when no sink is
+/// installed.
+pub fn span(name: impl Into<Cow<'static, str>>, cat: &'static str) -> Span {
+    let sink = CURRENT.with(|c| c.stack.borrow().last().cloned());
+    match sink {
+        None => Span { active: None },
+        Some(sink) => {
+            let depth = DEPTH.with(|d| {
+                let v = d.get() + 1;
+                d.set(v);
+                v
+            });
+            Span {
+                active: Some(ActiveSpan {
+                    sink,
+                    name: name.into(),
+                    cat,
+                    start: Instant::now(),
+                    depth,
+                }),
+            }
+        }
+    }
+}
+
+struct ActiveSpan {
+    sink: TraceSink,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start: Instant,
+    depth: u32,
+}
+
+/// RAII span guard returned by [`span`].
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let dur = a.start.elapsed();
+            let start_us = {
+                let epoch = SinkInner::lock(&a.sink.inner).epoch;
+                a.start.saturating_duration_since(epoch).as_micros() as u64
+            };
+            a.sink.record(Event {
+                name: a.name,
+                cat: a.cat,
+                start_us,
+                dur_us: dur.as_micros() as u64,
+                depth: a.depth,
+            });
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+}
+
+/// Minimal JSON string escaping (shared with the metrics dump).
+pub(crate) fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sink_is_inert() {
+        let s = span("orphan", "test");
+        drop(s);
+        // Nothing to assert beyond "does not panic"; there is no sink.
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let sink = TraceSink::new();
+        {
+            let _g = install(&sink);
+            let _outer = span("outer", "test");
+            {
+                let _mid = span("mid", "test");
+                let _inner = span("inner", "test");
+            }
+            let _sibling = span("sibling", "test");
+        }
+        let events = sink.events();
+        // Events are recorded at span *close*, innermost first.
+        let by_name: Vec<(&str, u32)> = events.iter().map(|e| (e.name.as_ref(), e.depth)).collect();
+        assert_eq!(
+            by_name,
+            vec![("inner", 3), ("mid", 2), ("sibling", 2), ("outer", 1)]
+        );
+        // The outer span must fully contain the inner one.
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        assert!(outer.start_us <= inner.start_us);
+        assert!(outer.start_us + outer.dur_us >= inner.start_us + inner.dur_us);
+    }
+
+    #[test]
+    fn ring_buffer_drops_and_counts_overflow() {
+        let sink = TraceSink::with_capacity(3);
+        let _g = install(&sink);
+        for i in 0..10 {
+            let _s = span(format!("s{i}"), "test");
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+        // The *latest* events survive; the oldest were evicted.
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["s7", "s8", "s9"]);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn install_nests_and_uninstalls() {
+        let a = TraceSink::new();
+        let b = TraceSink::new();
+        let _ga = install(&a);
+        {
+            let _gb = install(&b);
+            let _s = span("into-b", "test");
+        }
+        let _s = span("into-a", "test");
+        drop(_s);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(b.events()[0].name, "into-b");
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(a.events()[0].name, "into-a");
+    }
+
+    #[test]
+    fn chrome_trace_export_shape() {
+        let sink = TraceSink::new();
+        {
+            let _g = install(&sink);
+            let _s = span("q\"uote", "test");
+        }
+        let json = sink.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\\\"uote"));
+        assert!(json.ends_with("\"droppedEvents\":0}"));
+    }
+}

@@ -144,12 +144,14 @@ fn check_workload(verbose: bool) -> Result<(Vec<Finding>, usize), String> {
             }),
         ));
         for (name, scheme) in schemes {
-            let mut store = XmlStore::new(scheme).map_err(|e| format!("{name}: install: {e}"))?;
+            let mut store = XmlStore::builder(scheme)
+                .open()
+                .map_err(|e| format!("{name}: install: {e}"))?;
             store
                 .load_document(corpus, doc)
                 .map_err(|e| format!("{name}: load {corpus}: {e}"))?;
             for (experiment, query_id, query) in corpus_queries(corpus) {
-                let report = match store.verify_plan(query.text) {
+                let report = match store.request(query.text).report() {
                     Ok(r) => r,
                     Err(e) => {
                         findings.push(Finding {

@@ -168,6 +168,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     }
 
     fn split_leaf(&mut self, idx: usize) -> (K, usize) {
+        xmlrel_obs::metrics::counter_inc("btree_splits_total");
         let (r_keys, r_postings, old_next) = {
             let Node::Leaf {
                 keys,
@@ -200,6 +201,7 @@ impl<K: Ord + Clone> BPlusTree<K> {
     }
 
     fn split_internal(&mut self, idx: usize) -> (K, usize) {
+        xmlrel_obs::metrics::counter_inc("btree_splits_total");
         let (sep, r_keys, r_children) = {
             let Node::Internal { keys, children } = &mut self.nodes[idx] else {
                 unreachable!("split_internal called on a non-internal node") // lint:allow(no-unreachable): callers split only the internal node they just inspected

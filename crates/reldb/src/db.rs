@@ -1,8 +1,12 @@
 //! The `Database` façade: parse → bind → optimize → plan → execute.
 
+use xmlrel_obs::{metrics, trace};
+
 use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
-use crate::exec::{build_executor_limited, run_to_vec_limited, ExecLimits};
+use crate::exec::{
+    build_executor_limited, run_profiled, run_to_vec_limited, ExecLimits, ExecProfile,
+};
 use crate::plan::expr::value_to_bool;
 use crate::plan::logical::{bind_expr, bind_select, LogicalPlan, OutputCol, Scope};
 use crate::plan::optimizer::{optimize_checked, OptimizerOptions};
@@ -195,6 +199,8 @@ impl Database {
     /// crash anywhere in between leaves a recoverable state (see the
     /// `snapshot` module docs). No-op for in-memory databases.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let _span = trace::span("checkpoint", "storage");
+        let started = std::time::Instant::now();
         let Some(d) = &mut self.durability else {
             return Ok(());
         };
@@ -222,6 +228,8 @@ impl Database {
         match res {
             Ok(()) => {
                 d.gen = next_gen;
+                metrics::counter_inc("snapshots_total");
+                metrics::observe_us("snapshot_duration_us", started.elapsed().as_micros() as u64);
                 Ok(())
             }
             Err(e) => {
@@ -243,9 +251,13 @@ impl Database {
         }
         // The in-memory mutation already happened; any failure from here
         // on (including an unencodable frame) leaves memory ahead of disk.
-        let res = encode_frame(d.gen, &records)
-            .and_then(|frame| d.backend.append(WAL_FILE, &frame))
-            .and_then(|()| d.backend.sync(WAL_FILE));
+        let res = encode_frame(d.gen, &records).and_then(|frame| {
+            metrics::counter_add("wal_bytes_total", frame.len() as u64);
+            metrics::counter_inc("wal_frames_total");
+            d.backend
+                .append(WAL_FILE, &frame)
+                .and_then(|()| d.backend.sync(WAL_FILE))
+        });
         if res.is_err() {
             d.poisoned = true;
         }
@@ -265,13 +277,21 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let stmt = parse_statement(sql)?;
+        let _span = trace::span("db.execute", "sql");
+        let stmt = {
+            let _parse = trace::span("sql.parse", "sql");
+            parse_statement(sql)?
+        };
         self.execute_stmt(&stmt)
     }
 
     /// Execute a semicolon-separated script, returning the last result.
     pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult> {
-        let stmts = parse_script(sql)?;
+        let _span = trace::span("db.execute_script", "sql");
+        let stmts = {
+            let _parse = trace::span("sql.parse", "sql");
+            parse_script(sql)?
+        };
         let mut last = ExecResult::Affected(0);
         for s in &stmts {
             last = self.execute_stmt(s)?;
@@ -281,6 +301,7 @@ impl Database {
 
     /// Execute a SELECT and return its rows (errors on non-SELECT).
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let _span = trace::span("db.query", "sql");
         match self.execute(sql)? {
             ExecResult::Rows(q) => Ok(q),
             ExecResult::Affected(_) => {
@@ -291,13 +312,40 @@ impl Database {
 
     /// Execute a SELECT without mutable access (reads only).
     pub fn query_readonly(&self, sql: &str) -> Result<QueryResult> {
+        let _span = trace::span("db.query_readonly", "sql");
         let (logical, physical) = self.plan_select(sql)?;
         let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
-        let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
+        let rows = {
+            let _exec = trace::span("execute", "sql");
+            run_to_vec_limited(&physical, &self.catalog, self.limits)?
+        };
         Ok(QueryResult {
             columns: names,
             rows,
         })
+    }
+
+    /// Execute a SELECT with per-operator profiling. Returns the rows and
+    /// the [`ExecProfile`] tree (estimated vs. actual cardinality, probes,
+    /// comparisons, buffer bytes, wall time per operator). When execution
+    /// fails — e.g. an [`ExecLimits`] trip — the error carries on, but the
+    /// profile of the partial run is what `EXPLAIN ANALYZE` renders.
+    pub fn query_profiled(&self, sql: &str) -> Result<(QueryResult, ExecProfile)> {
+        let _span = trace::span("db.query_profiled", "sql");
+        let (logical, physical) = self.plan_select(sql)?;
+        let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
+        let run = {
+            let _exec = trace::span("execute", "sql");
+            run_profiled(&physical, &self.catalog, self.limits)?
+        };
+        let rows = run.rows?;
+        Ok((
+            QueryResult {
+                columns: names,
+                rows,
+            },
+            run.profile,
+        ))
     }
 
     /// Plan a SELECT without executing it (benchmarking translation cost,
@@ -318,6 +366,7 @@ impl Database {
     /// [`optimize_checked`]) and validate the physical plan, so planner
     /// rewrites are proven invariant-preserving under the test suite.
     fn plan_bound_select(&self, sel: &SelectStmt) -> Result<(LogicalPlan, PhysicalPlan)> {
+        let _span = trace::span("plan", "sql");
         let bound = bind_select(&self.catalog, sel)?;
         ensure_valid_logical(&self.catalog, &bound)?;
         let logical = optimize_checked(bound, &self.optimizer, &self.catalog)?;
@@ -500,7 +549,10 @@ impl Database {
                     .into_iter()
                     .map(|c: OutputCol| c.name)
                     .collect();
-                let rows = run_to_vec_limited(&physical, &self.catalog, self.limits)?;
+                let rows = {
+                    let _exec = trace::span("execute", "sql");
+                    run_to_vec_limited(&physical, &self.catalog, self.limits)?
+                };
                 ExecResult::Rows(QueryResult {
                     columns: names,
                     rows,
@@ -589,12 +641,26 @@ impl Database {
                 }
                 ExecResult::Affected(updates.len())
             }
-            Statement::Explain(inner) => {
-                let Statement::Select(sel) = &**inner else {
+            Statement::Explain { analyze, stmt } => {
+                let Statement::Select(sel) = &**stmt else {
                     return Err(DbError::Unsupported("EXPLAIN supports SELECT only".into()));
                 };
                 let (_, physical) = self.plan_bound_select(sel)?;
-                let text = explain_physical(&physical);
+                let text = if *analyze {
+                    let run = {
+                        let _exec = trace::span("execute", "sql");
+                        run_profiled(&physical, &self.catalog, self.limits)?
+                    };
+                    // A failed execution (say, a limit trip) still renders
+                    // the partial profile — that is when it matters most.
+                    let mut t = run.profile.render(true);
+                    if let Err(e) = &run.rows {
+                        t.push_str(&format!("error: {e}\n"));
+                    }
+                    t
+                } else {
+                    explain_physical(&physical)
+                };
                 let rows = text.lines().map(|l| vec![Value::text(l)]).collect();
                 ExecResult::Rows(QueryResult {
                     columns: vec!["plan".into()],
@@ -637,6 +703,7 @@ impl Database {
         sql: &str,
         mut on_row: impl FnMut(Row) -> Result<()>,
     ) -> Result<usize> {
+        let _span = trace::span("db.query_streaming", "sql");
         let (_, physical) = self.plan_select(sql)?;
         let mut exec = build_executor_limited(&physical, &self.catalog, self.limits)?;
         let mut n = 0;
@@ -997,6 +1064,61 @@ mod tests {
         let q = db.query("EXPLAIN SELECT * FROM emp WHERE id = 1").unwrap();
         assert!(!q.rows.is_empty());
         assert_eq!(q.columns, vec!["plan"]);
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals() {
+        let mut db = db_with_data();
+        let q = db
+            .query("EXPLAIN ANALYZE SELECT name FROM emp WHERE salary > 95")
+            .unwrap();
+        let text: String = q.rows.iter().map(|r| r[0].to_string() + "\n").collect();
+        assert!(text.contains("est="), "{text}");
+        assert!(text.contains("act=2"), "{text}");
+        assert!(text.contains("q-error:"), "{text}");
+        assert!(text.contains("time="), "{text}");
+    }
+
+    #[test]
+    fn query_profiled_mirrors_plan_shape() {
+        let mut db = db_with_data();
+        db.execute("CREATE INDEX by_dept ON emp (dept)").unwrap();
+        let (q, profile) = db
+            .query_profiled("SELECT name FROM emp WHERE dept = 'eng'")
+            .unwrap();
+        assert_eq!(q.rows.len(), 2);
+        assert_eq!(profile.stats.rows_out, 2);
+        // The root consumes what its child produced.
+        let mut labels = Vec::new();
+        profile.visit(&mut |n| labels.push(n.label.clone()));
+        assert!(
+            labels.iter().any(|l| l.starts_with("IndexScan")),
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn limit_trip_names_operator_and_limit() {
+        let mut db = db_with_data();
+        db.limits.max_intermediate_rows = Some(2);
+        let err = db
+            .query("SELECT name FROM emp ORDER BY salary")
+            .unwrap_err();
+        let DbError::ResourceExhausted(msg) = err else {
+            panic!("expected ResourceExhausted");
+        };
+        assert!(msg.contains("Sort"), "{msg}");
+        assert!(msg.contains("max_intermediate_rows = 2"), "{msg}");
+        // Profiled runs record the trip in the operator's profile node.
+        let run = {
+            let (_, physical) = db
+                .plan_select("SELECT name FROM emp ORDER BY salary")
+                .unwrap();
+            run_profiled(&physical, &db.catalog, db.limits).unwrap()
+        };
+        assert!(run.rows.is_err());
+        let trip = run.profile.limit_trip().expect("trip recorded");
+        assert!(trip.contains("Sort"), "{trip}");
     }
 
     #[test]

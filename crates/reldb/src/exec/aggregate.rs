@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::{DbError, Result};
-use crate::exec::{admit_buffered, Executor};
+use crate::exec::{Executor, Meter};
 use crate::plan::expr::{AggFunc, ScalarExpr};
 use crate::value::{Row, Value};
 
@@ -107,17 +107,17 @@ pub struct HashAggregateExec<'a> {
     aggs: &'a [(AggFunc, Option<ScalarExpr>)],
     output: Vec<Row>,
     pos: usize,
-    cap: Option<usize>,
+    meter: Meter,
 }
 
 impl<'a> HashAggregateExec<'a> {
-    /// Create the operator. `cap` bounds the number of distinct groups
-    /// (`None` = unlimited).
+    /// Create the operator. `meter` carries the intermediate-row cap
+    /// bounding the number of distinct groups.
     pub fn new(
         input: Box<dyn Executor + 'a>,
         group_by: &'a [ScalarExpr],
         aggs: &'a [(AggFunc, Option<ScalarExpr>)],
-        cap: Option<usize>,
+        meter: Meter,
     ) -> HashAggregateExec<'a> {
         HashAggregateExec {
             input: Some(input),
@@ -125,7 +125,7 @@ impl<'a> HashAggregateExec<'a> {
             aggs,
             output: Vec::new(),
             pos: 0,
-            cap,
+            meter,
         }
     }
 
@@ -141,11 +141,13 @@ impl<'a> HashAggregateExec<'a> {
             for g in self.group_by {
                 key.push(g.eval(&row)?);
             }
+            self.meter.probe();
             let states = match groups.get_mut(&key) {
                 Some(s) => s,
                 None => {
+                    self.meter.buffered_row(&key);
                     order.push(key.clone());
-                    admit_buffered(self.cap, "HashAggregate groups", order.len())?;
+                    self.meter.admit("HashAggregate groups", order.len())?;
                     groups.entry(key.clone()).or_insert_with(|| {
                         self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect()
                     })

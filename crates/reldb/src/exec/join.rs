@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
-use crate::exec::{admit_buffered, Executor};
+use crate::exec::{Executor, Meter};
 use crate::plan::expr::{value_to_bool, ScalarExpr};
 use crate::sql::ast::JoinKind;
 use crate::value::{Row, Value};
@@ -20,14 +20,14 @@ pub struct HashJoinExec<'a> {
     right_arity: usize,
     table: HashMap<Vec<Value>, Vec<Row>>,
     buffered: usize,
-    cap: Option<usize>,
+    meter: Meter,
     /// Current probe row and its pending matches.
     probe: Option<(Row, Vec<Row>, usize, bool)>,
 }
 
 impl<'a> HashJoinExec<'a> {
-    /// Create a hash join executor. `cap` bounds the build-side buffer
-    /// (`None` = unlimited).
+    /// Create a hash join executor. `meter` carries the intermediate-row
+    /// cap bounding the build-side buffer and records runtime counters.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: Box<dyn Executor + 'a>,
@@ -37,7 +37,7 @@ impl<'a> HashJoinExec<'a> {
         right_keys: &'a [ScalarExpr],
         residual: Option<&'a ScalarExpr>,
         right_arity: usize,
-        cap: Option<usize>,
+        meter: Meter,
     ) -> HashJoinExec<'a> {
         HashJoinExec {
             left,
@@ -49,7 +49,7 @@ impl<'a> HashJoinExec<'a> {
             right_arity,
             table: HashMap::new(),
             buffered: 0,
-            cap,
+            meter,
             probe: None,
         }
     }
@@ -69,9 +69,10 @@ impl<'a> HashJoinExec<'a> {
             if has_null {
                 continue; // NULL keys never join.
             }
+            self.meter.buffered_row(&row);
             self.table.entry(key).or_default().push(row);
             self.buffered += 1;
-            admit_buffered(self.cap, "HashJoin build", self.buffered)?;
+            self.meter.admit("HashJoin build", self.buffered)?;
         }
         Ok(())
     }
@@ -90,6 +91,7 @@ impl Executor for HashJoinExec<'_> {
                     let mut joined = lrow.clone();
                     joined.extend(rrow.iter().cloned());
                     if let Some(res) = self.residual {
+                        self.meter.comparisons(1);
                         if value_to_bool(&res.eval(&joined)?) != Some(true) {
                             continue;
                         }
@@ -119,6 +121,7 @@ impl Executor for HashJoinExec<'_> {
                     let matches = if has_null {
                         Vec::new()
                     } else {
+                        self.meter.probe();
                         self.table.get(&key).cloned().unwrap_or_default()
                     };
                     self.probe = Some((lrow, matches, 0, false));
@@ -139,6 +142,7 @@ pub struct IndexNestedLoopJoinExec<'a> {
     residual: Option<&'a ScalarExpr>,
     kind: JoinKind,
     right_arity: usize,
+    meter: Meter,
     /// Current outer row with pending inner matches.
     probe: Option<(Row, Vec<usize>, usize, bool)>,
 }
@@ -155,6 +159,7 @@ impl<'a> IndexNestedLoopJoinExec<'a> {
         residual: Option<&'a ScalarExpr>,
         kind: JoinKind,
         right_arity: usize,
+        meter: Meter,
     ) -> IndexNestedLoopJoinExec<'a> {
         IndexNestedLoopJoinExec {
             left,
@@ -165,6 +170,7 @@ impl<'a> IndexNestedLoopJoinExec<'a> {
             residual,
             kind,
             right_arity,
+            meter,
             probe: None,
         }
     }
@@ -181,6 +187,7 @@ impl Executor for IndexNestedLoopJoinExec<'_> {
                         continue;
                     };
                     if let Some(f) = self.right_filter {
+                        self.meter.comparisons(1);
                         if value_to_bool(&f.eval(rrow)?) != Some(true) {
                             continue;
                         }
@@ -188,6 +195,7 @@ impl Executor for IndexNestedLoopJoinExec<'_> {
                     let mut joined = lrow.clone();
                     joined.extend(rrow.iter().cloned());
                     if let Some(res) = self.residual {
+                        self.meter.comparisons(1);
                         if value_to_bool(&res.eval(&joined)?) != Some(true) {
                             continue;
                         }
@@ -210,6 +218,7 @@ impl Executor for IndexNestedLoopJoinExec<'_> {
                     let rids = if key.is_null() {
                         Vec::new()
                     } else {
+                        self.meter.probe();
                         // Prefix lookup on the (possibly composite) index.
                         let lo = vec![key.clone()];
                         let hi = {
@@ -243,20 +252,20 @@ pub struct NestedLoopJoinExec<'a> {
     on: Option<&'a ScalarExpr>,
     right_arity: usize,
     right_rows: Vec<Row>,
-    cap: Option<usize>,
+    meter: Meter,
     probe: Option<(Row, usize, bool)>,
 }
 
 impl<'a> NestedLoopJoinExec<'a> {
-    /// Create a nested-loop join executor. `cap` bounds the materialized
-    /// inner side (`None` = unlimited).
+    /// Create a nested-loop join executor. `meter` carries the
+    /// intermediate-row cap bounding the materialized inner side.
     pub fn new(
         left: Box<dyn Executor + 'a>,
         right: Box<dyn Executor + 'a>,
         kind: JoinKind,
         on: Option<&'a ScalarExpr>,
         right_arity: usize,
-        cap: Option<usize>,
+        meter: Meter,
     ) -> NestedLoopJoinExec<'a> {
         NestedLoopJoinExec {
             left,
@@ -265,7 +274,7 @@ impl<'a> NestedLoopJoinExec<'a> {
             on,
             right_arity,
             right_rows: Vec::new(),
-            cap,
+            meter,
             probe: None,
         }
     }
@@ -275,8 +284,10 @@ impl Executor for NestedLoopJoinExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
+                self.meter.buffered_row(&r);
                 self.right_rows.push(r);
-                admit_buffered(self.cap, "NestedLoopJoin inner", self.right_rows.len())?;
+                self.meter
+                    .admit("NestedLoopJoin inner", self.right_rows.len())?;
             }
         }
         loop {
@@ -287,6 +298,7 @@ impl Executor for NestedLoopJoinExec<'_> {
                     let mut joined = lrow.clone();
                     joined.extend(rrow.iter().cloned());
                     if let Some(on) = self.on {
+                        self.meter.comparisons(1);
                         if value_to_bool(&on.eval(&joined)?) != Some(true) {
                             continue;
                         }
@@ -326,13 +338,13 @@ pub struct IntervalJoinExec<'a> {
     hi_strict: bool,
     residual: Option<&'a ScalarExpr>,
     sorted: Vec<Row>,
-    cap: Option<usize>,
+    meter: Meter,
     probe: Option<(Row, usize, Value)>,
 }
 
 impl<'a> IntervalJoinExec<'a> {
-    /// Create an interval join executor. `cap` bounds the sorted inner
-    /// side (`None` = unlimited).
+    /// Create an interval join executor. `meter` carries the
+    /// intermediate-row cap bounding the sorted inner side.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: Box<dyn Executor + 'a>,
@@ -343,7 +355,7 @@ impl<'a> IntervalJoinExec<'a> {
         lo_strict: bool,
         hi_strict: bool,
         residual: Option<&'a ScalarExpr>,
-        cap: Option<usize>,
+        meter: Meter,
     ) -> IntervalJoinExec<'a> {
         IntervalJoinExec {
             left,
@@ -355,7 +367,7 @@ impl<'a> IntervalJoinExec<'a> {
             hi_strict,
             residual,
             sorted: Vec::new(),
-            cap,
+            meter,
             probe: None,
         }
     }
@@ -365,17 +377,24 @@ impl Executor for IntervalJoinExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
+                self.meter.buffered_row(&r);
                 self.sorted.push(r);
-                admit_buffered(self.cap, "IntervalJoin inner", self.sorted.len())?;
+                self.meter.admit("IntervalJoin inner", self.sorted.len())?;
             }
             let key = self.right_key;
-            self.sorted.sort_by(|a, b| a[key].cmp(&b[key]));
+            let mut comparisons = 0u64;
+            self.sorted.sort_by(|a, b| {
+                comparisons += 1;
+                a[key].cmp(&b[key])
+            });
+            self.meter.comparisons(comparisons);
         }
         loop {
             if let Some((lrow, pos, hi)) = &mut self.probe {
                 while *pos < self.sorted.len() {
                     let rrow = &self.sorted[*pos];
                     let k = &rrow[self.right_key];
+                    self.meter.comparisons(1);
                     let above = if self.hi_strict { k >= hi } else { k > hi };
                     if above {
                         break;
@@ -384,6 +403,7 @@ impl Executor for IntervalJoinExec<'_> {
                     let mut joined = lrow.clone();
                     joined.extend(rrow.iter().cloned());
                     if let Some(res) = self.residual {
+                        self.meter.comparisons(1);
                         if value_to_bool(&res.eval(&joined)?) != Some(true) {
                             continue;
                         }
@@ -401,6 +421,7 @@ impl Executor for IntervalJoinExec<'_> {
                         continue;
                     }
                     // Binary search for the first right row in range.
+                    self.meter.probe();
                     let key = self.right_key;
                     let lo_strict = self.lo_strict;
                     let start = self.sorted.partition_point(|r| {

@@ -1,18 +1,28 @@
 //! Volcano-style executor: each operator is a pull iterator over rows.
+//!
+//! Execution can optionally be *profiled*: [`build_executor_profiled`]
+//! wraps every operator with a rows/wall-time shim and hands each one a
+//! [`Meter`] for operator-specific counters, producing an [`ExecProfile`]
+//! tree (estimated vs. actual cardinality per node) after the run.
 
 mod aggregate;
 mod join;
+mod profile;
 
 use std::ops::Bound;
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
+use crate::plan::cost::{report_physical, CostNode};
 use crate::plan::expr::{value_to_bool, ScalarExpr};
 use crate::plan::physical::PhysicalPlan;
 use crate::value::{Row, Value};
 
 pub use aggregate::HashAggregateExec;
 pub use join::{HashJoinExec, IndexNestedLoopJoinExec, IntervalJoinExec, NestedLoopJoinExec};
+pub use profile::{row_data_bytes, ExecProfile, Meter, OpStats, ProfileHandle, ProfileRollup};
+
+use profile::ProfiledExec;
 
 /// A pull-based operator.
 pub trait Executor {
@@ -33,17 +43,6 @@ pub struct ExecLimits {
     pub max_intermediate_rows: Option<usize>,
 }
 
-/// Fail with [`DbError::ResourceExhausted`] once an operator's buffer
-/// exceeds `cap`.
-pub(crate) fn admit_buffered(cap: Option<usize>, op: &str, len: usize) -> Result<()> {
-    match cap {
-        Some(max) if len > max => Err(DbError::ResourceExhausted(format!(
-            "{op} buffered {len} rows, exceeding max_intermediate_rows = {max}"
-        ))),
-        _ => Ok(()),
-    }
-}
-
 /// Build an executor tree for a physical plan over a catalog, with no
 /// resource limits.
 pub fn build_executor<'a>(
@@ -59,189 +58,263 @@ pub fn build_executor_limited<'a>(
     catalog: &'a Catalog,
     limits: ExecLimits,
 ) -> Result<Box<dyn Executor + 'a>> {
-    let build = |p: &'a PhysicalPlan| build_executor_limited(p, catalog, limits);
-    let cap = limits.max_intermediate_rows;
-    Ok(match plan {
-        PhysicalPlan::SeqScan { table } => {
-            let t = catalog.table(table)?;
-            Box::new(SeqScanExec {
-                iter: Box::new(t.scan().map(|(_, r)| r)),
-            })
-        }
-        PhysicalPlan::IndexScan {
-            table,
-            index,
-            lower,
-            upper,
-            residual,
-        } => {
-            let t = catalog.table(table)?;
-            let idx = t
-                .indexes
-                .iter()
-                .find(|i| i.name == *index)
-                .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
-            // The tree keys are composite; bound on the leading column only.
-            let to_key = |b: &Bound<Value>, lower_side: bool| -> Bound<Vec<Value>> {
-                match b {
-                    Bound::Unbounded => Bound::Unbounded,
-                    Bound::Included(v) => {
-                        if lower_side {
-                            Bound::Included(vec![v.clone()])
-                        } else {
-                            // Inclusive upper on a composite prefix: extend
-                            // with a maximal sentinel so all suffixes match.
-                            Bound::Included(max_key_after(v.clone(), idx.columns.len()))
-                        }
-                    }
-                    Bound::Excluded(v) => {
-                        if lower_side {
-                            Bound::Excluded(max_key_after(v.clone(), idx.columns.len()))
-                        } else {
-                            Bound::Excluded(vec![v.clone()])
-                        }
-                    }
-                }
-            };
-            let lo = to_key(lower, true);
-            let hi = to_key(upper, false);
-            let mut rids = Vec::new();
-            for (_, postings) in idx.tree.range(bound_ref(&lo), bound_ref(&hi)) {
-                rids.extend_from_slice(postings);
+    Ok(build_node(plan, catalog, limits, None)?.0)
+}
+
+/// Build a *profiled* executor tree: every operator is wrapped with a
+/// rows/wall-time recorder and metered for probes, comparisons, and buffer
+/// bytes. The returned [`ProfileHandle`] snapshots into an
+/// [`ExecProfile`] once (or while) the executor runs; its estimates come
+/// from the same cost model as `EXPLAIN`.
+pub fn build_executor_profiled<'a>(
+    plan: &'a PhysicalPlan,
+    catalog: &'a Catalog,
+    limits: ExecLimits,
+) -> Result<(Box<dyn Executor + 'a>, ProfileHandle)> {
+    let report = report_physical(catalog, plan);
+    let (exec, handle) = build_node(plan, catalog, limits, Some(&report.root))?;
+    let handle = handle
+        .ok_or_else(|| DbError::Runtime("profiled build produced no profile handle".into()))?;
+    Ok((exec, handle))
+}
+
+/// Recursive builder shared by the plain and profiled paths. When `cost`
+/// is present the node is profiled, using the cost node's label and
+/// estimated cardinality (the cost tree mirrors the plan tree exactly).
+fn build_node<'a>(
+    plan: &'a PhysicalPlan,
+    catalog: &'a Catalog,
+    limits: ExecLimits,
+    cost: Option<&CostNode>,
+) -> Result<(Box<dyn Executor + 'a>, Option<ProfileHandle>)> {
+    let meter = Meter::new(limits.max_intermediate_rows, cost.is_some());
+    let mut kids: Vec<ProfileHandle> = Vec::new();
+    let mut next_child = 0usize;
+    let exec: Box<dyn Executor + 'a> = {
+        let kids = &mut kids;
+        let next_child = &mut next_child;
+        let mut build = move |p: &'a PhysicalPlan| -> Result<Box<dyn Executor + 'a>> {
+            let child_cost = cost.and_then(|c| c.children.get(*next_child));
+            *next_child += 1;
+            let (e, h) = build_node(p, catalog, limits, child_cost)?;
+            if let Some(h) = h {
+                kids.push(h);
             }
-            Box::new(IndexScanExec {
-                table: t,
-                rids,
-                pos: 0,
-                residual: residual.as_ref(),
-            })
-        }
-        PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec {
-            input: build(input)?,
-            predicate,
-        }),
-        PhysicalPlan::Project { input, exprs } => Box::new(ProjectExec {
-            input: build(input)?,
-            exprs,
-        }),
-        PhysicalPlan::HashJoin {
-            left,
-            right,
-            kind,
-            left_keys,
-            right_keys,
-            residual,
-            right_arity,
-        } => Box::new(HashJoinExec::new(
-            build(left)?,
-            build(right)?,
-            *kind,
-            left_keys,
-            right_keys,
-            residual.as_ref(),
-            *right_arity,
-            cap,
-        )),
-        PhysicalPlan::IndexNestedLoopJoin {
-            left,
-            table,
-            index,
-            left_key,
-            right_filter,
-            residual,
-            kind,
-            right_arity,
-        } => {
-            let t = catalog.table(table)?;
-            let idx = t
-                .indexes
-                .iter()
-                .find(|i| i.name == *index)
-                .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
-            Box::new(IndexNestedLoopJoinExec::new(
+            Ok(e)
+        };
+        match plan {
+            PhysicalPlan::SeqScan { table } => {
+                let t = catalog.table(table)?;
+                Box::new(SeqScanExec {
+                    iter: Box::new(t.scan().map(|(_, r)| r)),
+                })
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                index,
+                lower,
+                upper,
+                residual,
+            } => {
+                let t = catalog.table(table)?;
+                let idx = t
+                    .indexes
+                    .iter()
+                    .find(|i| i.name == *index)
+                    .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
+                // The tree keys are composite; bound on the leading column only.
+                let to_key = |b: &Bound<Value>, lower_side: bool| -> Bound<Vec<Value>> {
+                    match b {
+                        Bound::Unbounded => Bound::Unbounded,
+                        Bound::Included(v) => {
+                            if lower_side {
+                                Bound::Included(vec![v.clone()])
+                            } else {
+                                // Inclusive upper on a composite prefix: extend
+                                // with a maximal sentinel so all suffixes match.
+                                Bound::Included(max_key_after(v.clone(), idx.columns.len()))
+                            }
+                        }
+                        Bound::Excluded(v) => {
+                            if lower_side {
+                                Bound::Excluded(max_key_after(v.clone(), idx.columns.len()))
+                            } else {
+                                Bound::Excluded(vec![v.clone()])
+                            }
+                        }
+                    }
+                };
+                let lo = to_key(lower, true);
+                let hi = to_key(upper, false);
+                let mut rids = Vec::new();
+                meter.probe();
+                for (_, postings) in idx.tree.range(bound_ref(&lo), bound_ref(&hi)) {
+                    rids.extend_from_slice(postings);
+                }
+                meter.buffered_bytes(rids.len() as u64 * 8);
+                Box::new(IndexScanExec {
+                    table: t,
+                    rids,
+                    pos: 0,
+                    residual: residual.as_ref(),
+                    meter: meter.clone(),
+                })
+            }
+            PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec {
+                input: build(input)?,
+                predicate,
+                meter: meter.clone(),
+            }),
+            PhysicalPlan::Project { input, exprs } => Box::new(ProjectExec {
+                input: build(input)?,
+                exprs,
+            }),
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                right_arity,
+            } => Box::new(HashJoinExec::new(
                 build(left)?,
-                t,
-                idx,
-                left_key,
-                right_filter.as_ref(),
-                residual.as_ref(),
+                build(right)?,
                 *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
                 *right_arity,
+                meter.clone(),
+            )),
+            PhysicalPlan::IndexNestedLoopJoin {
+                left,
+                table,
+                index,
+                left_key,
+                right_filter,
+                residual,
+                kind,
+                right_arity,
+            } => {
+                let t = catalog.table(table)?;
+                let idx = t
+                    .indexes
+                    .iter()
+                    .find(|i| i.name == *index)
+                    .ok_or_else(|| DbError::Binding(format!("no index {index:?}")))?;
+                Box::new(IndexNestedLoopJoinExec::new(
+                    build(left)?,
+                    t,
+                    idx,
+                    left_key,
+                    right_filter.as_ref(),
+                    residual.as_ref(),
+                    *kind,
+                    *right_arity,
+                    meter.clone(),
+                ))
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                kind,
+                on,
+                right_arity,
+            } => Box::new(NestedLoopJoinExec::new(
+                build(left)?,
+                build(right)?,
+                *kind,
+                on.as_ref(),
+                *right_arity,
+                meter.clone(),
+            )),
+            PhysicalPlan::IntervalJoin {
+                left,
+                right,
+                right_key,
+                lo,
+                hi,
+                lo_strict,
+                hi_strict,
+                residual,
+            } => Box::new(IntervalJoinExec::new(
+                build(left)?,
+                build(right)?,
+                *right_key,
+                lo,
+                hi,
+                *lo_strict,
+                *hi_strict,
+                residual.as_ref(),
+                meter.clone(),
+            )),
+            PhysicalPlan::Sort { input, keys } => Box::new(SortExec {
+                input: Some(build(input)?),
+                keys,
+                sorted: Vec::new(),
+                pos: 0,
+                meter: meter.clone(),
+            }),
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => Box::new(HashAggregateExec::new(
+                build(input)?,
+                group_by,
+                aggs,
+                meter.clone(),
+            )),
+            PhysicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => Box::new(LimitExec {
+                input: build(input)?,
+                remaining: limit.map(|l| l as usize),
+                to_skip: *offset as usize,
+            }),
+            PhysicalPlan::Distinct { input } => Box::new(DistinctExec {
+                input: build(input)?,
+                seen: std::collections::HashSet::new(),
+                meter: meter.clone(),
+            }),
+            PhysicalPlan::UnionAll { inputs } => {
+                let mut execs = Vec::new();
+                for i in inputs {
+                    execs.push(build(i)?);
+                }
+                execs.reverse();
+                Box::new(UnionAllExec {
+                    pending: execs,
+                    current: None,
+                })
+            }
+            PhysicalPlan::Values { rows } => Box::new(ValuesExec { rows, pos: 0 }),
+        }
+    };
+    match cost {
+        None => Ok((exec, None)),
+        Some(c) => {
+            let cell = meter
+                .cell()
+                .ok_or_else(|| DbError::Runtime("profiled meter has no cell".into()))?;
+            let exec: Box<dyn Executor + 'a> = Box::new(ProfiledExec {
+                inner: exec,
+                cell: cell.clone(),
+            });
+            Ok((
+                exec,
+                Some(ProfileHandle {
+                    label: c.label.clone(),
+                    est_rows: c.cost.rows,
+                    cell,
+                    children: kids,
+                }),
             ))
         }
-        PhysicalPlan::NestedLoopJoin {
-            left,
-            right,
-            kind,
-            on,
-            right_arity,
-        } => Box::new(NestedLoopJoinExec::new(
-            build(left)?,
-            build(right)?,
-            *kind,
-            on.as_ref(),
-            *right_arity,
-            cap,
-        )),
-        PhysicalPlan::IntervalJoin {
-            left,
-            right,
-            right_key,
-            lo,
-            hi,
-            lo_strict,
-            hi_strict,
-            residual,
-        } => Box::new(IntervalJoinExec::new(
-            build(left)?,
-            build(right)?,
-            *right_key,
-            lo,
-            hi,
-            *lo_strict,
-            *hi_strict,
-            residual.as_ref(),
-            cap,
-        )),
-        PhysicalPlan::Sort { input, keys } => Box::new(SortExec {
-            input: Some(build(input)?),
-            keys,
-            sorted: Vec::new(),
-            pos: 0,
-            cap,
-        }),
-        PhysicalPlan::HashAggregate {
-            input,
-            group_by,
-            aggs,
-        } => Box::new(HashAggregateExec::new(build(input)?, group_by, aggs, cap)),
-        PhysicalPlan::Limit {
-            input,
-            limit,
-            offset,
-        } => Box::new(LimitExec {
-            input: build(input)?,
-            remaining: limit.map(|l| l as usize),
-            to_skip: *offset as usize,
-        }),
-        PhysicalPlan::Distinct { input } => Box::new(DistinctExec {
-            input: build(input)?,
-            seen: std::collections::HashSet::new(),
-            cap,
-        }),
-        PhysicalPlan::UnionAll { inputs } => {
-            let mut execs = Vec::new();
-            for i in inputs {
-                execs.push(build(i)?);
-            }
-            execs.reverse();
-            Box::new(UnionAllExec {
-                pending: execs,
-                current: None,
-            })
-        }
-        PhysicalPlan::Values { rows } => Box::new(ValuesExec { rows, pos: 0 }),
-    })
+    }
 }
 
 fn bound_ref(b: &Bound<Vec<Value>>) -> Bound<&Vec<Value>> {
@@ -267,6 +340,19 @@ pub fn run_to_vec(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Vec<Row>> {
     run_to_vec_limited(plan, catalog, ExecLimits::default())
 }
 
+/// Fail the result materialization once it exceeds `max_rows`.
+fn admit_result(limits: ExecLimits, len: usize) -> Result<()> {
+    match limits.max_rows {
+        Some(max) if len > max => {
+            xmlrel_obs::metrics::counter_inc("exec_limit_trips_total");
+            Err(DbError::ResourceExhausted(format!(
+                "result materialization produced {len} rows, exceeding max_rows = {max}"
+            )))
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Run a plan to completion enforcing `limits`; the materialized result
 /// itself is capped by `limits.max_rows`.
 pub fn run_to_vec_limited(
@@ -278,15 +364,50 @@ pub fn run_to_vec_limited(
     let mut out = Vec::new();
     while let Some(row) = exec.next()? {
         out.push(row);
-        if let Some(max) = limits.max_rows {
-            if out.len() > max {
-                return Err(DbError::ResourceExhausted(format!(
-                    "query produced more than max_rows = {max} rows"
-                )));
-            }
-        }
+        admit_result(limits, out.len())?;
     }
     Ok(out)
+}
+
+/// The outcome of a profiled run: the rows (or the error that stopped
+/// them) plus the [`ExecProfile`] of whatever work was done. The profile
+/// survives failures deliberately — a limit trip is exactly when you want
+/// to see which operator was doing what.
+pub struct ProfiledRun {
+    /// Materialized rows, or the execution error.
+    pub rows: Result<Vec<Row>>,
+    /// Runtime profile of the (possibly partial) execution.
+    pub profile: ExecProfile,
+}
+
+/// Run a plan to completion with profiling enabled. The outer `Result`
+/// fails only when the executor cannot be *built* (e.g. a missing index);
+/// execution errors are reported inside [`ProfiledRun::rows`] so the
+/// profile is still available.
+pub fn run_profiled(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    limits: ExecLimits,
+) -> Result<ProfiledRun> {
+    let (mut exec, handle) = build_executor_profiled(plan, catalog, limits)?;
+    let mut out = Vec::new();
+    let rows = loop {
+        match exec.next() {
+            Err(e) => break Err(e),
+            Ok(None) => break Ok(std::mem::take(&mut out)),
+            Ok(Some(row)) => {
+                out.push(row);
+                if let Err(e) = admit_result(limits, out.len()) {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    drop(exec);
+    Ok(ProfiledRun {
+        rows,
+        profile: handle.snapshot(),
+    })
 }
 
 // ---- leaf and unary operators --------------------------------------------
@@ -306,6 +427,7 @@ struct IndexScanExec<'a> {
     rids: Vec<usize>,
     pos: usize,
     residual: Option<&'a ScalarExpr>,
+    meter: Meter,
 }
 
 impl Executor for IndexScanExec<'_> {
@@ -317,6 +439,7 @@ impl Executor for IndexScanExec<'_> {
                 continue;
             };
             if let Some(res) = self.residual {
+                self.meter.comparisons(1);
                 if value_to_bool(&res.eval(row)?) != Some(true) {
                     continue;
                 }
@@ -330,11 +453,13 @@ impl Executor for IndexScanExec<'_> {
 struct FilterExec<'a> {
     input: Box<dyn Executor + 'a>,
     predicate: &'a ScalarExpr,
+    meter: Meter,
 }
 
 impl Executor for FilterExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
+            self.meter.comparisons(1);
             if value_to_bool(&self.predicate.eval(&row)?) == Some(true) {
                 return Ok(Some(row));
             }
@@ -368,7 +493,7 @@ struct SortExec<'a> {
     keys: &'a [(ScalarExpr, bool)],
     sorted: Vec<Row>,
     pos: usize,
-    cap: Option<usize>,
+    meter: Meter,
 }
 
 impl Executor for SortExec<'_> {
@@ -380,11 +505,14 @@ impl Executor for SortExec<'_> {
                 for (e, _) in self.keys {
                     key.push(e.eval(&row)?);
                 }
+                self.meter.buffered_row(&row);
                 rows.push((key, row));
-                admit_buffered(self.cap, "Sort", rows.len())?;
+                self.meter.admit("Sort", rows.len())?;
             }
             let keys = self.keys;
+            let mut comparisons = 0u64;
             rows.sort_by(|(ka, _), (kb, _)| {
+                comparisons += 1;
                 for (i, (_, asc)) in keys.iter().enumerate() {
                     let ord = ka[i].cmp(&kb[i]);
                     let ord = if *asc { ord } else { ord.reverse() };
@@ -394,6 +522,7 @@ impl Executor for SortExec<'_> {
                 }
                 std::cmp::Ordering::Equal
             });
+            self.meter.comparisons(comparisons);
             self.sorted = rows.into_iter().map(|(_, r)| r).collect();
         }
         if self.pos < self.sorted.len() {
@@ -433,14 +562,16 @@ impl Executor for LimitExec<'_> {
 struct DistinctExec<'a> {
     input: Box<dyn Executor + 'a>,
     seen: std::collections::HashSet<Row>,
-    cap: Option<usize>,
+    meter: Meter,
 }
 
 impl Executor for DistinctExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
+            self.meter.probe();
             if self.seen.insert(row.clone()) {
-                admit_buffered(self.cap, "Distinct", self.seen.len())?;
+                self.meter.buffered_row(&row);
+                self.meter.admit("Distinct", self.seen.len())?;
                 return Ok(Some(row));
             }
         }

@@ -46,7 +46,7 @@ pub mod wal;
 
 pub use db::{Database, ExecResult, QueryResult};
 pub use error::{DbError, Result};
-pub use exec::ExecLimits;
+pub use exec::{ExecLimits, ExecProfile, OpStats, ProfileRollup};
 pub use schema::{Column, Schema};
 pub use storage::{FaultBackend, FaultPlan, FileBackend, MemBackend, SharedFiles, StorageBackend};
 pub use value::{row_int, row_text, row_val, DataType, Row, Value};

@@ -59,8 +59,15 @@ pub enum Statement {
         /// Row filter.
         predicate: Option<Expr>,
     },
-    /// `EXPLAIN <select>` — returns the physical plan as text rows.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>` — returns the physical plan as text
+    /// rows; with ANALYZE the query also runs and each operator reports
+    /// estimated vs. actual rows plus its runtime counters.
+    Explain {
+        /// True for `EXPLAIN ANALYZE`: execute and report actuals.
+        analyze: bool,
+        /// The explained statement (must be a SELECT).
+        stmt: Box<Statement>,
+    },
 }
 
 /// Column definition in CREATE TABLE.

@@ -120,7 +120,11 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
-            return Ok(Statement::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("analyze");
+            return Ok(Statement::Explain {
+                analyze,
+                stmt: Box::new(self.statement()?),
+            });
         }
         if self.peek_kw("select") {
             return Ok(Statement::Select(Box::new(self.select()?)));
@@ -857,7 +861,9 @@ mod tests {
     #[test]
     fn explain_wraps() {
         let s = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
-        assert!(matches!(s, Statement::Explain(_)));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        let s = parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]

@@ -21,10 +21,9 @@ fn write(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     db.checkpoint()?; // row 1 lives in the snapshot
     db.execute("INSERT INTO t VALUES (2, 'b')")?; // row 2 lives in the WAL
 
-    let mut store = XmlStore::open(
-        Scheme::Interval(IntervalScheme::new()),
-        format!("{dir}/docs"),
-    )?;
+    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .path(format!("{dir}/docs"))
+        .open()?;
     store.load_str("bib", BIB)?;
     store.persist()?;
 
@@ -37,10 +36,9 @@ fn read(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     let q = db.query("SELECT id, v FROM t ORDER BY id")?;
     println!("recovered {} rows: {:?}", q.rows.len(), q.rows);
 
-    let store = XmlStore::open(
-        Scheme::Interval(IntervalScheme::new()),
-        format!("{dir}/docs"),
-    )?;
+    let store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .path(format!("{dir}/docs"))
+        .open()?;
     println!("recovered document: {}", store.reconstruct("bib")?);
     Ok(())
 }

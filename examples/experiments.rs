@@ -65,7 +65,7 @@ fn auction_stores(scale: f64) -> Result<Vec<XmlStore>, Box<dyn std::error::Error
     let doc = generate(&AuctionConfig::at_scale(scale));
     let mut stores = Vec::new();
     for scheme in all_schemes(AUCTION_DTD)? {
-        let mut store = XmlStore::new(scheme)?;
+        let mut store = XmlStore::builder(scheme).open()?;
         store.load_document("auction", &doc)?;
         stores.push(store);
     }
@@ -110,7 +110,7 @@ fn e2_shred_throughput() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:<10} {:>10} {:>12}", "scheme", "load ms", "MB/s");
     for scheme in all_schemes(AUCTION_DTD)? {
-        let mut store = XmlStore::new(scheme)?;
+        let mut store = XmlStore::builder(scheme).open()?;
         let t0 = Instant::now();
         store.load_str("auction", &xml)?;
         let dt = t0.elapsed();
@@ -126,11 +126,11 @@ fn e2_shred_throughput() -> Result<(), Box<dyn std::error::Error>> {
 
 fn time_query(store: &mut XmlStore, q: &str) -> Result<(usize, f64), xmlrel::CoreError> {
     // Warm once, then measure the median of 3.
-    let n = store.query_count(q)?;
+    let n = store.request(q).count()?;
     let mut times = Vec::new();
     for _ in 0..3 {
         let t0 = Instant::now();
-        store.query_count(q)?;
+        store.request(q).count()?;
         times.push(ms(t0.elapsed()));
     }
     times.sort_by(f64::total_cmp);
@@ -215,7 +215,7 @@ fn e5_value_index() -> Result<(), Box<dyn std::error::Error>> {
         let scheme = IntervalScheme {
             with_value_index: with_index,
         };
-        let mut store = XmlStore::new(Scheme::Interval(scheme))?;
+        let mut store = XmlStore::builder(Scheme::Interval(scheme)).open()?;
         store.load_document("auction", &doc)?;
         let tag = if with_index { "indexed" } else { "no index" };
         let (n, t) = time_query(&mut store, point).map_err(|e| e.to_string())?;
@@ -242,7 +242,7 @@ fn e6_join_count() -> Result<(), Box<dyn std::error::Error>> {
     let doc = gen_dblp(&DblpConfig::default());
     let mut stores = Vec::new();
     for scheme in all_schemes(DBLP_DTD)? {
-        let mut store = XmlStore::new(scheme)?;
+        let mut store = XmlStore::builder(scheme).open()?;
         store.load_document("dblp", &doc)?;
         stores.push(store);
     }
@@ -292,21 +292,19 @@ fn e8_updates() -> Result<(), Box<dyn std::error::Error>> {
             "<person id=\"newp\"><name>New Person</name><emailaddress>x@y</emailaddress></person>",
         )?;
 
-        let mut istore = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+        let mut istore = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
         let (idoc, _) = istore.load_document("a", &doc)?;
         // Insert under /site/people: find its pre.
-        let t = istore.translate("/site/people")?;
-        let rows = istore.run_rows(&t)?;
+        let rows = istore.request("/site/people").rows()?;
         let people_pre = rows[0][1].as_int().unwrap();
         let t0 = Instant::now();
         let istats =
             xmlrel_core::update::interval_insert_child(&mut istore.db, idoc, people_pre, &frag)?;
         let it = ms(t0.elapsed());
 
-        let mut dstore = XmlStore::new(Scheme::Dewey(DeweyScheme::new()))?;
+        let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new())).open()?;
         let (ddoc, _) = dstore.load_document("a", &doc)?;
-        let t = dstore.translate("/site/people")?;
-        let rows = dstore.run_rows(&t)?;
+        let rows = dstore.request("/site/people").rows()?;
         let people_key = rows[0][1].as_text().unwrap().to_string();
         let t0 = Instant::now();
         let dstats =
@@ -359,7 +357,7 @@ fn e10_translate_cost() -> Result<(), Box<dyn std::error::Error>> {
             let t0 = Instant::now();
             let mut ok = true;
             for _ in 0..50 {
-                if store.translate(q.text).is_err() {
+                if store.request(q.text).translated().is_err() {
                     ok = false;
                     break;
                 }
@@ -381,7 +379,7 @@ fn e11_structural_join() -> Result<(), Box<dyn std::error::Error>> {
     let doc = generate(&AuctionConfig::at_scale(0.5));
     println!("{:<24} {:>10}", "configuration", "ms");
     for use_interval_join in [true, false] {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
         store.db.physical.use_interval_join = use_interval_join;
         store.load_document("auction", &doc)?;
         let (_, t) =
@@ -426,7 +424,7 @@ fn e13_optimizer_ablation() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
     for (name, tweak) in configs {
-        let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+        let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
         tweak(&mut store);
         store.load_document("auction", &doc)?;
         let (_, t) = time_query(&mut store, q).map_err(|e| e.to_string())?;
@@ -457,7 +455,7 @@ fn e12_recursion() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut stores = Vec::new();
     for scheme in all_schemes(DEEP_DTD)? {
-        let mut store = XmlStore::new(scheme)?;
+        let mut store = XmlStore::builder(scheme).open()?;
         store.load_document("deep", &doc)?;
         stores.push(store);
     }

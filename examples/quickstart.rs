@@ -10,7 +10,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a mapping scheme. The interval (pre/size/level) encoding is
     //    the best general-purpose choice: native descendant axis, document
     //    order for free.
-    let mut store = XmlStore::new(Scheme::Interval(xmlrel::shredder::IntervalScheme::new()))?;
+    let mut store =
+        XmlStore::builder(Scheme::Interval(xmlrel::shredder::IntervalScheme::new())).open()?;
 
     // 2. Shred a document into relational tables.
     let bib = r#"<bib>
@@ -33,24 +34,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Query with XPath. The store translates to SQL, runs it on the
     //    embedded engine, and publishes results as XML / values.
-    let titles = store.query("/bib/book[@year > 1995]/title/text()")?;
+    let titles = store
+        .request("/bib/book[@year > 1995]/title/text()")
+        .run()?;
     println!("\nrecent titles: {:?}", titles.items);
 
-    let authors = store.query("//author")?;
+    let authors = store.request("//author").run()?;
     println!("\nauthors as fragments:");
     for a in &authors.items {
         println!("  {a}");
     }
 
     // 4. FLWOR works too.
-    let flwor = store.query(
-        "for $b in /bib/book where $b/price < 50 \
+    let flwor = store
+        .request(
+            "for $b in /bib/book where $b/price < 50 \
          order by $b/title return <cheap>{$b/title/text()}</cheap>",
-    )?;
+        )
+        .run()?;
     println!("\ncheap books: {:?}", flwor.items);
 
     // 5. Inspect the SQL the translator generated.
-    let t = store.translate("/bib/book[@year > 1995]/title/text()")?;
+    let t = store
+        .request("/bib/book[@year > 1995]/title/text()")
+        .translated()?;
     println!("\ngenerated SQL:\n  {}", t.sql);
 
     // 6. Round-trip: the stored relations reproduce the document exactly.

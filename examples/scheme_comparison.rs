@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut stores: Vec<XmlStore> = Vec::new();
     for scheme in all_schemes(AUCTION_DTD)? {
-        let mut store = XmlStore::new(scheme)?;
+        let mut store = XmlStore::builder(scheme).open()?;
         store.load_document("auction", &doc)?;
         stores.push(store);
     }
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for q in AUCTION_QUERIES {
         let mut counts = Vec::new();
         for store in &mut stores {
-            match store.query_count(q.text) {
+            match store.request(q.text).count() {
                 Ok(n) => counts.push((store.scheme().name(), n)),
                 Err(_) => counts.push((store.scheme().name(), usize::MAX)),
             }

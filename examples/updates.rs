@@ -20,17 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // ---- interval scheme ---------------------------------------------------
-    let mut ivl = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+    let mut ivl = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
     let (doc_id, _) = ivl.load_document("auction", &doc)?;
 
     // Find /site/people's pre number via a translated query.
-    let t = ivl.translate("/site/people")?;
-    let rows = ivl.run_rows(&t)?;
+    let rows = ivl.request("/site/people").rows()?;
     let people_pre = rows[0][1].as_int().expect("pre");
 
-    let before = ivl.query_count("/site/people/person")?;
+    let before = ivl.request("/site/people/person").count()?;
     let stats = interval_insert_child(&mut ivl.db, doc_id, people_pre, &fragment)?;
-    let after = ivl.query_count("/site/people/person")?;
+    let after = ivl.request("/site/people/person").count()?;
     println!("interval insert:");
     println!("  persons {before} -> {after}");
     println!(
@@ -39,26 +38,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The new person is queryable immediately.
-    let hit = ivl.query("/site/people/person[@id = 'late-arrival']/name/text()")?;
+    let hit = ivl
+        .request("/site/people/person[@id = 'late-arrival']/name/text()")
+        .run()?;
     println!("  lookup: {:?}", hit.items);
 
     // And deletable; the document stays consistent.
-    let t = ivl.translate("/site/people/person[@id = 'late-arrival']")?;
-    let rows = ivl.run_rows(&t)?;
+    let rows = ivl
+        .request("/site/people/person[@id = 'late-arrival']")
+        .rows()?;
     let victim_pre = rows[0][1].as_int().expect("pre");
     let dstats = interval_delete_subtree(&mut ivl.db, doc_id, victim_pre)?;
     println!(
         "  delete: {} rows removed, {} renumbered; persons back to {}",
         dstats.rows_deleted,
         dstats.rows_renumbered,
-        ivl.query_count("/site/people/person")?
+        ivl.request("/site/people/person").count()?
     );
 
     // ---- dewey scheme --------------------------------------------------------
-    let mut dwy = XmlStore::new(Scheme::Dewey(DeweyScheme::new()))?;
+    let mut dwy = XmlStore::builder(Scheme::Dewey(DeweyScheme::new())).open()?;
     let (doc_id, _) = dwy.load_document("auction", &doc)?;
-    let t = dwy.translate("/site/people")?;
-    let rows = dwy.run_rows(&t)?;
+    let rows = dwy.request("/site/people").rows()?;
     let people_key = rows[0][1].as_text().expect("key").to_string();
 
     let stats = dewey_insert_child(&mut dwy.db, doc_id, &people_key, &fragment)?;
@@ -67,11 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  rows inserted: {}, pre-existing rows renumbered: {}  <- locality",
         stats.rows_inserted, stats.rows_renumbered
     );
-    let hit = dwy.query("/site/people/person[@id = 'late-arrival']/name/text()")?;
+    let hit = dwy
+        .request("/site/people/person[@id = 'late-arrival']/name/text()")
+        .run()?;
     println!("  lookup: {:?}", hit.items);
 
-    let t = dwy.translate("/site/people/person[@id = 'late-arrival']")?;
-    let rows = dwy.run_rows(&t)?;
+    let rows = dwy
+        .request("/site/people/person[@id = 'late-arrival']")
+        .rows()?;
     let victim_key = rows[0][1].as_text().expect("key").to_string();
     let dstats = dewey_delete_subtree(&mut dwy.db, doc_id, &victim_key)?;
     println!(

@@ -10,7 +10,7 @@ use xmlrel::xmlgen::auction::{generate_xml, AuctionConfig};
 use xmlrel::{Scheme, XmlStore};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new()))?;
+    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
     let xml = generate_xml(&AuctionConfig::at_scale(0.1));
     store.load_str("auction", &xml)?;
 
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              where $p/profile/age > 60 \
              order by $p/name \
              return $p/name/text()";
-    for item in store.query(q)?.items.iter().take(8) {
+    for item in store.request(q).run()?.items.iter().take(8) {
         println!("  {item}");
     }
 
@@ -31,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  $p in /site/people/person \
              where $a/seller/@person = $p/@id and $p/profile/age > 50 \
              return <sale>{$p/name/text()}</sale>";
-    let sales = store.query(q)?;
+    let sales = store.request(q).run()?;
     println!("  {} sales; first: {:?}", sales.len(), sales.items.first());
 
     // Existential predicate + contains().
     println!("\n-- items whose description mentions 'gold' --");
     let q = "/site/regions/region/item[contains(description, 'gold')]/name/text()";
-    let items = store.query(q)?;
+    let items = store.request(q).run()?;
     println!("  {} items", items.len());
     for item in items.items.iter().take(5) {
         println!("  {item}");
@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Positional access.
     println!("\n-- the second item of each region --");
     for item in store
-        .query("/site/regions/region/item[2]/name/text()")?
+        .request("/site/regions/region/item[2]/name/text()")
+        .run()?
         .items
     {
         println!("  {item}");
@@ -54,10 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the SQL for the join query (the tutorial's point: FLWOR joins
     // become relational joins).
-    let t = store.translate(
-        "for $a in /site/open_auctions/open_auction, $p in /site/people/person \
+    let t = store
+        .request(
+            "for $a in /site/open_auctions/open_auction, $p in /site/people/person \
          where $a/seller/@person = $p/@id return $p/name/text()",
-    )?;
+        )
+        .translated()?;
     println!("\ntranslated join SQL:\n  {}", t.sql);
     Ok(())
 }

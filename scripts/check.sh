@@ -30,10 +30,16 @@ planlint() {
     fi
 }
 
+bench_driver() {
+    cargo run -q --locked --release -p xmlrel-bench -- \
+        --out target/BENCH_PR4.json --trace target/trace.json --scale 0.1
+}
+
 step "cargo fmt --check"  cargo fmt --all --check
 step "release build"      cargo build --release --locked
 step "xmlrel-lint"        cargo run -q --locked -p lint -- --out target/lint.json
 step "planlint"           planlint
+step "bench driver"       bench_driver
 step "clippy"             cargo clippy --workspace --all-targets --locked -- -D warnings
 step "tests"              cargo test -q --workspace --locked
 

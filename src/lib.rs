@@ -10,13 +10,15 @@
 //! - [`xmlgen`]: synthetic corpora and the benchmark workload.
 
 pub use xmlrel_core::{
-    CoreError, NodeKey, OutKind, QueryOutput, Result, Scheme, Translated, XmlStore,
+    CoreError, Explain, NodeKey, OutKind, PlanReport, QueryOutput, QueryRequest, Result, Scheme,
+    StoreBuilder, Translated, XmlStore,
 };
 
 pub use reldb;
 pub use shredder;
 pub use xmlgen;
 pub use xmlpar;
+pub use xmlrel_obs as obs;
 pub use xqir;
 
 /// All six schemes, freshly constructed, for comparative experiments.

@@ -1,0 +1,246 @@
+//! `xmlrel` CLI: load an XML file into a chosen mapping scheme and query
+//! it from the command line, with the observability surface exposed —
+//! `EXPLAIN [ANALYZE]`, process metrics, and chrome-trace export.
+//!
+//! Usage:
+//!   xmlrel query   <scheme> <file.xml> <xpath>
+//!   xmlrel explain [--analyze] <scheme> <file.xml> <xpath>
+//!   xmlrel trace   [--out PATH] <scheme> <file.xml> <xpath>
+//!   xmlrel stats   [--scale F]
+//!
+//! `<scheme>` is one of `edge`, `binary`, `universal`, `interval`,
+//! `dewey`, or `inline` (inline additionally needs `--dtd FILE`). `stats`
+//! runs the built-in auction workload over every scheme and prints the
+//! metrics registry's text exposition.
+
+use std::process::ExitCode;
+
+use xmlrel::{Explain, Scheme, XmlStore};
+use xmlrel_obs::{metrics, trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage("");
+    };
+    let result = match cmd.as_str() {
+        "query" => cmd_query(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "--help" | "-h" | "help" => return usage(""),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xmlrel: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "usage: xmlrel query   <scheme> <file.xml> <xpath>\n       \
+                xmlrel explain [--analyze] <scheme> <file.xml> <xpath>\n       \
+                xmlrel trace   [--out PATH] <scheme> <file.xml> <xpath>\n       \
+                xmlrel stats   [--scale F]\n\
+         schemes: edge binary universal interval dewey inline (inline needs --dtd FILE)"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xmlrel: {err}");
+        ExitCode::FAILURE
+    }
+}
+
+/// Parsed command line: positional args plus the flags this CLI knows.
+struct Cli<'a> {
+    pos: Vec<&'a str>,
+    analyze: bool,
+    out: Option<String>,
+    dtd: Option<String>,
+    scale: f64,
+}
+
+fn parse(args: &[String]) -> Result<Cli<'_>, String> {
+    let mut cli = Cli {
+        pos: Vec::new(),
+        analyze: false,
+        out: None,
+        dtd: None,
+        scale: 0.1,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--analyze" => cli.analyze = true,
+            "--out" => {
+                i += 1;
+                cli.out = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--out requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--dtd" => {
+                i += 1;
+                cli.dtd = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--dtd requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--scale" => {
+                i += 1;
+                cli.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "--scale requires a number".to_string())?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            p => cli.pos.push(p),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn scheme_by_name(name: &str, dtd: Option<&str>) -> Result<Scheme, String> {
+    Ok(match name {
+        "edge" => Scheme::Edge(xmlrel::shredder::EdgeScheme::new()),
+        "binary" => Scheme::Binary(xmlrel::shredder::BinaryScheme::new()),
+        "universal" => Scheme::Universal(xmlrel::shredder::UniversalScheme::new()),
+        "interval" => Scheme::Interval(xmlrel::shredder::IntervalScheme::new()),
+        "dewey" => Scheme::Dewey(xmlrel::shredder::DeweyScheme::new()),
+        "inline" => {
+            let path = dtd.ok_or("the inline scheme needs --dtd FILE")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Scheme::Inline(
+                xmlrel::shredder::InlineScheme::from_dtd_text(&text)
+                    .map_err(|e| format!("inline: {e}"))?,
+            )
+        }
+        other => return Err(format!("unknown scheme {other:?}")),
+    })
+}
+
+fn load(scheme: &str, file: &str, dtd: Option<&str>) -> Result<XmlStore, String> {
+    let scheme = scheme_by_name(scheme, dtd)?;
+    let mut store = XmlStore::builder(scheme)
+        .open()
+        .map_err(|e| format!("install: {e}"))?;
+    let xml = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    store
+        .load_str("doc", &xml)
+        .map_err(|e| format!("loading {file}: {e}"))?;
+    Ok(store)
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    let [scheme, file, query] = cli.pos[..] else {
+        return Err("query needs <scheme> <file.xml> <xpath>".into());
+    };
+    let store = load(scheme, file, cli.dtd.as_deref())?;
+    let out = store
+        .request(query)
+        .run()
+        .map_err(|e| format!("query: {e}"))?;
+    for item in &out.items {
+        println!("{item}");
+    }
+    eprintln!("{} item(s)", out.len());
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    let [scheme, file, query] = cli.pos[..] else {
+        return Err("explain needs <scheme> <file.xml> <xpath>".into());
+    };
+    let store = load(scheme, file, cli.dtd.as_deref())?;
+    let mode = if cli.analyze {
+        Explain::Analyze
+    } else {
+        Explain::Plan
+    };
+    let out = store
+        .request(query)
+        .explain(mode)
+        .run()
+        .map_err(|e| format!("explain: {e}"))?;
+    let Some(plan) = out.plan.as_ref() else {
+        return Err("explain produced no plan report".into());
+    };
+    println!("sql: {}\n", plan.sql);
+    println!("{}", plan.explain);
+    if !plan.cost.is_empty() {
+        println!("\ncost (total {:.0}):\n{}", plan.total_cost, plan.cost);
+    }
+    for d in &plan.diagnostics {
+        println!("diagnostic: {d}");
+    }
+    if let Some(profile) = &out.profile {
+        println!("\nactuals:\n{}", profile.render(true));
+    }
+    eprintln!("{} item(s)", out.len());
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    let [scheme, file, query] = cli.pos[..] else {
+        return Err("trace needs <scheme> <file.xml> <xpath>".into());
+    };
+    let sink = trace::TraceSink::new();
+    let store = {
+        let _guard = trace::install(&sink);
+        load(scheme, file, cli.dtd.as_deref())?
+    };
+    let out = store
+        .request(query)
+        .trace(&sink)
+        .run()
+        .map_err(|e| format!("query: {e}"))?;
+    let path = cli.out.unwrap_or_else(|| "trace.json".into());
+    std::fs::write(&path, sink.to_chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "{} item(s); {} span(s) ({} dropped) -> {path}",
+        out.len(),
+        sink.len(),
+        sink.dropped()
+    );
+    Ok(())
+}
+
+/// Run the built-in auction workload over every scheme, then dump the
+/// process-wide metrics registry.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    if !cli.pos.is_empty() {
+        return Err("stats takes only --scale".into());
+    }
+    let doc = xmlrel::xmlgen::auction::generate(&xmlrel::xmlgen::auction::AuctionConfig::at_scale(
+        cli.scale,
+    ));
+    for scheme in xmlrel::all_schemes(xmlrel::xmlgen::auction::AUCTION_DTD)
+        .map_err(|e| format!("schemes: {e}"))?
+    {
+        let name = scheme.name();
+        let mut store = XmlStore::builder(scheme)
+            .open()
+            .map_err(|e| format!("{name}: install: {e}"))?;
+        store
+            .load_document("auction", &doc)
+            .map_err(|e| format!("{name}: load: {e}"))?;
+        for q in xmlrel::xmlgen::queries::AUCTION_QUERIES {
+            // Unsupported constructs are part of the comparison; skip.
+            let _ = store.request(q.text).run();
+        }
+    }
+    print!("{}", metrics::dump());
+    Ok(())
+}

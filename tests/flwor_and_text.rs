@@ -21,7 +21,7 @@ fn all_bib_stores() -> Vec<XmlStore> {
         .unwrap()
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).unwrap();
+            let mut store = XmlStore::builder(s).open().unwrap();
             store.load_str("bib", BIB).unwrap();
             store
         })
@@ -34,7 +34,8 @@ fn variable_relative_for_clause() {
     for store in &mut all_bib_stores() {
         let name = store.scheme().name();
         let got = store
-            .query("for $b in /bib/book, $a in $b/author return $a/text()")
+            .request("for $b in /bib/book, $a in $b/author return $a/text()")
+            .run()
             .map(|mut r| {
                 r.items.sort();
                 r.items
@@ -53,10 +54,11 @@ fn dependent_clause_with_filter_on_outer() {
     for store in &mut all_bib_stores() {
         let name = store.scheme().name();
         let got = store
-            .query(
+            .request(
                 "for $b in /bib/book, $a in $b/author \
                  where $b/@year = 2000 order by $a return $a/text()",
             )
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(got.items, vec!["Abiteboul", "Buneman"], "scheme {name}");
     }
@@ -64,13 +66,13 @@ fn dependent_clause_with_filter_on_outer() {
 
 #[test]
 fn constructor_with_nested_elements_and_attrs() {
-    let mut store = XmlStore::new(Scheme::Interval(IntervalScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
     store.load_str("bib", BIB).unwrap();
     let got = store
-        .query(
-            "for $b in /bib/book where $b/@year = 1994 \
-             return <entry kind=\"book\"><when>{$b/@year}</when><what>{$b/title/text()}</what></entry>",
-        )
+        .request("for $b in /bib/book where $b/@year = 1994 \
+             return <entry kind=\"book\"><when>{$b/@year}</when><what>{$b/title/text()}</what></entry>").run()
         .unwrap();
     assert_eq!(
         got.items,
@@ -80,17 +82,22 @@ fn constructor_with_nested_elements_and_attrs() {
 
 #[test]
 fn order_by_descending() {
-    let mut store = XmlStore::new(Scheme::Dewey(DeweyScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
+        .open()
+        .unwrap();
     store.load_str("bib", BIB).unwrap();
     let got = store
-        .query("for $b in /bib/book order by $b/@year descending return $b/title/text()")
+        .request("for $b in /bib/book order by $b/@year descending return $b/title/text()")
+        .run()
         .unwrap();
     assert_eq!(got.items, vec!["Web", "TCP"]);
 }
 
 #[test]
 fn exists_condition_in_where() {
-    let mut store = XmlStore::new(Scheme::Edge(EdgeScheme::new())).unwrap();
+    let mut store = XmlStore::builder(Scheme::Edge(EdgeScheme::new()))
+        .open()
+        .unwrap();
     store
         .load_str(
             "bib",
@@ -98,7 +105,8 @@ fn exists_condition_in_where() {
         )
         .unwrap();
     let got = store
-        .query("for $b in /bib/book where $b/author return $b/title/text()")
+        .request("for $b in /bib/book where $b/author return $b/title/text()")
+        .run()
         .unwrap();
     assert_eq!(got.items, vec!["A"]);
 }
@@ -121,11 +129,11 @@ fn contains_over_text_heavy_corpus_agrees() {
     let mut reference: Option<Vec<Vec<String>>> = None;
     for scheme in all_schemes(TEXT_DTD).unwrap() {
         let name = scheme.name();
-        let mut store = XmlStore::new(scheme).unwrap();
+        let mut store = XmlStore::builder(scheme).open().unwrap();
         store.load_document("arch", &doc).unwrap();
         let mut results = Vec::new();
         for q in &queries {
-            match store.query(q) {
+            match store.request(q).run() {
                 Ok(mut r) => {
                     r.items.sort();
                     results.push(r.items);
@@ -165,11 +173,11 @@ fn mixed_content_text_survives_queries_and_round_trip() {
     let original = xmlrel::xmlpar::serialize::to_string(&doc);
     for scheme in all_schemes(TEXT_DTD).unwrap() {
         let name = scheme.name();
-        let mut store = XmlStore::new(scheme).unwrap();
+        let mut store = XmlStore::builder(scheme).open().unwrap();
         store.load_document("arch", &doc).unwrap();
         assert_eq!(store.reconstruct("arch").unwrap(), original, "{name}");
         // Publishing a mixed-content element preserves interleaving.
-        let paras = store.query("/archive/entry/body/para").unwrap();
+        let paras = store.request("/archive/entry/body/para").run().unwrap();
         for p in &paras.items {
             assert!(p.starts_with("<para>"), "{name}: {p}");
             let reparsed = xmlrel::xmlpar::Document::parse(p).unwrap();

@@ -69,7 +69,8 @@ fn workload(corpus: &str) -> Vec<(&'static str, &'static WorkloadQuery)> {
 /// Normalized snapshot of one query's verified plan.
 fn snapshot(store: &XmlStore, q: &WorkloadQuery) -> String {
     let report = store
-        .verify_plan(q.text)
+        .request(q.text)
+        .report()
         .unwrap_or_else(|e| panic!("{}: verify_plan: {e}", q.id));
     let mut s = String::new();
     let _ = writeln!(s, "query: {}", q.text);
@@ -142,7 +143,7 @@ fn plans_match_golden() {
         };
         for scheme in all_schemes(dtd).expect("schemes") {
             let scheme_name = scheme.name();
-            let mut store = XmlStore::new(scheme).expect("install");
+            let mut store = XmlStore::builder(scheme).open().expect("install");
             store.load_document(corpus_name, &doc).expect("load");
             for (experiment, q) in workload(corpus_name) {
                 seen += 1;
@@ -182,7 +183,7 @@ fn gate_detects_disabled_join_reordering() {
         .into_iter()
         .find(|s| s.name() == "edge")
         .expect("edge scheme");
-    let mut store = XmlStore::new(scheme).expect("install");
+    let mut store = XmlStore::builder(scheme).open().expect("install");
     store.load_document("auction", &doc).expect("load");
     store.db.optimizer.join_reorder = false;
 

@@ -106,7 +106,10 @@ fn crash_at_every_offset_recovers_to_commit_boundary() {
 }
 
 fn store_over(make: fn() -> Scheme, files: &SharedFiles) -> XmlStore {
-    XmlStore::open_with_backend(make(), Box::new(MemBackend::over(files.clone()))).unwrap()
+    XmlStore::builder(make())
+        .backend(Box::new(MemBackend::over(files.clone())))
+        .open()
+        .unwrap()
 }
 
 #[test]
@@ -158,11 +161,13 @@ fn crashed_document_load_never_damages_committed_documents() {
     // fast while still hitting every frame of the multi-statement load).
     for budget in (0..=window_bytes as u64).step_by(7) {
         let f = fork(&base);
-        let mut store = XmlStore::open_with_backend(
-            make(),
-            Box::new(FaultBackend::over(f.clone(), FaultPlan::tear_after(budget))),
-        )
-        .unwrap();
+        let mut store = XmlStore::builder(make())
+            .backend(Box::new(FaultBackend::over(
+                f.clone(),
+                FaultPlan::tear_after(budget),
+            )))
+            .open()
+            .unwrap();
         let _ = store.load_str("memo", MEMO); // may crash mid-load
         drop(store);
 

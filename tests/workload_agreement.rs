@@ -12,7 +12,7 @@ fn stores_for(doc: &xmlrel::xmlpar::Document, dtd: &str) -> Vec<XmlStore> {
         .unwrap()
         .into_iter()
         .map(|s| {
-            let mut store = XmlStore::new(s).unwrap();
+            let mut store = XmlStore::builder(s).open().unwrap();
             store.load_document("corpus", doc).unwrap();
             store
         })
@@ -31,7 +31,7 @@ fn assert_workload_agreement(
         let mut reference: Option<(String, Vec<String>)> = None;
         for store in &mut stores {
             let name = store.scheme().name();
-            let result = match store.query(q.text) {
+            let result = match store.request(q.text).run() {
                 Ok(r) => r,
                 Err(xmlrel::CoreError::Translate(_)) => continue, // documented gap
                 Err(e) => panic!("{name} failed {}: {e}", q.id),
@@ -167,7 +167,7 @@ fn join_count_expectations() {
 fn scheme_storage_stats_consistent_with_shred_stats() {
     let doc = generate(&AuctionConfig::at_scale(0.1));
     for scheme in all_schemes(AUCTION_DTD).unwrap() {
-        let mut store = XmlStore::new(scheme).unwrap();
+        let mut store = XmlStore::builder(scheme).open().unwrap();
         let (_, shred) = store.load_document("corpus", &doc).unwrap();
         let storage = store.storage_stats();
         assert!(storage.rows > 0, "{}", store.scheme().name());

@@ -236,14 +236,14 @@ proptest! {
             // mixed, which the inline scheme handles; universal/inline may
             // reject some shapes — skip on documented Translate errors.
             let name = scheme.name();
-            let mut store = match XmlStore::new(scheme) {
+            let mut store = match XmlStore::builder(scheme).open() {
                 Ok(s) => s,
                 Err(_) => continue,
             };
             if store.load_document("d", &doc).is_err() {
                 continue; // scheme cannot represent this document (documented)
             }
-            match store.query(&query) {
+            match store.request(&query).run() {
                 Ok(got) => {
                     let mut items = got.items;
                     items.sort();
