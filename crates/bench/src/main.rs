@@ -9,12 +9,14 @@
 //! chrome-trace export lands next to the JSON report.
 //!
 //! Usage:
-//!   xmlrel-bench [--out PATH] [--trace PATH] [--scale F]
+//!   xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F]
 //!
-//! Defaults: `--out BENCH_PR4.json`, `--trace trace_pr4.json`,
-//! `--scale 0.1`. Exits 1 on any setup error; per-query translate errors
-//! are recorded in the report instead of aborting (not every scheme
-//! supports every construct).
+//! Defaults: `--out BENCH.json`, `--trace trace.json`, `--scale 0.1`;
+//! `--metrics` (no default) additionally writes the plain-text metrics
+//! exposition (`metrics::dump`) after the run, the same body `/metrics`
+//! serves. Exits 1 on any setup error; per-query translate errors are
+//! recorded in the report instead of aborting (not every scheme supports
+//! every construct).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -68,8 +70,9 @@ struct LoadRun {
 }
 
 fn main() -> ExitCode {
-    let mut out = String::from("BENCH_PR4.json");
-    let mut trace_out = String::from("trace_pr4.json");
+    let mut out = String::from("BENCH.json");
+    let mut trace_out = String::from("trace.json");
+    let mut metrics_out: Option<String> = None;
     let mut scale = 0.1f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +84,10 @@ fn main() -> ExitCode {
             "--trace" => match args.next() {
                 Some(p) => trace_out = p,
                 None => return usage("--trace requires a path"),
+            },
+            "--metrics" => match args.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage("--metrics requires a path"),
             },
             "--scale" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(f) => scale = f,
@@ -94,7 +101,7 @@ fn main() -> ExitCode {
         }
     }
 
-    match run(scale, &out, &trace_out) {
+    match run(scale, &out, &trace_out, metrics_out.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("xmlrel-bench: {e}");
@@ -104,7 +111,7 @@ fn main() -> ExitCode {
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("usage: xmlrel-bench [--out PATH] [--trace PATH] [--scale F]");
+    eprintln!("usage: xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F]");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -113,7 +120,7 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-fn run(scale: f64, out: &str, trace_out: &str) -> Result<(), String> {
+fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Result<(), String> {
     // One big sink for the whole run; every store/engine span below lands
     // here and exports as one chrome trace.
     let sink = trace::TraceSink::with_capacity(65536);
@@ -158,6 +165,9 @@ fn run(scale: f64, out: &str, trace_out: &str) -> Result<(), String> {
     std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
     std::fs::write(trace_out, sink.to_chrome_trace())
         .map_err(|e| format!("writing {trace_out}: {e}"))?;
+    if let Some(path) = metrics_out {
+        std::fs::write(path, metrics::dump()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
     let errors = runs
         .iter()
         .filter(|r| matches!(r.outcome, Outcome::Error(_)))

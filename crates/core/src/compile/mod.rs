@@ -98,7 +98,7 @@ pub trait StepCompiler {
 
     /// The access-path contract this scheme promises: which indexes its
     /// compiled plans may touch and how descendant steps must be realized.
-    /// Checked against every chosen plan by `XmlStore::verify_plan`.
+    /// Checked against every chosen plan by `QueryRequest::report`.
     fn contract(&self) -> AccessContract;
 
     /// Concrete root-to-element label paths (`/a/b/c` strings) for

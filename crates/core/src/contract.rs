@@ -9,7 +9,7 @@
 //! *hoped for*; this module states them as data
 //! ([`AccessContract`], declared by every [`StepCompiler`]) and checks
 //! them against the physical plan the optimizer actually chose
-//! ([`check_contract`], surfaced as `XmlStore::verify_plan`).
+//! ([`check_contract`], surfaced as `QueryRequest::report`).
 //!
 //! The checker is deliberately structural: it never re-runs the optimizer,
 //! it only inspects the plan — so any regression in index selection, join

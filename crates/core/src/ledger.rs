@@ -1,0 +1,574 @@
+//! The query ledger: per-query-shape rolling statistics plus slow-query
+//! forensics.
+//!
+//! Every execution through [`XmlStore`](crate::XmlStore) is normalized to
+//! a **fingerprint** — the query text with literals stripped and
+//! whitespace collapsed — so `/bib/book[@year > 1990]` and
+//! `/bib/book[@year>1994]` land in the same row of the ledger. Each
+//! fingerprint keeps rolling stats: execution count, a power-of-two
+//! latency histogram, rows produced, error count, and the worst q-error
+//! any profiled run of that shape has shown.
+//!
+//! When one execution crosses a configured latency or q-error threshold
+//! ([`LedgerConfig`]), the store captures a forensic record: the full
+//! `EXPLAIN ANALYZE` render of that query plus the tail of the installed
+//! trace ring — the spans leading up to the slow moment. Captures live in
+//! a bounded ring (oldest evicted first) and surface three ways: the
+//! monitoring endpoint's `/slow`, [`XmlStore::ledger`](crate::XmlStore::ledger),
+//! and the `xmlrel slow` CLI.
+//!
+//! The ledger is a cheap clone (`Arc` inside): the store feeds it on its
+//! thread while a monitoring endpoint reads it from another.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use xmlrel_obs::metrics::{self, Histogram};
+use xmlrel_obs::trace::{json_quote, Event};
+
+/// Thresholds and capacities for slow-query capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerConfig {
+    /// Wall-time threshold in microseconds: an execution at or above it
+    /// is captured.
+    pub slow_wall_us: u64,
+    /// q-error threshold: a profiled execution whose worst per-operator
+    /// q-error reaches it is captured even when fast — a misestimate is
+    /// tomorrow's slow query at the next data size.
+    pub slow_q_error: f64,
+    /// Maximum forensic captures retained; the oldest is evicted (and
+    /// counted) once full.
+    pub capture_capacity: usize,
+    /// How many trailing trace events a capture snapshots from the
+    /// thread's installed ring.
+    pub trace_tail: usize,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> LedgerConfig {
+        LedgerConfig {
+            slow_wall_us: 100_000,
+            slow_q_error: 64.0,
+            capture_capacity: 32,
+            trace_tail: 32,
+        }
+    }
+}
+
+/// Why a capture fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowTrigger {
+    /// Wall time crossed [`LedgerConfig::slow_wall_us`].
+    Latency,
+    /// Worst q-error crossed [`LedgerConfig::slow_q_error`].
+    QError,
+    /// Both thresholds crossed.
+    Both,
+}
+
+impl std::fmt::Display for SlowTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SlowTrigger::Latency => "latency",
+            SlowTrigger::QError => "q-error",
+            SlowTrigger::Both => "latency+q-error",
+        })
+    }
+}
+
+/// Rolling statistics for one query shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintStats {
+    /// The normalized query shape.
+    pub fingerprint: String,
+    /// One raw query text that produced this fingerprint (the latest).
+    pub exemplar: String,
+    /// Successful executions.
+    pub count: u64,
+    /// Failed executions.
+    pub errors: u64,
+    /// Total rows produced across successful executions.
+    pub rows: u64,
+    /// Wall-time distribution in microseconds.
+    pub latency_us: Histogram,
+    /// Worst q-error any profiled execution of this shape has shown
+    /// (1.0 = every estimate was perfect, or no profiled run yet).
+    pub max_q_error_milli: u64,
+}
+
+impl FingerprintStats {
+    /// Worst q-error as a float (stored in milli-units so the struct
+    /// stays `Eq` and hashable).
+    pub fn max_q_error(&self) -> f64 {
+        self.max_q_error_milli as f64 / 1000.0
+    }
+}
+
+/// One forensic record of a threshold-crossing execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowCapture {
+    /// Monotonic capture number (survives ring eviction, so gaps reveal
+    /// how much history was lost).
+    pub seq: u64,
+    /// The normalized query shape.
+    pub fingerprint: String,
+    /// The raw query text.
+    pub query: String,
+    /// Mapping scheme the store was using.
+    pub scheme: String,
+    /// Wall time of the offending execution, microseconds.
+    pub wall_us: u64,
+    /// Rows the execution produced.
+    pub rows: u64,
+    /// Worst per-operator q-error of the profiled run.
+    pub q_error: f64,
+    /// Which threshold(s) fired.
+    pub trigger: SlowTrigger,
+    /// Full `EXPLAIN ANALYZE` render (SQL + per-operator est/act tree).
+    pub explain_analyze: String,
+    /// Tail of the installed trace ring at capture time.
+    pub trace_tail: Vec<Event>,
+}
+
+#[derive(Default)]
+struct Inner {
+    config: LedgerConfig,
+    stats: BTreeMap<String, FingerprintStats>,
+    captures: VecDeque<SlowCapture>,
+    seq: u64,
+    evicted: u64,
+}
+
+/// The ledger handle: clone-cheap, shareable across threads.
+#[derive(Clone, Default)]
+pub struct Ledger {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Ledger {
+    /// A ledger with the given thresholds.
+    pub fn new(config: LedgerConfig) -> Ledger {
+        Ledger {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Lock, recovering from poisoning: every mutation leaves the maps
+    /// structurally valid, and a panic elsewhere must not take the
+    /// observability surface down with it.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current thresholds.
+    pub fn config(&self) -> LedgerConfig {
+        self.lock().config
+    }
+
+    /// Replace the thresholds (existing stats and captures are kept).
+    pub fn set_config(&self, config: LedgerConfig) {
+        self.lock().config = config;
+    }
+
+    /// Record one successful execution. Returns the trigger when the
+    /// execution crossed a threshold and the caller should assemble a
+    /// forensic [`SlowCapture`] via [`capture`](Ledger::capture).
+    pub fn observe(
+        &self,
+        query: &str,
+        wall_us: u64,
+        rows: u64,
+        max_q_error: Option<f64>,
+    ) -> Option<SlowTrigger> {
+        let mut inner = self.lock();
+        let fp = fingerprint(query);
+        let entry = inner
+            .stats
+            .entry(fp)
+            .or_insert_with_key(|k| empty_stats(k, query));
+        entry.exemplar = query.to_string();
+        entry.count += 1;
+        entry.rows += rows;
+        entry.latency_us.observe(wall_us);
+        if let Some(q) = max_q_error {
+            entry.max_q_error_milli = entry.max_q_error_milli.max((q * 1000.0).round() as u64);
+        }
+        let config = inner.config;
+        let slow = wall_us >= config.slow_wall_us;
+        let wrong = max_q_error.is_some_and(|q| q >= config.slow_q_error);
+        match (slow, wrong) {
+            (true, true) => Some(SlowTrigger::Both),
+            (true, false) => Some(SlowTrigger::Latency),
+            (false, true) => Some(SlowTrigger::QError),
+            (false, false) => None,
+        }
+    }
+
+    /// Record one failed execution.
+    pub fn observe_error(&self, query: &str) {
+        let mut inner = self.lock();
+        let fp = fingerprint(query);
+        let entry = inner
+            .stats
+            .entry(fp)
+            .or_insert_with_key(|k| empty_stats(k, query));
+        entry.exemplar = query.to_string();
+        entry.errors += 1;
+    }
+
+    /// Store one assembled forensic capture into the bounded ring.
+    pub fn capture(&self, mut record: SlowCapture) {
+        metrics::counter_inc("slow_captures_total");
+        let mut inner = self.lock();
+        record.seq = inner.seq;
+        inner.seq += 1;
+        if inner.captures.len() >= inner.config.capture_capacity.max(1) {
+            inner.captures.pop_front();
+            inner.evicted += 1;
+        }
+        inner.captures.push_back(record);
+    }
+
+    /// Rolling stats for every fingerprint, sorted by total wall time
+    /// (descending) — the order an operator wants `top` in.
+    pub fn stats(&self) -> Vec<FingerprintStats> {
+        let inner = self.lock();
+        let mut out: Vec<FingerprintStats> = inner.stats.values().cloned().collect();
+        out.sort_by(|a, b| {
+            b.latency_us
+                .sum
+                .cmp(&a.latency_us.sum)
+                .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+        });
+        out
+    }
+
+    /// Stats for one fingerprint, if recorded.
+    pub fn stats_for(&self, fingerprint_text: &str) -> Option<FingerprintStats> {
+        self.lock().stats.get(fingerprint_text).cloned()
+    }
+
+    /// The retained forensic captures, oldest first.
+    pub fn captures(&self) -> Vec<SlowCapture> {
+        self.lock().captures.iter().cloned().collect()
+    }
+
+    /// How many captures the ring has evicted since creation.
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    /// Forget all stats and captures (thresholds are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.stats.clear();
+        inner.captures.clear();
+        inner.evicted = 0;
+    }
+
+    /// Render the top-N query shapes as an aligned text table.
+    pub fn render_top(&self, limit: usize) -> String {
+        let stats = self.stats();
+        let mut out = String::from(
+            "count    err   rows      p50_us    p99_us     total_ms  max_qerr  fingerprint\n",
+        );
+        for s in stats.iter().take(limit) {
+            out.push_str(&format!(
+                "{:<8} {:<5} {:<9} {:<9} {:<10} {:<9.1} {:<9.1} {}\n",
+                s.count,
+                s.errors,
+                s.rows,
+                s.latency_us.percentile_bound(50),
+                s.latency_us.percentile_bound(99),
+                s.latency_us.sum as f64 / 1000.0,
+                s.max_q_error(),
+                s.fingerprint
+            ));
+        }
+        out
+    }
+
+    /// Render the captures as a JSON array (the `/slow` body): newest
+    /// last, each with its full `EXPLAIN ANALYZE` text and trace tail.
+    pub fn slow_json(&self) -> String {
+        let captures = self.captures();
+        let evicted = self.evicted();
+        let mut out = String::from("[");
+        for (i, c) in captures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"seq\":{},\"fingerprint\":{},\"query\":{},\"scheme\":{},\
+                 \"wall_us\":{},\"rows\":{},\"q_error\":{:.3},\"trigger\":{},\
+                 \"explain_analyze\":{},\"trace_tail\":[",
+                c.seq,
+                json_quote(&c.fingerprint),
+                json_quote(&c.query),
+                json_quote(&c.scheme),
+                c.wall_us,
+                c.rows,
+                c.q_error,
+                json_quote(&c.trigger.to_string()),
+                json_quote(&c.explain_analyze),
+            ));
+            for (j, e) in c.trace_tail.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":{},\"start_us\":{},\"dur_us\":{},\"depth\":{}}}",
+                    json_quote(&e.name),
+                    json_quote(e.cat),
+                    e.start_us,
+                    e.dur_us,
+                    e.depth
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !captures.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("],\"evicted\":{evicted}}}"));
+        // The body is a JSON object so eviction is visible alongside the
+        // array; wrap accordingly.
+        format!("{{\"captures\":{out}")
+    }
+}
+
+fn empty_stats(fingerprint_text: &str, query: &str) -> FingerprintStats {
+    FingerprintStats {
+        fingerprint: fingerprint_text.to_string(),
+        exemplar: query.to_string(),
+        count: 0,
+        errors: 0,
+        rows: 0,
+        latency_us: Histogram::default(),
+        max_q_error_milli: 1000,
+    }
+}
+
+/// Normalize a query to its shape: string literals and numbers become
+/// `?`, whitespace collapses (kept only between two word-like tokens so
+/// `for $x in` survives but `[@year > 1990]` and `[@year>1990]` agree).
+/// Equivalent queries collapse to one fingerprint; structurally distinct
+/// queries keep distinct ones.
+pub fn fingerprint(query: &str) -> String {
+    let wordish = |c: char| c.is_alphanumeric() || c == '_' || c == '$' || c == '?';
+    let mut out = String::with_capacity(query.len());
+    let mut chars = query.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        let emit = if c == '\'' || c == '"' {
+            // Consume to the matching quote (or end of input).
+            for n in chars.by_ref() {
+                if n == c {
+                    break;
+                }
+            }
+            '?'
+        } else if c.is_ascii_digit() && (pending_space || !out.chars().last().is_some_and(wordish))
+        {
+            // A number starting a token (not `Q10`-style identifier
+            // tails); swallow the rest of it, including decimals.
+            while chars
+                .peek()
+                .is_some_and(|n| n.is_ascii_digit() || *n == '.')
+            {
+                chars.next();
+            }
+            '?'
+        } else {
+            c
+        };
+        if pending_space {
+            if out.chars().last().is_some_and(wordish) && wordish(emit) {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        // Collapse literal runs: `(?, ?)` from `(1, 'a')` keeps both, but
+        // a number directly after a number (digit groups split by the
+        // tokenizer) never happens, so no special case is needed.
+        out.push(emit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_strip_and_whitespace_collapses() {
+        assert_eq!(
+            fingerprint("/bib/book[@year > 1990]/title/text()"),
+            "/bib/book[@year>?]/title/text()"
+        );
+        assert_eq!(
+            fingerprint("/bib/book[@year>1994]/title/text()"),
+            "/bib/book[@year>?]/title/text()"
+        );
+        assert_eq!(
+            fingerprint("//item[name = \"gold\"]"),
+            fingerprint("//item[name='silver']")
+        );
+    }
+
+    #[test]
+    fn identifier_digits_survive() {
+        // Q10 is a name, not a literal.
+        assert_eq!(fingerprint("/exp/Q10/result"), "/exp/Q10/result");
+        assert_eq!(fingerprint("/exp/Q10[pos > 3]"), "/exp/Q10[pos>?]");
+    }
+
+    #[test]
+    fn keywords_keep_their_separators() {
+        assert_eq!(
+            fingerprint("for $x in /site/item return $x"),
+            fingerprint("for  $x   in /site/item\n return $x")
+        );
+        let fp = fingerprint("for $x in /a return $x");
+        assert!(fp.contains("for $x in"), "{fp}");
+    }
+
+    #[test]
+    fn distinct_shapes_stay_distinct() {
+        assert_ne!(
+            fingerprint("/bib/book[@year > 1990]"),
+            fingerprint("/bib/book[@id > 1990]")
+        );
+        assert_ne!(fingerprint("/a/b"), fingerprint("/a//b"));
+        assert_ne!(fingerprint("/a/b"), fingerprint("/a/b/text()"));
+    }
+
+    #[test]
+    fn observe_accumulates_per_fingerprint() {
+        let ledger = Ledger::default();
+        ledger.observe("/a[x > 1]", 100, 2, Some(1.5));
+        ledger.observe("/a[x > 999]", 300, 4, Some(3.0));
+        ledger.observe("/b", 50, 1, None);
+        let stats = ledger.stats();
+        assert_eq!(stats.len(), 2);
+        // Sorted by total wall time: /a first (400us > 50us).
+        assert_eq!(stats[0].fingerprint, "/a[x>?]");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].rows, 6);
+        assert_eq!(stats[0].latency_us.sum, 400);
+        assert!((stats[0].max_q_error() - 3.0).abs() < 1e-9);
+        assert_eq!(stats[1].fingerprint, "/b");
+    }
+
+    #[test]
+    fn thresholds_trigger_latency_and_q_error() {
+        let ledger = Ledger::new(LedgerConfig {
+            slow_wall_us: 1000,
+            slow_q_error: 10.0,
+            ..LedgerConfig::default()
+        });
+        assert_eq!(ledger.observe("/q", 10, 0, Some(1.0)), None);
+        assert_eq!(
+            ledger.observe("/q", 5000, 0, Some(1.0)),
+            Some(SlowTrigger::Latency)
+        );
+        assert_eq!(
+            ledger.observe("/q", 10, 0, Some(50.0)),
+            Some(SlowTrigger::QError)
+        );
+        assert_eq!(
+            ledger.observe("/q", 5000, 0, Some(50.0)),
+            Some(SlowTrigger::Both)
+        );
+        // Unprofiled runs can only trip on latency.
+        assert_eq!(ledger.observe("/q", 10, 0, None), None);
+    }
+
+    #[test]
+    fn capture_ring_is_bounded_and_counts_eviction() {
+        let ledger = Ledger::new(LedgerConfig {
+            capture_capacity: 2,
+            ..LedgerConfig::default()
+        });
+        for i in 0..5 {
+            ledger.capture(SlowCapture {
+                seq: 0,
+                fingerprint: format!("/q{i}"),
+                query: format!("/q{i}"),
+                scheme: "edge".into(),
+                wall_us: 1000 + i,
+                rows: 0,
+                q_error: 1.0,
+                trigger: SlowTrigger::Latency,
+                explain_analyze: "plan".into(),
+                trace_tail: Vec::new(),
+            });
+        }
+        let captures = ledger.captures();
+        assert_eq!(captures.len(), 2);
+        assert_eq!(ledger.evicted(), 3);
+        // The latest captures survive, with monotonic seq numbers.
+        assert_eq!(captures[0].fingerprint, "/q3");
+        assert_eq!(captures[1].fingerprint, "/q4");
+        assert_eq!(captures[0].seq, 3);
+        assert_eq!(captures[1].seq, 4);
+    }
+
+    #[test]
+    fn slow_json_shape() {
+        let ledger = Ledger::default();
+        ledger.capture(SlowCapture {
+            seq: 0,
+            fingerprint: "/q[x>?]".into(),
+            query: "/q[x > 3]".into(),
+            scheme: "interval".into(),
+            wall_us: 123456,
+            rows: 7,
+            q_error: 12.5,
+            trigger: SlowTrigger::Both,
+            explain_analyze: "Sort\n  SeqScan \"edge\"\n".into(),
+            trace_tail: vec![Event {
+                name: "execute".into(),
+                cat: "sql",
+                start_us: 10,
+                dur_us: 120000,
+                depth: 2,
+            }],
+        });
+        let json = ledger.slow_json();
+        assert!(json.starts_with("{\"captures\":["), "{json}");
+        assert!(json.contains("\"trigger\":\"latency+q-error\""), "{json}");
+        assert!(json.contains("\"explain_analyze\":\"Sort\\n"), "{json}");
+        assert!(json.contains("\"name\":\"execute\""), "{json}");
+        assert!(json.ends_with("\"evicted\":0}"), "{json}");
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let ledger = Ledger::default();
+        ledger.observe_error("/broken[x > 1]");
+        ledger.observe_error("/broken[x > 2]");
+        let stats = ledger.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].errors, 2);
+        assert_eq!(stats[0].count, 0);
+    }
+
+    #[test]
+    fn render_top_is_a_table() {
+        let ledger = Ledger::default();
+        ledger.observe("/a", 1000, 3, Some(2.0));
+        let table = ledger.render_top(10);
+        let mut lines = table.lines();
+        assert!(lines.next().is_some_and(|h| h.contains("fingerprint")));
+        assert!(lines.next().is_some_and(|r| r.contains("/a")));
+    }
+}

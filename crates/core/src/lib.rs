@@ -23,6 +23,7 @@
 pub mod compile;
 pub mod contract;
 pub mod error;
+pub mod ledger;
 pub mod publish;
 pub mod sqlgen;
 pub mod store;
@@ -32,4 +33,7 @@ pub use compile::driver::{OutKind, Translated};
 pub use compile::{NodeKey, StepCompiler};
 pub use contract::{check_contract, AccessContract, DescendantAccess, IndexPat, QueryTraits};
 pub use error::{CoreError, Result};
-pub use store::{Explain, PlanReport, QueryOutput, QueryRequest, Scheme, StoreBuilder, XmlStore};
+pub use ledger::{FingerprintStats, Ledger, LedgerConfig, SlowCapture, SlowTrigger};
+pub use store::{
+    Explain, HealthReport, PlanReport, QueryOutput, QueryRequest, Scheme, StoreBuilder, XmlStore,
+};

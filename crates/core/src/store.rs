@@ -21,9 +21,14 @@
 //! tracing spans, bumps the `queries_total{scheme=…}` metric, and returns a
 //! [`QueryOutput`] carrying the published items, the raw rows, the compiled
 //! SQL, and (when asked) the [`PlanReport`] and runtime
-//! [`ExecProfile`](reldb::ExecProfile). The older fleet of `query*` /
-//! `translate*` / `verify_plan*` / `run_*` methods survives one release as
-//! deprecated shims over this pipeline.
+//! [`ExecProfile`](reldb::ExecProfile).
+//!
+//! Every execution is also recorded in the store's query [`Ledger`]: the
+//! query collapses to a fingerprint with rolling latency/row/q-error
+//! stats, and an execution that crosses the ledger's latency or q-error
+//! threshold leaves a forensic capture (full `EXPLAIN ANALYZE` plus the
+//! trace-ring tail) readable via [`XmlStore::ledger`], the `/slow`
+//! monitoring endpoint, and the `xmlrel slow` CLI.
 
 use std::collections::HashMap;
 
@@ -43,6 +48,7 @@ use crate::compile::{
 };
 use crate::contract::{check_contract, QueryTraits};
 use crate::error::{CoreError, Result};
+use crate::ledger::{fingerprint, Ledger, SlowCapture, SlowTrigger};
 use crate::publish;
 
 /// Which mapping scheme a store uses.
@@ -205,6 +211,7 @@ pub struct StoreBuilder {
     path: Option<std::path::PathBuf>,
     backend: Option<Box<dyn reldb::StorageBackend>>,
     value_index: Option<bool>,
+    ledger: Option<Ledger>,
 }
 
 impl StoreBuilder {
@@ -229,6 +236,15 @@ impl StoreBuilder {
     /// have the knob; [`open`](StoreBuilder::open) rejects the others.
     pub fn value_index(mut self, on: bool) -> StoreBuilder {
         self.value_index = Some(on);
+        self
+    }
+
+    /// Feed this store's query ledger into an existing (shared) [`Ledger`]
+    /// — e.g. one ledger across the stores of a scheme comparison, read by
+    /// one monitoring endpoint. Without this, the store gets a fresh
+    /// ledger with default thresholds.
+    pub fn ledger(mut self, ledger: Ledger) -> StoreBuilder {
+        self.ledger = Some(ledger);
         self
     }
 
@@ -260,10 +276,45 @@ impl StoreBuilder {
             }
             (None, None) => None,
         };
+        let ledger = self.ledger.unwrap_or_default();
         match backend {
-            Some(b) => XmlStore::open_backend_impl(scheme, b),
-            None => XmlStore::new_impl(scheme),
+            Some(b) => XmlStore::open_backend_impl(scheme, b, ledger),
+            None => XmlStore::new_impl(scheme, ledger),
         }
+    }
+}
+
+/// A point-in-time health snapshot of a store: liveness of the document
+/// catalog plus the durability status of the underlying database.
+/// Obtained from [`XmlStore::health`]; [`render`](HealthReport::render)
+/// produces the `/healthz` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// True when the store can answer queries and durability is not
+    /// poisoned.
+    pub ok: bool,
+    /// The mapping scheme's name.
+    pub scheme: String,
+    /// Number of loaded documents.
+    pub documents: usize,
+    /// Durability and catalog status of the underlying database.
+    pub db: reldb::DbStatus,
+}
+
+impl HealthReport {
+    /// Plain-text rendering, one `key: value` per line.
+    pub fn render(&self) -> String {
+        format!(
+            "status: {}\nscheme: {}\ndocuments: {}\ntables: {}\ndurable: {}\n\
+             snapshot_generation: {}\npoisoned: {}\n",
+            if self.ok { "ok" } else { "degraded" },
+            self.scheme,
+            self.documents,
+            self.db.tables,
+            self.db.durable,
+            self.db.snapshot_generation,
+            self.db.poisoned,
+        )
     }
 }
 
@@ -273,6 +324,7 @@ pub struct XmlStore {
     /// accounting, and the benchmark harness).
     pub db: Database,
     scheme: Scheme,
+    ledger: Ledger,
 }
 
 impl XmlStore {
@@ -283,19 +335,21 @@ impl XmlStore {
             path: None,
             backend: None,
             value_index: None,
+            ledger: None,
         }
     }
 
-    fn new_impl(scheme: Scheme) -> Result<XmlStore> {
+    fn new_impl(scheme: Scheme, ledger: Ledger) -> Result<XmlStore> {
         let mut db = Database::new();
         docstore::install(&mut db)?;
         scheme.ops().install(&mut db)?;
-        Ok(XmlStore { db, scheme })
+        Ok(XmlStore { db, scheme, ledger })
     }
 
     fn open_backend_impl(
         scheme: Scheme,
         backend: Box<dyn reldb::StorageBackend>,
+        ledger: Ledger,
     ) -> Result<XmlStore> {
         let mut db = Database::open_with_backend(backend)?;
         if db.catalog.table_names().is_empty() {
@@ -305,28 +359,27 @@ impl XmlStore {
             docstore::install(&mut db)?;
             scheme.ops().install(&mut db)?;
         }
-        Ok(XmlStore { db, scheme })
+        Ok(XmlStore { db, scheme, ledger })
     }
 
-    /// Create an in-memory store: installs the scheme's tables.
-    #[deprecated(note = "use `XmlStore::builder(scheme).open()`")]
-    pub fn new(scheme: Scheme) -> Result<XmlStore> {
-        XmlStore::new_impl(scheme)
+    /// A handle on this store's query ledger: per-fingerprint rolling
+    /// stats and the slow-query capture ring. The handle is clone-cheap
+    /// and thread-safe, so a monitoring endpoint can read it while the
+    /// store keeps executing.
+    pub fn ledger(&self) -> Ledger {
+        self.ledger.clone()
     }
 
-    /// Open (or create) a durable store in a directory on disk.
-    #[deprecated(note = "use `XmlStore::builder(scheme).path(dir).open()`")]
-    pub fn open(scheme: Scheme, path: impl Into<std::path::PathBuf>) -> Result<XmlStore> {
-        XmlStore::open_backend_impl(scheme, Box::new(reldb::FileBackend::open(path)?))
-    }
-
-    /// Open (or create) a durable store over any storage backend.
-    #[deprecated(note = "use `XmlStore::builder(scheme).backend(b).open()`")]
-    pub fn open_with_backend(
-        scheme: Scheme,
-        backend: Box<dyn reldb::StorageBackend>,
-    ) -> Result<XmlStore> {
-        XmlStore::open_backend_impl(scheme, backend)
+    /// A point-in-time health snapshot: `/healthz` material.
+    pub fn health(&self) -> HealthReport {
+        let db = self.db.status();
+        let documents = self.documents();
+        HealthReport {
+            ok: !db.poisoned && documents.is_ok(),
+            scheme: self.scheme.name().to_string(),
+            documents: documents.map(|d| d.len()).unwrap_or(0),
+            db,
+        }
     }
 
     /// Checkpoint the store: serialize all tables to a new snapshot and
@@ -428,9 +481,12 @@ impl XmlStore {
     }
 
     /// Execute translated SQL and apply positional post-processing. With
-    /// `analyze`, also collect the runtime operator profile.
+    /// `analyze`, also collect the runtime operator profile. Every
+    /// execution — success or failure — is recorded in the store's query
+    /// ledger; a threshold-crossing one leaves a forensic capture.
     fn fetch(
         &self,
+        query_text: &str,
         t: &Translated,
         analyze: bool,
     ) -> Result<(Vec<Vec<Value>>, Option<ExecProfile>)> {
@@ -440,13 +496,93 @@ impl XmlStore {
             self.scheme.name(),
         ));
         let _span = trace::span("execute", "sql");
-        let (raw, profile) = if analyze {
-            let (result, profile) = self.db.query_profiled(&t.sql)?;
-            (result.rows, Some(profile))
+        let started = std::time::Instant::now();
+        let fetched = if analyze {
+            self.db
+                .query_profiled(&t.sql)
+                .map(|(result, profile)| (result.rows, Some(profile)))
         } else {
-            (self.db.query_readonly(&t.sql)?.rows, None)
+            self.db.query_readonly(&t.sql).map(|r| (r.rows, None))
         };
+        let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        metrics::observe_us(
+            &metrics::labelled("query_wall_us", "scheme", self.scheme.name()),
+            wall_us,
+        );
+        let (raw, profile) = match fetched {
+            Ok(v) => v,
+            Err(e) => {
+                self.ledger.observe_error(query_text);
+                return Err(e.into());
+            }
+        };
+        let q_error = profile.as_ref().map(|p| p.rollup().max_q_error);
+        if let Some(trigger) = self
+            .ledger
+            .observe(query_text, wall_us, raw.len() as u64, q_error)
+        {
+            self.capture_forensics(
+                query_text,
+                t,
+                wall_us,
+                raw.len() as u64,
+                q_error,
+                profile.as_ref(),
+                trigger,
+            );
+        }
         Ok((apply_positional(t, raw), profile))
+    }
+
+    /// Assemble and store the forensic record for a threshold-crossing
+    /// execution: the full `EXPLAIN ANALYZE` render (re-running the query
+    /// under the profiler when the offending run was unprofiled — the
+    /// data is still there, so the re-run sees the same plan and
+    /// cardinalities) plus the tail of the installed trace ring.
+    #[allow(clippy::too_many_arguments)]
+    fn capture_forensics(
+        &self,
+        query_text: &str,
+        t: &Translated,
+        wall_us: u64,
+        rows: u64,
+        q_error: Option<f64>,
+        profile: Option<&ExecProfile>,
+        trigger: SlowTrigger,
+    ) {
+        let config = self.ledger.config();
+        let (rendered, q_error) = match profile {
+            Some(p) => (Some(p.render(true)), q_error),
+            None => match self.db.query_profiled(&t.sql) {
+                Ok((_, p)) => {
+                    let q = p.rollup().max_q_error;
+                    (Some(p.render(true)), Some(q))
+                }
+                Err(_) => (None, q_error),
+            },
+        };
+        let explain_analyze = match rendered {
+            Some(r) => format!("sql: {}\n{r}", t.sql),
+            None => format!(
+                "sql: {}\n(profile unavailable: re-execution failed)\n",
+                t.sql
+            ),
+        };
+        let trace_tail = trace::current()
+            .map(|s| s.tail(config.trace_tail))
+            .unwrap_or_default();
+        self.ledger.capture(SlowCapture {
+            seq: 0,
+            fingerprint: fingerprint(query_text),
+            query: query_text.to_string(),
+            scheme: self.scheme.name().to_string(),
+            wall_us,
+            rows,
+            q_error: q_error.unwrap_or(1.0),
+            trigger,
+            explain_analyze,
+            trace_tail,
+        });
     }
 
     /// Publish rows as XML fragments / string values per the translated
@@ -590,70 +726,6 @@ impl XmlStore {
         Ok(())
     }
 
-    /// Run a query across all loaded documents.
-    #[deprecated(note = "use `store.request(q).run()`")]
-    pub fn query(&mut self, query_text: &str) -> Result<QueryOutput> {
-        self.request(query_text).run()
-    }
-
-    /// Run a query against one document.
-    #[deprecated(note = "use `store.request(q).doc(name).run()`")]
-    pub fn query_doc(&mut self, name: &str, query_text: &str) -> Result<QueryOutput> {
-        self.request(query_text).doc(name).run()
-    }
-
-    /// Number of matches without publishing.
-    #[deprecated(note = "use `store.request(q).count()`")]
-    pub fn query_count(&mut self, query_text: &str) -> Result<usize> {
-        self.request(query_text).count()
-    }
-
-    /// Translate a query to SQL without running it.
-    #[deprecated(note = "use `store.request(q).translated()`")]
-    pub fn translate(&self, query_text: &str) -> Result<Translated> {
-        self.request(query_text).translated()
-    }
-
-    /// Translate a query scoped to one document.
-    #[deprecated(note = "use `store.request(q).doc(name).translated()`")]
-    pub fn translate_for(&self, query_text: &str, doc: &str) -> Result<Translated> {
-        self.request(query_text).doc(doc).translated()
-    }
-
-    /// Compile a query and check the chosen physical plan against the
-    /// scheme's access-path contract plus the plan-quality analyzer.
-    #[deprecated(note = "use `store.request(q).report()`")]
-    pub fn verify_plan(&self, query_text: &str) -> Result<PlanReport> {
-        self.request(query_text).report()
-    }
-
-    /// Plan verification scoped to one document.
-    #[deprecated(note = "use `store.request(q).doc(name).report()`")]
-    pub fn verify_plan_for(&self, query_text: &str, doc: &str) -> Result<PlanReport> {
-        self.request(query_text).doc(doc).report()
-    }
-
-    /// Execute a translated query and publish its results.
-    #[deprecated(note = "use `store.request(q).run()`")]
-    pub fn run_translated(&mut self, t: &Translated) -> Result<QueryOutput> {
-        let (rows, _) = self.fetch(t, false)?;
-        let items = self.publish_rows(t, &rows)?;
-        Ok(QueryOutput {
-            items,
-            rows,
-            sql: t.sql.clone(),
-            plan: None,
-            profile: None,
-        })
-    }
-
-    /// Execute a translated query, returning the raw rows after positional
-    /// post-processing.
-    #[deprecated(note = "use `store.request(q).rows()`")]
-    pub fn run_rows(&mut self, t: &Translated) -> Result<Vec<Vec<Value>>> {
-        Ok(self.fetch(t, false)?.0)
-    }
-
     fn render_template(
         &self,
         template: &Template,
@@ -764,7 +836,7 @@ impl<'a> QueryRequest<'a> {
             Explain::None => None,
             Explain::Plan | Explain::Analyze => Some(store.verify_translated(query, &t)?),
         };
-        let (rows, profile) = store.fetch(&t, explain == Explain::Analyze)?;
+        let (rows, profile) = store.fetch(query, &t, explain == Explain::Analyze)?;
         let items = {
             let _span = trace::span("publish", "core");
             store.publish_rows(&t, &rows)?
@@ -792,7 +864,7 @@ impl<'a> QueryRequest<'a> {
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_count", "core");
         let t = store.translate_impl(query, doc)?;
-        let (rows, _) = store.fetch(&t, false)?;
+        let (rows, _) = store.fetch(query, &t, false)?;
         Ok(match &t.out {
             OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
             _ => rows.len(),
@@ -812,7 +884,7 @@ impl<'a> QueryRequest<'a> {
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_rows", "core");
         let t = store.translate_impl(query, doc)?;
-        Ok(store.fetch(&t, false)?.0)
+        Ok(store.fetch(query, &t, false)?.0)
     }
 
     /// Translate to SQL without executing.
@@ -844,7 +916,7 @@ impl<'a> QueryRequest<'a> {
             ..
         } = self;
         let _guard = sink.map(trace::install);
-        let _span = trace::span("store.verify_plan", "core");
+        let _span = trace::span("store.report", "core");
         let t = store.translate_impl(query, doc)?;
         store.verify_translated(query, &t)
     }

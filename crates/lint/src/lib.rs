@@ -21,6 +21,9 @@
 //! - `no-untraced-entrypoint`: public `query*`/`execute*`/`run*` fns in
 //!   the execution-surface files (`core/src/store.rs`, `reldb/src/db.rs`)
 //!   must open a trace span; deprecated shims are exempt.
+//! - `no-unledgered-query`: the same entry points in `core/src/store.rs`
+//!   must also reach the query ledger (directly or through `fetch`, the
+//!   recording choke point), and `fetch` itself must record into it.
 //!
 //! Suppress a finding with `// lint:allow(rule): justification` on the
 //! offending line or alone on the line above. Bare `lint:allow` without a

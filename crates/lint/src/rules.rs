@@ -23,6 +23,7 @@ pub const RULES: &[&str] = &[
     "no-len-truncate",
     "no-cost-truncate",
     "no-untraced-entrypoint",
+    "no-unledgered-query",
     "bare-allow",
 ];
 
@@ -58,6 +59,7 @@ pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
         }
     }
     raw.extend(check_entrypoints(file, toks, &test_mask));
+    raw.extend(check_ledger_feed(file, toks, &test_mask));
 
     for v in raw {
         let suppressed = suppressions
@@ -343,10 +345,86 @@ fn is_deprecated_item(toks: &[Tok], sig_start: usize) -> bool {
     }
 }
 
+/// no-unledgered-query: the store's execution surface must feed the
+/// query ledger, the same way `no-untraced-entrypoint` keeps it traced.
+/// In `core/src/store.rs`, every non-deprecated `pub fn` named `query*` /
+/// `execute*` / `run*` has to reach the ledger — an identifier `ledger`
+/// or `fetch` (the recording choke point every terminal executes through)
+/// in its body counts — and any `fn fetch` in the file must itself
+/// mention `ledger`, which closes the loop: entry points go through
+/// `fetch`, and `fetch` records.
+const LEDGER_FILES: &[&str] = &["core/src/store.rs", "core\\src\\store.rs"];
+
+fn check_ledger_feed(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
+    if !LEDGER_FILES.iter().any(|s| file.ends_with(s)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        if name.text == "fetch" {
+            // The choke point itself, whatever its visibility.
+            if !body_contains_ident(toks, i + 2, &["ledger"]) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: name.line,
+                    rule: "no-unledgered-query",
+                    message: "`fetch` is the query-recording choke point but never \
+                              touches `ledger`; record the execution before returning"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        if !is_entrypoint_name(&name.text) {
+            continue;
+        }
+        let Some(sig_start) = signature_start(toks, i) else {
+            continue; // not `pub`
+        };
+        if is_deprecated_item(toks, sig_start) {
+            continue;
+        }
+        if body_contains_ident(toks, i + 2, &["ledger", "fetch"]) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line: name.line,
+            rule: "no-unledgered-query",
+            message: format!(
+                "public entry point `{}` never reaches the query ledger; \
+                 execute through `fetch` or record via the `ledger` handle",
+                name.text
+            ),
+        });
+    }
+    out
+}
+
 /// Does the fn whose tokens follow its name at `start` contain the
 /// identifier `span` inside its body? Bodyless declarations (trait
 /// methods ending in `;`) have nothing to trace and never match.
 fn body_contains_span(toks: &[Tok], start: usize) -> bool {
+    body_contains_ident(toks, start, &["span"])
+}
+
+/// Does the fn whose tokens follow its name at `start` contain any of the
+/// given identifiers inside its body? Bodyless declarations (trait
+/// methods ending in `;`) never match a missing-call rule.
+fn body_contains_ident(toks: &[Tok], start: usize, names: &[&str]) -> bool {
     // Find the body's `{`: first brace outside the parameter list /
     // return type (tracked via paren and bracket depth).
     let mut depth = 0isize;
@@ -375,7 +453,7 @@ fn body_contains_span(toks: &[Tok], start: usize) -> bool {
             if braces == 0 {
                 return false;
             }
-        } else if t.kind == TokKind::Ident && t.text == "span" {
+        } else if t.kind == TokKind::Ident && names.iter().any(|n| t.text == *n) {
             return true;
         }
         j += 1;
@@ -864,17 +942,60 @@ mod tests {
 
     #[test]
     fn flags_untraced_entrypoint() {
+        // Both observability rules fire: no span, no ledger/fetch.
         let src = "impl S { pub fn query_all(&self) -> u32 { self.n } }";
-        assert_eq!(store_rules(src), vec!["no-untraced-entrypoint"]);
+        assert_eq!(
+            store_rules(src),
+            vec!["no-unledgered-query", "no-untraced-entrypoint"]
+        );
         let src = "pub fn run_workload() { step(); }";
-        assert_eq!(store_rules(src), vec!["no-untraced-entrypoint"]);
+        assert_eq!(
+            store_rules(src),
+            vec!["no-unledgered-query", "no-untraced-entrypoint"]
+        );
     }
 
     #[test]
     fn traced_entrypoint_ok() {
         let src = "impl S { pub fn query_all(&self) -> u32 {\n    \
-                   let _span = trace::span(\"q\", \"core\");\n    self.n\n} }";
+                   let _span = trace::span(\"q\", \"core\");\n    self.fetch(q)\n} }";
         assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn flags_unledgered_query() {
+        // Traced but never reaches the ledger: only the ledger rule fires.
+        let src = "impl S { pub fn query_all(&self) -> u32 {\n    \
+                   let _span = trace::span(\"q\", \"core\");\n    self.n\n} }";
+        assert_eq!(store_rules(src), vec!["no-unledgered-query"]);
+    }
+
+    #[test]
+    fn ledgered_query_ok() {
+        // Recording directly through the ledger handle also satisfies it.
+        let src = "impl S { pub fn query_all(&self) -> u32 {\n    \
+                   let _span = trace::span(\"q\", \"core\");\n    \
+                   self.ledger.observe(q, 0, 0, None);\n    self.n\n} }";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn fetch_must_feed_ledger() {
+        // The choke point itself is checked, private or not.
+        let src = "impl S { fn fetch(&self) { run_sql(); } }";
+        assert_eq!(store_rules(src), vec!["no-unledgered-query"]);
+        let src = "impl S { fn fetch(&self) { self.ledger.observe(q, 0, 0, None); run_sql(); } }";
+        assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn ledger_rule_scoped_to_store() {
+        // Same unledgered source in reldb/src/db.rs: only the trace rule
+        // applies there.
+        let src = "pub fn query_all() -> u32 { 1 }";
+        let v = check("crates/reldb/src/db.rs", &lex(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-untraced-entrypoint");
     }
 
     #[test]
@@ -904,10 +1025,11 @@ mod tests {
             store_rules("pub fn verify_sql(&self) -> bool { true }"),
             Vec::<&str>::new()
         );
-        // pub(crate) visibility is still public enough to need a span.
+        // pub(crate) visibility is still public enough to need a span —
+        // and a ledger feed.
         assert_eq!(
             store_rules("pub(crate) fn execute_one() {}"),
-            vec!["no-untraced-entrypoint"]
+            vec!["no-unledgered-query", "no-untraced-entrypoint"]
         );
     }
 
@@ -921,7 +1043,7 @@ mod tests {
 
     #[test]
     fn entrypoint_suppression_works() {
-        let src = "// lint:allow(no-untraced-entrypoint): metrics-only path\n\
+        let src = "// lint:allow(no-untraced-entrypoint, no-unledgered-query): metrics-only path\n\
                    pub fn run_light() {}";
         assert_eq!(store_rules(src), Vec::<&str>::new());
     }

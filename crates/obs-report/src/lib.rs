@@ -1,0 +1,424 @@
+//! `xmlrel-obs-report` — the bench-trajectory gate.
+//!
+//! Reads two or more `BENCH_*.json` files emitted by `xmlrel-bench`,
+//! aligns their per-query wall times by (experiment, query, corpus,
+//! scheme), prints a trajectory table per scheme × workload, and flags
+//! regressions: a query whose wall time in the newest file is at least
+//! [`CompareOptions::threshold`] × its time in the oldest file **and**
+//! grew by at least [`CompareOptions::min_us`] (the noise band — a 3 µs
+//! query tripling is noise, a 30 ms query tripling is not), or a query
+//! that used to succeed and now errors.
+//!
+//! The binary exits nonzero when any regression is found, which is what
+//! lets `scripts/check.sh` and CI use it as a gate against the committed
+//! `BENCH_BASELINE.json`.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use json::Json;
+
+/// Identity of one benchmark measurement across files.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueryKey {
+    /// Experiment id (workload), e.g. `E2`.
+    pub experiment: String,
+    /// Query id within the experiment, e.g. `Q3`.
+    pub query_id: String,
+    /// Corpus the query ran over.
+    pub corpus: String,
+    /// Mapping scheme.
+    pub scheme: String,
+}
+
+impl std::fmt::Display for QueryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} {} [{}]",
+            self.experiment, self.query_id, self.corpus, self.scheme
+        )
+    }
+}
+
+/// One measurement: wall time, or the error the run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Successful run with its wall time in microseconds.
+    Ok(u64),
+    /// The run errored.
+    Error(String),
+}
+
+/// One parsed bench file.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// Display label (the file name).
+    pub label: String,
+    /// Every query measurement, keyed by identity.
+    pub queries: BTreeMap<QueryKey, Outcome>,
+}
+
+/// Parse one `BENCH_*.json` body.
+pub fn parse_bench(label: &str, text: &str) -> Result<BenchFile, String> {
+    let root = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    let entries = root
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: no \"queries\" array"))?;
+    let mut queries = BTreeMap::new();
+    for entry in entries {
+        let field = |name: &str| -> Result<String, String> {
+            entry
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{label}: query entry missing {name:?}"))
+        };
+        let key = QueryKey {
+            experiment: field("experiment")?,
+            query_id: field("query_id")?,
+            corpus: field("corpus")?,
+            scheme: field("scheme")?,
+        };
+        let outcome = match entry.get("wall_us").and_then(Json::as_u64) {
+            Some(us) => Outcome::Ok(us),
+            None => Outcome::Error(
+                entry
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("missing wall_us")
+                    .to_string(),
+            ),
+        };
+        queries.insert(key, outcome);
+    }
+    Ok(BenchFile {
+        label: label.to_string(),
+        queries,
+    })
+}
+
+/// Noise band and regression threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareOptions {
+    /// Flag when `candidate >= baseline * threshold`.
+    pub threshold: f64,
+    /// ... and the absolute growth is at least this many microseconds.
+    pub min_us: u64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> CompareOptions {
+        CompareOptions {
+            threshold: 2.0,
+            min_us: 5000,
+        }
+    }
+}
+
+/// One flagged regression between the oldest and newest file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which measurement regressed.
+    pub key: QueryKey,
+    /// What happened.
+    pub kind: RegressionKind,
+}
+
+/// The shape of a regression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressionKind {
+    /// Wall time grew past the threshold and the noise band.
+    Slower {
+        /// Oldest file's wall time, µs.
+        baseline_us: u64,
+        /// Newest file's wall time, µs.
+        candidate_us: u64,
+    },
+    /// The query succeeded in the oldest file and errors in the newest.
+    NowFails {
+        /// The newest file's error text.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            RegressionKind::Slower {
+                baseline_us,
+                candidate_us,
+            } => {
+                let ratio = *candidate_us as f64 / (*baseline_us).max(1) as f64;
+                write!(
+                    f,
+                    "{}: {baseline_us}us -> {candidate_us}us ({ratio:.2}x)",
+                    self.key
+                )
+            }
+            RegressionKind::NowFails { error } => {
+                write!(f, "{}: previously ok, now fails: {error}", self.key)
+            }
+        }
+    }
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per scheme × workload trajectory table (one column per file).
+    pub table: String,
+    /// Regressions between the oldest and newest file.
+    pub regressions: Vec<Regression>,
+}
+
+/// Compare two or more parsed bench files: the first is the baseline, the
+/// last the candidate; files in between only add trajectory columns.
+pub fn compare(files: &[BenchFile], opts: CompareOptions) -> Result<Report, String> {
+    let (first, rest) = files.split_first().ok_or("need at least two bench files")?;
+    let last = rest.last().ok_or("need at least two bench files")?;
+
+    let mut regressions = Vec::new();
+    for (key, base) in &first.queries {
+        let Some(cand) = last.queries.get(key) else {
+            continue; // Workload changed shape; nothing to compare.
+        };
+        match (base, cand) {
+            (Outcome::Ok(b), Outcome::Ok(c)) => {
+                let grew = c.saturating_sub(*b);
+                if (*c as f64) >= (*b as f64) * opts.threshold && grew >= opts.min_us {
+                    regressions.push(Regression {
+                        key: key.clone(),
+                        kind: RegressionKind::Slower {
+                            baseline_us: *b,
+                            candidate_us: *c,
+                        },
+                    });
+                }
+            }
+            (Outcome::Ok(_), Outcome::Error(e)) => regressions.push(Regression {
+                key: key.clone(),
+                kind: RegressionKind::NowFails { error: e.clone() },
+            }),
+            (Outcome::Error(_), _) => {}
+        }
+    }
+
+    Ok(Report {
+        table: trajectory_table(files),
+        regressions,
+    })
+}
+
+/// Group every file's measurements by scheme × workload (experiment) and
+/// render total wall time per group per file, newest column last.
+fn trajectory_table(files: &[BenchFile]) -> String {
+    type Group = (String, String); // (scheme, experiment)
+    let mut groups: BTreeSet<Group> = BTreeSet::new();
+    for file in files {
+        for key in file.queries.keys() {
+            groups.insert((key.scheme.clone(), key.experiment.clone()));
+        }
+    }
+    let total = |file: &BenchFile, g: &Group| -> (u64, u64) {
+        let mut sum = 0u64;
+        let mut errors = 0u64;
+        for (key, outcome) in &file.queries {
+            if (key.scheme.as_str(), key.experiment.as_str()) == (g.0.as_str(), g.1.as_str()) {
+                match outcome {
+                    Outcome::Ok(us) => sum += us,
+                    Outcome::Error(_) => errors += 1,
+                }
+            }
+        }
+        (sum, errors)
+    };
+
+    let mut out = String::from("scheme     workload  ");
+    for file in files {
+        out.push_str(&format!("{:>14}", clip(&file.label, 14)));
+    }
+    out.push_str("   trend\n");
+    for g in &groups {
+        out.push_str(&format!("{:<10} {:<9}", clip(&g.0, 10), clip(&g.1, 9)));
+        let mut first_sum = None;
+        let mut last_sum = None;
+        for file in files {
+            let (sum, errors) = total(file, g);
+            let cell = if errors > 0 {
+                format!("{sum}us+{errors}E")
+            } else {
+                format!("{sum}us")
+            };
+            out.push_str(&format!("{cell:>14}"));
+            if first_sum.is_none() {
+                first_sum = Some(sum);
+            }
+            last_sum = Some(sum);
+        }
+        let trend = match (first_sum, last_sum) {
+            (Some(b), Some(c)) if b > 0 => format!("{:>7.2}x", c as f64 / b as f64),
+            _ => format!("{:>8}", "-"),
+        };
+        out.push_str(&format!("  {trend}\n"));
+    }
+    out
+}
+
+fn clip(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let tail: String = s
+            .chars()
+            .rev()
+            .take(width.saturating_sub(1))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        format!("…{tail}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(entries: &[(&str, &str, &str, &str, Option<u64>)]) -> String {
+        let mut out = String::from("{\"scale\": 0.1, \"queries\": [");
+        for (i, (exp, q, corpus, scheme, wall)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match wall {
+                Some(us) => out.push_str(&format!(
+                    "{{\"experiment\":\"{exp}\",\"query_id\":\"{q}\",\"corpus\":\"{corpus}\",\
+                     \"scheme\":\"{scheme}\",\"wall_us\":{us}}}"
+                )),
+                None => out.push_str(&format!(
+                    "{{\"experiment\":\"{exp}\",\"query_id\":\"{q}\",\"corpus\":\"{corpus}\",\
+                     \"scheme\":\"{scheme}\",\"error\":\"boom\"}}"
+                )),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn file(label: &str, entries: &[(&str, &str, &str, &str, Option<u64>)]) -> BenchFile {
+        parse_bench(label, &bench_json(entries)).unwrap()
+    }
+
+    #[test]
+    fn identical_files_have_no_regressions() {
+        let entries = [
+            ("E2", "Q1", "auction", "edge", Some(10_000u64)),
+            ("E2", "Q1", "auction", "interval", Some(8_000)),
+        ];
+        let a = file("old.json", &entries);
+        let b = file("new.json", &entries);
+        let report = compare(&[a, b], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert!(report.table.contains("edge"), "{}", report.table);
+        assert!(report.table.contains("1.00x"), "{}", report.table);
+    }
+
+    #[test]
+    fn doubled_wall_time_in_one_scheme_is_flagged() {
+        let old = file(
+            "old.json",
+            &[
+                ("E2", "Q1", "auction", "edge", Some(10_000)),
+                ("E2", "Q1", "auction", "interval", Some(8_000)),
+            ],
+        );
+        let new = file(
+            "new.json",
+            &[
+                ("E2", "Q1", "auction", "edge", Some(25_000)),
+                ("E2", "Q1", "auction", "interval", Some(8_100)),
+            ],
+        );
+        let report = compare(&[old, new], CompareOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        let r = report.regressions.first().unwrap();
+        assert_eq!(r.key.scheme, "edge");
+        assert_eq!(
+            r.kind,
+            RegressionKind::Slower {
+                baseline_us: 10_000,
+                candidate_us: 25_000
+            }
+        );
+        assert!(r.to_string().contains("2.50x"), "{r}");
+    }
+
+    #[test]
+    fn growth_inside_the_noise_band_is_ignored() {
+        // 3x ratio but only 600us of growth: under min_us, so noise.
+        let old = file("old.json", &[("E2", "Q1", "auction", "edge", Some(300))]);
+        let new = file("new.json", &[("E2", "Q1", "auction", "edge", Some(900))]);
+        let report = compare(&[old, new], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn big_growth_under_the_ratio_is_ignored() {
+        // +50ms but only 1.5x: under threshold.
+        let old = file(
+            "old.json",
+            &[("E2", "Q1", "auction", "edge", Some(100_000))],
+        );
+        let new = file(
+            "new.json",
+            &[("E2", "Q1", "auction", "edge", Some(150_000))],
+        );
+        let report = compare(&[old, new], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn ok_to_error_is_always_a_regression() {
+        let old = file("old.json", &[("E2", "Q1", "auction", "edge", Some(10))]);
+        let new = file("new.json", &[("E2", "Q1", "auction", "edge", None)]);
+        let report = compare(&[old, new], CompareOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(matches!(
+            &report.regressions.first().unwrap().kind,
+            RegressionKind::NowFails { error } if error == "boom"
+        ));
+    }
+
+    #[test]
+    fn error_to_error_and_error_to_ok_are_fine() {
+        let old = file("old.json", &[("E2", "Q1", "auction", "edge", None)]);
+        let new = file("new.json", &[("E2", "Q1", "auction", "edge", Some(10))]);
+        let report = compare(&[old.clone(), new], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty());
+        let report = compare(&[old.clone(), old], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn middle_files_only_add_columns() {
+        let old = file("a.json", &[("E2", "Q1", "x", "edge", Some(10_000))]);
+        let mid = file("b.json", &[("E2", "Q1", "x", "edge", Some(90_000))]);
+        let new = file("c.json", &[("E2", "Q1", "x", "edge", Some(10_500))]);
+        let report = compare(&[old, mid, new], CompareOptions::default()).unwrap();
+        // The spike in the middle is visible in the table but not flagged:
+        // only oldest vs newest gates.
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert!(report.table.contains("90000us"), "{}", report.table);
+    }
+
+    #[test]
+    fn fewer_than_two_files_is_an_error() {
+        assert!(compare(&[], CompareOptions::default()).is_err());
+        let one = file("a.json", &[("E2", "Q1", "x", "edge", Some(10))]);
+        assert!(compare(&[one], CompareOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! CLI for the bench-trajectory gate.
+//!
+//! ```text
+//! xmlrel-obs-report [--threshold F] [--min-us N] OLD.json [MID.json ...] NEW.json
+//! ```
+//!
+//! Prints the per scheme × workload trajectory table, lists regressions
+//! between the oldest and newest file, and exits with status 1 when any
+//! regression is found (2 on usage or parse errors).
+
+use std::process::ExitCode;
+
+use xmlrel_obs_report::{compare, parse_bench, BenchFile, CompareOptions};
+
+fn usage() -> String {
+    "usage: xmlrel-obs-report [--threshold F] [--min-us N] OLD.json [MID.json ...] NEW.json\n\
+     \n\
+     Flags a regression when a query's wall time in NEW is at least\n\
+     `threshold` times its wall time in OLD (default 2.0) AND grew by at\n\
+     least `min-us` microseconds (default 5000, the noise band), or when\n\
+     a query that succeeded in OLD errors in NEW. Exits 1 on regression."
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut opts = CompareOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                opts.threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--min-us" => {
+                opts.min_us = it
+                    .next()
+                    .ok_or("--min-us needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-us: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}\n{}", usage()))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() < 2 {
+        return Err(format!("need at least two bench files\n{}", usage()));
+    }
+
+    let mut files: Vec<BenchFile> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let label = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| path.clone());
+        files.push(parse_bench(&label, &text)?);
+    }
+
+    let report = compare(&files, opts)?;
+    println!(
+        "bench trajectory ({} files, oldest -> newest):",
+        files.len()
+    );
+    println!("{}", report.table);
+    if report.regressions.is_empty() {
+        println!(
+            "no regressions (threshold {:.2}x, noise band {}us)",
+            opts.threshold, opts.min_us
+        );
+        Ok(true)
+    } else {
+        println!("REGRESSIONS ({}):", report.regressions.len());
+        for r in &report.regressions {
+            println!("  {r}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

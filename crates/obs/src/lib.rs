@@ -11,6 +11,11 @@
 //!
 //! Both are cheap when idle: a span with no sink installed is a single
 //! thread-local read; metrics are a short mutex-guarded map update.
+//!
+//! A third facility, [`serve`], makes both reachable from outside the
+//! process: a from-scratch HTTP/1.0 endpoint (`std::net` only) answering
+//! `/metrics`, `/healthz`, `/spans`, and `/slow`.
 
 pub mod metrics;
+pub mod serve;
 pub mod trace;

@@ -47,13 +47,35 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, v: u64) {
+    /// Record one sample. Public so components that keep their own
+    /// histograms (e.g. the query ledger's per-fingerprint latency) can
+    /// reuse the bucketing instead of reinventing it.
+    pub fn observe(&mut self, v: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx] += 1;
+    }
+
+    /// Cumulative `(le, count)` pairs: `count` samples were `<= le`.
+    /// Bucket `i` holds samples in `[2^(i-1), 2^i)`, so its inclusive
+    /// upper bound over integer samples is exactly `2^i - 1`. Pairs stop
+    /// at the highest non-empty bucket; the caller appends `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let highest = match self.buckets.iter().rposition(|&b| b > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(highest + 1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate().take(highest + 1) {
+            seen += b;
+            let le = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            out.push((le, seen));
+        }
+        out
     }
 
     /// Upper bound of the bucket holding the p-th percentile (0..=100).
@@ -168,11 +190,19 @@ pub fn reset() {
     lock().metrics.clear();
 }
 
-/// Plain-text exposition: one metric per line, sorted by name.
+/// Plain-text exposition: sorted by name. Counters and gauges are one
+/// line each; histograms get a human summary line followed by a
+/// scrape-shaped cumulative exposition (`_bucket{le=...}`, `_sum`,
+/// `_count` — Prometheus histogram convention, so `/metrics` output can
+/// be ingested as-is).
 ///
 /// ```text
 /// queries_total{scheme="edge"} 12
 /// snapshot_duration_us count=3 sum=4500 min=1200 max=1800 p50<=2048 p99<=2048
+/// snapshot_duration_us_bucket{le="2047"} 3
+/// snapshot_duration_us_bucket{le="+Inf"} 3
+/// snapshot_duration_us_sum 4500
+/// snapshot_duration_us_count 3
 /// ```
 pub fn dump() -> String {
     let mut out = String::new();
@@ -183,21 +213,55 @@ pub fn dump() -> String {
             Metric::Histogram(h) => {
                 if h.count == 0 {
                     out.push_str(&format!("{name} count=0\n"));
-                } else {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{name} count={} sum={} min={} max={} p50<={} p99<={}\n",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.percentile_bound(50),
+                    h.percentile_bound(99)
+                ));
+                for (le, cum) in h.cumulative_buckets() {
                     out.push_str(&format!(
-                        "{name} count={} sum={} min={} max={} p50<={} p99<={}\n",
-                        h.count,
-                        h.sum,
-                        h.min,
-                        h.max,
-                        h.percentile_bound(50),
-                        h.percentile_bound(99)
+                        "{} {cum}\n",
+                        suffixed(&name, "_bucket", Some(&le.to_string()))
                     ));
                 }
+                out.push_str(&format!(
+                    "{} {}\n",
+                    suffixed(&name, "_bucket", Some("+Inf")),
+                    h.count
+                ));
+                out.push_str(&format!("{} {}\n", suffixed(&name, "_sum", None), h.sum));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    suffixed(&name, "_count", None),
+                    h.count
+                ));
             }
         }
     }
     out
+}
+
+/// Append a suffix to a possibly-labelled metric name, folding an
+/// optional `le` label into the existing label set:
+/// `suffixed("lat{scheme=\"edge\"}", "_bucket", Some("15"))` →
+/// `lat_bucket{scheme="edge",le="15"}`.
+fn suffixed(name: &str, suffix: &str, le: Option<&str>) -> String {
+    let (base, labels) = match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (name, ""),
+    };
+    match (labels.is_empty(), le) {
+        (true, None) => format!("{base}{suffix}"),
+        (true, Some(le)) => format!("{base}{suffix}{{le=\"{le}\"}}"),
+        (false, None) => format!("{base}{suffix}{{{labels}}}"),
+        (false, Some(le)) => format!("{base}{suffix}{{{labels},le=\"{le}\"}}"),
+    }
 }
 
 /// Build a labelled metric name, escaping quotes in the label value:
@@ -253,6 +317,61 @@ mod tests {
         let a = text.find("test_dump_a").unwrap();
         let b = text.find("test_dump_b").unwrap();
         assert!(a < b);
+    }
+
+    /// Pins the scrape-shaped histogram exposition: cumulative
+    /// `_bucket{le=...}` lines (exact integer upper bounds, `+Inf`
+    /// terminator), then `_sum` and `_count`.
+    #[test]
+    fn dump_emits_cumulative_buckets() {
+        for v in [1u64, 2, 3, 100] {
+            observe_us("test_bucket_expo", v);
+        }
+        let text = dump();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("test_bucket_expo"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "test_bucket_expo count=4 sum=106 min=1 max=100 p50<=4 p99<=128",
+                "test_bucket_expo_bucket{le=\"0\"} 0",
+                "test_bucket_expo_bucket{le=\"1\"} 1",
+                "test_bucket_expo_bucket{le=\"3\"} 3",
+                "test_bucket_expo_bucket{le=\"7\"} 3",
+                "test_bucket_expo_bucket{le=\"15\"} 3",
+                "test_bucket_expo_bucket{le=\"31\"} 3",
+                "test_bucket_expo_bucket{le=\"63\"} 3",
+                "test_bucket_expo_bucket{le=\"127\"} 4",
+                "test_bucket_expo_bucket{le=\"+Inf\"} 4",
+                "test_bucket_expo_sum 106",
+                "test_bucket_expo_count 4",
+            ]
+        );
+    }
+
+    /// A labelled histogram folds `le` into the existing label set.
+    #[test]
+    fn dump_buckets_fold_labels() {
+        observe_us(&labelled("test_bucket_lbl", "scheme", "edge"), 4);
+        let text = dump();
+        assert!(
+            text.contains("test_bucket_lbl_bucket{scheme=\"edge\",le=\"7\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_bucket_lbl_bucket{scheme=\"edge\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_bucket_lbl_sum{scheme=\"edge\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_bucket_lbl_count{scheme=\"edge\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! A from-scratch HTTP/1.0 monitoring endpoint over `std::net` only.
+//!
+//! [`serve`] binds a [`TcpListener`] on a background thread and answers
+//! four fixed paths:
+//!
+//! - `GET /metrics` — the registry's plain-text exposition
+//!   ([`metrics::dump`], scrape-shaped histogram buckets included);
+//! - `GET /healthz` — liveness/durability status from the embedder's
+//!   health provider (`200` when healthy, `503` otherwise);
+//! - `GET /spans`  — chrome-trace JSON of the attached trace ring;
+//! - `GET /slow`   — the embedder's slow-query forensic captures (JSON).
+//!
+//! The server is deliberately minimal: GET only, `Connection: close`,
+//! one request per connection, handled sequentially on one thread — the
+//! right shape for an operator poking at a process, not a public API.
+//! Providers are plain closures so the crate stays dependency-free; the
+//! store layer wires its ledger and health report in without `obs`
+//! knowing their types.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics;
+
+/// Largest request head (request line + headers) the server will read.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a connection may dribble its request before being dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// What the health provider reports: a flag driving the status code
+/// (`200` vs `503`) plus a plain-text body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// True when the process is healthy (`200 OK`).
+    pub ok: bool,
+    /// Plain-text detail rendered as the response body.
+    pub body: String,
+}
+
+type TextProvider = Box<dyn Fn() -> String + Send>;
+type HealthProvider = Box<dyn Fn() -> Health + Send>;
+
+/// The four endpoint bodies, each produced on demand. Defaults: live
+/// [`metrics::dump`], an always-ok health check, an empty trace, and no
+/// captures — override what the embedder actually has.
+pub struct Endpoints {
+    metrics: TextProvider,
+    healthz: HealthProvider,
+    spans: TextProvider,
+    slow: TextProvider,
+}
+
+impl Default for Endpoints {
+    fn default() -> Endpoints {
+        Endpoints::new()
+    }
+}
+
+impl Endpoints {
+    /// Endpoints with every provider at its default.
+    pub fn new() -> Endpoints {
+        Endpoints {
+            metrics: Box::new(metrics::dump),
+            healthz: Box::new(|| Health {
+                ok: true,
+                body: "ok\n".into(),
+            }),
+            spans: Box::new(|| "{\"traceEvents\":[],\"droppedEvents\":0}".into()),
+            slow: Box::new(|| "[]".into()),
+        }
+    }
+
+    /// Override the `/metrics` body (the default is the live registry).
+    pub fn metrics(mut self, f: impl Fn() -> String + Send + 'static) -> Endpoints {
+        self.metrics = Box::new(f);
+        self
+    }
+
+    /// Provide the `/healthz` report.
+    pub fn healthz(mut self, f: impl Fn() -> Health + Send + 'static) -> Endpoints {
+        self.healthz = Box::new(f);
+        self
+    }
+
+    /// Serve `/spans` from a trace ring: each request exports the sink's
+    /// current contents as chrome-trace JSON.
+    pub fn spans(mut self, sink: &crate::trace::TraceSink) -> Endpoints {
+        let sink = sink.clone();
+        self.spans = Box::new(move || sink.to_chrome_trace());
+        self
+    }
+
+    /// Provide the `/slow` body (JSON array of forensic captures).
+    pub fn slow(mut self, f: impl Fn() -> String + Send + 'static) -> Endpoints {
+        self.slow = Box::new(f);
+        self
+    }
+}
+
+/// Handle onto a running monitor server. Dropping it (or calling
+/// [`stop`](MonitorHandle::stop)) shuts the server down and joins the
+/// thread.
+pub struct MonitorHandle {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MonitorHandle {
+    /// The address the server actually bound (port 0 resolves here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the monitoring endpoints
+/// on a background thread until the returned handle stops or drops.
+pub fn serve(addr: &str, endpoints: Endpoints) -> std::io::Result<MonitorHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let stop = stopping.clone();
+    let thread = std::thread::Builder::new()
+        .name("xmlrel-monitor".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                // One slow or broken client must not wedge the endpoint.
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = handle(stream, &endpoints);
+            }
+        })?;
+    Ok(MonitorHandle {
+        addr,
+        stopping,
+        thread: Some(thread),
+    })
+}
+
+/// Read one request head, route it, and write the response.
+fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
+    let head = match read_head(&mut stream) {
+        Some(h) => h,
+        None => {
+            return respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            )
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => {
+            return respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            )
+        }
+    };
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    // Ignore any query string: `/metrics?x=1` is still `/metrics`.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = (endpoints.metrics)();
+            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => {
+            let h = (endpoints.healthz)();
+            if h.ok {
+                respond(&mut stream, 200, "OK", "text/plain", &h.body)
+            } else {
+                respond(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    &h.body,
+                )
+            }
+        }
+        "/spans" => {
+            let body = (endpoints.spans)();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/slow" => {
+            let body = (endpoints.slow)();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain",
+            "unknown path; try /metrics /healthz /spans /slow\n",
+        ),
+    }
+}
+
+/// Read up to the end of the request head (blank line), returning the
+/// request line. `None` on malformed, oversized, or timed-out input.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(chunk.get(..n)?);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?;
+    if line.is_empty() {
+        return None;
+    }
+    Some(line.to_string())
+}
+
+/// Write one HTTP/1.0 response with correct framing and close.
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -93,6 +93,14 @@ impl TraceSink {
         inner.events.iter().cloned().collect()
     }
 
+    /// The most recent `n` events, oldest first. The tail is what a
+    /// forensic capture wants: the spans leading up to "right now".
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let inner = SinkInner::lock(&self.inner);
+        let skip = inner.events.len().saturating_sub(n);
+        inner.events.iter().skip(skip).cloned().collect()
+    }
+
     /// Number of events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         SinkInner::lock(&self.inner).dropped
@@ -173,6 +181,13 @@ pub fn install(sink: &TraceSink) -> InstallGuard {
     InstallGuard { _priv: () }
 }
 
+/// The sink currently installed on this thread, if any. Lets a component
+/// that did not install the sink itself (e.g. a slow-query capture)
+/// snapshot the ring's tail.
+pub fn current() -> Option<TraceSink> {
+    CURRENT.with(|c| c.stack.borrow().last().cloned())
+}
+
 /// RAII guard for [`install`]; uninstalls on drop.
 pub struct InstallGuard {
     _priv: (),
@@ -245,8 +260,10 @@ impl Drop for Span {
     }
 }
 
-/// Minimal JSON string escaping (shared with the metrics dump).
-pub(crate) fn json_quote(s: &str) -> String {
+/// Minimal JSON string escaping: quote `s` as a JSON string literal.
+/// Public because every hand-rolled JSON emitter in the workspace (the
+/// chrome-trace export, the ledger's `/slow` body) needs the same rules.
+pub fn json_quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -333,6 +350,20 @@ mod tests {
         assert_eq!(b.events()[0].name, "into-b");
         assert_eq!(a.events().len(), 1);
         assert_eq!(a.events()[0].name, "into-a");
+    }
+
+    #[test]
+    fn current_and_tail() {
+        assert!(current().is_none());
+        let sink = TraceSink::new();
+        let _g = install(&sink);
+        assert!(current().is_some());
+        for i in 0..5 {
+            let _s = span(format!("t{i}"), "test");
+        }
+        let tail: Vec<String> = sink.tail(2).iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(tail, vec!["t3", "t4"]);
+        assert_eq!(sink.tail(100).len(), 5);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! The monitoring endpoint speaks real HTTP over plain TCP: these tests
+//! connect with `TcpStream` (no external client) and assert on framing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use xmlrel_obs::serve::{serve, Endpoints, Health};
+use xmlrel_obs::{metrics, trace};
+
+/// One round trip: send `request`, read the full response.
+fn roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(request.as_bytes()).expect("write");
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("read");
+    out
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n"),
+    )
+}
+
+/// Split an HTTP response into (status line, headers, body).
+fn parse(resp: &str) -> (String, Vec<String>, String) {
+    let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status = lines.next().expect("status line").to_string();
+    (
+        status,
+        lines.map(|l| l.to_string()).collect(),
+        body.to_string(),
+    )
+}
+
+#[test]
+fn serves_all_four_endpoints_with_http_framing() {
+    metrics::counter_add("serve_http_test_counter", 7);
+    let sink = trace::TraceSink::new();
+    {
+        let _g = trace::install(&sink);
+        let _s = trace::span("serve-test-span", "test");
+    }
+    let handle = serve(
+        "127.0.0.1:0",
+        Endpoints::new()
+            .healthz(|| Health {
+                ok: true,
+                body: "status ok\n".into(),
+            })
+            .spans(&sink)
+            .slow(|| "[{\"fingerprint\":\"/q\"}]".into()),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let (status, headers, body) = parse(&get(addr, "/metrics"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(body.contains("serve_http_test_counter 7"), "{body}");
+    let clen = headers
+        .iter()
+        .find_map(|h| h.strip_prefix("Content-Length: "))
+        .expect("content-length")
+        .parse::<usize>()
+        .expect("numeric");
+    assert_eq!(clen, body.len());
+    assert!(headers.iter().any(|h| h == "Connection: close"));
+
+    let (status, _, body) = parse(&get(addr, "/healthz"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert_eq!(body, "status ok\n");
+
+    let (status, headers, body) = parse(&get(addr, "/spans"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(headers
+        .iter()
+        .any(|h| h == "Content-Type: application/json"));
+    assert!(body.contains("serve-test-span"), "{body}");
+    assert!(body.contains("\"ph\":\"X\""), "{body}");
+
+    let (status, _, body) = parse(&get(addr, "/slow"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(body.contains("\"fingerprint\""), "{body}");
+
+    handle.stop();
+}
+
+#[test]
+fn unhealthy_is_503_unknown_is_404_post_is_405() {
+    let handle = serve(
+        "127.0.0.1:0",
+        Endpoints::new().healthz(|| Health {
+            ok: false,
+            body: "durability poisoned\n".into(),
+        }),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let (status, _, body) = parse(&get(addr, "/healthz"));
+    assert_eq!(status, "HTTP/1.0 503 Service Unavailable");
+    assert!(body.contains("poisoned"));
+
+    let (status, _, _) = parse(&get(addr, "/nope"));
+    assert_eq!(status, "HTTP/1.0 404 Not Found");
+
+    let resp = roundtrip(addr, "POST /metrics HTTP/1.0\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+
+    // Query strings are ignored during routing.
+    let (status, _, _) = parse(&get(addr, "/metrics?debug=1"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+
+    handle.stop();
+}
+
+#[test]
+fn stop_unbinds_the_port() {
+    let handle = serve("127.0.0.1:0", Endpoints::new()).expect("bind");
+    let addr = handle.addr();
+    let (status, _, _) = parse(&get(addr, "/healthz"));
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    handle.stop();
+    // After stop() returns the listener is dropped; a fresh bind on the
+    // same port succeeds.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "{rebound:?}");
+}

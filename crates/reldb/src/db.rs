@@ -92,6 +92,22 @@ struct Durability {
     poisoned: bool,
 }
 
+/// A point-in-time durability/health summary of a [`Database`], cheap to
+/// compute and safe to render on a monitoring endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStatus {
+    /// Whether writes persist (a storage backend is attached).
+    pub durable: bool,
+    /// Generation of the current snapshot (0 before the first
+    /// checkpoint; meaningless for in-memory databases).
+    pub snapshot_generation: u64,
+    /// True after a failed commit left memory ahead of disk; the
+    /// database refuses further writes until reopened.
+    pub poisoned: bool,
+    /// Number of tables in the catalog.
+    pub tables: usize,
+}
+
 /// An embedded relational database.
 #[derive(Debug, Default)]
 pub struct Database {
@@ -190,6 +206,16 @@ impl Database {
     /// Whether this database persists its writes.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// Durability/health summary for monitoring (`/healthz`).
+    pub fn status(&self) -> DbStatus {
+        DbStatus {
+            durable: self.durability.is_some(),
+            snapshot_generation: self.durability.as_ref().map_or(0, |d| d.gen),
+            poisoned: self.durability.as_ref().is_some_and(|d| d.poisoned),
+            tables: self.catalog.table_names().len(),
+        }
     }
 
     /// Serialize the catalog to a new snapshot and truncate the WAL.

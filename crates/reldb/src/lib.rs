@@ -44,7 +44,7 @@ pub mod table;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, ExecResult, QueryResult};
+pub use db::{Database, DbStatus, ExecResult, QueryResult};
 pub use error::{DbError, Result};
 pub use exec::{ExecLimits, ExecProfile, OpStats, ProfileRollup};
 pub use schema::{Column, Schema};

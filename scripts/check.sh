@@ -32,7 +32,17 @@ planlint() {
 
 bench_driver() {
     cargo run -q --locked --release -p xmlrel-bench -- \
-        --out target/BENCH_PR4.json --trace target/trace.json --scale 0.1
+        --out target/BENCH.json --trace target/trace.json \
+        --metrics target/metrics.txt --scale 0.1
+}
+
+# Bench-trajectory gate: the fresh run must not regress against the
+# committed baseline. Thresholds are loose (5x, 20ms) because the baseline
+# was recorded on different hardware; a real regression (quadratic join,
+# lost index) blows past both, machine noise does not.
+bench_trajectory() {
+    cargo run -q --locked --release -p xmlrel-obs-report -- \
+        --threshold 5 --min-us 20000 BENCH_BASELINE.json target/BENCH.json
 }
 
 step "cargo fmt --check"  cargo fmt --all --check
@@ -40,6 +50,7 @@ step "release build"      cargo build --release --locked
 step "xmlrel-lint"        cargo run -q --locked -p lint -- --out target/lint.json
 step "planlint"           planlint
 step "bench driver"       bench_driver
+step "bench trajectory"   bench_trajectory
 step "clippy"             cargo clippy --workspace --all-targets --locked -- -D warnings
 step "tests"              cargo test -q --workspace --locked
 

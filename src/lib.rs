@@ -10,8 +10,9 @@
 //! - [`xmlgen`]: synthetic corpora and the benchmark workload.
 
 pub use xmlrel_core::{
-    CoreError, Explain, NodeKey, OutKind, PlanReport, QueryOutput, QueryRequest, Result, Scheme,
-    StoreBuilder, Translated, XmlStore,
+    CoreError, Explain, FingerprintStats, HealthReport, Ledger, LedgerConfig, NodeKey, OutKind,
+    PlanReport, QueryOutput, QueryRequest, Result, Scheme, SlowCapture, SlowTrigger, StoreBuilder,
+    Translated, XmlStore,
 };
 
 pub use reldb;

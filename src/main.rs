@@ -7,15 +7,26 @@
 //!   xmlrel explain [--analyze] <scheme> <file.xml> <xpath>
 //!   xmlrel trace   [--out PATH] <scheme> <file.xml> <xpath>
 //!   xmlrel stats   [--scale F]
+//!   xmlrel top     [--scale F] [--slow-us N] [--max-q F]
+//!   xmlrel slow    [--scale F] [--slow-us N] [--max-q F]
+//!   xmlrel serve   [--addr HOST:PORT] [--slow-us N] [--max-q F]
+//!                  <scheme> <file.xml> [xpath ...]
 //!
 //! `<scheme>` is one of `edge`, `binary`, `universal`, `interval`,
 //! `dewey`, or `inline` (inline additionally needs `--dtd FILE`). `stats`
 //! runs the built-in auction workload over every scheme and prints the
-//! metrics registry's text exposition.
+//! metrics registry's text exposition. `top` runs the same workload into
+//! one shared query ledger and prints the per-fingerprint table; `slow`
+//! prints the forensic captures (full `EXPLAIN ANALYZE` + trace tail)
+//! that crossed the latency/q-error thresholds. `serve` loads a file,
+//! runs the given queries, and keeps answering `/metrics`, `/healthz`,
+//! `/spans`, and `/slow` over HTTP until interrupted.
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
-use xmlrel::{Explain, Scheme, XmlStore};
+use xmlrel::{Explain, Ledger, LedgerConfig, Scheme, XmlStore};
+use xmlrel_obs::serve::{serve, Endpoints, Health};
 use xmlrel_obs::{metrics, trace};
 
 fn main() -> ExitCode {
@@ -28,6 +39,9 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "slow" => cmd_slow(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => return usage(""),
         other => Err(format!("unknown subcommand {other:?}")),
     };
@@ -45,7 +59,10 @@ fn usage(err: &str) -> ExitCode {
         "usage: xmlrel query   <scheme> <file.xml> <xpath>\n       \
                 xmlrel explain [--analyze] <scheme> <file.xml> <xpath>\n       \
                 xmlrel trace   [--out PATH] <scheme> <file.xml> <xpath>\n       \
-                xmlrel stats   [--scale F]\n\
+                xmlrel stats   [--scale F]\n       \
+                xmlrel top     [--scale F] [--slow-us N] [--max-q F]\n       \
+                xmlrel slow    [--scale F] [--slow-us N] [--max-q F]\n       \
+                xmlrel serve   [--addr HOST:PORT] [--slow-us N] [--max-q F] <scheme> <file.xml> [xpath ...]\n\
          schemes: edge binary universal interval dewey inline (inline needs --dtd FILE)"
     );
     if err.is_empty() {
@@ -63,6 +80,9 @@ struct Cli<'a> {
     out: Option<String>,
     dtd: Option<String>,
     scale: f64,
+    addr: String,
+    slow_us: Option<u64>,
+    max_q: Option<f64>,
 }
 
 fn parse(args: &[String]) -> Result<Cli<'_>, String> {
@@ -72,6 +92,9 @@ fn parse(args: &[String]) -> Result<Cli<'_>, String> {
         out: None,
         dtd: None,
         scale: 0.1,
+        addr: "127.0.0.1:9185".to_string(),
+        slow_us: None,
+        max_q: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -99,6 +122,29 @@ fn parse(args: &[String]) -> Result<Cli<'_>, String> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| "--scale requires a number".to_string())?;
+            }
+            "--addr" => {
+                i += 1;
+                cli.addr = args
+                    .get(i)
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?
+                    .clone();
+            }
+            "--slow-us" => {
+                i += 1;
+                cli.slow_us = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "--slow-us requires a number".to_string())?,
+                );
+            }
+            "--max-q" => {
+                i += 1;
+                cli.max_q = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "--max-q requires a number".to_string())?,
+                );
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             p => cli.pos.push(p),
@@ -243,4 +289,171 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     print!("{}", metrics::dump());
     Ok(())
+}
+
+/// Ledger thresholds from CLI flags, defaults from [`LedgerConfig`].
+fn ledger_config(cli: &Cli) -> LedgerConfig {
+    let defaults = LedgerConfig::default();
+    LedgerConfig {
+        slow_wall_us: cli.slow_us.unwrap_or(defaults.slow_wall_us),
+        slow_q_error: cli.max_q.unwrap_or(defaults.slow_q_error),
+        ..defaults
+    }
+}
+
+/// Run the built-in auction workload over every scheme, feeding one
+/// shared query ledger (queries run under `Explain::Analyze` so q-error
+/// reaches the ledger too).
+fn run_workload_into_ledger(scale: f64, config: LedgerConfig) -> Result<Ledger, String> {
+    let ledger = Ledger::new(config);
+    let doc =
+        xmlrel::xmlgen::auction::generate(&xmlrel::xmlgen::auction::AuctionConfig::at_scale(scale));
+    for scheme in xmlrel::all_schemes(xmlrel::xmlgen::auction::AUCTION_DTD)
+        .map_err(|e| format!("schemes: {e}"))?
+    {
+        let name = scheme.name();
+        let mut store = XmlStore::builder(scheme)
+            .ledger(ledger.clone())
+            .open()
+            .map_err(|e| format!("{name}: install: {e}"))?;
+        store
+            .load_document("auction", &doc)
+            .map_err(|e| format!("{name}: load: {e}"))?;
+        for q in xmlrel::xmlgen::queries::AUCTION_QUERIES {
+            // Unsupported constructs are part of the comparison; the
+            // ledger records them as errors.
+            let _ = store.request(q.text).explain(Explain::Analyze).run();
+        }
+    }
+    Ok(ledger)
+}
+
+/// Run the workload and print the ledger's top table.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    if !cli.pos.is_empty() {
+        return Err("top takes only --scale/--slow-us/--max-q".into());
+    }
+    let ledger = run_workload_into_ledger(cli.scale, ledger_config(&cli))?;
+    print!("{}", ledger.render_top(50));
+    let captures = ledger.captures();
+    if !captures.is_empty() {
+        eprintln!(
+            "{} slow capture(s) recorded; `xmlrel slow` prints the forensics",
+            captures.len()
+        );
+    }
+    Ok(())
+}
+
+/// Run the workload and print every slow-query forensic capture.
+fn cmd_slow(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    if !cli.pos.is_empty() {
+        return Err("slow takes only --scale/--slow-us/--max-q".into());
+    }
+    let config = ledger_config(&cli);
+    let ledger = run_workload_into_ledger(cli.scale, config)?;
+    let captures = ledger.captures();
+    if captures.is_empty() {
+        println!(
+            "no captures: nothing crossed {}us wall time or q-error {:.1}",
+            config.slow_wall_us, config.slow_q_error
+        );
+        return Ok(());
+    }
+    for c in &captures {
+        println!(
+            "== capture #{} [{}] {} ==\nscheme: {}  wall: {}us  rows: {}  q-error: {:.2}\nquery: {}\n{}",
+            c.seq, c.trigger, c.fingerprint, c.scheme, c.wall_us, c.rows, c.q_error, c.query,
+            c.explain_analyze
+        );
+        for e in &c.trace_tail {
+            println!(
+                "  trace: {:indent$}{} [{}] {}us",
+                "",
+                e.name,
+                e.cat,
+                e.dur_us,
+                indent = e.depth as usize * 2
+            );
+        }
+        println!();
+    }
+    if ledger.evicted() > 0 {
+        eprintln!(
+            "{} older capture(s) evicted from the ring",
+            ledger.evicted()
+        );
+    }
+    Ok(())
+}
+
+/// Load a file, run the given queries, and keep the monitoring endpoint
+/// up until the process is interrupted.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    let (&scheme, &file, queries) = match cli.pos.split_first() {
+        Some((s, rest)) => match rest.split_first() {
+            Some((f, qs)) => (s, f, qs),
+            None => return Err("serve needs <scheme> <file.xml> [xpath ...]".into()),
+        },
+        None => return Err("serve needs <scheme> <file.xml> [xpath ...]".into()),
+    };
+
+    let sink = trace::TraceSink::with_capacity(16384);
+    let store = {
+        let _guard = trace::install(&sink);
+        load(scheme, file, cli.dtd.as_deref())?
+    };
+    store.ledger().set_config(ledger_config(&cli));
+    let ledger = store.ledger();
+
+    // The health closure must be Send + 'static while the store stays on
+    // this thread: publish snapshots through a shared slot, refreshed
+    // after every query batch.
+    let health_slot = Arc::new(Mutex::new(store.health()));
+    let slot = Arc::clone(&health_slot);
+    let slow_ledger = ledger.clone();
+    let handle = serve(
+        &cli.addr,
+        Endpoints::new()
+            .healthz(move || {
+                let report = slot.lock().unwrap_or_else(|e| e.into_inner());
+                Health {
+                    ok: report.ok,
+                    body: report.render(),
+                }
+            })
+            .spans(&sink)
+            .slow(move || slow_ledger.slow_json()),
+    )
+    .map_err(|e| format!("bind {}: {e}", cli.addr))?;
+    eprintln!(
+        "serving /metrics /healthz /spans /slow on http://{}",
+        handle.addr()
+    );
+
+    for q in queries {
+        let out = store
+            .request(q)
+            .explain(Explain::Analyze)
+            .trace(&sink)
+            .run();
+        match out {
+            Ok(o) => eprintln!("query {q:?}: {} item(s)", o.len()),
+            Err(e) => eprintln!("query {q:?}: error: {e}"),
+        }
+    }
+    if let Ok(mut slot) = health_slot.lock() {
+        *slot = store.health();
+    }
+
+    eprintln!("queries done; endpoint stays up (Ctrl-C to stop)");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        if let Ok(mut slot) = health_slot.lock() {
+            *slot = store.health();
+        }
+    }
 }

@@ -1,0 +1,105 @@
+//! End-to-end: a store with tight ledger thresholds, a deliberately
+//! captured query, and the monitoring endpoint serving the forensics over
+//! plain TCP — the full `obs::serve` + query-ledger loop.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use xmlrel::obs::serve::{serve, Endpoints, Health};
+use xmlrel::obs::trace;
+use xmlrel::{Explain, Ledger, LedgerConfig, Scheme, XmlStore};
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(format!("GET {path} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("read");
+    let (head, body) = resp.split_once("\r\n\r\n").expect("framing");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn slow_query_shows_up_in_slow_endpoint_with_explain_analyze() {
+    // Latency threshold 0: every execution is captured.
+    let ledger = Ledger::new(LedgerConfig {
+        slow_wall_us: 0,
+        ..LedgerConfig::default()
+    });
+    let mut store = XmlStore::builder(Scheme::Interval(xmlrel::shredder::IntervalScheme::new()))
+        .ledger(ledger.clone())
+        .open()
+        .expect("open");
+    store
+        .load_str(
+            "bib",
+            r#"<bib><book year="1994"><title>TCP/IP</title></book>
+               <book year="2000"><title>Data on the Web</title></book></bib>"#,
+        )
+        .expect("load");
+
+    let sink = trace::TraceSink::new();
+    store
+        .request("/bib/book[@year > 1990]/title/text()")
+        .explain(Explain::Analyze)
+        .trace(&sink)
+        .run()
+        .expect("query");
+
+    let health = Arc::new(Mutex::new(store.health()));
+    let health_slot = Arc::clone(&health);
+    let slow_ledger = ledger.clone();
+    let handle = serve(
+        "127.0.0.1:0",
+        Endpoints::new()
+            .healthz(move || {
+                let report = health_slot.lock().unwrap_or_else(|e| e.into_inner());
+                Health {
+                    ok: report.ok,
+                    body: report.render(),
+                }
+            })
+            .spans(&sink)
+            .slow(move || slow_ledger.slow_json()),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // /slow carries the capture: fingerprint, trigger, and the full
+    // EXPLAIN ANALYZE render with per-operator actuals.
+    let (status, body) = get(addr, "/slow");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(
+        body.contains("\"fingerprint\":\"/bib/book[@year>?]/title/text()\""),
+        "{body}"
+    );
+    assert!(body.contains("\"trigger\":\"latency\""), "{body}");
+    assert!(body.contains("sql: SELECT"), "{body}");
+    assert!(body.contains("act="), "{body}");
+    assert!(body.contains("\"trace_tail\":["), "{body}");
+
+    // /healthz renders the live store snapshot.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(body.contains("status: ok"), "{body}");
+    assert!(body.contains("scheme: interval"), "{body}");
+    assert!(body.contains("documents: 1"), "{body}");
+
+    // /metrics includes the per-scheme query counter this run bumped.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(
+        body.contains("queries_total{scheme=\"interval\"}"),
+        "{body}"
+    );
+
+    // /spans exports the chrome-trace ring with the request's spans.
+    let (status, body) = get(addr, "/spans");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(body.contains("store.query"), "{body}");
+    assert!(body.contains("execute"), "{body}");
+
+    handle.stop();
+}
