@@ -191,7 +191,14 @@ fn drive(
     query: &WorkloadQuery,
 ) -> QueryRun {
     let t0 = Instant::now();
-    let result = store.request(query.text).explain(Explain::Analyze).run();
+    // Pin a generous deadline: it never trips a healthy run, but a
+    // planner or executor regression that would hang the harness turns
+    // into a recorded DeadlineExceeded outcome instead.
+    let result = store
+        .request(query.text)
+        .explain(Explain::Analyze)
+        .timeout_ms(60_000)
+        .run();
     let wall_us = t0.elapsed().as_micros();
     let outcome = match result {
         Ok(output) => {

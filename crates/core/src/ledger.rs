@@ -95,6 +95,9 @@ pub struct FingerprintStats {
     /// Worst q-error any profiled execution of this shape has shown
     /// (1.0 = every estimate was perfect, or no profiled run yet).
     pub max_q_error_milli: u64,
+    /// The most recent failure's diagnostic (e.g. the limit or the
+    /// operator that tripped a deadline), if any execution has failed.
+    pub last_error: Option<String>,
 }
 
 impl FingerprintStats {
@@ -208,8 +211,10 @@ impl Ledger {
         }
     }
 
-    /// Record one failed execution.
-    pub fn observe_error(&self, query: &str) {
+    /// Record one failed execution. `error` is the failure diagnostic —
+    /// for limit and deadline trips it carries the limit or operator name,
+    /// retained as the fingerprint's `last_error`.
+    pub fn observe_error(&self, query: &str, error: &str) {
         let mut inner = self.lock();
         let fp = fingerprint(query);
         let entry = inner
@@ -218,6 +223,7 @@ impl Ledger {
             .or_insert_with_key(|k| empty_stats(k, query));
         entry.exemplar = query.to_string();
         entry.errors += 1;
+        entry.last_error = Some(error.to_string());
     }
 
     /// Store one assembled forensic capture into the bounded ring.
@@ -350,6 +356,7 @@ fn empty_stats(fingerprint_text: &str, query: &str) -> FingerprintStats {
         rows: 0,
         latency_us: Histogram::default(),
         max_q_error_milli: 1000,
+        last_error: None,
     }
 }
 
@@ -554,12 +561,21 @@ mod tests {
     #[test]
     fn errors_are_counted() {
         let ledger = Ledger::default();
-        ledger.observe_error("/broken[x > 1]");
-        ledger.observe_error("/broken[x > 2]");
+        ledger.observe_error(
+            "/broken[x > 1]",
+            "resource limit exceeded: Sort buffered 9 rows",
+        );
+        ledger.observe_error(
+            "/broken[x > 2]",
+            "deadline exceeded: Sort exceeded the query deadline",
+        );
         let stats = ledger.stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].errors, 2);
         assert_eq!(stats[0].count, 0);
+        // The latest failure's diagnostic is retained.
+        let last = stats[0].last_error.as_deref().unwrap();
+        assert!(last.contains("deadline exceeded"), "{last}");
     }
 
     #[test]

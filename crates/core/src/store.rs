@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 
-use reldb::{Database, ExecProfile, Value};
+use reldb::{CancelToken, Database, Deadline, ExecLimits, ExecProfile, Value};
 use shredder::{
     docstore, BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, MappingScheme,
     ShredStats, StorageStats, UniversalScheme,
@@ -451,7 +451,39 @@ impl XmlStore {
             doc: None,
             explain: Explain::None,
             sink: None,
+            deadline: None,
+            cancel: None,
         }
+    }
+
+    /// Per-request execution limits: the store's configured limits with
+    /// this request's deadline and cancel token merged in. When both the
+    /// store and the request carry a deadline, the tighter one wins.
+    fn request_limits(
+        &self,
+        deadline: Option<Deadline>,
+        cancel: Option<CancelToken>,
+    ) -> ExecLimits {
+        let mut limits = self.db.limits.clone();
+        limits.deadline = match (deadline, limits.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if cancel.is_some() {
+            limits.cancel = cancel;
+        }
+        limits
+    }
+
+    /// Phase-boundary deadline/cancel check: a trip outside the executor
+    /// (translate, publish) is still a failed execution, so it lands in
+    /// the ledger with its diagnostic like any operator-level trip.
+    fn poll_phase(&self, limits: &ExecLimits, op: &str, query: &str) -> Result<()> {
+        if let Err(e) = limits.poll(op) {
+            self.ledger.observe_error(query, &e.to_string());
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// Translate, scoped to one document when `doc` is given. A
@@ -489,6 +521,7 @@ impl XmlStore {
         query_text: &str,
         t: &Translated,
         analyze: bool,
+        limits: &ExecLimits,
     ) -> Result<(Vec<Vec<Value>>, Option<ExecProfile>)> {
         metrics::counter_inc(&metrics::labelled(
             "queries_total",
@@ -499,10 +532,12 @@ impl XmlStore {
         let started = std::time::Instant::now();
         let fetched = if analyze {
             self.db
-                .query_profiled(&t.sql)
+                .query_profiled_limited(&t.sql, limits)
                 .map(|(result, profile)| (result.rows, Some(profile)))
         } else {
-            self.db.query_readonly(&t.sql).map(|r| (r.rows, None))
+            self.db
+                .query_readonly_limited(&t.sql, limits)
+                .map(|r| (r.rows, None))
         };
         let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         metrics::observe_us(
@@ -512,7 +547,10 @@ impl XmlStore {
         let (raw, profile) = match fetched {
             Ok(v) => v,
             Err(e) => {
-                self.ledger.observe_error(query_text);
+                // The ledger keeps the diagnostic: for deadline or
+                // cancellation trips it names the operator that observed
+                // the trip.
+                self.ledger.observe_error(query_text, &e.to_string());
                 return Err(e.into());
             }
         };
@@ -798,6 +836,8 @@ pub struct QueryRequest<'a> {
     doc: Option<&'a str>,
     explain: Explain,
     sink: Option<&'a trace::TraceSink>,
+    deadline: Option<Deadline>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -819,6 +859,29 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Give this request a wall-clock budget, counted from now. The
+    /// pipeline checks it at phase boundaries and the executor polls it
+    /// inside every blocking operator loop; a trip surfaces as
+    /// [`reldb::DbError::DeadlineExceeded`] naming the tripping operator.
+    pub fn timeout_ms(mut self, ms: u64) -> QueryRequest<'a> {
+        self.deadline = Some(Deadline::after_millis(ms));
+        self
+    }
+
+    /// Give this request an absolute deadline. When the store's own
+    /// limits also carry one, the tighter deadline wins.
+    pub fn deadline(mut self, deadline: Deadline) -> QueryRequest<'a> {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation token: cancelling it from any thread makes
+    /// the request fail promptly with [`reldb::DbError::Cancelled`].
+    pub fn cancel(mut self, token: &CancelToken) -> QueryRequest<'a> {
+        self.cancel = Some(token.clone());
+        self
+    }
+
     /// Translate, execute, and publish; the [`QueryOutput`] carries
     /// whatever extra detail [`explain`](QueryRequest::explain) asked for.
     pub fn run(self) -> Result<QueryOutput> {
@@ -828,15 +891,20 @@ impl<'a> QueryRequest<'a> {
             doc,
             explain,
             sink,
+            deadline,
+            cancel,
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query", "core");
+        let limits = store.request_limits(deadline, cancel);
+        store.poll_phase(&limits, "translate", query)?;
         let t = store.translate_impl(query, doc)?;
         let plan = match explain {
             Explain::None => None,
             Explain::Plan | Explain::Analyze => Some(store.verify_translated(query, &t)?),
         };
-        let (rows, profile) = store.fetch(query, &t, explain == Explain::Analyze)?;
+        let (rows, profile) = store.fetch(query, &t, explain == Explain::Analyze, &limits)?;
+        store.poll_phase(&limits, "publish", query)?;
         let items = {
             let _span = trace::span("publish", "core");
             store.publish_rows(&t, &rows)?
@@ -859,12 +927,16 @@ impl<'a> QueryRequest<'a> {
             query,
             doc,
             sink,
+            deadline,
+            cancel,
             ..
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_count", "core");
+        let limits = store.request_limits(deadline, cancel);
+        store.poll_phase(&limits, "translate", query)?;
         let t = store.translate_impl(query, doc)?;
-        let (rows, _) = store.fetch(query, &t, false)?;
+        let (rows, _) = store.fetch(query, &t, false, &limits)?;
         Ok(match &t.out {
             OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
             _ => rows.len(),
@@ -879,12 +951,16 @@ impl<'a> QueryRequest<'a> {
             query,
             doc,
             sink,
+            deadline,
+            cancel,
             ..
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_rows", "core");
+        let limits = store.request_limits(deadline, cancel);
+        store.poll_phase(&limits, "translate", query)?;
         let t = store.translate_impl(query, doc)?;
-        Ok(store.fetch(query, &t, false)?.0)
+        Ok(store.fetch(query, &t, false, &limits)?.0)
     }
 
     /// Translate to SQL without executing.

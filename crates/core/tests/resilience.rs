@@ -1,0 +1,118 @@
+//! End-to-end resilience: per-request deadlines and cancellation flow
+//! from [`QueryRequest`] through the executor, trip promptly even when
+//! the storage layer is slow, and leave a diagnostic in the ledger.
+
+use std::time::{Duration, Instant};
+
+use reldb::{CancelToken, DbError, MemBackend, SharedFiles, SlowBackend};
+use shredder::IntervalScheme;
+use xmlrel_core::{CoreError, Scheme, XmlStore};
+
+/// A store with enough rows that a query has real work to do.
+fn sized_store(elems: usize) -> XmlStore {
+    let mut xml = String::from("<r>");
+    for i in 0..elems {
+        xml.push_str(&format!("<a x=\"{i}\">v{}</a>", i % 13));
+    }
+    xml.push_str("</r>");
+    let mut s = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .open()
+        .unwrap();
+    s.load_str("d", &xml).unwrap();
+    s
+}
+
+fn is_deadline(err: &CoreError) -> bool {
+    matches!(err, CoreError::Db(DbError::DeadlineExceeded(_)))
+}
+
+#[test]
+fn expired_request_deadline_fails_fast_and_is_typed() {
+    let s = sized_store(200);
+    let started = Instant::now();
+    let err = s
+        .request("//a[@x = '7']/text()")
+        .timeout_ms(0)
+        .run()
+        .unwrap_err();
+    assert!(is_deadline(&err), "expected DeadlineExceeded, got {err:?}");
+    // "Within ~2x the budget": a zero budget must fail in milliseconds,
+    // not after executing the whole query. Allow generous CI slack.
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "a pre-expired deadline took {:?} to trip",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn deadline_trip_is_recorded_in_the_ledger_with_a_diagnostic() {
+    let s = sized_store(50);
+    let _ = s.request("//a/text()").timeout_ms(0).run();
+    let stats = s.ledger().stats();
+    let entry = stats
+        .iter()
+        .find(|f| f.errors > 0)
+        .expect("the tripped query must be ledgered as an error");
+    let diag = entry.last_error.as_deref().unwrap_or("");
+    assert!(
+        diag.contains("deadline exceeded"),
+        "ledger diagnostic should carry the trip: {diag:?}"
+    );
+}
+
+#[test]
+fn cancelled_token_aborts_the_request() {
+    let s = sized_store(50);
+    let token = CancelToken::new();
+    token.cancel();
+    let err = s.request("//a/text()").cancel(&token).run().unwrap_err();
+    assert!(
+        matches!(err, CoreError::Db(DbError::Cancelled(_))),
+        "expected Cancelled, got {err:?}"
+    );
+}
+
+#[test]
+fn deadline_trips_during_shred_over_a_slow_backend() {
+    // Every commit sleeps inside the latency-injecting backend, so a
+    // store-wide deadline set before loading trips in the shred phase —
+    // proving the write path is deadline-aware, not just the executor.
+    let slow = SlowBackend::new(
+        MemBackend::over(SharedFiles::new()),
+        Duration::from_millis(25),
+    );
+    let mut s = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+        .backend(Box::new(slow))
+        .open()
+        .unwrap();
+    s.db.limits.deadline = Some(reldb::Deadline::after_millis(30));
+    let mut xml = String::from("<r>");
+    for i in 0..300 {
+        xml.push_str(&format!("<a>{i}</a>"));
+    }
+    xml.push_str("</r>");
+    let started = Instant::now();
+    let err = s.load_str("d", &xml).unwrap_err();
+    assert!(
+        err.to_string().contains("deadline exceeded"),
+        "expected a deadline trip from the shred phase, got {err:?}"
+    );
+    // No hang: the trip must come orders of magnitude before the load
+    // would finish (300 elements x 25ms-per-storage-op would be >>1s).
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shred-phase trip took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn tighter_of_store_and_request_deadlines_wins() {
+    let s = sized_store(50);
+    // Store-wide deadline far in the future; request deadline expired.
+    let mut s = s;
+    s.db.limits.deadline = Some(reldb::Deadline::after_millis(60_000));
+    let err = s.request("//a/text()").timeout_ms(0).run().unwrap_err();
+    assert!(is_deadline(&err), "expected DeadlineExceeded, got {err:?}");
+}

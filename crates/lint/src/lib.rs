@@ -24,6 +24,10 @@
 //! - `no-unledgered-query`: the same entry points in `core/src/store.rs`
 //!   must also reach the query ledger (directly or through `fetch`, the
 //!   recording choke point), and `fetch` itself must record into it.
+//! - `no-undeadlined-loop`: `while let .. = ..next..` operator loops in
+//!   `reldb/src/exec/` must poll the cooperative cancel/deadline check so
+//!   queries past their deadline stop promptly instead of draining their
+//!   children to exhaustion.
 //!
 //! Suppress a finding with `// lint:allow(rule): justification` on the
 //! offending line or alone on the line above. Bare `lint:allow` without a

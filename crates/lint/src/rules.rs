@@ -24,6 +24,7 @@ pub const RULES: &[&str] = &[
     "no-cost-truncate",
     "no-untraced-entrypoint",
     "no-unledgered-query",
+    "no-undeadlined-loop",
     "bare-allow",
 ];
 
@@ -60,6 +61,7 @@ pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
     }
     raw.extend(check_entrypoints(file, toks, &test_mask));
     raw.extend(check_ledger_feed(file, toks, &test_mask));
+    raw.extend(check_undeadlined_loops(file, toks, &test_mask));
 
     for v in raw {
         let suppressed = suppressions
@@ -414,6 +416,83 @@ fn check_ledger_feed(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violat
     out
 }
 
+/// no-undeadlined-loop: blocking operator loops in the executor must
+/// stay cancellable. In `reldb/src/exec/`, a `while let .. = ..next..`
+/// loop drains its child without bound, so its body has to poll the
+/// cooperative cancel/deadline check (any `poll` identifier counts —
+/// `self.meter.poll(..)` or `limits.poll(..)`). Otherwise a query past
+/// its deadline keeps burning CPU until the operator runs dry.
+const EXEC_DIRS: &[&str] = &["reldb/src/exec/", "reldb\\src\\exec\\"];
+
+fn check_undeadlined_loops(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
+    if !EXEC_DIRS.iter().any(|s| file.contains(s)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "while") {
+            continue;
+        }
+        if !matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Ident && t.text == "let") {
+            continue;
+        }
+        // The loop body `{` is the first brace outside parens/brackets
+        // (struct literals need parens inside a while-let condition).
+        let mut depth = 0isize;
+        let mut j = i + 2;
+        let body = loop {
+            let Some(t) = toks.get(j) else { break None };
+            if is_punct(t, "(") || is_punct(t, "[") {
+                depth += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") {
+                depth -= 1;
+            } else if depth == 0 && is_punct(t, "{") {
+                break Some(j);
+            }
+            j += 1;
+        };
+        let Some(body) = body else { continue };
+        let drains_child = toks[i + 2..body]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "next");
+        if !drains_child {
+            continue;
+        }
+        let mut braces = 0usize;
+        let mut polled = false;
+        let mut k = body;
+        while let Some(t) = toks.get(k) {
+            if is_punct(t, "{") {
+                braces += 1;
+            } else if is_punct(t, "}") {
+                braces -= 1;
+                if braces == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && t.text == "poll" {
+                polled = true;
+            }
+            k += 1;
+        }
+        if !polled {
+            out.push(Violation {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "no-undeadlined-loop",
+                message: "operator loop drains its child without polling the \
+                          cancel/deadline check; call `self.meter.poll(..)` (or \
+                          `limits.poll(..)`) each iteration so a query past its \
+                          deadline stops promptly"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
 /// Does the fn whose tokens follow its name at `start` contain the
 /// identifier `span` inside its body? Bodyless declarations (trait
 /// methods ending in `;`) have nothing to trace and never match.
@@ -737,6 +816,45 @@ mod tests {
     #[test]
     fn flags_unwrap() {
         assert_eq!(rules_of("fn f() { x.unwrap(); }"), vec!["no-unwrap"]);
+    }
+
+    fn exec_rules(src: &str) -> Vec<&'static str> {
+        check("crates/reldb/src/exec/join.rs", &lex(src))
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_undeadlined_operator_loop() {
+        let src = "fn f(c: &mut E) { while let Some(row) = c.next()? { use_row(row); } }";
+        assert_eq!(exec_rules(src), vec!["no-undeadlined-loop"]);
+        // Outside the executor directory the rule does not apply.
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn polled_operator_loop_ok() {
+        let src = "fn f(&mut self, c: &mut E) -> Result<()> {\n\
+                   while let Some(row) = c.next()? {\n\
+                   self.meter.poll(\"HashJoin build\")?;\n\
+                   keep(row); } Ok(()) }";
+        assert_eq!(exec_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn non_draining_while_let_ok() {
+        // A while-let over something other than a child executor (no
+        // `next` in the condition) is not a blocking operator loop.
+        let src = "fn f(v: &mut Vec<u32>) { while let Some(x) = v.pop() { use_x(x); } }";
+        assert_eq!(exec_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn undeadlined_loop_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(c: &mut E) { \
+                   while let Some(r) = c.next()? { use_r(r); } }\n}";
+        assert_eq!(exec_rules(src), Vec::<&str>::new());
     }
 
     #[test]

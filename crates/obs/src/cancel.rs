@@ -1,0 +1,70 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a clone-cheap flag shared between the party that
+//! wants work stopped (a server draining on shutdown, a CLI handling
+//! SIGINT) and the code doing the work (the executor's operator loops,
+//! the shred/translate/publish phases). Cancellation is *cooperative*:
+//! setting the flag does nothing by itself — workers poll it at their
+//! blocking points and unwind with a typed error.
+//!
+//! The token lives in this crate (the workspace's dependency root) so the
+//! HTTP server in [`serve`](crate::serve) and the database executor can
+//! share one flag without a dependency cycle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A clone-cheap cooperative cancellation flag.
+///
+/// Clones share the same underlying flag: cancelling any clone cancels
+/// them all. The default token is live (not cancelled).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (on this token or any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Do two tokens share the same underlying flag?
+    pub fn same_as(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.same_as(&c));
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+        assert!(!a.same_as(&b));
+    }
+}

@@ -16,6 +16,9 @@
 //! process: a from-scratch HTTP/1.0 endpoint (`std::net` only) answering
 //! `/metrics`, `/healthz`, `/spans`, and `/slow`.
 
+pub mod cancel;
 pub mod metrics;
 pub mod serve;
 pub mod trace;
+
+pub use cancel::CancelToken;

@@ -1,36 +1,92 @@
-//! A from-scratch HTTP/1.0 monitoring endpoint over `std::net` only.
+//! A from-scratch, overload-protected HTTP/1.0 server over `std::net`.
 //!
 //! [`serve`] binds a [`TcpListener`] on a background thread and answers
-//! four fixed paths:
+//! the monitoring paths plus an optional query endpoint:
 //!
 //! - `GET /metrics` — the registry's plain-text exposition
 //!   ([`metrics::dump`], scrape-shaped histogram buckets included);
 //! - `GET /healthz` — liveness/durability status from the embedder's
 //!   health provider (`200` when healthy, `503` otherwise);
 //! - `GET /spans`  — chrome-trace JSON of the attached trace ring;
-//! - `GET /slow`   — the embedder's slow-query forensic captures (JSON).
+//! - `GET /slow`   — the embedder's slow-query forensic captures (JSON);
+//! - `POST /query` — the embedder's query provider, when one is wired
+//!   via [`Endpoints::query`]. The body is the query text; an optional
+//!   `X-Timeout-Ms` header sets a per-request deadline.
 //!
-//! The server is deliberately minimal: GET only, `Connection: close`,
-//! one request per connection, handled sequentially on one thread — the
-//! right shape for an operator poking at a process, not a public API.
+//! # Overload protection
+//!
+//! The server is resilient by construction rather than by luck:
+//!
+//! - **Bounded admission**: at most [`ServeConfig::max_inflight`]
+//!   requests run at once. Excess connections are shed immediately with
+//!   `503` + `Retry-After` (never queued behind slow work) and counted
+//!   in `queries_shed_total`. The OS listen backlog bounds what can pile
+//!   up between accepts.
+//! - **Slowloris defence**: the request head is capped at 8 KiB and must
+//!   arrive within the read timeout; responses must drain within the
+//!   write timeout. Violations cost the client its connection, not the
+//!   server a thread forever.
+//! - **Graceful shutdown**: [`MonitorHandle::stop`] stops accepting,
+//!   drains in-flight requests up to [`ServeConfig::drain_deadline`],
+//!   then cancels stragglers through a shared [`CancelToken`] that the
+//!   query provider threads into the executor's cooperative polls.
+//!
+//! The `inflight_requests` gauge and the `queries_shed_total` /
+//! `queries_timed_out_total` counters make the overload behaviour
+//! visible on `/metrics` while it is happening.
+//!
 //! Providers are plain closures so the crate stays dependency-free; the
-//! store layer wires its ledger and health report in without `obs`
-//! knowing their types.
+//! store layer wires its ledger, health report, and query pipeline in
+//! without `obs` knowing their types.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::metrics;
 
 /// Largest request head (request line + headers) the server will read.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-/// How long a connection may dribble its request before being dropped.
-const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Largest `POST /query` body the server will accept.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Admission, timeout, and shutdown knobs for [`serve_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum concurrently-handled requests; excess connections are
+    /// shed with `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// How long a connection may dribble its request head/body before
+    /// being dropped.
+    pub read_timeout: Duration,
+    /// How long a response write may block before the connection is
+    /// abandoned.
+    pub write_timeout: Duration,
+    /// How long [`MonitorHandle::stop`] waits for in-flight requests to
+    /// finish before cancelling them (and then again for the cancelled
+    /// stragglers to unwind).
+    pub drain_deadline: Duration,
+    /// Value of the `Retry-After` header on shed responses, in seconds.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_inflight: 8,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// What the health provider reports: a flag driving the status code
 /// (`200` vs `503`) plus a plain-text body.
@@ -42,17 +98,44 @@ pub struct Health {
     pub body: String,
 }
 
-type TextProvider = Box<dyn Fn() -> String + Send>;
-type HealthProvider = Box<dyn Fn() -> Health + Send>;
+/// One `POST /query` call, handed to the embedder's query provider.
+#[derive(Debug, Clone)]
+pub struct QueryCall {
+    /// The request body: the query text.
+    pub query: String,
+    /// Per-request deadline from the `X-Timeout-Ms` header, if given.
+    pub timeout_ms: Option<u64>,
+    /// The server's shutdown token: cancelled when a graceful stop runs
+    /// out of drain budget. Providers should thread it into their
+    /// execution limits so stragglers unwind promptly.
+    pub cancel: CancelToken,
+}
 
-/// The four endpoint bodies, each produced on demand. Defaults: live
-/// [`metrics::dump`], an always-ok health check, an empty trace, and no
-/// captures — override what the embedder actually has.
+/// What the query provider returns: a status code plus a typed body.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// HTTP status code (e.g. 200, 400, 408, 500).
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: String,
+    /// The response body.
+    pub body: String,
+}
+
+type TextProvider = Box<dyn Fn() -> String + Send + Sync>;
+type HealthProvider = Box<dyn Fn() -> Health + Send + Sync>;
+type QueryProvider = Box<dyn Fn(QueryCall) -> QueryReply + Send + Sync>;
+
+/// The endpoint bodies, each produced on demand. Defaults: live
+/// [`metrics::dump`], an always-ok health check, an empty trace, no
+/// captures, and no query endpoint — override what the embedder
+/// actually has.
 pub struct Endpoints {
     metrics: TextProvider,
     healthz: HealthProvider,
     spans: TextProvider,
     slow: TextProvider,
+    query: Option<QueryProvider>,
 }
 
 impl Default for Endpoints {
@@ -72,17 +155,18 @@ impl Endpoints {
             }),
             spans: Box::new(|| "{\"traceEvents\":[],\"droppedEvents\":0}".into()),
             slow: Box::new(|| "[]".into()),
+            query: None,
         }
     }
 
     /// Override the `/metrics` body (the default is the live registry).
-    pub fn metrics(mut self, f: impl Fn() -> String + Send + 'static) -> Endpoints {
+    pub fn metrics(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Endpoints {
         self.metrics = Box::new(f);
         self
     }
 
     /// Provide the `/healthz` report.
-    pub fn healthz(mut self, f: impl Fn() -> Health + Send + 'static) -> Endpoints {
+    pub fn healthz(mut self, f: impl Fn() -> Health + Send + Sync + 'static) -> Endpoints {
         self.healthz = Box::new(f);
         self
     }
@@ -96,19 +180,34 @@ impl Endpoints {
     }
 
     /// Provide the `/slow` body (JSON array of forensic captures).
-    pub fn slow(mut self, f: impl Fn() -> String + Send + 'static) -> Endpoints {
+    pub fn slow(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Endpoints {
         self.slow = Box::new(f);
+        self
+    }
+
+    /// Enable `POST /query`: `f` receives the body text plus the
+    /// per-request timeout and the server's shutdown token, and returns
+    /// the response. Without this, `/query` answers 404.
+    pub fn query(
+        mut self,
+        f: impl Fn(QueryCall) -> QueryReply + Send + Sync + 'static,
+    ) -> Endpoints {
+        self.query = Some(Box::new(f));
         self
     }
 }
 
 /// Handle onto a running monitor server. Dropping it (or calling
-/// [`stop`](MonitorHandle::stop)) shuts the server down and joins the
-/// thread.
+/// [`stop`](MonitorHandle::stop)) shuts the server down gracefully:
+/// stop accepting, drain in-flight requests up to the drain deadline,
+/// cancel stragglers, and join the accept thread.
 pub struct MonitorHandle {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+    inflight: Arc<AtomicUsize>,
+    cancel: CancelToken,
+    drain_deadline: Duration,
 }
 
 impl MonitorHandle {
@@ -117,18 +216,51 @@ impl MonitorHandle {
         self.addr
     }
 
-    /// Stop accepting, wake the accept loop, and join the server thread.
-    pub fn stop(mut self) {
-        self.shutdown();
+    /// Requests currently being handled.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
     }
 
-    fn shutdown(&mut self) {
+    /// The server's shutdown token (cancelled when a graceful stop runs
+    /// out of drain budget). Exposed so embedders can share it with
+    /// work started outside the query provider.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Gracefully stop: stop accepting, drain in-flight requests up to
+    /// the drain deadline, cancel stragglers, and join the server
+    /// thread. Returns true when every in-flight request finished.
+    pub fn stop(mut self) -> bool {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> bool {
         self.stopping.store(true, Ordering::SeqCst);
         // The accept loop blocks in accept(); poke it awake.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        // Drain: give in-flight requests the deadline to finish...
+        if !self.await_idle(self.drain_deadline) {
+            // ...then cancel stragglers and give them the same budget to
+            // observe it and unwind.
+            self.cancel.cancel();
+            self.await_idle(self.drain_deadline);
+        }
+        self.inflight.load(Ordering::Acquire) == 0
+    }
+
+    fn await_idle(&self, budget: Duration) -> bool {
+        let start = Instant::now();
+        while self.inflight.load(Ordering::Acquire) > 0 {
+            if start.elapsed() >= budget {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
     }
 }
 
@@ -140,36 +272,125 @@ impl Drop for MonitorHandle {
     }
 }
 
-/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the monitoring endpoints
-/// on a background thread until the returned handle stops or drops.
+/// Decrements the in-flight count (and refreshes the gauge) when a
+/// request handler exits — normally or by panic.
+struct InflightGuard(Arc<AtomicUsize>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let now = self.0.fetch_sub(1, Ordering::AcqRel) - 1;
+        metrics::gauge_set("inflight_requests", now as i64);
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the endpoints on a
+/// background thread with the default [`ServeConfig`].
 pub fn serve(addr: &str, endpoints: Endpoints) -> std::io::Result<MonitorHandle> {
+    serve_with(addr, endpoints, ServeConfig::default())
+}
+
+/// Bind `addr` and serve the endpoints until the returned handle stops
+/// or drops, with explicit admission/timeout/shutdown knobs.
+pub fn serve_with(
+    addr: &str,
+    endpoints: Endpoints,
+    config: ServeConfig,
+) -> std::io::Result<MonitorHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stopping = Arc::new(AtomicBool::new(false));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let cancel = CancelToken::new();
+    let endpoints = Arc::new(endpoints);
     let stop = stopping.clone();
+    let accept_inflight = inflight.clone();
+    let accept_cancel = cancel.clone();
+    let drain_deadline = config.drain_deadline;
     let thread = std::thread::Builder::new()
         .name("xmlrel-monitor".into())
         .spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                // One slow or broken client must not wedge the endpoint.
-                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-                let _ = handle(stream, &endpoints);
-            }
+            accept_loop(
+                &listener,
+                &stop,
+                &accept_inflight,
+                &accept_cancel,
+                &endpoints,
+                &config,
+            );
         })?;
     Ok(MonitorHandle {
         addr,
         stopping,
         thread: Some(thread),
+        inflight,
+        cancel,
+        drain_deadline,
     })
 }
 
-/// Read one request head, route it, and write the response.
-fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
-    let head = match read_head(&mut stream) {
+/// Accept connections, shed when at capacity, and hand admitted ones to
+/// per-connection worker threads.
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    inflight: &Arc<AtomicUsize>,
+    cancel: &CancelToken,
+    endpoints: &Arc<Endpoints>,
+    config: &ServeConfig,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // One slow or broken client must not wedge the endpoint — in
+        // either direction.
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        // Admission gate: shed instead of queueing behind slow work.
+        // The increment is done here (not in the worker) so the gate
+        // never over-admits between accept and thread start.
+        let admitted = inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < config.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            metrics::counter_inc("queries_shed_total");
+            let retry = format!("Retry-After: {}\r\n", config.retry_after_secs);
+            let _ = respond_extra(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain",
+                "overloaded; retry later\n",
+                &retry,
+            );
+            continue;
+        }
+        metrics::gauge_set("inflight_requests", inflight.load(Ordering::Acquire) as i64);
+        let guard = InflightGuard(inflight.clone());
+        let endpoints = endpoints.clone();
+        let cancel = cancel.clone();
+        let spawned = std::thread::Builder::new()
+            .name("xmlrel-serve-conn".into())
+            .spawn(move || {
+                let _guard = guard;
+                let _ = handle(stream, &endpoints, &cancel);
+            });
+        // Thread spawn failure: the guard inside the closure was never
+        // run; `spawned` holding the closure drops it (and the guard).
+        drop(spawned);
+    }
+}
+
+/// Read one request, route it, and write the response.
+fn handle(
+    mut stream: TcpStream,
+    endpoints: &Endpoints,
+    cancel: &CancelToken,
+) -> std::io::Result<()> {
+    let (head, mut body) = match read_head(&mut stream) {
         Some(h) => h,
         None => {
             return respond(
@@ -181,7 +402,9 @@ fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
             )
         }
     };
-    let mut parts = head.split_whitespace();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
         _ => {
@@ -194,6 +417,23 @@ fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
             )
         }
     };
+    let headers = parse_headers(lines);
+    // Ignore any query string: `/metrics?x=1` is still `/metrics`.
+    let path = path.split('?').next().unwrap_or(path);
+    if path == "/query" {
+        if let Some(provider) = endpoints.query.as_ref() {
+            if method != "POST" {
+                return respond(
+                    &mut stream,
+                    405,
+                    "Method Not Allowed",
+                    "text/plain",
+                    "POST only\n",
+                );
+            }
+            return handle_query(&mut stream, provider.as_ref(), cancel, &headers, &mut body);
+        }
+    }
     if method != "GET" {
         return respond(
             &mut stream,
@@ -203,8 +443,6 @@ fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
             "GET only\n",
         );
     }
-    // Ignore any query string: `/metrics?x=1` is still `/metrics`.
-    let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
             let body = (endpoints.metrics)();
@@ -242,30 +480,128 @@ fn handle(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
     }
 }
 
+/// `POST /query`: bounded body read, optional `X-Timeout-Ms`, provider
+/// call, reply.
+fn handle_query(
+    stream: &mut TcpStream,
+    provider: &(dyn Fn(QueryCall) -> QueryReply + Send + Sync),
+    cancel: &CancelToken,
+    headers: &HashMap<String, String>,
+    body: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let Some(len) = headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    else {
+        return respond(
+            stream,
+            400,
+            "Bad Request",
+            "text/plain",
+            "Content-Length required\n",
+        );
+    };
+    if len > MAX_BODY_BYTES {
+        return respond(
+            stream,
+            413,
+            "Payload Too Large",
+            "text/plain",
+            "query body too large\n",
+        );
+    }
+    // Read the rest of the body (read timeout still applies).
+    while body.len() < len {
+        let mut chunk = [0u8; 1024];
+        let want = (len - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).unwrap_or(0);
+        if n == 0 {
+            return respond(stream, 400, "Bad Request", "text/plain", "truncated body\n");
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(len);
+    let Ok(query) = String::from_utf8(std::mem::take(body)) else {
+        return respond(
+            stream,
+            400,
+            "Bad Request",
+            "text/plain",
+            "body is not UTF-8\n",
+        );
+    };
+    let timeout_ms = headers
+        .get("x-timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok());
+    let reply = provider(QueryCall {
+        query,
+        timeout_ms,
+        cancel: cancel.clone(),
+    });
+    let reason = match reply.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    respond(
+        stream,
+        reply.status,
+        reason,
+        &reply.content_type,
+        &reply.body,
+    )
+}
+
+/// Lower-cased header map from the lines after the request line.
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            map.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    map
+}
+
 /// Read up to the end of the request head (blank line), returning the
-/// request line. `None` on malformed, oversized, or timed-out input.
-fn read_head(stream: &mut TcpStream) -> Option<String> {
+/// head text plus any body bytes already read past it. `None` on
+/// malformed, oversized, or timed-out input.
+fn read_head(stream: &mut TcpStream) -> Option<(String, Vec<u8>)> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
-    loop {
+    let split = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
         let n = stream.read(&mut chunk).ok()?;
         if n == 0 {
-            break;
+            return None;
         }
         buf.extend_from_slice(chunk.get(..n)?);
         if buf.len() > MAX_REQUEST_BYTES {
             return None;
         }
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-    }
-    let text = String::from_utf8_lossy(&buf);
-    let line = text.lines().next()?;
-    if line.is_empty() {
+    };
+    let body = buf.split_off(split);
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    if text.lines().next().is_none_or(|l| l.is_empty()) {
         return None;
     }
-    Some(line.to_string())
+    Some((text, body))
+}
+
+/// Offset just past the head terminator (`\r\n\r\n` or `\n\n`), if seen.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(p + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2)
 }
 
 /// Write one HTTP/1.0 response with correct framing and close.
@@ -276,9 +612,21 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_extra(stream, code, reason, content_type, body, "")
+}
+
+/// Like [`respond`], with extra pre-formatted `Name: value\r\n` headers.
+fn respond_extra(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &str,
+) -> std::io::Result<()> {
     let head = format!(
         "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

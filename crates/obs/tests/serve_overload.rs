@@ -1,0 +1,279 @@
+//! Overload protection: bounded admission with 503 shedding, slowloris
+//! and oversized-request defence, the query endpoint's deadline plumbing,
+//! and graceful drain with straggler cancellation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use xmlrel_obs::serve::{serve_with, Endpoints, QueryReply, ServeConfig};
+use xmlrel_obs::{metrics, CancelToken};
+
+fn roundtrip(addr: std::net::SocketAddr, request: &[u8]) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(request).expect("write");
+    let mut out = String::new();
+    let _ = conn.read_to_string(&mut out);
+    out
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    roundtrip(
+        addr,
+        format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post_query(addr: std::net::SocketAddr, body: &str, timeout_ms: Option<u64>) -> String {
+    let timeout = timeout_ms
+        .map(|ms| format!("X-Timeout-Ms: {ms}\r\n"))
+        .unwrap_or_default();
+    roundtrip(
+        addr,
+        format!(
+            "POST /query HTTP/1.0\r\nContent-Length: {}\r\n{timeout}\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        max_inflight: 2,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        drain_deadline: Duration::from_millis(500),
+        retry_after_secs: 7,
+    }
+}
+
+#[test]
+fn sheds_excess_requests_with_503_retry_after_while_inflight_complete() {
+    // A provider that blocks until released, so in-flight slots stay
+    // occupied for as long as the test needs.
+    let release = Arc::new(AtomicUsize::new(0));
+    let entered = Arc::new(AtomicUsize::new(0));
+    let (p_release, p_entered) = (release.clone(), entered.clone());
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(move |_call| {
+            p_entered.fetch_add(1, Ordering::SeqCst);
+            while p_release.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            QueryReply {
+                status: 200,
+                content_type: "text/plain".into(),
+                body: "done\n".into(),
+            }
+        }),
+        ServeConfig {
+            max_inflight: 2,
+            ..quick_config()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // Occupy both slots with blocked queries on background threads.
+    let busy: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || post_query(addr, "q", None)))
+        .collect();
+    while entered.load(Ordering::SeqCst) < 2 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // A third request must be shed immediately, not queued.
+    let shed_before = metrics::counter_value("queries_shed_total");
+    let resp = get(addr, "/metrics");
+    assert!(
+        resp.starts_with("HTTP/1.0 503"),
+        "expected shed 503, got: {}",
+        resp.lines().next().unwrap_or("")
+    );
+    assert!(
+        resp.contains("Retry-After: 7"),
+        "shed response must carry Retry-After: {resp}"
+    );
+    assert!(metrics::counter_value("queries_shed_total") > shed_before);
+
+    // Releasing the blocked queries lets the in-flight work complete.
+    release.store(1, Ordering::SeqCst);
+    for t in busy {
+        let resp = t.join().expect("worker");
+        assert!(
+            resp.starts_with("HTTP/1.0 200"),
+            "in-flight request must complete: {resp}"
+        );
+        assert!(resp.contains("done"));
+    }
+    assert!(handle.stop(), "drain must be clean once slots are free");
+}
+
+#[test]
+fn slowloris_connection_is_dropped_not_wedged() {
+    let handle = serve_with("127.0.0.1:0", Endpoints::new(), quick_config()).expect("bind");
+    let addr = handle.addr();
+    // Send a partial request head and go silent.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"GET /metr").expect("write");
+    let started = Instant::now();
+    let mut out = String::new();
+    let _ = conn.read_to_string(&mut out);
+    // The read timeout (300ms) must kick the connection out quickly.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "slowloris connection held for {:?}",
+        started.elapsed()
+    );
+    drop(conn);
+    // The server stays responsive for well-formed clients.
+    let resp = get(addr, "/healthz");
+    assert!(resp.starts_with("HTTP/1.0 200"), "server wedged: {resp}");
+    assert!(handle.stop());
+}
+
+#[test]
+fn oversized_request_head_is_rejected_with_400() {
+    let handle = serve_with("127.0.0.1:0", Endpoints::new(), quick_config()).expect("bind");
+    let addr = handle.addr();
+    // 16 KiB of header noise blows the 8 KiB head cap.
+    let mut req = b"GET /metrics HTTP/1.0\r\n".to_vec();
+    for i in 0..512 {
+        req.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "y".repeat(24)).as_bytes());
+    }
+    req.extend_from_slice(b"\r\n");
+    let resp = roundtrip(addr, &req);
+    assert!(
+        resp.starts_with("HTTP/1.0 400"),
+        "oversized head must 400: {}",
+        resp.lines().next().unwrap_or("")
+    );
+    assert!(handle.stop());
+}
+
+#[test]
+fn malformed_request_line_is_rejected_with_400() {
+    let handle = serve_with("127.0.0.1:0", Endpoints::new(), quick_config()).expect("bind");
+    let addr = handle.addr();
+    let resp = roundtrip(addr, b"\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 400"), "got: {resp}");
+    assert!(handle.stop());
+}
+
+#[test]
+fn query_endpoint_passes_body_and_timeout_header() {
+    type Seen = Arc<Mutex<Vec<(String, Option<u64>)>>>;
+    let seen: Seen = Arc::new(Mutex::new(Vec::new()));
+    let p_seen = seen.clone();
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(move |call| {
+            p_seen
+                .lock()
+                .unwrap()
+                .push((call.query.clone(), call.timeout_ms));
+            QueryReply {
+                status: 200,
+                content_type: "text/plain".into(),
+                body: format!("echo: {}\n", call.query),
+            }
+        }),
+        quick_config(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let resp = post_query(addr, "//a/text()", Some(250));
+    assert!(resp.starts_with("HTTP/1.0 200"), "got: {resp}");
+    assert!(resp.contains("echo: //a/text()"));
+    let calls = seen.lock().unwrap().clone();
+    assert_eq!(calls, vec![("//a/text()".to_string(), Some(250))]);
+    assert!(handle.stop());
+}
+
+#[test]
+fn query_body_over_the_cap_is_rejected() {
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(|_| QueryReply {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: "ok\n".into(),
+        }),
+        quick_config(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    // Claim a body far over the 64 KiB cap; the server must refuse
+    // before reading it.
+    let resp = roundtrip(
+        addr,
+        b"POST /query HTTP/1.0\r\nContent-Length: 10000000\r\n\r\n",
+    );
+    assert!(
+        resp.starts_with("HTTP/1.0 413"),
+        "oversized body must 413: {}",
+        resp.lines().next().unwrap_or("")
+    );
+    assert!(handle.stop());
+}
+
+#[test]
+fn graceful_stop_cancels_stragglers_via_the_shared_token() {
+    // The provider ignores time and only exits when its cancel token
+    // fires — exactly the straggler shape stop() must handle.
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(|call| {
+            while !call.cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            QueryReply {
+                status: 503,
+                content_type: "text/plain".into(),
+                body: "cancelled\n".into(),
+            }
+        }),
+        ServeConfig {
+            drain_deadline: Duration::from_millis(150),
+            ..quick_config()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let straggler = std::thread::spawn(move || post_query(addr, "q", None));
+    while handle.inflight() == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let started = Instant::now();
+    let drained = handle.stop();
+    assert!(
+        drained,
+        "the straggler observes the cancel token, so the second drain wave must succeed"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() took {:?}",
+        started.elapsed()
+    );
+    let resp = straggler.join().expect("straggler");
+    assert!(resp.contains("cancelled"), "got: {resp}");
+}
+
+#[test]
+fn inflight_gauge_and_shed_counter_are_exported_on_metrics() {
+    let token = CancelToken::new(); // exercise the re-export path
+    assert!(!token.is_cancelled());
+    let handle = serve_with("127.0.0.1:0", Endpoints::new(), quick_config()).expect("bind");
+    let addr = handle.addr();
+    let resp = get(addr, "/metrics");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(
+        body.contains("inflight_requests"),
+        "gauge missing from exposition: {body}"
+    );
+    assert!(handle.stop());
+}

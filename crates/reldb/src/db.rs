@@ -92,6 +92,52 @@ struct Durability {
     poisoned: bool,
 }
 
+/// Bounded retry-with-backoff for transient storage faults.
+///
+/// Applied only to idempotent steps of the durability protocol — the WAL
+/// fsync after a successful append, and the whole-file snapshot-tmp
+/// write+sync (re-running either repeats the same bytes). A WAL *append*
+/// is never retried: after a torn append the retry could duplicate frame
+/// bytes, so append failures poison immediately as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff_ms: 1,
+        }
+    }
+}
+
+/// Run `op` under `policy`, retrying transient [`DbError::Io`] failures
+/// with doubling backoff. Non-IO errors (e.g. [`DbError::Corrupt`]) are
+/// never retried. Each retry bumps the `storage_retries_total` counter.
+fn retry_io(policy: RetryPolicy, mut op: impl FnMut() -> Result<()>) -> Result<()> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= policy.attempts.max(1) || !matches!(e, DbError::Io(_)) {
+                    return Err(e);
+                }
+                metrics::counter_inc("storage_retries_total");
+                std::thread::sleep(std::time::Duration::from_millis(
+                    policy.backoff_ms << (attempt - 1).min(16),
+                ));
+            }
+        }
+    }
+}
+
 /// A point-in-time durability/health summary of a [`Database`], cheap to
 /// compute and safe to render on a monitoring endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +165,9 @@ pub struct Database {
     pub physical: PhysicalOptions,
     /// Execution resource limits (unlimited by default).
     pub limits: ExecLimits,
+    /// Retry policy for transient storage faults in the WAL/snapshot
+    /// write path.
+    pub retry: RetryPolicy,
     /// Durable storage; `None` for a purely in-memory database.
     durability: Option<Durability>,
 }
@@ -237,8 +286,12 @@ impl Database {
         }
         let next_gen = d.gen + 1;
         let bytes = encode_snapshot(next_gen, &self.catalog)?;
-        d.backend.write(SNAPSHOT_TMP, &bytes)?;
-        d.backend.sync(SNAPSHOT_TMP)?;
+        // Writing + syncing the tmp file is idempotent (same bytes, not
+        // yet published), so transient IO faults are retried here.
+        retry_io(self.retry, || {
+            d.backend.write(SNAPSHOT_TMP, &bytes)?;
+            d.backend.sync(SNAPSHOT_TMP)
+        })?;
         let published = snapshot_file(next_gen);
         d.backend.rename(SNAPSHOT_TMP, &published)?;
         // The snapshot is now published: recovery will prefer it over both
@@ -277,12 +330,16 @@ impl Database {
         }
         // The in-memory mutation already happened; any failure from here
         // on (including an unencodable frame) leaves memory ahead of disk.
+        // The append is never retried (a torn append followed by a second
+        // append would duplicate frame bytes); the fsync is idempotent and
+        // retried for transient faults.
+        let retry = self.retry;
         let res = encode_frame(d.gen, &records).and_then(|frame| {
             metrics::counter_add("wal_bytes_total", frame.len() as u64);
             metrics::counter_inc("wal_frames_total");
             d.backend
                 .append(WAL_FILE, &frame)
-                .and_then(|()| d.backend.sync(WAL_FILE))
+                .and_then(|()| retry_io(retry, || d.backend.sync(WAL_FILE)))
         });
         if res.is_err() {
             d.poisoned = true;
@@ -337,13 +394,21 @@ impl Database {
     }
 
     /// Execute a SELECT without mutable access (reads only).
+    // lint:allow(no-untraced-entrypoint): delegates to the span-opening _limited variant
     pub fn query_readonly(&self, sql: &str) -> Result<QueryResult> {
+        self.query_readonly_limited(sql, &self.limits)
+    }
+
+    /// [`query_readonly`](Database::query_readonly) with per-request
+    /// limits (e.g. a caller-supplied deadline or cancel token) instead of
+    /// the database-wide defaults.
+    pub fn query_readonly_limited(&self, sql: &str, limits: &ExecLimits) -> Result<QueryResult> {
         let _span = trace::span("db.query_readonly", "sql");
         let (logical, physical) = self.plan_select(sql)?;
         let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
         let rows = {
             let _exec = trace::span("execute", "sql");
-            run_to_vec_limited(&physical, &self.catalog, self.limits)?
+            run_to_vec_limited(&physical, &self.catalog, limits)?
         };
         Ok(QueryResult {
             columns: names,
@@ -356,13 +421,24 @@ impl Database {
     /// comparisons, buffer bytes, wall time per operator). When execution
     /// fails — e.g. an [`ExecLimits`] trip — the error carries on, but the
     /// profile of the partial run is what `EXPLAIN ANALYZE` renders.
+    // lint:allow(no-untraced-entrypoint): delegates to the span-opening _limited variant
     pub fn query_profiled(&self, sql: &str) -> Result<(QueryResult, ExecProfile)> {
+        self.query_profiled_limited(sql, &self.limits)
+    }
+
+    /// [`query_profiled`](Database::query_profiled) with per-request
+    /// limits instead of the database-wide defaults.
+    pub fn query_profiled_limited(
+        &self,
+        sql: &str,
+        limits: &ExecLimits,
+    ) -> Result<(QueryResult, ExecProfile)> {
         let _span = trace::span("db.query_profiled", "sql");
         let (logical, physical) = self.plan_select(sql)?;
         let names: Vec<String> = logical.schema().into_iter().map(|c| c.name).collect();
         let run = {
             let _exec = trace::span("execute", "sql");
-            run_profiled(&physical, &self.catalog, self.limits)?
+            run_profiled(&physical, &self.catalog, limits)?
         };
         let rows = run.rows?;
         Ok((
@@ -577,7 +653,7 @@ impl Database {
                     .collect();
                 let rows = {
                     let _exec = trace::span("execute", "sql");
-                    run_to_vec_limited(&physical, &self.catalog, self.limits)?
+                    run_to_vec_limited(&physical, &self.catalog, &self.limits)?
                 };
                 ExecResult::Rows(QueryResult {
                     columns: names,
@@ -675,7 +751,7 @@ impl Database {
                 let text = if *analyze {
                     let run = {
                         let _exec = trace::span("execute", "sql");
-                        run_profiled(&physical, &self.catalog, self.limits)?
+                        run_profiled(&physical, &self.catalog, &self.limits)?
                     };
                     // A failed execution (say, a limit trip) still renders
                     // the partial profile — that is when it matters most.
@@ -701,6 +777,10 @@ impl Database {
     /// Bulk-load rows into a table without SQL overhead (the shredders'
     /// fast path). All-or-nothing, and logged to the WAL when durable.
     pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        // The shred phase is a long sequence of bulk inserts; polling the
+        // database-wide limits here makes loading cancellable and
+        // deadline-bounded at batch granularity.
+        self.limits.poll("bulk insert")?;
         self.check_writable()?;
         if self.durability.is_some() {
             let (n, record) = {
@@ -724,16 +804,30 @@ impl Database {
     }
 
     /// Stream a query through a callback without materializing all rows.
+    // lint:allow(no-untraced-entrypoint): delegates to the span-opening _limited variant
     pub fn query_streaming(
         &self,
         sql: &str,
+        on_row: impl FnMut(Row) -> Result<()>,
+    ) -> Result<usize> {
+        self.query_streaming_limited(sql, &self.limits, on_row)
+    }
+
+    /// [`query_streaming`](Database::query_streaming) with per-request
+    /// limits instead of the database-wide defaults.
+    pub fn query_streaming_limited(
+        &self,
+        sql: &str,
+        limits: &ExecLimits,
         mut on_row: impl FnMut(Row) -> Result<()>,
     ) -> Result<usize> {
         let _span = trace::span("db.query_streaming", "sql");
         let (_, physical) = self.plan_select(sql)?;
-        let mut exec = build_executor_limited(&physical, &self.catalog, self.limits)?;
+        let mut exec = build_executor_limited(&physical, &self.catalog, limits)?;
+        let root = crate::exec::Meter::new(limits, false);
         let mut n = 0;
         while let Some(row) = exec.next()? {
+            root.poll("streaming result")?;
             on_row(row)?;
             n += 1;
         }
@@ -1140,7 +1234,7 @@ mod tests {
             let (_, physical) = db
                 .plan_select("SELECT name FROM emp ORDER BY salary")
                 .unwrap();
-            run_profiled(&physical, &db.catalog, db.limits).unwrap()
+            run_profiled(&physical, &db.catalog, &db.limits).unwrap()
         };
         assert!(run.rows.is_err());
         let trip = run.profile.limit_trip().expect("trip recorded");

@@ -28,6 +28,13 @@ pub enum DbError {
     ResourceExhausted(String),
     /// The plan validator rejected a logical or physical plan.
     Validation(String),
+    /// The query's wall-clock deadline expired mid-execution. The message
+    /// names the operator or phase that observed the expiry.
+    DeadlineExceeded(String),
+    /// The query's [`CancelToken`](crate::exec::CancelToken) was tripped
+    /// mid-execution. The message names the operator or phase that
+    /// observed the cancellation.
+    Cancelled(String),
 }
 
 impl fmt::Display for DbError {
@@ -44,6 +51,8 @@ impl fmt::Display for DbError {
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
             DbError::Validation(m) => write!(f, "plan validation failed: {m}"),
+            DbError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

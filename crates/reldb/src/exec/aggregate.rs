@@ -137,6 +137,7 @@ impl<'a> HashAggregateExec<'a> {
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
         while let Some(row) = input.next()? {
+            self.meter.poll("HashAggregate")?;
             let mut key = Vec::with_capacity(self.group_by.len());
             for g in self.group_by {
                 key.push(g.eval(&row)?);

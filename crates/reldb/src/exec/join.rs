@@ -59,6 +59,7 @@ impl<'a> HashJoinExec<'a> {
             return Ok(());
         };
         while let Some(row) = right.next()? {
+            self.meter.poll("HashJoin build")?;
             let mut key = Vec::with_capacity(self.right_keys.len());
             let mut has_null = false;
             for e in self.right_keys {
@@ -86,6 +87,7 @@ impl Executor for HashJoinExec<'_> {
         loop {
             if let Some((lrow, matches, pos, emitted)) = &mut self.probe {
                 while *pos < matches.len() {
+                    self.meter.poll("HashJoin probe")?;
                     let rrow = &matches[*pos];
                     *pos += 1;
                     let mut joined = lrow.clone();
@@ -181,6 +183,7 @@ impl Executor for IndexNestedLoopJoinExec<'_> {
         loop {
             if let Some((lrow, rids, pos, emitted)) = &mut self.probe {
                 while *pos < rids.len() {
+                    self.meter.poll("IndexNestedLoopJoin probe")?;
                     let rid = rids[*pos];
                     *pos += 1;
                     let Some(rrow) = self.table.get(rid) else {
@@ -284,6 +287,7 @@ impl Executor for NestedLoopJoinExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
+                self.meter.poll("NestedLoopJoin inner")?;
                 self.meter.buffered_row(&r);
                 self.right_rows.push(r);
                 self.meter
@@ -293,6 +297,7 @@ impl Executor for NestedLoopJoinExec<'_> {
         loop {
             if let Some((lrow, pos, emitted)) = &mut self.probe {
                 while *pos < self.right_rows.len() {
+                    self.meter.poll("NestedLoopJoin probe")?;
                     let rrow = &self.right_rows[*pos];
                     *pos += 1;
                     let mut joined = lrow.clone();
@@ -377,6 +382,7 @@ impl Executor for IntervalJoinExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut right) = self.right.take() {
             while let Some(r) = right.next()? {
+                self.meter.poll("IntervalJoin inner")?;
                 self.meter.buffered_row(&r);
                 self.sorted.push(r);
                 self.meter.admit("IntervalJoin inner", self.sorted.len())?;
@@ -392,6 +398,7 @@ impl Executor for IntervalJoinExec<'_> {
         loop {
             if let Some((lrow, pos, hi)) = &mut self.probe {
                 while *pos < self.sorted.len() {
+                    self.meter.poll("IntervalJoin probe")?;
                     let rrow = &self.sorted[*pos];
                     let k = &rrow[self.right_key];
                     self.meter.comparisons(1);

@@ -10,6 +10,7 @@ mod join;
 mod profile;
 
 use std::ops::Bound;
+use std::time::{Duration, Instant};
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
@@ -21,6 +22,7 @@ use crate::value::{Row, Value};
 pub use aggregate::HashAggregateExec;
 pub use join::{HashJoinExec, IndexNestedLoopJoinExec, IntervalJoinExec, NestedLoopJoinExec};
 pub use profile::{row_data_bytes, ExecProfile, Meter, OpStats, ProfileHandle, ProfileRollup};
+pub use xmlrel_obs::cancel::CancelToken;
 
 use profile::ProfiledExec;
 
@@ -30,10 +32,46 @@ pub trait Executor {
     fn next(&mut self) -> Result<Option<Row>>;
 }
 
+/// A wall-clock execution deadline.
+///
+/// Operators poll it cooperatively (via [`Meter::poll`]) and abort with
+/// [`DbError::DeadlineExceeded`] once it passes; a query never blocks past
+/// its deadline by more than one polling stride of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline(Instant::now() + budget)
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_millis(ms: u64) -> Deadline {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(when: Instant) -> Deadline {
+        Deadline(when)
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.0
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.0.saturating_duration_since(Instant::now())
+    }
+}
+
 /// Configurable execution resource limits. `None` means unlimited; the
 /// default is fully unlimited. Exceeding a limit aborts the query with
-/// [`DbError::ResourceExhausted`] instead of exhausting memory.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// [`DbError::ResourceExhausted`], [`DbError::DeadlineExceeded`], or
+/// [`DbError::Cancelled`] instead of exhausting memory or hanging.
+#[derive(Debug, Clone, Default)]
 pub struct ExecLimits {
     /// Cap on rows materialized into a query result.
     pub max_rows: Option<usize>,
@@ -41,6 +79,56 @@ pub struct ExecLimits {
     /// (sort buffers, hash-join build sides, nested-loop inner rows,
     /// aggregate groups, DISTINCT sets).
     pub max_intermediate_rows: Option<usize>,
+    /// Wall-clock deadline for the whole execution; polled inside every
+    /// blocking operator loop.
+    pub deadline: Option<Deadline>,
+    /// Cooperative cancellation flag; polled alongside the deadline.
+    pub cancel: Option<CancelToken>,
+}
+
+impl ExecLimits {
+    /// These limits with a deadline `ms` milliseconds from now.
+    pub fn with_timeout_ms(mut self, ms: u64) -> ExecLimits {
+        self.deadline = Some(Deadline::after_millis(ms));
+        self
+    }
+
+    /// These limits observing `token` for cancellation.
+    pub fn with_cancel(mut self, token: &CancelToken) -> ExecLimits {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Unstrided cancel/deadline check for phase boundaries (commit,
+    /// bulk-insert batches, translate/publish steps). `op` names the
+    /// phase in the resulting error. Operator loops use the strided
+    /// [`Meter::poll`] instead.
+    pub fn poll(&self, op: &str) -> Result<()> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Err(cancel_trip(op));
+            }
+        }
+        if let Some(d) = &self.deadline {
+            if d.expired() {
+                return Err(deadline_trip(op));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the [`DbError::Cancelled`] for `op` and bump the trip counter.
+pub(crate) fn cancel_trip(op: &str) -> DbError {
+    xmlrel_obs::metrics::counter_inc("queries_cancelled_total");
+    DbError::Cancelled(format!("{op} observed cancellation"))
+}
+
+/// Build the [`DbError::DeadlineExceeded`] for `op` and bump the trip
+/// counter.
+pub(crate) fn deadline_trip(op: &str) -> DbError {
+    xmlrel_obs::metrics::counter_inc("queries_timed_out_total");
+    DbError::DeadlineExceeded(format!("{op} exceeded the query deadline"))
 }
 
 /// Build an executor tree for a physical plan over a catalog, with no
@@ -49,14 +137,14 @@ pub fn build_executor<'a>(
     plan: &'a PhysicalPlan,
     catalog: &'a Catalog,
 ) -> Result<Box<dyn Executor + 'a>> {
-    build_executor_limited(plan, catalog, ExecLimits::default())
+    build_executor_limited(plan, catalog, &ExecLimits::default())
 }
 
 /// Build an executor tree enforcing `limits` on materializing operators.
 pub fn build_executor_limited<'a>(
     plan: &'a PhysicalPlan,
     catalog: &'a Catalog,
-    limits: ExecLimits,
+    limits: &ExecLimits,
 ) -> Result<Box<dyn Executor + 'a>> {
     Ok(build_node(plan, catalog, limits, None)?.0)
 }
@@ -69,7 +157,7 @@ pub fn build_executor_limited<'a>(
 pub fn build_executor_profiled<'a>(
     plan: &'a PhysicalPlan,
     catalog: &'a Catalog,
-    limits: ExecLimits,
+    limits: &ExecLimits,
 ) -> Result<(Box<dyn Executor + 'a>, ProfileHandle)> {
     let report = report_physical(catalog, plan);
     let (exec, handle) = build_node(plan, catalog, limits, Some(&report.root))?;
@@ -84,10 +172,10 @@ pub fn build_executor_profiled<'a>(
 fn build_node<'a>(
     plan: &'a PhysicalPlan,
     catalog: &'a Catalog,
-    limits: ExecLimits,
+    limits: &ExecLimits,
     cost: Option<&CostNode>,
 ) -> Result<(Box<dyn Executor + 'a>, Option<ProfileHandle>)> {
-    let meter = Meter::new(limits.max_intermediate_rows, cost.is_some());
+    let meter = Meter::new(limits, cost.is_some());
     let mut kids: Vec<ProfileHandle> = Vec::new();
     let mut next_child = 0usize;
     let exec: Box<dyn Executor + 'a> = {
@@ -107,6 +195,7 @@ fn build_node<'a>(
                 let t = catalog.table(table)?;
                 Box::new(SeqScanExec {
                     iter: Box::new(t.scan().map(|(_, r)| r)),
+                    meter: meter.clone(),
                 })
             }
             PhysicalPlan::IndexScan {
@@ -337,11 +426,11 @@ fn max_key_after(v: Value, arity: usize) -> Vec<Value> {
 
 /// Run a plan to completion, materializing all rows, with no limits.
 pub fn run_to_vec(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Vec<Row>> {
-    run_to_vec_limited(plan, catalog, ExecLimits::default())
+    run_to_vec_limited(plan, catalog, &ExecLimits::default())
 }
 
 /// Fail the result materialization once it exceeds `max_rows`.
-fn admit_result(limits: ExecLimits, len: usize) -> Result<()> {
+fn admit_result(limits: &ExecLimits, len: usize) -> Result<()> {
     match limits.max_rows {
         Some(max) if len > max => {
             xmlrel_obs::metrics::counter_inc("exec_limit_trips_total");
@@ -358,11 +447,13 @@ fn admit_result(limits: ExecLimits, len: usize) -> Result<()> {
 pub fn run_to_vec_limited(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    limits: ExecLimits,
+    limits: &ExecLimits,
 ) -> Result<Vec<Row>> {
     let mut exec = build_executor_limited(plan, catalog, limits)?;
+    let root = Meter::new(limits, false);
     let mut out = Vec::new();
     while let Some(row) = exec.next()? {
+        root.poll("result materialization")?;
         out.push(row);
         admit_result(limits, out.len())?;
     }
@@ -387,15 +478,19 @@ pub struct ProfiledRun {
 pub fn run_profiled(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    limits: ExecLimits,
+    limits: &ExecLimits,
 ) -> Result<ProfiledRun> {
     let (mut exec, handle) = build_executor_profiled(plan, catalog, limits)?;
+    let root = Meter::new(limits, false);
     let mut out = Vec::new();
     let rows = loop {
         match exec.next() {
             Err(e) => break Err(e),
             Ok(None) => break Ok(std::mem::take(&mut out)),
             Ok(Some(row)) => {
+                if let Err(e) = root.poll("result materialization") {
+                    break Err(e);
+                }
                 out.push(row);
                 if let Err(e) = admit_result(limits, out.len()) {
                     break Err(e);
@@ -414,10 +509,12 @@ pub fn run_profiled(
 
 struct SeqScanExec<'a> {
     iter: Box<dyn Iterator<Item = &'a Row> + 'a>,
+    meter: Meter,
 }
 
 impl Executor for SeqScanExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
+        self.meter.poll("SeqScan")?;
         Ok(self.iter.next().cloned())
     }
 }
@@ -433,6 +530,7 @@ struct IndexScanExec<'a> {
 impl Executor for IndexScanExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while self.pos < self.rids.len() {
+            self.meter.poll("IndexScan")?;
             let rid = self.rids[self.pos];
             self.pos += 1;
             let Some(row) = self.table.get(rid) else {
@@ -459,6 +557,7 @@ struct FilterExec<'a> {
 impl Executor for FilterExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
+            self.meter.poll("Filter")?;
             self.meter.comparisons(1);
             if value_to_bool(&self.predicate.eval(&row)?) == Some(true) {
                 return Ok(Some(row));
@@ -501,6 +600,7 @@ impl Executor for SortExec<'_> {
         if let Some(mut input) = self.input.take() {
             let mut rows: Vec<(Vec<Value>, Row)> = Vec::new();
             while let Some(row) = input.next()? {
+                self.meter.poll("Sort")?;
                 let mut key = Vec::with_capacity(self.keys.len());
                 for (e, _) in self.keys {
                     key.push(e.eval(&row)?);
@@ -568,6 +668,7 @@ struct DistinctExec<'a> {
 impl Executor for DistinctExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
+            self.meter.poll("Distinct")?;
             self.meter.probe();
             if self.seen.insert(row.clone()) {
                 self.meter.buffered_row(&row);

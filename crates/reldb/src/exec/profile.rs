@@ -12,13 +12,20 @@
 //! The executor is single-threaded, so the counters live in
 //! `Rc<RefCell<…>>` cells shared between the wrapper and the operator.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Instant;
 
 use crate::error::{DbError, Result};
-use crate::exec::Executor;
+use crate::exec::{cancel_trip, deadline_trip, CancelToken, Deadline, ExecLimits, Executor};
 use crate::value::{Row, Value};
+
+/// How many [`Meter::poll`] calls elapse between wall-clock reads. The
+/// cancel flag (an atomic load) is checked on every call; `Instant::now`
+/// only every `POLL_STRIDE`-th call, starting with the first, so a
+/// pre-expired deadline trips on the first row and a live one costs one
+/// clock read per stride of rows.
+const POLL_STRIDE: u64 = 64;
 
 /// Counters recorded by one operator during one execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -55,22 +62,59 @@ pub fn row_data_bytes(row: &Row) -> u64 {
 }
 
 /// A per-operator instrument handed to executors at build time. Carries
-/// the `max_intermediate_rows` cap so limit trips are attributed to the
-/// operator that fired them; counter updates are no-ops when the operator
-/// is not being profiled.
+/// the `max_intermediate_rows` cap, the deadline, and the cancel token so
+/// limit/deadline trips are attributed to the operator that fired them;
+/// counter updates are no-ops when the operator is not being profiled.
 #[derive(Clone, Default)]
 pub struct Meter {
     cap: Option<usize>,
+    deadline: Option<Deadline>,
+    cancel: Option<CancelToken>,
+    tick: Cell<u64>,
     cell: Option<Rc<RefCell<OpStats>>>,
 }
 
 impl Meter {
-    /// A meter enforcing `cap`; records counters only when `profiled`.
-    pub fn new(cap: Option<usize>, profiled: bool) -> Meter {
+    /// A meter enforcing `limits`; records counters only when `profiled`.
+    pub fn new(limits: &ExecLimits, profiled: bool) -> Meter {
         Meter {
-            cap,
+            cap: limits.max_intermediate_rows,
+            deadline: limits.deadline,
+            cancel: limits.cancel.clone(),
+            tick: Cell::new(0),
             cell: profiled.then(|| Rc::new(RefCell::new(OpStats::default()))),
         }
+    }
+
+    /// Cooperative cancellation/deadline check for blocking operator
+    /// loops. Fails with [`DbError::Cancelled`] when the query's
+    /// [`CancelToken`] has tripped, and with [`DbError::DeadlineExceeded`]
+    /// once the wall-clock deadline passes (checked every
+    /// `POLL_STRIDE`-th call to keep the hot loop cheap). The diagnostic
+    /// names `op` and is recorded into the profile when one is being
+    /// collected.
+    pub fn poll(&self, op: &str) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(self.record_trip(cancel_trip(op)));
+            }
+        }
+        if let Some(d) = &self.deadline {
+            let t = self.tick.get();
+            self.tick.set(t.wrapping_add(1));
+            if t.is_multiple_of(POLL_STRIDE) && d.expired() {
+                return Err(self.record_trip(deadline_trip(op)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a trip diagnostic into the profile cell, pass the error on.
+    fn record_trip(&self, err: DbError) -> DbError {
+        if let Some(c) = &self.cell {
+            c.borrow_mut().limit_trip = Some(err.to_string());
+        }
+        err
     }
 
     pub(crate) fn cell(&self) -> Option<Rc<RefCell<OpStats>>> {

@@ -44,9 +44,11 @@ pub mod table;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, DbStatus, ExecResult, QueryResult};
+pub use db::{Database, DbStatus, ExecResult, QueryResult, RetryPolicy};
 pub use error::{DbError, Result};
-pub use exec::{ExecLimits, ExecProfile, OpStats, ProfileRollup};
+pub use exec::{CancelToken, Deadline, ExecLimits, ExecProfile, OpStats, ProfileRollup};
 pub use schema::{Column, Schema};
-pub use storage::{FaultBackend, FaultPlan, FileBackend, MemBackend, SharedFiles, StorageBackend};
+pub use storage::{
+    FaultBackend, FaultPlan, FileBackend, MemBackend, SharedFiles, SlowBackend, StorageBackend,
+};
 pub use value::{row_int, row_text, row_val, DataType, Row, Value};

@@ -254,6 +254,14 @@ pub struct FaultPlan {
     /// Serve only this many bytes of any `read` (simulates a short read /
     /// truncated tail). `None` reads normally.
     pub read_limit: Option<u64>,
+    /// Fail the first N `sync` calls with [`DbError::Io`] *without*
+    /// killing the backend — a transient fault (EINTR, momentary
+    /// device backpressure) that a bounded retry is expected to ride out.
+    pub transient_sync_failures: u64,
+    /// Fail the first N `write` calls transiently (nothing is written,
+    /// backend stays alive). Models a transient whole-file write fault in
+    /// the snapshot path.
+    pub transient_write_failures: u64,
     /// Seed reserved for randomized plans built by tests; the backend
     /// itself never consumes entropy.
     pub seed: u64,
@@ -272,6 +280,22 @@ impl FaultPlan {
     pub fn fail_sync(n: u64) -> FaultPlan {
         FaultPlan {
             fail_sync_at: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan whose first `n` fsyncs fail transiently (backend survives).
+    pub fn transient_sync(n: u64) -> FaultPlan {
+        FaultPlan {
+            transient_sync_failures: n,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan whose first `n` writes fail transiently (backend survives).
+    pub fn transient_write(n: u64) -> FaultPlan {
+        FaultPlan {
+            transient_write_failures: n,
             ..FaultPlan::default()
         }
     }
@@ -359,6 +383,10 @@ impl StorageBackend for FaultBackend {
 
     fn write(&mut self, name: &str, data: &[u8]) -> Result<()> {
         self.check_alive()?;
+        if self.plan.transient_write_failures > 0 {
+            self.plan.transient_write_failures -= 1;
+            return Err(DbError::Io("injected transient write failure".into()));
+        }
         let n = self.admit(data.len())?;
         self.files.put(name, data[..n].to_vec());
         if n < data.len() {
@@ -393,6 +421,10 @@ impl StorageBackend for FaultBackend {
 
     fn sync(&mut self, _name: &str) -> Result<()> {
         self.check_alive()?;
+        if self.plan.transient_sync_failures > 0 {
+            self.plan.transient_sync_failures -= 1;
+            return Err(DbError::Io("injected transient fsync failure".into()));
+        }
         let this = self.syncs;
         self.syncs += 1;
         if self.plan.fail_sync_at == Some(this) {
@@ -425,6 +457,83 @@ impl StorageBackend for FaultBackend {
     fn list(&mut self) -> Result<Vec<String>> {
         self.check_alive()?;
         Ok(self.files.names())
+    }
+}
+
+// ---- latency injection -------------------------------------------------------
+
+/// Latency-injecting backend: delegates every operation to an inner
+/// backend after sleeping a fixed per-operation latency. Models a slow or
+/// overloaded device so resilience tests can force wall-clock deadlines to
+/// trip during storage-bound work (WAL commits, snapshot writes, recovery
+/// reads) without depending on machine speed.
+#[derive(Debug)]
+pub struct SlowBackend<B> {
+    inner: B,
+    latency: std::time::Duration,
+    ops: u64,
+}
+
+impl<B: StorageBackend> SlowBackend<B> {
+    /// Wrap `inner`, sleeping `latency` before every operation.
+    pub fn new(inner: B, latency: std::time::Duration) -> SlowBackend<B> {
+        SlowBackend {
+            inner,
+            latency,
+            ops: 0,
+        }
+    }
+
+    /// Number of operations served (each one delayed).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn delay(&mut self) {
+        self.ops += 1;
+        std::thread::sleep(self.latency);
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for SlowBackend<B> {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        self.delay();
+        self.inner.read(name)
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.delay();
+        self.inner.write(name, data)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.delay();
+        self.inner.append(name, data)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.delay();
+        self.inner.truncate(name, len)
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        self.delay();
+        self.inner.sync(name)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.delay();
+        self.inner.remove(name)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        self.delay();
+        self.inner.rename(from, to)
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        self.delay();
+        self.inner.list()
     }
 }
 
@@ -496,6 +605,36 @@ mod tests {
         b.append("wal", b"b").unwrap();
         assert!(b.sync("wal").is_err());
         assert!(b.crashed());
+    }
+
+    #[test]
+    fn transient_sync_failures_recover() {
+        let files = SharedFiles::new();
+        let mut b = FaultBackend::over(files, FaultPlan::transient_sync(2));
+        b.append("wal", b"a").unwrap();
+        assert!(b.sync("wal").is_err());
+        assert!(b.sync("wal").is_err());
+        assert!(!b.crashed());
+        b.sync("wal").unwrap();
+    }
+
+    #[test]
+    fn transient_write_failures_recover() {
+        let files = SharedFiles::new();
+        let mut b = FaultBackend::over(files.clone(), FaultPlan::transient_write(1));
+        assert!(b.write("snap", b"x").is_err());
+        assert!(!b.crashed());
+        assert_eq!(files.get("snap"), None);
+        b.write("snap", b"x").unwrap();
+        assert_eq!(files.get("snap").unwrap(), b"x");
+    }
+
+    #[test]
+    fn slow_backend_delegates_and_counts() {
+        let mut b = SlowBackend::new(MemBackend::new(), std::time::Duration::from_millis(1));
+        b.write("f", b"data").unwrap();
+        assert_eq!(b.read("f").unwrap().unwrap(), b"data");
+        assert_eq!(b.ops(), 2);
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn max_rows_bounds_result_size() {
     let mut db = filled_db(20);
     db.limits = ExecLimits {
         max_rows: Some(10),
-        max_intermediate_rows: None,
+        ..ExecLimits::default()
     };
     assert_exhausted(db.query("SELECT id FROM t"));
     // At the limit is fine; the guard fires only past it.
@@ -38,8 +38,8 @@ fn max_rows_bounds_result_size() {
 fn max_intermediate_rows_bounds_blocking_operators() {
     let mut db = filled_db(20);
     db.limits = ExecLimits {
-        max_rows: None,
         max_intermediate_rows: Some(5),
+        ..ExecLimits::default()
     };
     // Sort buffers all input.
     assert_exhausted(db.query("SELECT id FROM t ORDER BY grp, id"));

@@ -3,13 +3,14 @@
 //! `EXPLAIN [ANALYZE]`, process metrics, and chrome-trace export.
 //!
 //! Usage:
-//!   xmlrel query   <scheme> <file.xml> <xpath>
-//!   xmlrel explain [--analyze] <scheme> <file.xml> <xpath>
+//!   xmlrel query   [--timeout-ms N] <scheme> <file.xml> <xpath>
+//!   xmlrel explain [--analyze] [--timeout-ms N] <scheme> <file.xml> <xpath>
 //!   xmlrel trace   [--out PATH] <scheme> <file.xml> <xpath>
 //!   xmlrel stats   [--scale F]
 //!   xmlrel top     [--scale F] [--slow-us N] [--max-q F]
 //!   xmlrel slow    [--scale F] [--slow-us N] [--max-q F]
 //!   xmlrel serve   [--addr HOST:PORT] [--slow-us N] [--max-q F]
+//!                  [--timeout-ms N] [--drain-ms N]
 //!                  <scheme> <file.xml> [xpath ...]
 //!
 //! `<scheme>` is one of `edge`, `binary`, `universal`, `interval`,
@@ -20,14 +21,40 @@
 //! prints the forensic captures (full `EXPLAIN ANALYZE` + trace tail)
 //! that crossed the latency/q-error thresholds. `serve` loads a file,
 //! runs the given queries, and keeps answering `/metrics`, `/healthz`,
-//! `/spans`, and `/slow` over HTTP until interrupted.
+//! `/spans`, `/slow`, and `POST /query` over HTTP until interrupted;
+//! SIGINT/SIGTERM trigger a graceful drain (finish in-flight requests up
+//! to `--drain-ms`, then cancel stragglers) and a clean exit 0.
 
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
-use xmlrel::{Explain, Ledger, LedgerConfig, Scheme, XmlStore};
-use xmlrel_obs::serve::{serve, Endpoints, Health};
+use xmlrel::{CoreError, Explain, Ledger, LedgerConfig, Scheme, XmlStore};
+use xmlrel_obs::serve::{serve_with, Endpoints, Health, QueryCall, QueryReply, ServeConfig};
 use xmlrel_obs::{metrics, trace};
+
+/// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers via the C `signal()` entry point (the
+/// workspace is offline: no `libc`/`signal-hook` crates). A store into a
+/// static atomic is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,8 +89,11 @@ fn usage(err: &str) -> ExitCode {
                 xmlrel stats   [--scale F]\n       \
                 xmlrel top     [--scale F] [--slow-us N] [--max-q F]\n       \
                 xmlrel slow    [--scale F] [--slow-us N] [--max-q F]\n       \
-                xmlrel serve   [--addr HOST:PORT] [--slow-us N] [--max-q F] <scheme> <file.xml> [xpath ...]\n\
-         schemes: edge binary universal interval dewey inline (inline needs --dtd FILE)"
+                xmlrel serve   [--addr HOST:PORT] [--slow-us N] [--max-q F] [--timeout-ms N] [--drain-ms N] <scheme> <file.xml> [xpath ...]\n\
+         schemes: edge binary universal interval dewey inline (inline needs --dtd FILE)\n\
+         --timeout-ms N  per-query wall-clock budget (query/explain: this run; serve: default for POST /query)\n\
+         --drain-ms N    serve: how long a SIGINT/SIGTERM drain waits for in-flight requests\n\
+                         before cancelling them (default 5000)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -83,6 +113,8 @@ struct Cli<'a> {
     addr: String,
     slow_us: Option<u64>,
     max_q: Option<f64>,
+    timeout_ms: Option<u64>,
+    drain_ms: Option<u64>,
 }
 
 fn parse(args: &[String]) -> Result<Cli<'_>, String> {
@@ -95,6 +127,8 @@ fn parse(args: &[String]) -> Result<Cli<'_>, String> {
         addr: "127.0.0.1:9185".to_string(),
         slow_us: None,
         max_q: None,
+        timeout_ms: None,
+        drain_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +180,22 @@ fn parse(args: &[String]) -> Result<Cli<'_>, String> {
                         .ok_or_else(|| "--max-q requires a number".to_string())?,
                 );
             }
+            "--timeout-ms" => {
+                i += 1;
+                cli.timeout_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "--timeout-ms requires a number".to_string())?,
+                );
+            }
+            "--drain-ms" => {
+                i += 1;
+                cli.drain_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "--drain-ms requires a number".to_string())?,
+                );
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             p => cli.pos.push(p),
         }
@@ -191,10 +241,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err("query needs <scheme> <file.xml> <xpath>".into());
     };
     let store = load(scheme, file, cli.dtd.as_deref())?;
-    let out = store
-        .request(query)
-        .run()
-        .map_err(|e| format!("query: {e}"))?;
+    let mut req = store.request(query);
+    if let Some(ms) = cli.timeout_ms {
+        req = req.timeout_ms(ms);
+    }
+    let out = req.run().map_err(|e| format!("query: {e}"))?;
     for item in &out.items {
         println!("{item}");
     }
@@ -213,11 +264,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     } else {
         Explain::Plan
     };
-    let out = store
-        .request(query)
-        .explain(mode)
-        .run()
-        .map_err(|e| format!("explain: {e}"))?;
+    let mut req = store.request(query).explain(mode);
+    if let Some(ms) = cli.timeout_ms {
+        req = req.timeout_ms(ms);
+    }
+    let out = req.run().map_err(|e| format!("explain: {e}"))?;
     let Some(plan) = out.plan.as_ref() else {
         return Err("explain produced no plan report".into());
     };
@@ -389,6 +440,42 @@ fn cmd_slow(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Answer one `POST /query` call on the store's thread: per-request
+/// deadline (header, falling back to the server default) and the
+/// server's shutdown token both flow into the execution limits.
+fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u64>) -> QueryReply {
+    let mut req = store.request(&call.query).cancel(&call.cancel);
+    if let Some(ms) = call.timeout_ms.or(default_timeout_ms) {
+        req = req.timeout_ms(ms);
+    }
+    match req.run() {
+        Ok(out) => {
+            let mut body = String::new();
+            for item in &out.items {
+                body.push_str(item);
+                body.push('\n');
+            }
+            QueryReply {
+                status: 200,
+                content_type: "text/plain".into(),
+                body,
+            }
+        }
+        Err(e) => {
+            let status = match &e {
+                CoreError::Db(xmlrel::reldb::DbError::DeadlineExceeded(_)) => 408,
+                CoreError::Db(xmlrel::reldb::DbError::Cancelled(_)) => 503,
+                _ => 400,
+            };
+            QueryReply {
+                status,
+                content_type: "text/plain".into(),
+                body: format!("error: {e}\n"),
+            }
+        }
+    }
+}
+
 /// Load a file, run the given queries, and keep the monitoring endpoint
 /// up until the process is interrupted.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -409,13 +496,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     store.ledger().set_config(ledger_config(&cli));
     let ledger = store.ledger();
 
+    install_signal_handlers();
+
     // The health closure must be Send + 'static while the store stays on
     // this thread: publish snapshots through a shared slot, refreshed
     // after every query batch.
     let health_slot = Arc::new(Mutex::new(store.health()));
     let slot = Arc::clone(&health_slot);
     let slow_ledger = ledger.clone();
-    let handle = serve(
+    // The store is not Send (single-writer by design), so POST /query
+    // calls are relayed to this thread over a channel; connection worker
+    // threads block on the per-call reply channel.
+    let (query_tx, query_rx) = mpsc::channel::<(QueryCall, mpsc::Sender<QueryReply>)>();
+    let query_tx = Mutex::new(query_tx);
+    let config = ServeConfig {
+        drain_deadline: Duration::from_millis(cli.drain_ms.unwrap_or(5000)),
+        ..ServeConfig::default()
+    };
+    let handle = serve_with(
         &cli.addr,
         Endpoints::new()
             .healthz(move || {
@@ -426,11 +524,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
             })
             .spans(&sink)
-            .slow(move || slow_ledger.slow_json()),
+            .slow(move || slow_ledger.slow_json())
+            .query(move |call| {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent = query_tx
+                    .lock()
+                    .map(|tx| tx.send((call, reply_tx)).is_ok())
+                    .unwrap_or(false);
+                let reply = sent.then(|| reply_rx.recv().ok()).flatten();
+                reply.unwrap_or(QueryReply {
+                    status: 503,
+                    content_type: "text/plain".into(),
+                    body: "server is shutting down\n".into(),
+                })
+            }),
+        config,
     )
     .map_err(|e| format!("bind {}: {e}", cli.addr))?;
     eprintln!(
-        "serving /metrics /healthz /spans /slow on http://{}",
+        "serving /metrics /healthz /spans /slow /query on http://{}",
         handle.addr()
     );
 
@@ -449,11 +561,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         *slot = store.health();
     }
 
-    eprintln!("queries done; endpoint stays up (Ctrl-C to stop)");
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(1));
+    eprintln!("queries done; endpoint stays up (SIGINT/SIGTERM to stop)");
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        match query_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok((call, reply_tx)) => {
+                let reply = answer_query(&store, &call, cli.timeout_ms);
+                let _ = reply_tx.send(reply);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
         if let Ok(mut slot) = health_slot.lock() {
             *slot = store.health();
         }
     }
+
+    eprintln!("shutting down: draining in-flight requests");
+    // stop() blocks until in-flight requests drain — but relayed /query
+    // calls drain through *this* thread, so run the stop on a helper and
+    // keep answering until it completes.
+    let stopper = std::thread::spawn(move || handle.stop());
+    while !stopper.is_finished() {
+        match query_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok((call, reply_tx)) => {
+                let _ = reply_tx.send(answer_query(&store, &call, cli.timeout_ms));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let drained = stopper.join().unwrap_or(false);
+    if drained {
+        eprintln!("drained; exiting");
+    } else {
+        eprintln!("drain deadline hit; cancelled stragglers");
+    }
+    Ok(())
 }

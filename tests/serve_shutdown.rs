@@ -1,0 +1,116 @@
+//! `xmlrel serve` end-to-end: the server comes up, answers queries over
+//! HTTP, and a SIGTERM produces a graceful drain and a clean exit 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn write_fixture() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("xmlrel-serve-test-{}.xml", std::process::id()));
+    std::fs::write(
+        &path,
+        "<r><a x=\"1\">one</a><a x=\"2\">two</a><b>bee</b></r>",
+    )
+    .expect("write fixture");
+    path
+}
+
+fn spawn_serve(file: &std::path::Path) -> (Child, BufReader<std::process::ChildStderr>, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xmlrel"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--drain-ms",
+            "2000",
+            "interval",
+        ])
+        .arg(file)
+        .arg("/r/a/text()")
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn xmlrel serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    // The bound address is announced on stderr: "serving ... on http://ADDR".
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        assert!(
+            Instant::now() < deadline,
+            "server never announced its address"
+        );
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).expect("read stderr");
+        assert!(n > 0, "stderr closed before the address was announced");
+        if let Some(rest) = line.trim_end().split("http://").nth(1) {
+            break rest.to_string();
+        }
+    };
+    (child, stderr, addr)
+}
+
+fn http(addr: &str, request: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(request.as_bytes()).expect("write");
+    let mut out = String::new();
+    let _ = conn.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let file = write_fixture();
+    let (mut child, mut stderr, addr) = spawn_serve(&file);
+
+    // The server answers monitoring and query traffic.
+    let health = http(&addr, "GET /healthz HTTP/1.0\r\n\r\n");
+    assert!(
+        health.starts_with("HTTP/1.0 200"),
+        "healthz failed: {}",
+        health.lines().next().unwrap_or("")
+    );
+    let body = "/r/b/text()";
+    let query = http(
+        &addr,
+        &format!(
+            "POST /query HTTP/1.0\r\nContent-Length: {}\r\nX-Timeout-Ms: 5000\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(query.starts_with("HTTP/1.0 200"), "query failed: {query}");
+    assert!(query.contains("bee"), "query body wrong: {query}");
+
+    // SIGTERM → graceful drain → exit 0.
+    let pid = child.id().to_string();
+    let kill = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not exit within 30s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let mut tail = String::new();
+    let _ = stderr.read_to_string(&mut tail);
+    assert!(
+        status.success(),
+        "expected exit 0 after graceful drain; got {status:?}; stderr tail: {tail}"
+    );
+    assert!(
+        tail.contains("drained"),
+        "shutdown should report the drain: {tail}"
+    );
+    let _ = std::fs::remove_file(&file);
+}
