@@ -1,0 +1,359 @@
+//! Atomics discipline.
+//!
+//! Inventories every atomic operation in the workspace (an op is a
+//! `.load(..)`/`.store(..)`/`.swap(..)`/`.fetch_*(..)`/
+//! `.compare_exchange*(..)` call whose arguments mention an
+//! `Ordering` variant — that requirement is what keeps `file.store(..)`
+//! or channel `send`-style calls out) and reports two smells:
+//!
+//! - **load…store read-modify-write** — a function that `load`s and then
+//!   `store`s the same atomic has a lost-update window the moment a
+//!   second thread runs it; the fix is `fetch_add`/`fetch_update`/
+//!   `compare_exchange`. (`serve.rs`'s inflight counter already uses
+//!   `fetch_update` for exactly this reason.)
+//! - **mixed ordering families** — one atomic touched with `Relaxed` in
+//!   one place and `Acquire`/`Release` (or `SeqCst`) in another usually
+//!   means the weaker site silently breaks the stronger site's
+//!   happens-before edge. All sites for one atomic should agree on a
+//!   family: `relaxed` (pure counters), `acqrel` (flag publication), or
+//!   `seqcst` (total-order flags).
+//!
+//! Atomic identity reuses the lock pass's receiver normalization:
+//! `self.flag` inside `impl CancelToken` → `CancelToken.flag`, so all
+//! methods of a type see the same atomic. Neither finding is
+//! allowlistable — fix the site or restructure the code.
+
+use super::locks::receiver_chain;
+use super::Workspace;
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+const METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Ordering family an `Ordering` variant belongs to.
+fn family(ordering: &str) -> &'static str {
+    match ordering {
+        "Relaxed" => "relaxed",
+        "Acquire" | "Release" | "AcqRel" => "acqrel",
+        _ => "seqcst",
+    }
+}
+
+/// One atomic op site.
+#[derive(Debug, Clone)]
+struct Op {
+    id: String,
+    method: String,
+    orderings: Vec<String>,
+    fn_name: String,
+    file: String,
+    line: u32,
+}
+
+/// Aggregated per-atomic usage, for the JSON inventory.
+#[derive(Debug)]
+pub struct AtomicUse {
+    /// Normalized atomic identity, e.g. `CancelToken.flag`.
+    pub id: String,
+    /// Distinct orderings seen across all sites, sorted.
+    pub orderings: Vec<String>,
+    /// Number of op sites.
+    pub sites: usize,
+}
+
+/// One discipline finding (kind: `load-store-rmw` or `mixed-ordering`).
+#[derive(Debug)]
+pub struct AtomicsFinding {
+    pub kind: String,
+    pub id: String,
+    pub message: String,
+}
+
+/// The atomics report.
+#[derive(Debug, Default)]
+pub struct AtomicsReport {
+    pub atomics: Vec<AtomicUse>,
+    pub findings: Vec<AtomicsFinding>,
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Collect the ops in one fn body.
+fn scan_fn(
+    toks: &[Tok],
+    body: (usize, usize),
+    self_ty: Option<&str>,
+    fn_name: &str,
+    file: &str,
+    ops: &mut Vec<Op>,
+) {
+    let mut i = body.0;
+    while i < body.1 {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && METHODS.contains(&t.text.as_str())
+            && i > 1
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+        {
+            // Scan the balanced argument list for Ordering variants.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut orderings = Vec::new();
+            while j < body.1 && depth > 0 {
+                if is_punct(&toks[j], "(") {
+                    depth += 1;
+                } else if is_punct(&toks[j], ")") {
+                    depth -= 1;
+                } else if toks[j].kind == TokKind::Ident
+                    && ORDERINGS.contains(&toks[j].text.as_str())
+                {
+                    orderings.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            if !orderings.is_empty() {
+                let mut segs = receiver_chain(toks, i - 2);
+                if let Some(head) = segs.first_mut() {
+                    if head == "self" {
+                        if let Some(ty) = self_ty {
+                            *head = ty.to_string();
+                        }
+                    }
+                    ops.push(Op {
+                        id: segs.join("."),
+                        method: t.text.clone(),
+                        orderings,
+                        fn_name: fn_name.to_string(),
+                        file: file.to_string(),
+                        line: t.line,
+                    });
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Run the atomics analysis over the workspace.
+pub fn analyze(ws: &Workspace) -> AtomicsReport {
+    let mut ops: Vec<Op> = Vec::new();
+    for f in &ws.files {
+        for func in &f.items.fns {
+            if func.body.0 >= func.body.1 {
+                continue;
+            }
+            if f.test_mask.get(func.body.0).copied().unwrap_or(false) {
+                continue;
+            }
+            scan_fn(
+                &f.toks,
+                func.body,
+                func.self_ty.as_deref(),
+                &func.name,
+                &f.file,
+                &mut ops,
+            );
+        }
+    }
+
+    let mut report = AtomicsReport::default();
+
+    // Inventory: distinct orderings per atomic.
+    let mut by_id: BTreeMap<&str, Vec<&Op>> = BTreeMap::new();
+    for op in &ops {
+        by_id.entry(&op.id).or_default().push(op);
+    }
+    for (id, sites) in &by_id {
+        let mut orderings: Vec<String> = sites
+            .iter()
+            .flat_map(|o| o.orderings.iter().cloned())
+            .collect();
+        orderings.sort();
+        orderings.dedup();
+        report.atomics.push(AtomicUse {
+            id: id.to_string(),
+            orderings,
+            sites: sites.len(),
+        });
+    }
+
+    // load…store RMW within one fn.
+    let mut by_fn_id: BTreeMap<(&str, &str, &str), Vec<&Op>> = BTreeMap::new();
+    for op in &ops {
+        by_fn_id
+            .entry((&op.file, &op.fn_name, &op.id))
+            .or_default()
+            .push(op);
+    }
+    for ((file, fn_name, id), sites) in &by_fn_id {
+        let load = sites.iter().find(|o| o.method == "load");
+        let store = sites.iter().find(|o| o.method == "store");
+        if let (Some(l), Some(s)) = (load, store) {
+            report.findings.push(AtomicsFinding {
+                kind: "load-store-rmw".into(),
+                id: id.to_string(),
+                message: format!(
+                    "`{fn_name}` loads `{id}` ({file}:{}) and stores it ({file}:{}) — a \
+                     non-CAS read-modify-write that loses updates under concurrency; use \
+                     `fetch_*`, `fetch_update`, or `compare_exchange`",
+                    l.line, s.line
+                ),
+            });
+        }
+    }
+
+    // Mixed ordering families per atomic, workspace-wide.
+    for (id, sites) in &by_id {
+        let mut fams: Vec<(&'static str, &&Op)> = Vec::new();
+        for op in sites {
+            for o in &op.orderings {
+                fams.push((family(o), op));
+            }
+        }
+        let mut distinct: Vec<&'static str> = fams.iter().map(|(f, _)| *f).collect();
+        distinct.sort();
+        distinct.dedup();
+        if distinct.len() > 1 {
+            let mut examples: Vec<String> = Vec::new();
+            for d in &distinct {
+                if let Some((_, op)) = fams.iter().find(|(f, _)| f == d) {
+                    examples.push(format!(
+                        "{} via `{}` in `{}` ({}:{})",
+                        d, op.method, op.fn_name, op.file, op.line
+                    ));
+                }
+            }
+            report.findings.push(AtomicsFinding {
+                kind: "mixed-ordering".into(),
+                id: id.to_string(),
+                message: format!(
+                    "atomic `{id}` is used with mixed ordering families [{}]: {} — pick one \
+                     family per atomic so every site preserves the same happens-before edges",
+                    distinct.join(", "),
+                    examples.join("; ")
+                ),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> AtomicsReport {
+        analyze(&Workspace::from_sources(&[("crates/obs/src/a.rs", src)]))
+    }
+
+    #[test]
+    fn consistent_atomic_is_clean() {
+        let r = report(
+            "impl CancelToken {\n\
+             fn set(&self) { self.flag.store(true, Ordering::Release); }\n\
+             fn is_set(&self) -> bool { self.flag.load(Ordering::Acquire) }\n\
+             }",
+        );
+        assert_eq!(r.atomics.len(), 1);
+        assert_eq!(r.atomics[0].id, "CancelToken.flag");
+        assert_eq!(r.atomics[0].sites, 2);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn load_store_rmw_flagged() {
+        let r = report(
+            "fn bump(n: &AtomicU64) {\n\
+             let v = n.load(Ordering::Relaxed);\n\
+             n.store(v + 1, Ordering::Relaxed);\n\
+             }",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].kind, "load-store-rmw");
+        assert!(r.findings[0].message.contains("bump"));
+        assert!(r.findings[0].message.contains("fetch_"));
+    }
+
+    #[test]
+    fn load_and_store_in_different_fns_fine() {
+        let r = report(
+            "fn set(n: &AtomicU64) { n.store(1, Ordering::SeqCst); }\n\
+             fn get(n: &AtomicU64) -> u64 { n.load(Ordering::SeqCst) }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn mixed_families_flagged_with_sites() {
+        let r = report(
+            "impl S {\n\
+             fn a(&self) { self.n.store(1, Ordering::SeqCst); }\n\
+             fn b(&self) -> u64 { self.n.load(Ordering::Relaxed) }\n\
+             }",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].kind, "mixed-ordering");
+        let m = &r.findings[0].message;
+        assert!(m.contains("relaxed") && m.contains("seqcst"), "{m}");
+        assert!(m.contains("crates/obs/src/a.rs:"), "{m}");
+    }
+
+    #[test]
+    fn acquire_release_pair_is_one_family() {
+        let r = report(
+            "impl T { fn s(&self) { self.f.store(true, Ordering::Release); }\n\
+             fn l(&self) -> bool { self.f.load(Ordering::Acquire) } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn fetch_update_two_orderings_same_family_fine() {
+        let r = report(
+            "fn g(n: &AtomicUsize) {\n\
+             let r = n.fetch_update(Ordering::AcqRel, Ordering::Acquire, f);\n\
+             use_(r);\n\
+             }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.atomics[0].orderings, vec!["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn non_atomic_store_ignored() {
+        let r = report("fn f(b: &Backend) { b.store(path, bytes); b.load(path); }");
+        assert!(r.atomics.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let r = report(
+            "#[cfg(test)] mod t { fn f(n: &AtomicU64) { let v = n.load(Ordering::Relaxed); \
+             n.store(v + 1, Ordering::SeqCst); } }",
+        );
+        assert!(r.atomics.is_empty());
+    }
+}

@@ -1,0 +1,542 @@
+//! Lock-order analysis.
+//!
+//! Scans every function body for zero-argument `.lock()` / `.read()` /
+//! `.write()` / `.try_*()` calls (the `Mutex`/`RwLock` acquisition
+//! surface — I/O `read`/`write` take arguments and are excluded),
+//! approximates each guard's scope, and records a *held → acquired* edge
+//! whenever a second lock is taken while a guard is live. A cycle in the
+//! resulting acquisition graph is an ordering inconsistency: two code
+//! paths that take the same locks in opposite orders can deadlock the
+//! moment they run on different threads — exactly what ROADMAP item 1
+//! introduces.
+//!
+//! Lock identity is the receiver chain with `self` normalized to the
+//! `impl` type (`self.inner.lock()` inside `impl Ledger` → `Ledger.inner`;
+//! `registry().lock()` → `registry()`). Guard scopes:
+//! - `let g = m.lock();` — live to the end of the enclosing block, or an
+//!   explicit `drop(g)`.
+//! - `let _ = m.lock();` — dropped immediately (not a guard).
+//! - `if let`/`while let`/`match` bindings — live inside the following
+//!   block.
+//! - statement temporaries (`m.lock().field = …`) — live to the end of
+//!   the statement.
+//!
+//! The analysis is intraprocedural: a lock held across a call into a
+//! function that takes another lock is *not* seen as nesting. That is a
+//! documented false-negative; the workspace convention that makes it
+//! sound is the one the existing code already follows — lock helpers
+//! (`Ledger::lock`, `metrics::registry`) return guards to a caller that
+//! holds exactly one at a time. Re-acquiring the same `Mutex` while its
+//! guard is live is reported as a self-cycle (a genuine self-deadlock for
+//! `Mutex`); `read`/`read` re-entrancy on an `RwLock` is not flagged.
+
+use super::Workspace;
+use crate::lexer::{Tok, TokKind};
+
+/// Blocking acquisition methods (a `try_*` that fails does not block, so
+/// only these participate in self-deadlock detection; all participate in
+/// ordering edges because a `try_` taken under a held lock still
+/// publishes an order).
+const BLOCKING: &[&str] = &["lock", "read", "write"];
+const METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// One acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Normalized lock identity, e.g. `Ledger.inner`.
+    pub lock: String,
+    pub method: String,
+    pub fn_name: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One *held → acquired* nesting observation.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub fn_name: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// A cycle in the acquisition graph, with the witnessing edges.
+#[derive(Debug)]
+pub struct LockCycle {
+    /// Node sequence, first node repeated at the end (`A -> B -> A`).
+    pub nodes: Vec<String>,
+    pub edges: Vec<LockEdge>,
+}
+
+impl LockCycle {
+    /// Human-readable description: the cycle plus one witness site per
+    /// edge, so the diff between the two orders is readable directly.
+    pub fn describe(&self) -> String {
+        let mut s = format!("  {}", self.nodes.join(" -> "));
+        for e in &self.edges {
+            s.push_str(&format!(
+                "\n    holds `{}` while acquiring `{}` in `{}` ({}:{})",
+                e.from, e.to, e.fn_name, e.file, e.line
+            ));
+        }
+        s
+    }
+}
+
+/// The lock report: every site, every nesting edge, every cycle.
+#[derive(Debug, Default)]
+pub struct LockReport {
+    pub sites: Vec<Acquisition>,
+    pub edges: Vec<LockEdge>,
+    pub cycles: Vec<LockCycle>,
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Walk the receiver chain ending at token `k` (the token just before the
+/// `.method` dot), returning dotted segments — `self.inner` or
+/// `registry()`. Shared with the atomics pass.
+pub(crate) fn receiver_chain(toks: &[Tok], mut k: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    while let Some(t) = toks.get(k) {
+        if is_punct(t, ")") {
+            // Skip a balanced call argument list, then take the callee.
+            let mut depth = 1usize;
+            let mut j = k;
+            while depth > 0 && j > 0 {
+                j -= 1;
+                if is_punct(&toks[j], ")") {
+                    depth += 1;
+                } else if is_punct(&toks[j], "(") {
+                    depth -= 1;
+                }
+            }
+            if j == 0 || toks[j - 1].kind != TokKind::Ident {
+                break;
+            }
+            segs.push(format!("{}()", toks[j - 1].text));
+            k = j - 1;
+        } else if t.kind == TokKind::Ident {
+            segs.push(t.text.clone());
+        } else {
+            break;
+        }
+        if k == 0 || !is_punct(&toks[k - 1], ".") {
+            break;
+        }
+        if k < 2 {
+            break;
+        }
+        k -= 2;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Normalize a receiver chain into a lock identity: `self` is replaced by
+/// the `impl` type so `self.inner` in two methods of `Ledger` is one lock.
+fn lock_id(mut segs: Vec<String>, self_ty: Option<&str>) -> Option<String> {
+    let head = segs.first_mut()?;
+    if head == "self" {
+        *head = self_ty?.to_string();
+    }
+    Some(segs.join("."))
+}
+
+/// A live guard during the scan.
+struct Guard {
+    lock: String,
+    method: String,
+    /// Binding names (`drop(name)` releases); empty for temporaries.
+    names: Vec<String>,
+    /// Brace depth at which the guard dies: the guard is released when
+    /// depth drops below this.
+    scope_depth: usize,
+    /// Temporaries die at the first `;` at their binding depth.
+    statement_temp: bool,
+}
+
+/// Scan one function body; append sites and edges.
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    toks: &[Tok],
+    body: (usize, usize),
+    self_ty: Option<&str>,
+    fn_name: &str,
+    file: &str,
+    sites: &mut Vec<Acquisition>,
+    edges: &mut Vec<LockEdge>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 1usize; // inside the body braces
+    let mut i = body.0;
+    while i < body.1 {
+        let t = &toks[i];
+        if is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.scope_depth <= depth);
+        } else if is_punct(t, ";") {
+            guards.retain(|g| !(g.statement_temp && g.scope_depth == depth));
+        } else if t.kind == TokKind::Ident && t.text == "drop" {
+            // `drop(name)` releases the named guard early.
+            if let (Some(p), Some(n)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if is_punct(p, "(") && n.kind == TokKind::Ident {
+                    let name = n.text.clone();
+                    guards.retain(|g| !g.names.contains(&name));
+                }
+            }
+        } else if t.kind == TokKind::Ident
+            && METHODS.contains(&t.text.as_str())
+            && i > 1
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, ")"))
+        {
+            let segs = receiver_chain(toks, i - 2);
+            if let Some(lock) = lock_id(segs, self_ty) {
+                let method = t.text.clone();
+                sites.push(Acquisition {
+                    lock: lock.clone(),
+                    method: method.clone(),
+                    fn_name: fn_name.to_string(),
+                    file: file.to_string(),
+                    line: t.line,
+                });
+                for g in &guards {
+                    let self_deadlock = g.lock == lock
+                        && BLOCKING.contains(&method.as_str())
+                        && BLOCKING.contains(&g.method.as_str())
+                        && !(method == "read" && g.method == "read");
+                    if g.lock != lock || self_deadlock {
+                        edges.push(LockEdge {
+                            from: g.lock.clone(),
+                            to: lock.clone(),
+                            fn_name: fn_name.to_string(),
+                            file: file.to_string(),
+                            line: t.line,
+                        });
+                    }
+                }
+                if let Some((names, scope_depth, statement_temp)) =
+                    binding_of(toks, body.0, i, depth)
+                {
+                    guards.push(Guard {
+                        lock,
+                        method,
+                        names,
+                        scope_depth,
+                        statement_temp,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Classify the statement an acquisition at token `at` belongs to:
+/// `Some((binding names, scope depth, is-statement-temporary))`, or
+/// `None` when the guard is dropped on the spot (`let _ = m.lock();`).
+fn binding_of(
+    toks: &[Tok],
+    body_start: usize,
+    at: usize,
+    depth: usize,
+) -> Option<(Vec<String>, usize, bool)> {
+    // Find the statement start: the token after the previous `;`/`{`/`}`.
+    let mut s = at;
+    while s > body_start {
+        let p = &toks[s - 1];
+        if is_punct(p, ";") || is_punct(p, "{") || is_punct(p, "}") {
+            break;
+        }
+        s -= 1;
+    }
+    let first = &toks[s];
+    if first.kind == TokKind::Ident && first.text == "let" {
+        let names = pattern_names(toks, s + 1, at);
+        // `let _ = m.lock();` drops the guard immediately.
+        if names.is_empty() {
+            return None;
+        }
+        return Some((names, depth, false));
+    }
+    if first.kind == TokKind::Ident
+        && matches!(first.text.as_str(), "if" | "while" | "match" | "for")
+    {
+        // `if let Some(g) = m.try_lock()` — the guard lives inside the
+        // block that follows, one level deeper than the binding site.
+        let names = pattern_names(toks, s + 1, at);
+        if !names.is_empty() {
+            return Some((names, depth + 1, false));
+        }
+        // `match m.lock() { … }` / condition temporaries: scope to the
+        // following block.
+        return Some((Vec::new(), depth + 1, true));
+    }
+    Some((Vec::new(), depth, true))
+}
+
+/// Idents bound by the pattern between `from` and the `=` before `to`
+/// (exclusive), skipping keywords and constructor names.
+fn pattern_names(toks: &[Tok], from: usize, to: usize) -> Vec<String> {
+    let mut eq = None;
+    for j in from..to {
+        if is_punct(&toks[j], "=")
+            && !toks.get(j + 1).is_some_and(|n| is_punct(n, "="))
+            && !(j > 0 && matches!(toks[j - 1].text.as_str(), "=" | "!" | "<" | ">"))
+        {
+            eq = Some(j);
+            break;
+        }
+    }
+    let Some(eq) = eq else { return Vec::new() };
+    let mut names = Vec::new();
+    for t in &toks[from..eq] {
+        if t.kind == TokKind::Ident
+            && t.text != "_"
+            && !matches!(t.text.as_str(), "let" | "mut" | "ref")
+            && !t
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            names.push(t.text.clone());
+        }
+    }
+    names
+}
+
+/// Find every cycle in the edge set (DFS with an explicit path stack;
+/// cycles are canonicalized by rotating to the smallest node and deduped).
+fn find_cycles(edges: &[LockEdge]) -> Vec<LockCycle> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(e);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut cycles = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        // Path stack DFS from each node; bounded by the tiny graph size.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        while let Some((node, next_i)) = stack.last_mut() {
+            let out = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *next_i >= out.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let e = out[*next_i];
+            *next_i += 1;
+            if let Some(pos) = path.iter().position(|n| *n == e.to.as_str()) {
+                // Found a cycle: path[pos..] + closing edge.
+                let mut cyc: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                // Canonical rotation for dedup.
+                let min = cyc
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_str())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mut canon = cyc.clone();
+                canon.rotate_left(min);
+                if seen.insert(canon) {
+                    if let Some(first) = cyc.first().cloned() {
+                        cyc.push(first);
+                    }
+                    let mut witness = Vec::new();
+                    for w in cyc.windows(2) {
+                        if let [from, to] = w {
+                            if let Some(we) = edges.iter().find(|x| &x.from == from && &x.to == to)
+                            {
+                                witness.push(we.clone());
+                            }
+                        }
+                    }
+                    cycles.push(LockCycle {
+                        nodes: cyc,
+                        edges: witness,
+                    });
+                }
+                continue;
+            }
+            if path.len() > 64 {
+                continue; // defensive bound; graphs here are tiny
+            }
+            path.push(&e.to);
+            stack.push((&e.to, 0));
+        }
+    }
+    cycles
+}
+
+/// Run the lock analysis over the workspace.
+pub fn analyze(ws: &Workspace) -> LockReport {
+    let mut report = LockReport::default();
+    for f in &ws.files {
+        for func in &f.items.fns {
+            if func.body.0 >= func.body.1 {
+                continue;
+            }
+            if f.test_mask.get(func.body.0).copied().unwrap_or(false) {
+                continue;
+            }
+            scan_fn(
+                &f.toks,
+                func.body,
+                func.self_ty.as_deref(),
+                &func.name,
+                &f.file,
+                &mut report.sites,
+                &mut report.edges,
+            );
+        }
+    }
+    // Dedup edges per (from, to, fn) for readability; cycle detection
+    // uses the deduped set.
+    report.edges.sort_by(|a, b| {
+        (&a.from, &a.to, &a.fn_name, a.line).cmp(&(&b.from, &b.to, &b.fn_name, b.line))
+    });
+    report
+        .edges
+        .dedup_by(|a, b| a.from == b.from && a.to == b.to && a.fn_name == b.fn_name);
+    report.cycles = find_cycles(&report.edges);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> LockReport {
+        analyze(&Workspace::from_sources(&[("crates/reldb/src/l.rs", src)]))
+    }
+
+    #[test]
+    fn single_lock_no_edges() {
+        let r = report("impl Ledger { fn note(&self) { let g = self.inner.lock(); g.push(1); } }");
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].lock, "Ledger.inner");
+        assert!(r.edges.is_empty());
+        assert!(r.cycles.is_empty());
+    }
+
+    #[test]
+    fn nesting_produces_edge() {
+        let r = report("fn f(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); use_(g, h); }");
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(
+            (r.edges[0].from.as_str(), r.edges[0].to.as_str()),
+            ("a", "b")
+        );
+        assert!(r.cycles.is_empty());
+    }
+
+    #[test]
+    fn inverted_pair_trips_cycle_with_readable_diff() {
+        let r = report(
+            "fn one(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); use_(g, h); }\n\
+             fn two(a: &M, b: &M) { let h = b.lock(); let g = a.lock(); use_(g, h); }",
+        );
+        assert_eq!(r.cycles.len(), 1, "edges: {:?}", r.edges);
+        let d = r.cycles[0].describe();
+        assert!(
+            d.contains("a -> b -> a") || d.contains("b -> a -> b"),
+            "{d}"
+        );
+        assert!(d.contains("`one`") && d.contains("`two`"), "{d}");
+        assert!(
+            d.contains("crates/reldb/src/l.rs:1") && d.contains(":2"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let r =
+            report("fn f(a: &M, b: &M) { let g = a.lock(); drop(g); let h = b.lock(); keep(h); }");
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn block_scope_releases_guard() {
+        let r = report(
+            "fn f(a: &M, b: &M) { { let g = a.lock(); touch(g); } let h = b.lock(); keep(h); }",
+        );
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn statement_temp_released_at_semicolon() {
+        let r = report("impl S { fn f(&self) { self.a.lock().push(1); self.b.lock().push(2); } }");
+        assert_eq!(r.sites.len(), 2);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn statement_temp_holds_within_statement() {
+        let r = report("impl S { fn f(&self) { merge(self.a.lock(), self.b.lock()); } }");
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].from, "S.a");
+        assert_eq!(r.edges[0].to, "S.b");
+    }
+
+    #[test]
+    fn double_lock_same_mutex_is_self_cycle() {
+        let r = report("fn f(m: &M) { let g = m.lock(); let h = m.lock(); use_(g, h); }");
+        assert_eq!(r.cycles.len(), 1);
+        assert_eq!(r.cycles[0].nodes, vec!["m", "m"]);
+    }
+
+    #[test]
+    fn rwlock_read_read_not_flagged() {
+        let r = report("fn f(m: &L) { let g = m.read(); let h = m.read(); use_(g, h); }");
+        assert!(r.cycles.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn read_then_write_same_lock_flagged() {
+        let r = report("fn f(m: &L) { let g = m.read(); let h = m.write(); use_(g, h); }");
+        assert_eq!(r.cycles.len(), 1);
+    }
+
+    #[test]
+    fn if_let_try_lock_scopes_to_block() {
+        let r = report(
+            "fn f(a: &M, b: &M) { if let Some(g) = a.try_lock() { touch(g); } \
+             let h = b.lock(); keep(h); }",
+        );
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn io_read_write_with_args_ignored() {
+        let r = report("fn f(w: &mut W) { w.write(buf); w.read(buf2); }");
+        assert!(r.sites.is_empty());
+    }
+
+    #[test]
+    fn function_call_receiver_named() {
+        let r = report("fn f() { let g = registry().lock(); touch(g); }");
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].lock, "registry()");
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let r = report(
+            "#[cfg(test)] mod tests { fn f(a: &M, b: &M) { let g = b.lock(); \
+             let h = a.lock(); use_(g, h); } }",
+        );
+        assert!(r.sites.is_empty());
+    }
+}

@@ -1,0 +1,673 @@
+//! Send/Sync reachability audit.
+//!
+//! Rust derives `Send`/`Sync` structurally: a struct is `Send` iff every
+//! field is. This pass replays that derivation over the item-level parse,
+//! starting from the public handle types ROADMAP item 1 needs to share
+//! across threads, and reports the exact field *chains* that break the
+//! auto-traits — `ledger.inner.cell: Rc<RefCell<OpStats>>`, not just
+//! "XmlStore is !Send".
+//!
+//! Classification rules (mirroring the std impls):
+//! - `Rc<T>` / `rc::Weak<T>` — `!Send + !Sync`, terminally.
+//! - `Cell<T>` / `RefCell<T>` / `UnsafeCell<T>` / `OnceCell<T>` — `!Sync`
+//!   terminally; `Send` iff `T: Send`.
+//! - `*const T` / `*mut T` — `!Send + !Sync`.
+//! - `Mutex<T>` — `Send`/`Sync` iff `T: Send`.
+//! - `RwLock<T>` — `Send` iff `T: Send`; `Sync` iff `T: Send + Sync`.
+//! - `Arc<T>` — `Send`/`Sync` iff `T: Send + Sync`.
+//! - `MutexGuard` / lock guards — `!Send` terminally.
+//! - `dyn Trait` / `impl Trait` — hostile unless the bounds (or the
+//!   trait's own supertraits, for workspace traits) include `Send`/`Sync`.
+//! - `&T` — inherits from `T` (conservatively: both traits need `T`'s).
+//! - Atomics, `fn` pointers, primitives — thread-safe.
+//! - Workspace structs/enums — recurse through fields/variants.
+//! - Generic parameters and unrecognized external types — assumed benign;
+//!   their generic arguments are still walked (so `Wrapper<Rc<T>>` is
+//!   caught even when `Wrapper` is unknown).
+//!
+//! The audit is deliberately one-sided: it can miss hostility hidden in
+//! external crates, but it cannot be silenced in source — every reported
+//! chain must either be fixed or carried in `CONC_ALLOWLIST.txt`.
+
+use super::Workspace;
+use crate::items::{EnumDef, StructDef, TypeRef};
+use std::collections::HashMap;
+
+/// The handle types the gate audits, as `(crate, type)` pairs. These are
+/// the types the MVCC/serving PR must be able to move across threads.
+pub const DEFAULT_ROOTS: &[(&str, &str)] = &[
+    ("core", "XmlStore"),
+    ("core", "Ledger"),
+    ("reldb", "Database"),
+    ("reldb", "SharedFiles"),
+    ("reldb", "MemBackend"),
+    ("reldb", "Meter"),
+    ("reldb", "ProfileHandle"),
+    ("obs", "CancelToken"),
+    ("obs", "TraceSink"),
+    ("obs", "MonitorHandle"),
+];
+
+/// One thread-hostile field chain found under a root.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Dotted field path from the root, e.g. `db.durability.backend` or
+    /// `scheme.Edge.0` through an enum variant.
+    pub path: String,
+    /// Rendered type of the offending leaf.
+    pub ty: String,
+    /// Why it is hostile, e.g. ```Rc` is `!Send + !Sync` ``.
+    pub reason: String,
+    pub kills_send: bool,
+    pub kills_sync: bool,
+    /// Where the leaf field is declared.
+    pub file: String,
+    pub line: u32,
+    /// Filled in by the gate after matching against the allowlist.
+    pub allowlisted: bool,
+}
+
+impl Chain {
+    /// Human tag for which auto-traits the chain breaks.
+    pub fn kills(&self) -> &'static str {
+        match (self.kills_send, self.kills_sync) {
+            (true, true) => "!Send + !Sync",
+            (true, false) => "!Send",
+            (false, true) => "!Sync",
+            (false, false) => "benign",
+        }
+    }
+}
+
+/// Audit result for one root type.
+#[derive(Debug)]
+pub struct RootReport {
+    /// Qualified root, e.g. `reldb::Database`.
+    pub root: String,
+    /// All hostile chains reachable from the root (empty = Send + Sync).
+    pub chains: Vec<Chain>,
+    /// True when the root type was not found in the workspace (itself a
+    /// gate failure: the roots list is part of the committed contract).
+    pub missing: bool,
+}
+
+impl RootReport {
+    pub fn is_send(&self) -> bool {
+        !self.missing && self.chains.iter().all(|c| !c.kills_send)
+    }
+    pub fn is_sync(&self) -> bool {
+        !self.missing && self.chains.iter().all(|c| !c.kills_sync)
+    }
+}
+
+/// What a type contributes: the hostile chains discovered under it.
+#[derive(Debug, Default, Clone)]
+struct Verdict {
+    chains: Vec<Chain>,
+}
+
+impl Verdict {
+    fn merge(&mut self, other: Verdict) {
+        self.chains.extend(other.chains);
+    }
+    /// Keep only chains that break Send (used under `Mutex<T>`, where
+    /// `!Sync` inside is healed but `!Send` still propagates).
+    fn send_only(mut self) -> Verdict {
+        self.chains.retain(|c| c.kills_send);
+        for c in &mut self.chains {
+            c.kills_sync = false;
+        }
+        self
+    }
+}
+
+/// Index of workspace type definitions, for name resolution.
+struct Ctx<'a> {
+    ws: &'a Workspace,
+    /// name -> (file index, struct index)
+    structs: HashMap<&'a str, Vec<(usize, usize)>>,
+    enums: HashMap<&'a str, Vec<(usize, usize)>>,
+    aliases: HashMap<&'a str, Vec<(usize, usize)>>,
+    traits: HashMap<&'a str, Vec<(usize, usize)>>,
+}
+
+impl<'a> Ctx<'a> {
+    fn build(ws: &'a Workspace) -> Ctx<'a> {
+        let mut ctx = Ctx {
+            ws,
+            structs: HashMap::new(),
+            enums: HashMap::new(),
+            aliases: HashMap::new(),
+            traits: HashMap::new(),
+        };
+        for (fi, f) in ws.files.iter().enumerate() {
+            for (si, s) in f.items.structs.iter().enumerate() {
+                ctx.structs.entry(&s.name).or_default().push((fi, si));
+            }
+            for (ei, e) in f.items.enums.iter().enumerate() {
+                ctx.enums.entry(&e.name).or_default().push((fi, ei));
+            }
+            for (ai, a) in f.items.aliases.iter().enumerate() {
+                ctx.aliases.entry(&a.name).or_default().push((fi, ai));
+            }
+            for (ti, t) in f.items.traits.iter().enumerate() {
+                ctx.traits.entry(&t.name).or_default().push((fi, ti));
+            }
+        }
+        ctx
+    }
+
+    /// Resolve a name to a candidate list entry: same file, then same
+    /// crate, then globally unique. Ambiguity across crates resolves to
+    /// nothing (assumed benign) — the committed roots keep this honest.
+    fn resolve(
+        &self,
+        cands: Option<&Vec<(usize, usize)>>,
+        from_file: usize,
+    ) -> Option<(usize, usize)> {
+        let cands = cands?;
+        if let Some(hit) = cands.iter().find(|(fi, _)| *fi == from_file) {
+            return Some(*hit);
+        }
+        let crate_name = &self.ws.files[from_file].crate_name;
+        let in_crate: Vec<_> = cands
+            .iter()
+            .filter(|(fi, _)| &self.ws.files[*fi].crate_name == crate_name)
+            .collect();
+        if let [only] = in_crate.as_slice() {
+            return Some(**only);
+        }
+        if in_crate.is_empty() {
+            if let [only] = cands.as_slice() {
+                return Some(*only);
+            }
+        }
+        None
+    }
+
+    /// Does a workspace trait (or `Send`/`Sync` literally) carry the given
+    /// marker in its bounds, directly or via one supertrait hop?
+    fn bound_implies(&self, bound: &str, marker: &str, from_file: usize) -> bool {
+        if bound == marker {
+            return true;
+        }
+        if let Some((fi, ti)) = self.resolve(self.traits.get(bound), from_file) {
+            return self.ws.files[fi].items.traits[ti]
+                .supertraits
+                .iter()
+                .any(|s| s == marker);
+        }
+        false
+    }
+}
+
+/// Cell-like wrappers: `!Sync` terminally, `Send` iff `T: Send`.
+const CELLS: &[&str] = &["Cell", "RefCell", "UnsafeCell", "OnceCell"];
+/// Lock guards: `!Send` terminally (releasing on another thread is UB).
+const GUARDS: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+fn chain(
+    path: &str,
+    ty: &TypeRef,
+    reason: &str,
+    kills_send: bool,
+    kills_sync: bool,
+    file: &str,
+    line: u32,
+) -> Verdict {
+    Verdict {
+        chains: vec![Chain {
+            path: path.to_string(),
+            ty: ty.to_string(),
+            reason: reason.to_string(),
+            kills_send,
+            kills_sync,
+            file: file.to_string(),
+            line,
+            allowlisted: false,
+        }],
+    }
+}
+
+/// Walk one type. `path` is the dotted chain so far; `file`/`line` locate
+/// the field whose declared type we are inside; `generics` are the
+/// enclosing definition's type parameters; `visited` holds type names on
+/// the recursion stack (cycles like `ProfileHandle.children` terminate).
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    ctx: &Ctx<'_>,
+    ty: &TypeRef,
+    path: &str,
+    file_idx: usize,
+    file: &str,
+    line: u32,
+    generics: &[String],
+    visited: &mut Vec<String>,
+) -> Verdict {
+    match ty {
+        TypeRef::RawPtr(_) => chain(
+            path,
+            ty,
+            "raw pointers are `!Send + !Sync`",
+            true,
+            true,
+            file,
+            line,
+        ),
+        TypeRef::Ref(inner) | TypeRef::Slice(inner) => {
+            walk(ctx, inner, path, file_idx, file, line, generics, visited)
+        }
+        TypeRef::Tuple(elems) => {
+            let mut v = Verdict::default();
+            for (i, e) in elems.iter().enumerate() {
+                let p = if elems.len() == 1 {
+                    path.to_string()
+                } else {
+                    format!("{path}.{i}")
+                };
+                v.merge(walk(ctx, e, &p, file_idx, file, line, generics, visited));
+            }
+            v
+        }
+        TypeRef::TraitObject { bounds } => {
+            let send = bounds
+                .iter()
+                .any(|b| ctx.bound_implies(b, "Send", file_idx));
+            let sync = bounds
+                .iter()
+                .any(|b| ctx.bound_implies(b, "Sync", file_idx));
+            if send && sync {
+                Verdict::default()
+            } else {
+                chain(
+                    path,
+                    ty,
+                    "trait object without `+ Send + Sync` bounds (and the trait does not \
+                     require them)",
+                    !send,
+                    !sync,
+                    file,
+                    line,
+                )
+            }
+        }
+        TypeRef::FnPtr | TypeRef::Opaque => Verdict::default(),
+        TypeRef::Path { segments, args } => {
+            let last = segments.last().map(|s| s.as_str()).unwrap_or("");
+            // Bare generic parameter of the enclosing type: caller-bound.
+            if segments.len() == 1 && args.is_empty() && generics.iter().any(|g| g == last) {
+                return Verdict::default();
+            }
+            let walk_args = |visited: &mut Vec<String>| {
+                let mut v = Verdict::default();
+                for a in args {
+                    v.merge(walk(ctx, a, path, file_idx, file, line, generics, visited));
+                }
+                v
+            };
+            match last {
+                "Rc" | "Weak" if segments.len() == 1 || segments.iter().any(|s| s == "rc") => {
+                    chain(
+                        path,
+                        ty,
+                        "`Rc`/`rc::Weak` are `!Send + !Sync`",
+                        true,
+                        true,
+                        file,
+                        line,
+                    )
+                }
+                _ if CELLS.contains(&last) => {
+                    let mut v = chain(
+                        path,
+                        ty,
+                        "cell types are `!Sync` (interior mutability without a lock)",
+                        false,
+                        true,
+                        file,
+                        line,
+                    );
+                    v.merge(walk_args(visited).send_only());
+                    v
+                }
+                _ if GUARDS.contains(&last) => chain(
+                    path,
+                    ty,
+                    "lock guards are `!Send` (must unlock on the acquiring thread)",
+                    true,
+                    false,
+                    file,
+                    line,
+                ),
+                "Mutex" => walk_args(visited).send_only(),
+                "RwLock" => {
+                    // Sync needs T: Send + Sync; Send needs T: Send. Any
+                    // hostility inside propagates, but `!Sync`-only inner
+                    // chains break only the outer Sync.
+                    let mut v = Verdict::default();
+                    for mut c in walk_args(visited).chains {
+                        if !c.kills_send {
+                            c.kills_sync = true;
+                        }
+                        v.chains.push(c);
+                    }
+                    v
+                }
+                "Arc" => {
+                    // Arc<T>: Send + Sync iff T: Send + Sync — any inner
+                    // hostility breaks both.
+                    let mut v = Verdict::default();
+                    for mut c in walk_args(visited).chains {
+                        c.kills_send = true;
+                        c.kills_sync = true;
+                        v.chains.push(c);
+                    }
+                    v
+                }
+                _ if last.starts_with("Atomic") => Verdict::default(),
+                _ => {
+                    // Workspace struct/enum/alias, or unknown external.
+                    if let Some((fi, si)) = ctx.resolve(ctx.structs.get(last), file_idx) {
+                        let mut v = walk_struct(ctx, fi, si, path, visited);
+                        v.merge(walk_args(visited));
+                        return v;
+                    }
+                    if let Some((fi, ei)) = ctx.resolve(ctx.enums.get(last), file_idx) {
+                        let mut v = walk_enum(ctx, fi, ei, path, visited);
+                        v.merge(walk_args(visited));
+                        return v;
+                    }
+                    if let Some((fi, ai)) = ctx.resolve(ctx.aliases.get(last), file_idx) {
+                        if !visited.iter().any(|n| n == last) {
+                            visited.push(last.to_string());
+                            let a = &ctx.ws.files[fi].items.aliases[ai];
+                            let aty = a.ty.clone();
+                            let mut v = walk(ctx, &aty, path, fi, file, line, &[], visited);
+                            v.merge(walk_args(visited));
+                            visited.pop();
+                            return v;
+                        }
+                        return Verdict::default();
+                    }
+                    // Unknown/external (String, Vec, BTreeMap, Instant…):
+                    // benign itself, but its generic payload still counts.
+                    walk_args(visited)
+                }
+            }
+        }
+    }
+}
+
+fn walk_struct(
+    ctx: &Ctx<'_>,
+    fi: usize,
+    si: usize,
+    path: &str,
+    visited: &mut Vec<String>,
+) -> Verdict {
+    let s: &StructDef = &ctx.ws.files[fi].items.structs[si];
+    if visited.iter().any(|n| n == &s.name) {
+        return Verdict::default();
+    }
+    visited.push(s.name.clone());
+    let file = ctx.ws.files[fi].file.clone();
+    let mut v = Verdict::default();
+    for f in &s.fields {
+        let p = if path.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{path}.{}", f.name)
+        };
+        v.merge(walk(
+            ctx,
+            &f.ty,
+            &p,
+            fi,
+            &file,
+            f.line,
+            &s.generics,
+            visited,
+        ));
+    }
+    visited.pop();
+    v
+}
+
+fn walk_enum(
+    ctx: &Ctx<'_>,
+    fi: usize,
+    ei: usize,
+    path: &str,
+    visited: &mut Vec<String>,
+) -> Verdict {
+    let e: &EnumDef = &ctx.ws.files[fi].items.enums[ei];
+    if visited.iter().any(|n| n == &e.name) {
+        return Verdict::default();
+    }
+    visited.push(e.name.clone());
+    let file = ctx.ws.files[fi].file.clone();
+    let mut v = Verdict::default();
+    for var in &e.variants {
+        for f in &var.fields {
+            let p = if path.is_empty() {
+                format!("{}.{}", var.name, f.name)
+            } else {
+                format!("{path}.{}.{}", var.name, f.name)
+            };
+            v.merge(walk(
+                ctx,
+                &f.ty,
+                &p,
+                fi,
+                &file,
+                f.line,
+                &e.generics,
+                visited,
+            ));
+        }
+    }
+    visited.pop();
+    v
+}
+
+/// Run the audit for the given `(crate, type)` roots.
+pub fn audit(ws: &Workspace, roots: &[(&str, &str)]) -> Vec<RootReport> {
+    let ctx = Ctx::build(ws);
+    let mut out = Vec::new();
+    for (krate, name) in roots {
+        let root = format!("{krate}::{name}");
+        // Resolve the root within its declared crate, not from any file.
+        let hit = ctx
+            .structs
+            .get(*name)
+            .into_iter()
+            .flatten()
+            .chain(ctx.enums.get(*name).into_iter().flatten())
+            .find(|(fi, _)| ws.files[*fi].crate_name == *krate)
+            .copied();
+        let Some((fi, idx)) = hit else {
+            out.push(RootReport {
+                root,
+                chains: Vec::new(),
+                missing: true,
+            });
+            continue;
+        };
+        let mut visited = Vec::new();
+        let v = if ctx
+            .structs
+            .get(*name)
+            .is_some_and(|c| c.contains(&(fi, idx)))
+        {
+            walk_struct(&ctx, fi, idx, "", &mut visited)
+        } else {
+            walk_enum(&ctx, fi, idx, "", &mut visited)
+        };
+        let mut chains = v.chains;
+        chains.retain(|c| c.kills_send || c.kills_sync);
+        // Deduplicate identical (path, reason) pairs — diamond reachability
+        // through shared types reports once.
+        chains.sort_by(|a, b| (&a.path, &a.ty).cmp(&(&b.path, &b.ty)));
+        chains.dedup_by(|a, b| a.path == b.path && a.ty == b.ty);
+        out.push(RootReport {
+            root,
+            chains,
+            missing: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_sources(&[("crates/reldb/src/lib.rs", src)])
+    }
+
+    fn chains_of(ws: &Workspace, root: &str) -> Vec<Chain> {
+        let mut reports = audit(ws, &[("reldb", root)]);
+        assert!(!reports[0].missing, "root {root} not found");
+        reports.remove(0).chains
+    }
+
+    #[test]
+    fn rc_field_named_with_path() {
+        let w = ws("pub struct H { files: Rc<RefCell<u8>> }");
+        let c = chains_of(&w, "H");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].path, "files");
+        assert!(c[0].kills_send && c[0].kills_sync);
+        assert!(c[0].reason.contains("Rc"));
+    }
+
+    #[test]
+    fn nested_chain_through_structs() {
+        let w = ws("pub struct Outer { inner: Inner }\n\
+             pub struct Inner { cell: RefCell<u8> }");
+        let c = chains_of(&w, "Outer");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].path, "inner.cell");
+        assert!(!c[0].kills_send, "RefCell<u8> is Send");
+        assert!(c[0].kills_sync);
+    }
+
+    #[test]
+    fn mutex_heals_sync_not_send() {
+        let w = ws("pub struct Guarded { m: Mutex<Inner> }\n\
+             pub struct Inner { c: RefCell<u8>, r: Rc<u8> }");
+        let c = chains_of(&w, "Guarded");
+        // RefCell inside a Mutex is fine (Send, and Mutex makes it Sync);
+        // Rc inside a Mutex still kills Send.
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].path, "m.r");
+        assert!(c[0].kills_send);
+    }
+
+    #[test]
+    fn arc_mutex_of_plain_data_is_clean() {
+        let w = ws("pub struct Ledger { inner: Arc<Mutex<Inner>> }\n\
+             pub struct Inner { n: u64, names: Vec<String> }");
+        assert!(chains_of(&w, "Ledger").is_empty());
+    }
+
+    #[test]
+    fn rwlock_needs_sync_inside() {
+        let w = ws("pub struct S { l: Arc<RwLock<Inner>> }\n\
+             pub struct Inner { c: Cell<u8> }");
+        let c = chains_of(&w, "S");
+        assert_eq!(c.len(), 1);
+        // Cell is Send but !Sync; RwLock<Cell> is !Sync, Arc makes both.
+        assert!(c[0].kills_send && c[0].kills_sync);
+    }
+
+    #[test]
+    fn dyn_trait_unbounded_vs_bounded() {
+        let w = ws("pub struct A { b: Box<dyn Backend> }\n\
+             pub struct B { b: Box<dyn Backend + Send + Sync> }\n\
+             pub trait Backend { fn go(&self); }");
+        let a = chains_of(&w, "A");
+        assert_eq!(a.len(), 1);
+        assert!(a[0].reason.contains("trait object"));
+        assert!(chains_of(&w, "B").is_empty());
+    }
+
+    #[test]
+    fn trait_supertraits_count_as_bounds() {
+        let w = ws("pub trait Task: Send + Sync { fn run(&self); }\n\
+             pub struct Pool { tasks: Vec<Box<dyn Task>> }");
+        assert!(chains_of(&w, "Pool").is_empty());
+    }
+
+    #[test]
+    fn enum_variant_payloads_walked() {
+        let w = ws("pub enum Scheme { Edge(EdgeS), Inline { s: InlineS } }\n\
+             pub struct EdgeS { n: u32 }\n\
+             pub struct InlineS { c: Rc<u8> }");
+        let c = chains_of(&w, "Scheme");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].path, "Inline.s.c");
+    }
+
+    #[test]
+    fn recursive_type_terminates() {
+        let w = ws("pub struct Node { cell: Rc<u8>, children: Vec<Node> }");
+        let c = chains_of(&w, "Node");
+        assert_eq!(c.len(), 1, "{c:?}");
+    }
+
+    #[test]
+    fn generic_param_fields_benign_but_payload_walked() {
+        let w = ws("pub struct Slow<B> { inner: B, tag: Rc<u8> }");
+        let c = chains_of(&w, "Slow");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].path, "tag");
+    }
+
+    #[test]
+    fn unknown_wrapper_payload_still_walked() {
+        let w = ws("pub struct S { x: SomeExternal<Rc<u8>> }");
+        let c = chains_of(&w, "S");
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].path, "x");
+    }
+
+    #[test]
+    fn raw_pointer_flagged() {
+        let w = ws("pub struct S { p: *mut u8 }");
+        let c = chains_of(&w, "S");
+        assert_eq!(c.len(), 1);
+        assert!(c[0].reason.contains("raw pointer"));
+    }
+
+    #[test]
+    fn alias_resolved() {
+        let w = ws("pub type Shared = Rc<RefCell<u8>>;\n\
+             pub struct S { f: Shared }");
+        let c = chains_of(&w, "S");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].path, "f");
+    }
+
+    #[test]
+    fn missing_root_reported() {
+        let w = ws("pub struct Other { n: u8 }");
+        let r = audit(&w, &[("reldb", "Nope")]);
+        assert!(r[0].missing);
+        assert!(!r[0].is_send() && !r[0].is_sync());
+    }
+
+    #[test]
+    fn same_crate_resolution_beats_foreign() {
+        let w = Workspace::from_sources(&[
+            (
+                "crates/reldb/src/a.rs",
+                "pub struct H { i: Inner }\npub struct Inner { c: Rc<u8> }",
+            ),
+            ("crates/obs/src/b.rs", "pub struct Inner { n: u8 }"),
+        ]);
+        let mut r = audit(&w, &[("reldb", "H")]);
+        assert_eq!(r.remove(0).chains.len(), 1);
+    }
+}

@@ -1,0 +1,1016 @@
+//! A lightweight item-level parse over the token stream: just enough
+//! structure for cross-file analyses. Where the token rules in
+//! [`crate::rules`] ask "does this token sequence look dangerous?", the
+//! concurrency analyses in [`crate::conc`] need to know *what types a
+//! struct's fields have* and *what a function's body tokens are* — so this
+//! module extracts struct/enum/alias/trait definitions, `impl` contexts,
+//! and function body ranges from the [`crate::lexer`] output.
+//!
+//! It is deliberately not a full Rust parser. Items nested inside function
+//! bodies are skipped (the bodies are recorded as opaque token ranges for
+//! the lock/atomics scans), macro invocations are opaque, and anything the
+//! type grammar does not recognize degrades to [`TypeRef::Opaque`], which
+//! downstream analyses treat as benign. False negatives from that
+//! degradation are acceptable: the analyses gate named, committed types,
+//! and the gate-teeth tests prove the shapes we care about are seen.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A parsed type reference, pruned to what Send/Sync reachability needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeRef {
+    /// A (possibly generic) path: `Vec<u8>`, `std::rc::Rc<T>`. Segments
+    /// keep only the path identifiers; `args` are the generic type
+    /// arguments in order (lifetimes and const generics dropped).
+    Path {
+        segments: Vec<String>,
+        args: Vec<TypeRef>,
+    },
+    /// `&T` / `&mut T`.
+    Ref(Box<TypeRef>),
+    /// `*const T` / `*mut T`.
+    RawPtr(Box<TypeRef>),
+    /// `(A, B, ...)`.
+    Tuple(Vec<TypeRef>),
+    /// `[T]` / `[T; N]`.
+    Slice(Box<TypeRef>),
+    /// `dyn A + B` or `impl A + B`: trait bound names (lifetimes dropped).
+    TraitObject { bounds: Vec<String> },
+    /// `fn(..) -> ..` pointers: always thread-safe, no structure kept.
+    FnPtr,
+    /// Anything the grammar does not recognize; treated as benign.
+    Opaque,
+}
+
+impl TypeRef {
+    /// The last path segment, if this is a path type (`Rc` for
+    /// `std::rc::Rc<T>`).
+    pub fn last_segment(&self) -> Option<&str> {
+        match self {
+            TypeRef::Path { segments, .. } => segments.last().map(|s| s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeRef::Path { segments, args } => {
+                write!(f, "{}", segments.join("::"))?;
+                if !args.is_empty() {
+                    write!(f, "<")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+            TypeRef::Ref(t) => write!(f, "&{t}"),
+            TypeRef::RawPtr(t) => write!(f, "*{t}"),
+            TypeRef::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            TypeRef::Slice(t) => write!(f, "[{t}]"),
+            TypeRef::TraitObject { bounds } => write!(f, "dyn {}", bounds.join(" + ")),
+            TypeRef::FnPtr => write!(f, "fn(..)"),
+            TypeRef::Opaque => write!(f, "?"),
+        }
+    }
+}
+
+/// One struct or enum-variant field. Tuple fields are named `"0"`, `"1"`…
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: TypeRef,
+    pub line: u32,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub line: u32,
+    /// Generic type parameter names (`B` for `SlowBackend<B>`), used to
+    /// classify bare-parameter fields as caller-bound.
+    pub generics: Vec<String>,
+    pub fields: Vec<FieldDef>,
+}
+
+/// One enum variant with its payload fields.
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub line: u32,
+    pub generics: Vec<String>,
+    pub variants: Vec<VariantDef>,
+}
+
+/// A `type Name = …;` alias.
+#[derive(Debug, Clone)]
+pub struct AliasDef {
+    pub name: String,
+    pub line: u32,
+    pub ty: TypeRef,
+}
+
+/// A trait definition: only the supertrait names are kept, so
+/// `dyn MappingScheme` can count as Send when the trait itself demands it
+/// (`trait MappingScheme: Send + Sync`).
+#[derive(Debug, Clone)]
+pub struct TraitDef {
+    pub name: String,
+    pub line: u32,
+    pub supertraits: Vec<String>,
+}
+
+/// A function with its body as a token range (`[body_start, body_end)`,
+/// indices into the file's token vec, exclusive of the outer braces).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    /// The `impl` self type this fn is defined on, if any.
+    pub self_ty: Option<String>,
+    /// Token index range of the body (between, not including, its braces).
+    pub body: (usize, usize),
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    pub structs: Vec<StructDef>,
+    pub enums: Vec<EnumDef>,
+    pub aliases: Vec<AliasDef>,
+    pub traits: Vec<TraitDef>,
+    pub fns: Vec<FnDef>,
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Parse the item structure of one token stream.
+pub fn parse_items(toks: &[Tok]) -> Items {
+    let mut items = Items::default();
+    // Stack of `impl` self types with the brace depth their block opened
+    // at; the innermost one is the context for `fn` items.
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if is_punct(t, "{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+            if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "struct" => i = parse_struct(toks, i + 1, &mut items),
+            "enum" => i = parse_enum(toks, i + 1, &mut items),
+            "trait" => i = parse_trait(toks, i + 1, &mut items),
+            "type" => i = parse_alias(toks, i + 1, &mut items),
+            "impl" => {
+                let (self_ty, at) = parse_impl_header(toks, i + 1);
+                // `at` points at the `{` opening the impl block (or past a
+                // bodiless form); record the context for contained fns.
+                if let Some(ty) = self_ty {
+                    if toks.get(at).is_some_and(|t| is_punct(t, "{")) {
+                        impl_stack.push((ty, depth));
+                    }
+                }
+                i = at;
+            }
+            "fn" => {
+                let self_ty = impl_stack.last().map(|(ty, _)| ty.clone());
+                i = parse_fn(toks, i + 1, self_ty, &mut items);
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Skip a balanced `< … >` generic region starting at the `<`, collecting
+/// the parameter names declared at its top level (identifiers immediately
+/// after `<` or a top-level `,`, excluding lifetimes and `const` params).
+/// Returns the index just past the closing `>`, plus the names.
+fn skip_generics(toks: &[Tok], start: usize) -> (usize, Vec<String>) {
+    let mut names = Vec::new();
+    if !toks.get(start).is_some_and(|t| is_punct(t, "<")) {
+        return (start, names);
+    }
+    let mut depth = 1usize;
+    let mut j = start + 1;
+    let mut at_param_start = true;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        if is_punct(t, "<") {
+            depth += 1;
+        } else if is_punct(t, ">") {
+            depth -= 1;
+        } else if depth == 1 && is_punct(t, ",") {
+            at_param_start = true;
+            j += 1;
+            continue;
+        } else if depth == 1 && at_param_start && t.kind == TokKind::Ident && t.text != "const" {
+            names.push(t.text.clone());
+            at_param_start = false;
+        } else if t.kind == TokKind::Lifetime {
+            // `'a` stays at_param_start for a following type param? No:
+            // each comma resets; a lifetime consumes its slot.
+            at_param_start = false;
+        }
+        j += 1;
+    }
+    (j, names)
+}
+
+/// Parse a type starting at `pos`; returns the type and the index just
+/// past it. Unrecognized leading tokens yield `Opaque` and advance by one
+/// so the caller always makes progress.
+pub fn parse_type(toks: &[Tok], pos: usize) -> (TypeRef, usize) {
+    let Some(t) = toks.get(pos) else {
+        return (TypeRef::Opaque, pos);
+    };
+    if t.kind == TokKind::Lifetime {
+        return parse_type(toks, pos + 1);
+    }
+    if is_punct(t, "&") {
+        let mut j = pos + 1;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.kind == TokKind::Lifetime || is_ident(t, "mut"))
+        {
+            j += 1;
+        }
+        let (inner, j) = parse_type(toks, j);
+        return (TypeRef::Ref(Box::new(inner)), j);
+    }
+    if is_punct(t, "*") {
+        let mut j = pos + 1;
+        if toks
+            .get(j)
+            .is_some_and(|t| is_ident(t, "const") || is_ident(t, "mut"))
+        {
+            j += 1;
+        }
+        let (inner, j) = parse_type(toks, j);
+        return (TypeRef::RawPtr(Box::new(inner)), j);
+    }
+    if is_punct(t, "(") {
+        let mut elems = Vec::new();
+        let mut j = pos + 1;
+        loop {
+            if toks.get(j).is_none() {
+                return (TypeRef::Opaque, j);
+            }
+            if toks.get(j).is_some_and(|t| is_punct(t, ")")) {
+                j += 1;
+                break;
+            }
+            let (elem, nj) = parse_type(toks, j);
+            elems.push(elem);
+            j = nj;
+            if toks.get(j).is_some_and(|t| is_punct(t, ",")) {
+                j += 1;
+            } else if toks.get(j).is_some_and(|t| is_punct(t, ")")) {
+                j += 1;
+                break;
+            } else {
+                // Could not make sense of the tuple tail; skip to `)`.
+                let mut depth = 1usize;
+                while j < toks.len() && depth > 0 {
+                    if is_punct(&toks[j], "(") {
+                        depth += 1;
+                    } else if is_punct(&toks[j], ")") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                break;
+            }
+        }
+        if elems.len() == 1 {
+            // Parenthesized type, not a tuple — but `(dyn A + B)` kept as-is.
+            return (elems.remove(0), j);
+        }
+        return (TypeRef::Tuple(elems), j);
+    }
+    if is_punct(t, "[") {
+        let (inner, mut j) = parse_type(toks, pos + 1);
+        // Optional `; LEN` and the closing `]`.
+        let mut depth = 1usize;
+        while j < toks.len() && depth > 0 {
+            if is_punct(&toks[j], "[") {
+                depth += 1;
+            } else if is_punct(&toks[j], "]") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        return (TypeRef::Slice(Box::new(inner)), j);
+    }
+    if is_ident(t, "dyn") || is_ident(t, "impl") {
+        return parse_bounds(toks, pos + 1);
+    }
+    if is_ident(t, "fn") {
+        // `fn(args) -> ret`: skip the balanced parens and return type.
+        let mut j = pos + 1;
+        if toks.get(j).is_some_and(|t| is_punct(t, "(")) {
+            let mut depth = 1usize;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                if is_punct(&toks[j], "(") {
+                    depth += 1;
+                } else if is_punct(&toks[j], ")") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        if toks.get(j).is_some_and(|t| is_punct(t, "-"))
+            && toks.get(j + 1).is_some_and(|t| is_punct(t, ">"))
+        {
+            let (_, nj) = parse_type(toks, j + 2);
+            j = nj;
+        }
+        return (TypeRef::FnPtr, j);
+    }
+    if t.kind == TokKind::Ident {
+        return parse_path_type(toks, pos);
+    }
+    (TypeRef::Opaque, pos + 1)
+}
+
+/// Parse a `dyn`/`impl` bound list: `A + B<..> + 'a`. Returns the trait
+/// object and the index past the final bound.
+fn parse_bounds(toks: &[Tok], mut pos: usize) -> (TypeRef, usize) {
+    let mut bounds = Vec::new();
+    loop {
+        match toks.get(pos) {
+            Some(t) if t.kind == TokKind::Lifetime => pos += 1,
+            Some(t) if t.kind == TokKind::Ident => {
+                // A bound is a path; keep its final segment (`Fn` for
+                // `std::ops::Fn`), skipping generics / parenthesized args
+                // and a `-> Ret` on Fn-family bounds.
+                let mut name = t.text.clone();
+                pos += 1;
+                while toks.get(pos).is_some_and(|t| is_punct(t, ":"))
+                    && toks.get(pos + 1).is_some_and(|t| is_punct(t, ":"))
+                {
+                    if let Some(seg) = toks.get(pos + 2) {
+                        name = seg.text.clone();
+                        pos += 3;
+                    } else {
+                        pos += 2;
+                        break;
+                    }
+                }
+                if toks.get(pos).is_some_and(|t| is_punct(t, "<")) {
+                    let (nj, _) = skip_generics(toks, pos);
+                    pos = nj;
+                }
+                if toks.get(pos).is_some_and(|t| is_punct(t, "(")) {
+                    let mut depth = 1usize;
+                    pos += 1;
+                    while pos < toks.len() && depth > 0 {
+                        if is_punct(&toks[pos], "(") {
+                            depth += 1;
+                        } else if is_punct(&toks[pos], ")") {
+                            depth -= 1;
+                        }
+                        pos += 1;
+                    }
+                }
+                if toks.get(pos).is_some_and(|t| is_punct(t, "-"))
+                    && toks.get(pos + 1).is_some_and(|t| is_punct(t, ">"))
+                {
+                    let (_, nj) = parse_type(toks, pos + 2);
+                    pos = nj;
+                }
+                bounds.push(name);
+            }
+            _ => break,
+        }
+        if toks.get(pos).is_some_and(|t| is_punct(t, "+")) {
+            pos += 1;
+        } else {
+            break;
+        }
+    }
+    (TypeRef::TraitObject { bounds }, pos)
+}
+
+/// Parse a path type with optional generic arguments.
+fn parse_path_type(toks: &[Tok], mut pos: usize) -> (TypeRef, usize) {
+    let mut segments = Vec::new();
+    loop {
+        match toks.get(pos) {
+            Some(t) if t.kind == TokKind::Ident => {
+                segments.push(t.text.clone());
+                pos += 1;
+            }
+            _ => break,
+        }
+        if toks.get(pos).is_some_and(|t| is_punct(t, ":"))
+            && toks.get(pos + 1).is_some_and(|t| is_punct(t, ":"))
+        {
+            pos += 2;
+        } else {
+            break;
+        }
+    }
+    let mut args = Vec::new();
+    if toks.get(pos).is_some_and(|t| is_punct(t, "<")) {
+        pos += 1;
+        loop {
+            match toks.get(pos) {
+                None => break,
+                Some(t) if is_punct(t, ">") => {
+                    pos += 1;
+                    break;
+                }
+                Some(t) if is_punct(t, ",") => {
+                    pos += 1;
+                }
+                Some(t) if t.kind == TokKind::Lifetime => {
+                    pos += 1;
+                }
+                Some(t)
+                    if t.kind == TokKind::Int
+                        || t.kind == TokKind::Float
+                        || t.kind == TokKind::Str =>
+                {
+                    pos += 1; // const generic argument
+                }
+                Some(t)
+                    if t.kind == TokKind::Ident
+                        && toks.get(pos + 1).is_some_and(|n| is_punct(n, "=")) =>
+                {
+                    // Associated type binding `Item = T`: keep the bound
+                    // type as an ordinary argument.
+                    let (arg, nj) = parse_type(toks, pos + 2);
+                    args.push(arg);
+                    pos = nj;
+                }
+                _ => {
+                    let (arg, nj) = parse_type(toks, pos);
+                    if nj == pos {
+                        pos += 1; // safety: always advance
+                    } else {
+                        args.push(arg);
+                        pos = nj;
+                    }
+                }
+            }
+        }
+    }
+    (TypeRef::Path { segments, args }, pos)
+}
+
+/// Skip attribute(s) `#[..]` starting at `pos`; returns the index after.
+fn skip_attrs(toks: &[Tok], mut pos: usize) -> usize {
+    while toks.get(pos).is_some_and(|t| is_punct(t, "#"))
+        && toks.get(pos + 1).is_some_and(|t| is_punct(t, "["))
+    {
+        let mut depth = 1usize;
+        pos += 2;
+        while pos < toks.len() && depth > 0 {
+            if is_punct(&toks[pos], "[") {
+                depth += 1;
+            } else if is_punct(&toks[pos], "]") {
+                depth -= 1;
+            }
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Skip a visibility marker (`pub`, `pub(crate)`, …).
+fn skip_vis(toks: &[Tok], mut pos: usize) -> usize {
+    if toks.get(pos).is_some_and(|t| is_ident(t, "pub")) {
+        pos += 1;
+        if toks.get(pos).is_some_and(|t| is_punct(t, "(")) {
+            let mut depth = 1usize;
+            pos += 1;
+            while pos < toks.len() && depth > 0 {
+                if is_punct(&toks[pos], "(") {
+                    depth += 1;
+                } else if is_punct(&toks[pos], ")") {
+                    depth -= 1;
+                }
+                pos += 1;
+            }
+        }
+    }
+    pos
+}
+
+/// Parse the fields between `{ … }` of a struct or struct-like variant.
+/// `pos` is at the `{`. Returns (fields, index past the closing `}`).
+fn parse_named_fields(toks: &[Tok], mut pos: usize) -> (Vec<FieldDef>, usize) {
+    let mut fields = Vec::new();
+    pos += 1; // past `{`
+    loop {
+        pos = skip_attrs(toks, pos);
+        pos = skip_vis(toks, pos);
+        match toks.get(pos) {
+            None => break,
+            Some(t) if is_punct(t, "}") => {
+                pos += 1;
+                break;
+            }
+            Some(t) if is_punct(t, ",") => pos += 1,
+            Some(t) if t.kind == TokKind::Ident => {
+                let name = t.text.clone();
+                let line = t.line;
+                if toks.get(pos + 1).is_some_and(|n| is_punct(n, ":")) {
+                    let (ty, nj) = parse_type(toks, pos + 2);
+                    fields.push(FieldDef { name, ty, line });
+                    pos = nj;
+                } else {
+                    pos += 1;
+                }
+            }
+            _ => pos += 1,
+        }
+    }
+    (fields, pos)
+}
+
+/// Parse the fields of a tuple struct/variant. `pos` is at the `(`.
+fn parse_tuple_fields(toks: &[Tok], mut pos: usize) -> (Vec<FieldDef>, usize) {
+    let mut fields = Vec::new();
+    pos += 1; // past `(`
+    let mut idx = 0usize;
+    loop {
+        pos = skip_attrs(toks, pos);
+        pos = skip_vis(toks, pos);
+        match toks.get(pos) {
+            None => break,
+            Some(t) if is_punct(t, ")") => {
+                pos += 1;
+                break;
+            }
+            Some(t) if is_punct(t, ",") => pos += 1,
+            Some(t) => {
+                let line = t.line;
+                let (ty, nj) = parse_type(toks, pos);
+                if nj == pos {
+                    pos += 1;
+                    continue;
+                }
+                fields.push(FieldDef {
+                    name: idx.to_string(),
+                    ty,
+                    line,
+                });
+                idx += 1;
+                pos = nj;
+            }
+        }
+    }
+    (fields, pos)
+}
+
+fn parse_struct(toks: &[Tok], pos: usize, items: &mut Items) -> usize {
+    let Some(name_tok) = toks.get(pos) else {
+        return pos;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return pos;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    let (mut j, generics) = skip_generics(toks, pos + 1);
+    // Optional `where` clause before `{` (named-field form only).
+    while toks
+        .get(j)
+        .is_some_and(|t| !(is_punct(t, "{") || is_punct(t, "(") || is_punct(t, ";")))
+    {
+        j += 1;
+    }
+    let (fields, end) = match toks.get(j) {
+        Some(t) if is_punct(t, "{") => parse_named_fields(toks, j),
+        Some(t) if is_punct(t, "(") => {
+            let (f, e) = parse_tuple_fields(toks, j);
+            // Trailing `;` (and possible where clause) after tuple structs.
+            let mut e2 = e;
+            while toks.get(e2).is_some_and(|t| !is_punct(t, ";")) && e2 < e + 24 {
+                e2 += 1;
+            }
+            (f, e2)
+        }
+        _ => (Vec::new(), j),
+    };
+    items.structs.push(StructDef {
+        name,
+        line,
+        generics,
+        fields,
+    });
+    end
+}
+
+fn parse_enum(toks: &[Tok], pos: usize, items: &mut Items) -> usize {
+    let Some(name_tok) = toks.get(pos) else {
+        return pos;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return pos;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    let (mut j, generics) = skip_generics(toks, pos + 1);
+    while toks.get(j).is_some_and(|t| !is_punct(t, "{")) {
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    if toks.get(j).is_some_and(|t| is_punct(t, "{")) {
+        j += 1;
+        loop {
+            j = skip_attrs(toks, j);
+            match toks.get(j) {
+                None => break,
+                Some(t) if is_punct(t, "}") => {
+                    j += 1;
+                    break;
+                }
+                Some(t) if is_punct(t, ",") => j += 1,
+                Some(t) if t.kind == TokKind::Ident => {
+                    let vname = t.text.clone();
+                    j += 1;
+                    let fields = match toks.get(j) {
+                        Some(t) if is_punct(t, "(") => {
+                            let (f, e) = parse_tuple_fields(toks, j);
+                            j = e;
+                            f
+                        }
+                        Some(t) if is_punct(t, "{") => {
+                            let (f, e) = parse_named_fields(toks, j);
+                            j = e;
+                            f
+                        }
+                        _ => Vec::new(),
+                    };
+                    // Skip a discriminant `= expr` up to `,` or `}`.
+                    if toks.get(j).is_some_and(|t| is_punct(t, "=")) {
+                        while toks
+                            .get(j)
+                            .is_some_and(|t| !(is_punct(t, ",") || is_punct(t, "}")))
+                        {
+                            j += 1;
+                        }
+                    }
+                    variants.push(VariantDef {
+                        name: vname,
+                        fields,
+                    });
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    items.enums.push(EnumDef {
+        name,
+        line,
+        generics,
+        variants,
+    });
+    j
+}
+
+fn parse_trait(toks: &[Tok], pos: usize, items: &mut Items) -> usize {
+    let Some(name_tok) = toks.get(pos) else {
+        return pos;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return pos;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    let (mut j, _) = skip_generics(toks, pos + 1);
+    let mut supertraits = Vec::new();
+    if toks.get(j).is_some_and(|t| is_punct(t, ":")) {
+        let (bounds, nj) = parse_bounds(toks, j + 1);
+        if let TypeRef::TraitObject { bounds } = bounds {
+            supertraits = bounds;
+        }
+        j = nj;
+    }
+    items.traits.push(TraitDef {
+        name,
+        line,
+        supertraits,
+    });
+    // Leave `j` before the trait body; the main loop walks into it so
+    // provided methods are still collected as fns.
+    j
+}
+
+fn parse_alias(toks: &[Tok], pos: usize, items: &mut Items) -> usize {
+    // `type Name<..> = Type;` — associated `type Name;` declarations (no
+    // `=`) are skipped.
+    let Some(name_tok) = toks.get(pos) else {
+        return pos;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return pos;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    let (j, _) = skip_generics(toks, pos + 1);
+    if !toks.get(j).is_some_and(|t| is_punct(t, "=")) {
+        return j;
+    }
+    let (ty, end) = parse_type(toks, j + 1);
+    items.aliases.push(AliasDef { name, line, ty });
+    end
+}
+
+/// Parse `impl … {`: returns the self type name (last path segment of the
+/// implemented-on type) and the index of the block's `{`.
+fn parse_impl_header(toks: &[Tok], pos: usize) -> (Option<String>, usize) {
+    let (mut j, _) = skip_generics(toks, pos);
+    // First type (either the trait or the self type).
+    let (first, nj) = parse_type(toks, j);
+    j = nj;
+    let self_ty = if toks.get(j).is_some_and(|t| is_ident(t, "for")) {
+        let (second, nj) = parse_type(toks, j + 1);
+        j = nj;
+        second.last_segment().map(str::to_string)
+    } else {
+        first.last_segment().map(str::to_string)
+    };
+    // Skip a where clause up to the `{`.
+    while toks
+        .get(j)
+        .is_some_and(|t| !(is_punct(t, "{") || is_punct(t, ";")))
+    {
+        j += 1;
+    }
+    (self_ty, j)
+}
+
+/// Parse `fn name … { body }`, recording the body token range, and return
+/// the index past the body (or past the `;` for bodiless declarations).
+fn parse_fn(toks: &[Tok], pos: usize, self_ty: Option<String>, items: &mut Items) -> usize {
+    let Some(name_tok) = toks.get(pos) else {
+        return pos;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return pos;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    // Find the body `{` at paren/bracket depth zero, or a `;` first.
+    let mut depth = 0isize;
+    let mut j = pos + 1;
+    loop {
+        let Some(t) = toks.get(j) else {
+            return j;
+        };
+        if is_punct(t, "(") || is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") {
+            depth -= 1;
+        } else if depth == 0 && is_punct(t, ";") {
+            return j + 1; // bodiless declaration
+        } else if depth == 0 && is_punct(t, "{") {
+            break;
+        }
+        j += 1;
+    }
+    let body_start = j + 1;
+    let mut braces = 1usize;
+    j += 1;
+    while j < toks.len() && braces > 0 {
+        if is_punct(&toks[j], "{") {
+            braces += 1;
+        } else if is_punct(&toks[j], "}") {
+            braces -= 1;
+        }
+        j += 1;
+    }
+    let body_end = j.saturating_sub(1);
+    items.fns.push(FnDef {
+        name,
+        line,
+        self_ty,
+        body: (body_start, body_end),
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Items {
+        parse_items(&lex(src).tokens)
+    }
+
+    fn ty(src: &str) -> TypeRef {
+        let toks = lex(src).tokens;
+        parse_type(&toks, 0).0
+    }
+
+    #[test]
+    fn parses_generic_paths() {
+        assert_eq!(ty("Vec<u8>").to_string(), "Vec<u8>");
+        assert_eq!(
+            ty("std::rc::Rc<RefCell<BTreeMap<String, Vec<u8>>>>").to_string(),
+            "std::rc::Rc<RefCell<BTreeMap<String, Vec<u8>>>>"
+        );
+        assert_eq!(ty("Option<Box<T>>").to_string(), "Option<Box<T>>");
+    }
+
+    #[test]
+    fn parses_trait_objects_and_bounds() {
+        let t = ty("Box<dyn Fn() -> String + Send + Sync>");
+        let TypeRef::Path { segments, args } = &t else {
+            panic!("not a path: {t:?}");
+        };
+        assert_eq!(segments, &["Box"]);
+        let TypeRef::TraitObject { bounds } = &args[0] else {
+            panic!("not a trait object: {:?}", args[0]);
+        };
+        assert_eq!(bounds, &["Fn", "Send", "Sync"]);
+        // Unbounded dyn keeps only the trait name.
+        let t = ty("Box<dyn StorageBackend>");
+        let TypeRef::Path { args, .. } = &t else {
+            panic!();
+        };
+        assert_eq!(
+            args[0],
+            TypeRef::TraitObject {
+                bounds: vec!["StorageBackend".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn parses_refs_pointers_tuples_slices() {
+        assert!(matches!(ty("&'a mut Row"), TypeRef::Ref(_)));
+        assert!(matches!(ty("*const u8"), TypeRef::RawPtr(_)));
+        assert!(matches!(ty("(u32, String)"), TypeRef::Tuple(_)));
+        assert!(matches!(ty("[u8; 4]"), TypeRef::Slice(_)));
+        assert!(matches!(ty("fn(u32) -> bool"), TypeRef::FnPtr));
+    }
+
+    #[test]
+    fn lifetimes_dropped_from_generics() {
+        assert_eq!(ty("MutexGuard<'a, Inner>").to_string(), "MutexGuard<Inner>");
+    }
+
+    #[test]
+    fn parses_named_struct() {
+        let it = items(
+            "pub struct Meter {\n  cap: Option<usize>,\n  #[allow(dead_code)]\n  \
+             tick: Cell<u64>,\n  pub cell: Option<Rc<RefCell<OpStats>>>,\n}",
+        );
+        assert_eq!(it.structs.len(), 1);
+        let s = &it.structs[0];
+        assert_eq!(s.name, "Meter");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["cap", "tick", "cell"]);
+        assert_eq!(s.fields[2].ty.to_string(), "Option<Rc<RefCell<OpStats>>>");
+    }
+
+    #[test]
+    fn parses_tuple_struct() {
+        let it = items("pub struct SharedFiles(Rc<RefCell<BTreeMap<String, Vec<u8>>>>);");
+        let s = &it.structs[0];
+        assert_eq!(s.fields.len(), 1);
+        assert_eq!(s.fields[0].name, "0");
+        assert_eq!(s.fields[0].ty.last_segment(), Some("Rc"));
+    }
+
+    #[test]
+    fn parses_generic_struct_params() {
+        let it = items("pub struct SlowBackend<B: StorageBackend> { inner: B, ops: u64 }");
+        let s = &it.structs[0];
+        assert_eq!(s.generics, vec!["B"]);
+        assert_eq!(s.fields[0].ty.to_string(), "B");
+    }
+
+    #[test]
+    fn parses_enum_variants() {
+        let it = items(
+            "pub enum Scheme { Edge(EdgeScheme), Mixed { a: u32, b: Rc<X> }, Unit, Disc = 3 }",
+        );
+        let e = &it.enums[0];
+        assert_eq!(e.variants.len(), 4);
+        assert_eq!(
+            e.variants[0].fields[0].ty.last_segment(),
+            Some("EdgeScheme")
+        );
+        assert_eq!(e.variants[1].fields[1].ty.last_segment(), Some("Rc"));
+        assert!(e.variants[2].fields.is_empty());
+        assert!(e.variants[3].fields.is_empty());
+    }
+
+    #[test]
+    fn parses_alias_and_trait() {
+        let it = items(
+            "type TextProvider = Box<dyn Fn() -> String + Send + Sync>;\n\
+             pub trait MappingScheme: Send + Sync { fn install(&self); }\n\
+             pub trait StorageBackend: fmt::Debug { fn read(&mut self); }",
+        );
+        assert_eq!(it.aliases.len(), 1);
+        assert_eq!(it.traits.len(), 2);
+        assert_eq!(it.traits[0].supertraits, vec!["Send", "Sync"]);
+        assert_eq!(it.traits[1].supertraits, vec!["Debug"]);
+    }
+
+    #[test]
+    fn associated_type_decl_not_an_alias() {
+        let it = items("trait T { type Item; }\nimpl T for S { type Item = u32; }");
+        assert_eq!(it.aliases.len(), 1); // only the impl's binding has `=`
+    }
+
+    #[test]
+    fn records_fn_bodies_with_impl_context() {
+        let it = items(
+            "impl Ledger {\n  fn lock(&self) -> MutexGuard<'_, Inner> {\n    \
+             self.inner.lock().unwrap_or_else(|e| e.into_inner())\n  }\n}\n\
+             fn free() { work(); }",
+        );
+        assert_eq!(it.fns.len(), 2);
+        assert_eq!(it.fns[0].name, "lock");
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("Ledger"));
+        assert_eq!(it.fns[1].name, "free");
+        assert_eq!(it.fns[1].self_ty, None);
+        let (a, b) = it.fns[0].body;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn trait_impl_context_uses_self_type() {
+        let it = items("impl Executor for UnionAllExec<'_> {\n  fn next(&mut self) { x(); }\n}");
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("UnionAllExec"));
+    }
+
+    #[test]
+    fn items_inside_fn_bodies_skipped() {
+        let it = items("fn outer() { struct Hidden { x: Rc<u8> } let v = 1; }");
+        assert_eq!(it.structs.len(), 0);
+        assert_eq!(it.fns.len(), 1);
+    }
+
+    #[test]
+    fn nested_impls_pop_correctly() {
+        let it = items(
+            "impl A { fn fa(&self) { a(); } }\nimpl B { fn fb(&self) { b(); } }\nfn free() {}",
+        );
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("A"));
+        assert_eq!(it.fns[1].self_ty.as_deref(), Some("B"));
+        assert_eq!(it.fns[2].self_ty, None);
+    }
+
+    #[test]
+    fn where_clauses_skipped() {
+        let it = items("pub struct W<T> where T: Clone { inner: T }");
+        assert_eq!(it.structs[0].fields.len(), 1);
+        let it = items("impl<B> StorageBackend for SlowBackend<B> where B: StorageBackend { fn f(&self) { g(); } }");
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("SlowBackend"));
+    }
+}

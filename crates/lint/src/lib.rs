@@ -32,7 +32,15 @@
 //! Suppress a finding with `// lint:allow(rule): justification` on the
 //! offending line or alone on the line above. Bare `lint:allow` without a
 //! rule name is itself reported (`bare-allow`).
+//!
+//! Beyond the token rules, `xmlrel-lint --conc` runs the cross-file
+//! concurrency-readiness analyses (Send/Sync reachability, lock-order
+//! graph, atomics discipline) in [`conc`], over the item-level parse in
+//! [`items`]. Those findings are gated by the committed
+//! `CONC_ALLOWLIST.txt`, not by `lint:allow` comments.
 
+pub mod conc;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -102,23 +110,27 @@ pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Violation>> {
     Ok(out)
 }
 
+/// Escape a string for embedding in a JSON string literal. Shared by the
+/// violation report and the conclint report emitters.
+pub(crate) fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render violations as a JSON array (machine-readable report). No serde:
 /// the fields are simple enough to emit by hand.
 pub fn to_json(violations: &[Violation]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
+    let esc = esc_json;
     let mut s = String::from("[\n");
     for (i, v) in violations.iter().enumerate() {
         s.push_str(&format!(

@@ -1,8 +1,10 @@
 //! `xmlrel-lint` binary: scan the workspace's library code for forbidden
-//! panicking constructs and truncating casts.
+//! panicking constructs and truncating casts, or (with `--conc`) run the
+//! concurrency-readiness analyses.
 //!
 //! Usage:
 //!   xmlrel-lint [--json] [--out PATH] [PATH...]
+//!   xmlrel-lint --conc [--allowlist PATH] [--out PATH] [PATH...]
 //!
 //! `--out` always writes the JSON report (even on failure), so CI can
 //! upload it as an artifact regardless of the exit code.
@@ -11,18 +13,27 @@
 //! `crates/*/src`, minus vendored shims and the bench harness), located
 //! relative to the nearest ancestor directory containing `Cargo.toml` with
 //! a `[workspace]` table. Exits 1 when any violation is reported.
+//!
+//! In `--conc` mode the gate fails on: unallowlisted Send/Sync-hostile
+//! field chains under the audited handle types, stale allowlist entries
+//! (the allowlist may only shrink), lock-order cycles, and atomics
+//! discipline findings. The allowlist defaults to `CONC_ALLOWLIST.txt` at
+//! the workspace root.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut conc = false;
     let mut out_path: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--conc" => conc = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
@@ -30,24 +41,37 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xmlrel-lint: --allowlist requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!("usage: xmlrel-lint [--json] [--out PATH] [PATH...]");
+                eprintln!("       xmlrel-lint --conc [--allowlist PATH] [--out PATH] [PATH...]");
                 eprintln!("rules: {}", lint::RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
             p => roots.push(PathBuf::from(p)),
         }
     }
+    let workspace = workspace_root();
     if roots.is_empty() {
-        match default_roots() {
-            Some(r) => roots = r,
-            None => {
+        match workspace.as_deref().map(source_roots) {
+            Some(r) if !r.is_empty() => roots = r,
+            _ => {
                 eprintln!(
                     "xmlrel-lint: could not locate the workspace root; pass paths explicitly"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if conc {
+        return run_conc(&roots, allowlist_path, workspace, out_path);
     }
 
     let violations = match lint::lint_paths(&roots) {
@@ -83,25 +107,100 @@ fn main() -> ExitCode {
     }
 }
 
-/// Find the workspace root (nearest ancestor whose Cargo.toml declares
-/// `[workspace]`) and return its library source roots.
-fn default_roots() -> Option<Vec<PathBuf>> {
+/// The `--conc` mode: load, analyze, report, gate.
+fn run_conc(
+    roots: &[PathBuf],
+    allowlist_path: Option<PathBuf>,
+    workspace: Option<PathBuf>,
+    out_path: Option<PathBuf>,
+) -> ExitCode {
+    let allowlist_path =
+        allowlist_path.or_else(|| workspace.as_ref().map(|w| w.join("CONC_ALLOWLIST.txt")));
+    let allow = match &allowlist_path {
+        Some(p) => lint::conc::Allowlist::load(p),
+        None => lint::conc::Allowlist::default(),
+    };
+    let ws = match lint::conc::Workspace::load(roots) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xmlrel-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = lint::conc::analyze(&ws, &allow);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("xmlrel-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failures = report.failures();
+    for r in &report.roots {
+        if r.missing {
+            failures.push(format!(
+                "send/sync: audited root `{}` was not found in the workspace — update \
+                 conc::sendsync::DEFAULT_ROOTS if the type moved",
+                r.root
+            ));
+        }
+    }
+    for r in &report.roots {
+        let status = match (r.is_send(), r.is_sync()) {
+            (true, true) => "Send + Sync".to_string(),
+            _ => {
+                let allowed = r.chains.iter().filter(|c| c.allowlisted).count();
+                format!("{} ({} allowlisted chain(s))", chains_kill(r), allowed)
+            }
+        };
+        println!("conc: {:<24} {status}", r.root);
+    }
+    println!(
+        "conc: {} lock site(s), {} nesting edge(s), {} cycle(s); {} atomic(s), {} finding(s)",
+        report.locks.sites.len(),
+        report.locks.edges.len(),
+        report.locks.cycles.len(),
+        report.atomics.atomics.len(),
+        report.atomics.findings.len()
+    );
+    if failures.is_empty() {
+        eprintln!(
+            "xmlrel-lint: conc clean (allowlist: {} entr(ies))",
+            allow_len(&allow)
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("conc FAIL: {f}");
+        }
+        eprintln!("xmlrel-lint: {} conc failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn allow_len(a: &lint::conc::Allowlist) -> usize {
+    a.entries.len()
+}
+
+/// Summarize which auto-traits a root loses, for the console line.
+fn chains_kill(r: &lint::conc::sendsync::RootReport) -> &'static str {
+    match (r.is_send(), r.is_sync()) {
+        (false, false) => "!Send + !Sync",
+        (false, true) => "!Send",
+        (true, false) => "!Sync",
+        (true, true) => "Send + Sync",
+    }
+}
+
+/// Find the workspace root: the nearest ancestor whose Cargo.toml
+/// declares `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
     loop {
         let manifest = dir.join("Cargo.toml");
         if manifest.is_file() {
             if let Ok(text) = std::fs::read_to_string(&manifest) {
                 if text.contains("[workspace]") {
-                    let mut roots = Vec::new();
-                    let src = dir.join("src");
-                    if src.is_dir() {
-                        roots.push(src);
-                    }
-                    let crates = dir.join("crates");
-                    if crates.is_dir() {
-                        roots.push(crates);
-                    }
-                    return Some(roots);
+                    return Some(dir);
                 }
             }
         }
@@ -109,4 +208,18 @@ fn default_roots() -> Option<Vec<PathBuf>> {
             return None;
         }
     }
+}
+
+/// The workspace's library source roots.
+fn source_roots(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let src = dir.join("src");
+    if src.is_dir() {
+        roots.push(src);
+    }
+    let crates = dir.join("crates");
+    if crates.is_dir() {
+        roots.push(crates);
+    }
+    roots
 }

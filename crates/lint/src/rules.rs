@@ -417,11 +417,12 @@ fn check_ledger_feed(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violat
 }
 
 /// no-undeadlined-loop: blocking operator loops in the executor must
-/// stay cancellable. In `reldb/src/exec/`, a `while let .. = ..next..`
-/// loop drains its child without bound, so its body has to poll the
-/// cooperative cancel/deadline check (any `poll` identifier counts —
-/// `self.meter.poll(..)` or `limits.poll(..)`). Otherwise a query past
-/// its deadline keeps burning CPU until the operator runs dry.
+/// stay cancellable. In `reldb/src/exec/`, both `while let .. = ..next..`
+/// drains and bare `loop { .. next .. }` drains pull from a child without
+/// bound, so the loop has to poll the cooperative cancel/deadline check
+/// (any `poll` identifier counts — `self.meter.poll(..)` or
+/// `limits.poll(..)`). Otherwise a query past its deadline keeps burning
+/// CPU until the operator runs dry.
 const EXEC_DIRS: &[&str] = &["reldb/src/exec/", "reldb\\src\\exec\\"];
 
 fn check_undeadlined_loops(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
@@ -429,6 +430,52 @@ fn check_undeadlined_loops(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<
         return Vec::new();
     }
     let mut out = Vec::new();
+    // Shape 2: `loop { … next … }` with no `poll` in the body. The drain
+    // check happens inside the body (unlike while-let, there is no
+    // condition), so a nested cancellable while-let inside a polling
+    // outer loop does not double-report: any `poll` in scope clears it.
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "loop") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| is_punct(t, "{")) {
+            continue;
+        }
+        let mut braces = 0usize;
+        let mut drains = false;
+        let mut polled = false;
+        let mut k = i + 1;
+        while let Some(t) = toks.get(k) {
+            if is_punct(t, "{") {
+                braces += 1;
+            } else if is_punct(t, "}") {
+                braces -= 1;
+                if braces == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && t.text == "next" {
+                drains = true;
+            } else if t.kind == TokKind::Ident && t.text == "poll" {
+                polled = true;
+            }
+            k += 1;
+        }
+        if drains && !polled {
+            out.push(Violation {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "no-undeadlined-loop",
+                message: "`loop` drains a child via `next` without polling the \
+                          cancel/deadline check; call `self.meter.poll(..)` (or \
+                          `limits.poll(..)`) each iteration so a query past its \
+                          deadline stops promptly"
+                    .into(),
+            });
+        }
+    }
     for i in 0..toks.len() {
         if test_mask.get(i).copied().unwrap_or(false) {
             continue;
@@ -636,7 +683,9 @@ fn expression_end(t: &Tok) -> bool {
 }
 
 /// Mark every token inside a `#[cfg(test)]` or `#[test]`-attributed item.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+/// Shared with the concurrency analyses ([`crate::conc`]), which exempt
+/// test code the same way the token rules do.
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -858,6 +907,50 @@ mod tests {
     }
 
     #[test]
+    fn flags_bare_loop_drain() {
+        // The `UnionAllExec` shape: `loop { … match it.next() … }` drains
+        // a child without a while-let, and must still poll.
+        let src = "fn f(&mut self) -> Result<Option<Row>> {\n\
+                   loop {\n\
+                   if let Some(cur) = &mut self.current {\n\
+                   if let Some(row) = cur.next()? { return Ok(Some(row)); }\n\
+                   self.current = None; }\n\
+                   match self.pending.pop() {\n\
+                   Some(next) => self.current = Some(next),\n\
+                   None => return Ok(None), } } }";
+        assert_eq!(exec_rules(src), vec!["no-undeadlined-loop"]);
+        // Outside the executor directory the rule does not apply.
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn both_drain_shapes_caught_in_one_file() {
+        let src = "fn a(c: &mut E) { while let Some(r) = c.next()? { use_r(r); } }\n\
+                   fn b(c: &mut E) { loop { match c.next()? { Some(r) => use_r(r), \
+                   None => break, } } }";
+        assert_eq!(
+            exec_rules(src),
+            vec!["no-undeadlined-loop", "no-undeadlined-loop"]
+        );
+    }
+
+    #[test]
+    fn polled_bare_loop_ok() {
+        let src = "fn f(&mut self, c: &mut E) -> Result<()> {\n\
+                   loop { self.meter.poll(\"UnionAll\")?;\n\
+                   match c.next()? { Some(r) => keep(r), None => return Ok(()), } } }";
+        assert_eq!(exec_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn non_draining_bare_loop_ok() {
+        // A `loop` that never calls `next` (retry/backoff shapes) is not a
+        // child drain.
+        let src = "fn f() { loop { if try_once() { break; } back_off(); } }";
+        assert_eq!(exec_rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
     fn flags_expect_method_call_only() {
         assert_eq!(
             rules_of("fn f() { x.expect(\"boom\"); }"),
@@ -1041,6 +1134,51 @@ mod tests {
     fn multi_rule_suppression() {
         let src = "fn f() { x.unwrap().to_vec()[0]; } // lint:allow(no-unwrap, no-index)";
         assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn line_above_suppression_does_not_reach_two_lines_down() {
+        // Alone-on-line suppressions cover exactly the next line: a blank
+        // line in between breaks the scope.
+        let src = "fn f() {\n    // lint:allow(no-unwrap)\n\n    x.unwrap();\n}";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn line_above_suppression_covers_only_named_rule_next_line() {
+        // The alone-above comment suppresses no-unwrap on line 3 but the
+        // no-index on the same line still fires.
+        let src = "fn f() {\n    // lint:allow(no-unwrap)\n    x.unwrap().to_vec()[0];\n}";
+        assert_eq!(rules_of(src), vec!["no-index"]);
+    }
+
+    #[test]
+    fn same_line_suppression_does_not_leak_upward() {
+        // A suppression on line 2 says nothing about line 1.
+        let src = "fn f() { a.unwrap(); }\nfn g() { b.unwrap(); } // lint:allow(no-unwrap)";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn bare_allow_reported_even_next_to_valid_suppression() {
+        // A malformed allow is itself reported at its own line, and does
+        // not silence anything.
+        let src = "fn f() {\n    // lint:allow\n    x.unwrap();\n}";
+        let mut rules = rules_of(src);
+        rules.sort();
+        assert_eq!(rules, vec!["bare-allow", "no-unwrap"]);
+    }
+
+    #[test]
+    fn doc_comment_allow_is_inert() {
+        // An allow marker inside a doc comment is documentation, not a
+        // suppression (and not a malformed allow either).
+        let src = "/// explain lint:allow usage here\nfn f() { x.unwrap(); }";
+        assert_eq!(rules_of(src), vec!["no-unwrap"]);
     }
 
     #[test]

@@ -378,6 +378,7 @@ fn build_node<'a>(
                 Box::new(UnionAllExec {
                     pending: execs,
                     current: None,
+                    meter: meter.clone(),
                 })
             }
             PhysicalPlan::Values { rows } => Box::new(ValuesExec { rows, pos: 0 }),
@@ -684,11 +685,13 @@ struct UnionAllExec<'a> {
     /// Remaining inputs in reverse order (pop from the back).
     pending: Vec<Box<dyn Executor + 'a>>,
     current: Option<Box<dyn Executor + 'a>>,
+    meter: Meter,
 }
 
 impl Executor for UnionAllExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
+            self.meter.poll("UnionAll")?;
             if let Some(cur) = &mut self.current {
                 if let Some(row) = cur.next()? {
                     return Ok(Some(row));

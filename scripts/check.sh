@@ -30,6 +30,16 @@ planlint() {
     fi
 }
 
+# Concurrency-readiness gate: Send/Sync reachability against the committed
+# CONC_ALLOWLIST.txt (which may only shrink), lock-order cycle detection,
+# and atomics discipline. See DESIGN.md §15.
+conclint() {
+    if ! cargo run -q --locked -p lint -- --conc --out target/conclint.json; then
+        echo "conclint: report written to target/conclint.json" >&2
+        return 1
+    fi
+}
+
 bench_driver() {
     cargo run -q --locked --release -p xmlrel-bench -- \
         --out target/BENCH.json --trace target/trace.json \
@@ -48,6 +58,7 @@ bench_trajectory() {
 step "cargo fmt --check"  cargo fmt --all --check
 step "release build"      cargo build --release --locked
 step "xmlrel-lint"        cargo run -q --locked -p lint -- --out target/lint.json
+step "conclint"           conclint
 step "planlint"           planlint
 step "bench driver"       bench_driver
 step "bench trajectory"   bench_trajectory
