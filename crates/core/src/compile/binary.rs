@@ -9,7 +9,7 @@ use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
 use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_ident, JoinMode, SqlBuilder};
 
 /// Binary-scheme compiler.
 #[derive(Debug, Clone)]
@@ -80,7 +80,7 @@ impl StepCompiler for BinaryCompiler {
         test: &NodeTest,
     ) -> Result<NodeRef> {
         let table = self.element_table(db, test)?;
-        let alias = b.add_table(&table);
+        let alias = b.add_table(&sql_ident(&table));
         b.cond(format!("{alias}.source IS NULL"));
         if let Some(d) = doc {
             b.cond(format!("{alias}.doc = {d}"));
@@ -103,7 +103,7 @@ impl StepCompiler for BinaryCompiler {
         test: &NodeTest,
     ) -> Result<NodeRef> {
         let table = self.element_table(db, test)?;
-        let alias = b.add_table(&table);
+        let alias = b.add_table(&sql_ident(&table));
         b.cond(format!("{alias}.source = {}.pre", ctx.alias));
         b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
         let label = match test {

@@ -10,7 +10,7 @@ use reldb::Database;
 
 use crate::compile::{NodeRef, StepCompiler};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_lit, JoinMode, SqlBuilder};
 
 /// Maximum `UNION ALL` branches produced by path expansion.
 pub const MAX_EXPANSION: usize = 128;
@@ -479,7 +479,7 @@ pub fn compile_predicate(
             Ok(format!(
                 "{} LIKE {}",
                 v.value_expr()?,
-                sql_str(&format!("%{needle}%"))
+                sql_lit(&format!("%{needle}%"))
             ))
         }
         Predicate::And(l, r) => {
@@ -510,7 +510,7 @@ fn compare_sql(value_expr: &str, op: CmpOp, lit: &Literal) -> String {
     match lit {
         Literal::Int(i) => format!("num({value_expr}) {op_s} {i}"),
         Literal::Float(f) => format!("num({value_expr}) {op_s} {f}"),
-        Literal::Str(s) => format!("{value_expr} {op_s} {}", sql_str(s)),
+        Literal::Str(s) => format!("{value_expr} {op_s} {}", sql_lit(s)),
     }
 }
 
@@ -797,7 +797,7 @@ fn compile_condition(
             Ok(format!(
                 "{} LIKE {}",
                 v.value_expr()?,
-                sql_str(&format!("%{needle}%"))
+                sql_lit(&format!("%{needle}%"))
             ))
         }
         Condition::Join { left, op, right } => {
@@ -850,7 +850,7 @@ fn compile_return(
             ))),
         },
         ReturnExpr::Text(t) => {
-            select.push(sql_str(t));
+            select.push(sql_lit(t));
             Ok(OutKind::Values {
                 col: select.len() - 1,
             })

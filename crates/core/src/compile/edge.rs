@@ -7,7 +7,7 @@ use xqir::ast::NodeTest;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
 use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_ident, sql_lit, JoinMode, SqlBuilder};
 
 /// Edge-scheme compiler.
 #[derive(Debug, Clone)]
@@ -24,7 +24,7 @@ impl EdgeCompiler {
 
     fn name_cond(alias: &str, test: &NodeTest) -> Result<Option<String>> {
         Ok(match test {
-            NodeTest::Name(n) => Some(format!("{alias}.label = {}", sql_str(n))),
+            NodeTest::Name(n) => Some(format!("{alias}.label = {}", sql_lit(n))),
             NodeTest::Wildcard => None,
             NodeTest::Text => {
                 return Err(CoreError::Translate("text() is not an element test".into()))
@@ -123,7 +123,7 @@ impl StepCompiler for EdgeCompiler {
             format!("__A.source = {}.target", ctx.alias),
             format!("__A.doc = {}.doc", ctx.alias),
             "__A.kind = 'attr'".to_string(),
-            format!("__A.label = {}", sql_str(name)),
+            format!("__A.label = {}", sql_lit(name)),
         ];
         let alias = add_join(b, "edge", mode, on);
         Ok(format!("{alias}.value"))
@@ -181,9 +181,10 @@ impl StepCompiler for EdgeCompiler {
 /// placeholder alias `__A`; the placeholder is rewritten to the fresh
 /// alias. Inner mode routes conditions to WHERE.
 pub(crate) fn add_join(b: &mut SqlBuilder, table: &str, mode: JoinMode, on: Vec<String>) -> String {
+    let table = sql_ident(table);
     match mode {
         JoinMode::Inner => {
-            let alias = b.add_table(table);
+            let alias = b.add_table(&table);
             for c in on {
                 b.cond(c.replace("__A", &alias));
             }
@@ -196,7 +197,7 @@ pub(crate) fn add_join(b: &mut SqlBuilder, table: &str, mode: JoinMode, on: Vec<
                 .into_iter()
                 .map(|c| c.replace("__A", &alias_preview))
                 .collect();
-            let alias = b.add_table_with(table, JoinMode::Left, on);
+            let alias = b.add_table_with(&table, JoinMode::Left, on);
             debug_assert_eq!(alias, alias_preview);
             alias
         }

@@ -13,7 +13,7 @@ use crate::compile::edge::add_join;
 use crate::compile::{NodeKey, NodeMeta, NodeRef, StepCompiler};
 use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_ident, sql_lit, JoinMode, SqlBuilder};
 
 /// Depth bound when enumerating recursive DTD paths. Documents nested
 /// deeper than this are not fully covered by `//` translation (the
@@ -113,7 +113,7 @@ impl StepCompiler for InlineCompiler {
         let Some(def) = self.scheme.mapping.tables.get(n) else {
             return Err(CoreError::EmptyResult);
         };
-        let alias = b.add_table(&def.table);
+        let alias = b.add_table(&sql_ident(&def.table));
         b.cond(format!("{alias}.parent_id IS NULL"));
         if let Some(d) = doc {
             b.cond(format!("{alias}.doc = {d}"));
@@ -157,15 +157,15 @@ impl StepCompiler for InlineCompiler {
         if self.scheme.mapping.is_tabled(m) {
             let child_def = &self.scheme.mapping.tables[m];
             let anchor_def = &self.scheme.mapping.tables[anchor.as_str()];
-            let alias = b.add_table(&child_def.table);
+            let alias = b.add_table(&sql_ident(&child_def.table));
             b.cond(format!("{alias}.parent_id = {}.id", ctx.alias));
             b.cond(format!(
                 "{alias}.parent_tbl = {}",
-                sql_str(&anchor_def.table)
+                sql_lit(&anchor_def.table)
             ));
             b.cond(format!(
                 "{alias}.parent_path = {}",
-                sql_str(&path.join("/"))
+                sql_lit(&path.join("/"))
             ));
             b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
             Ok(NodeRef {
@@ -182,7 +182,11 @@ impl StepCompiler for InlineCompiler {
             let def = &self.scheme.mapping.tables[anchor.as_str()];
             if *card == Card::Opt {
                 if let Some(col) = def.find_col(&new_path, &ColKind::Present) {
-                    b.cond(format!("{}.{} IS NOT NULL", ctx.alias, col.column));
+                    b.cond(format!(
+                        "{}.{} IS NOT NULL",
+                        ctx.alias,
+                        sql_ident(&col.column)
+                    ));
                 }
             }
             Ok(NodeRef {
@@ -211,7 +215,7 @@ impl StepCompiler for InlineCompiler {
         };
         let def = &self.scheme.mapping.tables[anchor.as_str()];
         match def.find_col(path, &ColKind::Attr(name.to_string())) {
-            Some(col) => Ok(format!("{}.{}", ctx.alias, col.column)),
+            Some(col) => Ok(format!("{}.{}", ctx.alias, sql_ident(&col.column))),
             None => Ok("NULL".to_string()),
         }
     }
@@ -231,7 +235,7 @@ impl StepCompiler for InlineCompiler {
         let def = &self.scheme.mapping.tables[anchor.as_str()];
         if path.is_empty() && def.mixed {
             let on = vec![
-                format!("__A.tbl = {}", sql_str(&def.table)),
+                format!("__A.tbl = {}", sql_lit(&def.table)),
                 format!("__A.parent_id = {}.id", ctx.alias),
                 format!("__A.doc = {}.doc", ctx.alias),
             ];
@@ -239,7 +243,7 @@ impl StepCompiler for InlineCompiler {
             return Ok(format!("{alias}.value"));
         }
         match def.find_col(path, &ColKind::Pcdata) {
-            Some(col) => Ok(format!("{}.{}", ctx.alias, col.column)),
+            Some(col) => Ok(format!("{}.{}", ctx.alias, sql_ident(&col.column))),
             None => Ok("NULL".to_string()),
         }
     }
@@ -252,9 +256,9 @@ impl StepCompiler for InlineCompiler {
         };
         Ok(vec![
             format!("{}.doc", ctx.alias),
-            sql_str(anchor),
+            sql_lit(anchor),
             format!("{}.id", ctx.alias),
-            sql_str(&path.join("/")),
+            sql_lit(&path.join("/")),
         ])
     }
 
@@ -269,10 +273,10 @@ impl StepCompiler for InlineCompiler {
         }
         let def = &self.scheme.mapping.tables[anchor.as_str()];
         if let Some(col) = def.find_col(path, &ColKind::Present) {
-            return Ok(format!("{}.{}", ctx.alias, col.column));
+            return Ok(format!("{}.{}", ctx.alias, sql_ident(&col.column)));
         }
         if let Some(col) = def.find_col(path, &ColKind::Pcdata) {
-            return Ok(format!("{}.{}", ctx.alias, col.column));
+            return Ok(format!("{}.{}", ctx.alias, sql_ident(&col.column)));
         }
         // Mandatory inlined element: exists whenever the row does.
         Ok(format!("{}.id", ctx.alias))

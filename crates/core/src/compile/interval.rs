@@ -10,7 +10,7 @@ use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
 use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{sql_str, JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_lit, JoinMode, SqlBuilder};
 
 /// Interval-scheme compiler.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ impl IntervalCompiler {
 
     fn name_cond(alias: &str, test: &NodeTest) -> Result<Option<String>> {
         Ok(match test {
-            NodeTest::Name(n) => Some(format!("{alias}.name = {}", sql_str(n))),
+            NodeTest::Name(n) => Some(format!("{alias}.name = {}", sql_lit(n))),
             NodeTest::Wildcard => None,
             NodeTest::Text => {
                 return Err(CoreError::Translate("text() is not an element test".into()))
@@ -163,7 +163,7 @@ impl StepCompiler for IntervalCompiler {
             format!("__A.parent = {}.pre", ctx.alias),
             format!("__A.doc = {}.doc", ctx.alias),
             "__A.kind = 'attr'".to_string(),
-            format!("__A.name = {}", sql_str(name)),
+            format!("__A.name = {}", sql_lit(name)),
         ];
         let alias = add_join(b, "inode", mode, on);
         Ok(format!("{alias}.value"))

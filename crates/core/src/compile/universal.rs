@@ -12,7 +12,7 @@ use crate::compile::edge::add_join;
 use crate::compile::{decode_pre_key, NodeKey, NodeMeta, NodeRef, StepCompiler};
 use crate::contract::{AccessContract, DescendantAccess, IndexPat};
 use crate::error::{CoreError, Result};
-use crate::sqlgen::{JoinMode, SqlBuilder};
+use crate::sqlgen::{sql_ident, JoinMode, SqlBuilder};
 
 /// Universal-scheme compiler.
 #[derive(Debug, Clone)]
@@ -52,7 +52,7 @@ impl UniversalCompiler {
 
     fn node_expr(ctx: &NodeRef) -> Result<String> {
         match &ctx.meta {
-            NodeMeta::Universal { stem } => Ok(format!("{}.t_{stem}", ctx.alias)),
+            NodeMeta::Universal { stem } => Ok(format!("{}.t_{}", ctx.alias, sql_ident(stem))),
             _ => Err(CoreError::Translate(
                 "universal compiler got a foreign node".into(),
             )),
@@ -95,7 +95,7 @@ impl StepCompiler for UniversalCompiler {
         let stem = self.elem_stem(db, test)?;
         let alias = b.add_table("univ");
         b.cond(format!("{alias}.src IS NULL"));
-        b.cond(format!("{alias}.t_{stem} IS NOT NULL"));
+        b.cond(format!("{alias}.t_{} IS NOT NULL", sql_ident(&stem)));
         if let Some(d) = doc {
             b.cond(format!("{alias}.doc = {d}"));
         }
@@ -117,7 +117,7 @@ impl StepCompiler for UniversalCompiler {
         let alias = b.add_table("univ");
         b.cond(format!("{alias}.src = {parent}"));
         b.cond(format!("{alias}.doc = {}.doc", ctx.alias));
-        b.cond(format!("{alias}.t_{stem} IS NOT NULL"));
+        b.cond(format!("{alias}.t_{} IS NOT NULL", sql_ident(&stem)));
         Ok(NodeRef {
             alias,
             meta: NodeMeta::Universal { stem },
@@ -143,10 +143,10 @@ impl StepCompiler for UniversalCompiler {
         let on = vec![
             format!("__A.src = {node}"),
             format!("__A.doc = {}.doc", ctx.alias),
-            format!("__A.a_{stem} IS NOT NULL"),
+            format!("__A.a_{} IS NOT NULL", sql_ident(&stem)),
         ];
         let alias = add_join(b, "univ", mode, on);
-        Ok(format!("{alias}.a_{stem}"))
+        Ok(format!("{alias}.a_{}", sql_ident(&stem)))
     }
 
     fn text_value(

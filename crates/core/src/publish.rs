@@ -13,7 +13,7 @@ use xmlpar::serialize;
 
 use crate::compile::NodeKey;
 use crate::error::{CoreError, Result};
-use crate::sqlgen::sql_str;
+use crate::sqlgen::{sql_ident, sql_lit};
 
 /// Publish one interval-scheme node (and subtree).
 pub fn publish_interval(db: &Database, _s: &IntervalScheme, doc: i64, pre: i64) -> Result<String> {
@@ -56,8 +56,8 @@ pub fn publish_dewey(db: &Database, _s: &DeweyScheme, doc: i64, key: &str) -> Re
         &format!(
             "SELECT dewey, parent, ordinal, kind, name, value FROM dnode \
              WHERE doc = {doc} AND (dewey = {k} OR dewey LIKE {pat}) ORDER BY dewey",
-            k = sql_str(key),
-            pat = sql_str(&format!("{key}.%"))
+            k = sql_lit(key),
+            pat = sql_lit(&format!("{key}.%"))
         ),
         |row| {
             raw.push((
@@ -205,7 +205,8 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
     let mut root_label = None;
     for (label, tbl) in &labels {
         let q = db.query_readonly(&format!(
-            "SELECT source, ordinal FROM {tbl} WHERE doc = {doc} AND pre = {pre}"
+            "SELECT source, ordinal FROM {} WHERE doc = {doc} AND pre = {pre}",
+            sql_ident(tbl)
         ))?;
         if let Some(row) = q.rows.first() {
             recs.push(NodeRec {
@@ -235,8 +236,9 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
         for (label, tbl) in &labels {
             db.query_streaming(
                 &format!(
-                    "SELECT pre, source, ordinal FROM {tbl} \
-                     WHERE doc = {doc} AND source IN ({in_list})"
+                    "SELECT pre, source, ordinal FROM {} \
+                     WHERE doc = {doc} AND source IN ({in_list})",
+                    sql_ident(tbl)
                 ),
                 |row| {
                     let p = row_int(&row, 0).unwrap_or(0);
@@ -258,8 +260,9 @@ pub fn publish_binary(db: &Database, s: &BinaryScheme, doc: i64, pre: i64) -> Re
         for (label, tbl) in &attr_tables {
             db.query_streaming(
                 &format!(
-                    "SELECT pre, source, ordinal, value FROM {tbl} \
-                     WHERE doc = {doc} AND source IN ({in_list})"
+                    "SELECT pre, source, ordinal, value FROM {} \
+                     WHERE doc = {doc} AND source IN ({in_list})",
+                    sql_ident(tbl)
                 ),
                 |row| {
                     recs.push(NodeRec {

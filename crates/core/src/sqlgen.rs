@@ -112,10 +112,13 @@ impl SqlBuilder {
     }
 }
 
-/// Quote a string as a SQL literal.
-pub fn sql_str(s: &str) -> String {
-    format!("'{}'", s.replace('\'', "''"))
-}
+/// The blessed quoting seam (see DESIGN.md §16): every dynamic string
+/// spliced into SQL text anywhere in this crate must pass through
+/// `sql_lit` (literal position) or `sql_ident` (table/column position).
+/// Re-exported from `reldb::sql::quote` so the translation layer and the
+/// shredder share one escaping discipline; `xmlrel-lint --sql` blesses
+/// exactly these names as taint sanitizers.
+pub use reldb::sql::quote::{sql_ident, sql_lit};
 
 #[cfg(test)]
 mod tests {
@@ -156,8 +159,8 @@ mod tests {
     }
 
     #[test]
-    fn sql_str_escapes() {
-        assert_eq!(sql_str("O'Brien"), "'O''Brien'");
+    fn sql_lit_escapes() {
+        assert_eq!(sql_lit("O'Brien"), "'O''Brien'");
     }
 
     #[test]

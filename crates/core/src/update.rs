@@ -16,7 +16,7 @@ use shredder::walk::flatten;
 use xmlpar::Document;
 
 use crate::error::{CoreError, Result};
-use crate::sqlgen::sql_str;
+use crate::sqlgen::sql_lit;
 
 /// What an update touched.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -158,7 +158,7 @@ pub fn dewey_insert_child(
 ) -> Result<UpdateStats> {
     let parent = db.query_readonly(&format!(
         "SELECT level FROM dnode WHERE doc = {doc} AND dewey = {}",
-        sql_str(parent_key)
+        sql_lit(parent_key)
     ))?;
     let row = parent
         .rows
@@ -168,7 +168,7 @@ pub fn dewey_insert_child(
     let next_ord = db
         .query_readonly(&format!(
             "SELECT MAX(ordinal) FROM dnode WHERE doc = {doc} AND parent = {}",
-            sql_str(parent_key)
+            sql_lit(parent_key)
         ))?
         .scalar()
         .and_then(Value::as_int)
@@ -220,8 +220,8 @@ pub fn dewey_insert_child(
 pub fn dewey_delete_subtree(db: &mut Database, doc: i64, key: &str) -> Result<UpdateStats> {
     let deleted = affected(db.execute(&format!(
         "DELETE FROM dnode WHERE doc = {doc} AND (dewey = {k} OR dewey LIKE {pat})",
-        k = sql_str(key),
-        pat = sql_str(&descendant_pattern(key))
+        k = sql_lit(key),
+        pat = sql_lit(&descendant_pattern(key))
     ))?);
     if deleted == 0 {
         return Err(CoreError::Translate(format!("no dnode ({doc},{key})")));

@@ -1,0 +1,165 @@
+//! Adversarial round-trip tests: document text, attribute values, and
+//! query literals full of SQL metacharacters — single quotes, statement
+//! separators, `--` comments, multibyte unicode, backslashes — must pass
+//! through shredding, translation, and publishing unchanged on all six
+//! schemes, with every piece of generated SQL parsing cleanly. These are
+//! the runtime teeth behind the static `xmlrel-lint --sql` gate: if any
+//! layer spliced raw text into SQL instead of routing it through the
+//! `sql_lit`/`sql_ident` seam, these inputs would break the statement (or
+//! worse, comment out its tail) rather than round-trip.
+
+use shredder::{
+    BinaryScheme, DeweyScheme, EdgeScheme, InlineScheme, IntervalScheme, UniversalScheme,
+};
+use xmlrel_core::{Scheme, XmlStore};
+
+/// Hostile values exercised as element text AND attribute content.
+/// Each is chosen to break a specific naive SQL-assembly bug:
+/// - `O'Reilly & Sons` — unescaped single quote terminates the literal
+/// - `x'); DROP TABLE edge; --` — classic injection: close, splice, comment
+/// - `a -- trailing comment` — `--` comments out the rest of the statement
+/// - `it''s doubled` — pre-doubled quotes must not be halved on the way out
+/// - `café 日本語 🦀` — multibyte UTF-8 must survive storage byte-exact
+/// - `back\slash "double"` — backslashes/double quotes are NOT escapes in SQL
+const HOSTILE: &[&str] = &[
+    "O'Reilly & Sons",
+    "x'); DROP TABLE edge; --",
+    "a -- trailing comment",
+    "it''s doubled",
+    "caf\u{e9} \u{65e5}\u{672c}\u{8a9e} \u{1f980}",
+    "back\\slash \"double\"",
+];
+
+const LIB_DTD: &str = r#"
+<!ELEMENT lib (item*)>
+<!ELEMENT item (name)>
+<!ATTLIST item tag CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+"#;
+
+/// `&` is the only HOSTILE byte XML itself reserves; escape it on the way
+/// into the document (the parser unescapes, so storage sees the raw text).
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('"', "&quot;")
+}
+
+fn hostile_doc() -> String {
+    let items: String = HOSTILE
+        .iter()
+        .map(|v| {
+            format!(
+                "<item tag=\"{}\"><name>{}</name></item>",
+                xml_escape(v),
+                xml_escape(v)
+            )
+        })
+        .collect();
+    format!("<lib>{items}</lib>")
+}
+
+fn stores() -> Vec<XmlStore> {
+    let schemes = vec![
+        Scheme::Edge(EdgeScheme::new()),
+        Scheme::Binary(BinaryScheme::new()),
+        Scheme::Universal(UniversalScheme::new()),
+        Scheme::Interval(IntervalScheme::new()),
+        Scheme::Dewey(DeweyScheme::new()),
+        Scheme::Inline(InlineScheme::from_dtd_text(LIB_DTD).unwrap()),
+    ];
+    let doc = hostile_doc();
+    schemes
+        .into_iter()
+        .map(|s| {
+            let mut store = XmlStore::builder(s).open().unwrap();
+            store.load_str("hostile", &doc).unwrap();
+            store
+        })
+        .collect()
+}
+
+/// Run `query` on every scheme; sorted answers must equal `expected`
+/// (sorted), and the translated SQL must parse with the engine's parser.
+fn assert_all_schemes(query: &str, expected: &[&str]) {
+    let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let t = store
+            .request(query)
+            .translated()
+            .unwrap_or_else(|e| panic!("{name}: translate {query}: {e}"));
+        reldb::sql::parse_statement(&t.sql)
+            .unwrap_or_else(|e| panic!("{name}: generated SQL does not parse: {e}\n{}", t.sql));
+        let got = store
+            .request(query)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {query}: {e}"));
+        let mut items = got.items;
+        items.sort();
+        assert_eq!(items, want, "scheme {name} disagrees on {query}");
+    }
+}
+
+#[test]
+fn hostile_text_round_trips_byte_exact() {
+    assert_all_schemes("/lib/item/name/text()", HOSTILE);
+}
+
+#[test]
+fn hostile_attributes_round_trip_byte_exact() {
+    assert_all_schemes("/lib/item/@tag", HOSTILE);
+}
+
+#[test]
+fn hostile_text_survives_descendant_axis() {
+    assert_all_schemes("//name/text()", HOSTILE);
+}
+
+#[test]
+fn hostile_query_literal_matches_exactly_one_item() {
+    // Each hostile value used as a query-side string literal selects only
+    // its own item: the predicate value goes through sql_lit, so a quote
+    // or `--` inside it never widens (or truncates) the comparison.
+    for v in HOSTILE {
+        // xqir string literals have no escape syntax; a value containing a
+        // single quote must be delimited with double quotes and vice versa.
+        if v.contains('\'') && v.contains('"') {
+            continue;
+        }
+        let (open, close) = if v.contains('\'') {
+            ('"', '"')
+        } else {
+            ('\'', '\'')
+        };
+        let by_text = format!("/lib/item[name = {open}{v}{close}]/name/text()");
+        assert_all_schemes(&by_text, &[v]);
+        let by_attr = format!("/lib/item[@tag = {open}{v}{close}]/@tag");
+        assert_all_schemes(&by_attr, &[v]);
+    }
+}
+
+#[test]
+fn injection_shaped_literal_matches_nothing_else() {
+    // The classic payload matches zero items when compared against a value
+    // it is not: if it broke out of its literal, it would either error or
+    // (with the `--` tail) match everything.
+    assert_all_schemes(
+        r#"/lib/item[name = "nope'); DROP TABLE edge; --"]/name/text()"#,
+        &[],
+    );
+}
+
+#[test]
+fn tables_survive_hostile_loads() {
+    // After loading and querying hostile content, every scheme still
+    // answers a clean follow-up query: nothing was dropped or corrupted
+    // by the payload that names a real table (`edge`).
+    for store in &mut stores() {
+        let name = store.scheme().name();
+        let got = store
+            .request("/lib/item/name/text()")
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got.items.len(), HOSTILE.len(), "scheme {name}");
+    }
+}

@@ -143,6 +143,26 @@ pub struct TraitDef {
     pub supertraits: Vec<String>,
 }
 
+/// One declared function parameter: its binding name and the flat token
+/// text of its type (`& str`, `Option < i64 >`). Receivers (`self`,
+/// `&mut self`) and non-identifier patterns are not recorded.
+#[derive(Debug, Clone)]
+pub struct FnParam {
+    pub name: String,
+    pub ty: String,
+}
+
+impl FnParam {
+    /// True when the declared type can carry free-form text (`&str`,
+    /// `String`, or containers of them) — the shapes the SQL taint pass
+    /// treats as possible untrusted-string carriers.
+    pub fn is_stringy(&self) -> bool {
+        self.ty
+            .split_whitespace()
+            .any(|w| w == "str" || w == "String")
+    }
+}
+
 /// A function with its body as a token range (`[body_start, body_end)`,
 /// indices into the file's token vec, exclusive of the outer braces).
 #[derive(Debug, Clone)]
@@ -151,6 +171,8 @@ pub struct FnDef {
     pub line: u32,
     /// The `impl` self type this fn is defined on, if any.
     pub self_ty: Option<String>,
+    /// Declared parameters, in order (receiver excluded).
+    pub params: Vec<FnParam>,
     /// Token index range of the body (between, not including, its braces).
     pub body: (usize, usize),
 }
@@ -800,6 +822,7 @@ fn parse_fn(toks: &[Tok], pos: usize, self_ty: Option<String>, items: &mut Items
     }
     let name = name_tok.text.clone();
     let line = name_tok.line;
+    let params = parse_fn_params(toks, pos + 1);
     // Find the body `{` at paren/bracket depth zero, or a `;` first.
     let mut depth = 0isize;
     let mut j = pos + 1;
@@ -834,9 +857,94 @@ fn parse_fn(toks: &[Tok], pos: usize, self_ty: Option<String>, items: &mut Items
         name,
         line,
         self_ty,
+        params,
         body: (body_start, body_end),
     });
     j
+}
+
+/// Parse the parameter list that follows a fn name (skipping a generic
+/// parameter list first). Best-effort: a pattern parameter that is not a
+/// plain identifier is skipped rather than guessed at.
+fn parse_fn_params(toks: &[Tok], mut j: usize) -> Vec<FnParam> {
+    // Skip `<...>` generics (the lexer emits `<`/`>` as single puncts).
+    if toks.get(j).is_some_and(|t| is_punct(t, "<")) {
+        let mut angle = 0isize;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, "<") {
+                angle += 1;
+            } else if is_punct(t, ">") {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !toks.get(j).is_some_and(|t| is_punct(t, "(")) {
+        return Vec::new();
+    }
+    // Collect the token range of the parens at depth 1.
+    let start = j + 1;
+    let mut depth = 0isize;
+    let mut end = start;
+    while let Some(t) = toks.get(j) {
+        if is_punct(t, "(") || is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") {
+            depth -= 1;
+            if depth == 0 {
+                end = j;
+                break;
+            }
+        }
+        j += 1;
+    }
+    // Split at top-level commas (outside nested (), [], <>).
+    let mut params = Vec::new();
+    let mut piece: Vec<&Tok> = Vec::new();
+    let mut nest = 0isize;
+    for t in &toks[start..end] {
+        if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "<") {
+            nest += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, ">") {
+            nest -= 1;
+        } else if nest == 0 && is_punct(t, ",") {
+            push_param(&piece, &mut params);
+            piece.clear();
+            continue;
+        }
+        piece.push(t);
+    }
+    push_param(&piece, &mut params);
+    params
+}
+
+/// Turn one comma-separated parameter piece into an `FnParam` (if it is a
+/// plain `name: Type` binding; receivers and pattern params are skipped).
+fn push_param(piece: &[&Tok], params: &mut Vec<FnParam>) {
+    let mut k = 0usize;
+    while piece.get(k).is_some_and(|t| is_ident(t, "mut")) {
+        k += 1;
+    }
+    let Some(name_tok) = piece.get(k) else { return };
+    if name_tok.kind != TokKind::Ident || name_tok.text == "self" {
+        return;
+    }
+    if !piece.get(k + 1).is_some_and(|t| is_punct(t, ":")) {
+        return;
+    }
+    let ty = piece[k + 2..]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    params.push(FnParam {
+        name: name_tok.text.clone(),
+        ty,
+    });
 }
 
 #[cfg(test)]
@@ -981,6 +1089,27 @@ mod tests {
         assert_eq!(it.fns[1].self_ty, None);
         let (a, b) = it.fns[0].body;
         assert!(b > a);
+    }
+
+    #[test]
+    fn records_fn_params_with_types() {
+        let it = items(
+            "fn lookup(db: &Database, name: &str, kind: String, n: i64) -> R { q() }\n\
+             impl S { fn m<T: Clone>(&mut self, mut label: &str, (a, b): (u8, u8)) { x(); } }",
+        );
+        let f = &it.fns[0];
+        let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["db", "name", "kind", "n"]);
+        assert!(!f.params[0].is_stringy());
+        assert!(f.params[1].is_stringy());
+        assert!(f.params[2].is_stringy());
+        assert!(!f.params[3].is_stringy());
+        // Receiver and pattern params are skipped; generics don't confuse
+        // the list scan; `mut` bindings keep their name.
+        let m = &it.fns[1];
+        assert_eq!(m.params.len(), 1);
+        assert_eq!(m.params[0].name, "label");
+        assert!(m.params[0].is_stringy());
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub enum TokKind {
     Int,
     /// Float literal (`1.5`, `2e10`).
     Float,
-    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`.
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`. The token
+    /// text is the raw source slice including delimiters and prefixes, so
+    /// literal-content passes (the SQL analyses) can decode it.
     Str,
     /// A single punctuation character (`.`, `[`, `!`, …).
     Punct,
@@ -120,7 +122,7 @@ pub fn lex(src: &str) -> Lexed {
                 let (end, nl) = scan_string(b, i + 1);
                 out.tokens.push(Tok {
                     kind: TokKind::Str,
-                    text: String::new(),
+                    text: src[i..end.min(src.len())].to_string(),
                     line,
                 });
                 line += nl;
@@ -134,7 +136,7 @@ pub fn lex(src: &str) -> Lexed {
                 if let Some((end, nl)) = scan_raw_or_byte(b, i) {
                     out.tokens.push(Tok {
                         kind: TokKind::Str,
-                        text: String::new(),
+                        text: src[i..end.min(src.len())].to_string(),
                         line,
                     });
                     line += nl;
@@ -165,7 +167,7 @@ pub fn lex(src: &str) -> Lexed {
                     let (end, nl) = scan_char(b, i + 1);
                     out.tokens.push(Tok {
                         kind: TokKind::Str,
-                        text: String::new(),
+                        text: src[i..end.min(src.len())].to_string(),
                         line,
                     });
                     line += nl;

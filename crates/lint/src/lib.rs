@@ -43,6 +43,7 @@ pub mod conc;
 pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod sqlflow;
 
 pub use rules::{check, Violation, RULES};
 

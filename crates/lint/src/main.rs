@@ -1,10 +1,12 @@
 //! `xmlrel-lint` binary: scan the workspace's library code for forbidden
-//! panicking constructs and truncating casts, or (with `--conc`) run the
-//! concurrency-readiness analyses.
+//! panicking constructs and truncating casts, or run the cross-file
+//! analyses: `--conc` (concurrency readiness) and `--sql` (SQL
+//! construction / injection safety).
 //!
 //! Usage:
 //!   xmlrel-lint [--json] [--out PATH] [PATH...]
 //!   xmlrel-lint --conc [--allowlist PATH] [--out PATH] [PATH...]
+//!   xmlrel-lint --sql [--allowlist PATH] [--out PATH] [PATH...]
 //!
 //! `--out` always writes the JSON report (even on failure), so CI can
 //! upload it as an artifact regardless of the exit code.
@@ -19,6 +21,13 @@
 //! (the allowlist may only shrink), lock-order cycles, and atomics
 //! discipline findings. The allowlist defaults to `CONC_ALLOWLIST.txt` at
 //! the workspace root.
+//!
+//! In `--sql` mode the gate fails on: taint flows that reach a SQL sink
+//! without passing through the `sql_lit`/`sql_ident` quoting seam,
+//! constant SQL fragments the engine's own parser rejects, identifier
+//! literals that do not match the DDL catalog, and stale allowlist
+//! entries. The allowlist defaults to `SQL_ALLOWLIST.txt` at the
+//! workspace root.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +35,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut conc = false;
+    let mut sql = false;
     let mut out_path: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
@@ -34,6 +44,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--conc" => conc = true,
+            "--sql" => sql = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
@@ -51,6 +62,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!("usage: xmlrel-lint [--json] [--out PATH] [PATH...]");
                 eprintln!("       xmlrel-lint --conc [--allowlist PATH] [--out PATH] [PATH...]");
+                eprintln!("       xmlrel-lint --sql [--allowlist PATH] [--out PATH] [PATH...]");
                 eprintln!("rules: {}", lint::RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
@@ -72,6 +84,9 @@ fn main() -> ExitCode {
 
     if conc {
         return run_conc(&roots, allowlist_path, workspace, out_path);
+    }
+    if sql {
+        return run_sql(&roots, allowlist_path, workspace, out_path);
     }
 
     let violations = match lint::lint_paths(&roots) {
@@ -173,6 +188,59 @@ fn run_conc(
             eprintln!("conc FAIL: {f}");
         }
         eprintln!("xmlrel-lint: {} conc failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--sql` mode: load, analyze, report, gate.
+fn run_sql(
+    roots: &[PathBuf],
+    allowlist_path: Option<PathBuf>,
+    workspace: Option<PathBuf>,
+    out_path: Option<PathBuf>,
+) -> ExitCode {
+    let allowlist_path =
+        allowlist_path.or_else(|| workspace.as_ref().map(|w| w.join("SQL_ALLOWLIST.txt")));
+    let allow = match &allowlist_path {
+        Some(p) => lint::conc::Allowlist::load(p),
+        None => lint::conc::Allowlist::default(),
+    };
+    let ws = match lint::conc::Workspace::load(roots) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xmlrel-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = lint::sqlflow::analyze(&ws, &allow);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("xmlrel-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "sql: {} fn(s) taint-scanned, {} constant statement(s) parsed, {} table(s) cataloged",
+        report.stats.fns_scanned, report.stats.literals_checked, report.stats.tables_cataloged
+    );
+    println!(
+        "sql: {} flow(s), {} parse finding(s), {} identifier finding(s)",
+        report.flows.len(),
+        report.const_findings.len(),
+        report.ident_findings.len()
+    );
+    let failures = report.failures();
+    if failures.is_empty() {
+        eprintln!(
+            "xmlrel-lint: sql clean (allowlist: {} entr(ies))",
+            allow_len(&allow)
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("sql FAIL: {f}");
+        }
+        eprintln!("xmlrel-lint: {} sql failure(s)", failures.len());
         ExitCode::FAILURE
     }
 }

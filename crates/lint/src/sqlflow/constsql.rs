@@ -1,0 +1,211 @@
+//! Constant-fragment SQL parse check: every string literal in the
+//! translation/storage layer that looks like a SQL statement is
+//! constant-folded ([`super::strings::fold_sql`]) and parsed with the
+//! engine's own `reldb::sql` parser at lint time. A malformed keyword or
+//! punctuation slip fails the gate before any test executes. Successfully
+//! folded statements feed the identifier cross-check.
+
+use std::collections::BTreeMap;
+
+use super::strings::{self, Piece};
+use crate::conc::Workspace;
+use crate::lexer::TokKind;
+
+/// One malformed constant SQL fragment.
+#[derive(Debug, Clone)]
+pub struct ConstFinding {
+    pub file: String,
+    pub line: u32,
+    /// The folded text handed to the parser.
+    pub folded: String,
+    /// The parser's complaint.
+    pub error: String,
+    pub allowlisted: bool,
+}
+
+/// A literal that folded and parsed; input to the identifier cross-check.
+pub struct FoldedStmt {
+    pub file: String,
+    pub line: u32,
+    pub folded: String,
+    pub stmt: reldb::sql::ast::Statement,
+}
+
+/// Output of the scan: findings plus the parsed statement corpus.
+pub struct ConstScan {
+    pub findings: Vec<ConstFinding>,
+    pub stmts: Vec<FoldedStmt>,
+    /// Number of literals that looked like statements and were checked.
+    pub checked: usize,
+}
+
+/// Files the constant-SQL and identifier analyses cover: the layers that
+/// assemble SQL text (translation in `core`, DDL/registry in `shredder`).
+pub fn in_scope(file: &str) -> bool {
+    let f = file.replace('\\', "/");
+    f.contains("crates/core/src/") || f.contains("crates/shredder/src/")
+}
+
+/// Collect `const NAME: &str = "…"` bindings workspace-wide, so holes
+/// naming them fold to their actual value (`{DOCS_TABLE}` → `xr_docs`).
+pub fn string_consts(ws: &Workspace) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pf in &ws.files {
+        let toks = &pf.toks;
+        for i in 0..toks.len() {
+            if !(toks[i].kind == TokKind::Ident && toks[i].text == "const") {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            // Expect `: [&['static]] str = "…"` within a short window.
+            let mut saw_str_ty = false;
+            for j in i + 2..(i + 8).min(toks.len()) {
+                let t = &toks[j];
+                if t.kind == TokKind::Ident && t.text == "str" {
+                    saw_str_ty = true;
+                }
+                if t.kind == TokKind::Punct && t.text == "=" {
+                    if let Some(lit) = toks.get(j + 1).filter(|t| t.kind == TokKind::Str) {
+                        if saw_str_ty {
+                            if let Some(content) = strings::decode(&lit.text) {
+                                out.insert(name.text.clone(), content);
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when decoded literal contents start a SQL statement and carry
+/// enough of its skeleton to be checkable (lone keyword prefixes pushed
+/// into accumulators — `"SELECT "` — are fragments, not statements).
+fn is_checkable_statement(content: &str) -> bool {
+    let up = content.trim_start().to_ascii_uppercase();
+    let rest_has = |needle: &str| up.contains(needle);
+    if let Some(rest) = up.strip_prefix("SELECT") {
+        rest.contains("FROM") || rest.contains("LIMIT")
+    } else if up.starts_with("INSERT") {
+        rest_has("VALUES") || rest_has("SELECT")
+    } else if up.starts_with("UPDATE") {
+        rest_has("SET")
+    } else if up.starts_with("DELETE") {
+        rest_has("FROM")
+    } else if up.starts_with("CREATE") || up.starts_with("DROP") {
+        rest_has("TABLE") || rest_has("INDEX")
+    } else {
+        false
+    }
+}
+
+/// Run the scan over every in-scope, non-test string literal.
+pub fn scan(ws: &Workspace, consts: &BTreeMap<String, String>) -> ConstScan {
+    let mut findings = Vec::new();
+    let mut stmts = Vec::new();
+    let mut checked = 0usize;
+    for pf in &ws.files {
+        if !in_scope(&pf.file) {
+            continue;
+        }
+        for (i, tok) in pf.toks.iter().enumerate() {
+            if tok.kind != TokKind::Str {
+                continue;
+            }
+            if pf.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(content) = strings::decode(&tok.text) else {
+                continue;
+            };
+            if !is_checkable_statement(&content) {
+                continue;
+            }
+            let pieces: Vec<Piece> = strings::split_format(&content);
+            let folded = strings::fold_sql(&pieces, consts);
+            if !strings::balanced(&folded) {
+                // A skeleton builder (closing tokens pushed separately);
+                // covered at runtime by verify_sql, not foldable here.
+                continue;
+            }
+            checked += 1;
+            let file = super::rel_path(&pf.file);
+            match reldb::sql::parse_statement(&folded) {
+                Ok(stmt) => stmts.push(FoldedStmt {
+                    file,
+                    line: tok.line,
+                    folded,
+                    stmt,
+                }),
+                Err(e) => findings.push(ConstFinding {
+                    file,
+                    line: tok.line,
+                    folded,
+                    error: e.to_string(),
+                    allowlisted: false,
+                }),
+            }
+        }
+    }
+    ConstScan {
+        findings,
+        stmts,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str) -> ConstScan {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", src)]);
+        let consts = string_consts(&ws);
+        scan(&ws, &consts)
+    }
+
+    #[test]
+    fn well_formed_statements_parse() {
+        let s = scan_src(
+            r#"fn f(db: &Db, doc: i64) {
+                db.execute(&format!("SELECT pre, size FROM inode WHERE doc = {doc}"));
+                db.execute("CREATE TABLE t (a INT, b TEXT)");
+            }"#,
+        );
+        assert_eq!(s.checked, 2);
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert_eq!(s.stmts.len(), 2);
+    }
+
+    #[test]
+    fn malformed_statement_is_a_finding() {
+        let s = scan_src(r#"fn f(db: &Db) { db.execute("SELECT pre FORM inode LIMIT 1"); }"#);
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].line, 1);
+    }
+
+    #[test]
+    fn fragments_and_test_code_are_skipped() {
+        let s = scan_src(
+            "fn f(sql: &mut String) { sql.push_str(\"SELECT \"); }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { q(\"SELECT junk FORM t\"); }\n}",
+        );
+        assert_eq!(s.checked, 0);
+        assert!(s.findings.is_empty());
+    }
+
+    #[test]
+    fn const_table_names_resolve() {
+        let s = scan_src(
+            "const DOCS: &str = \"xr_docs\";\n\
+             fn f(db: &Db) { db.query(&format!(\"SELECT doc FROM {DOCS} ORDER BY doc\")); }",
+        );
+        assert_eq!(s.findings.len(), 0, "{:?}", s.findings);
+        assert_eq!(s.stmts.len(), 1);
+        assert!(s.stmts[0].folded.contains("xr_docs"));
+    }
+}

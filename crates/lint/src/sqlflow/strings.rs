@@ -1,0 +1,367 @@
+//! String-literal decoding and format-string modelling for the SQL
+//! analyses: turn a raw `Str` token back into its contents, split it into
+//! literal text and `{hole}` pieces, and constant-fold a SQL format
+//! string into parseable text by substituting context-appropriate
+//! placeholders for the holes.
+
+use std::collections::BTreeMap;
+
+/// Decoded contents of a string-like token. Char literals (irrelevant to
+/// SQL) and byte strings decode too; the caller filters by content.
+pub fn decode(raw: &str) -> Option<String> {
+    let mut s = raw;
+    if let Some(rest) = s.strip_prefix('b') {
+        s = rest;
+    }
+    if let Some(rest) = s.strip_prefix('r') {
+        // Raw string: strip hashes and quotes, contents are verbatim.
+        let rest = rest.trim_start_matches('#');
+        let rest = rest.strip_prefix('"')?;
+        let rest = rest.trim_end_matches('#');
+        let rest = rest.strip_suffix('"').unwrap_or(rest);
+        return Some(rest.to_string());
+    }
+    if s.starts_with('\'') {
+        return None; // char literal
+    }
+    let s = s.strip_prefix('"')?;
+    let s = s.strip_suffix('"').unwrap_or(s);
+    // Unescape the forms rustc accepts in ordinary strings.
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('\'') => out.push('\''),
+            Some('"') => out.push('"'),
+            Some('\n') => {
+                // Line continuation: skip following indentation.
+                while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                    chars.next();
+                }
+            }
+            Some('x') => {
+                let h: String = chars.by_ref().take(2).collect();
+                if let Ok(v) = u8::from_str_radix(&h, 16) {
+                    out.push(v as char);
+                }
+            }
+            // \u{XXXX}
+            Some('u') if chars.peek() == Some(&'{') => {
+                chars.next();
+                let mut h = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    h.push(c);
+                }
+                if let Some(v) = u32::from_str_radix(&h, 16).ok().and_then(char::from_u32) {
+                    out.push(v);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    Some(out)
+}
+
+/// One piece of a format string: literal text, or a hole with its
+/// argument name when the hole names one (`{tbl}`; `{}`/`{0}`/`{:?}`
+/// carry `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    Text(String),
+    Hole(Option<String>),
+}
+
+/// Split decoded string contents into text and holes, honoring `{{`/`}}`
+/// escapes. Everything before a `:` format spec counts as the name; a
+/// name that is not a plain identifier (indices, nested fields) is
+/// reported as `None`.
+pub fn split_format(content: &str) -> Vec<Piece> {
+    let mut out = Vec::new();
+    let mut text = String::new();
+    let mut chars = content.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                text.push('{');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                text.push('}');
+            }
+            '{' => {
+                if !text.is_empty() {
+                    out.push(Piece::Text(std::mem::take(&mut text)));
+                }
+                let mut inner = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    inner.push(c);
+                }
+                let name = inner.split(':').next().unwrap_or("");
+                let is_ident = !name.is_empty()
+                    && !name.starts_with(|c: char| c.is_ascii_digit())
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                out.push(Piece::Hole(if is_ident {
+                    Some(name.to_string())
+                } else {
+                    None
+                }));
+            }
+            c => text.push(c),
+        }
+    }
+    if !text.is_empty() {
+        out.push(Piece::Text(text));
+    }
+    out
+}
+
+/// Placeholder identifier for hole `n` in folded SQL. Chosen to be a
+/// valid identifier to the engine's lexer and unmistakable in catalogs —
+/// the identifier cross-check treats any `lint_hole_*` name as dynamic.
+pub fn hole_name(n: usize) -> String {
+    format!("lint_hole_{n}")
+}
+
+/// True when `name` is a fold placeholder.
+pub fn is_hole_name(name: &str) -> bool {
+    name.starts_with("lint_hole_")
+}
+
+/// Constant-fold a SQL format string: substitute each hole with a
+/// placeholder chosen from its SQL context so the folded text is
+/// parseable when the literal skeleton is well-formed.
+///
+/// Context rules, driven by the folded text so far:
+/// - inside a single-quoted literal → plain text (`X`);
+/// - a hole naming a workspace `const NAME: &str = "…"` → the const's
+///   value, verbatim (so `{DOCS_TABLE}` folds to a checkable name);
+/// - after FROM/JOIN/INTO/TABLE/INDEX/ON/EXISTS or a `.` → an identifier
+///   placeholder;
+/// - first thing inside the parens of CREATE TABLE → a column definition;
+/// - after an operator, comparison keyword, comma, or opening paren → `1`;
+/// - after a complete expression or identifier (a trailing-clause hole
+///   like `{filter}`) → nothing.
+pub fn fold_sql(pieces: &[Piece], consts: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    let mut holes = 0usize;
+    for p in pieces {
+        match p {
+            Piece::Text(t) => out.push_str(t),
+            Piece::Hole(name) => {
+                if let Some(val) = name.as_deref().and_then(|n| consts.get(n)) {
+                    out.push_str(val);
+                    continue;
+                }
+                let sub = hole_substitute(&out, &mut holes);
+                out.push_str(&sub);
+            }
+        }
+    }
+    out
+}
+
+/// The substitution for one hole, given everything folded before it.
+fn hole_substitute(before: &str, holes: &mut usize) -> String {
+    if inside_sql_string(before) {
+        return "X".to_string();
+    }
+    let trimmed = before.trim_end();
+    let last_char = trimmed.chars().last();
+    let last_word = trimmed
+        .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .next()
+        .unwrap_or("");
+    let lw = last_word.to_ascii_uppercase();
+    if matches!(
+        lw.as_str(),
+        "FROM" | "JOIN" | "INTO" | "TABLE" | "INDEX" | "ON" | "EXISTS" | "UPDATE"
+    ) || last_char == Some('.')
+    {
+        let n = *holes;
+        *holes += 1;
+        return hole_name(n);
+    }
+    if last_char == Some('(') && starts_create_table(before) && paren_depth(before) == 1 {
+        let n = *holes;
+        *holes += 1;
+        return format!("{} INT", hole_name(n));
+    }
+    if matches!(
+        last_char,
+        Some('=' | '<' | '>' | '(' | ',' | '+' | '-' | '*' | '/')
+    ) || matches!(
+        lw.as_str(),
+        "LIKE"
+            | "IN"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "WHERE"
+            | "BY"
+            | "THEN"
+            | "WHEN"
+            | "ELSE"
+            | "SELECT"
+            | "LIMIT"
+            | "OFFSET"
+            | "BETWEEN"
+            | "VALUES"
+            | "SET"
+            | "HAVING"
+            | "DISTINCT"
+            | "ALL"
+            | "UNION"
+            | "IS"
+    ) {
+        return "1".to_string();
+    }
+    if last_char.is_some_and(|c| c.is_ascii_alphanumeric() || c == ')' || c == '_') {
+        // Trailing-clause hole after a complete expression.
+        return String::new();
+    }
+    "1".to_string()
+}
+
+/// True when an odd number of single quotes precede this point (`''`
+/// doubling toggles twice, so the parity model is exact for the engine's
+/// string syntax).
+fn inside_sql_string(s: &str) -> bool {
+    s.chars().filter(|&c| c == '\'').count() % 2 == 1
+}
+
+fn starts_create_table(s: &str) -> bool {
+    let up = s.trim_start().to_ascii_uppercase();
+    up.starts_with("CREATE TABLE")
+}
+
+fn paren_depth(s: &str) -> i32 {
+    let mut d = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '\'' => in_str = !in_str,
+            '(' if !in_str => d += 1,
+            ')' if !in_str => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Paren and quote balance of folded text (string-literal aware);
+/// fragments with unbalanced parens or an unterminated SQL string — the
+/// closing token pushed separately — are skeleton builders, not
+/// statements.
+pub fn balanced(s: &str) -> bool {
+    paren_depth(s) == 0 && !inside_sql_string(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_plain_and_raw() {
+        assert_eq!(decode("\"a\\n'b\\\"\""), Some("a\n'b\"".to_string()));
+        assert_eq!(decode("r#\"x \" y\"#"), Some("x \" y".to_string()));
+        assert_eq!(decode("'c'"), None);
+        assert_eq!(decode("b\"by\""), Some("by".to_string()));
+    }
+
+    #[test]
+    fn decode_handles_line_continuation() {
+        assert_eq!(
+            decode("\"SELECT a \\\n     FROM t\""),
+            Some("SELECT a FROM t".to_string())
+        );
+    }
+
+    #[test]
+    fn splits_holes_and_escapes() {
+        let p = split_format("a {tbl} b {{lit}} {} {0} {x:?}");
+        assert_eq!(
+            p,
+            vec![
+                Piece::Text("a ".into()),
+                Piece::Hole(Some("tbl".into())),
+                Piece::Text(" b {lit} ".into()),
+                Piece::Hole(None),
+                Piece::Text(" ".into()),
+                Piece::Hole(None),
+                Piece::Text(" ".into()),
+                Piece::Hole(Some("x".into())),
+            ]
+        );
+    }
+
+    fn fold(s: &str) -> String {
+        fold_sql(&split_format(s), &BTreeMap::new())
+    }
+
+    #[test]
+    fn folds_by_context() {
+        assert_eq!(
+            fold("SELECT source FROM {tbl} WHERE doc = {doc} AND src IN ({list})"),
+            format!(
+                "SELECT source FROM {} WHERE doc = 1 AND src IN (1)",
+                hole_name(0)
+            )
+        );
+        assert_eq!(
+            fold("SELECT path FROM {}{filter}"),
+            format!("SELECT path FROM {}", hole_name(0))
+        );
+        assert_eq!(
+            fold("SELECT tbl FROM {} WHERE label = '{}' AND kind = '{}'"),
+            format!(
+                "SELECT tbl FROM {} WHERE label = 'X' AND kind = 'X'",
+                hole_name(0)
+            )
+        );
+        assert_eq!(
+            fold("CREATE TABLE univ ({cols})"),
+            format!("CREATE TABLE univ ({} INT)", hole_name(0))
+        );
+        assert_eq!(
+            fold("CREATE INDEX {t}_src ON {t} (source, doc)"),
+            format!(
+                "CREATE INDEX {}_src ON {} (source, doc)",
+                hole_name(0),
+                hole_name(1)
+            )
+        );
+    }
+
+    #[test]
+    fn const_holes_substitute_their_value() {
+        let consts = BTreeMap::from([("DOCS_TABLE".to_string(), "xr_docs".to_string())]);
+        assert_eq!(
+            fold_sql(&split_format("SELECT doc FROM {DOCS_TABLE}"), &consts),
+            "SELECT doc FROM xr_docs"
+        );
+    }
+
+    #[test]
+    fn balance_detects_fragments() {
+        assert!(balanced("SELECT a FROM t WHERE x = 1"));
+        assert!(!balanced("CREATE TABLE t (a INT, b INT"));
+        assert!(balanced("WHERE x = '(' "));
+    }
+}

@@ -3,6 +3,8 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod quote;
 
 pub use ast::{Expr, SelectStmt, Statement};
 pub use parser::{parse_script, parse_statement};
+pub use quote::{sql_ident, sql_lit};

@@ -1,0 +1,84 @@
+//! The quoting seam: the only blessed way to splice dynamic strings into
+//! SQL text. `xmlrel-lint --sql` treats these two functions as taint
+//! sanitizers; any other path from untrusted text into SQL assembly fails
+//! the gate (see DESIGN.md §16).
+
+/// Quote a string as a SQL string literal.
+///
+/// Wraps the value in single quotes and doubles embedded single quotes,
+/// which is the only escape the engine's lexer recognizes. The result is
+/// always exactly one literal token to the SQL lexer, regardless of
+/// quotes, semicolons, comment markers, or multibyte content in `s`.
+#[must_use]
+pub fn sql_lit(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// Make a string safe to splice where SQL expects a bare identifier
+/// (table or column position).
+///
+/// A value that is already a safe identifier (`[A-Za-z_][A-Za-z0-9_]*`)
+/// is returned unchanged, so routing schema names produced by the
+/// shredder's `sanitize` discipline through this seam is behavior-neutral.
+/// Anything else is repaired: every other character becomes `_`, and an
+/// `x` is prefixed when the result would be empty or start with a digit.
+/// The output therefore can never terminate the surrounding statement or
+/// open a literal, whatever `s` contains.
+#[must_use]
+pub fn sql_ident(s: &str) -> String {
+    let safe = !s.is_empty()
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if safe {
+        return s.to_string();
+    }
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, 'x');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_doubles_single_quotes() {
+        assert_eq!(sql_lit("O'Brien"), "'O''Brien'");
+        assert_eq!(sql_lit(""), "''");
+        assert_eq!(sql_lit("a;b--c\"d"), "'a;b--c\"d'");
+    }
+
+    #[test]
+    fn lit_is_one_token_to_the_lexer() {
+        for hostile in ["x'; DROP TABLE t; --", "''", "a\nb", "日本語 ' quote"] {
+            let lit = sql_lit(hostile);
+            let toks = crate::sql::lexer::tokenize(&lit).expect("lexes");
+            assert_eq!(
+                toks,
+                vec![crate::sql::lexer::Token::String(hostile.to_string())],
+                "{lit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ident_passes_safe_names_through() {
+        for ok in ["edge", "bin_el_book", "t0", "_x", "T_Item9"] {
+            assert_eq!(sql_ident(ok), ok);
+        }
+    }
+
+    #[test]
+    fn ident_repairs_hostile_names() {
+        assert_eq!(sql_ident("bad name"), "bad_name");
+        assert_eq!(sql_ident("t;drop"), "t_drop");
+        assert_eq!(sql_ident("9lives"), "x9lives");
+        assert_eq!(sql_ident(""), "x");
+        assert_eq!(sql_ident("a'b--c"), "a_b__c");
+    }
+}

@@ -21,7 +21,12 @@ use crate::error::{DbError, Result};
 
 /// Byte-level storage under the durability layer: named flat files with
 /// whole-file reads, appends, rewrites, and fsync.
-pub trait StorageBackend: fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: backends hold plain owned state
+/// (paths, `Arc<RwLock<..>>` file maps, fault counters), and requiring the
+/// bounds here keeps `Database` handles movable across threads — the first
+/// prerequisite for MVCC reads (ROADMAP item 1).
+pub trait StorageBackend: fmt::Debug + Send + Sync {
     /// Whole contents of a file, or `None` if it does not exist.
     fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>>;
     /// Create or replace a file with `data`.

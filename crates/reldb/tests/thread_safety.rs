@@ -1,0 +1,38 @@
+//! Cross-thread tests backing the CONC_ALLOWLIST shrink: `StorageBackend`
+//! now requires `Send + Sync`, so a `Database` (whose only hostile chain
+//! was `durability.backend`) must be movable across threads — the
+//! prerequisite for MVCC reads and threaded serving (ROADMAP item 1).
+
+use reldb::{Database, MemBackend, StorageBackend, Value};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn database_and_backend_are_send_sync() {
+    assert_send_sync::<Database>();
+    assert_send_sync::<Box<dyn StorageBackend>>();
+    assert_send_sync::<MemBackend>();
+}
+
+#[test]
+fn database_moves_across_threads_with_its_data() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+    db.bulk_insert(
+        "t",
+        vec![
+            vec![Value::Int(1), Value::text("alpha")],
+            vec![Value::Int(2), Value::text("beta")],
+        ],
+    )
+    .unwrap();
+
+    let handle = std::thread::spawn(move || {
+        // The whole handle (catalog, durability, backend) crossed threads;
+        // both reads and writes must keep working on the other side.
+        db.execute("INSERT INTO t VALUES (3, 'gamma')").unwrap();
+        let q = db.query("SELECT COUNT(*) FROM t").unwrap();
+        q.scalar().and_then(Value::as_int)
+    });
+    assert_eq!(handle.join().unwrap(), Some(3));
+}

@@ -3,7 +3,7 @@
 use reldb::{row_int, row_text, Database, ExecResult, Value};
 
 use crate::error::Result;
-use crate::labels::escape;
+use reldb::sql::quote::sql_lit;
 
 /// Registry table name.
 pub const DOCS_TABLE: &str = "xr_docs";
@@ -38,8 +38,8 @@ pub fn lookup(db: &Database, name: &str) -> Result<Option<i64>> {
     let mut found = None;
     db.query_streaming(
         &format!(
-            "SELECT doc FROM {DOCS_TABLE} WHERE name = '{}'",
-            escape(name)
+            "SELECT doc FROM {DOCS_TABLE} WHERE name = {}",
+            sql_lit(name)
         ),
         |row| {
             found = row_int(&row, 0);

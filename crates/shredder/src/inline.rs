@@ -36,7 +36,7 @@ use xmlpar::dtd::{Card, Dtd, NormalizedModel};
 use xmlpar::{Document, NodeId, NodeKind, QName};
 
 use crate::error::{Result, ShredError};
-use crate::labels::{escape, sanitize};
+use crate::labels::sanitize;
 use crate::scheme::{MappingScheme, ShredStats};
 
 /// Kind of a value column.
@@ -1024,11 +1024,6 @@ enum Item {
 
 fn parse_qname(s: &str) -> Result<QName> {
     QName::parse(s).ok_or_else(|| ShredError::Corrupt(format!("invalid name {s:?}")))
-}
-
-/// Escape helper re-export for translated SQL.
-pub fn sql_escape(s: &str) -> String {
-    escape(s)
 }
 
 #[cfg(test)]

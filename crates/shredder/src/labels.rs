@@ -2,6 +2,7 @@
 //! universal): maps XML tag/attribute labels to legal, collision-free SQL
 //! table names, persisted in the database so the mapping is stable.
 
+use reldb::sql::quote::sql_lit;
 use reldb::{row_text, Database, Value};
 
 use crate::error::Result;
@@ -50,10 +51,10 @@ impl LabelRegistry {
         let mut found = None;
         db.query_streaming(
             &format!(
-                "SELECT tbl FROM {} WHERE label = '{}' AND kind = '{}'",
+                "SELECT tbl FROM {} WHERE label = {} AND kind = {}",
                 self.registry_table(),
-                escape(label),
-                kind
+                sql_lit(label),
+                sql_lit(kind)
             ),
             |row| {
                 found = row_text(&row, 0).map(str::to_string);
@@ -109,11 +110,6 @@ impl LabelRegistry {
     }
 }
 
-/// Escape a string for inclusion in a single-quoted SQL literal.
-pub fn escape(s: &str) -> String {
-    s.replace('\'', "''")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,10 +138,5 @@ mod tests {
         let t3 = reg.assign(&mut db, "a-b", "attr").unwrap();
         assert_ne!(t1, t3);
         assert_eq!(reg.all(&db).unwrap().len(), 3);
-    }
-
-    #[test]
-    fn escape_quotes() {
-        assert_eq!(escape("O'Brien"), "O''Brien");
     }
 }

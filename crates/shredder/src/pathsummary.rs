@@ -15,7 +15,6 @@ use reldb::{row_text, Database, Value};
 use xmlpar::Document;
 
 use crate::error::Result;
-use crate::labels::escape;
 
 /// Maintains a `<prefix>_paths(doc, path)` table.
 #[derive(Debug, Clone)]
@@ -91,11 +90,6 @@ fn collect(doc: &Document, node: xmlpar::NodeId, prefix: String, out: &mut BTree
         collect(doc, c, path.clone(), out);
     }
     out.insert(path);
-}
-
-/// Escape helper re-export.
-pub fn sql_quote(s: &str) -> String {
-    format!("'{}'", escape(s))
 }
 
 #[cfg(test)]

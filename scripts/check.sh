@@ -40,6 +40,13 @@ conclint() {
     fi
 }
 
+sqllint() {
+    if ! cargo run -q --locked -p lint -- --sql --out target/sqllint.json; then
+        echo "sqllint: report written to target/sqllint.json" >&2
+        return 1
+    fi
+}
+
 bench_driver() {
     cargo run -q --locked --release -p xmlrel-bench -- \
         --out target/BENCH.json --trace target/trace.json \
@@ -59,6 +66,7 @@ step "cargo fmt --check"  cargo fmt --all --check
 step "release build"      cargo build --release --locked
 step "xmlrel-lint"        cargo run -q --locked -p lint -- --out target/lint.json
 step "conclint"           conclint
+step "sqllint"            sqllint
 step "planlint"           planlint
 step "bench driver"       bench_driver
 step "bench trajectory"   bench_trajectory
