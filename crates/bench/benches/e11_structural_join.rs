@@ -23,11 +23,11 @@ fn bench(c: &mut Criterion) {
         let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
             .open()
             .expect("install");
-        store.db.physical.use_interval_join = use_ij;
+        store.with_db_mut(|db| db.physical.use_interval_join = use_ij);
         // Nested loops need the index-NL path off too, to expose the raw
         // O(n^2) containment cost the published comparison shows.
         if !use_ij {
-            store.db.physical.use_index_nl_join = false;
+            store.with_db_mut(|db| db.physical.use_index_nl_join = false);
         }
         store.load_document("deep", &doc).expect("shred");
         let name = if use_ij { "structural" } else { "nested_loops" };

@@ -16,11 +16,11 @@ fn bench(c: &mut Criterion) {
         ("full", Box::new(|_| {})),
         (
             "no_reorder",
-            Box::new(|s| s.db.optimizer.join_reorder = false),
+            Box::new(|s| s.with_db_mut(|db| db.optimizer.join_reorder = false)),
         ),
         (
             "no_inl_join",
-            Box::new(|s| s.db.physical.use_index_nl_join = false),
+            Box::new(|s| s.with_db_mut(|db| db.physical.use_index_nl_join = false)),
         ),
     ];
     for (name, tweak) in configs {

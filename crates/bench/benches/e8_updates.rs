@@ -29,8 +29,10 @@ fn bench(c: &mut Criterion) {
                     let pre = rows[0][1].as_int().expect("pre");
                     (store, id, pre)
                 },
-                |(mut store, id, pre)| {
-                    interval_insert_child(&mut store.db, id, pre, &frag).expect("insert")
+                |(store, id, pre)| {
+                    store.with_db_mut(|db| {
+                        interval_insert_child(db, id, pre, &frag).expect("insert")
+                    })
                 },
                 BatchSize::LargeInput,
             )
@@ -46,8 +48,8 @@ fn bench(c: &mut Criterion) {
                     let key = rows[0][1].as_text().expect("key").to_string();
                     (store, id, key)
                 },
-                |(mut store, id, key)| {
-                    dewey_insert_child(&mut store.db, id, &key, &frag).expect("insert")
+                |(store, id, key)| {
+                    store.with_db_mut(|db| dewey_insert_child(db, id, &key, &frag).expect("insert"))
                 },
                 BatchSize::LargeInput,
             )

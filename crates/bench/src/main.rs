@@ -5,8 +5,11 @@
 //! E3/E4/E5/E6/E11 query slices) under every mapping scheme, executing each
 //! query with `Explain::Analyze` so the report carries per-query wall time
 //! *and* the runtime operator profile rollup (rows, probes, comparisons,
-//! buffered bytes, worst q-error). The whole run records tracing spans; the
-//! chrome-trace export lands next to the JSON report.
+//! buffered bytes, worst q-error). A closed-loop concurrency section then
+//! measures aggregate snapshot-read throughput at 1 and 8 client threads
+//! over a shared store handle (the `"concurrency"` rows the trajectory
+//! gate checks). The whole run records tracing spans; the chrome-trace
+//! export lands next to the JSON report.
 //!
 //! Usage:
 //!   xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F]
@@ -67,6 +70,24 @@ struct LoadRun {
     rows: usize,
     heap_bytes: usize,
     index_bytes: usize,
+}
+
+/// Client-thread counts the closed-loop concurrency bench drives.
+const CONC_THREADS: &[usize] = &[1, 8];
+/// Closed-loop iterations per client thread (each iteration runs the
+/// whole pinned query slice back to back).
+const CONC_ITERS: usize = 8;
+/// The pinned slice the concurrency bench hammers (the E3 auction
+/// queries under the interval scheme — the paper's fastest mapping).
+const CONC_QUERIES: &[&str] = &["Q1", "Q3", "Q10"];
+
+/// One closed-loop throughput measurement: N client threads, each
+/// running the pinned slice in a tight loop against a shared store.
+struct ConcRun {
+    threads: usize,
+    queries: u64,
+    wall_us: u128,
+    qps: f64,
 }
 
 fn main() -> ExitCode {
@@ -161,7 +182,9 @@ fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Res
         }
     }
 
-    let report = to_json(scale, started.elapsed().as_micros(), &loads, &runs);
+    let conc = concurrency_bench(&auction)?;
+
+    let report = to_json(scale, started.elapsed().as_micros(), &loads, &runs, &conc);
     std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
     std::fs::write(trace_out, sink.to_chrome_trace())
         .map_err(|e| format!("writing {trace_out}: {e}"))?;
@@ -178,7 +201,72 @@ fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Res
         errors,
         loads.len()
     );
+    for c in &conc {
+        eprintln!(
+            "xmlrel-bench: concurrency: {} thread(s): {} queries in {}us ({:.0} qps)",
+            c.threads, c.queries, c.wall_us, c.qps
+        );
+    }
     Ok(())
+}
+
+/// Closed-loop throughput under contention: N client threads, each with
+/// its own clone of one shared interval-scheme store, run the pinned
+/// query slice back to back (a new query the moment the previous one
+/// returns). Every request is pinned to a snapshot — the same
+/// consistency mode the HTTP endpoint serves — so this measures the
+/// store's parallel read path, not a lock convoy artifact.
+fn concurrency_bench(auction: &xmlpar::Document) -> Result<Vec<ConcRun>, String> {
+    let mut store = XmlStore::builder(Scheme::Interval(shredder::IntervalScheme::new()))
+        .open()
+        .map_err(|e| format!("concurrency: install: {e}"))?;
+    store
+        .load_document("auction", auction)
+        .map_err(|e| format!("concurrency: load: {e}"))?;
+    let slice: Vec<&WorkloadQuery> = CONC_QUERIES
+        .iter()
+        .filter_map(|id| AUCTION_QUERIES.iter().find(|q| q.id == *id))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &threads in CONC_THREADS {
+        let expected = (threads * CONC_ITERS * slice.len()) as u64;
+        let t0 = Instant::now();
+        let completed: u64 = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let handle = store.clone();
+                    let slice = &slice;
+                    scope.spawn(move || {
+                        let mut ok = 0u64;
+                        for _ in 0..CONC_ITERS {
+                            for q in slice {
+                                if handle.request(q.text).snapshot().run().is_ok() {
+                                    ok += 1;
+                                }
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap_or(0)).sum()
+        });
+        let wall_us = t0.elapsed().as_micros();
+        if completed != expected {
+            return Err(format!(
+                "concurrency: {threads} thread(s): {completed}/{expected} queries succeeded"
+            ));
+        }
+        let qps = completed as f64 / (wall_us.max(1) as f64 / 1e6);
+        rows.push(ConcRun {
+            threads,
+            queries: completed,
+            wall_us,
+            qps,
+        });
+    }
+    Ok(rows)
 }
 
 /// Execute one workload query with full instrumentation.
@@ -267,7 +355,13 @@ fn schemes(dtd: &str) -> Result<Vec<Scheme>, String> {
 }
 
 /// Hand-rolled JSON (the workspace is offline; no serde).
-fn to_json(scale: f64, total_us: u128, loads: &[LoadRun], runs: &[QueryRun]) -> String {
+fn to_json(
+    scale: f64,
+    total_us: u128,
+    loads: &[LoadRun],
+    runs: &[QueryRun],
+    conc: &[ConcRun],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"total_us\": {total_us},\n"));
@@ -316,6 +410,22 @@ fn to_json(scale: f64, total_us: u128, loads: &[LoadRun], runs: &[QueryRun]) -> 
         }
     }
     s.push_str("\n  ],\n");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    s.push_str(&format!(
+        "  \"concurrency\": {{\"cores\": {cores}, \"rows\": ["
+    ));
+    for (i, c) in conc.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.1}}}",
+            c.threads, c.queries, c.wall_us, c.qps
+        ));
+    }
+    s.push_str("\n  ]},\n");
     s.push_str(&format!("  \"metrics\": {}\n", quote(&metrics::dump())));
     s.push('}');
     s

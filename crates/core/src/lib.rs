@@ -25,6 +25,7 @@ pub mod contract;
 pub mod error;
 pub mod ledger;
 pub mod publish;
+pub mod serve;
 pub mod sqlgen;
 pub mod store;
 pub mod update;
@@ -34,6 +35,7 @@ pub use compile::{NodeKey, StepCompiler};
 pub use contract::{check_contract, AccessContract, DescendantAccess, IndexPat, QueryTraits};
 pub use error::{CoreError, Result};
 pub use ledger::{FingerprintStats, Ledger, LedgerConfig, SlowCapture, SlowTrigger};
+pub use serve::{DrainReport, MonitorHandle, ServerBuilder};
 pub use store::{
     Explain, HealthReport, PlanReport, QueryOutput, QueryRequest, Scheme, StoreBuilder, XmlStore,
 };

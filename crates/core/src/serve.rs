@@ -1,0 +1,183 @@
+//! Serving a store over HTTP: the [`ServerBuilder`] fluent surface.
+//!
+//! [`XmlStore::serve`] configures and launches the monitoring/query
+//! endpoint in one chain:
+//!
+//! ```no_run
+//! use xmlrel_core::{Scheme, XmlStore};
+//! use shredder::IntervalScheme;
+//!
+//! let store = XmlStore::builder(Scheme::Interval(IntervalScheme::new()))
+//!     .open()
+//!     .unwrap();
+//! let handle = store
+//!     .serve()
+//!     .addr("127.0.0.1:0")
+//!     .max_inflight(8)
+//!     .drain_ms(5000)
+//!     .start()
+//!     .unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! let report = handle.stop();
+//! assert!(report.clean());
+//! ```
+//!
+//! The builder wires every endpoint straight to cloned store handles —
+//! [`XmlStore`] is `Clone + Send + Sync`, so each of the server's
+//! per-connection worker threads answers `POST /query` directly against
+//! its own handle, with no relay thread in between:
+//!
+//! - `GET /healthz` computes [`XmlStore::health`] on demand;
+//! - `GET /slow` renders the store ledger's forensic captures;
+//! - `GET /spans` exports an attached [`TraceSink`], when one is given;
+//! - `POST /query` runs the body as a query **pinned to a snapshot**
+//!   ([`QueryRequest::snapshot`](crate::QueryRequest::snapshot)): every
+//!   served request executes against one consistent commit epoch, so
+//!   concurrent writers never expose it to a half-committed document.
+//!
+//! Admission control, slowloris defence, and the two-wave graceful drain
+//! (finish → cancel stragglers) come from the underlying
+//! [`obs::serve`](xmlrel_obs::serve) substrate; [`MonitorHandle::stop`]
+//! reports how many in-flight requests drained cleanly versus needing a
+//! forced cancellation.
+
+use xmlrel_obs::serve::{serve_with, Endpoints, Health, QueryCall, QueryReply, ServeConfig};
+use xmlrel_obs::trace::TraceSink;
+
+pub use xmlrel_obs::serve::{DrainReport, MonitorHandle};
+
+use crate::error::CoreError;
+use crate::store::XmlStore;
+
+/// Fluent configuration for serving a store over HTTP; built by
+/// [`XmlStore::serve`], launched by [`start`](ServerBuilder::start).
+///
+/// Defaults: bind `127.0.0.1:0` (ephemeral port), the substrate's
+/// admission/timeout knobs ([`ServeConfig::default`]), no server-side
+/// query timeout, no trace sink.
+pub struct ServerBuilder {
+    store: XmlStore,
+    addr: String,
+    config: ServeConfig,
+    timeout_ms: Option<u64>,
+    sink: Option<TraceSink>,
+}
+
+impl ServerBuilder {
+    pub(crate) fn new(store: XmlStore) -> ServerBuilder {
+        ServerBuilder {
+            store,
+            addr: "127.0.0.1:0".into(),
+            config: ServeConfig::default(),
+            timeout_ms: None,
+            sink: None,
+        }
+    }
+
+    /// The address to bind, e.g. `"127.0.0.1:8080"`. Port `0` picks an
+    /// ephemeral port; read the real one from [`MonitorHandle::addr`].
+    pub fn addr(mut self, addr: impl Into<String>) -> ServerBuilder {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Maximum concurrently-served requests; excess connections are shed
+    /// with `503` + `Retry-After` instead of queueing.
+    pub fn max_inflight(mut self, n: usize) -> ServerBuilder {
+        self.config.max_inflight = n;
+        self
+    }
+
+    /// How long a graceful stop waits for in-flight requests before
+    /// cancelling stragglers (and again for the cancelled to unwind).
+    pub fn drain_ms(mut self, ms: u64) -> ServerBuilder {
+        self.config.drain_deadline = std::time::Duration::from_millis(ms);
+        self
+    }
+
+    /// Default per-query wall-clock budget, used when a request does not
+    /// set its own `X-Timeout-Ms` header.
+    pub fn timeout_ms(mut self, ms: u64) -> ServerBuilder {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Serve `/spans` from this trace ring.
+    pub fn trace(mut self, sink: &TraceSink) -> ServerBuilder {
+        self.sink = Some(sink.clone());
+        self
+    }
+
+    /// Replace the substrate's admission/timeout knobs wholesale. The
+    /// narrower setters above cover the common cases.
+    pub fn config(mut self, config: ServeConfig) -> ServerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Bind and serve on a background accept thread. The handle stops
+    /// the server when dropped; call [`MonitorHandle::stop`] to get the
+    /// drain report.
+    pub fn start(self) -> std::io::Result<MonitorHandle> {
+        let ServerBuilder {
+            store,
+            addr,
+            config,
+            timeout_ms,
+            sink,
+        } = self;
+        let health_store = store.clone();
+        let slow_ledger = store.ledger();
+        let mut endpoints = Endpoints::new()
+            .healthz(move || {
+                let report = health_store.health();
+                Health {
+                    ok: report.ok,
+                    body: report.render(),
+                }
+            })
+            .slow(move || slow_ledger.slow_json())
+            .query(move |call| answer_query(&store, &call, timeout_ms));
+        if let Some(sink) = &sink {
+            endpoints = endpoints.spans(sink);
+        }
+        serve_with(&addr, endpoints, config)
+    }
+}
+
+/// Answer one `POST /query` call on the connection's worker thread: the
+/// query runs pinned to a snapshot, and the per-request deadline (header,
+/// falling back to the server default) and the server's shutdown token
+/// both flow into the execution limits.
+fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u64>) -> QueryReply {
+    let mut req = store.request(&call.query).snapshot().cancel(&call.cancel);
+    if let Some(ms) = call.timeout_ms.or(default_timeout_ms) {
+        req = req.timeout_ms(ms);
+    }
+    match req.run() {
+        Ok(out) => {
+            let mut body = String::new();
+            for item in &out.items {
+                body.push_str(item);
+                body.push('\n');
+            }
+            QueryReply {
+                status: 200,
+                content_type: "text/plain".into(),
+                body,
+            }
+        }
+        Err(e) => {
+            let status = match &e {
+                CoreError::Db(reldb::DbError::DeadlineExceeded(_)) => 408,
+                CoreError::Db(reldb::DbError::Cancelled(_)) => 503,
+                _ => 400,
+            };
+            QueryReply {
+                status,
+                content_type: "text/plain".into(),
+                body: format!("error: {e}\n"),
+            }
+        }
+    }
+}

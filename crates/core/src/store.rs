@@ -31,6 +31,7 @@
 //! monitoring endpoint, and the `xmlrel slow` CLI.
 
 use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use reldb::{CancelToken, Database, Deadline, ExecLimits, ExecProfile, Value};
 use shredder::{
@@ -319,10 +320,16 @@ impl HealthReport {
 }
 
 /// An XML store: one relational database + one mapping scheme.
+///
+/// The store is a *handle*: clone-cheap, `Send + Sync`, and safe to share
+/// across threads. The database sits behind one `RwLock`, but queries do
+/// not hold it while they run — each query executes against a pinned
+/// copy-on-write [`snapshot`](XmlStore::snapshot), so any number of
+/// readers proceed while a writer (document load, removal, checkpoint)
+/// commits through the same lock. See DESIGN.md §17.
+#[derive(Clone)]
 pub struct XmlStore {
-    /// The underlying relational database (exposed for EXPLAIN, storage
-    /// accounting, and the benchmark harness).
-    pub db: Database,
+    db: Arc<RwLock<Database>>,
     scheme: Scheme,
     ledger: Ledger,
 }
@@ -343,7 +350,11 @@ impl XmlStore {
         let mut db = Database::new();
         docstore::install(&mut db)?;
         scheme.ops().install(&mut db)?;
-        Ok(XmlStore { db, scheme, ledger })
+        Ok(XmlStore {
+            db: Arc::new(RwLock::new(db)),
+            scheme,
+            ledger,
+        })
     }
 
     fn open_backend_impl(
@@ -359,7 +370,58 @@ impl XmlStore {
             docstore::install(&mut db)?;
             scheme.ops().install(&mut db)?;
         }
-        Ok(XmlStore { db, scheme, ledger })
+        Ok(XmlStore {
+            db: Arc::new(RwLock::new(db)),
+            scheme,
+            ledger,
+        })
+    }
+
+    /// Take the database lock for reading, recovering from poisoning: a
+    /// reader that panicked cannot have left the database inconsistent.
+    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Take the database lock for writing. Poisoning is recovered here
+    /// too: the database's own durability poisoning (tracked inside
+    /// [`Database`]) is the real write-safety interlock, and it survives a
+    /// panicking thread where the lock's poison flag would merely wedge
+    /// every future caller.
+    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A read-only point-in-time snapshot of the underlying database.
+    ///
+    /// Cheap (the lock is held only long enough to Arc-bump the table map
+    /// — see [`Database::snapshot`]), and the returned handle keeps
+    /// answering at its epoch no matter what later commits do. Every
+    /// [`QueryRequest`] runs against one of these, never against the
+    /// locked database itself.
+    pub fn snapshot(&self) -> Database {
+        self.db_read().snapshot()
+    }
+
+    /// The store's current commit epoch (bumped once per committed
+    /// mutation).
+    pub fn epoch(&self) -> u64 {
+        self.db_read().epoch()
+    }
+
+    /// Run `f` with shared read access to the underlying database (for
+    /// EXPLAIN, storage accounting, the benchmark harness). Do not call
+    /// other store methods from inside `f`; for anything long-running,
+    /// take a [`snapshot`](XmlStore::snapshot) instead.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db_read())
+    }
+
+    /// Run `f` with exclusive access to the underlying database (knob
+    /// tweaks, direct updates). Blocks new snapshots — keep `f` short,
+    /// and do not call other store methods from inside it.
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db_write())
     }
 
     /// A handle on this store's query ledger: per-fingerprint rolling
@@ -370,22 +432,38 @@ impl XmlStore {
         self.ledger.clone()
     }
 
+    /// Configure an HTTP monitoring/query endpoint for this store. The
+    /// builder clones the handle, so the server's per-connection worker
+    /// threads answer `POST /query` directly against snapshot reads
+    /// while this handle keeps loading documents:
+    ///
+    /// ```no_run
+    /// # use xmlrel_core::{Scheme, XmlStore};
+    /// # use shredder::IntervalScheme;
+    /// # let store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open().unwrap();
+    /// let handle = store.serve().addr("127.0.0.1:0").max_inflight(8).start().unwrap();
+    /// ```
+    pub fn serve(&self) -> crate::serve::ServerBuilder {
+        crate::serve::ServerBuilder::new(self.clone())
+    }
+
     /// A point-in-time health snapshot: `/healthz` material.
     pub fn health(&self) -> HealthReport {
-        let db = self.db.status();
-        let documents = self.documents();
+        let db = self.db_read();
+        let status = db.status();
+        let documents = Self::documents_in(&db);
         HealthReport {
-            ok: !db.poisoned && documents.is_ok(),
+            ok: !status.poisoned && documents.is_ok(),
             scheme: self.scheme.name().to_string(),
             documents: documents.map(|d| d.len()).unwrap_or(0),
-            db,
+            db: status,
         }
     }
 
     /// Checkpoint the store: serialize all tables to a new snapshot and
     /// truncate the write-ahead log. No-op for in-memory stores.
     pub fn persist(&mut self) -> Result<()> {
-        self.db.checkpoint()?;
+        self.db_write().checkpoint()?;
         Ok(())
     }
 
@@ -403,16 +481,22 @@ impl XmlStore {
         self.load_document(name, &doc)
     }
 
-    /// Store an already-parsed document.
+    /// Store an already-parsed document. The write lock is held for the
+    /// whole shred, so the load commits as one epoch step — snapshot
+    /// readers see the document fully loaded or not at all.
     pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(i64, ShredStats)> {
         let _span = trace::span("shred", "core");
-        if docstore::lookup(&self.db, name)?.is_some() {
-            return Err(CoreError::Translate(format!(
-                "document {name:?} already loaded"
-            )));
-        }
-        let id = docstore::register(&mut self.db, name)?;
-        let stats = self.scheme.ops().shred(&mut self.db, id, doc)?;
+        let (id, stats) = {
+            let mut db = self.db_write();
+            if docstore::lookup(&db, name)?.is_some() {
+                return Err(CoreError::Translate(format!(
+                    "document {name:?} already loaded"
+                )));
+            }
+            let id = docstore::register(&mut db, name)?;
+            let stats = self.scheme.ops().shred(&mut db, id, doc)?;
+            (id, stats)
+        };
         metrics::counter_inc(&metrics::labelled(
             "documents_loaded_total",
             "scheme",
@@ -421,32 +505,43 @@ impl XmlStore {
         Ok((id, stats))
     }
 
+    fn doc_id_in(db: &Database, name: &str) -> Result<i64> {
+        docstore::lookup(db, name)?.ok_or_else(|| CoreError::NoSuchDocument(name.to_string()))
+    }
+
     /// Document id by name.
     pub fn doc_id(&self, name: &str) -> Result<i64> {
-        docstore::lookup(&self.db, name)?.ok_or_else(|| CoreError::NoSuchDocument(name.to_string()))
+        Self::doc_id_in(&self.db_read(), name)
     }
 
     /// Remove a document.
     pub fn remove(&mut self, name: &str) -> Result<usize> {
-        let id = self.doc_id(name)?;
-        let n = self.scheme.ops().delete_document(&mut self.db, id)?;
-        docstore::unregister(&mut self.db, id)?;
+        let mut db = self.db_write();
+        let id = Self::doc_id_in(&db, name)?;
+        let n = self.scheme.ops().delete_document(&mut db, id)?;
+        docstore::unregister(&mut db, id)?;
         Ok(n)
     }
 
     /// Reconstruct a whole document as XML text.
     pub fn reconstruct(&self, name: &str) -> Result<String> {
-        let id = self.doc_id(name)?;
-        let doc = self.scheme.ops().reconstruct(&self.db, id)?;
+        let db = self.snapshot();
+        let id = Self::doc_id_in(&db, name)?;
+        let doc = self.scheme.ops().reconstruct(&db, id)?;
         Ok(xmlpar::serialize::to_string(&doc))
     }
 
     /// Begin a query request. Finish it with [`QueryRequest::run`],
     /// [`QueryRequest::count`], [`QueryRequest::rows`],
     /// [`QueryRequest::translated`], or [`QueryRequest::report`].
+    ///
+    /// The request captures a copy-on-write snapshot of the store as it is
+    /// *now*; [`QueryRequest::snapshot`] pins the whole pipeline to it.
     pub fn request<'a>(&'a self, query: &'a str) -> QueryRequest<'a> {
         QueryRequest {
             store: self,
+            snap: self.snapshot(),
+            pinned: false,
             query,
             doc: None,
             explain: Explain::None,
@@ -460,11 +555,11 @@ impl XmlStore {
     /// this request's deadline and cancel token merged in. When both the
     /// store and the request carry a deadline, the tighter one wins.
     fn request_limits(
-        &self,
+        db: &Database,
         deadline: Option<Deadline>,
         cancel: Option<CancelToken>,
     ) -> ExecLimits {
-        let mut limits = self.db.limits.clone();
+        let mut limits = db.limits.clone();
         limits.deadline = match (deadline, limits.deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -488,10 +583,15 @@ impl XmlStore {
 
     /// Translate, scoped to one document when `doc` is given. A
     /// statically-empty result compiles to the `SELECT NULL LIMIT 0` stub.
-    fn translate_impl(&self, query_text: &str, doc: Option<&str>) -> Result<Translated> {
+    fn translate_impl(
+        &self,
+        db: &Database,
+        query_text: &str,
+        doc: Option<&str>,
+    ) -> Result<Translated> {
         let _span = trace::span("translate", "core");
         let doc_id = match doc {
-            Some(name) => Some(self.doc_id(name)?),
+            Some(name) => Some(Self::doc_id_in(db, name)?),
             None => None,
         };
         let query = {
@@ -499,7 +599,7 @@ impl XmlStore {
             parse_query(query_text)?
         };
         let compiler = self.scheme.compiler();
-        let t = match compile_query(compiler.as_ref(), &self.db, &query, doc_id) {
+        let t = match compile_query(compiler.as_ref(), db, &query, doc_id) {
             Err(CoreError::EmptyResult) => Translated {
                 sql: "SELECT NULL LIMIT 0".into(),
                 out: OutKind::Values { col: 0 },
@@ -508,7 +608,7 @@ impl XmlStore {
             },
             other => other?,
         };
-        self.debug_verify(&t)?;
+        self.debug_verify(db, &t)?;
         Ok(t)
     }
 
@@ -518,6 +618,7 @@ impl XmlStore {
     /// ledger; a threshold-crossing one leaves a forensic capture.
     fn fetch(
         &self,
+        db: &Database,
         query_text: &str,
         t: &Translated,
         analyze: bool,
@@ -531,12 +632,10 @@ impl XmlStore {
         let _span = trace::span("execute", "sql");
         let started = std::time::Instant::now();
         let fetched = if analyze {
-            self.db
-                .query_profiled_limited(&t.sql, limits)
+            db.query_profiled_limited(&t.sql, limits)
                 .map(|(result, profile)| (result.rows, Some(profile)))
         } else {
-            self.db
-                .query_readonly_limited(&t.sql, limits)
+            db.query_readonly_limited(&t.sql, limits)
                 .map(|r| (r.rows, None))
         };
         let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -560,6 +659,7 @@ impl XmlStore {
             .observe(query_text, wall_us, raw.len() as u64, q_error)
         {
             self.capture_forensics(
+                db,
                 query_text,
                 t,
                 wall_us,
@@ -580,6 +680,7 @@ impl XmlStore {
     #[allow(clippy::too_many_arguments)]
     fn capture_forensics(
         &self,
+        db: &Database,
         query_text: &str,
         t: &Translated,
         wall_us: u64,
@@ -591,7 +692,7 @@ impl XmlStore {
         let config = self.ledger.config();
         let (rendered, q_error) = match profile {
             Some(p) => (Some(p.render(true)), q_error),
-            None => match self.db.query_profiled(&t.sql) {
+            None => match db.query_profiled(&t.sql) {
                 Ok((_, p)) => {
                     let q = p.rollup().max_q_error;
                     (Some(p.render(true)), Some(q))
@@ -625,7 +726,12 @@ impl XmlStore {
 
     /// Publish rows as XML fragments / string values per the translated
     /// query's output kind.
-    fn publish_rows(&self, t: &Translated, rows: &[Vec<Value>]) -> Result<Vec<String>> {
+    fn publish_rows(
+        &self,
+        db: &Database,
+        t: &Translated,
+        rows: &[Vec<Value>],
+    ) -> Result<Vec<String>> {
         let compiler = self.scheme.compiler();
         let mut items = Vec::with_capacity(rows.len());
         match &t.out {
@@ -640,13 +746,13 @@ impl XmlStore {
             OutKind::Nodes => {
                 for row in rows {
                     let key = compiler.decode_key(&row[..t.key_width])?;
-                    items.push(self.scheme.publish_key(&self.db, &key)?);
+                    items.push(self.scheme.publish_key(db, &key)?);
                 }
             }
             OutKind::Constructed(template) => {
                 for row in rows {
                     let mut s = String::new();
-                    self.render_template(template, row, compiler.as_ref(), &mut s)?;
+                    self.render_template(db, template, row, compiler.as_ref(), &mut s)?;
                     items.push(s);
                 }
             }
@@ -659,6 +765,10 @@ impl XmlStore {
     /// bind it, and run the plan validator over the bound, optimized, and
     /// physical plans. Returns every diagnostic found (empty = clean).
     pub fn verify_sql(&self, sql: &str) -> Result<Vec<reldb::plan::Diagnostic>> {
+        Self::verify_sql_in(&self.db_read(), sql)
+    }
+
+    fn verify_sql_in(db: &Database, sql: &str) -> Result<Vec<reldb::plan::Diagnostic>> {
         use reldb::plan::{
             bind_select, optimize, plan_physical, validate_logical, validate_physical,
         };
@@ -670,7 +780,7 @@ impl XmlStore {
                 "compiled query is not a SELECT: {sql}"
             )));
         };
-        let catalog = &self.db.catalog;
+        let catalog = &db.catalog;
         let bound = bind_select(catalog, &sel).map_err(CoreError::Db)?;
         // Comma-join SQL binds as condition-less joins under one filter;
         // predicate pushdown rewrites that into conditioned joins. Style
@@ -680,16 +790,20 @@ impl XmlStore {
             .into_iter()
             .filter(|d| d.severity == reldb::plan::Severity::Error)
             .collect();
-        let optimized = optimize(bound, &self.db.optimizer, catalog);
+        let optimized = optimize(bound, &db.optimizer, catalog);
         diags.extend(validate_logical(catalog, &optimized));
-        let physical =
-            plan_physical(catalog, &optimized, &self.db.physical).map_err(CoreError::Db)?;
+        let physical = plan_physical(catalog, &optimized, &db.physical).map_err(CoreError::Db)?;
         diags.extend(validate_physical(catalog, &physical));
         diags.dedup();
         Ok(diags)
     }
 
-    fn verify_translated(&self, query_text: &str, t: &Translated) -> Result<PlanReport> {
+    fn verify_translated(
+        &self,
+        db: &Database,
+        query_text: &str,
+        t: &Translated,
+    ) -> Result<PlanReport> {
         use reldb::plan::{
             analyze_physical, bind_select, cost, explain_physical, optimize, plan_physical,
             AnalyzerOptions,
@@ -718,17 +832,16 @@ impl XmlStore {
                 t.sql
             )));
         };
-        let catalog = &self.db.catalog;
+        let catalog = &db.catalog;
         let bound = bind_select(catalog, &sel).map_err(CoreError::Db)?;
-        let optimized = optimize(bound, &self.db.optimizer, catalog);
-        let physical =
-            plan_physical(catalog, &optimized, &self.db.physical).map_err(CoreError::Db)?;
+        let optimized = optimize(bound, &db.optimizer, catalog);
+        let physical = plan_physical(catalog, &optimized, &db.physical).map_err(CoreError::Db)?;
 
         let mut diagnostics = analyze_physical(catalog, &physical, &AnalyzerOptions::default());
         let query = parse_query(query_text)?;
         let traits = QueryTraits::of(&query);
         let contract = self.scheme.compiler().contract();
-        diagnostics.extend(check_contract(&contract, &traits, &self.db, &physical));
+        diagnostics.extend(check_contract(&contract, &traits, db, &physical));
 
         let report = cost::report_physical(catalog, &physical);
         Ok(PlanReport {
@@ -744,8 +857,8 @@ impl XmlStore {
     /// re-parse and validate against the live catalog, so the whole test
     /// suite doubles as a static check over all six compile backends.
     #[cfg(debug_assertions)]
-    fn debug_verify(&self, t: &Translated) -> Result<()> {
-        let diags = self.verify_sql(&t.sql)?;
+    fn debug_verify(&self, db: &Database, t: &Translated) -> Result<()> {
+        let diags = Self::verify_sql_in(db, &t.sql)?;
         if let Some(d) = diags
             .iter()
             .find(|d| d.severity == reldb::plan::Severity::Error)
@@ -760,12 +873,13 @@ impl XmlStore {
     }
 
     #[cfg(not(debug_assertions))]
-    fn debug_verify(&self, _t: &Translated) -> Result<()> {
+    fn debug_verify(&self, _db: &Database, _t: &Translated) -> Result<()> {
         Ok(())
     }
 
     fn render_template(
         &self,
+        db: &Database,
         template: &Template,
         row: &[Value],
         compiler: &dyn StepCompiler,
@@ -793,9 +907,9 @@ impl XmlStore {
                 }
                 Slot::Node(start) => {
                     let key = compiler.decode_key(&row[*start..*start + compiler.key_width()])?;
-                    out.push_str(&self.scheme.publish_key(&self.db, &key)?);
+                    out.push_str(&self.scheme.publish_key(db, &key)?);
                 }
-                Slot::Nested(t) => self.render_template(t, row, compiler, out)?,
+                Slot::Nested(t) => self.render_template(db, t, row, compiler, out)?,
             }
         }
         out.push_str("</");
@@ -806,32 +920,41 @@ impl XmlStore {
 
     /// Storage accounting for the scheme's tables.
     pub fn storage_stats(&self) -> StorageStats {
-        self.scheme.ops().storage_stats(&self.db)
+        self.scheme.ops().storage_stats(&self.db_read())
     }
 
     /// Number of joins in the translated SQL's logical plan (experiment
     /// E6's metric).
     pub fn join_count(&self, query_text: &str) -> Result<usize> {
-        let t = self.translate_impl(query_text, None)?;
-        let (logical, _) = self.db.plan_select(&t.sql)?;
+        let db = self.snapshot();
+        let t = self.translate_impl(&db, query_text, None)?;
+        let (logical, _) = db.plan_select(&t.sql)?;
         Ok(logical.join_count())
+    }
+
+    fn documents_in(db: &Database) -> Result<Vec<(i64, String)>> {
+        Ok(docstore::list(db)?
+            .into_iter()
+            .map(|d| (d.id, d.name))
+            .collect())
     }
 
     /// List loaded documents.
     pub fn documents(&self) -> Result<Vec<(i64, String)>> {
-        Ok(docstore::list(&self.db)?
-            .into_iter()
-            .map(|d| (d.id, d.name))
-            .collect())
+        Self::documents_in(&self.db_read())
     }
 }
 
 /// One query, being configured: scope it with [`doc`](QueryRequest::doc),
 /// pick detail with [`explain`](QueryRequest::explain), attach a trace
-/// sink with [`trace`](QueryRequest::trace), then finish with one of the
+/// sink with [`trace`](QueryRequest::trace), pin consistency with
+/// [`snapshot`](QueryRequest::snapshot), then finish with one of the
 /// terminal methods. Created by [`XmlStore::request`].
 pub struct QueryRequest<'a> {
     store: &'a XmlStore,
+    /// Copy-on-write snapshot captured when the builder was created.
+    snap: Database,
+    pinned: bool,
     query: &'a str,
     doc: Option<&'a str>,
     explain: Explain,
@@ -844,6 +967,20 @@ impl<'a> QueryRequest<'a> {
     /// Scope the query to one loaded document.
     pub fn doc(mut self, name: &'a str) -> QueryRequest<'a> {
         self.doc = Some(name);
+        self
+    }
+
+    /// Pin the whole pipeline — translate, execute, publish — to the
+    /// copy-on-write snapshot captured when this builder was created, so
+    /// a writer committing mid-request can never tear the result.
+    ///
+    /// This is the consistency mode served queries run under (the
+    /// [`ServerBuilder`](crate::serve::ServerBuilder) endpoint pins every
+    /// request). Without it, a terminal method reads the store's latest
+    /// state at the moment it starts — still a single consistent epoch,
+    /// just a fresher one.
+    pub fn snapshot(mut self) -> QueryRequest<'a> {
+        self.pinned = true;
         self
     }
 
@@ -887,6 +1024,8 @@ impl<'a> QueryRequest<'a> {
     pub fn run(self) -> Result<QueryOutput> {
         let QueryRequest {
             store,
+            snap,
+            pinned,
             query,
             doc,
             explain,
@@ -896,18 +1035,19 @@ impl<'a> QueryRequest<'a> {
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query", "core");
-        let limits = store.request_limits(deadline, cancel);
+        let db = if pinned { snap } else { store.snapshot() };
+        let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
-        let t = store.translate_impl(query, doc)?;
+        let t = store.translate_impl(&db, query, doc)?;
         let plan = match explain {
             Explain::None => None,
-            Explain::Plan | Explain::Analyze => Some(store.verify_translated(query, &t)?),
+            Explain::Plan | Explain::Analyze => Some(store.verify_translated(&db, query, &t)?),
         };
-        let (rows, profile) = store.fetch(query, &t, explain == Explain::Analyze, &limits)?;
+        let (rows, profile) = store.fetch(&db, query, &t, explain == Explain::Analyze, &limits)?;
         store.poll_phase(&limits, "publish", query)?;
         let items = {
             let _span = trace::span("publish", "core");
-            store.publish_rows(&t, &rows)?
+            store.publish_rows(&db, &t, &rows)?
         };
         Ok(QueryOutput {
             items,
@@ -924,6 +1064,8 @@ impl<'a> QueryRequest<'a> {
     pub fn count(self) -> Result<usize> {
         let QueryRequest {
             store,
+            snap,
+            pinned,
             query,
             doc,
             sink,
@@ -933,10 +1075,11 @@ impl<'a> QueryRequest<'a> {
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_count", "core");
-        let limits = store.request_limits(deadline, cancel);
+        let db = if pinned { snap } else { store.snapshot() };
+        let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
-        let t = store.translate_impl(query, doc)?;
-        let (rows, _) = store.fetch(query, &t, false, &limits)?;
+        let t = store.translate_impl(&db, query, doc)?;
+        let (rows, _) = store.fetch(&db, query, &t, false, &limits)?;
         Ok(match &t.out {
             OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
             _ => rows.len(),
@@ -948,6 +1091,8 @@ impl<'a> QueryRequest<'a> {
     pub fn rows(self) -> Result<Vec<Vec<Value>>> {
         let QueryRequest {
             store,
+            snap,
+            pinned,
             query,
             doc,
             sink,
@@ -957,16 +1102,19 @@ impl<'a> QueryRequest<'a> {
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.query_rows", "core");
-        let limits = store.request_limits(deadline, cancel);
+        let db = if pinned { snap } else { store.snapshot() };
+        let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
-        let t = store.translate_impl(query, doc)?;
-        Ok(store.fetch(query, &t, false, &limits)?.0)
+        let t = store.translate_impl(&db, query, doc)?;
+        Ok(store.fetch(&db, query, &t, false, &limits)?.0)
     }
 
     /// Translate to SQL without executing.
     pub fn translated(self) -> Result<Translated> {
         let QueryRequest {
             store,
+            snap,
+            pinned,
             query,
             doc,
             sink,
@@ -974,7 +1122,8 @@ impl<'a> QueryRequest<'a> {
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.translate", "core");
-        store.translate_impl(query, doc)
+        let db = if pinned { snap } else { store.snapshot() };
+        store.translate_impl(&db, query, doc)
     }
 
     /// Compile the query and check the physical plan the optimizer chose
@@ -986,6 +1135,8 @@ impl<'a> QueryRequest<'a> {
     pub fn report(self) -> Result<PlanReport> {
         let QueryRequest {
             store,
+            snap,
+            pinned,
             query,
             doc,
             sink,
@@ -993,8 +1144,9 @@ impl<'a> QueryRequest<'a> {
         } = self;
         let _guard = sink.map(trace::install);
         let _span = trace::span("store.report", "core");
-        let t = store.translate_impl(query, doc)?;
-        store.verify_translated(query, &t)
+        let db = if pinned { snap } else { store.snapshot() };
+        let t = store.translate_impl(&db, query, doc)?;
+        store.verify_translated(&db, query, &t)
     }
 }
 

@@ -249,7 +249,9 @@ mod tests {
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Insert <e>z</e> as last child of <b> (pre of b = 1).
         let frag = Document::parse("<e>z</e>").unwrap();
-        let stats = interval_insert_child(&mut store.db, doc, 1, &frag).unwrap();
+        let stats = store
+            .with_db_mut(|db| interval_insert_child(db, doc, 1, &frag))
+            .unwrap();
         assert_eq!(stats.rows_inserted, 2);
         // Renumbered: ancestors a,b sizes + shifted d,y (pre and parent).
         assert!(stats.rows_renumbered >= 4, "{stats:?}");
@@ -266,7 +268,9 @@ mod tests {
             .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Delete <b> (pre 1, subtree of 3 nodes).
-        let stats = interval_delete_subtree(&mut store.db, doc, 1).unwrap();
+        let stats = store
+            .with_db_mut(|db| interval_delete_subtree(db, doc, 1))
+            .unwrap();
         assert_eq!(stats.rows_deleted, 3);
         assert_eq!(store.reconstruct("t").unwrap(), "<a><d>y</d></a>");
         // Queries still work after renumbering.
@@ -281,7 +285,9 @@ mod tests {
         let (doc, _) = store.load_str("t", XML).unwrap();
         // Parent <b> has key 000000.000000.
         let frag = Document::parse("<e>z</e>").unwrap();
-        let stats = dewey_insert_child(&mut store.db, doc, "000000.000000", &frag).unwrap();
+        let stats = store
+            .with_db_mut(|db| dewey_insert_child(db, doc, "000000.000000", &frag))
+            .unwrap();
         assert_eq!(stats.rows_renumbered, 0);
         assert_eq!(stats.rows_inserted, 2);
         assert_eq!(
@@ -296,7 +302,9 @@ mod tests {
             .open()
             .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
-        let stats = dewey_delete_subtree(&mut store.db, doc, "000000.000000").unwrap();
+        let stats = store
+            .with_db_mut(|db| dewey_delete_subtree(db, doc, "000000.000000"))
+            .unwrap();
         assert_eq!(stats.rows_renumbered, 0);
         assert_eq!(stats.rows_deleted, 3);
         assert_eq!(store.reconstruct("t").unwrap(), "<a><d>y</d></a>");
@@ -316,13 +324,17 @@ mod tests {
             .unwrap();
         let (idoc, _) = istore.load_str("t", &xml).unwrap();
         let frag = Document::parse("<x/>").unwrap();
-        let istats = interval_insert_child(&mut istore.db, idoc, 1, &frag).unwrap();
+        let istats = istore
+            .with_db_mut(|db| interval_insert_child(db, idoc, 1, &frag))
+            .unwrap();
 
         let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
             .open()
             .unwrap();
         let (ddoc, _) = dstore.load_str("t", &xml).unwrap();
-        let dstats = dewey_insert_child(&mut dstore.db, ddoc, "000000.000000", &frag).unwrap();
+        let dstats = dstore
+            .with_db_mut(|db| dewey_insert_child(db, ddoc, "000000.000000", &frag))
+            .unwrap();
 
         assert!(
             istats.rows_renumbered > 200,
@@ -343,13 +355,21 @@ mod tests {
             .unwrap();
         let (doc, _) = store.load_str("t", XML).unwrap();
         let frag = Document::parse("<e/>").unwrap();
-        assert!(interval_insert_child(&mut store.db, doc, 999, &frag).is_err());
-        assert!(interval_delete_subtree(&mut store.db, doc, 999).is_err());
+        assert!(store
+            .with_db_mut(|db| interval_insert_child(db, doc, 999, &frag))
+            .is_err());
+        assert!(store
+            .with_db_mut(|db| interval_delete_subtree(db, doc, 999))
+            .is_err());
         let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new()))
             .open()
             .unwrap();
         let (ddoc, _) = dstore.load_str("t", XML).unwrap();
-        assert!(dewey_insert_child(&mut dstore.db, ddoc, "zz", &frag).is_err());
-        assert!(dewey_delete_subtree(&mut dstore.db, ddoc, "zz").is_err());
+        assert!(dstore
+            .with_db_mut(|db| dewey_insert_child(db, ddoc, "zz", &frag))
+            .is_err());
+        assert!(dstore
+            .with_db_mut(|db| dewey_delete_subtree(db, ddoc, "zz"))
+            .is_err());
     }
 }

@@ -214,7 +214,7 @@ fn translated_sql_round_trips_through_engine_explain() {
     let s = interval_store();
     let t = s.request("/r/a[@x = '1']/text()").translated().unwrap();
     // The generated SQL must be plannable and EXPLAINable.
-    let (logical, physical) = s.db.plan_select(&t.sql).unwrap();
+    let (logical, physical) = s.with_db(|db| db.plan_select(&t.sql)).unwrap();
     assert!(logical.join_count() >= 1);
     let text = reldb::plan::physical::explain_physical(&physical);
     assert!(!text.is_empty());

@@ -86,7 +86,7 @@ fn deadline_trips_during_shred_over_a_slow_backend() {
         .backend(Box::new(slow))
         .open()
         .unwrap();
-    s.db.limits.deadline = Some(reldb::Deadline::after_millis(30));
+    s.with_db_mut(|db| db.limits.deadline = Some(reldb::Deadline::after_millis(30)));
     let mut xml = String::from("<r>");
     for i in 0..300 {
         xml.push_str(&format!("<a>{i}</a>"));
@@ -111,8 +111,7 @@ fn deadline_trips_during_shred_over_a_slow_backend() {
 fn tighter_of_store_and_request_deadlines_wins() {
     let s = sized_store(50);
     // Store-wide deadline far in the future; request deadline expired.
-    let mut s = s;
-    s.db.limits.deadline = Some(reldb::Deadline::after_millis(60_000));
+    s.with_db_mut(|db| db.limits.deadline = Some(reldb::Deadline::after_millis(60_000)));
     let err = s.request("//a/text()").timeout_ms(0).run().unwrap_err();
     assert!(is_deadline(&err), "expected DeadlineExceeded, got {err:?}");
 }

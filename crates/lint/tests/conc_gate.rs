@@ -107,7 +107,53 @@ fn ledger_and_cancel_handles_are_thread_safe() {
     }
 }
 
+#[test]
+fn allowlist_is_empty_and_every_audited_root_is_thread_safe() {
+    // The concurrent-serving work paid off the last allowlist entries:
+    // the committed file must carry zero live entries, and every audited
+    // handle root must be fully Send + Sync with no excuses.
+    let root = workspace_root();
+    let allow = Allowlist::load(&root.join("CONC_ALLOWLIST.txt"));
+    assert!(
+        allow.entries.is_empty(),
+        "CONC_ALLOWLIST.txt may only shrink and is now empty; new entries \
+         would reintroduce thread-safety debt: {:?}",
+        allow.entries
+    );
+    let report = real_report();
+    for r in &report.roots {
+        assert!(
+            r.is_send() && r.is_sync(),
+            "{} must be Send + Sync with an empty allowlist: {:?}",
+            r.root,
+            r.chains
+        );
+    }
+}
+
 // ---- gate teeth ------------------------------------------------------------
+
+#[test]
+fn injected_rc_in_store_handle_fails_with_empty_allowlist() {
+    // The teeth of the empty-allowlist gate: sneak an `Rc` back into the
+    // store handle (the exact shape the Meter conversion removed) and
+    // the audit must fail — there is no allowlist line to hide behind.
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/store.rs",
+        "pub struct XmlStore { db: Arc<RwLock<Database>>, meter: Meter }\n\
+         pub struct Database { epoch: u64 }\n\
+         pub struct Meter { tick: Rc<Cell<u64>> }",
+    )]);
+    let report = conc::analyze_rooted(&ws, &Allowlist::default(), &[("core", "XmlStore")]);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    let f = &failures[0];
+    assert!(f.contains("core::XmlStore"), "{f}");
+    assert!(
+        f.contains("meter.tick"),
+        "diagnostic must name the chain: {f}"
+    );
+}
 
 #[test]
 fn injected_rc_field_fails_with_path_naming_diagnostic() {

@@ -52,6 +52,30 @@ pub enum Outcome {
     Error(String),
 }
 
+/// One row of the closed-loop concurrency bench: N client threads
+/// hammering the shared store, aggregate throughput in queries/second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcRow {
+    /// Client thread count.
+    pub threads: u64,
+    /// Total queries executed across all threads.
+    pub queries: u64,
+    /// Wall time for the whole closed loop, µs.
+    pub wall_us: u64,
+    /// Aggregate throughput, queries per second.
+    pub qps: f64,
+}
+
+/// The bench file's `"concurrency"` section: throughput under contention
+/// plus the core count it was measured on (the gate scales with it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concurrency {
+    /// `available_parallelism` on the measuring machine.
+    pub cores: u64,
+    /// One row per client thread count.
+    pub rows: Vec<ConcRow>,
+}
+
 /// One parsed bench file.
 #[derive(Debug, Clone)]
 pub struct BenchFile {
@@ -59,11 +83,14 @@ pub struct BenchFile {
     pub label: String,
     /// Every query measurement, keyed by identity.
     pub queries: BTreeMap<QueryKey, Outcome>,
+    /// Throughput-under-contention rows, when the file carries them.
+    pub concurrency: Option<Concurrency>,
 }
 
 /// Parse one `BENCH_*.json` body.
 pub fn parse_bench(label: &str, text: &str) -> Result<BenchFile, String> {
     let root = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    let concurrency = parse_concurrency(label, &root)?;
     let entries = root
         .get("queries")
         .and_then(Json::as_arr)
@@ -98,6 +125,111 @@ pub fn parse_bench(label: &str, text: &str) -> Result<BenchFile, String> {
     Ok(BenchFile {
         label: label.to_string(),
         queries,
+        concurrency,
+    })
+}
+
+/// Parse the optional `"concurrency"` section.
+fn parse_concurrency(label: &str, root: &Json) -> Result<Option<Concurrency>, String> {
+    let Some(section) = root.get("concurrency") else {
+        return Ok(None);
+    };
+    let cores = section
+        .get("cores")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{label}: concurrency section missing \"cores\""))?;
+    let entries = section
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: concurrency section missing \"rows\""))?;
+    let mut rows = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let num = |name: &str| -> Result<u64, String> {
+            entry
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{label}: concurrency row missing {name:?}"))
+        };
+        rows.push(ConcRow {
+            threads: num("threads")?,
+            queries: num("queries")?,
+            wall_us: num("wall_us")?,
+            qps: entry
+                .get("qps")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{label}: concurrency row missing \"qps\""))?,
+        });
+    }
+    Ok(Some(Concurrency { cores, rows }))
+}
+
+/// The hardware-aware scaling floor: aggregate throughput at the highest
+/// thread count must reach `min(3.0, 0.8 × cores)` times the
+/// single-thread throughput. On a many-core machine that demands the
+/// ≥3× parallel speedup the concurrent-serving work promises; on a
+/// starved CI container (1–2 cores) it degrades to "adding client
+/// threads must not collapse throughput", which is the strongest claim
+/// the hardware can falsify.
+pub fn required_scaling(cores: u64) -> f64 {
+    (0.8 * cores as f64).min(3.0)
+}
+
+/// The concurrency gate's verdict on one bench file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrencyVerdict {
+    /// Core count the measurement ran on.
+    pub cores: u64,
+    /// Single-thread aggregate throughput, queries/second.
+    pub baseline_qps: f64,
+    /// The highest thread count measured.
+    pub peak_threads: u64,
+    /// Aggregate throughput at that thread count.
+    pub peak_qps: f64,
+    /// `peak_qps / baseline_qps`.
+    pub ratio: f64,
+    /// [`required_scaling`] for the measured core count.
+    pub required: f64,
+    /// Whether the ratio meets the floor.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for ConcurrencyVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} threads: {:.0} qps vs {:.0} qps single-thread = {:.2}x \
+             (floor {:.2}x on {} core(s)) -> {}",
+            self.peak_threads,
+            self.peak_qps,
+            self.baseline_qps,
+            self.ratio,
+            self.required,
+            self.cores,
+            if self.pass { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Gate a file's throughput-under-contention rows: compare the highest
+/// thread count's aggregate qps against the single-thread row. `None`
+/// when the file has no concurrency section or lacks the two rows.
+pub fn check_concurrency(file: &BenchFile) -> Option<ConcurrencyVerdict> {
+    let conc = file.concurrency.as_ref()?;
+    let base = conc.rows.iter().find(|r| r.threads == 1)?;
+    let peak = conc.rows.iter().max_by_key(|r| r.threads)?;
+    if peak.threads <= 1 || base.qps <= 0.0 {
+        return None;
+    }
+    let ratio = peak.qps / base.qps;
+    let required = required_scaling(conc.cores);
+    Some(ConcurrencyVerdict {
+        cores: conc.cores,
+        baseline_qps: base.qps,
+        peak_threads: peak.threads,
+        peak_qps: peak.qps,
+        ratio,
+        required,
+        pass: ratio >= required,
     })
 }
 
@@ -173,6 +305,10 @@ pub struct Report {
     pub table: String,
     /// Regressions between the oldest and newest file.
     pub regressions: Vec<Regression>,
+    /// The newest file's throughput-under-contention verdict, when it
+    /// carries a concurrency section. A failed verdict gates like a
+    /// regression.
+    pub concurrency: Option<ConcurrencyVerdict>,
 }
 
 /// Compare two or more parsed bench files: the first is the baseline, the
@@ -210,6 +346,7 @@ pub fn compare(files: &[BenchFile], opts: CompareOptions) -> Result<Report, Stri
     Ok(Report {
         table: trajectory_table(files),
         regressions,
+        concurrency: check_concurrency(last),
     })
 }
 
@@ -413,6 +550,106 @@ mod tests {
         // only oldest vs newest gates.
         assert!(report.regressions.is_empty(), "{:?}", report.regressions);
         assert!(report.table.contains("90000us"), "{}", report.table);
+    }
+
+    fn conc_file(label: &str, cores: u64, rows: &[(u64, u64, u64, f64)]) -> BenchFile {
+        let mut out = String::from("{\"scale\": 0.1, \"queries\": [], \"concurrency\": {");
+        out.push_str(&format!("\"cores\": {cores}, \"rows\": ["));
+        for (i, (threads, queries, wall_us, qps)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {threads}, \"queries\": {queries}, \
+                 \"wall_us\": {wall_us}, \"qps\": {qps}}}"
+            ));
+        }
+        out.push_str("]}}");
+        parse_bench(label, &out).unwrap()
+    }
+
+    #[test]
+    fn concurrency_floor_scales_with_cores() {
+        // Plenty of cores: the full 3x parallel-speedup promise applies.
+        assert_eq!(required_scaling(8), 3.0);
+        assert_eq!(required_scaling(4), 3.0);
+        // Starved container: only "don't collapse" is demanded.
+        assert!((required_scaling(1) - 0.8).abs() < 1e-9);
+        assert!((required_scaling(2) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_past_the_floor_passes_the_gate() {
+        let f = conc_file(
+            "new.json",
+            8,
+            &[(1, 100, 1_000_000, 100.0), (8, 800, 2_000_000, 400.0)],
+        );
+        let v = check_concurrency(&f).expect("verdict");
+        assert!(v.pass, "{v}");
+        assert_eq!(v.peak_threads, 8);
+        assert!((v.ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_collapse_fails_the_gate() {
+        // 8 threads on 8 cores but barely faster than one thread: the
+        // serving path is serialized somewhere.
+        let f = conc_file(
+            "new.json",
+            8,
+            &[(1, 100, 1_000_000, 100.0), (8, 800, 6_500_000, 123.0)],
+        );
+        let v = check_concurrency(&f).expect("verdict");
+        assert!(!v.pass, "{v}");
+        assert!(v.to_string().contains("FAIL"), "{v}");
+    }
+
+    #[test]
+    fn single_core_box_only_requires_no_collapse() {
+        let f = conc_file(
+            "new.json",
+            1,
+            &[(1, 100, 1_000_000, 100.0), (8, 800, 8_500_000, 94.0)],
+        );
+        let v = check_concurrency(&f).expect("verdict");
+        assert!(v.pass, "one core cannot show parallel speedup: {v}");
+    }
+
+    #[test]
+    fn files_without_concurrency_rows_have_no_verdict() {
+        let plain = file("a.json", &[("E2", "Q1", "x", "edge", Some(10))]);
+        assert!(check_concurrency(&plain).is_none());
+        // A section without a single-thread row cannot be gated either.
+        let no_base = conc_file("b.json", 4, &[(8, 800, 1_000_000, 800.0)]);
+        assert!(check_concurrency(&no_base).is_none());
+    }
+
+    #[test]
+    fn compare_gates_on_the_newest_files_concurrency() {
+        let old = file("old.json", &[("E2", "Q1", "x", "edge", Some(10_000))]);
+        let mut new = file("new.json", &[("E2", "Q1", "x", "edge", Some(10_000))]);
+        new.concurrency = Some(Concurrency {
+            cores: 8,
+            rows: vec![
+                ConcRow {
+                    threads: 1,
+                    queries: 100,
+                    wall_us: 1_000_000,
+                    qps: 100.0,
+                },
+                ConcRow {
+                    threads: 8,
+                    queries: 800,
+                    wall_us: 8_000_000,
+                    qps: 100.0,
+                },
+            ],
+        });
+        let report = compare(&[old, new], CompareOptions::default()).unwrap();
+        assert!(report.regressions.is_empty());
+        let verdict = report.concurrency.expect("verdict from newest file");
+        assert!(!verdict.pass, "{verdict}");
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! ```
 //!
 //! Prints the per scheme × workload trajectory table, lists regressions
-//! between the oldest and newest file, and exits with status 1 when any
-//! regression is found (2 on usage or parse errors).
+//! between the oldest and newest file, and — when the newest file
+//! carries a `"concurrency"` section — checks the throughput-under-
+//! contention floor (`min(3.0, 0.8 × cores)` aggregate speedup at the
+//! highest client-thread count). Exits with status 1 when any regression
+//! is found or the contention floor is missed (2 on usage/parse errors).
 
 use std::process::ExitCode;
 
@@ -69,19 +72,24 @@ fn run(args: &[String]) -> Result<bool, String> {
         files.len()
     );
     println!("{}", report.table);
+    let mut ok = true;
+    if let Some(verdict) = &report.concurrency {
+        println!("throughput under contention: {verdict}");
+        ok &= verdict.pass;
+    }
     if report.regressions.is_empty() {
         println!(
             "no regressions (threshold {:.2}x, noise band {}us)",
             opts.threshold, opts.min_us
         );
-        Ok(true)
     } else {
         println!("REGRESSIONS ({}):", report.regressions.len());
         for r in &report.regressions {
             println!("  {r}");
         }
-        Ok(false)
+        ok = false;
     }
+    Ok(ok)
 }
 
 fn main() -> ExitCode {

@@ -197,6 +197,44 @@ impl Endpoints {
     }
 }
 
+/// What a graceful stop did to the requests that were in flight when it
+/// began: how many finished on their own within the drain deadline, and
+/// how many had to be force-cancelled through the shared [`CancelToken`].
+///
+/// A forced cancellation is not an error from the server's point of view
+/// — the straggler unwinds cooperatively — but embedders that promise
+/// clean drains (e.g. a CLI's signal path) should check [`clean`]
+/// (DrainReport::clean) and surface the difference to their caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Requests in flight at stop time that finished within the drain
+    /// deadline, without being cancelled.
+    pub drained: usize,
+    /// Stragglers that outlived the deadline, were cancelled through the
+    /// shared token, and then unwound.
+    pub cancelled: usize,
+    /// Stragglers that *still* had not unwound when the second drain
+    /// wave gave up. Non-zero means a request ignored the token. The
+    /// three counts are disjoint: every request in flight at stop time
+    /// lands in exactly one bucket.
+    pub stuck: usize,
+}
+
+impl DrainReport {
+    /// True when every in-flight request finished without being
+    /// force-cancelled.
+    pub fn clean(&self) -> bool {
+        self.cancelled == 0 && self.stuck == 0
+    }
+
+    /// True when every in-flight request eventually unwound — possibly
+    /// only after cancellation. This matches the old boolean `stop()`
+    /// contract ("did the server reach idle").
+    pub fn idle(&self) -> bool {
+        self.stuck == 0
+    }
+}
+
 /// Handle onto a running monitor server. Dropping it (or calling
 /// [`stop`](MonitorHandle::stop)) shuts the server down gracefully:
 /// stop accepting, drain in-flight requests up to the drain deadline,
@@ -230,26 +268,41 @@ impl MonitorHandle {
 
     /// Gracefully stop: stop accepting, drain in-flight requests up to
     /// the drain deadline, cancel stragglers, and join the server
-    /// thread. Returns true when every in-flight request finished.
-    pub fn stop(mut self) -> bool {
+    /// thread. The report says how many in-flight requests finished on
+    /// their own versus needing a forced cancellation.
+    pub fn stop(mut self) -> DrainReport {
         self.shutdown()
     }
 
-    fn shutdown(&mut self) -> bool {
+    fn shutdown(&mut self) -> DrainReport {
         self.stopping.store(true, Ordering::SeqCst);
         // The accept loop blocks in accept(); poke it awake.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        let at_stop = self.inflight.load(Ordering::Acquire);
         // Drain: give in-flight requests the deadline to finish...
-        if !self.await_idle(self.drain_deadline) {
-            // ...then cancel stragglers and give them the same budget to
-            // observe it and unwind.
-            self.cancel.cancel();
-            self.await_idle(self.drain_deadline);
+        if self.await_idle(self.drain_deadline) {
+            return DrainReport {
+                drained: at_stop,
+                cancelled: 0,
+                stuck: 0,
+            };
         }
-        self.inflight.load(Ordering::Acquire) == 0
+        // ...then cancel stragglers and give them the same budget to
+        // observe it and unwind. A straggler counts as `cancelled` only
+        // if it actually unwound; one that ignores the token is `stuck`,
+        // not both.
+        let stragglers = self.inflight.load(Ordering::Acquire);
+        self.cancel.cancel();
+        self.await_idle(self.drain_deadline);
+        let stuck = self.inflight.load(Ordering::Acquire);
+        DrainReport {
+            drained: at_stop.saturating_sub(stragglers),
+            cancelled: stragglers.saturating_sub(stuck),
+            stuck,
+        }
     }
 
     fn await_idle(&self, budget: Duration) -> bool {

@@ -110,7 +110,10 @@ fn sheds_excess_requests_with_503_retry_after_while_inflight_complete() {
         );
         assert!(resp.contains("done"));
     }
-    assert!(handle.stop(), "drain must be clean once slots are free");
+    assert!(
+        handle.stop().clean(),
+        "drain must be clean once slots are free"
+    );
 }
 
 #[test]
@@ -133,7 +136,7 @@ fn slowloris_connection_is_dropped_not_wedged() {
     // The server stays responsive for well-formed clients.
     let resp = get(addr, "/healthz");
     assert!(resp.starts_with("HTTP/1.0 200"), "server wedged: {resp}");
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }
 
 #[test]
@@ -152,7 +155,7 @@ fn oversized_request_head_is_rejected_with_400() {
         "oversized head must 400: {}",
         resp.lines().next().unwrap_or("")
     );
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }
 
 #[test]
@@ -161,7 +164,7 @@ fn malformed_request_line_is_rejected_with_400() {
     let addr = handle.addr();
     let resp = roundtrip(addr, b"\r\n\r\n");
     assert!(resp.starts_with("HTTP/1.0 400"), "got: {resp}");
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }
 
 #[test]
@@ -191,7 +194,7 @@ fn query_endpoint_passes_body_and_timeout_header() {
     assert!(resp.contains("echo: //a/text()"));
     let calls = seen.lock().unwrap().clone();
     assert_eq!(calls, vec![("//a/text()".to_string(), Some(250))]);
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }
 
 #[test]
@@ -218,7 +221,7 @@ fn query_body_over_the_cap_is_rejected() {
         "oversized body must 413: {}",
         resp.lines().next().unwrap_or("")
     );
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }
 
 #[test]
@@ -249,10 +252,18 @@ fn graceful_stop_cancels_stragglers_via_the_shared_token() {
         std::thread::sleep(Duration::from_millis(2));
     }
     let started = Instant::now();
-    let drained = handle.stop();
-    assert!(
-        drained,
+    let report = handle.stop();
+    assert_eq!(
+        report.cancelled, 1,
+        "the straggler outlives the first drain wave, so it must be force-cancelled"
+    );
+    assert_eq!(
+        report.stuck, 0,
         "the straggler observes the cancel token, so the second drain wave must succeed"
+    );
+    assert!(
+        !report.clean(),
+        "a forced cancellation is not a clean drain"
     );
     assert!(
         started.elapsed() < Duration::from_secs(5),
@@ -275,5 +286,5 @@ fn inflight_gauge_and_shed_counter_are_exported_on_metrics() {
         body.contains("inflight_requests"),
         "gauge missing from exposition: {body}"
     );
-    assert!(handle.stop());
+    assert!(handle.stop().clean());
 }

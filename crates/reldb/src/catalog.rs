@@ -1,6 +1,14 @@
 //! System catalog: tables by name.
+//!
+//! Tables are held behind `Arc` so cloning a catalog is a copy-on-write
+//! snapshot: the clone shares every table with the original, and a later
+//! mutation through [`Catalog::table_mut`] un-shares only the table it
+//! touches (`Arc::make_mut`). That makes a catalog clone cheap enough to
+//! hand one to every in-flight reader while a writer keeps committing —
+//! the MVCC-lite epoch scheme described in DESIGN.md §17.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::{DbError, Result};
 use crate::schema::Schema;
@@ -9,7 +17,7 @@ use crate::table::Table;
 /// The catalog of all tables in a database.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Catalog {
@@ -24,14 +32,15 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(DbError::Catalog(format!("table {key:?} already exists")));
         }
-        self.tables.insert(key.clone(), Table::new(key, schema));
+        self.tables
+            .insert(key.clone(), Arc::new(Table::new(key, schema)));
         Ok(())
     }
 
     /// Install a fully-built table under its own name (snapshot recovery
     /// path; replaces any existing entry).
     pub(crate) fn install(&mut self, table: Table) {
-        self.tables.insert(table.name.clone(), table);
+        self.tables.insert(table.name.clone(), Arc::new(table));
     }
 
     /// Drop a table; errors if missing (unless `if_exists`).
@@ -47,13 +56,17 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(Arc::as_ref)
             .ok_or_else(|| DbError::Binding(format!("no such table {name:?}")))
     }
 
-    /// Mutably borrow a table.
+    /// Mutably borrow a table. If the table is shared with a published
+    /// snapshot this clones it first (copy-on-write), so snapshot readers
+    /// keep seeing the pre-mutation version.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
             .ok_or_else(|| DbError::Binding(format!("no such table {name:?}")))
     }
 
@@ -69,13 +82,13 @@ impl Catalog {
 
     /// Iterate all tables.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Total bytes across all heaps and indexes.
     pub fn total_bytes(&self) -> (usize, usize) {
-        let heap = self.tables.values().map(Table::heap_bytes).sum();
-        let index = self.tables.values().map(Table::index_bytes).sum();
+        let heap = self.tables().map(Table::heap_bytes).sum();
+        let index = self.tables().map(Table::index_bytes).sum();
         (heap, index)
     }
 }

@@ -170,6 +170,13 @@ pub struct Database {
     pub retry: RetryPolicy,
     /// Durable storage; `None` for a purely in-memory database.
     durability: Option<Durability>,
+    /// Commit counter: bumped once per committed mutation, so two
+    /// databases (or a database and its snapshot) with equal epochs hold
+    /// the same logical state.
+    epoch: u64,
+    /// Set on handles produced by [`Database::snapshot`]: the catalog is a
+    /// point-in-time copy and all mutations are refused.
+    pinned: bool,
 }
 
 impl Database {
@@ -255,6 +262,39 @@ impl Database {
     /// Whether this database persists its writes.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// The commit epoch: bumped once per committed mutation. Reads through
+    /// a [`snapshot`](Database::snapshot) report the epoch the snapshot
+    /// was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this handle is a read-only point-in-time snapshot.
+    pub fn is_snapshot(&self) -> bool {
+        self.pinned
+    }
+
+    /// A read-only point-in-time snapshot of this database.
+    ///
+    /// Cheap: the catalog clone shares every table behind an `Arc`
+    /// (copy-on-write — see [`Catalog`] docs), and the durability layer is
+    /// not carried over, so a snapshot can be taken per query and dropped
+    /// when the query finishes. The snapshot keeps answering reads at its
+    /// epoch no matter what later commits do to the parent; any mutation
+    /// through it fails with [`DbError::ReadOnlySnapshot`].
+    pub fn snapshot(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            optimizer: self.optimizer,
+            physical: self.physical,
+            limits: self.limits.clone(),
+            retry: self.retry,
+            durability: None,
+            epoch: self.epoch,
+            pinned: true,
+        }
     }
 
     /// Durability/health summary for monitoring (`/healthz`).
@@ -347,9 +387,16 @@ impl Database {
         res
     }
 
-    /// Refuse mutations once a commit has failed: the in-memory state is
-    /// ahead of the log, and writing more would corrupt the sequence.
+    /// Refuse mutations once a commit has failed (the in-memory state is
+    /// ahead of the log, and writing more would corrupt the sequence) or
+    /// when this handle is a pinned read-only snapshot.
     fn check_writable(&self) -> Result<()> {
+        if self.pinned {
+            return Err(DbError::ReadOnlySnapshot(
+                "this handle is a point-in-time snapshot; run mutations on the live database"
+                    .into(),
+            ));
+        }
         match &self.durability {
             Some(d) if d.poisoned => Err(DbError::Io(
                 "durability poisoned by an earlier failed commit; reopen the database".into(),
@@ -771,6 +818,9 @@ impl Database {
             }
         };
         self.commit(wal)?;
+        if !matches!(stmt, Statement::Select(_) | Statement::Explain { .. }) {
+            self.epoch += 1;
+        }
         Ok(result)
     }
 
@@ -796,10 +846,15 @@ impl Database {
             };
             if n > 0 {
                 self.commit(vec![record])?;
+                self.epoch += 1;
             }
             Ok(n)
         } else {
-            self.catalog.table_mut(table)?.insert_atomic(rows)
+            let n = self.catalog.table_mut(table)?.insert_atomic(rows)?;
+            if n > 0 {
+                self.epoch += 1;
+            }
+            Ok(n)
         }
     }
 
@@ -1247,5 +1302,35 @@ mod tests {
         assert!(db.execute("CREATE TABLE emp (x INT)").is_err());
         db.execute("CREATE TABLE IF NOT EXISTS emp (x INT)")
             .unwrap();
+    }
+
+    #[test]
+    fn snapshot_pins_state_across_later_commits() {
+        let mut db = db_with_data();
+        let before = db.epoch();
+        let snap = db.snapshot();
+        assert!(snap.is_snapshot());
+        assert_eq!(snap.epoch(), before);
+        db.execute("INSERT INTO emp VALUES (9, 'new', 1, 1.0)")
+            .unwrap();
+        assert_eq!(db.epoch(), before + 1);
+        // The snapshot keeps answering at its epoch; the live handle moved on.
+        let frozen = snap.query_readonly("SELECT COUNT(name) FROM emp").unwrap();
+        let live = db.query_readonly("SELECT COUNT(name) FROM emp").unwrap();
+        let count = |q: crate::QueryResult| q.scalar().and_then(Value::as_int).unwrap();
+        assert_eq!(count(live), count(frozen) + 1);
+        assert_eq!(snap.epoch(), before);
+    }
+
+    #[test]
+    fn snapshot_refuses_writes() {
+        let db = db_with_data();
+        let mut snap = db.snapshot();
+        let err = snap.execute("DELETE FROM emp").unwrap_err();
+        assert!(matches!(err, DbError::ReadOnlySnapshot(_)), "{err}");
+        let err = snap
+            .bulk_insert("emp", vec![vec![Value::Int(1)]])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ReadOnlySnapshot(_)), "{err}");
     }
 }

@@ -35,6 +35,10 @@ pub enum DbError {
     /// mid-execution. The message names the operator or phase that
     /// observed the cancellation.
     Cancelled(String),
+    /// A mutation was attempted through a pinned snapshot handle
+    /// ([`Database::snapshot`](crate::Database::snapshot)); snapshots are
+    /// read-only by construction.
+    ReadOnlySnapshot(String),
 }
 
 impl fmt::Display for DbError {
@@ -53,6 +57,7 @@ impl fmt::Display for DbError {
             DbError::Validation(m) => write!(f, "plan validation failed: {m}"),
             DbError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            DbError::ReadOnlySnapshot(m) => write!(f, "read-only snapshot: {m}"),
         }
     }
 }

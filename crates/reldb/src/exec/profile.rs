@@ -9,11 +9,15 @@
 //! the optimizer's *estimated* cardinality so estimated-vs-actual (and the
 //! q-error of the PR-3 cost model) can be rendered side by side.
 //!
-//! The executor is single-threaded, so the counters live in
-//! `Rc<RefCell<…>>` cells shared between the wrapper and the operator.
+//! Counters live in `Arc<Mutex<…>>` cells shared between the wrapper and
+//! the operator, so a profiled executor tree — and the [`ProfileHandle`]
+//! observing it — is `Send + Sync` and can run on any serving thread.
+//! Profiling is opt-in per query and each cell is touched by exactly one
+//! executor thread, so the mutexes are uncontended in practice; they exist
+//! to make the sharing sound, not to coordinate.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::error::{DbError, Result};
@@ -61,17 +65,38 @@ pub fn row_data_bytes(row: &Row) -> u64 {
         .sum()
 }
 
+/// The shared counter cell behind one profiled operator.
+pub(crate) type StatsCell = Arc<Mutex<OpStats>>;
+
+/// Lock a stats cell, recovering from poisoning: the counters are plain
+/// data, so a panic mid-update leaves them merely stale, never invalid.
+fn stats(cell: &Mutex<OpStats>) -> MutexGuard<'_, OpStats> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A per-operator instrument handed to executors at build time. Carries
 /// the `max_intermediate_rows` cap, the deadline, and the cancel token so
 /// limit/deadline trips are attributed to the operator that fired them;
 /// counter updates are no-ops when the operator is not being profiled.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct Meter {
     cap: Option<usize>,
     deadline: Option<Deadline>,
     cancel: Option<CancelToken>,
-    tick: Cell<u64>,
-    cell: Option<Rc<RefCell<OpStats>>>,
+    tick: AtomicU64,
+    cell: Option<StatsCell>,
+}
+
+impl Clone for Meter {
+    fn clone(&self) -> Meter {
+        Meter {
+            cap: self.cap,
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            tick: AtomicU64::new(self.tick.load(Ordering::Relaxed)),
+            cell: self.cell.clone(),
+        }
+    }
 }
 
 impl Meter {
@@ -81,8 +106,8 @@ impl Meter {
             cap: limits.max_intermediate_rows,
             deadline: limits.deadline,
             cancel: limits.cancel.clone(),
-            tick: Cell::new(0),
-            cell: profiled.then(|| Rc::new(RefCell::new(OpStats::default()))),
+            tick: AtomicU64::new(0),
+            cell: profiled.then(StatsCell::default),
         }
     }
 
@@ -100,8 +125,7 @@ impl Meter {
             }
         }
         if let Some(d) = &self.deadline {
-            let t = self.tick.get();
-            self.tick.set(t.wrapping_add(1));
+            let t = self.tick.fetch_add(1, Ordering::Relaxed);
             if t.is_multiple_of(POLL_STRIDE) && d.expired() {
                 return Err(self.record_trip(deadline_trip(op)));
             }
@@ -112,40 +136,40 @@ impl Meter {
     /// Record a trip diagnostic into the profile cell, pass the error on.
     fn record_trip(&self, err: DbError) -> DbError {
         if let Some(c) = &self.cell {
-            c.borrow_mut().limit_trip = Some(err.to_string());
+            stats(c).limit_trip = Some(err.to_string());
         }
         err
     }
 
-    pub(crate) fn cell(&self) -> Option<Rc<RefCell<OpStats>>> {
+    pub(crate) fn cell(&self) -> Option<StatsCell> {
         self.cell.clone()
     }
 
     /// Count one index/hash probe.
     pub fn probe(&self) {
         if let Some(c) = &self.cell {
-            c.borrow_mut().probes += 1;
+            stats(c).probes += 1;
         }
     }
 
     /// Count `n` predicate/key comparisons.
     pub fn comparisons(&self, n: u64) {
         if let Some(c) = &self.cell {
-            c.borrow_mut().comparisons += n;
+            stats(c).comparisons += n;
         }
     }
 
     /// Account a row entering a materialization buffer.
     pub fn buffered_row(&self, row: &Row) {
         if let Some(c) = &self.cell {
-            c.borrow_mut().buffered_bytes += row_data_bytes(row);
+            stats(c).buffered_bytes += row_data_bytes(row);
         }
     }
 
     /// Account raw buffered bytes (e.g. an index scan's rid list).
     pub fn buffered_bytes(&self, n: u64) {
         if let Some(c) = &self.cell {
-            c.borrow_mut().buffered_bytes += n;
+            stats(c).buffered_bytes += n;
         }
     }
 
@@ -159,7 +183,7 @@ impl Meter {
                 let msg =
                     format!("{op} buffered {len} rows, exceeding max_intermediate_rows = {max}");
                 if let Some(c) = &self.cell {
-                    c.borrow_mut().limit_trip = Some(msg.clone());
+                    stats(c).limit_trip = Some(msg.clone());
                 }
                 xmlrel_obs::metrics::counter_inc("exec_limit_trips_total");
                 Err(DbError::ResourceExhausted(msg))
@@ -172,17 +196,17 @@ impl Meter {
 /// Wrapper measuring rows-out and inclusive wall time of one operator.
 pub(crate) struct ProfiledExec<'a> {
     pub(crate) inner: Box<dyn Executor + 'a>,
-    pub(crate) cell: Rc<RefCell<OpStats>>,
+    pub(crate) cell: StatsCell,
 }
 
 impl Executor for ProfiledExec<'_> {
     fn next(&mut self) -> Result<Option<Row>> {
         let start = Instant::now();
         let result = self.inner.next();
-        let mut stats = self.cell.borrow_mut();
-        stats.wall_nanos += start.elapsed().as_nanos() as u64;
+        let mut s = stats(&self.cell);
+        s.wall_nanos += start.elapsed().as_nanos() as u64;
         if matches!(result, Ok(Some(_))) {
-            stats.rows_out += 1;
+            s.rows_out += 1;
         }
         result
     }
@@ -197,7 +221,7 @@ impl Executor for ProfiledExec<'_> {
 pub struct ProfileHandle {
     pub(crate) label: String,
     pub(crate) est_rows: f64,
-    pub(crate) cell: Rc<RefCell<OpStats>>,
+    pub(crate) cell: StatsCell,
     pub(crate) children: Vec<ProfileHandle>,
 }
 
@@ -210,7 +234,7 @@ impl ProfileHandle {
             label: self.label.clone(),
             est_rows: self.est_rows,
             rows_in,
-            stats: self.cell.borrow().clone(),
+            stats: stats(&self.cell).clone(),
             children,
         }
     }

@@ -298,8 +298,9 @@ fn e8_updates() -> Result<(), Box<dyn std::error::Error>> {
         let rows = istore.request("/site/people").rows()?;
         let people_pre = rows[0][1].as_int().unwrap();
         let t0 = Instant::now();
-        let istats =
-            xmlrel_core::update::interval_insert_child(&mut istore.db, idoc, people_pre, &frag)?;
+        let istats = istore.with_db_mut(|db| {
+            xmlrel_core::update::interval_insert_child(db, idoc, people_pre, &frag)
+        })?;
         let it = ms(t0.elapsed());
 
         let mut dstore = XmlStore::builder(Scheme::Dewey(DeweyScheme::new())).open()?;
@@ -307,8 +308,9 @@ fn e8_updates() -> Result<(), Box<dyn std::error::Error>> {
         let rows = dstore.request("/site/people").rows()?;
         let people_key = rows[0][1].as_text().unwrap().to_string();
         let t0 = Instant::now();
-        let dstats =
-            xmlrel_core::update::dewey_insert_child(&mut dstore.db, ddoc, &people_key, &frag)?;
+        let dstats = dstore.with_db_mut(|db| {
+            xmlrel_core::update::dewey_insert_child(db, ddoc, &people_key, &frag)
+        })?;
         let dt = ms(t0.elapsed());
 
         println!(
@@ -380,7 +382,7 @@ fn e11_structural_join() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<24} {:>10}", "configuration", "ms");
     for use_interval_join in [true, false] {
         let mut store = XmlStore::builder(Scheme::Interval(IntervalScheme::new())).open()?;
-        store.db.physical.use_interval_join = use_interval_join;
+        store.with_db_mut(|db| db.physical.use_interval_join = use_interval_join);
         store.load_document("auction", &doc)?;
         let (_, t) =
             time_query(&mut store, "//open_auction//increase").map_err(|e| e.to_string())?;
@@ -409,17 +411,19 @@ fn e13_optimizer_ablation() -> Result<(), Box<dyn std::error::Error>> {
         ("full optimizer", Box::new(|_| {})),
         (
             "no join reordering",
-            Box::new(|s| s.db.optimizer.join_reorder = false),
+            Box::new(|s| s.with_db_mut(|db| db.optimizer.join_reorder = false)),
         ),
         (
             "no index-NL joins",
-            Box::new(|s| s.db.physical.use_index_nl_join = false),
+            Box::new(|s| s.with_db_mut(|db| db.physical.use_index_nl_join = false)),
         ),
         (
             "no indexes at all",
             Box::new(|s| {
-                s.db.physical.use_indexes = false;
-                s.db.physical.use_index_nl_join = false;
+                s.with_db_mut(|db| {
+                    db.physical.use_indexes = false;
+                    db.physical.use_index_nl_join = false;
+                });
             }),
         ),
     ];

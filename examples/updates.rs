@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let people_pre = rows[0][1].as_int().expect("pre");
 
     let before = ivl.request("/site/people/person").count()?;
-    let stats = interval_insert_child(&mut ivl.db, doc_id, people_pre, &fragment)?;
+    let stats = ivl.with_db_mut(|db| interval_insert_child(db, doc_id, people_pre, &fragment))?;
     let after = ivl.request("/site/people/person").count()?;
     println!("interval insert:");
     println!("  persons {before} -> {after}");
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .request("/site/people/person[@id = 'late-arrival']")
         .rows()?;
     let victim_pre = rows[0][1].as_int().expect("pre");
-    let dstats = interval_delete_subtree(&mut ivl.db, doc_id, victim_pre)?;
+    let dstats = ivl.with_db_mut(|db| interval_delete_subtree(db, doc_id, victim_pre))?;
     println!(
         "  delete: {} rows removed, {} renumbered; persons back to {}",
         dstats.rows_deleted,
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = dwy.request("/site/people").rows()?;
     let people_key = rows[0][1].as_text().expect("key").to_string();
 
-    let stats = dewey_insert_child(&mut dwy.db, doc_id, &people_key, &fragment)?;
+    let stats = dwy.with_db_mut(|db| dewey_insert_child(db, doc_id, &people_key, &fragment))?;
     println!("\ndewey insert:");
     println!(
         "  rows inserted: {}, pre-existing rows renumbered: {}  <- locality",
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .request("/site/people/person[@id = 'late-arrival']")
         .rows()?;
     let victim_key = rows[0][1].as_text().expect("key").to_string();
-    let dstats = dewey_delete_subtree(&mut dwy.db, doc_id, &victim_key)?;
+    let dstats = dwy.with_db_mut(|db| dewey_delete_subtree(db, doc_id, &victim_key))?;
     println!(
         "  delete: {} rows removed, {} renumbered",
         dstats.rows_deleted, dstats.rows_renumbered

@@ -56,7 +56,11 @@ bench_driver() {
 # Bench-trajectory gate: the fresh run must not regress against the
 # committed baseline. Thresholds are loose (5x, 20ms) because the baseline
 # was recorded on different hardware; a real regression (quadratic join,
-# lost index) blows past both, machine noise does not.
+# lost index) blows past both, machine noise does not. The same step
+# checks the fresh run's throughput-under-contention rows: aggregate qps
+# at 8 client threads must reach min(3.0, 0.8 x cores) times the
+# single-thread qps, so a reintroduced serialization point in the
+# concurrent serving path fails here on any hardware.
 bench_trajectory() {
     cargo run -q --locked --release -p xmlrel-obs-report -- \
         --threshold 5 --min-us 20000 BENCH_BASELINE.json target/BENCH.json

@@ -10,9 +10,9 @@
 //! - [`xmlgen`]: synthetic corpora and the benchmark workload.
 
 pub use xmlrel_core::{
-    CoreError, Explain, FingerprintStats, HealthReport, Ledger, LedgerConfig, NodeKey, OutKind,
-    PlanReport, QueryOutput, QueryRequest, Result, Scheme, SlowCapture, SlowTrigger, StoreBuilder,
-    Translated, XmlStore,
+    CoreError, DrainReport, Explain, FingerprintStats, HealthReport, Ledger, LedgerConfig,
+    MonitorHandle, NodeKey, OutKind, PlanReport, QueryOutput, QueryRequest, Result, Scheme,
+    ServerBuilder, SlowCapture, SlowTrigger, StoreBuilder, Translated, XmlStore,
 };
 
 pub use reldb;

@@ -22,16 +22,16 @@
 //! that crossed the latency/q-error thresholds. `serve` loads a file,
 //! runs the given queries, and keeps answering `/metrics`, `/healthz`,
 //! `/spans`, `/slow`, and `POST /query` over HTTP until interrupted;
-//! SIGINT/SIGTERM trigger a graceful drain (finish in-flight requests up
-//! to `--drain-ms`, then cancel stragglers) and a clean exit 0.
+//! SIGINT/SIGTERM trigger a graceful drain: in-flight requests get up to
+//! `--drain-ms` to finish, then stragglers are cancelled. A drain where
+//! every request finished on its own exits 0; a drain that had to force
+//! cancellations reports the counts and exits 1.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use xmlrel::{CoreError, Explain, Ledger, LedgerConfig, Scheme, XmlStore};
-use xmlrel_obs::serve::{serve_with, Endpoints, Health, QueryCall, QueryReply, ServeConfig};
+use xmlrel::{Explain, Ledger, LedgerConfig, Scheme, XmlStore};
 use xmlrel_obs::{metrics, trace};
 
 /// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
@@ -440,42 +440,6 @@ fn cmd_slow(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Answer one `POST /query` call on the store's thread: per-request
-/// deadline (header, falling back to the server default) and the
-/// server's shutdown token both flow into the execution limits.
-fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u64>) -> QueryReply {
-    let mut req = store.request(&call.query).cancel(&call.cancel);
-    if let Some(ms) = call.timeout_ms.or(default_timeout_ms) {
-        req = req.timeout_ms(ms);
-    }
-    match req.run() {
-        Ok(out) => {
-            let mut body = String::new();
-            for item in &out.items {
-                body.push_str(item);
-                body.push('\n');
-            }
-            QueryReply {
-                status: 200,
-                content_type: "text/plain".into(),
-                body,
-            }
-        }
-        Err(e) => {
-            let status = match &e {
-                CoreError::Db(xmlrel::reldb::DbError::DeadlineExceeded(_)) => 408,
-                CoreError::Db(xmlrel::reldb::DbError::Cancelled(_)) => 503,
-                _ => 400,
-            };
-            QueryReply {
-                status,
-                content_type: "text/plain".into(),
-                body: format!("error: {e}\n"),
-            }
-        }
-    }
-}
-
 /// Load a file, run the given queries, and keep the monitoring endpoint
 /// up until the process is interrupted.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -494,53 +458,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         load(scheme, file, cli.dtd.as_deref())?
     };
     store.ledger().set_config(ledger_config(&cli));
-    let ledger = store.ledger();
 
     install_signal_handlers();
 
-    // The health closure must be Send + 'static while the store stays on
-    // this thread: publish snapshots through a shared slot, refreshed
-    // after every query batch.
-    let health_slot = Arc::new(Mutex::new(store.health()));
-    let slot = Arc::clone(&health_slot);
-    let slow_ledger = ledger.clone();
-    // The store is not Send (single-writer by design), so POST /query
-    // calls are relayed to this thread over a channel; connection worker
-    // threads block on the per-call reply channel.
-    let (query_tx, query_rx) = mpsc::channel::<(QueryCall, mpsc::Sender<QueryReply>)>();
-    let query_tx = Mutex::new(query_tx);
-    let config = ServeConfig {
-        drain_deadline: Duration::from_millis(cli.drain_ms.unwrap_or(5000)),
-        ..ServeConfig::default()
-    };
-    let handle = serve_with(
-        &cli.addr,
-        Endpoints::new()
-            .healthz(move || {
-                let report = slot.lock().unwrap_or_else(|e| e.into_inner());
-                Health {
-                    ok: report.ok,
-                    body: report.render(),
-                }
-            })
-            .spans(&sink)
-            .slow(move || slow_ledger.slow_json())
-            .query(move |call| {
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let sent = query_tx
-                    .lock()
-                    .map(|tx| tx.send((call, reply_tx)).is_ok())
-                    .unwrap_or(false);
-                let reply = sent.then(|| reply_rx.recv().ok()).flatten();
-                reply.unwrap_or(QueryReply {
-                    status: 503,
-                    content_type: "text/plain".into(),
-                    body: "server is shutting down\n".into(),
-                })
-            }),
-        config,
-    )
-    .map_err(|e| format!("bind {}: {e}", cli.addr))?;
+    // The store handle is Clone + Send + Sync: the server's
+    // per-connection worker threads answer POST /query directly against
+    // snapshot reads while this thread runs the CLI's own queries.
+    let mut builder = store
+        .serve()
+        .addr(&cli.addr)
+        .drain_ms(cli.drain_ms.unwrap_or(5000))
+        .trace(&sink);
+    if let Some(ms) = cli.timeout_ms {
+        builder = builder.timeout_ms(ms);
+    }
+    let handle = builder
+        .start()
+        .map_err(|e| format!("bind {}: {e}", cli.addr))?;
     eprintln!(
         "serving /metrics /healthz /spans /slow /query on http://{}",
         handle.addr()
@@ -557,44 +491,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("query {q:?}: error: {e}"),
         }
     }
-    if let Ok(mut slot) = health_slot.lock() {
-        *slot = store.health();
-    }
 
     eprintln!("queries done; endpoint stays up (SIGINT/SIGTERM to stop)");
     while !SHUTDOWN.load(Ordering::SeqCst) {
-        match query_rx.recv_timeout(Duration::from_millis(200)) {
-            Ok((call, reply_tx)) => {
-                let reply = answer_query(&store, &call, cli.timeout_ms);
-                let _ = reply_tx.send(reply);
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-        if let Ok(mut slot) = health_slot.lock() {
-            *slot = store.health();
-        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 
     eprintln!("shutting down: draining in-flight requests");
-    // stop() blocks until in-flight requests drain — but relayed /query
-    // calls drain through *this* thread, so run the stop on a helper and
-    // keep answering until it completes.
-    let stopper = std::thread::spawn(move || handle.stop());
-    while !stopper.is_finished() {
-        match query_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok((call, reply_tx)) => {
-                let _ = reply_tx.send(answer_query(&store, &call, cli.timeout_ms));
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    let drained = stopper.join().unwrap_or(false);
-    if drained {
+    let report = handle.stop();
+    if report.clean() {
         eprintln!("drained; exiting");
-    } else {
-        eprintln!("drain deadline hit; cancelled stragglers");
+        return Ok(());
     }
-    Ok(())
+    eprintln!(
+        "drain deadline hit: {} request(s) drained, {} cancelled, {} stuck",
+        report.drained, report.cancelled, report.stuck
+    );
+    Err(format!(
+        "drain forced {} cancellation(s)",
+        report.cancelled + report.stuck
+    ))
 }

@@ -1,0 +1,191 @@
+//! Concurrent serving end to end: reader threads run snapshot-pinned
+//! queries over shared store handles while the writer keeps committing
+//! documents. Every read must observe a whole-commit state — a pinned
+//! snapshot never sees half a document — and the commit epoch must be
+//! monotone from every handle.
+
+use xmlrel::{Scheme, XmlStore};
+
+/// One committed document contributes exactly this many `<title>`s, so a
+/// reader counting titles across the store must always see a multiple.
+const TITLES_PER_DOC: usize = 3;
+
+fn doc() -> String {
+    let mut s = String::from("<bib>");
+    for i in 0..TITLES_PER_DOC {
+        s.push_str(&format!(
+            "<book year=\"{}\"><title>t{i}</title></book>",
+            1990 + i
+        ));
+    }
+    s.push_str("</bib>");
+    s
+}
+
+fn store() -> XmlStore {
+    XmlStore::builder(Scheme::Interval(xmlrel::shredder::IntervalScheme::new()))
+        .open()
+        .expect("open")
+}
+
+#[test]
+fn readers_observe_only_whole_commits_while_writer_loads() {
+    const READERS: usize = 4;
+    const COMMITS: usize = 12;
+
+    let mut store = store();
+    let body = doc();
+    store.load_str("d0", &body).expect("seed document");
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                let handle = store.clone();
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    for _ in 0..10 {
+                        let epoch = handle.epoch();
+                        assert!(
+                            epoch >= last_epoch,
+                            "epoch went backwards: {last_epoch} -> {epoch}"
+                        );
+                        last_epoch = epoch;
+                        let out = handle
+                            .request("//title/text()")
+                            .snapshot()
+                            .run()
+                            .expect("snapshot read");
+                        let titles = out.items.len();
+                        assert!(
+                            titles.is_multiple_of(TITLES_PER_DOC) && titles > 0,
+                            "torn read: {titles} titles is not a whole number of documents"
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        // The writer commits from the original handle while the readers
+        // hammer their clones; each load_str is one whole-document commit.
+        for i in 1..=COMMITS {
+            store
+                .load_str(&format!("d{i}"), &body)
+                .expect("concurrent load");
+        }
+
+        for reader in readers {
+            reader.join().expect("reader thread");
+        }
+    });
+
+    // Every commit bumped the epoch at least once, and the final state
+    // holds every document.
+    assert!(store.epoch() >= (COMMITS + 1) as u64);
+    let out = store
+        .request("//title/text()")
+        .run()
+        .expect("final full read");
+    assert_eq!(out.items.len(), (COMMITS + 1) * TITLES_PER_DOC);
+}
+
+#[test]
+fn pinned_snapshot_request_ignores_later_commits() {
+    let mut store = store();
+    let body = doc();
+    store.load_str("d0", &body).expect("seed");
+
+    // Capture the request (and with it the snapshot) before the second
+    // document lands; the write goes through a cloned handle, the way a
+    // concurrent writer's would.
+    let pinned = store.request("//title/text()").snapshot();
+    let epoch_before = store.epoch();
+    let mut writer = store.clone();
+    writer.load_str("d1", &body).expect("second doc");
+    assert!(store.epoch() > epoch_before, "load must bump the epoch");
+
+    // The pinned request still sees only the first document; a fresh
+    // request sees both.
+    assert_eq!(
+        pinned.run().expect("pinned run").items.len(),
+        TITLES_PER_DOC
+    );
+    assert_eq!(
+        store
+            .request("//title/text()")
+            .run()
+            .expect("fresh")
+            .items
+            .len(),
+        2 * TITLES_PER_DOC
+    );
+}
+
+#[test]
+fn parallel_served_queries_return_consistent_results() {
+    // The ServerBuilder path: per-connection threads post queries while
+    // the writer commits. Each response body must hold a whole number of
+    // documents' worth of titles.
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let mut store = store();
+    let body = doc();
+    store.load_str("d0", &body).expect("seed");
+
+    let handle = store
+        .serve()
+        .addr("127.0.0.1:0")
+        .max_inflight(8)
+        .start()
+        .expect("bind");
+    let addr = handle.addr();
+
+    let post = move || {
+        let q = "//title/text()";
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(
+            format!(
+                "POST /query HTTP/1.0\r\nContent-Length: {}\r\n\r\n{q}",
+                q.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).expect("read");
+        resp
+    };
+
+    std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut bodies = Vec::new();
+                    for _ in 0..6 {
+                        bodies.push(post());
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        for i in 1..=6 {
+            store
+                .load_str(&format!("d{i}"), &body)
+                .expect("load during serving");
+        }
+        for client in clients {
+            for resp in client.join().expect("client thread") {
+                assert!(resp.starts_with("HTTP/1.0 200"), "got: {resp}");
+                let payload = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+                let titles = payload.lines().filter(|l| !l.is_empty()).count();
+                assert!(
+                    titles.is_multiple_of(TITLES_PER_DOC) && titles > 0,
+                    "torn response: {titles} titles"
+                );
+            }
+        }
+    });
+
+    let report = handle.stop();
+    assert!(report.clean(), "drain left work behind: {report:?}");
+}

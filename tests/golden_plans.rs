@@ -185,7 +185,7 @@ fn gate_detects_disabled_join_reordering() {
         .expect("edge scheme");
     let mut store = XmlStore::builder(scheme).open().expect("install");
     store.load_document("auction", &doc).expect("load");
-    store.db.optimizer.join_reorder = false;
+    store.with_db_mut(|db| db.optimizer.join_reorder = false);
 
     let q = AUCTION_QUERIES
         .iter()

@@ -1,12 +1,10 @@
 //! End-to-end: a store with tight ledger thresholds, a deliberately
 //! captured query, and the monitoring endpoint serving the forensics over
-//! plain TCP — the full `obs::serve` + query-ledger loop.
+//! plain TCP — the full `ServerBuilder` + query-ledger loop.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
 
-use xmlrel::obs::serve::{serve, Endpoints, Health};
 use xmlrel::obs::trace;
 use xmlrel::{Explain, Ledger, LedgerConfig, Scheme, XmlStore};
 
@@ -48,23 +46,12 @@ fn slow_query_shows_up_in_slow_endpoint_with_explain_analyze() {
         .run()
         .expect("query");
 
-    let health = Arc::new(Mutex::new(store.health()));
-    let health_slot = Arc::clone(&health);
-    let slow_ledger = ledger.clone();
-    let handle = serve(
-        "127.0.0.1:0",
-        Endpoints::new()
-            .healthz(move || {
-                let report = health_slot.lock().unwrap_or_else(|e| e.into_inner());
-                Health {
-                    ok: report.ok,
-                    body: report.render(),
-                }
-            })
-            .spans(&sink)
-            .slow(move || slow_ledger.slow_json()),
-    )
-    .expect("bind");
+    let handle = store
+        .serve()
+        .addr("127.0.0.1:0")
+        .trace(&sink)
+        .start()
+        .expect("bind");
     let addr = handle.addr();
 
     // /slow carries the capture: fingerprint, trigger, and the full
@@ -101,5 +88,6 @@ fn slow_query_shows_up_in_slow_endpoint_with_explain_analyze() {
     assert!(body.contains("store.query"), "{body}");
     assert!(body.contains("execute"), "{body}");
 
-    handle.stop();
+    let report = handle.stop();
+    assert!(report.clean(), "no request should be in flight: {report:?}");
 }
