@@ -13,13 +13,17 @@
 //!
 //! Usage:
 //!   xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F]
+//!                [--access-log PATH] [--stats PATH]
 //!
 //! Defaults: `--out BENCH.json`, `--trace trace.json`, `--scale 0.1`;
 //! `--metrics` (no default) additionally writes the plain-text metrics
 //! exposition (`metrics::dump`) after the run, the same body `/metrics`
-//! serves. Exits 1 on any setup error; per-query translate errors are
-//! recorded in the report instead of aborting (not every scheme supports
-//! every construct).
+//! serves. `--access-log`/`--stats` (no defaults) serve the concurrency
+//! store over HTTP for a short request burst and export the flight
+//! recorder's access log and `/stats` snapshot as CI artifacts. Exits 1
+//! on any setup error; per-query translate errors are recorded in the
+//! report instead of aborting (not every scheme supports every
+//! construct).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -28,7 +32,8 @@ use xmlgen::auction::{generate as gen_auction, AuctionConfig, AUCTION_DTD};
 use xmlgen::dblp::{generate as gen_dblp, DblpConfig, DBLP_DTD};
 use xmlgen::queries::{WorkloadQuery, AUCTION_QUERIES, DBLP_QUERIES};
 use xmlrel_core::{Explain, Scheme, XmlStore};
-use xmlrel_obs::{metrics, trace};
+use xmlrel_obs::metrics::Metric;
+use xmlrel_obs::{metrics, timed_lock, trace};
 
 /// The query slices driven per corpus (same pinning as `planlint`).
 const EXPERIMENTS: &[(&str, &str, &[&str])] = &[
@@ -88,12 +93,23 @@ struct ConcRun {
     queries: u64,
     wall_us: u128,
     qps: f64,
+    /// Total microseconds the row's requests spent blocked on the db
+    /// lock (delta of the `lock_wait_us{lock="db",..}` histogram sums
+    /// across the row's run).
+    lock_wait_us: u64,
+    /// The `snapshot_epoch_lag` gauge after the row's run: how many
+    /// commit epochs behind the freshest state the served snapshots
+    /// were (0 for this read-only workload — the honest baseline the
+    /// writer-batching PRs will move).
+    epoch_lag: u64,
 }
 
 fn main() -> ExitCode {
     let mut out = String::from("BENCH.json");
     let mut trace_out = String::from("trace.json");
     let mut metrics_out: Option<String> = None;
+    let mut access_log_out: Option<String> = None;
+    let mut stats_out: Option<String> = None;
     let mut scale = 0.1f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -110,6 +126,14 @@ fn main() -> ExitCode {
                 Some(p) => metrics_out = Some(p),
                 None => return usage("--metrics requires a path"),
             },
+            "--access-log" => match args.next() {
+                Some(p) => access_log_out = Some(p),
+                None => return usage("--access-log requires a path"),
+            },
+            "--stats" => match args.next() {
+                Some(p) => stats_out = Some(p),
+                None => return usage("--stats requires a path"),
+            },
             "--scale" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(f) => scale = f,
                 None => return usage("--scale requires a number"),
@@ -122,7 +146,14 @@ fn main() -> ExitCode {
         }
     }
 
-    match run(scale, &out, &trace_out, metrics_out.as_deref()) {
+    match run(
+        scale,
+        &out,
+        &trace_out,
+        metrics_out.as_deref(),
+        access_log_out.as_deref(),
+        stats_out.as_deref(),
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("xmlrel-bench: {e}");
@@ -132,7 +163,10 @@ fn main() -> ExitCode {
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("usage: xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F]");
+    eprintln!(
+        "usage: xmlrel-bench [--out PATH] [--trace PATH] [--metrics PATH] [--scale F] \
+         [--access-log PATH] [--stats PATH]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -141,7 +175,14 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Result<(), String> {
+fn run(
+    scale: f64,
+    out: &str,
+    trace_out: &str,
+    metrics_out: Option<&str>,
+    access_log_out: Option<&str>,
+    stats_out: Option<&str>,
+) -> Result<(), String> {
     // One big sink for the whole run; every store/engine span below lands
     // here and exports as one chrome trace.
     let sink = trace::TraceSink::with_capacity(65536);
@@ -182,7 +223,10 @@ fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Res
         }
     }
 
-    let conc = concurrency_bench(&auction)?;
+    let (conc, conc_store) = concurrency_bench(&auction)?;
+    if access_log_out.is_some() || stats_out.is_some() {
+        serve_export(&conc_store, access_log_out, stats_out)?;
+    }
 
     let report = to_json(scale, started.elapsed().as_micros(), &loads, &runs, &conc);
     std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
@@ -203,8 +247,9 @@ fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Res
     );
     for c in &conc {
         eprintln!(
-            "xmlrel-bench: concurrency: {} thread(s): {} queries in {}us ({:.0} qps)",
-            c.threads, c.queries, c.wall_us, c.qps
+            "xmlrel-bench: concurrency: {} thread(s): {} queries in {}us \
+             ({:.0} qps, {}us lock wait, epoch lag {})",
+            c.threads, c.queries, c.wall_us, c.qps, c.lock_wait_us, c.epoch_lag
         );
     }
     Ok(())
@@ -216,7 +261,7 @@ fn run(scale: f64, out: &str, trace_out: &str, metrics_out: Option<&str>) -> Res
 /// returns). Every request is pinned to a snapshot — the same
 /// consistency mode the HTTP endpoint serves — so this measures the
 /// store's parallel read path, not a lock convoy artifact.
-fn concurrency_bench(auction: &xmlpar::Document) -> Result<Vec<ConcRun>, String> {
+fn concurrency_bench(auction: &xmlpar::Document) -> Result<(Vec<ConcRun>, XmlStore), String> {
     let mut store = XmlStore::builder(Scheme::Interval(shredder::IntervalScheme::new()))
         .open()
         .map_err(|e| format!("concurrency: install: {e}"))?;
@@ -231,6 +276,7 @@ fn concurrency_bench(auction: &xmlpar::Document) -> Result<Vec<ConcRun>, String>
     let mut rows = Vec::new();
     for &threads in CONC_THREADS {
         let expected = (threads * CONC_ITERS * slice.len()) as u64;
+        let wait_before = db_lock_wait_sum();
         let t0 = Instant::now();
         let completed: u64 = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
@@ -264,9 +310,91 @@ fn concurrency_bench(auction: &xmlpar::Document) -> Result<Vec<ConcRun>, String>
             queries: completed,
             wall_us,
             qps,
+            lock_wait_us: db_lock_wait_sum().saturating_sub(wait_before),
+            epoch_lag: epoch_lag_gauge(),
         });
     }
-    Ok(rows)
+    Ok((rows, store))
+}
+
+/// Combined read+write wait-time histogram sum for the store's `db`
+/// lock, from the metrics registry (the same keys the timed lock feeds).
+fn db_lock_wait_sum() -> u64 {
+    ["read", "write"]
+        .iter()
+        .map(
+            |mode| match metrics::get(&timed_lock::wait_metric("db", mode)) {
+                Some(Metric::Histogram(h)) => h.sum,
+                _ => 0,
+            },
+        )
+        .sum()
+}
+
+/// The `snapshot_epoch_lag` gauge, clamped at zero.
+fn epoch_lag_gauge() -> u64 {
+    match metrics::get("snapshot_epoch_lag") {
+        Some(Metric::Gauge(v)) => u64::try_from(v).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Serve the concurrency store over HTTP for one short request burst and
+/// export the flight recorder's evidence: the per-request access log and
+/// the `/stats` aggregate snapshot (CI artifacts).
+fn serve_export(
+    store: &XmlStore,
+    access_log_out: Option<&str>,
+    stats_out: Option<&str>,
+) -> Result<(), String> {
+    use std::io::{Read, Write};
+    let handle = store
+        .serve()
+        .addr("127.0.0.1:0")
+        .drain_ms(2000)
+        .start()
+        .map_err(|e| format!("serve: {e}"))?;
+    let addr = handle.addr();
+    let slice: Vec<&WorkloadQuery> = CONC_QUERIES
+        .iter()
+        .filter_map(|id| AUCTION_QUERIES.iter().find(|q| q.id == *id))
+        .collect();
+    for q in &slice {
+        let mut conn = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("serve exercise: connect: {e}"))?;
+        conn.write_all(
+            format!(
+                "POST /query HTTP/1.0\r\nContent-Length: {}\r\n\r\n{}",
+                q.text.len(),
+                q.text
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("serve exercise: write: {e}"))?;
+        let mut resp = String::new();
+        let _ = conn.read_to_string(&mut resp);
+        if !resp.starts_with("HTTP/1.0 200") {
+            return Err(format!(
+                "serve exercise: {} answered {}",
+                q.id,
+                resp.lines().next().unwrap_or("<nothing>")
+            ));
+        }
+    }
+    if let Some(path) = access_log_out {
+        std::fs::write(path, handle.access_log()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(path, handle.stats_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let report = handle.stop();
+    if !report.clean() {
+        return Err(format!(
+            "serve exercise: drain was not clean: {} cancelled, {} stuck",
+            report.cancelled, report.stuck
+        ));
+    }
+    Ok(())
 }
 
 /// Execute one workload query with full instrumentation.
@@ -421,8 +549,9 @@ fn to_json(
             s.push(',');
         }
         s.push_str(&format!(
-            "\n    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.1}}}",
-            c.threads, c.queries, c.wall_us, c.qps
+            "\n    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.1}, \
+             \"lock_wait_us\": {}, \"epoch_lag\": {}}}",
+            c.threads, c.queries, c.wall_us, c.qps, c.lock_wait_us, c.epoch_lag
         ));
     }
     s.push_str("\n  ]},\n");

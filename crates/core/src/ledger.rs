@@ -22,9 +22,10 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use xmlrel_obs::metrics::{self, Histogram};
+use xmlrel_obs::timed_lock::{TimedMutex, TimedMutexGuard};
 use xmlrel_obs::trace::{json_quote, Event};
 
 /// Thresholds and capacities for slow-query capture.
@@ -98,6 +99,10 @@ pub struct FingerprintStats {
     /// The most recent failure's diagnostic (e.g. the limit or the
     /// operator that tripped a deadline), if any execution has failed.
     pub last_error: Option<String>,
+    /// The request ID of the most recent served execution of this shape,
+    /// if any carried one — the grep key from an `X-Request-Id` response
+    /// header back to its ledger row.
+    pub last_request_id: Option<String>,
 }
 
 impl FingerprintStats {
@@ -132,6 +137,9 @@ pub struct SlowCapture {
     pub explain_analyze: String,
     /// Tail of the installed trace ring at capture time.
     pub trace_tail: Vec<Event>,
+    /// The request ID of the offending execution (empty for executions
+    /// that did not come through the serve layer).
+    pub request_id: String,
 }
 
 #[derive(Default)]
@@ -144,27 +152,37 @@ struct Inner {
 }
 
 /// The ledger handle: clone-cheap, shareable across threads.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Ledger {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<TimedMutex<Inner>>,
+}
+
+impl Default for Ledger {
+    fn default() -> Ledger {
+        Ledger::new(LedgerConfig::default())
+    }
 }
 
 impl Ledger {
     /// A ledger with the given thresholds.
     pub fn new(config: LedgerConfig) -> Ledger {
         Ledger {
-            inner: Arc::new(Mutex::new(Inner {
-                config,
-                ..Inner::default()
-            })),
+            inner: Arc::new(TimedMutex::new(
+                "ledger",
+                Inner {
+                    config,
+                    ..Inner::default()
+                },
+            )),
         }
     }
 
-    /// Lock, recovering from poisoning: every mutation leaves the maps
-    /// structurally valid, and a panic elsewhere must not take the
-    /// observability surface down with it.
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Take the ledger lock. The timed wrapper recovers (and counts)
+    /// poisoning: every mutation leaves the maps structurally valid, and
+    /// a panic elsewhere must not take the observability surface down
+    /// with it.
+    fn lock(&self) -> TimedMutexGuard<'_, Inner> {
+        self.inner.lock()
     }
 
     /// The current thresholds.
@@ -187,6 +205,19 @@ impl Ledger {
         rows: u64,
         max_q_error: Option<f64>,
     ) -> Option<SlowTrigger> {
+        self.observe_with_id(query, wall_us, rows, max_q_error, None)
+    }
+
+    /// [`observe`](Ledger::observe) with the serving request's ID, kept
+    /// as the fingerprint's `last_request_id`.
+    pub fn observe_with_id(
+        &self,
+        query: &str,
+        wall_us: u64,
+        rows: u64,
+        max_q_error: Option<f64>,
+        request_id: Option<&str>,
+    ) -> Option<SlowTrigger> {
         let mut inner = self.lock();
         let fp = fingerprint(query);
         let entry = inner
@@ -197,6 +228,9 @@ impl Ledger {
         entry.count += 1;
         entry.rows += rows;
         entry.latency_us.observe(wall_us);
+        if let Some(id) = request_id {
+            entry.last_request_id = Some(id.to_string());
+        }
         if let Some(q) = max_q_error {
             entry.max_q_error_milli = entry.max_q_error_milli.max((q * 1000.0).round() as u64);
         }
@@ -215,6 +249,12 @@ impl Ledger {
     /// for limit and deadline trips it carries the limit or operator name,
     /// retained as the fingerprint's `last_error`.
     pub fn observe_error(&self, query: &str, error: &str) {
+        self.observe_error_with_id(query, error, None);
+    }
+
+    /// [`observe_error`](Ledger::observe_error) with the serving
+    /// request's ID, kept as the fingerprint's `last_request_id`.
+    pub fn observe_error_with_id(&self, query: &str, error: &str, request_id: Option<&str>) {
         let mut inner = self.lock();
         let fp = fingerprint(query);
         let entry = inner
@@ -224,6 +264,9 @@ impl Ledger {
         entry.exemplar = query.to_string();
         entry.errors += 1;
         entry.last_error = Some(error.to_string());
+        if let Some(id) = request_id {
+            entry.last_request_id = Some(id.to_string());
+        }
     }
 
     /// Store one assembled forensic capture into the bounded ring.
@@ -276,19 +319,22 @@ impl Ledger {
         inner.evicted = 0;
     }
 
-    /// Render the top-N query shapes as an aligned text table.
+    /// Render the top-N query shapes as an aligned text table. The
+    /// p50/p90/p99 columns are upper bounds read off the shape's pow2
+    /// latency histogram.
     pub fn render_top(&self, limit: usize) -> String {
         let stats = self.stats();
         let mut out = String::from(
-            "count    err   rows      p50_us    p99_us     total_ms  max_qerr  fingerprint\n",
+            "count    err   rows      p50_us    p90_us    p99_us     total_ms  max_qerr  fingerprint\n",
         );
         for s in stats.iter().take(limit) {
             out.push_str(&format!(
-                "{:<8} {:<5} {:<9} {:<9} {:<10} {:<9.1} {:<9.1} {}\n",
+                "{:<8} {:<5} {:<9} {:<9} {:<9} {:<10} {:<9.1} {:<9.1} {}\n",
                 s.count,
                 s.errors,
                 s.rows,
                 s.latency_us.percentile_bound(50),
+                s.latency_us.percentile_bound(90),
                 s.latency_us.percentile_bound(99),
                 s.latency_us.sum as f64 / 1000.0,
                 s.max_q_error(),
@@ -309,10 +355,11 @@ impl Ledger {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n{{\"seq\":{},\"fingerprint\":{},\"query\":{},\"scheme\":{},\
+                "\n{{\"seq\":{},\"request_id\":{},\"fingerprint\":{},\"query\":{},\"scheme\":{},\
                  \"wall_us\":{},\"rows\":{},\"q_error\":{:.3},\"trigger\":{},\
                  \"explain_analyze\":{},\"trace_tail\":[",
                 c.seq,
+                json_quote(&c.request_id),
                 json_quote(&c.fingerprint),
                 json_quote(&c.query),
                 json_quote(&c.scheme),
@@ -357,6 +404,7 @@ fn empty_stats(fingerprint_text: &str, query: &str) -> FingerprintStats {
         latency_us: Histogram::default(),
         max_q_error_milli: 1000,
         last_error: None,
+        last_request_id: None,
     }
 }
 
@@ -517,6 +565,7 @@ mod tests {
                 trigger: SlowTrigger::Latency,
                 explain_analyze: "plan".into(),
                 trace_tail: Vec::new(),
+                request_id: String::new(),
             });
         }
         let captures = ledger.captures();
@@ -549,9 +598,11 @@ mod tests {
                 dur_us: 120000,
                 depth: 2,
             }],
+            request_id: "req-77".into(),
         });
         let json = ledger.slow_json();
         assert!(json.starts_with("{\"captures\":["), "{json}");
+        assert!(json.contains("\"request_id\":\"req-77\""), "{json}");
         assert!(json.contains("\"trigger\":\"latency+q-error\""), "{json}");
         assert!(json.contains("\"explain_analyze\":\"Sort\\n"), "{json}");
         assert!(json.contains("\"name\":\"execute\""), "{json}");

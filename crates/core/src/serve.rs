@@ -43,6 +43,7 @@
 
 use xmlrel_obs::serve::{serve_with, Endpoints, Health, QueryCall, QueryReply, ServeConfig};
 use xmlrel_obs::trace::TraceSink;
+use xmlrel_obs::PhaseTimings;
 
 pub use xmlrel_obs::serve::{DrainReport, MonitorHandle};
 
@@ -137,7 +138,10 @@ impl ServerBuilder {
                 }
             })
             .slow(move || slow_ledger.slow_json())
-            .query(move |call| answer_query(&store, &call, timeout_ms));
+            .query({
+                let query_sink = sink.clone();
+                move |call| answer_query(&store, &call, timeout_ms, query_sink.as_ref())
+            });
         if let Some(sink) = &sink {
             endpoints = endpoints.spans(sink);
         }
@@ -146,11 +150,25 @@ impl ServerBuilder {
 }
 
 /// Answer one `POST /query` call on the connection's worker thread: the
-/// query runs pinned to a snapshot, and the per-request deadline (header,
-/// falling back to the server default) and the server's shutdown token
-/// both flow into the execution limits.
-fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u64>) -> QueryReply {
-    let mut req = store.request(&call.query).snapshot().cancel(&call.cancel);
+/// query runs pinned to a snapshot, tagged with the serve layer's
+/// request ID (so its span, ledger row, and any slow capture all carry
+/// it), and the per-request deadline (header, falling back to the server
+/// default) and the server's shutdown token both flow into the execution
+/// limits.
+fn answer_query(
+    store: &XmlStore,
+    call: &QueryCall,
+    default_timeout_ms: Option<u64>,
+    sink: Option<&TraceSink>,
+) -> QueryReply {
+    let mut req = store
+        .request(&call.query)
+        .snapshot()
+        .cancel(&call.cancel)
+        .request_id(&call.request_id);
+    if let Some(sink) = sink {
+        req = req.trace(sink);
+    }
     if let Some(ms) = call.timeout_ms.or(default_timeout_ms) {
         req = req.timeout_ms(ms);
     }
@@ -165,6 +183,7 @@ fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u
                 status: 200,
                 content_type: "text/plain".into(),
                 body,
+                phases: out.phases,
             }
         }
         Err(e) => {
@@ -177,6 +196,7 @@ fn answer_query(store: &XmlStore, call: &QueryCall, default_timeout_ms: Option<u
                 status,
                 content_type: "text/plain".into(),
                 body: format!("error: {e}\n"),
+                phases: PhaseTimings::default(),
             }
         }
     }

@@ -31,7 +31,8 @@
 //! monitoring endpoint, and the `xmlrel slow` CLI.
 
 use std::collections::HashMap;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+use std::time::Instant;
 
 use reldb::{CancelToken, Database, Deadline, ExecLimits, ExecProfile, Value};
 use shredder::{
@@ -39,7 +40,8 @@ use shredder::{
     ShredStats, StorageStats, UniversalScheme,
 };
 use xmlpar::Document;
-use xmlrel_obs::{metrics, trace};
+use xmlrel_obs::timed_lock::{TimedReadGuard, TimedRwLock, TimedWriteGuard, POISON_RECOVERIES};
+use xmlrel_obs::{metrics, trace, PhaseTimings};
 use xqir::parse_query;
 
 use crate::compile::driver::{compile_query, OutKind, Slot, Template, Translated};
@@ -163,6 +165,9 @@ pub struct QueryOutput {
     pub plan: Option<PlanReport>,
     /// Runtime operator profile, when requested via [`Explain::Analyze`].
     pub profile: Option<ExecProfile>,
+    /// Per-phase wall-time breakdown of this execution (queue time is
+    /// zero here; the serve layer fills it in for served requests).
+    pub phases: PhaseTimings,
 }
 
 impl QueryOutput {
@@ -300,6 +305,11 @@ pub struct HealthReport {
     pub documents: usize,
     /// Durability and catalog status of the underlying database.
     pub db: reldb::DbStatus,
+    /// Process-wide count of poisoned-lock recoveries (the
+    /// `lock_poison_recoveries_total` counter). Non-zero means a thread
+    /// panicked while holding a lock and a later acquisition recovered —
+    /// previously silent, now on every health check.
+    pub poison_recoveries: u64,
 }
 
 impl HealthReport {
@@ -307,7 +317,7 @@ impl HealthReport {
     pub fn render(&self) -> String {
         format!(
             "status: {}\nscheme: {}\ndocuments: {}\ntables: {}\ndurable: {}\n\
-             snapshot_generation: {}\npoisoned: {}\n",
+             snapshot_generation: {}\npoisoned: {}\nlock_poison_recoveries: {}\n",
             if self.ok { "ok" } else { "degraded" },
             self.scheme,
             self.documents,
@@ -315,8 +325,17 @@ impl HealthReport {
             self.db.durable,
             self.db.snapshot_generation,
             self.db.poisoned,
+            self.poison_recoveries,
         )
     }
+}
+
+/// What taking a snapshot cost: time blocked on the database lock plus
+/// time spent in the copy-on-write clone itself.
+#[derive(Debug, Clone, Copy, Default)]
+struct SnapTiming {
+    lock_wait_us: u64,
+    clone_us: u64,
 }
 
 /// An XML store: one relational database + one mapping scheme.
@@ -327,9 +346,14 @@ impl HealthReport {
 /// copy-on-write [`snapshot`](XmlStore::snapshot), so any number of
 /// readers proceed while a writer (document load, removal, checkpoint)
 /// commits through the same lock. See DESIGN.md §17.
+///
+/// The lock is a [`TimedRwLock`] named `db`: every acquisition feeds the
+/// `lock_wait_us`/`lock_hold_us` histograms, contention counters, and
+/// the writer-stall gauge (DESIGN.md §18), so the contention this design
+/// trades on is measurable, not assumed.
 #[derive(Clone)]
 pub struct XmlStore {
-    db: Arc<RwLock<Database>>,
+    db: Arc<TimedRwLock<Database>>,
     scheme: Scheme,
     ledger: Ledger,
 }
@@ -350,11 +374,19 @@ impl XmlStore {
         let mut db = Database::new();
         docstore::install(&mut db)?;
         scheme.ops().install(&mut db)?;
-        Ok(XmlStore {
-            db: Arc::new(RwLock::new(db)),
+        Ok(Self::wrap(db, scheme, ledger))
+    }
+
+    /// Finish construction: wrap the database in the timed lock and
+    /// pre-register the snapshot gauges so the scrape surface shows them
+    /// (at zero) before the first query.
+    fn wrap(db: Database, scheme: Scheme, ledger: Ledger) -> XmlStore {
+        metrics::gauge_set("snapshot_epoch_lag", 0);
+        XmlStore {
+            db: Arc::new(TimedRwLock::new("db", db)),
             scheme,
             ledger,
-        })
+        }
     }
 
     fn open_backend_impl(
@@ -370,26 +402,23 @@ impl XmlStore {
             docstore::install(&mut db)?;
             scheme.ops().install(&mut db)?;
         }
-        Ok(XmlStore {
-            db: Arc::new(RwLock::new(db)),
-            scheme,
-            ledger,
-        })
+        Ok(Self::wrap(db, scheme, ledger))
     }
 
-    /// Take the database lock for reading, recovering from poisoning: a
-    /// reader that panicked cannot have left the database inconsistent.
-    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
-        self.db.read().unwrap_or_else(PoisonError::into_inner)
+    /// Take the database lock for reading. The timed wrapper records
+    /// wait/hold time and recovers (and counts) poisoning: a reader that
+    /// panicked cannot have left the database inconsistent.
+    fn db_read(&self) -> TimedReadGuard<'_, Database> {
+        self.db.read()
     }
 
-    /// Take the database lock for writing. Poisoning is recovered here
-    /// too: the database's own durability poisoning (tracked inside
-    /// [`Database`]) is the real write-safety interlock, and it survives a
-    /// panicking thread where the lock's poison flag would merely wedge
-    /// every future caller.
-    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write().unwrap_or_else(PoisonError::into_inner)
+    /// Take the database lock for writing. Poisoning is recovered (and
+    /// counted) in the wrapper: the database's own durability poisoning
+    /// (tracked inside [`Database`]) is the real write-safety interlock,
+    /// and it survives a panicking thread where the lock's poison flag
+    /// would merely wedge every future caller.
+    fn db_write(&self) -> TimedWriteGuard<'_, Database> {
+        self.db.write()
     }
 
     /// A read-only point-in-time snapshot of the underlying database.
@@ -400,7 +429,28 @@ impl XmlStore {
     /// [`QueryRequest`] runs against one of these, never against the
     /// locked database itself.
     pub fn snapshot(&self) -> Database {
-        self.db_read().snapshot()
+        self.snapshot_timed().0
+    }
+
+    /// [`snapshot`](XmlStore::snapshot) plus what it cost: lock wait and
+    /// clone duration, with the `snapshot_clone_us` histogram and the
+    /// `snapshot_tables` size gauge fed on the way.
+    fn snapshot_timed(&self) -> (Database, SnapTiming) {
+        let guard = self.db_read();
+        let lock_wait_us = guard.wait_us();
+        let started = Instant::now();
+        let snap = guard.snapshot();
+        drop(guard);
+        let clone_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        metrics::observe_us("snapshot_clone_us", clone_us);
+        metrics::gauge_set("snapshot_tables", snap.catalog.table_names().len() as i64);
+        (
+            snap,
+            SnapTiming {
+                lock_wait_us,
+                clone_us,
+            },
+        )
     }
 
     /// The store's current commit epoch (bumped once per committed
@@ -457,6 +507,7 @@ impl XmlStore {
             scheme: self.scheme.name().to_string(),
             documents: documents.map(|d| d.len()).unwrap_or(0),
             db: status,
+            poison_recoveries: metrics::counter_value(POISON_RECOVERIES),
         }
     }
 
@@ -538,9 +589,11 @@ impl XmlStore {
     /// The request captures a copy-on-write snapshot of the store as it is
     /// *now*; [`QueryRequest::snapshot`] pins the whole pipeline to it.
     pub fn request<'a>(&'a self, query: &'a str) -> QueryRequest<'a> {
+        let (snap, snap_timing) = self.snapshot_timed();
         QueryRequest {
             store: self,
-            snap: self.snapshot(),
+            snap,
+            snap_timing,
             pinned: false,
             query,
             doc: None,
@@ -548,6 +601,7 @@ impl XmlStore {
             sink: None,
             deadline: None,
             cancel: None,
+            request_id: None,
         }
     }
 
@@ -623,6 +677,7 @@ impl XmlStore {
         t: &Translated,
         analyze: bool,
         limits: &ExecLimits,
+        request_id: Option<&str>,
     ) -> Result<(Vec<Vec<Value>>, Option<ExecProfile>)> {
         metrics::counter_inc(&metrics::labelled(
             "queries_total",
@@ -649,14 +704,15 @@ impl XmlStore {
                 // The ledger keeps the diagnostic: for deadline or
                 // cancellation trips it names the operator that observed
                 // the trip.
-                self.ledger.observe_error(query_text, &e.to_string());
+                self.ledger
+                    .observe_error_with_id(query_text, &e.to_string(), request_id);
                 return Err(e.into());
             }
         };
         let q_error = profile.as_ref().map(|p| p.rollup().max_q_error);
-        if let Some(trigger) = self
-            .ledger
-            .observe(query_text, wall_us, raw.len() as u64, q_error)
+        if let Some(trigger) =
+            self.ledger
+                .observe_with_id(query_text, wall_us, raw.len() as u64, q_error, request_id)
         {
             self.capture_forensics(
                 db,
@@ -667,6 +723,7 @@ impl XmlStore {
                 q_error,
                 profile.as_ref(),
                 trigger,
+                request_id,
             );
         }
         Ok((apply_positional(t, raw), profile))
@@ -688,6 +745,7 @@ impl XmlStore {
         q_error: Option<f64>,
         profile: Option<&ExecProfile>,
         trigger: SlowTrigger,
+        request_id: Option<&str>,
     ) {
         let config = self.ledger.config();
         let (rendered, q_error) = match profile {
@@ -721,6 +779,7 @@ impl XmlStore {
             trigger,
             explain_analyze,
             trace_tail,
+            request_id: request_id.unwrap_or_default().to_string(),
         });
     }
 
@@ -954,6 +1013,8 @@ pub struct QueryRequest<'a> {
     store: &'a XmlStore,
     /// Copy-on-write snapshot captured when the builder was created.
     snap: Database,
+    /// What capturing that snapshot cost (lock wait + clone).
+    snap_timing: SnapTiming,
     pinned: bool,
     query: &'a str,
     doc: Option<&'a str>,
@@ -961,6 +1022,7 @@ pub struct QueryRequest<'a> {
     sink: Option<&'a trace::TraceSink>,
     deadline: Option<Deadline>,
     cancel: Option<CancelToken>,
+    request_id: Option<String>,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -1019,12 +1081,22 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Correlate this request with a serve-layer request ID: the
+    /// `store.query` span is suffixed with it, and the ledger row (and
+    /// any slow capture) record it, so an `X-Request-Id` response header
+    /// greps straight to the request's evidence.
+    pub fn request_id(mut self, id: &str) -> QueryRequest<'a> {
+        self.request_id = Some(id.to_string());
+        self
+    }
+
     /// Translate, execute, and publish; the [`QueryOutput`] carries
     /// whatever extra detail [`explain`](QueryRequest::explain) asked for.
     pub fn run(self) -> Result<QueryOutput> {
         let QueryRequest {
             store,
             snap,
+            snap_timing,
             pinned,
             query,
             doc,
@@ -1032,29 +1104,63 @@ impl<'a> QueryRequest<'a> {
             sink,
             deadline,
             cancel,
+            request_id,
         } = self;
         let _guard = sink.map(trace::install);
-        let _span = trace::span("store.query", "core");
-        let db = if pinned { snap } else { store.snapshot() };
+        let span_name: std::borrow::Cow<'static, str> = match &request_id {
+            Some(id) => format!("store.query#{id}").into(),
+            None => "store.query".into(),
+        };
+        let _span = trace::span(span_name, "core");
+        let mut phases = PhaseTimings::default();
+        let db = if pinned {
+            // Pinned requests serve a snapshot taken earlier; record how
+            // far behind the current commit epoch it is by now.
+            let lag = store.epoch().saturating_sub(snap.epoch());
+            metrics::gauge_set("snapshot_epoch_lag", lag as i64);
+            phases.lock_wait_us = snap_timing.lock_wait_us;
+            phases.snapshot_clone_us = snap_timing.clone_us;
+            snap
+        } else {
+            let (fresh, timing) = store.snapshot_timed();
+            metrics::gauge_set("snapshot_epoch_lag", 0);
+            phases.lock_wait_us = timing.lock_wait_us;
+            phases.snapshot_clone_us = timing.clone_us;
+            fresh
+        };
         let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
+        let translate_started = Instant::now();
         let t = store.translate_impl(&db, query, doc)?;
         let plan = match explain {
             Explain::None => None,
             Explain::Plan | Explain::Analyze => Some(store.verify_translated(&db, query, &t)?),
         };
-        let (rows, profile) = store.fetch(&db, query, &t, explain == Explain::Analyze, &limits)?;
+        phases.translate_us = elapsed_us(translate_started);
+        let execute_started = Instant::now();
+        let (rows, profile) = store.fetch(
+            &db,
+            query,
+            &t,
+            explain == Explain::Analyze,
+            &limits,
+            request_id.as_deref(),
+        )?;
+        phases.execute_us = elapsed_us(execute_started);
         store.poll_phase(&limits, "publish", query)?;
+        let publish_started = Instant::now();
         let items = {
             let _span = trace::span("publish", "core");
             store.publish_rows(&db, &t, &rows)?
         };
+        phases.publish_us = elapsed_us(publish_started);
         Ok(QueryOutput {
             items,
             rows,
             sql: t.sql,
             plan,
             profile,
+            phases,
         })
     }
 
@@ -1071,6 +1177,7 @@ impl<'a> QueryRequest<'a> {
             sink,
             deadline,
             cancel,
+            request_id,
             ..
         } = self;
         let _guard = sink.map(trace::install);
@@ -1079,7 +1186,7 @@ impl<'a> QueryRequest<'a> {
         let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
         let t = store.translate_impl(&db, query, doc)?;
-        let (rows, _) = store.fetch(&db, query, &t, false, &limits)?;
+        let (rows, _) = store.fetch(&db, query, &t, false, &limits, request_id.as_deref())?;
         Ok(match &t.out {
             OutKind::Values { col } => rows.iter().filter(|r| !r[*col].is_null()).count(),
             _ => rows.len(),
@@ -1098,6 +1205,7 @@ impl<'a> QueryRequest<'a> {
             sink,
             deadline,
             cancel,
+            request_id,
             ..
         } = self;
         let _guard = sink.map(trace::install);
@@ -1106,7 +1214,9 @@ impl<'a> QueryRequest<'a> {
         let limits = XmlStore::request_limits(&db, deadline, cancel);
         store.poll_phase(&limits, "translate", query)?;
         let t = store.translate_impl(&db, query, doc)?;
-        Ok(store.fetch(&db, query, &t, false, &limits)?.0)
+        Ok(store
+            .fetch(&db, query, &t, false, &limits, request_id.as_deref())?
+            .0)
     }
 
     /// Translate to SQL without executing.
@@ -1148,6 +1258,10 @@ impl<'a> QueryRequest<'a> {
         let t = store.translate_impl(&db, query, doc)?;
         store.verify_translated(&db, query, &t)
     }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Positional predicate post-processing: per parent, rank the DISTINCT

@@ -25,6 +25,7 @@ pub const RULES: &[&str] = &[
     "no-untraced-entrypoint",
     "no-unledgered-query",
     "no-undeadlined-loop",
+    "no-untimed-lock",
     "bare-allow",
 ];
 
@@ -62,6 +63,7 @@ pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
     raw.extend(check_entrypoints(file, toks, &test_mask));
     raw.extend(check_ledger_feed(file, toks, &test_mask));
     raw.extend(check_undeadlined_loops(file, toks, &test_mask));
+    raw.extend(check_untimed_locks(file, toks, &test_mask));
 
     for v in raw {
         let suppressed = suppressions
@@ -534,6 +536,47 @@ fn check_undeadlined_loops(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<
                           `limits.poll(..)`) each iteration so a query past its \
                           deadline stops promptly"
                     .into(),
+            });
+        }
+    }
+    out
+}
+
+/// no-untimed-lock: library code in the storage (`reldb`) and query
+/// (`core`) crates must acquire locks through the instrumented wrappers
+/// in `xmlrel_obs::timed_lock`, so every wait and hold lands in the
+/// `lock_wait_us` / `lock_hold_us` contention histograms. A raw
+/// `RwLock` or `Mutex` identifier in non-test code there is a lock the
+/// flight recorder cannot see. Deliberately untimed cells (per-operator
+/// hot paths where wrapper overhead would distort the numbers) carry a
+/// `lint:allow(no-untimed-lock)` with their justification.
+const LOCK_DIRS: &[&str] = &["reldb/src/", "reldb\\src\\", "core/src/", "core\\src\\"];
+
+fn check_untimed_locks(file: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
+    if !LOCK_DIRS.iter().any(|s| file.contains(s)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "RwLock" | "Mutex") {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: "no-untimed-lock",
+                message: format!(
+                    "raw `{}` in storage/query library code is invisible to the \
+                     contention histograms; use `xmlrel_obs::timed_lock::{}` so \
+                     waits and holds are recorded",
+                    t.text,
+                    if t.text == "RwLock" {
+                        "TimedRwLock"
+                    } else {
+                        "TimedMutex"
+                    }
+                ),
             });
         }
     }
@@ -1295,6 +1338,51 @@ mod tests {
         // Trait methods are not `pub` token-wise, and even an explicit
         // bodyless decl has nothing to trace.
         assert_eq!(store_rules(src), Vec::<&str>::new());
+    }
+
+    fn reldb_rules(src: &str) -> Vec<&'static str> {
+        check("crates/reldb/src/storage.rs", &lex(src))
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_raw_lock_in_storage_code() {
+        let src = "use std::sync::RwLock;\nstruct S { db: RwLock<u32> }";
+        assert_eq!(reldb_rules(src), vec!["no-untimed-lock", "no-untimed-lock"]);
+        let src = "fn f() { let m = std::sync::Mutex::new(0); }";
+        assert_eq!(reldb_rules(src), vec!["no-untimed-lock"]);
+        // core/src is in scope too.
+        let v = check("crates/core/src/ledger.rs", &lex(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-untimed-lock");
+    }
+
+    #[test]
+    fn timed_wrappers_and_out_of_scope_files_ok() {
+        // The wrappers themselves do not match the raw identifiers.
+        let src = "use xmlrel_obs::timed_lock::{TimedMutex, TimedRwLock};\n\
+                   struct S { db: TimedRwLock<u32>, m: TimedMutex<u8> }";
+        assert_eq!(reldb_rules(src), Vec::<&str>::new());
+        // Outside reldb/core (the obs crate hosts the wrapper; raw locks
+        // are its implementation), the rule does not apply.
+        let src = "use std::sync::RwLock;\nstruct S { inner: RwLock<u32> }";
+        assert_eq!(
+            check("crates/obs/src/timed_lock.rs", &lex(src)),
+            Vec::<Violation>::new()
+        );
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn raw_lock_exempt_in_tests_and_suppressible() {
+        let src = "#[cfg(test)]\nmod tests {\n use std::sync::Mutex;\n \
+                   fn t() { let m = Mutex::new(0); }\n}";
+        assert_eq!(reldb_rules(src), Vec::<&str>::new());
+        let src = "// lint:allow(no-untimed-lock): per-operator hot cell\n\
+                   type Cell = std::sync::Mutex<u32>;";
+        assert_eq!(reldb_rules(src), Vec::<&str>::new());
     }
 
     #[test]

@@ -71,6 +71,22 @@ fn suppressed_site_not_reported() {
 }
 
 #[test]
+fn untimed_lock_gate_has_teeth() {
+    // A raw lock in the storage crate's library code trips the rule...
+    let src = "use std::sync::RwLock;\npub struct S { db: RwLock<u32> }\n";
+    let v = lint_source("crates/reldb/src/fake_storage.rs", src);
+    assert_eq!(
+        v.iter().filter(|v| v.rule == "no-untimed-lock").count(),
+        2,
+        "{v:#?}"
+    );
+    // ...while the timed wrapper's own implementation (obs crate) and
+    // unrelated files stay clean.
+    assert!(lint_source("crates/obs/src/timed_lock.rs", src).is_empty());
+    assert!(lint_source("violations.rs", src).is_empty());
+}
+
+#[test]
 fn json_report_is_machine_readable() {
     let violations = lint_source("violations.rs", FIXTURE);
     let json = to_json(&violations);

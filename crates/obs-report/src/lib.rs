@@ -64,6 +64,13 @@ pub struct ConcRow {
     pub wall_us: u64,
     /// Aggregate throughput, queries per second.
     pub qps: f64,
+    /// Total time threads spent waiting on the store's database lock
+    /// during this row, µs (summed across threads). Zero in bench files
+    /// written before the contention columns existed.
+    pub lock_wait_us: u64,
+    /// Snapshot-epoch lag observed at the end of the row: served
+    /// snapshot epoch vs. current commit epoch. Zero in older files.
+    pub epoch_lag: u64,
 }
 
 /// The bench file's `"concurrency"` section: throughput under contention
@@ -150,6 +157,9 @@ fn parse_concurrency(label: &str, root: &Json) -> Result<Option<Concurrency>, St
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("{label}: concurrency row missing {name:?}"))
         };
+        // The contention columns are optional: bench files written
+        // before they existed still parse, reading as zero.
+        let opt = |name: &str| -> u64 { entry.get(name).and_then(Json::as_u64).unwrap_or(0) };
         rows.push(ConcRow {
             threads: num("threads")?,
             queries: num("queries")?,
@@ -158,6 +168,8 @@ fn parse_concurrency(label: &str, root: &Json) -> Result<Option<Concurrency>, St
                 .get("qps")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("{label}: concurrency row missing \"qps\""))?,
+            lock_wait_us: opt("lock_wait_us"),
+            epoch_lag: opt("epoch_lag"),
         });
     }
     Ok(Some(Concurrency { cores, rows }))
@@ -174,6 +186,12 @@ pub fn required_scaling(cores: u64) -> f64 {
     (0.8 * cores as f64).min(3.0)
 }
 
+/// Ceiling on the peak row's lock-wait share: the fraction of the
+/// threads' combined wall time (`wall_us × threads`) spent blocked on
+/// the store's database lock. Above this, the "concurrent" server is
+/// mostly a queue in front of one lock, regardless of what qps says.
+pub const MAX_LOCK_WAIT_SHARE: f64 = 0.5;
+
 /// The concurrency gate's verdict on one bench file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConcurrencyVerdict {
@@ -189,7 +207,13 @@ pub struct ConcurrencyVerdict {
     pub ratio: f64,
     /// [`required_scaling`] for the measured core count.
     pub required: f64,
-    /// Whether the ratio meets the floor.
+    /// The peak row's lock wait as a share of its threads' combined
+    /// wall time (`lock_wait_us / (wall_us × threads)`).
+    pub lock_wait_share: f64,
+    /// The peak row's snapshot-epoch lag.
+    pub epoch_lag: u64,
+    /// Whether the ratio meets the floor **and** the lock-wait share
+    /// stays under [`MAX_LOCK_WAIT_SHARE`].
     pub pass: bool,
 }
 
@@ -198,13 +222,17 @@ impl std::fmt::Display for ConcurrencyVerdict {
         write!(
             f,
             "{} threads: {:.0} qps vs {:.0} qps single-thread = {:.2}x \
-             (floor {:.2}x on {} core(s)) -> {}",
+             (floor {:.2}x on {} core(s)), lock wait {:.0}% (ceiling {:.0}%), \
+             epoch lag {} -> {}",
             self.peak_threads,
             self.peak_qps,
             self.baseline_qps,
             self.ratio,
             self.required,
             self.cores,
+            self.lock_wait_share * 100.0,
+            MAX_LOCK_WAIT_SHARE * 100.0,
+            self.epoch_lag,
             if self.pass { "ok" } else { "FAIL" }
         )
     }
@@ -222,6 +250,12 @@ pub fn check_concurrency(file: &BenchFile) -> Option<ConcurrencyVerdict> {
     }
     let ratio = peak.qps / base.qps;
     let required = required_scaling(conc.cores);
+    let budget_us = peak.wall_us.saturating_mul(peak.threads);
+    let lock_wait_share = if budget_us > 0 {
+        peak.lock_wait_us as f64 / budget_us as f64
+    } else {
+        0.0
+    };
     Some(ConcurrencyVerdict {
         cores: conc.cores,
         baseline_qps: base.qps,
@@ -229,7 +263,9 @@ pub fn check_concurrency(file: &BenchFile) -> Option<ConcurrencyVerdict> {
         peak_qps: peak.qps,
         ratio,
         required,
-        pass: ratio >= required,
+        lock_wait_share,
+        epoch_lag: peak.epoch_lag,
+        pass: ratio >= required && lock_wait_share <= MAX_LOCK_WAIT_SHARE,
     })
 }
 
@@ -616,6 +652,79 @@ mod tests {
         assert!(v.pass, "one core cannot show parallel speedup: {v}");
     }
 
+    /// Like [`conc_file`] but with the contention columns present:
+    /// rows are `(threads, queries, wall_us, qps, lock_wait_us,
+    /// epoch_lag)`.
+    fn conc_file_contended(
+        label: &str,
+        cores: u64,
+        rows: &[(u64, u64, u64, f64, u64, u64)],
+    ) -> BenchFile {
+        let mut out = String::from("{\"scale\": 0.1, \"queries\": [], \"concurrency\": {");
+        out.push_str(&format!("\"cores\": {cores}, \"rows\": ["));
+        for (i, (threads, queries, wall_us, qps, lock_wait_us, epoch_lag)) in
+            rows.iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {threads}, \"queries\": {queries}, \
+                 \"wall_us\": {wall_us}, \"qps\": {qps}, \
+                 \"lock_wait_us\": {lock_wait_us}, \"epoch_lag\": {epoch_lag}}}"
+            ));
+        }
+        out.push_str("]}}");
+        parse_bench(label, &out).unwrap()
+    }
+
+    #[test]
+    fn files_without_contention_columns_parse_as_zero() {
+        // conc_file emits pre-contention-column rows: they must still
+        // parse, with the new fields defaulting to zero.
+        let f = conc_file("old.json", 4, &[(1, 100, 1_000_000, 100.0)]);
+        let row = &f.concurrency.as_ref().unwrap().rows[0];
+        assert_eq!(row.lock_wait_us, 0);
+        assert_eq!(row.epoch_lag, 0);
+    }
+
+    #[test]
+    fn saturated_lock_wait_fails_the_gate_despite_good_scaling() {
+        // 4x qps scaling would pass, but the 8-thread row spent 60% of
+        // its combined wall time blocked on the db lock: the "parallel"
+        // server is a queue in front of one lock.
+        let f = conc_file_contended(
+            "new.json",
+            8,
+            &[
+                (1, 100, 1_000_000, 100.0, 0, 0),
+                (8, 800, 2_000_000, 400.0, 9_600_000, 3),
+            ],
+        );
+        let v = check_concurrency(&f).expect("verdict");
+        assert!((v.ratio - 4.0).abs() < 1e-9);
+        assert!((v.lock_wait_share - 0.6).abs() < 1e-9, "{v}");
+        assert_eq!(v.epoch_lag, 3);
+        assert!(!v.pass, "{v}");
+        assert!(v.to_string().contains("lock wait 60%"), "{v}");
+    }
+
+    #[test]
+    fn modest_lock_wait_passes_the_gate() {
+        // 20% lock-wait share is under the 50% ceiling.
+        let f = conc_file_contended(
+            "new.json",
+            8,
+            &[
+                (1, 100, 1_000_000, 100.0, 0, 0),
+                (8, 800, 2_000_000, 400.0, 3_200_000, 0),
+            ],
+        );
+        let v = check_concurrency(&f).expect("verdict");
+        assert!((v.lock_wait_share - 0.2).abs() < 1e-9, "{v}");
+        assert!(v.pass, "{v}");
+    }
+
     #[test]
     fn files_without_concurrency_rows_have_no_verdict() {
         let plain = file("a.json", &[("E2", "Q1", "x", "edge", Some(10))]);
@@ -637,12 +746,16 @@ mod tests {
                     queries: 100,
                     wall_us: 1_000_000,
                     qps: 100.0,
+                    lock_wait_us: 0,
+                    epoch_lag: 0,
                 },
                 ConcRow {
                     threads: 8,
                     queries: 800,
                     wall_us: 8_000_000,
                     qps: 100.0,
+                    lock_wait_us: 0,
+                    epoch_lag: 0,
                 },
             ],
         });

@@ -14,11 +14,23 @@
 //!
 //! A third facility, [`serve`], makes both reachable from outside the
 //! process: a from-scratch HTTP/1.0 endpoint (`std::net` only) answering
-//! `/metrics`, `/healthz`, `/spans`, and `/slow`.
+//! `/metrics`, `/healthz`, `/spans`, `/slow`, `/stats`,
+//! `/debug/requests`, and `POST /query`.
+//!
+//! Two request-correlation facilities feed it:
+//!
+//! - [`timed_lock`]: `RwLock`/`Mutex` wrappers that record wait/hold
+//!   histograms, contention counters, a writer-stall gauge, and poison
+//!   recoveries into [`metrics`].
+//! - [`reqlog`]: per-request IDs, per-phase timings, and the bounded
+//!   flight-recorder ring behind `/stats` and the access log.
 
 pub mod cancel;
 pub mod metrics;
+pub mod reqlog;
 pub mod serve;
+pub mod timed_lock;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use reqlog::{FlightRecorder, PhaseTimings, RequestSummary};

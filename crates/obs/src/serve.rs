@@ -9,9 +9,26 @@
 //!   health provider (`200` when healthy, `503` otherwise);
 //! - `GET /spans`  — chrome-trace JSON of the attached trace ring;
 //! - `GET /slow`   — the embedder's slow-query forensic captures (JSON);
+//! - `GET /stats`  — live aggregate over the request flight recorder:
+//!   latency percentiles, per-phase totals, inflight, epoch lag, lock
+//!   wait percentiles ([`FlightRecorder::stats_json`]);
+//! - `GET /debug/requests` — the flight recorder's full retained ring,
+//!   one JSON summary per recent request;
 //! - `POST /query` — the embedder's query provider, when one is wired
 //!   via [`Endpoints::query`]. The body is the query text; an optional
 //!   `X-Timeout-Ms` header sets a per-request deadline.
+//!
+//! # Request correlation
+//!
+//! Every routed request gets a request ID — honored from a well-formed
+//! `X-Request-Id` header, minted otherwise — echoed on the response as
+//! `X-Request-Id`, stamped into the [`RequestSummary`] ring, and printed
+//! as one structured access-log line on stderr with all six phase
+//! timings (queue, lock-wait, snapshot-clone, translate, execute,
+//! publish). Query providers receive the ID in [`QueryCall::request_id`]
+//! and thread it into trace spans, ledger rows, and slow captures, so
+//! one grep correlates a response header with every piece of evidence
+//! the request left behind.
 //!
 //! # Overload protection
 //!
@@ -29,7 +46,9 @@
 //! - **Graceful shutdown**: [`MonitorHandle::stop`] stops accepting,
 //!   drains in-flight requests up to [`ServeConfig::drain_deadline`],
 //!   then cancels stragglers through a shared [`CancelToken`] that the
-//!   query provider threads into the executor's cooperative polls.
+//!   query provider threads into the executor's cooperative polls. The
+//!   [`DrainReport`] carries the recorder's most recent summaries so a
+//!   post-mortem sees what the server was doing when it died.
 //!
 //! The `inflight_requests` gauge and the `queries_shed_total` /
 //! `queries_timed_out_total` counters make the overload behaviour
@@ -49,12 +68,16 @@ use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
 use crate::metrics;
+use crate::reqlog::{FlightRecorder, PhaseTimings, RequestIds, RequestSummary};
 
 /// Largest request head (request line + headers) the server will read.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 /// Largest `POST /query` body the server will accept.
 const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// How many flight-recorder summaries a [`DrainReport`] carries.
+const RECENT_IN_REPORT: usize = 32;
 
 /// Admission, timeout, and shutdown knobs for [`serve_with`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +132,10 @@ pub struct QueryCall {
     /// out of drain budget. Providers should thread it into their
     /// execution limits so stragglers unwind promptly.
     pub cancel: CancelToken,
+    /// The request's correlation ID (assigned or honored by the
+    /// server). Providers should thread it into spans, ledger rows, and
+    /// captures so response headers grep to the request's evidence.
+    pub request_id: String,
 }
 
 /// What the query provider returns: a status code plus a typed body.
@@ -120,6 +147,9 @@ pub struct QueryReply {
     pub content_type: String,
     /// The response body.
     pub body: String,
+    /// Per-phase timings the provider measured (queue time is filled in
+    /// by the server). Zeros for phases that did not run.
+    pub phases: PhaseTimings,
 }
 
 type TextProvider = Box<dyn Fn() -> String + Send + Sync>;
@@ -186,8 +216,9 @@ impl Endpoints {
     }
 
     /// Enable `POST /query`: `f` receives the body text plus the
-    /// per-request timeout and the server's shutdown token, and returns
-    /// the response. Without this, `/query` answers 404.
+    /// per-request timeout, the request ID, and the server's shutdown
+    /// token, and returns the response. Without this, `/query` answers
+    /// 404.
     pub fn query(
         mut self,
         f: impl Fn(QueryCall) -> QueryReply + Send + Sync + 'static,
@@ -205,7 +236,7 @@ impl Endpoints {
 /// — the straggler unwinds cooperatively — but embedders that promise
 /// clean drains (e.g. a CLI's signal path) should check [`clean`]
 /// (DrainReport::clean) and surface the difference to their caller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DrainReport {
     /// Requests in flight at stop time that finished within the drain
     /// deadline, without being cancelled.
@@ -218,6 +249,10 @@ pub struct DrainReport {
     /// three counts are disjoint: every request in flight at stop time
     /// lands in exactly one bucket.
     pub stuck: usize,
+    /// The flight recorder's most recent request summaries at stop time
+    /// (up to 32, oldest first) — the server's last words, for
+    /// post-mortems that outlive the process.
+    pub recent: Vec<RequestSummary>,
 }
 
 impl DrainReport {
@@ -246,6 +281,7 @@ pub struct MonitorHandle {
     inflight: Arc<AtomicUsize>,
     cancel: CancelToken,
     drain_deadline: Duration,
+    recorder: FlightRecorder,
 }
 
 impl MonitorHandle {
@@ -266,10 +302,27 @@ impl MonitorHandle {
         self.cancel.clone()
     }
 
+    /// A clone-shared handle onto the server's request flight recorder
+    /// (the ring behind `/stats` and `/debug/requests`).
+    pub fn recorder(&self) -> FlightRecorder {
+        self.recorder.clone()
+    }
+
+    /// The current `/stats` body, for embedders exporting snapshots.
+    pub fn stats_json(&self) -> String {
+        self.recorder.stats_json()
+    }
+
+    /// The retained access log, one line per recorded request.
+    pub fn access_log(&self) -> String {
+        self.recorder.access_log()
+    }
+
     /// Gracefully stop: stop accepting, drain in-flight requests up to
     /// the drain deadline, cancel stragglers, and join the server
     /// thread. The report says how many in-flight requests finished on
-    /// their own versus needing a forced cancellation.
+    /// their own versus needing a forced cancellation, and carries the
+    /// recorder's most recent request summaries.
     pub fn stop(mut self) -> DrainReport {
         self.shutdown()
     }
@@ -288,6 +341,7 @@ impl MonitorHandle {
                 drained: at_stop,
                 cancelled: 0,
                 stuck: 0,
+                recent: self.recorder.recent(RECENT_IN_REPORT),
             };
         }
         // ...then cancel stragglers and give them the same budget to
@@ -302,6 +356,7 @@ impl MonitorHandle {
             drained: at_stop.saturating_sub(stragglers),
             cancelled: stragglers.saturating_sub(stuck),
             stuck,
+            recent: self.recorder.recent(RECENT_IN_REPORT),
         }
     }
 
@@ -336,6 +391,14 @@ impl Drop for InflightGuard {
     }
 }
 
+/// Per-server state every connection worker shares.
+struct ConnShared {
+    endpoints: Endpoints,
+    cancel: CancelToken,
+    recorder: FlightRecorder,
+    ids: RequestIds,
+}
+
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the endpoints on a
 /// background thread with the default [`ServeConfig`].
 pub fn serve(addr: &str, endpoints: Endpoints) -> std::io::Result<MonitorHandle> {
@@ -354,22 +417,20 @@ pub fn serve_with(
     let stopping = Arc::new(AtomicBool::new(false));
     let inflight = Arc::new(AtomicUsize::new(0));
     let cancel = CancelToken::new();
-    let endpoints = Arc::new(endpoints);
+    let recorder = FlightRecorder::new();
+    let shared = Arc::new(ConnShared {
+        endpoints,
+        cancel: cancel.clone(),
+        recorder: recorder.clone(),
+        ids: RequestIds::new(),
+    });
     let stop = stopping.clone();
     let accept_inflight = inflight.clone();
-    let accept_cancel = cancel.clone();
     let drain_deadline = config.drain_deadline;
     let thread = std::thread::Builder::new()
         .name("xmlrel-monitor".into())
         .spawn(move || {
-            accept_loop(
-                &listener,
-                &stop,
-                &accept_inflight,
-                &accept_cancel,
-                &endpoints,
-                &config,
-            );
+            accept_loop(&listener, &stop, &accept_inflight, &shared, &config);
         })?;
     Ok(MonitorHandle {
         addr,
@@ -378,6 +439,7 @@ pub fn serve_with(
         inflight,
         cancel,
         drain_deadline,
+        recorder,
     })
 }
 
@@ -387,8 +449,7 @@ fn accept_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
     inflight: &Arc<AtomicUsize>,
-    cancel: &CancelToken,
-    endpoints: &Arc<Endpoints>,
+    shared: &Arc<ConnShared>,
     config: &ServeConfig,
 ) {
     for conn in listener.incoming() {
@@ -421,15 +482,17 @@ fn accept_loop(
             );
             continue;
         }
+        // Queue time starts at admission: everything between here and
+        // dispatch (thread spawn, head read, parsing) is `queue_us`.
+        let admitted_at = Instant::now();
         metrics::gauge_set("inflight_requests", inflight.load(Ordering::Acquire) as i64);
         let guard = InflightGuard(inflight.clone());
-        let endpoints = endpoints.clone();
-        let cancel = cancel.clone();
+        let shared = shared.clone();
         let spawned = std::thread::Builder::new()
             .name("xmlrel-serve-conn".into())
             .spawn(move || {
                 let _guard = guard;
-                let _ = handle(stream, &endpoints, &cancel);
+                let _ = handle(stream, &shared, admitted_at);
             });
         // Thread spawn failure: the guard inside the closure was never
         // run; `spawned` holding the closure drops it (and the guard).
@@ -437,12 +500,58 @@ fn accept_loop(
     }
 }
 
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Queue-only phase breakdown for requests that never reach a provider.
+fn queue_phases(admitted: Instant) -> PhaseTimings {
+    PhaseTimings {
+        queue_us: elapsed_us(admitted),
+        ..PhaseTimings::default()
+    }
+}
+
+/// One routed request's identity: everything needed to respond with the
+/// correlation header, log the access line, and record the summary.
+struct RequestCtx<'a> {
+    shared: &'a ConnShared,
+    rid: String,
+    method: String,
+    path: String,
+    admitted: Instant,
+}
+
+impl RequestCtx<'_> {
+    /// Write the response (with `X-Request-Id`), emit the access-log
+    /// line, and record the summary into the flight recorder.
+    fn finish(
+        &self,
+        stream: &mut TcpStream,
+        code: u16,
+        reason: &str,
+        content_type: &str,
+        body: &str,
+        phases: PhaseTimings,
+    ) -> std::io::Result<()> {
+        let extra = format!("X-Request-Id: {}\r\n", self.rid);
+        let result = respond_extra(stream, code, reason, content_type, body, &extra);
+        let summary = RequestSummary {
+            request_id: self.rid.clone(),
+            method: self.method.clone(),
+            path: self.path.clone(),
+            status: code,
+            total_us: elapsed_us(self.admitted),
+            phases,
+        };
+        eprintln!("{}", summary.access_log_line());
+        self.shared.recorder.record(summary);
+        result
+    }
+}
+
 /// Read one request, route it, and write the response.
-fn handle(
-    mut stream: TcpStream,
-    endpoints: &Endpoints,
-    cancel: &CancelToken,
-) -> std::io::Result<()> {
+fn handle(mut stream: TcpStream, shared: &ConnShared, admitted: Instant) -> std::io::Result<()> {
     let (head, mut body) = match read_head(&mut stream) {
         Some(h) => h,
         None => {
@@ -473,64 +582,73 @@ fn handle(
     let headers = parse_headers(lines);
     // Ignore any query string: `/metrics?x=1` is still `/metrics`.
     let path = path.split('?').next().unwrap_or(path);
-    if path == "/query" {
-        if let Some(provider) = endpoints.query.as_ref() {
-            if method != "POST" {
-                return respond(
+    let ctx = RequestCtx {
+        shared,
+        rid: shared
+            .ids
+            .assign(headers.get("x-request-id").map(String::as_str)),
+        method: method.to_string(),
+        path: path.to_string(),
+        admitted,
+    };
+    if ctx.path == "/query" {
+        if let Some(provider) = shared.endpoints.query.as_ref() {
+            if ctx.method != "POST" {
+                return ctx.finish(
                     &mut stream,
                     405,
                     "Method Not Allowed",
                     "text/plain",
                     "POST only\n",
+                    queue_phases(admitted),
                 );
             }
-            return handle_query(&mut stream, provider.as_ref(), cancel, &headers, &mut body);
+            return handle_query(&mut stream, provider.as_ref(), &ctx, &headers, &mut body);
         }
     }
-    if method != "GET" {
-        return respond(
+    if ctx.method != "GET" {
+        return ctx.finish(
             &mut stream,
             405,
             "Method Not Allowed",
             "text/plain",
             "GET only\n",
+            queue_phases(admitted),
         );
     }
-    match path {
-        "/metrics" => {
-            let body = (endpoints.metrics)();
-            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body)
-        }
+    let phases = queue_phases(admitted);
+    let (code, reason, content_type, body) = match ctx.path.as_str() {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            (shared.endpoints.metrics)(),
+        ),
         "/healthz" => {
-            let h = (endpoints.healthz)();
+            let h = (shared.endpoints.healthz)();
             if h.ok {
-                respond(&mut stream, 200, "OK", "text/plain", &h.body)
+                (200, "OK", "text/plain", h.body)
             } else {
-                respond(
-                    &mut stream,
-                    503,
-                    "Service Unavailable",
-                    "text/plain",
-                    &h.body,
-                )
+                (503, "Service Unavailable", "text/plain", h.body)
             }
         }
-        "/spans" => {
-            let body = (endpoints.spans)();
-            respond(&mut stream, 200, "OK", "application/json", &body)
-        }
-        "/slow" => {
-            let body = (endpoints.slow)();
-            respond(&mut stream, 200, "OK", "application/json", &body)
-        }
-        _ => respond(
-            &mut stream,
+        "/spans" => (200, "OK", "application/json", (shared.endpoints.spans)()),
+        "/slow" => (200, "OK", "application/json", (shared.endpoints.slow)()),
+        "/stats" => (200, "OK", "application/json", shared.recorder.stats_json()),
+        "/debug/requests" => (
+            200,
+            "OK",
+            "application/json",
+            shared.recorder.requests_json(),
+        ),
+        _ => (
             404,
             "Not Found",
             "text/plain",
-            "unknown path; try /metrics /healthz /spans /slow\n",
+            "unknown path; try /metrics /healthz /spans /slow /stats /debug/requests\n".to_string(),
         ),
-    }
+    };
+    ctx.finish(&mut stream, code, reason, content_type, &body, phases)
 }
 
 /// `POST /query`: bounded body read, optional `X-Timeout-Ms`, provider
@@ -538,7 +656,7 @@ fn handle(
 fn handle_query(
     stream: &mut TcpStream,
     provider: &(dyn Fn(QueryCall) -> QueryReply + Send + Sync),
-    cancel: &CancelToken,
+    ctx: &RequestCtx<'_>,
     headers: &HashMap<String, String>,
     body: &mut Vec<u8>,
 ) -> std::io::Result<()> {
@@ -546,21 +664,23 @@ fn handle_query(
         .get("content-length")
         .and_then(|v| v.parse::<usize>().ok())
     else {
-        return respond(
+        return ctx.finish(
             stream,
             400,
             "Bad Request",
             "text/plain",
             "Content-Length required\n",
+            queue_phases(ctx.admitted),
         );
     };
     if len > MAX_BODY_BYTES {
-        return respond(
+        return ctx.finish(
             stream,
             413,
             "Payload Too Large",
             "text/plain",
             "query body too large\n",
+            queue_phases(ctx.admitted),
         );
     }
     // Read the rest of the body (read timeout still applies).
@@ -569,28 +689,40 @@ fn handle_query(
         let want = (len - body.len()).min(chunk.len());
         let n = stream.read(&mut chunk[..want]).unwrap_or(0);
         if n == 0 {
-            return respond(stream, 400, "Bad Request", "text/plain", "truncated body\n");
+            return ctx.finish(
+                stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "truncated body\n",
+                queue_phases(ctx.admitted),
+            );
         }
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(len);
     let Ok(query) = String::from_utf8(std::mem::take(body)) else {
-        return respond(
+        return ctx.finish(
             stream,
             400,
             "Bad Request",
             "text/plain",
             "body is not UTF-8\n",
+            queue_phases(ctx.admitted),
         );
     };
     let timeout_ms = headers
         .get("x-timeout-ms")
         .and_then(|v| v.parse::<u64>().ok());
-    let reply = provider(QueryCall {
+    // Queue time ends here: the provider call is the dispatch.
+    let queue_us = elapsed_us(ctx.admitted);
+    let mut reply = provider(QueryCall {
         query,
         timeout_ms,
-        cancel: cancel.clone(),
+        cancel: ctx.shared.cancel.clone(),
+        request_id: ctx.rid.clone(),
     });
+    reply.phases.queue_us = queue_us;
     let reason = match reply.status {
         200 => "OK",
         400 => "Bad Request",
@@ -599,12 +731,13 @@ fn handle_query(
         503 => "Service Unavailable",
         _ => "Error",
     };
-    respond(
+    ctx.finish(
         stream,
         reply.status,
         reason,
         &reply.content_type,
         &reply.body,
+        reply.phases,
     )
 }
 

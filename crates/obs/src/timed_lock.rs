@@ -1,0 +1,444 @@
+//! Instrumented locks: `std::sync` primitives wrapped so every
+//! acquisition leaves evidence in the metrics registry.
+//!
+//! ROADMAP item 1 says the next scaling walls are the store's single
+//! `RwLock<Database>` and writer stalls. Before any event loop, writer
+//! batching, or sharding lands, the locks themselves must be measurable —
+//! otherwise those PRs cannot prove they helped. [`TimedRwLock`] and
+//! [`TimedMutex`] record, per lock name:
+//!
+//! - `lock_wait_us{lock=..,mode=..}` — pow2 histogram of time spent
+//!   blocked acquiring (0 for an uncontended fast-path acquisition),
+//!   split by `read`/`write` for the rwlock and `lock` for the mutex.
+//! - `lock_hold_us{lock=..,mode=..}` — pow2 histogram of how long each
+//!   guard was held, recorded when the guard drops.
+//! - `lock_contended_total{lock=..,mode=..}` — acquisitions that found
+//!   the lock busy and had to block.
+//! - `lock_writer_stalled{lock=..}` — gauge of writers currently blocked
+//!   waiting for the rwlock (the writer-starvation early-warning signal).
+//! - `lock_poison_recoveries_total` — process-wide counter bumped every
+//!   time a poisoned lock was recovered. Poison recovery used to be
+//!   silent (`unwrap_or_else(PoisonError::into_inner)` scattered at call
+//!   sites); now every recovery is visible in `/metrics` and `/healthz`.
+//!
+//! The guards expose [`TimedReadGuard::wait_us`] /
+//! [`TimedWriteGuard::wait_us`] so callers can attribute lock-wait time
+//! to the request that paid it (the `lock_wait_us` phase in the serve
+//! layer's access log).
+//!
+//! Metric names are precomputed at construction; the steady-state cost
+//! per acquisition is one `try_*` attempt, one `Instant` read, and two
+//! registry updates (wait on acquire, hold on drop).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::time::Instant;
+
+use crate::metrics;
+
+/// Process-wide counter of poisoned-lock recoveries.
+pub const POISON_RECOVERIES: &str = "lock_poison_recoveries_total";
+
+/// Registry name of a lock's wait-time histogram, e.g.
+/// `lock_wait_us{lock="db",mode="read"}`. Public so readers (the bench
+/// driver, `/stats`) address the same keys the locks write.
+pub fn wait_metric(lock: &str, mode: &str) -> String {
+    format!("lock_wait_us{{lock=\"{lock}\",mode=\"{mode}\"}}")
+}
+
+/// Registry name of a lock's hold-time histogram.
+pub fn hold_metric(lock: &str, mode: &str) -> String {
+    format!("lock_hold_us{{lock=\"{lock}\",mode=\"{mode}\"}}")
+}
+
+/// Registry name of a lock's contended-acquisition counter.
+pub fn contended_metric(lock: &str, mode: &str) -> String {
+    format!("lock_contended_total{{lock=\"{lock}\",mode=\"{mode}\"}}")
+}
+
+/// Registry name of an rwlock's stalled-writers gauge.
+pub fn stall_metric(lock: &str) -> String {
+    format!("lock_writer_stalled{{lock=\"{lock}\"}}")
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Count a poison recovery and pass the recovered guard through.
+fn recovered<G>(guard: G) -> G {
+    metrics::counter_inc(POISON_RECOVERIES);
+    guard
+}
+
+/// Precomputed registry keys for one named rwlock.
+struct RwNames {
+    wait_read: String,
+    wait_write: String,
+    hold_read: String,
+    hold_write: String,
+    contended_read: String,
+    contended_write: String,
+    stall: String,
+}
+
+/// An `RwLock` whose acquisitions are timed into the metrics registry.
+///
+/// Poisoning is recovered internally (and counted): the guarded data in
+/// this workspace is plain state a panicking writer leaves stale, never
+/// structurally invalid, so continuing is safe — but no longer silent.
+pub struct TimedRwLock<T> {
+    inner: RwLock<T>,
+    name: &'static str,
+    names: RwNames,
+    writers_waiting: AtomicI64,
+}
+
+impl<T> TimedRwLock<T> {
+    /// Wrap `value` under the lock name used in every metric label.
+    pub fn new(name: &'static str, value: T) -> TimedRwLock<T> {
+        let names = RwNames {
+            wait_read: wait_metric(name, "read"),
+            wait_write: wait_metric(name, "write"),
+            hold_read: hold_metric(name, "read"),
+            hold_write: hold_metric(name, "write"),
+            contended_read: contended_metric(name, "read"),
+            contended_write: contended_metric(name, "write"),
+            stall: stall_metric(name),
+        };
+        // Register the stall gauge eagerly so the scrape surface shows it
+        // (at zero) before the first contended write.
+        metrics::gauge_set(&names.stall, 0);
+        TimedRwLock {
+            inner: RwLock::new(value),
+            name,
+            names,
+            writers_waiting: AtomicI64::new(0),
+        }
+    }
+
+    /// The lock name metrics are labelled with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire a read guard, recording wait time (and contention, when
+    /// the fast path misses).
+    pub fn read(&self) -> TimedReadGuard<'_, T> {
+        let (guard, wait_us) = match self.inner.try_read() {
+            Ok(g) => (g, 0),
+            Err(TryLockError::Poisoned(p)) => (recovered(p.into_inner()), 0),
+            Err(TryLockError::WouldBlock) => {
+                metrics::counter_inc(&self.names.contended_read);
+                let started = Instant::now();
+                let g = self
+                    .inner
+                    .read()
+                    .unwrap_or_else(|p| recovered(p.into_inner()));
+                (g, elapsed_us(started))
+            }
+        };
+        metrics::observe_us(&self.names.wait_read, wait_us);
+        TimedReadGuard {
+            guard,
+            held_since: Instant::now(),
+            wait_us,
+            hold_metric: &self.names.hold_read,
+        }
+    }
+
+    /// Acquire a write guard, recording wait time, contention, and the
+    /// stalled-writers gauge while blocked.
+    pub fn write(&self) -> TimedWriteGuard<'_, T> {
+        let (guard, wait_us) = match self.inner.try_write() {
+            Ok(g) => (g, 0),
+            Err(TryLockError::Poisoned(p)) => (recovered(p.into_inner()), 0),
+            Err(TryLockError::WouldBlock) => {
+                metrics::counter_inc(&self.names.contended_write);
+                let stalled = self.writers_waiting.fetch_add(1, Ordering::AcqRel) + 1;
+                metrics::gauge_set(&self.names.stall, stalled);
+                let started = Instant::now();
+                let g = self
+                    .inner
+                    .write()
+                    .unwrap_or_else(|p| recovered(p.into_inner()));
+                let wait = elapsed_us(started);
+                let stalled = self.writers_waiting.fetch_sub(1, Ordering::AcqRel) - 1;
+                metrics::gauge_set(&self.names.stall, stalled);
+                (g, wait)
+            }
+        };
+        metrics::observe_us(&self.names.wait_write, wait_us);
+        TimedWriteGuard {
+            guard,
+            held_since: Instant::now(),
+            wait_us,
+            hold_metric: &self.names.hold_write,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TimedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimedRwLock")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Read guard from a [`TimedRwLock`]; records hold time on drop.
+pub struct TimedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    held_since: Instant,
+    wait_us: u64,
+    hold_metric: &'a str,
+}
+
+impl<T> TimedReadGuard<'_, T> {
+    /// Microseconds this acquisition spent blocked before succeeding.
+    pub fn wait_us(&self) -> u64 {
+        self.wait_us
+    }
+}
+
+impl<T> Deref for TimedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Drop for TimedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // The inner guard is still held here (fields drop after this
+        // body), so the recorded hold time covers the full guard life.
+        metrics::observe_us(self.hold_metric, elapsed_us(self.held_since));
+    }
+}
+
+/// Write guard from a [`TimedRwLock`]; records hold time on drop.
+pub struct TimedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    held_since: Instant,
+    wait_us: u64,
+    hold_metric: &'a str,
+}
+
+impl<T> TimedWriteGuard<'_, T> {
+    /// Microseconds this acquisition spent blocked before succeeding.
+    pub fn wait_us(&self) -> u64 {
+        self.wait_us
+    }
+}
+
+impl<T> Deref for TimedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TimedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TimedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        metrics::observe_us(self.hold_metric, elapsed_us(self.held_since));
+    }
+}
+
+/// Precomputed registry keys for one named mutex.
+struct MutexNames {
+    wait: String,
+    hold: String,
+    contended: String,
+}
+
+/// A `Mutex` whose acquisitions are timed into the metrics registry
+/// (mode label `lock`). Poisoning is recovered and counted, like
+/// [`TimedRwLock`].
+pub struct TimedMutex<T> {
+    inner: Mutex<T>,
+    name: &'static str,
+    names: MutexNames,
+}
+
+impl<T> TimedMutex<T> {
+    /// Wrap `value` under the lock name used in every metric label.
+    pub fn new(name: &'static str, value: T) -> TimedMutex<T> {
+        TimedMutex {
+            inner: Mutex::new(value),
+            name,
+            names: MutexNames {
+                wait: wait_metric(name, "lock"),
+                hold: hold_metric(name, "lock"),
+                contended: contended_metric(name, "lock"),
+            },
+        }
+    }
+
+    /// The lock name metrics are labelled with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire the mutex, recording wait time and contention.
+    pub fn lock(&self) -> TimedMutexGuard<'_, T> {
+        let (guard, wait_us) = match self.inner.try_lock() {
+            Ok(g) => (g, 0),
+            Err(TryLockError::Poisoned(p)) => (recovered(p.into_inner()), 0),
+            Err(TryLockError::WouldBlock) => {
+                metrics::counter_inc(&self.names.contended);
+                let started = Instant::now();
+                let g = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|p| recovered(p.into_inner()));
+                (g, elapsed_us(started))
+            }
+        };
+        metrics::observe_us(&self.names.wait, wait_us);
+        TimedMutexGuard {
+            guard,
+            held_since: Instant::now(),
+            wait_us,
+            hold_metric: &self.names.hold,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TimedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimedMutex")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard from a [`TimedMutex`]; records hold time on drop.
+pub struct TimedMutexGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    held_since: Instant,
+    wait_us: u64,
+    hold_metric: &'a str,
+}
+
+impl<T> TimedMutexGuard<'_, T> {
+    /// Microseconds this acquisition spent blocked before succeeding.
+    pub fn wait_us(&self) -> u64 {
+        self.wait_us
+    }
+}
+
+impl<T> Deref for TimedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TimedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TimedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        metrics::observe_us(self.hold_metric, elapsed_us(self.held_since));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+
+    fn hist_count(name: &str) -> u64 {
+        match metrics::get(name) {
+            Some(Metric::Histogram(h)) => h.count,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn uncontended_read_records_wait_and_hold() {
+        let lock = TimedRwLock::new("tl_test_a", 7u32);
+        let before = hist_count(&wait_metric("tl_test_a", "read"));
+        {
+            let g = lock.read();
+            assert_eq!(*g, 7);
+            assert_eq!(g.wait_us(), 0, "fast path must not report wait");
+        }
+        assert_eq!(hist_count(&wait_metric("tl_test_a", "read")), before + 1);
+        assert_eq!(hist_count(&hold_metric("tl_test_a", "read")), before + 1);
+    }
+
+    #[test]
+    fn contended_write_bumps_counter_and_measures_wait() {
+        let lock = std::sync::Arc::new(TimedRwLock::new("tl_test_b", 0u32));
+        let held = lock.read();
+        let contender = {
+            let lock = lock.clone();
+            std::thread::spawn(move || {
+                let mut g = lock.write();
+                *g += 1;
+                g.wait_us()
+            })
+        };
+        // Give the writer time to hit the blocking path, then release.
+        while metrics::counter_value(&contended_metric("tl_test_b", "write")) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        drop(held);
+        let waited = contender.join().expect("writer thread");
+        assert!(waited > 0, "blocked writer must report wait time");
+        assert_eq!(*lock.read(), 1);
+        assert!(metrics::counter_value(&contended_metric("tl_test_b", "write")) >= 1);
+        // The stall gauge exists and is back to zero.
+        assert_eq!(
+            metrics::get(&stall_metric("tl_test_b")),
+            Some(Metric::Gauge(0))
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_counted() {
+        let lock = std::sync::Arc::new(TimedRwLock::new("tl_test_c", 1u32));
+        let before = metrics::counter_value(POISON_RECOVERIES);
+        let poisoner = {
+            let lock = lock.clone();
+            std::thread::spawn(move || {
+                let _g = lock.write();
+                panic!("poison on purpose");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert_eq!(*lock.read(), 1, "recovered read must still see the data");
+        assert!(
+            metrics::counter_value(POISON_RECOVERIES) > before,
+            "recovery must be counted"
+        );
+    }
+
+    #[test]
+    fn mutex_records_wait_and_hold() {
+        let m = TimedMutex::new("tl_test_d", vec![1, 2]);
+        {
+            let mut g = m.lock();
+            g.push(3);
+            assert_eq!(g.wait_us(), 0);
+        }
+        assert_eq!(m.lock().len(), 3);
+        assert!(hist_count(&wait_metric("tl_test_d", "lock")) >= 2);
+        assert!(hist_count(&hold_metric("tl_test_d", "lock")) >= 1);
+    }
+}

@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xmlrel_obs::serve::{serve_with, Endpoints, QueryReply, ServeConfig};
-use xmlrel_obs::{metrics, CancelToken};
+use xmlrel_obs::{metrics, CancelToken, PhaseTimings};
 
 fn roundtrip(addr: std::net::SocketAddr, request: &[u8]) -> String {
     let mut conn = TcpStream::connect(addr).expect("connect");
@@ -68,6 +68,7 @@ fn sheds_excess_requests_with_503_retry_after_while_inflight_complete() {
                 status: 200,
                 content_type: "text/plain".into(),
                 body: "done\n".into(),
+                phases: PhaseTimings::default(),
             }
         }),
         ServeConfig {
@@ -183,6 +184,7 @@ fn query_endpoint_passes_body_and_timeout_header() {
                 status: 200,
                 content_type: "text/plain".into(),
                 body: format!("echo: {}\n", call.query),
+                phases: PhaseTimings::default(),
             }
         }),
         quick_config(),
@@ -205,6 +207,7 @@ fn query_body_over_the_cap_is_rejected() {
             status: 200,
             content_type: "text/plain".into(),
             body: "ok\n".into(),
+            phases: PhaseTimings::default(),
         }),
         quick_config(),
     )
@@ -238,6 +241,7 @@ fn graceful_stop_cancels_stragglers_via_the_shared_token() {
                 status: 503,
                 content_type: "text/plain".into(),
                 body: "cancelled\n".into(),
+                phases: PhaseTimings::default(),
             }
         }),
         ServeConfig {
@@ -272,6 +276,148 @@ fn graceful_stop_cancels_stragglers_via_the_shared_token() {
     );
     let resp = straggler.join().expect("straggler");
     assert!(resp.contains("cancelled"), "got: {resp}");
+}
+
+#[test]
+fn every_response_carries_a_request_id_and_offered_ids_are_honored() {
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(|call| QueryReply {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: format!("rid: {}\n", call.request_id),
+            phases: PhaseTimings::default(),
+        }),
+        quick_config(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // A minted ID appears on plain GETs…
+    let resp = get(addr, "/healthz");
+    assert!(
+        resp.contains("X-Request-Id: "),
+        "GET response must carry a request id: {resp}"
+    );
+
+    // …and a well-formed offered ID is honored end-to-end: response
+    // header, provider call, and the flight recorder all agree.
+    let resp = roundtrip(
+        addr,
+        b"POST /query HTTP/1.0\r\nContent-Length: 1\r\nX-Request-Id: client-abc.1\r\n\r\nq",
+    );
+    assert!(
+        resp.contains("X-Request-Id: client-abc.1"),
+        "offered id must echo: {resp}"
+    );
+    assert!(
+        resp.contains("rid: client-abc.1"),
+        "provider must see the offered id: {resp}"
+    );
+
+    // A garbage offer (spaces) is replaced, not echoed verbatim.
+    let resp = roundtrip(
+        addr,
+        b"POST /query HTTP/1.0\r\nContent-Length: 1\r\nX-Request-Id: bad id here\r\n\r\nq",
+    );
+    assert!(resp.contains("X-Request-Id: "));
+    assert!(
+        !resp.contains("bad id here"),
+        "malformed offer must be replaced: {resp}"
+    );
+
+    let report = handle.stop();
+    assert!(report.clean());
+    assert!(
+        report
+            .recent
+            .iter()
+            .any(|r| r.request_id == "client-abc.1" && r.path == "/query" && r.status == 200),
+        "drain report must carry the recorded summaries: {:?}",
+        report.recent
+    );
+}
+
+#[test]
+fn stats_and_debug_requests_expose_the_flight_recorder() {
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(|_| QueryReply {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: "ok\n".into(),
+            phases: PhaseTimings::default(),
+        }),
+        quick_config(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let resp = post_query(addr, "q1", None);
+    assert!(resp.starts_with("HTTP/1.0 200"), "got: {resp}");
+
+    let stats = get(addr, "/stats");
+    assert!(stats.starts_with("HTTP/1.0 200"), "got: {stats}");
+    let body = stats.split("\r\n\r\n").nth(1).unwrap_or("");
+    for key in [
+        "\"recorded\":",
+        "\"latency_us\":",
+        "\"phase_totals\":",
+        "\"epoch_lag\":",
+        "\"by_status\":",
+    ] {
+        assert!(body.contains(key), "stats missing {key}: {body}");
+    }
+
+    let dump = get(addr, "/debug/requests");
+    let body = dump.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(
+        body.starts_with("{\"requests\":["),
+        "debug dump shape: {body}"
+    );
+    assert!(
+        body.contains("\"path\":\"/query\""),
+        "query must be in the ring: {body}"
+    );
+    assert!(
+        body.contains("\"queue_us\":"),
+        "summaries carry phase timings: {body}"
+    );
+    assert!(handle.stop().clean());
+}
+
+#[test]
+fn request_that_ignores_the_cancel_token_is_classified_stuck() {
+    // The provider never checks its cancel token: both drain waves must
+    // expire, and the report must call it stuck (not cancelled).
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Endpoints::new().query(|_| {
+            std::thread::sleep(Duration::from_secs(4));
+            QueryReply {
+                status: 200,
+                content_type: "text/plain".into(),
+                body: "late\n".into(),
+                phases: PhaseTimings::default(),
+            }
+        }),
+        ServeConfig {
+            drain_deadline: Duration::from_millis(100),
+            ..quick_config()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let _parked = std::thread::spawn(move || post_query(addr, "q", None));
+    while handle.inflight() == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = handle.stop();
+    assert_eq!(report.stuck, 1, "token-ignoring request must be stuck");
+    assert_eq!(report.cancelled, 0, "stuck and cancelled are disjoint");
+    assert!(
+        !report.idle(),
+        "a stuck request means the server never idled"
+    );
 }
 
 #[test]

@@ -15,7 +15,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+use xmlrel_obs::timed_lock::{TimedReadGuard, TimedRwLock, TimedWriteGuard};
 
 use crate::error::{DbError, Result};
 
@@ -139,11 +141,19 @@ impl StorageBackend for FileBackend {
 
 /// A shareable in-memory file map. Cloning shares the same bytes, so a
 /// test can drop a database ("crash") and reopen another backend over the
-/// surviving files. Backed by `Arc<RwLock<..>>` so the in-memory backends
-/// are `Send + Sync` — the first payment on the `CONC_ALLOWLIST.txt` debt
-/// toward threaded serving (ROADMAP item 1).
-#[derive(Debug, Clone, Default)]
-pub struct SharedFiles(Arc<RwLock<BTreeMap<String, Vec<u8>>>>);
+/// surviving files. Backed by an `Arc` around a
+/// [`TimedRwLock`] so the in-memory backends are `Send + Sync` — the
+/// first payment on the `CONC_ALLOWLIST.txt` debt toward threaded
+/// serving (ROADMAP item 1) — and every acquisition feeds the
+/// `lock_wait_us{lock="shared_files",..}` metrics family.
+#[derive(Debug, Clone)]
+pub struct SharedFiles(Arc<TimedRwLock<BTreeMap<String, Vec<u8>>>>);
+
+impl Default for SharedFiles {
+    fn default() -> SharedFiles {
+        SharedFiles(Arc::new(TimedRwLock::new("shared_files", BTreeMap::new())))
+    }
+}
 
 impl SharedFiles {
     /// An empty file map.
@@ -151,17 +161,18 @@ impl SharedFiles {
         SharedFiles::default()
     }
 
-    /// Read access to the map, recovering from poisoning: the map holds
-    /// plain bytes, so a panic mid-write cannot leave a torn invariant
-    /// worse than the injected-fault states the tests already exercise.
-    fn read_map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Vec<u8>>> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+    /// Read access to the map. The timed wrapper recovers (and counts)
+    /// poisoning: the map holds plain bytes, so a panic mid-write cannot
+    /// leave a torn invariant worse than the injected-fault states the
+    /// tests already exercise.
+    fn read_map(&self) -> TimedReadGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.0.read()
     }
 
-    /// Write access to the map, recovering from poisoning (see
-    /// [`SharedFiles::read_map`]).
-    fn write_map(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Vec<u8>>> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+    /// Write access to the map, with the same poison-recovery contract
+    /// (see [`SharedFiles::read_map`]).
+    fn write_map(&self) -> TimedWriteGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.0.write()
     }
 
     /// A copy of one file's bytes.

@@ -50,7 +50,8 @@ sqllint() {
 bench_driver() {
     cargo run -q --locked --release -p xmlrel-bench -- \
         --out target/BENCH.json --trace target/trace.json \
-        --metrics target/metrics.txt --scale 0.1
+        --metrics target/metrics.txt --scale 0.1 \
+        --access-log target/access.log --stats target/stats.json
 }
 
 # Bench-trajectory gate: the fresh run must not regress against the

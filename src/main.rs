@@ -21,7 +21,8 @@
 //! prints the forensic captures (full `EXPLAIN ANALYZE` + trace tail)
 //! that crossed the latency/q-error thresholds. `serve` loads a file,
 //! runs the given queries, and keeps answering `/metrics`, `/healthz`,
-//! `/spans`, `/slow`, and `POST /query` over HTTP until interrupted;
+//! `/spans`, `/slow`, `/stats`, `/debug/requests` (the flight recorder's
+//! live surfaces), and `POST /query` over HTTP until interrupted;
 //! SIGINT/SIGTERM trigger a graceful drain: in-flight requests get up to
 //! `--drain-ms` to finish, then stragglers are cancelled. A drain where
 //! every request finished on its own exits 0; a drain that had to force
@@ -476,7 +477,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .start()
         .map_err(|e| format!("bind {}: {e}", cli.addr))?;
     eprintln!(
-        "serving /metrics /healthz /spans /slow /query on http://{}",
+        "serving /metrics /healthz /spans /slow /stats /debug/requests /query on http://{}",
         handle.addr()
     );
 

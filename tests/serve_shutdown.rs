@@ -19,13 +19,20 @@ fn write_fixture() -> std::path::PathBuf {
 }
 
 fn spawn_serve(file: &std::path::Path) -> (Child, BufReader<std::process::ChildStderr>, String) {
+    spawn_serve_drain(file, "2000")
+}
+
+fn spawn_serve_drain(
+    file: &std::path::Path,
+    drain_ms: &str,
+) -> (Child, BufReader<std::process::ChildStderr>, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_xmlrel"))
         .args([
             "serve",
             "--addr",
             "127.0.0.1:0",
             "--drain-ms",
-            "2000",
+            drain_ms,
             "interval",
         ])
         .arg(file)
@@ -112,5 +119,57 @@ fn sigterm_drains_and_exits_zero() {
         tail.contains("drained"),
         "shutdown should report the drain: {tail}"
     );
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn request_parked_past_the_drain_deadline_is_reported_stuck() {
+    let file = write_fixture();
+    // A tiny drain budget: both drain waves (finish, then cancel) expire
+    // long before the parked request's 2s read timeout fires.
+    let (mut child, mut stderr, addr) = spawn_serve_drain(&file, "50");
+
+    // Park a request inside the server: send the head of a POST /query
+    // with a Content-Length, then withhold the body. The worker blocks
+    // in the body read (which cannot observe the cancel token) until
+    // its read timeout — well past the 50ms drain budget.
+    let mut parked = TcpStream::connect(&addr).expect("connect");
+    parked
+        .write_all(b"POST /query HTTP/1.0\r\nContent-Length: 11\r\n\r\n")
+        .expect("write head");
+    parked.flush().expect("flush head");
+    // Give the worker time to read the head and enter the body read.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let pid = child.id().to_string();
+    let kill = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not exit within 30s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let mut tail = String::new();
+    let _ = stderr.read_to_string(&mut tail);
+    assert!(
+        !status.success(),
+        "a stuck request must fail the drain (exit 1); stderr tail: {tail}"
+    );
+    assert_eq!(status.code(), Some(1), "stderr tail: {tail}");
+    assert!(
+        tail.contains("1 stuck"),
+        "drain report should classify the parked request as stuck: {tail}"
+    );
+    drop(parked);
     let _ = std::fs::remove_file(&file);
 }
